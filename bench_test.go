@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Each benchmark regenerates one table or figure of the paper's evaluation
+// by running the corresponding experiment from internal/bench at a reduced
+// scale (SmallConfig); `go test -bench` reports nanoseconds per full
+// experiment execution.  cmd/pcfbench runs the same experiments at the
+// default scale and prints the per-series rows.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := bench.SmallConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Run(cfg)
+		if len(rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// Figure 27: pArray constructor execution time for various input sizes.
+func BenchmarkFig27ArrayConstructor(b *testing.B) { benchExperiment(b, "fig27") }
+
+// Figure 28: pArray local method invocations for various container sizes.
+func BenchmarkFig28ArrayLocalMethods(b *testing.B) { benchExperiment(b, "fig28") }
+
+// Figure 29: pArray methods for various input sizes.
+func BenchmarkFig29ArrayMethodsSizes(b *testing.B) { benchExperiment(b, "fig29") }
+
+// Figure 30: set_element, get_element and split_phase_get_element.
+func BenchmarkFig30ArraySyncAsyncSplit(b *testing.B) { benchExperiment(b, "fig30") }
+
+// Figure 31: pArray methods for various percentages of remote invocations.
+func BenchmarkFig31ArrayRemoteFraction(b *testing.B) { benchExperiment(b, "fig31") }
+
+// Figure 32: pArray local and remote method invocations vs container size.
+func BenchmarkFig32ArrayLocalRemote(b *testing.B) { benchExperiment(b, "fig32") }
+
+// Figure 33: generic algorithms on pArray (weak scaling).
+func BenchmarkFig33ArrayAlgorithms(b *testing.B) { benchExperiment(b, "fig33") }
+
+// Figure 34 and Tables XXII/XXIII: pArray memory consumption study.
+func BenchmarkFig34ArrayMemory(b *testing.B) { benchExperiment(b, "fig34") }
+
+// Figure 39: pList methods.
+func BenchmarkFig39ListMethods(b *testing.B) { benchExperiment(b, "fig39") }
+
+// Figure 40: p_for_each/p_generate/p_accumulate on pArray vs pList.
+func BenchmarkFig40ListVsArrayAlgos(b *testing.B) { benchExperiment(b, "fig40") }
+
+// Figure 41: weak scaling of p_for_each with packed vs spread placement.
+func BenchmarkFig41PlacementWeakScaling(b *testing.B) { benchExperiment(b, "fig41") }
+
+// Figure 42: pList vs pVector under a mixed dynamic workload.
+func BenchmarkFig42ListVsVectorMix(b *testing.B) { benchExperiment(b, "fig42") }
+
+// Figure 43: Euler tour weak scaling.
+func BenchmarkFig43EulerTourWeakScaling(b *testing.B) { benchExperiment(b, "fig43") }
+
+// Figure 44: Euler tour applications.
+func BenchmarkFig44EulerTourApps(b *testing.B) { benchExperiment(b, "fig44") }
+
+// Figures 49/50: static and dynamic pGraph methods on SSCA2 inputs.
+func BenchmarkFig49GraphMethods(b *testing.B) { benchExperiment(b, "fig49") }
+
+// Figure 51: find-sources with static / dynamic (forwarding / no
+// forwarding) partitions.
+func BenchmarkFig51FindSources(b *testing.B) { benchExperiment(b, "fig51") }
+
+// Figure 52: comparison of pGraph partitions (address translation).
+func BenchmarkFig52GraphPartitions(b *testing.B) { benchExperiment(b, "fig52") }
+
+// Figures 53/54/55: pGraph algorithms.
+func BenchmarkFig53GraphAlgorithms(b *testing.B) { benchExperiment(b, "fig53") }
+
+// Figure 56: page rank for two different input meshes.
+func BenchmarkFig56PageRank(b *testing.B) { benchExperiment(b, "fig56") }
+
+// Figure 59: MapReduce word count.
+func BenchmarkFig59MapReduceWordCount(b *testing.B) { benchExperiment(b, "fig59") }
+
+// Figure 60: generic algorithms on associative pContainers.
+func BenchmarkFig60AssociativeAlgos(b *testing.B) { benchExperiment(b, "fig60") }
+
+// Figure 62: composition — pArray<pArray>, pList<pArray> and pMatrix
+// row-minimum comparison.
+func BenchmarkFig62Composition(b *testing.B) { benchExperiment(b, "fig62") }
+
+// Design-choice ablation: RMI aggregation factor.
+func BenchmarkAblationAggregation(b *testing.B) { benchExperiment(b, "ablation-aggregation") }
+
+// Design-choice ablation: thread-safety manager policy.
+func BenchmarkAblationLocking(b *testing.B) { benchExperiment(b, "ablation-locking") }

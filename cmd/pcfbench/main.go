@@ -1,0 +1,76 @@
+// Command pcfbench runs the experiment harness that regenerates the tables
+// and figures of the paper's evaluation and prints their series as report
+// rows.
+//
+// Usage:
+//
+//	pcfbench -list
+//	pcfbench -experiment fig30 -locations 1,2,4,8 -elements 20000
+//	pcfbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		all        = flag.Bool("all", false, "run every experiment")
+		experiment = flag.String("experiment", "", "comma-separated experiment ids to run (e.g. fig30,fig51)")
+		locations  = flag.String("locations", "1,2,4,8", "comma-separated machine sizes to sweep")
+		elements   = flag.Int64("elements", 20000, "elements per location (weak-scaling unit)")
+		graphScale = flag.Int("graphscale", 10, "log2 of the SSCA2 graph vertex count")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.ElementsPerLocation = *elements
+	cfg.GraphScale = *graphScale
+	cfg.Locations = nil
+	for _, tok := range strings.Split(*locations, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || p <= 0 {
+			fmt.Fprintf(os.Stderr, "pcfbench: invalid location count %q\n", tok)
+			os.Exit(2)
+		}
+		cfg.Locations = append(cfg.Locations, p)
+	}
+
+	var selected []bench.Experiment
+	switch {
+	case *all:
+		selected = bench.All()
+	case *experiment != "":
+		for _, id := range strings.Split(*experiment, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pcfbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pcfbench: pass -all, -experiment <id>, or -list")
+		os.Exit(2)
+	}
+
+	for _, e := range selected {
+		fmt.Printf("# %s — %s\n", e.ID, e.Description)
+		bench.PrintRows(e.Run(cfg))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,98 @@
+// Command wordcount runs the paper's MapReduce word-count application
+// (Fig. 59) on the simulated machine: the input corpus (a text file, or a
+// synthetic Zipf corpus when no file is given) is split over the locations,
+// counted with the MapReduce pAlgorithm into a pHashMap, and the most
+// frequent words are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/containers/passoc"
+	"repro/internal/palgo"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		locations = flag.Int("locations", 4, "number of simulated locations")
+		file      = flag.String("file", "", "input text file (default: synthetic Zipf corpus)")
+		words     = flag.Int("words", 200000, "synthetic corpus size per location")
+		vocab     = flag.Int("vocab", 20000, "synthetic corpus vocabulary size")
+		top       = flag.Int("top", 10, "number of most frequent words to print")
+	)
+	flag.Parse()
+
+	var corpus []string
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wordcount: %v\n", err)
+			os.Exit(1)
+		}
+		corpus = strings.Fields(strings.ToLower(string(data)))
+	}
+
+	type kv struct {
+		Word  string
+		Count int64
+	}
+	var (
+		mu     sync.Mutex
+		global []kv
+		total  int64
+	)
+
+	m := runtime.NewMachine(*locations, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		var local []string
+		if corpus != nil {
+			// Split the file's words evenly over the locations.
+			per := (len(corpus) + loc.NumLocations() - 1) / loc.NumLocations()
+			lo := loc.ID() * per
+			hi := lo + per
+			if lo > len(corpus) {
+				lo = len(corpus)
+			}
+			if hi > len(corpus) {
+				hi = len(corpus)
+			}
+			local = corpus[lo:hi]
+		} else {
+			local = workload.Zipf(loc, *words, *vocab, 1.2)
+		}
+		counts := passoc.NewHashMap[string, int64](loc, partition.StringHash)
+		palgo.WordCount(loc, local, counts)
+
+		// Each location reports its local share of the result.
+		var mine []kv
+		var localTotal int64
+		counts.LocalRange(func(w string, c int64) bool {
+			mine = append(mine, kv{Word: w, Count: c})
+			localTotal += c
+			return true
+		})
+		grand := runtime.AllReduceSum(loc, localTotal)
+		mu.Lock()
+		global = append(global, mine...)
+		total = grand
+		mu.Unlock()
+		loc.Fence()
+	})
+
+	sort.Slice(global, func(i, j int) bool { return global[i].Count > global[j].Count })
+	fmt.Printf("locations=%d total-words=%d distinct-words=%d\n", *locations, total, len(global))
+	for i := 0; i < *top && i < len(global); i++ {
+		fmt.Printf("%3d. %-20s %d\n", i+1, global[i].Word, global[i].Count)
+	}
+	stats := m.Stats()
+	fmt.Printf("rmi: async=%d sync=%d messages=%d fences=%d\n",
+		stats.AsyncRMIs.Load(), stats.SyncRMIs.Load(), stats.MessagesSent.Load(), stats.Fences.Load())
+}

@@ -1,0 +1,15 @@
+// Package repro is the root of a Go reproduction of "The STAPL Parallel
+// Container Framework" (Tanase et al., PPoPP 2011 / Tanase's dissertation,
+// Texas A&M, 2010).
+//
+// The library lives under internal/: the simulated run-time system
+// (internal/runtime), the Parallel Container Framework core (internal/core),
+// the pContainers (internal/containers/...), pViews (internal/views),
+// pAlgorithms (internal/palgo, internal/graphalgo, internal/euler), the
+// workload generators (internal/workload) and the experiment harness
+// (internal/bench).  Executables are under cmd/ and runnable examples under
+// examples/.  See README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// The root package exists to host the repository-level benchmarks
+// (bench_test.go), one per table and figure of the paper's evaluation.
+package repro

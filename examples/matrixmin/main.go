@@ -1,0 +1,119 @@
+// Matrixmin: the composition study of Fig. 62 — compute the minimum of every
+// row of a matrix three ways: with a composed pArray of pArrays, with a
+// pList of pArrays (both via nested pAlgorithm invocations), and with a
+// row-blocked pMatrix whose rows are stored locally.  The pMatrix wins
+// because its row data never leaves the owning location.
+//
+// Run with: go run ./examples/matrixmin
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/composed"
+	"repro/internal/containers/pmatrix"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func main() {
+	const (
+		locations = 4
+		rows      = 16
+		cols      = 4000
+	)
+	sizes := make([]int64, rows)
+	for i := range sizes {
+		sizes[i] = cols
+	}
+	fill := func(r, c int64) int64 { return (r*7919+c*104729)%100000 + r }
+	min := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+
+	var (
+		mu      sync.Mutex
+		timings = map[string]time.Duration{}
+		mins    []int64
+	)
+	record := func(name string, d time.Duration, result []int64) {
+		mu.Lock()
+		timings[name] = d
+		if mins == nil {
+			mins = result
+		} else {
+			for i := range result {
+				if result[i] != mins[i] {
+					fmt.Printf("MISMATCH row %d: %d vs %d\n", i, result[i], mins[i])
+				}
+			}
+		}
+		mu.Unlock()
+	}
+
+	machine := runtime.NewMachine(locations, runtime.DefaultConfig())
+	machine.Execute(func(loc *runtime.Location) {
+		// (a) pArray of pArrays with nested reductions.
+		apa := composed.NewArrayOfArrays[int64](loc, sizes)
+		apa.NestedFill(fill)
+		start := time.Now()
+		resA := apa.NestedReduce(min)
+		dA := time.Since(start)
+
+		// (b) pList of pArrays.
+		lpa := composed.NewListOfArrays[int64](loc, sizes)
+		lpa.NestedFill(fill)
+		start = time.Now()
+		resL := lpa.NestedReduce(min)
+		dL := time.Since(start)
+
+		// (c) row-blocked pMatrix: every row is local to one location.
+		m := pmatrix.New[int64](loc, rows, cols, pmatrix.WithLayout(partition.RowBlocked))
+		m.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return fill(g.Row, g.Col) })
+		loc.Fence()
+		start = time.Now()
+		local := map[int64]int64{}
+		m.LocalRowRange(func(row int64, _ int64, vals []int64) {
+			best := vals[0]
+			for _, v := range vals[1:] {
+				best = min(best, v)
+			}
+			local[row] = best
+		})
+		// Combine per-row minima machine-wide (rows are fully local under
+		// the row-blocked layout, so this just collects them).
+		type kv struct{ R, V int64 }
+		flat := make([]kv, 0, len(local))
+		for r, v := range local {
+			flat = append(flat, kv{r, v})
+		}
+		gathered := runtime.AllGatherT(loc, flat)
+		resM := make([]int64, rows)
+		for _, part := range gathered {
+			for _, e := range part {
+				resM[e.R] = e.V
+			}
+		}
+		dM := time.Since(start)
+		loc.Fence()
+
+		if loc.ID() == 0 {
+			record("pArray<pArray>", dA, resA)
+			record("pList<pArray>", dL, resL)
+			record("pMatrix (row-blocked)", dM, resM)
+		}
+		loc.Fence()
+	})
+
+	fmt.Printf("row minima of a %dx%d matrix on %d locations\n", rows, cols, locations)
+	for _, name := range []string{"pArray<pArray>", "pList<pArray>", "pMatrix (row-blocked)"} {
+		fmt.Printf("%-24s %8.2f ms\n", name, float64(timings[name].Microseconds())/1000)
+	}
+	fmt.Printf("first three row minima: %v\n", mins[:3])
+}

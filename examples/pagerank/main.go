@@ -1,0 +1,62 @@
+// Pagerank: the Fig. 56 application — build a 2-D mesh as a distributed
+// pGraph and compute page rank with the computation-migration style pGraph
+// algorithm, then report the highest-ranked vertices.
+//
+// Run with: go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/graphalgo"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	const locations = 4
+	mesh := workload.Mesh2DParams{Rows: 64, Cols: 64}
+
+	type ranked struct {
+		Vertex int64
+		Rank   float64
+	}
+	var (
+		mu  sync.Mutex
+		all []ranked
+		sum float64
+	)
+
+	machine := runtime.NewMachine(locations, runtime.DefaultConfig())
+	machine.Execute(func(loc *runtime.Location) {
+		// A static pGraph with one vertex per mesh cell, edges to the
+		// 4-neighbourhood.
+		g := pgraph.New[float64, int8](loc, mesh.NumVertices())
+		workload.BuildMesh2D(loc, g, mesh)
+
+		params := graphalgo.DefaultPageRank()
+		params.Iterations = 30
+		ranks := graphalgo.PageRank(loc, g, params)
+		total := graphalgo.RankSum(loc, ranks)
+
+		mu.Lock()
+		for vd, r := range ranks {
+			all = append(all, ranked{Vertex: vd, Rank: r})
+		}
+		sum = total
+		mu.Unlock()
+		loc.Fence()
+	})
+
+	sort.Slice(all, func(i, j int) bool { return all[i].Rank > all[j].Rank })
+	fmt.Printf("page rank over a %dx%d mesh on %d locations (rank sum %.4f)\n",
+		mesh.Rows, mesh.Cols, locations, sum)
+	for i := 0; i < 5 && i < len(all); i++ {
+		r, c := all[i].Vertex/mesh.Cols, all[i].Vertex%mesh.Cols
+		fmt.Printf("%d. vertex (%d,%d)  rank %.6f\n", i+1, r, c, all[i].Rank)
+	}
+	fmt.Println("(cells bordering the low-degree corners accumulate the largest ranks on an undirected mesh)")
+}

@@ -1,0 +1,97 @@
+package bcontainer
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/domain"
+	"repro/internal/partition"
+)
+
+// Array is the base container of pArray: fixed-size storage for the
+// contiguous index sub-domain assigned to it, supporting O(1) access by GID.
+// It corresponds to the paper's valarray-backed p_array_bcontainer.
+type Array[T any] struct {
+	bcid partition.BCID
+	dom  domain.Range1D
+	data []T
+}
+
+// NewArray allocates storage for the given sub-domain.
+func NewArray[T any](bcid partition.BCID, dom domain.Range1D) *Array[T] {
+	return &Array[T]{bcid: bcid, dom: dom, data: make([]T, dom.Size())}
+}
+
+// BCID returns the sub-domain identifier.
+func (a *Array[T]) BCID() partition.BCID { return a.bcid }
+
+// Domain returns the index sub-domain stored by this base container.
+func (a *Array[T]) Domain() domain.Range1D { return a.dom }
+
+// Size returns the number of stored elements.
+func (a *Array[T]) Size() int64 { return int64(len(a.data)) }
+
+// Empty reports whether the base container stores no elements.
+func (a *Array[T]) Empty() bool { return len(a.data) == 0 }
+
+// Clear zeroes the stored elements (the sub-domain itself is fixed, so the
+// capacity is retained).
+func (a *Array[T]) Clear() {
+	var zero T
+	for i := range a.data {
+		a.data[i] = zero
+	}
+}
+
+// contains panics when gid falls outside the sub-domain; the distribution
+// manager never routes such a GID here, so this guards framework bugs.
+func (a *Array[T]) index(gid int64) int {
+	if !a.dom.Contains(gid) {
+		panic(fmt.Sprintf("bcontainer: GID %d outside sub-domain [%d,%d)", gid, a.dom.Lo, a.dom.Hi))
+	}
+	return int(gid - a.dom.Lo)
+}
+
+// Get returns the element with the given GID.
+func (a *Array[T]) Get(gid int64) T { return a.data[a.index(gid)] }
+
+// Set stores val at the given GID.
+func (a *Array[T]) Set(gid int64, val T) { a.data[a.index(gid)] = val }
+
+// Apply applies fn to the element with the given GID and stores the result
+// back (the paper's apply_set).
+func (a *Array[T]) Apply(gid int64, fn func(T) T) { i := a.index(gid); a.data[i] = fn(a.data[i]) }
+
+// ApplyGet applies fn to the element and returns fn's result without
+// modifying the element (the paper's apply_get).
+func (a *Array[T]) ApplyGet(gid int64, fn func(T) any) any { return fn(a.data[a.index(gid)]) }
+
+// Range iterates the stored elements in GID order, stopping early if fn
+// returns false.
+func (a *Array[T]) Range(fn func(gid int64, val T) bool) {
+	for i, v := range a.data {
+		if !fn(a.dom.Lo+int64(i), v) {
+			return
+		}
+	}
+}
+
+// Update iterates the stored elements in GID order, replacing each element
+// with the value fn returns.
+func (a *Array[T]) Update(fn func(gid int64, val T) T) {
+	for i := range a.data {
+		a.data[i] = fn(a.dom.Lo+int64(i), a.data[i])
+	}
+}
+
+// Slice exposes the underlying storage for zero-copy local algorithms
+// operating on native views.  The caller must hold the container's data
+// bracket for the duration of the use.
+func (a *Array[T]) Slice() []T { return a.data }
+
+// MemoryBytes reports the data bytes (elements) and metadata bytes (domain
+// bookkeeping), matching the paper's memory_size split.
+func (a *Array[T]) MemoryBytes() (data, meta int64) {
+	var t T
+	return int64(len(a.data)) * int64(unsafe.Sizeof(t)), int64(unsafe.Sizeof(*a))
+}

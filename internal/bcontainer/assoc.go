@@ -1,0 +1,228 @@
+package bcontainer
+
+import (
+	"sort"
+	"unsafe"
+
+	"repro/internal/partition"
+)
+
+// HashMap is the base container of unordered pair-associative pContainers
+// (pHashMap): per-location hash storage with amortised O(1) insert, find and
+// erase.
+type HashMap[K comparable, V any] struct {
+	bcid partition.BCID
+	m    map[K]V
+}
+
+// NewHashMap returns an empty hash-map base container.
+func NewHashMap[K comparable, V any](bcid partition.BCID) *HashMap[K, V] {
+	return &HashMap[K, V]{bcid: bcid, m: make(map[K]V)}
+}
+
+// BCID returns the sub-domain identifier.
+func (h *HashMap[K, V]) BCID() partition.BCID { return h.bcid }
+
+// Size returns the number of stored pairs.
+func (h *HashMap[K, V]) Size() int64 { return int64(len(h.m)) }
+
+// Empty reports whether no pairs are stored.
+func (h *HashMap[K, V]) Empty() bool { return len(h.m) == 0 }
+
+// Clear removes all pairs.
+func (h *HashMap[K, V]) Clear() { h.m = make(map[K]V) }
+
+// Insert stores (k, v), overwriting any previous value, and reports whether
+// the key was newly inserted.
+func (h *HashMap[K, V]) Insert(k K, v V) bool {
+	_, existed := h.m[k]
+	h.m[k] = v
+	return !existed
+}
+
+// InsertIfAbsent stores (k, v) only when the key is absent and reports
+// whether it inserted (the semantics of simple associative insert).
+func (h *HashMap[K, V]) InsertIfAbsent(k K, v V) bool {
+	if _, existed := h.m[k]; existed {
+		return false
+	}
+	h.m[k] = v
+	return true
+}
+
+// Find returns the value stored under k.
+func (h *HashMap[K, V]) Find(k K) (V, bool) { v, ok := h.m[k]; return v, ok }
+
+// Erase removes k and reports whether it was present.
+func (h *HashMap[K, V]) Erase(k K) bool {
+	if _, ok := h.m[k]; !ok {
+		return false
+	}
+	delete(h.m, k)
+	return true
+}
+
+// Apply applies fn to the value stored under k (inserting the zero value
+// first if the key is absent) and stores the result back.  It is the
+// building block of data-parallel reductions into maps (MapReduce).
+func (h *HashMap[K, V]) Apply(k K, fn func(V) V) {
+	h.m[k] = fn(h.m[k])
+}
+
+// Range iterates the stored pairs in unspecified order, stopping early if fn
+// returns false.
+func (h *HashMap[K, V]) Range(fn func(k K, v V) bool) {
+	for k, v := range h.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Keys returns all stored keys in unspecified order.
+func (h *HashMap[K, V]) Keys() []K {
+	out := make([]K, 0, len(h.m))
+	for k := range h.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MemoryBytes reports data and metadata footprints.
+func (h *HashMap[K, V]) MemoryBytes() (data, meta int64) {
+	var k K
+	var v V
+	per := int64(unsafe.Sizeof(k)) + int64(unsafe.Sizeof(v))
+	return int64(len(h.m)) * per, int64(len(h.m))*16 + int64(unsafe.Sizeof(*h))
+}
+
+// SortedMap is the base container of ordered pair-associative pContainers
+// (pMap): keys are kept sorted, giving O(log n) find and ordered traversal,
+// like the tree-backed STL map the paper wraps.
+type SortedMap[K any, V any] struct {
+	bcid partition.BCID
+	less func(a, b K) bool
+	keys []K
+	vals []V
+}
+
+// NewSortedMap returns an empty sorted-map base container ordered by less.
+func NewSortedMap[K any, V any](bcid partition.BCID, less func(a, b K) bool) *SortedMap[K, V] {
+	return &SortedMap[K, V]{bcid: bcid, less: less}
+}
+
+// BCID returns the sub-domain identifier.
+func (s *SortedMap[K, V]) BCID() partition.BCID { return s.bcid }
+
+// Size returns the number of stored pairs.
+func (s *SortedMap[K, V]) Size() int64 { return int64(len(s.keys)) }
+
+// Empty reports whether no pairs are stored.
+func (s *SortedMap[K, V]) Empty() bool { return len(s.keys) == 0 }
+
+// Clear removes all pairs.
+func (s *SortedMap[K, V]) Clear() { s.keys, s.vals = nil, nil }
+
+// lowerBound returns the first position whose key is not less than k.
+func (s *SortedMap[K, V]) lowerBound(k K) int {
+	return sort.Search(len(s.keys), func(i int) bool { return !s.less(s.keys[i], k) })
+}
+
+func (s *SortedMap[K, V]) equal(a, b K) bool { return !s.less(a, b) && !s.less(b, a) }
+
+// Insert stores (k, v), overwriting any previous value, and reports whether
+// the key was newly inserted.
+func (s *SortedMap[K, V]) Insert(k K, v V) bool {
+	i := s.lowerBound(k)
+	if i < len(s.keys) && s.equal(s.keys[i], k) {
+		s.vals[i] = v
+		return false
+	}
+	s.keys = append(s.keys, k)
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = k
+	s.vals = append(s.vals, v)
+	copy(s.vals[i+1:], s.vals[i:])
+	s.vals[i] = v
+	return true
+}
+
+// InsertIfAbsent stores (k, v) only when the key is absent.
+func (s *SortedMap[K, V]) InsertIfAbsent(k K, v V) bool {
+	i := s.lowerBound(k)
+	if i < len(s.keys) && s.equal(s.keys[i], k) {
+		return false
+	}
+	return s.Insert(k, v)
+}
+
+// Find returns the value stored under k.
+func (s *SortedMap[K, V]) Find(k K) (V, bool) {
+	i := s.lowerBound(k)
+	if i < len(s.keys) && s.equal(s.keys[i], k) {
+		return s.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Erase removes k and reports whether it was present.
+func (s *SortedMap[K, V]) Erase(k K) bool {
+	i := s.lowerBound(k)
+	if i >= len(s.keys) || !s.equal(s.keys[i], k) {
+		return false
+	}
+	s.keys = append(s.keys[:i], s.keys[i+1:]...)
+	s.vals = append(s.vals[:i], s.vals[i+1:]...)
+	return true
+}
+
+// Apply applies fn to the value stored under k (inserting a zero value if
+// absent) and stores the result back.
+func (s *SortedMap[K, V]) Apply(k K, fn func(V) V) {
+	i := s.lowerBound(k)
+	if i < len(s.keys) && s.equal(s.keys[i], k) {
+		s.vals[i] = fn(s.vals[i])
+		return
+	}
+	var zero V
+	s.Insert(k, fn(zero))
+}
+
+// Range iterates pairs in key order, stopping early if fn returns false.
+func (s *SortedMap[K, V]) Range(fn func(k K, v V) bool) {
+	for i, k := range s.keys {
+		if !fn(k, s.vals[i]) {
+			return
+		}
+	}
+}
+
+// Keys returns the stored keys in order (a copy).
+func (s *SortedMap[K, V]) Keys() []K { return append([]K(nil), s.keys...) }
+
+// MinKey returns the smallest stored key.
+func (s *SortedMap[K, V]) MinKey() (K, bool) {
+	if len(s.keys) == 0 {
+		var zero K
+		return zero, false
+	}
+	return s.keys[0], true
+}
+
+// MaxKey returns the largest stored key.
+func (s *SortedMap[K, V]) MaxKey() (K, bool) {
+	if len(s.keys) == 0 {
+		var zero K
+		return zero, false
+	}
+	return s.keys[len(s.keys)-1], true
+}
+
+// MemoryBytes reports data and metadata footprints.
+func (s *SortedMap[K, V]) MemoryBytes() (data, meta int64) {
+	var k K
+	var v V
+	per := int64(unsafe.Sizeof(k)) + int64(unsafe.Sizeof(v))
+	return int64(len(s.keys)) * per, int64(unsafe.Sizeof(*s))
+}

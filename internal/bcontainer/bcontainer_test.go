@@ -1,0 +1,590 @@
+package bcontainer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/domain"
+)
+
+func TestArrayBasics(t *testing.T) {
+	a := NewArray[int](2, domain.NewRange1D(10, 20))
+	if a.BCID() != 2 || a.Size() != 10 || a.Empty() {
+		t.Fatal("metadata wrong")
+	}
+	if a.Domain() != domain.NewRange1D(10, 20) {
+		t.Fatal("domain wrong")
+	}
+	a.Set(10, 5)
+	a.Set(19, 7)
+	if a.Get(10) != 5 || a.Get(19) != 7 || a.Get(15) != 0 {
+		t.Fatal("get/set wrong")
+	}
+	a.Apply(10, func(x int) int { return x * 2 })
+	if a.Get(10) != 10 {
+		t.Fatal("apply wrong")
+	}
+	if got := a.ApplyGet(19, func(x int) any { return x + 1 }); got != 8 {
+		t.Fatalf("applyGet = %v", got)
+	}
+	if a.Get(19) != 7 {
+		t.Fatal("applyGet must not modify the element")
+	}
+	var sum int
+	a.Range(func(gid int64, v int) bool { sum += v; return true })
+	if sum != 17 {
+		t.Fatalf("range sum = %d", sum)
+	}
+	a.Update(func(gid int64, v int) int { return 1 })
+	if a.Get(15) != 1 {
+		t.Fatal("update wrong")
+	}
+	if len(a.Slice()) != 10 {
+		t.Fatal("slice wrong")
+	}
+	d, m := a.MemoryBytes()
+	if d != 80 || m <= 0 {
+		t.Fatalf("memory = %d,%d", d, m)
+	}
+	a.Clear()
+	if a.Get(10) != 0 {
+		t.Fatal("clear should zero elements")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain access should panic")
+		}
+	}()
+	a.Get(20)
+}
+
+func TestArrayRangeEarlyStop(t *testing.T) {
+	a := NewArray[int](0, domain.NewRange1D(0, 100))
+	count := 0
+	a.Range(func(int64, int) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector[string](1, domain.NewRange1D(5, 8))
+	if v.Size() != 3 || v.BCID() != 1 {
+		t.Fatal("metadata wrong")
+	}
+	v.Set(5, "a")
+	v.Set(7, "c")
+	if v.Get(5) != "a" || v.Get(6) != "" || v.Get(7) != "c" {
+		t.Fatal("get/set wrong")
+	}
+	gid := v.PushBack("d")
+	if gid != 8 || v.Size() != 4 || v.Get(8) != "d" {
+		t.Fatal("push_back wrong")
+	}
+	v.Insert(6, "b")
+	if v.Size() != 5 || v.Get(6) != "b" || v.Get(7) != "" || v.Get(8) != "c" {
+		t.Fatalf("insert shifted wrong: %v", v.Slice())
+	}
+	v.Erase(7)
+	if v.Size() != 4 || v.Get(7) != "c" {
+		t.Fatal("erase wrong")
+	}
+	if got := v.PopBack(); got != "d" || v.Size() != 3 {
+		t.Fatalf("pop_back = %q", got)
+	}
+	v.Apply(5, func(s string) string { return s + "!" })
+	if v.Get(5) != "a!" {
+		t.Fatal("apply wrong")
+	}
+	if v.Domain() != domain.NewRange1D(5, 8) {
+		t.Fatalf("domain = %v", v.Domain())
+	}
+	v.SetBase(100)
+	if v.Get(100) != "a!" {
+		t.Fatal("rebase wrong")
+	}
+	var collected []string
+	v.Range(func(gid int64, s string) bool { collected = append(collected, s); return true })
+	if len(collected) != 3 || collected[0] != "a!" {
+		t.Fatalf("range = %v", collected)
+	}
+	v.Update(func(gid int64, s string) string { return "x" })
+	if v.Get(101) != "x" {
+		t.Fatal("update wrong")
+	}
+	d, m := v.MemoryBytes()
+	if d <= 0 || m <= 0 {
+		t.Fatal("memory accounting wrong")
+	}
+	v.Clear()
+	if !v.Empty() {
+		t.Fatal("clear wrong")
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	v := NewVector[int](0, domain.NewRange1D(0, 2))
+	mustPanic(t, func() { v.Get(5) })
+	mustPanic(t, func() { v.Insert(9, 1) })
+	v.Clear()
+	mustPanic(t, func() { v.PopBack() })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestVectorInsertEraseProperty(t *testing.T) {
+	// Property: a random interleaving of push_back / insert / erase keeps
+	// the vector equivalent to the same operations on a plain slice.
+	prop := func(ops []uint8) bool {
+		v := NewVector[int](0, domain.NewRange1D(0, 0))
+		var ref []int
+		val := 0
+		for _, op := range ops {
+			switch {
+			case op%3 == 0 || len(ref) == 0:
+				v.PushBack(val)
+				ref = append(ref, val)
+			case op%3 == 1:
+				pos := int(op) % len(ref)
+				v.Insert(int64(pos), val)
+				ref = append(ref, 0)
+				copy(ref[pos+1:], ref[pos:])
+				ref[pos] = val
+			default:
+				pos := int(op) % len(ref)
+				v.Erase(int64(pos))
+				ref = append(ref[:pos], ref[pos+1:]...)
+			}
+			val++
+		}
+		if v.Size() != int64(len(ref)) {
+			return false
+		}
+		for i, want := range ref {
+			if v.Get(int64(i)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	l := NewList[int](3)
+	if !l.Empty() || l.BCID() != 3 {
+		t.Fatal("metadata wrong")
+	}
+	a := l.PushBack(1)
+	b := l.PushBack(2)
+	c := l.PushFront(0)
+	if l.Size() != 3 {
+		t.Fatalf("size = %d", l.Size())
+	}
+	if got := l.Values(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("values = %v", got)
+	}
+	if l.FrontID() != c || l.BackID() != b {
+		t.Fatal("front/back ids wrong")
+	}
+	if l.NextID(c) != a || l.PrevID(a) != c || l.NextID(b) != -1 || l.PrevID(c) != -1 {
+		t.Fatal("links wrong")
+	}
+	d := l.InsertBefore(b, 99)
+	if got := l.Values(); got[2] != 99 || got[3] != 2 {
+		t.Fatalf("insert before wrong: %v", got)
+	}
+	if !l.Contains(d) || l.Contains(12345) {
+		t.Fatal("contains wrong")
+	}
+	l.Set(d, 100)
+	if l.Get(d) != 100 {
+		t.Fatal("get/set wrong")
+	}
+	l.Apply(d, func(x int) int { return x + 1 })
+	if l.Get(d) != 101 {
+		t.Fatal("apply wrong")
+	}
+	if got := l.Erase(d); got != 101 || l.Size() != 3 {
+		t.Fatal("erase wrong")
+	}
+	if got := l.PopFront(); got != 0 {
+		t.Fatalf("pop_front = %d", got)
+	}
+	if got := l.PopBack(); got != 2 {
+		t.Fatalf("pop_back = %d", got)
+	}
+	if l.Size() != 1 {
+		t.Fatal("size after pops wrong")
+	}
+	l.Update(func(id int64, v int) int { return v * 10 })
+	if l.Get(a) != 10 {
+		t.Fatal("update wrong")
+	}
+	d1, m1 := l.MemoryBytes()
+	if d1 <= 0 || m1 <= 0 {
+		t.Fatal("memory accounting wrong")
+	}
+	l.Clear()
+	if !l.Empty() || l.FrontID() != -1 || l.BackID() != -1 {
+		t.Fatal("clear wrong")
+	}
+	mustPanic(t, func() { l.PopFront() })
+	mustPanic(t, func() { l.Get(a) })
+}
+
+func TestListStableIDs(t *testing.T) {
+	// The defining pList property: identifiers remain valid while other
+	// elements are inserted and erased.
+	l := NewList[int](0)
+	ids := make([]int64, 0, 100)
+	for i := 0; i < 100; i++ {
+		ids = append(ids, l.PushBack(i))
+	}
+	for i := 0; i < 50; i++ {
+		l.Erase(ids[2*i])
+	}
+	for i := 0; i < 50; i++ {
+		if !l.Contains(ids[2*i+1]) {
+			t.Fatalf("surviving id %d invalidated", ids[2*i+1])
+		}
+		if l.Get(ids[2*i+1]) != 2*i+1 {
+			t.Fatalf("value of surviving id changed")
+		}
+	}
+	if l.Size() != 50 {
+		t.Fatalf("size = %d", l.Size())
+	}
+}
+
+func TestListSplice(t *testing.T) {
+	a := NewList[int](0)
+	b := NewList[int](1)
+	a.PushBack(1)
+	a.PushBack(2)
+	b.PushBack(3)
+	b.PushBack(4)
+	a.SpliceBack(b)
+	if a.Size() != 4 || !b.Empty() {
+		t.Fatal("splice sizes wrong")
+	}
+	got := a.Values()
+	for i, want := range []int{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("splice order = %v", got)
+		}
+	}
+}
+
+func TestListOrderProperty(t *testing.T) {
+	// Property: Values() order always matches a reference slice under a
+	// random sequence of PushBack/PushFront.
+	prop := func(ops []bool) bool {
+		l := NewList[int](0)
+		var ref []int
+		for i, front := range ops {
+			if front {
+				l.PushFront(i)
+				ref = append([]int{i}, ref...)
+			} else {
+				l.PushBack(i)
+				ref = append(ref, i)
+			}
+		}
+		got := l.Values()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapBasics(t *testing.T) {
+	h := NewHashMap[string, int](0)
+	if !h.Empty() {
+		t.Fatal("new map not empty")
+	}
+	if !h.Insert("a", 1) || h.Insert("a", 2) {
+		t.Fatal("insert newness wrong")
+	}
+	if v, ok := h.Find("a"); !ok || v != 2 {
+		t.Fatal("find wrong")
+	}
+	if !h.InsertIfAbsent("b", 3) || h.InsertIfAbsent("a", 9) {
+		t.Fatal("insertIfAbsent wrong")
+	}
+	if v, _ := h.Find("a"); v != 2 {
+		t.Fatal("insertIfAbsent must not overwrite")
+	}
+	h.Apply("c", func(v int) int { return v + 10 })
+	if v, _ := h.Find("c"); v != 10 {
+		t.Fatal("apply on absent key should start from zero value")
+	}
+	if h.Size() != 3 || len(h.Keys()) != 3 {
+		t.Fatal("size/keys wrong")
+	}
+	if !h.Erase("b") || h.Erase("b") {
+		t.Fatal("erase wrong")
+	}
+	count := 0
+	h.Range(func(k string, v int) bool { count++; return true })
+	if count != 2 {
+		t.Fatal("range wrong")
+	}
+	d, m := h.MemoryBytes()
+	if d <= 0 || m <= 0 {
+		t.Fatal("memory wrong")
+	}
+	h.Clear()
+	if !h.Empty() {
+		t.Fatal("clear wrong")
+	}
+}
+
+func TestSortedMapBasics(t *testing.T) {
+	s := NewSortedMap[int, string](0, func(a, b int) bool { return a < b })
+	for _, k := range []int{5, 1, 3, 2, 4} {
+		if !s.Insert(k, "v") {
+			t.Fatal("insert newness wrong")
+		}
+	}
+	if s.Insert(3, "w") {
+		t.Fatal("re-insert should report existing")
+	}
+	if v, ok := s.Find(3); !ok || v != "w" {
+		t.Fatal("find wrong")
+	}
+	if _, ok := s.Find(9); ok {
+		t.Fatal("find of absent key wrong")
+	}
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+	if mn, _ := s.MinKey(); mn != 1 {
+		t.Fatal("min wrong")
+	}
+	if mx, _ := s.MaxKey(); mx != 5 {
+		t.Fatal("max wrong")
+	}
+	if !s.InsertIfAbsent(6, "z") || s.InsertIfAbsent(6, "y") {
+		t.Fatal("insertIfAbsent wrong")
+	}
+	if !s.Erase(1) || s.Erase(1) {
+		t.Fatal("erase wrong")
+	}
+	s.Apply(10, func(v string) string { return v + "!" })
+	if v, _ := s.Find(10); v != "!" {
+		t.Fatal("apply absent wrong")
+	}
+	s.Apply(10, func(v string) string { return v + "!" })
+	if v, _ := s.Find(10); v != "!!" {
+		t.Fatal("apply present wrong")
+	}
+	// Ordered traversal.
+	var seen []int
+	s.Range(func(k int, v string) bool { seen = append(seen, k); return true })
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Fatalf("range not ordered: %v", seen)
+		}
+	}
+	d, m := s.MemoryBytes()
+	if d <= 0 || m <= 0 {
+		t.Fatal("memory wrong")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("clear wrong")
+	}
+	if _, ok := s.MinKey(); ok {
+		t.Fatal("min of empty map should not exist")
+	}
+	if _, ok := s.MaxKey(); ok {
+		t.Fatal("max of empty map should not exist")
+	}
+}
+
+func TestSortedMapMatchesHashMapProperty(t *testing.T) {
+	// Property: after the same random operation sequence, SortedMap and
+	// HashMap hold the same key→value mapping.
+	prop := func(ops []int16) bool {
+		sm := NewSortedMap[int, int](0, func(a, b int) bool { return a < b })
+		hm := NewHashMap[int, int](0)
+		for i, op := range ops {
+			k := int(op % 32)
+			switch i % 3 {
+			case 0, 1:
+				sm.Insert(k, i)
+				hm.Insert(k, i)
+			default:
+				sm.Erase(k)
+				hm.Erase(k)
+			}
+		}
+		if sm.Size() != hm.Size() {
+			return false
+		}
+		ok := true
+		hm.Range(func(k, v int) bool {
+			sv, found := sm.Find(k)
+			if !found || sv != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixBlock(t *testing.T) {
+	m := NewMatrixBlock[float64](0, domain.NewRange1D(2, 5), domain.NewRange1D(10, 14))
+	if m.Size() != 12 || m.BCID() != 0 || m.Empty() {
+		t.Fatal("metadata wrong")
+	}
+	if m.Rows() != domain.NewRange1D(2, 5) || m.Cols() != domain.NewRange1D(10, 14) {
+		t.Fatal("ranges wrong")
+	}
+	m.Set(domain.Index2D{Row: 3, Col: 12}, 2.5)
+	if m.Get(domain.Index2D{Row: 3, Col: 12}) != 2.5 {
+		t.Fatal("get/set wrong")
+	}
+	m.Apply(domain.Index2D{Row: 3, Col: 12}, func(x float64) float64 { return x * 2 })
+	if m.Get(domain.Index2D{Row: 3, Col: 12}) != 5.0 {
+		t.Fatal("apply wrong")
+	}
+	row := m.RowSlice(3)
+	if len(row) != 4 || row[2] != 5.0 {
+		t.Fatalf("row slice = %v", row)
+	}
+	count := 0
+	var sum float64
+	m.Range(func(g domain.Index2D, v float64) bool { count++; sum += v; return true })
+	if count != 12 || sum != 5.0 {
+		t.Fatalf("range count=%d sum=%v", count, sum)
+	}
+	m.Update(func(g domain.Index2D, v float64) float64 { return 1 })
+	if m.Get(domain.Index2D{Row: 2, Col: 10}) != 1 {
+		t.Fatal("update wrong")
+	}
+	d, meta := m.MemoryBytes()
+	if d != 96 || meta <= 0 {
+		t.Fatalf("memory = %d,%d", d, meta)
+	}
+	m.Clear()
+	if m.Get(domain.Index2D{Row: 2, Col: 10}) != 0 {
+		t.Fatal("clear wrong")
+	}
+	mustPanic(t, func() { m.Get(domain.Index2D{Row: 7, Col: 10}) })
+	mustPanic(t, func() { m.RowSlice(99) })
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph[string, float64](0)
+	if !g.Empty() || g.BCID() != 0 {
+		t.Fatal("metadata wrong")
+	}
+	if !g.AddVertex(1, "a") || g.AddVertex(1, "dup") {
+		t.Fatal("addVertex newness wrong")
+	}
+	g.AddVertex(2, "b")
+	g.AddVertex(3, "c")
+	if g.Size() != 3 {
+		t.Fatal("size wrong")
+	}
+	if g.Property(1) != "a" {
+		t.Fatal("re-adding a vertex must not overwrite its property")
+	}
+	if !g.AddEdge(1, 2, 0.5, true) || !g.AddEdge(1, 3, 1.5, true) || !g.AddEdge(2, 3, 2.5, true) {
+		t.Fatal("addEdge wrong")
+	}
+	if g.AddEdge(1, 2, 9.9, false) {
+		t.Fatal("non-multi addEdge should reject duplicate")
+	}
+	if !g.AddEdge(1, 2, 9.9, true) {
+		t.Fatal("multi addEdge should accept duplicate")
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("numEdges = %d", g.NumEdges())
+	}
+	if g.OutDegree(1) != 3 || g.OutDegree(3) != 0 {
+		t.Fatal("outDegree wrong")
+	}
+	if e, ok := g.FindEdge(1, 3); !ok || e.Property != 1.5 {
+		t.Fatal("findEdge wrong")
+	}
+	if _, ok := g.FindEdge(3, 1); ok {
+		t.Fatal("findEdge of absent edge wrong")
+	}
+	if !g.DeleteEdge(1, 2) || g.NumEdges() != 3 {
+		t.Fatal("deleteEdge wrong")
+	}
+	if g.DeleteEdge(9, 1) {
+		t.Fatal("deleteEdge from absent vertex should report false")
+	}
+	g.SetProperty(2, "bb")
+	if g.Property(2) != "bb" {
+		t.Fatal("setProperty wrong")
+	}
+	g.ApplyVertex(2, func(s string) string { return s + "!" })
+	if g.Property(2) != "bb!" {
+		t.Fatal("applyVertex wrong")
+	}
+	if v, ok := g.Vertex(1); !ok || v.OutDegree() != 2 {
+		t.Fatal("vertex lookup wrong")
+	}
+	if !g.HasVertex(3) || g.HasVertex(99) {
+		t.Fatal("hasVertex wrong")
+	}
+	descs := g.VertexDescriptors()
+	if len(descs) != 3 || descs[0] != 1 || descs[2] != 3 {
+		t.Fatalf("descriptors = %v", descs)
+	}
+	count := 0
+	g.RangeVertices(func(v *Vertex[string, float64]) bool { count++; return true })
+	if count != 3 {
+		t.Fatal("rangeVertices wrong")
+	}
+	if len(g.OutEdges(1)) != 2 {
+		t.Fatal("outEdges wrong")
+	}
+	if !g.DeleteVertex(1) || g.DeleteVertex(1) {
+		t.Fatal("deleteVertex wrong")
+	}
+	if g.Size() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("after delete: %d vertices, %d edges", g.Size(), g.NumEdges())
+	}
+	d, m := g.MemoryBytes()
+	if d <= 0 || m <= 0 {
+		t.Fatal("memory wrong")
+	}
+	g.Clear()
+	if !g.Empty() || g.NumEdges() != 0 {
+		t.Fatal("clear wrong")
+	}
+	mustPanic(t, func() { g.Property(42) })
+}

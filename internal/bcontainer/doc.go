@@ -1,0 +1,15 @@
+// Package bcontainer provides the base containers (bContainers) used by the
+// STAPL pContainers: the per-location storage units that hold one
+// sub-domain's worth of elements.
+//
+// The paper builds its bContainers on top of STL containers (valarray,
+// vector, list, map, hash_map) and third-party storage.  Here each base
+// container is implemented from scratch on Go slices, maps and linked
+// nodes, and satisfies core.BContainer (Table III) plus a container-specific
+// element interface that the owning pContainer drives through typed invoke
+// actions.
+//
+// Base containers are deliberately not internally synchronised: the PCF's
+// thread-safety manager (package core) brackets every access, exactly as the
+// paper separates storage from concurrency control.
+package bcontainer

@@ -1,0 +1,201 @@
+package bcontainer
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/partition"
+)
+
+// Edge is one directed adjacency record stored with its source vertex.
+// Undirected pGraphs store each edge twice, once per endpoint, as the paper
+// does.
+type Edge[EP any] struct {
+	Source, Target int64
+	Property       EP
+}
+
+// Vertex is one vertex record of a graph base container: its descriptor
+// (GID), user property and out-adjacency list.
+type Vertex[VP any, EP any] struct {
+	Descriptor int64
+	Property   VP
+	Edges      []Edge[EP]
+}
+
+// OutDegree returns the number of out-edges.
+func (v *Vertex[VP, EP]) OutDegree() int { return len(v.Edges) }
+
+// Graph is the base container of pGraph: adjacency-list storage for the
+// vertices (and their out-edges) assigned to one sub-domain.
+type Graph[VP any, EP any] struct {
+	bcid     partition.BCID
+	vertices map[int64]*Vertex[VP, EP]
+	order    []int64 // insertion order, for deterministic traversal
+	numEdges int64
+}
+
+// NewGraph returns an empty graph base container.
+func NewGraph[VP any, EP any](bcid partition.BCID) *Graph[VP, EP] {
+	return &Graph[VP, EP]{bcid: bcid, vertices: make(map[int64]*Vertex[VP, EP])}
+}
+
+// BCID returns the sub-domain identifier.
+func (g *Graph[VP, EP]) BCID() partition.BCID { return g.bcid }
+
+// Size returns the number of stored vertices.
+func (g *Graph[VP, EP]) Size() int64 { return int64(len(g.vertices)) }
+
+// Empty reports whether no vertices are stored.
+func (g *Graph[VP, EP]) Empty() bool { return len(g.vertices) == 0 }
+
+// Clear removes all vertices and edges.
+func (g *Graph[VP, EP]) Clear() {
+	g.vertices = make(map[int64]*Vertex[VP, EP])
+	g.order = nil
+	g.numEdges = 0
+}
+
+// NumEdges returns the number of locally stored adjacency records.
+func (g *Graph[VP, EP]) NumEdges() int64 { return g.numEdges }
+
+// AddVertex stores a vertex with the given descriptor and property.  It
+// reports whether the vertex was newly added (false when the descriptor was
+// already present, in which case the property is left unchanged).
+func (g *Graph[VP, EP]) AddVertex(vd int64, prop VP) bool {
+	if _, ok := g.vertices[vd]; ok {
+		return false
+	}
+	g.vertices[vd] = &Vertex[VP, EP]{Descriptor: vd, Property: prop}
+	g.order = append(g.order, vd)
+	return true
+}
+
+// DeleteVertex removes the vertex and its out-edges, reporting whether it
+// existed.  In-edges stored with other vertices (possibly on other
+// locations) are the owning pGraph's responsibility, as in the paper, where
+// delete_vertex is not a single atomic transaction.
+func (g *Graph[VP, EP]) DeleteVertex(vd int64) bool {
+	v, ok := g.vertices[vd]
+	if !ok {
+		return false
+	}
+	g.numEdges -= int64(len(v.Edges))
+	delete(g.vertices, vd)
+	for i, x := range g.order {
+		if x == vd {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// HasVertex reports whether the vertex is stored locally.
+func (g *Graph[VP, EP]) HasVertex(vd int64) bool { _, ok := g.vertices[vd]; return ok }
+
+// Vertex returns the stored vertex record.
+func (g *Graph[VP, EP]) Vertex(vd int64) (*Vertex[VP, EP], bool) {
+	v, ok := g.vertices[vd]
+	return v, ok
+}
+
+func (g *Graph[VP, EP]) mustVertex(vd int64) *Vertex[VP, EP] {
+	v, ok := g.vertices[vd]
+	if !ok {
+		panic(fmt.Sprintf("bcontainer: vertex %d not stored in this bContainer", vd))
+	}
+	return v
+}
+
+// Property returns the property of a locally stored vertex.
+func (g *Graph[VP, EP]) Property(vd int64) VP { return g.mustVertex(vd).Property }
+
+// SetProperty replaces the property of a locally stored vertex.
+func (g *Graph[VP, EP]) SetProperty(vd int64, p VP) { g.mustVertex(vd).Property = p }
+
+// ApplyVertex applies fn to the property of a locally stored vertex in
+// place.
+func (g *Graph[VP, EP]) ApplyVertex(vd int64, fn func(VP) VP) {
+	v := g.mustVertex(vd)
+	v.Property = fn(v.Property)
+}
+
+// AddEdge appends an out-edge to the locally stored source vertex.  When
+// multi is false an existing (source,target) adjacency suppresses the
+// insertion and AddEdge reports false.
+func (g *Graph[VP, EP]) AddEdge(src, tgt int64, prop EP, multi bool) bool {
+	v := g.mustVertex(src)
+	if !multi {
+		for _, e := range v.Edges {
+			if e.Target == tgt {
+				return false
+			}
+		}
+	}
+	v.Edges = append(v.Edges, Edge[EP]{Source: src, Target: tgt, Property: prop})
+	g.numEdges++
+	return true
+}
+
+// DeleteEdge removes the first out-edge (src → tgt) and reports whether one
+// existed.
+func (g *Graph[VP, EP]) DeleteEdge(src, tgt int64) bool {
+	v, ok := g.vertices[src]
+	if !ok {
+		return false
+	}
+	for i, e := range v.Edges {
+		if e.Target == tgt {
+			v.Edges = append(v.Edges[:i], v.Edges[i+1:]...)
+			g.numEdges--
+			return true
+		}
+	}
+	return false
+}
+
+// FindEdge returns the first out-edge (src → tgt).
+func (g *Graph[VP, EP]) FindEdge(src, tgt int64) (Edge[EP], bool) {
+	if v, ok := g.vertices[src]; ok {
+		for _, e := range v.Edges {
+			if e.Target == tgt {
+				return e, true
+			}
+		}
+	}
+	var zero Edge[EP]
+	return zero, false
+}
+
+// OutDegree returns the out-degree of a locally stored vertex.
+func (g *Graph[VP, EP]) OutDegree(vd int64) int { return g.mustVertex(vd).OutDegree() }
+
+// OutEdges returns a copy of the out-edges of a locally stored vertex.
+func (g *Graph[VP, EP]) OutEdges(vd int64) []Edge[EP] {
+	return append([]Edge[EP](nil), g.mustVertex(vd).Edges...)
+}
+
+// RangeVertices iterates locally stored vertices in insertion order,
+// stopping early if fn returns false.
+func (g *Graph[VP, EP]) RangeVertices(fn func(v *Vertex[VP, EP]) bool) {
+	for _, vd := range g.order {
+		if !fn(g.vertices[vd]) {
+			return
+		}
+	}
+}
+
+// VertexDescriptors returns the locally stored descriptors in insertion
+// order (a copy).
+func (g *Graph[VP, EP]) VertexDescriptors() []int64 { return append([]int64(nil), g.order...) }
+
+// MemoryBytes reports data and metadata footprints: properties and edge
+// records are data, the descriptor index is metadata.
+func (g *Graph[VP, EP]) MemoryBytes() (data, meta int64) {
+	var vp VP
+	var ep EP
+	data = int64(len(g.vertices))*int64(unsafe.Sizeof(vp)) + g.numEdges*(16+int64(unsafe.Sizeof(ep)))
+	meta = int64(len(g.vertices))*24 + int64(unsafe.Sizeof(*g))
+	return data, meta
+}

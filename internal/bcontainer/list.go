@@ -1,0 +1,235 @@
+package bcontainer
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/partition"
+)
+
+// List is the base container of pList: a doubly-linked list whose nodes have
+// stable local identifiers, so the GID of an element (location id + local
+// node id) remains valid across insertions and deletions elsewhere in the
+// list — the property that gives pList its O(1) splice/insert behaviour in
+// the paper.
+type List[T any] struct {
+	bcid   partition.BCID
+	nextID int64
+	nodes  map[int64]*listNode[T]
+	head   *listNode[T]
+	tail   *listNode[T]
+	size   int64
+}
+
+type listNode[T any] struct {
+	id         int64
+	value      T
+	prev, next *listNode[T]
+}
+
+// NewList returns an empty list base container.
+func NewList[T any](bcid partition.BCID) *List[T] {
+	return &List[T]{bcid: bcid, nodes: make(map[int64]*listNode[T])}
+}
+
+// BCID returns the sub-domain identifier.
+func (l *List[T]) BCID() partition.BCID { return l.bcid }
+
+// Size returns the number of stored elements.
+func (l *List[T]) Size() int64 { return l.size }
+
+// Empty reports whether the list is empty.
+func (l *List[T]) Empty() bool { return l.size == 0 }
+
+// Clear removes all elements.
+func (l *List[T]) Clear() {
+	l.nodes = make(map[int64]*listNode[T])
+	l.head, l.tail, l.size = nil, nil, 0
+}
+
+func (l *List[T]) newNode(val T) *listNode[T] {
+	n := &listNode[T]{id: l.nextID, value: val}
+	l.nextID++
+	l.nodes[n.id] = n
+	l.size++
+	return n
+}
+
+// PushBack appends val and returns the new element's local identifier.
+func (l *List[T]) PushBack(val T) int64 {
+	n := l.newNode(val)
+	if l.tail == nil {
+		l.head, l.tail = n, n
+	} else {
+		n.prev = l.tail
+		l.tail.next = n
+		l.tail = n
+	}
+	return n.id
+}
+
+// PushFront prepends val and returns the new element's local identifier.
+func (l *List[T]) PushFront(val T) int64 {
+	n := l.newNode(val)
+	if l.head == nil {
+		l.head, l.tail = n, n
+	} else {
+		n.next = l.head
+		l.head.prev = n
+		l.head = n
+	}
+	return n.id
+}
+
+func (l *List[T]) node(id int64) *listNode[T] {
+	n, ok := l.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("bcontainer: list node %d does not exist", id))
+	}
+	return n
+}
+
+// InsertBefore inserts val before the element with the given local id and
+// returns the new element's local id.
+func (l *List[T]) InsertBefore(id int64, val T) int64 {
+	at := l.node(id)
+	n := l.newNode(val)
+	n.prev = at.prev
+	n.next = at
+	if at.prev != nil {
+		at.prev.next = n
+	} else {
+		l.head = n
+	}
+	at.prev = n
+	return n.id
+}
+
+// Erase removes the element with the given local id and returns its value.
+func (l *List[T]) Erase(id int64) T {
+	n := l.node(id)
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	delete(l.nodes, id)
+	l.size--
+	return n.value
+}
+
+// PopFront removes and returns the first element's value.  It panics on an
+// empty list.
+func (l *List[T]) PopFront() T {
+	if l.head == nil {
+		panic("bcontainer: PopFront on empty list block")
+	}
+	return l.Erase(l.head.id)
+}
+
+// PopBack removes and returns the last element's value.  It panics on an
+// empty list.
+func (l *List[T]) PopBack() T {
+	if l.tail == nil {
+		panic("bcontainer: PopBack on empty list block")
+	}
+	return l.Erase(l.tail.id)
+}
+
+// Get returns the value of the element with the given local id.
+func (l *List[T]) Get(id int64) T { return l.node(id).value }
+
+// Set replaces the value of the element with the given local id.
+func (l *List[T]) Set(id int64, val T) { l.node(id).value = val }
+
+// Apply applies fn to the element with the given local id in place.
+func (l *List[T]) Apply(id int64, fn func(T) T) { n := l.node(id); n.value = fn(n.value) }
+
+// Contains reports whether a node with the given local id exists.
+func (l *List[T]) Contains(id int64) bool { _, ok := l.nodes[id]; return ok }
+
+// FrontID returns the local id of the first element, or -1 if empty.
+func (l *List[T]) FrontID() int64 {
+	if l.head == nil {
+		return -1
+	}
+	return l.head.id
+}
+
+// BackID returns the local id of the last element, or -1 if empty.
+func (l *List[T]) BackID() int64 {
+	if l.tail == nil {
+		return -1
+	}
+	return l.tail.id
+}
+
+// NextID returns the local id of the element following id, or -1 at the end.
+func (l *List[T]) NextID(id int64) int64 {
+	n := l.node(id)
+	if n.next == nil {
+		return -1
+	}
+	return n.next.id
+}
+
+// PrevID returns the local id of the element preceding id, or -1 at the
+// beginning.
+func (l *List[T]) PrevID(id int64) int64 {
+	n := l.node(id)
+	if n.prev == nil {
+		return -1
+	}
+	return n.prev.id
+}
+
+// Range iterates elements from front to back, stopping early if fn returns
+// false.
+func (l *List[T]) Range(fn func(id int64, val T) bool) {
+	for n := l.head; n != nil; n = n.next {
+		if !fn(n.id, n.value) {
+			return
+		}
+	}
+}
+
+// Update replaces every element with the value fn returns for it, in
+// front-to-back order.
+func (l *List[T]) Update(fn func(id int64, val T) T) {
+	for n := l.head; n != nil; n = n.next {
+		n.value = fn(n.id, n.value)
+	}
+}
+
+// Values returns the values in list order (a copy).
+func (l *List[T]) Values() []T {
+	out := make([]T, 0, l.size)
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.value)
+	}
+	return out
+}
+
+// SpliceBack appends all elements of other (in order) to this list and
+// clears other.  Node identifiers of the spliced elements are reassigned in
+// this list.
+func (l *List[T]) SpliceBack(other *List[T]) {
+	for n := other.head; n != nil; n = n.next {
+		l.PushBack(n.value)
+	}
+	other.Clear()
+}
+
+// MemoryBytes reports data and metadata footprints: node values are data,
+// links and the id index are metadata.
+func (l *List[T]) MemoryBytes() (data, meta int64) {
+	var t T
+	data = l.size * int64(unsafe.Sizeof(t))
+	meta = l.size*(3*8) + int64(unsafe.Sizeof(*l)) // prev/next/id per node
+	return data, meta
+}

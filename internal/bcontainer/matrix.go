@@ -1,0 +1,106 @@
+package bcontainer
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/domain"
+	"repro/internal/partition"
+)
+
+// MatrixBlock is the base container of pMatrix: dense row-major storage for
+// one rectangular block of a two-dimensional domain.
+type MatrixBlock[T any] struct {
+	bcid partition.BCID
+	rows domain.Range1D
+	cols domain.Range1D
+	data []T
+}
+
+// NewMatrixBlock allocates storage for the block rows × cols.
+func NewMatrixBlock[T any](bcid partition.BCID, rows, cols domain.Range1D) *MatrixBlock[T] {
+	return &MatrixBlock[T]{bcid: bcid, rows: rows, cols: cols, data: make([]T, rows.Size()*cols.Size())}
+}
+
+// BCID returns the sub-domain identifier.
+func (m *MatrixBlock[T]) BCID() partition.BCID { return m.bcid }
+
+// Rows returns the global row range of the block.
+func (m *MatrixBlock[T]) Rows() domain.Range1D { return m.rows }
+
+// Cols returns the global column range of the block.
+func (m *MatrixBlock[T]) Cols() domain.Range1D { return m.cols }
+
+// Size returns the number of stored elements.
+func (m *MatrixBlock[T]) Size() int64 { return int64(len(m.data)) }
+
+// Empty reports whether the block stores no elements.
+func (m *MatrixBlock[T]) Empty() bool { return len(m.data) == 0 }
+
+// Clear zeroes the stored elements.
+func (m *MatrixBlock[T]) Clear() {
+	var zero T
+	for i := range m.data {
+		m.data[i] = zero
+	}
+}
+
+func (m *MatrixBlock[T]) index(g domain.Index2D) int {
+	if !m.rows.Contains(g.Row) || !m.cols.Contains(g.Col) {
+		panic(fmt.Sprintf("bcontainer: index %v outside block rows %v cols %v", g, m.rows, m.cols))
+	}
+	return int((g.Row-m.rows.Lo)*m.cols.Size() + (g.Col - m.cols.Lo))
+}
+
+// Get returns the element at the given global 2-D index.
+func (m *MatrixBlock[T]) Get(g domain.Index2D) T { return m.data[m.index(g)] }
+
+// Set stores val at the given global 2-D index.
+func (m *MatrixBlock[T]) Set(g domain.Index2D, val T) { m.data[m.index(g)] = val }
+
+// Apply applies fn to the element at the given global 2-D index in place.
+func (m *MatrixBlock[T]) Apply(g domain.Index2D, fn func(T) T) {
+	i := m.index(g)
+	m.data[i] = fn(m.data[i])
+}
+
+// Range iterates the block's elements in row-major order, stopping early if
+// fn returns false.
+func (m *MatrixBlock[T]) Range(fn func(g domain.Index2D, val T) bool) {
+	i := 0
+	for r := m.rows.Lo; r < m.rows.Hi; r++ {
+		for c := m.cols.Lo; c < m.cols.Hi; c++ {
+			if !fn(domain.Index2D{Row: r, Col: c}, m.data[i]) {
+				return
+			}
+			i++
+		}
+	}
+}
+
+// Update replaces every element with the value fn returns for it.
+func (m *MatrixBlock[T]) Update(fn func(g domain.Index2D, val T) T) {
+	i := 0
+	for r := m.rows.Lo; r < m.rows.Hi; r++ {
+		for c := m.cols.Lo; c < m.cols.Hi; c++ {
+			m.data[i] = fn(domain.Index2D{Row: r, Col: c}, m.data[i])
+			i++
+		}
+	}
+}
+
+// RowSlice returns the contiguous storage of one global row restricted to
+// this block's columns.  The caller must hold the container's data bracket.
+func (m *MatrixBlock[T]) RowSlice(row int64) []T {
+	if !m.rows.Contains(row) {
+		panic(fmt.Sprintf("bcontainer: row %d outside block rows %v", row, m.rows))
+	}
+	start := (row - m.rows.Lo) * m.cols.Size()
+	return m.data[start : start+m.cols.Size()]
+}
+
+// MemoryBytes reports data and metadata footprints.
+func (m *MatrixBlock[T]) MemoryBytes() (data, meta int64) {
+	var t T
+	return int64(len(m.data)) * int64(unsafe.Sizeof(t)), int64(unsafe.Sizeof(*m))
+}

@@ -1,0 +1,127 @@
+package bcontainer
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/domain"
+	"repro/internal/partition"
+)
+
+// Vector is the base container of pVector: contiguous growable storage for
+// an index sub-domain, supporting O(1) access by GID, amortised O(1)
+// push_back and O(n) insert/erase at arbitrary positions (the classic
+// vector/list trade-off the paper's Fig. 42 experiment measures).
+type Vector[T any] struct {
+	bcid partition.BCID
+	// lo is the first global index stored; the k-th element has global
+	// index lo+k.  Inserting or erasing shifts the indices of the
+	// elements after the mutation point, as in a sequential vector.
+	lo   int64
+	data []T
+}
+
+// NewVector allocates a vector base container for the given sub-domain and
+// fills it with size zero values.
+func NewVector[T any](bcid partition.BCID, dom domain.Range1D) *Vector[T] {
+	return &Vector[T]{bcid: bcid, lo: dom.Lo, data: make([]T, dom.Size())}
+}
+
+// BCID returns the sub-domain identifier.
+func (v *Vector[T]) BCID() partition.BCID { return v.bcid }
+
+// Size returns the number of stored elements.
+func (v *Vector[T]) Size() int64 { return int64(len(v.data)) }
+
+// Empty reports whether no elements are stored.
+func (v *Vector[T]) Empty() bool { return len(v.data) == 0 }
+
+// Clear removes all elements.
+func (v *Vector[T]) Clear() { v.data = v.data[:0] }
+
+// Domain returns the contiguous global index range currently stored.
+func (v *Vector[T]) Domain() domain.Range1D {
+	return domain.Range1D{Lo: v.lo, Hi: v.lo + int64(len(v.data))}
+}
+
+func (v *Vector[T]) index(gid int64) int {
+	i := gid - v.lo
+	if i < 0 || i >= int64(len(v.data)) {
+		panic(fmt.Sprintf("bcontainer: GID %d outside vector block [%d,%d)", gid, v.lo, v.lo+int64(len(v.data))))
+	}
+	return int(i)
+}
+
+// Get returns the element with the given global index.
+func (v *Vector[T]) Get(gid int64) T { return v.data[v.index(gid)] }
+
+// Set stores val at the given global index.
+func (v *Vector[T]) Set(gid int64, val T) { v.data[v.index(gid)] = val }
+
+// Apply applies fn to the element with the given global index in place.
+func (v *Vector[T]) Apply(gid int64, fn func(T) T) { i := v.index(gid); v.data[i] = fn(v.data[i]) }
+
+// PushBack appends val to the end of the block, returning its global index.
+func (v *Vector[T]) PushBack(val T) int64 {
+	v.data = append(v.data, val)
+	return v.lo + int64(len(v.data)) - 1
+}
+
+// PopBack removes the last element.  It panics on an empty block.
+func (v *Vector[T]) PopBack() T {
+	if len(v.data) == 0 {
+		panic("bcontainer: PopBack on empty vector block")
+	}
+	x := v.data[len(v.data)-1]
+	v.data = v.data[:len(v.data)-1]
+	return x
+}
+
+// Insert inserts val before the element with global index gid (linear time:
+// later elements shift up by one position).
+func (v *Vector[T]) Insert(gid int64, val T) {
+	i := gid - v.lo
+	if i < 0 || i > int64(len(v.data)) {
+		panic(fmt.Sprintf("bcontainer: insert position %d outside [%d,%d]", gid, v.lo, v.lo+int64(len(v.data))))
+	}
+	v.data = append(v.data, val)
+	copy(v.data[i+1:], v.data[i:])
+	v.data[i] = val
+}
+
+// Erase removes the element with global index gid (linear time).
+func (v *Vector[T]) Erase(gid int64) {
+	i := v.index(gid)
+	copy(v.data[i:], v.data[i+1:])
+	v.data = v.data[:len(v.data)-1]
+}
+
+// Range iterates elements in index order, stopping early if fn returns
+// false.
+func (v *Vector[T]) Range(fn func(gid int64, val T) bool) {
+	for i, x := range v.data {
+		if !fn(v.lo+int64(i), x) {
+			return
+		}
+	}
+}
+
+// Update replaces every element with the value fn returns for it.
+func (v *Vector[T]) Update(fn func(gid int64, val T) T) {
+	for i := range v.data {
+		v.data[i] = fn(v.lo+int64(i), v.data[i])
+	}
+}
+
+// Slice exposes the underlying storage for native-view algorithms.
+func (v *Vector[T]) Slice() []T { return v.data }
+
+// SetBase rebases the block so its first element has global index lo.  The
+// owning pVector uses it after global renumbering.
+func (v *Vector[T]) SetBase(lo int64) { v.lo = lo }
+
+// MemoryBytes reports data and metadata footprints.
+func (v *Vector[T]) MemoryBytes() (data, meta int64) {
+	var t T
+	return int64(cap(v.data)) * int64(unsafe.Sizeof(t)), int64(unsafe.Sizeof(*v))
+}

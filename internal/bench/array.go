@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/containers/parray"
+	"repro/internal/core"
+	"repro/internal/palgo"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// Fig27ArrayConstructor measures pArray construction time for growing input
+// sizes on each machine size (paper Fig. 27).
+func Fig27ArrayConstructor(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		for _, mult := range []int64{1, 2, 4} {
+			n := cfg.ElementsPerLocation * int64(p) * mult
+			ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+				d := timeSection(loc, func() {
+					a := parray.New[int64](loc, n)
+					_ = a
+					loc.Fence()
+				})
+				out.add("constructor", d)
+			})
+			rows = append(rows, rowsFromSeries("fig27", fmt.Sprintf("P=%d N=%d", p, n), ts)...)
+		}
+	}
+	return rows
+}
+
+// Fig28ArrayLocalMethods measures purely local pArray method invocations
+// (each location touches only its own sub-domain) for several container
+// sizes (paper Fig. 28).
+func Fig28ArrayLocalMethods(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		n := cfg.ElementsPerLocation * int64(p)
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n)
+			doms := a.LocalSubdomains()
+			out.add("set_element (local)", timeSection(loc, func() {
+				for _, d := range doms {
+					for i := d.Lo; i < d.Hi; i++ {
+						a.Set(i, i)
+					}
+				}
+				loc.Fence()
+			}))
+			out.add("get_element (local)", timeSection(loc, func() {
+				var sink int64
+				for _, d := range doms {
+					for i := d.Lo; i < d.Hi; i++ {
+						sink += a.Get(i)
+					}
+				}
+				_ = sink
+				loc.Fence()
+			}))
+			out.add("apply_set (local)", timeSection(loc, func() {
+				for _, d := range doms {
+					for i := d.Lo; i < d.Hi; i++ {
+						a.ApplySet(i, func(x int64) int64 { return x + 1 })
+					}
+				}
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig28", fmt.Sprintf("P=%d N=%d", p, n), ts)...)
+	}
+	return rows
+}
+
+// Fig29ArrayMethodsSizes measures set/get element cost as the container size
+// grows, at the largest machine size (paper Fig. 29).
+func Fig29ArrayMethodsSizes(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	for _, mult := range []int64{1, 2, 4, 8} {
+		n := cfg.ElementsPerLocation * int64(p) * mult
+		ops := cfg.ElementsPerLocation
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n)
+			r := loc.Rand()
+			out.add("set_element", timeSection(loc, func() {
+				for k := int64(0); k < ops; k++ {
+					a.Set(r.Int63n(n), k)
+				}
+				loc.Fence()
+			}))
+			out.add("get_element", timeSection(loc, func() {
+				var sink int64
+				for k := int64(0); k < ops; k++ {
+					sink += a.Get(r.Int63n(n))
+				}
+				_ = sink
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig29", fmt.Sprintf("P=%d N=%d", p, n), ts)...)
+	}
+	return rows
+}
+
+// Fig30ArraySyncAsyncSplit compares the three element-access flavours —
+// asynchronous set_element, synchronous get_element and split-phase
+// get_element — on an all-remote access pattern (paper Fig. 30).
+func Fig30ArraySyncAsyncSplit(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue // the comparison needs remote accesses
+		}
+		n := cfg.ElementsPerLocation * int64(p)
+		ops := cfg.ElementsPerLocation
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n)
+			// Remote indices: the block of the next location.
+			next := (loc.ID() + 1) % loc.NumLocations()
+			base := int64(next) * (n / int64(loc.NumLocations()))
+			out.add("set_element (async)", timeSection(loc, func() {
+				for k := int64(0); k < ops; k++ {
+					a.Set(base+k%cfg.ElementsPerLocation, k)
+				}
+				loc.Fence()
+			}))
+			out.add("get_element (sync)", timeSection(loc, func() {
+				var sink int64
+				for k := int64(0); k < ops; k++ {
+					sink += a.Get(base + k%cfg.ElementsPerLocation)
+				}
+				_ = sink
+				loc.Fence()
+			}))
+			out.add("split_phase_get_element", timeSection(loc, func() {
+				const window = 64
+				futs := make([]*runtime.FutureOf[int64], 0, window)
+				var sink int64
+				for k := int64(0); k < ops; k++ {
+					futs = append(futs, a.GetSplit(base+k%cfg.ElementsPerLocation))
+					if len(futs) == window {
+						for _, f := range futs {
+							sink += f.Get()
+						}
+						futs = futs[:0]
+					}
+				}
+				for _, f := range futs {
+					sink += f.Get()
+				}
+				_ = sink
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig30", fmt.Sprintf("P=%d ops/loc=%d", p, ops), ts)...)
+	}
+	return rows
+}
+
+// Fig31ArrayRemoteFraction measures element methods as the fraction of
+// remote invocations grows from 0% to 100% (paper Fig. 31).
+func Fig31ArrayRemoteFraction(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	if p == 1 {
+		return rows
+	}
+	n := cfg.ElementsPerLocation * int64(p)
+	ops := cfg.ElementsPerLocation
+	for _, pct := range []int{0, 25, 50, 75, 100} {
+		pct := pct
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n)
+			doms := a.LocalSubdomains()
+			local := doms[0]
+			next := (loc.ID() + 1) % loc.NumLocations()
+			remoteBase := int64(next) * (n / int64(loc.NumLocations()))
+			r := loc.Rand()
+			out.add("set_element", timeSection(loc, func() {
+				for k := int64(0); k < ops; k++ {
+					if r.Intn(100) < pct {
+						a.Set(remoteBase+k%local.Size(), k)
+					} else {
+						a.Set(local.Lo+k%local.Size(), k)
+					}
+				}
+				loc.Fence()
+			}))
+			out.add("get_element", timeSection(loc, func() {
+				var sink int64
+				for k := int64(0); k < ops; k++ {
+					if r.Intn(100) < pct {
+						sink += a.Get(remoteBase + k%local.Size())
+					} else {
+						sink += a.Get(local.Lo + k%local.Size())
+					}
+				}
+				_ = sink
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig31", fmt.Sprintf("P=%d remote=%d%%", p, pct), ts)...)
+	}
+	return rows
+}
+
+// Fig32ArrayLocalRemote measures a fixed mixed (10% remote) workload as the
+// container size grows (paper Fig. 32).
+func Fig32ArrayLocalRemote(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	for _, mult := range []int64{1, 2, 4} {
+		n := cfg.ElementsPerLocation * int64(p) * mult
+		ops := cfg.ElementsPerLocation
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n)
+			r := loc.Rand()
+			doms := a.LocalSubdomains()
+			local := doms[0]
+			out.add("mixed set/get (10% remote)", timeSection(loc, func() {
+				var sink int64
+				for k := int64(0); k < ops; k++ {
+					if r.Intn(100) < 10 {
+						sink += a.Get(r.Int63n(n))
+					} else {
+						a.Set(local.Lo+k%local.Size(), k)
+					}
+				}
+				_ = sink
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig32", fmt.Sprintf("P=%d N=%d", p, n), ts)...)
+	}
+	return rows
+}
+
+// Fig33ArrayAlgorithms runs the generic pAlgorithms (p_generate, p_for_each,
+// p_accumulate) on a pArray in a weak-scaling sweep (paper Fig. 33), over
+// both the native and the balanced view (the native view is the paper's
+// fast path).
+func Fig33ArrayAlgorithms(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		n := cfg.ElementsPerLocation * int64(p)
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n)
+			nat := views.NewArrayNative(a)
+			bal := views.NewBalanced[int64](nat)
+			out.add("p_generate (native view)", timeSection(loc, func() {
+				palgo.Generate(loc, nat, func(i int64) int64 { return i })
+			}))
+			out.add("p_for_each (native view)", timeSection(loc, func() {
+				palgo.TransformInPlace(loc, nat, func(_ int64, x int64) int64 { return x + 1 })
+			}))
+			out.add("p_accumulate (native view)", timeSection(loc, func() {
+				palgo.Accumulate(loc, nat, 0, func(a, b int64) int64 { return a + b })
+			}))
+			out.add("p_accumulate (balanced view)", timeSection(loc, func() {
+				palgo.Accumulate(loc, bal, 0, func(a, b int64) int64 { return a + b })
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig33", fmt.Sprintf("P=%d N/P=%d", p, cfg.ElementsPerLocation), ts)...)
+	}
+	return rows
+}
+
+// Fig34ArrayMemory reports the pArray data and metadata footprint for
+// several container sizes and numbers of bContainers, reproducing the
+// memory-consumption study (Fig. 34 and Tables XXII/XXIII).
+func Fig34ArrayMemory(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	for _, mult := range []int64{1, 4} {
+		n := cfg.ElementsPerLocation * int64(p) * mult
+		var usage core.MemoryUsage
+		m := machine(p)
+		m.Execute(func(loc *runtime.Location) {
+			a := parray.New[int64](loc, n)
+			u := a.MemorySize()
+			if loc.ID() == 0 {
+				usage = u
+			}
+			loc.Fence()
+		})
+		param := fmt.Sprintf("P=%d N=%d", p, n)
+		rows = append(rows,
+			Row{Experiment: "fig34", Series: "data bytes", Param: param, Value: float64(usage.Data), Unit: "bytes"},
+			Row{Experiment: "fig34", Series: "metadata bytes", Param: param, Value: float64(usage.Metadata), Unit: "bytes"},
+			Row{Experiment: "fig34", Series: "metadata fraction", Param: param, Value: float64(usage.Metadata) / float64(usage.Total()), Unit: "ratio"},
+		)
+	}
+	return rows
+}
+
+// AblationAggregation compares remote asynchronous writes with RMI
+// aggregation disabled and enabled, the RTS design choice called out in
+// Chapter III.B.
+func AblationAggregation(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	if p == 1 {
+		return rows
+	}
+	n := cfg.ElementsPerLocation * int64(p)
+	ops := cfg.ElementsPerLocation
+	for _, agg := range []int{1, 16, 64} {
+		rcfg := runtime.DefaultConfig()
+		rcfg.Aggregation = agg
+		var elapsed float64
+		var msgs int64
+		m := runtime.NewMachine(p, rcfg)
+		m.Execute(func(loc *runtime.Location) {
+			a := parray.New[int64](loc, n)
+			next := (loc.ID() + 1) % loc.NumLocations()
+			base := int64(next) * (n / int64(loc.NumLocations()))
+			d := timeSection(loc, func() {
+				for k := int64(0); k < ops; k++ {
+					a.Set(base+k%cfg.ElementsPerLocation, k)
+				}
+				loc.Fence()
+			})
+			if loc.ID() == 0 {
+				elapsed = ms(d)
+			}
+			loc.Fence()
+		})
+		msgs = m.Stats().MessagesSent.Load()
+		param := fmt.Sprintf("P=%d aggregation=%d", p, agg)
+		rows = append(rows,
+			Row{Experiment: "ablation-aggregation", Series: "remote async writes", Param: param, Value: elapsed, Unit: "ms"},
+			Row{Experiment: "ablation-aggregation", Series: "messages", Param: param, Value: float64(msgs), Unit: "msgs"},
+		)
+	}
+	return rows
+}
+
+// AblationLocking compares the thread-safety manager policies (per
+// bContainer, per location, none) on a local update workload, the Chapter VI
+// customisation knob.
+func AblationLocking(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	n := cfg.ElementsPerLocation * int64(p)
+	policies := []struct {
+		name   string
+		policy core.LockPolicy
+	}{
+		{"per-bContainer locking", core.PolicyPerBContainer},
+		{"per-location locking", core.PolicyPerLocation},
+		{"no locking", core.PolicyNone},
+	}
+	for _, pol := range policies {
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n, parray.WithTraits(core.Traits{Locking: pol.policy}))
+			doms := a.LocalSubdomains()
+			out.add(pol.name, timeSection(loc, func() {
+				for _, d := range doms {
+					for i := d.Lo; i < d.Hi; i++ {
+						a.ApplySet(i, func(x int64) int64 { return x + 1 })
+					}
+				}
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("ablation-locking", fmt.Sprintf("P=%d N=%d", p, n), ts)...)
+	}
+	return rows
+}

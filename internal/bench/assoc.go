@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/composed"
+	"repro/internal/containers/passoc"
+	"repro/internal/containers/pmatrix"
+	"repro/internal/domain"
+	"repro/internal/palgo"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+// Fig59MapReduceWordCount measures the MapReduce word count over a synthetic
+// Zipf-distributed corpus that stands in for the paper's Wikipedia dump
+// (paper Fig. 59), weak-scaled with a fixed corpus size per location.
+func Fig59MapReduceWordCount(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		wordsPerLoc := int(cfg.ElementsPerLocation)
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			corpus := workload.Zipf(loc, wordsPerLoc, 5000, 1.2)
+			counts := passoc.NewHashMap[string, int64](loc, partition.StringHash)
+			out.add("map_reduce word count", timeSection(loc, func() {
+				palgo.WordCount(loc, corpus, counts)
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig59", fmt.Sprintf("P=%d words/loc=%d", p, wordsPerLoc), ts)...)
+	}
+	return rows
+}
+
+// Fig60AssociativeAlgos measures inserts, finds and a map-reduce style
+// aggregation over associative pContainers (pHashMap and the sorted pMap),
+// reproducing the generic-algorithm scalability study of Fig. 60.
+func Fig60AssociativeAlgos(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		keysPerLoc := cfg.ElementsPerLocation
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			h := passoc.NewHashMap[int64, int64](loc, partition.Int64Hash)
+			base := int64(loc.ID()) * keysPerLoc
+			out.add("pHashMap insert", timeSection(loc, func() {
+				for k := int64(0); k < keysPerLoc; k++ {
+					h.Insert(base+k, k)
+				}
+				loc.Fence()
+			}))
+			out.add("pHashMap find", timeSection(loc, func() {
+				r := loc.Rand()
+				total := keysPerLoc * int64(loc.NumLocations())
+				for k := int64(0); k < keysPerLoc; k++ {
+					h.Find(r.Int63n(total))
+				}
+				loc.Fence()
+			}))
+			out.add("pHashMap p_for_each (local ranges)", timeSection(loc, func() {
+				var sum int64
+				h.LocalRange(func(_ int64, v int64) bool { sum += v; return true })
+				runtime.AllReduceSum(loc, sum)
+				loc.Fence()
+			}))
+			// Sorted pMap with value-based partition.
+			total := keysPerLoc * int64(loc.NumLocations())
+			m := passoc.NewMap[int64, int64](loc, func(a, b int64) bool { return a < b },
+				passoc.UniformInt64Splitters(0, total, loc.NumLocations()))
+			out.add("pMap insert (value-partitioned)", timeSection(loc, func() {
+				for k := int64(0); k < keysPerLoc; k++ {
+					m.Insert(base+k, k)
+				}
+				loc.Fence()
+			}))
+			out.add("pMap find", timeSection(loc, func() {
+				r := loc.Rand()
+				for k := int64(0); k < keysPerLoc; k++ {
+					m.Find(r.Int63n(total))
+				}
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig60", fmt.Sprintf("P=%d keys/loc=%d", p, keysPerLoc), ts)...)
+	}
+	return rows
+}
+
+// Fig62Composition compares three ways to compute per-row minima of a
+// rows×cols value set (paper Fig. 62): a pArray of pArrays, a pList of
+// pArrays (both using nested pAlgorithm invocations), and a row-blocked
+// pMatrix whose rows are local, which is the paper's winner.
+func Fig62Composition(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	nrows := int64(32)
+	ncols := cfg.ElementsPerLocation / 4
+	sizes := make([]int64, nrows)
+	for i := range sizes {
+		sizes[i] = ncols
+	}
+	minOp := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	param := fmt.Sprintf("P=%d rows=%d cols=%d", p, nrows, ncols)
+
+	ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		apa := composed.NewArrayOfArrays[int64](loc, sizes)
+		apa.NestedFill(func(o, i int64) int64 { return o*1_000_000 + i })
+		out.add("pArray<pArray> row minima", timeSection(loc, func() {
+			apa.NestedReduce(minOp)
+		}))
+	})
+	rows = append(rows, rowsFromSeries("fig62", param, ts)...)
+
+	ts = runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		lpa := composed.NewListOfArrays[int64](loc, sizes)
+		lpa.NestedFill(func(o, i int64) int64 { return o*1_000_000 + i })
+		out.add("pList<pArray> row minima", timeSection(loc, func() {
+			lpa.NestedReduce(minOp)
+		}))
+	})
+	rows = append(rows, rowsFromSeries("fig62", param, ts)...)
+
+	ts = runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		m := pmatrix.New[int64](loc, nrows, ncols, pmatrix.WithLayout(partition.RowBlocked))
+		m.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return g.Row*1_000_000 + g.Col })
+		loc.Fence()
+		out.add("pMatrix row minima (rows local)", timeSection(loc, func() {
+			mins := make(map[int64]int64)
+			m.LocalRowRange(func(row int64, _ int64, vals []int64) {
+				best := vals[0]
+				for _, v := range vals[1:] {
+					if v < best {
+						best = v
+					}
+				}
+				if cur, ok := mins[row]; !ok || best < cur {
+					mins[row] = best
+				}
+			})
+			loc.Fence()
+		}))
+	})
+	rows = append(rows, rowsFromSeries("fig62", param, ts)...)
+	return rows
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the smoke test of the experiment harness fast.
+func tinyConfig() Config {
+	return Config{Locations: []int{2}, ElementsPerLocation: 300, GraphScale: 6}
+}
+
+func TestAllExperimentsProduceRows(t *testing.T) {
+	cfg := tinyConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rows := e.Run(cfg)
+			if len(rows) == 0 {
+				t.Fatalf("experiment %s produced no rows", e.ID)
+			}
+			for _, r := range rows {
+				if r.Experiment != e.ID {
+					t.Errorf("row tagged %q, want %q", r.Experiment, e.ID)
+				}
+				if r.Series == "" || r.Param == "" || r.Unit == "" {
+					t.Errorf("incomplete row: %+v", r)
+				}
+				if r.Value < 0 {
+					t.Errorf("negative measurement: %+v", r)
+				}
+				if r.String() == "" {
+					t.Error("empty row formatting")
+				}
+			}
+		})
+	}
+}
+
+func TestFindAndDescriptions(t *testing.T) {
+	if _, ok := Find("fig30"); !ok {
+		t.Fatal("fig30 not registered")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("unknown experiment found")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %s incompletely registered", e.ID)
+		}
+		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") {
+			t.Errorf("unexpected experiment id %s", e.ID)
+		}
+	}
+	// Every figure of the paper's evaluation chapters is covered.
+	for _, id := range []string{"fig27", "fig28", "fig29", "fig30", "fig31", "fig32", "fig33", "fig34",
+		"fig39", "fig40", "fig41", "fig42", "fig43", "fig44", "fig49", "fig51", "fig52", "fig53",
+		"fig56", "fig59", "fig60", "fig62"} {
+		if !seen[id] {
+			t.Errorf("figure %s has no experiment", id)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d := DefaultConfig()
+	s := SmallConfig()
+	if len(d.Locations) == 0 || len(s.Locations) == 0 {
+		t.Fatal("configs must sweep at least one machine size")
+	}
+	if d.ElementsPerLocation <= s.ElementsPerLocation {
+		t.Fatal("default config should be larger than the small config")
+	}
+}
+
+func TestFig30ShowsLocalRemoteShape(t *testing.T) {
+	// The paper's qualitative result: asynchronous remote writes are
+	// cheaper than synchronous remote reads (they overlap), and the
+	// split-phase flavour sits in between or close to async.
+	cfg := Config{Locations: []int{4}, ElementsPerLocation: 2000, GraphScale: 6}
+	rows := Fig30ArraySyncAsyncSplit(cfg)
+	var async, sync float64
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r.Series, "set_element (async)"):
+			async = r.Value
+		case strings.HasPrefix(r.Series, "get_element (sync)"):
+			sync = r.Value
+		}
+	}
+	if async == 0 || sync == 0 {
+		t.Fatalf("missing series: %+v", rows)
+	}
+	if async >= sync {
+		t.Errorf("expected asynchronous writes (%.3fms) to be faster than synchronous reads (%.3fms)", async, sync)
+	}
+}

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/graphalgo"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+// Fig49GraphMethods measures pGraph construction methods (add_vertex,
+// add_edge, find_vertex) on SSCA2 inputs for the static and dynamic
+// strategies (paper Figs. 49/50; the two figures differ only by machine).
+func Fig49GraphMethods(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		params := workload.DefaultSSCA2(cfg.GraphScale)
+		n := params.NumVertices()
+		// Static strategy: vertices exist at construction, only edges are
+		// added.
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			g := pgraph.New[int64, int8](loc, n)
+			out.add("static: add_edge_async (SSCA2)", timeSection(loc, func() {
+				workload.BuildSSCA2Static(loc, g, params)
+			}))
+			out.add("static: find_vertex", timeSection(loc, func() {
+				r := loc.Rand()
+				for k := 0; k < 2000; k++ {
+					g.HasVertex(r.Int63n(n))
+				}
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig49", fmt.Sprintf("P=%d V=%d", p, n), ts)...)
+
+		// Dynamic strategies: vertices are added at run time.
+		for _, strat := range []pgraph.Strategy{pgraph.DynamicEncoded, pgraph.DynamicDirectory} {
+			strat := strat
+			ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+				g := pgraph.New[int64, int8](loc, 0, pgraph.WithStrategy(strat))
+				perLoc := n / int64(loc.NumLocations())
+				var mine []int64
+				out.add(strat.String()+": add_vertex", timeSection(loc, func() {
+					for k := int64(0); k < perLoc; k++ {
+						mine = append(mine, g.AddVertex(k))
+					}
+					loc.Fence()
+				}))
+				out.add(strat.String()+": add_edge_async (ring)", timeSection(loc, func() {
+					for i, vd := range mine {
+						g.AddEdgeAsync(vd, mine[(i+1)%len(mine)], 0)
+					}
+					loc.Fence()
+				}))
+				out.add(strat.String()+": find_vertex", timeSection(loc, func() {
+					r := loc.Rand()
+					for k := 0; k < 2000; k++ {
+						g.HasVertex(mine[r.Intn(len(mine))])
+					}
+					loc.Fence()
+				}))
+			})
+			rows = append(rows, rowsFromSeries("fig49", fmt.Sprintf("P=%d V=%d", p, n), ts)...)
+		}
+	}
+	return rows
+}
+
+// Fig51FindSources runs find-sources over the three address-translation
+// strategies on the same directed graph (paper Fig. 51): the static and
+// encoded translations resolve in closed form, the directory strategy pays
+// for forwarding.
+func Fig51FindSources(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	params := workload.DefaultSSCA2(cfg.GraphScale)
+	n := params.NumVertices()
+	for _, strat := range []pgraph.Strategy{pgraph.Static, pgraph.DynamicEncoded, pgraph.DynamicDirectory} {
+		strat := strat
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			var g *pgraph.Graph[int64, int8]
+			var ids []int64
+			if strat == pgraph.Static {
+				g = pgraph.New[int64, int8](loc, n)
+				for i := int64(0); i < n; i++ {
+					ids = append(ids, i)
+				}
+			} else {
+				g = pgraph.New[int64, int8](loc, 0, pgraph.WithStrategy(strat))
+				perLoc := n / int64(loc.NumLocations())
+				var mine []int64
+				for k := int64(0); k < perLoc; k++ {
+					mine = append(mine, g.AddVertex(0))
+				}
+				loc.Fence()
+				for _, part := range runtime.AllGatherT(loc, mine) {
+					ids = append(ids, part...)
+				}
+			}
+			loc.Fence()
+			// Same edge structure for every strategy: a chain through the
+			// descriptor list plus SSCA2-style clique edges within blocks
+			// of 8 descriptors, added by location 0.
+			if loc.ID() == 0 {
+				for i := 0; i+1 < len(ids); i++ {
+					g.AddEdgeAsync(ids[i], ids[i+1], 0)
+				}
+			}
+			loc.Fence()
+			out.add("find_sources ("+strat.String()+")", timeSection(loc, func() {
+				graphalgo.FindSources(loc, g)
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig51", fmt.Sprintf("P=%d V=%d", p, n), ts)...)
+	}
+	return rows
+}
+
+// Fig52GraphPartitions micro-benchmarks the address-translation itself:
+// resolving random vertex descriptors under each strategy (paper Fig. 52).
+func Fig52GraphPartitions(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	n := int64(1) << cfg.GraphScale
+	lookups := cfg.ElementsPerLocation
+	for _, strat := range []pgraph.Strategy{pgraph.Static, pgraph.DynamicEncoded, pgraph.DynamicDirectory} {
+		strat := strat
+		m := machine(p)
+		var series timedSeries
+		var handledBefore int64
+		m.Execute(func(loc *runtime.Location) {
+			var g *pgraph.Graph[int64, int8]
+			var ids []int64
+			if strat == pgraph.Static {
+				g = pgraph.New[int64, int8](loc, n)
+				for i := int64(0); i < n; i++ {
+					ids = append(ids, i)
+				}
+			} else {
+				g = pgraph.New[int64, int8](loc, 0, pgraph.WithStrategy(strat))
+				perLoc := n / int64(loc.NumLocations())
+				var mine []int64
+				for k := int64(0); k < perLoc; k++ {
+					mine = append(mine, g.AddVertex(0))
+				}
+				loc.Fence()
+				for _, part := range runtime.AllGatherT(loc, mine) {
+					ids = append(ids, part...)
+				}
+			}
+			loc.Fence()
+			if loc.ID() == 0 {
+				handledBefore = loc.Machine().Stats().RMIsHandled.Load()
+			}
+			d := timeSection(loc, func() {
+				r := loc.Rand()
+				for k := int64(0); k < lookups; k++ {
+					g.VertexProperty(ids[r.Intn(len(ids))])
+				}
+				loc.Fence()
+			})
+			if loc.ID() == 0 {
+				series.add("vertex property lookup ("+strat.String()+")", d)
+			}
+			loc.Fence()
+		})
+		param := fmt.Sprintf("P=%d V=%d lookups/loc=%d", p, n, lookups)
+		rows = append(rows, rowsFromSeries("fig52", param, series)...)
+		// The forwarding strategy's extra hops show up as extra handled
+		// RMIs, the deterministic signal behind the paper's timing gap.
+		rows = append(rows, Row{Experiment: "fig52",
+			Series: "remote RMIs handled (" + strat.String() + ")", Param: param,
+			Value: float64(m.Stats().RMIsHandled.Load() - handledBefore), Unit: "rmis"})
+	}
+	return rows
+}
+
+// Fig53GraphAlgorithms measures the pGraph algorithms — BFS, connected
+// components, find-sources — on SSCA2 inputs (paper Figs. 53/54/55).
+func Fig53GraphAlgorithms(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		params := workload.DefaultSSCA2(cfg.GraphScale)
+		n := params.NumVertices()
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			g := pgraph.New[int64, int8](loc, n)
+			workload.BuildSSCA2Static(loc, g, params)
+			out.add("BFS", timeSection(loc, func() {
+				graphalgo.BFS(loc, g, 0)
+			}))
+			out.add("connected components", timeSection(loc, func() {
+				graphalgo.ConnectedComponents(loc, g)
+			}))
+			out.add("find sources", timeSection(loc, func() {
+				graphalgo.FindSources(loc, g)
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig53", fmt.Sprintf("P=%d V=%d", p, n), ts)...)
+	}
+	return rows
+}
+
+// Fig56PageRank runs page rank on the two mesh shapes of the paper's
+// Fig. 56: a square mesh and an elongated mesh with the same number of
+// vertices.
+func Fig56PageRank(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	side := int64(1) << (cfg.GraphScale / 2)
+	meshes := []struct {
+		name string
+		dims workload.Mesh2DParams
+	}{
+		{"square mesh", workload.Mesh2DParams{Rows: side, Cols: side}},
+		{"elongated mesh", workload.Mesh2DParams{Rows: side / 8, Cols: side * 8}},
+	}
+	for _, mesh := range meshes {
+		mesh := mesh
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			g := pgraph.New[float64, int8](loc, mesh.dims.NumVertices())
+			workload.BuildMesh2D(loc, g, mesh.dims)
+			prp := graphalgo.DefaultPageRank()
+			prp.Iterations = 10
+			out.add("page rank ("+mesh.name+")", timeSection(loc, func() {
+				graphalgo.PageRank(loc, g, prp)
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig56",
+			fmt.Sprintf("P=%d %dx%d", p, mesh.dims.Rows, mesh.dims.Cols), ts)...)
+	}
+	return rows
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// timedSeries is an ordered list of (series label, duration) pairs produced
+// by one machine run.
+type timedSeries struct {
+	labels []string
+	values []time.Duration
+}
+
+func (t *timedSeries) add(label string, d time.Duration) {
+	t.labels = append(t.labels, label)
+	t.values = append(t.values, d)
+}
+
+// runTimed runs fn SPMD on p locations; fn fills a timedSeries using
+// collective timing helpers (every location must add the same series in the
+// same order).  Location 0's series is returned.
+func runTimed(p int, fn func(loc *runtime.Location, out *timedSeries)) timedSeries {
+	var result timedSeries
+	var mu sync.Mutex
+	machine(p).Execute(func(loc *runtime.Location) {
+		var local timedSeries
+		fn(loc, &local)
+		if loc.ID() == 0 {
+			mu.Lock()
+			result = local
+			mu.Unlock()
+		}
+	})
+	return result
+}
+
+// rowsFromSeries converts a timedSeries into report rows.
+func rowsFromSeries(exp, param string, ts timedSeries) []Row {
+	rows := make([]Row, 0, len(ts.labels))
+	for i, lbl := range ts.labels {
+		rows = append(rows, Row{Experiment: exp, Series: lbl, Param: param, Value: ms(ts.values[i]), Unit: "ms"})
+	}
+	return rows
+}
+
+// timeSection measures one collective section: it synchronises all
+// locations, runs body, and returns the maximum elapsed time over all
+// locations.  body typically ends with the fence that the paper's kernels
+// include in the measured time (Fig. 24).
+func timeSection(loc *runtime.Location, body func()) time.Duration {
+	loc.Barrier()
+	start := time.Now()
+	body()
+	return maxElapsed(loc, start)
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/containers/parray"
+	"repro/internal/containers/plist"
+	"repro/internal/containers/pvector"
+	"repro/internal/euler"
+	"repro/internal/palgo"
+	"repro/internal/runtime"
+	"repro/internal/views"
+	"repro/internal/workload"
+)
+
+// Fig39ListMethods measures the pList dynamic methods: the communication-free
+// push_anywhere, the global-end push_back, insert_async before a known GID,
+// and erase (paper Fig. 39).
+func Fig39ListMethods(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		ops := cfg.ElementsPerLocation
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			l := plist.New[int64](loc)
+			gids := make([]plist.GID, 0, ops)
+			out.add("push_anywhere", timeSection(loc, func() {
+				for k := int64(0); k < ops; k++ {
+					gids = append(gids, l.PushAnywhere(k))
+				}
+				loc.Fence()
+			}))
+			out.add("insert_async (before local GID)", timeSection(loc, func() {
+				for k := int64(0); k < ops; k++ {
+					l.InsertAsync(gids[k%int64(len(gids))], k)
+				}
+				loc.Fence()
+			}))
+			out.add("push_back (global end)", timeSection(loc, func() {
+				for k := int64(0); k < ops/10; k++ {
+					l.PushBack(k)
+				}
+				loc.Fence()
+			}))
+			out.add("erase", timeSection(loc, func() {
+				for _, g := range gids {
+					l.Erase(g)
+				}
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig39", fmt.Sprintf("P=%d ops/loc=%d", p, ops), ts)...)
+	}
+	return rows
+}
+
+// Fig40ListVsArrayAlgos runs the same generic algorithms over a pArray and a
+// pList of the same size (paper Fig. 40): the pArray's random access makes
+// it faster, the pList pays for per-segment traversal.
+func Fig40ListVsArrayAlgos(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		n := cfg.ElementsPerLocation * int64(p)
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			a := parray.New[int64](loc, n)
+			nat := views.NewArrayNative(a)
+			l := plist.New[int64](loc)
+			for k := int64(0); k < cfg.ElementsPerLocation; k++ {
+				l.PushAnywhere(k)
+			}
+			loc.Fence()
+			out.add("p_generate on pArray", timeSection(loc, func() {
+				palgo.Generate(loc, nat, func(i int64) int64 { return i })
+			}))
+			out.add("p_for_each on pArray", timeSection(loc, func() {
+				palgo.TransformInPlace(loc, nat, func(_ int64, x int64) int64 { return x + 1 })
+			}))
+			out.add("p_accumulate on pArray", timeSection(loc, func() {
+				palgo.Accumulate(loc, nat, 0, func(a, b int64) int64 { return a + b })
+			}))
+			out.add("p_for_each on pList (segments)", timeSection(loc, func() {
+				l.LocalUpdate(func(_ plist.GID, x int64) int64 { return x + 1 })
+				loc.Fence()
+			}))
+			out.add("p_accumulate on pList (segments)", timeSection(loc, func() {
+				var local int64
+				l.LocalRange(func(_ plist.GID, x int64) bool { local += x; return true })
+				runtime.AllReduceSum(loc, local)
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig40", fmt.Sprintf("P=%d N/P=%d", p, cfg.ElementsPerLocation), ts)...)
+	}
+	return rows
+}
+
+// Fig41PlacementWeakScaling reproduces the placement experiment: the same
+// weak-scaling p_for_each with all locations on one "node" (cheap
+// communication) versus spread across nodes (expensive communication),
+// modelled with the RTS RemoteDelay hook.
+func Fig41PlacementWeakScaling(cfg Config) []Row {
+	var rows []Row
+	placements := []struct {
+		name  string
+		delay func(src, dst int) time.Duration
+	}{
+		{"same node (curve a)", func(src, dst int) time.Duration { return 0 }},
+		{"different nodes (curve b)", func(src, dst int) time.Duration { return 20 * time.Microsecond }},
+	}
+	for _, p := range cfg.Locations {
+		n := cfg.ElementsPerLocation * int64(p)
+		for _, pl := range placements {
+			rcfg := runtime.DefaultConfig()
+			rcfg.RemoteDelay = pl.delay
+			var elapsed float64
+			m := runtime.NewMachine(p, rcfg)
+			m.Execute(func(loc *runtime.Location) {
+				a := parray.New[int64](loc, n)
+				nat := views.NewArrayNative(a)
+				// A balanced view shifted by one location's worth of
+				// elements forces a fraction of remote traffic, which is
+				// what exposes the placement difference.
+				d := timeSection(loc, func() {
+					palgo.Generate(loc, views.NewBalanced[int64](views.NewStrided[int64](nat, 1, 1)), func(i int64) int64 { return i })
+				})
+				if loc.ID() == 0 {
+					elapsed = ms(d)
+				}
+				loc.Fence()
+			})
+			rows = append(rows, Row{Experiment: "fig41", Series: "p_for_each " + pl.name,
+				Param: fmt.Sprintf("P=%d N/P=%d", p, cfg.ElementsPerLocation), Value: elapsed, Unit: "ms"})
+		}
+	}
+	return rows
+}
+
+// Fig42ListVsVectorMix runs the mixed read/write/insert/delete workload over
+// pList and pVector (paper Fig. 42): pList's constant-time updates win as
+// soon as the mix contains structural operations.
+func Fig42ListVsVectorMix(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		opsPerLoc := int(cfg.ElementsPerLocation / 4)
+		mix := workload.DefaultMix()
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			ops := workload.OpStream(loc, opsPerLoc, mix)
+			// pList: operations target this location's own segment.
+			l := plist.New[int64](loc)
+			seed := make([]plist.GID, 0, 128)
+			for k := int64(0); k < 128; k++ {
+				seed = append(seed, l.PushAnywhere(k))
+			}
+			loc.Fence()
+			out.add("pList mix", timeSection(loc, func() {
+				live := append([]plist.GID(nil), seed...)
+				for _, op := range ops {
+					g := live[loc.Rand().Intn(len(live))]
+					switch op {
+					case workload.OpRead:
+						l.Get(g)
+					case workload.OpWrite:
+						l.Set(g, 1)
+					case workload.OpInsert:
+						live = append(live, l.Insert(g, 2))
+					case workload.OpDelete:
+						if len(live) > 64 {
+							last := live[len(live)-1]
+							live = live[:len(live)-1]
+							l.Erase(last)
+						}
+					}
+				}
+				loc.Fence()
+			}))
+			// pVector: positional operations with index shifting and
+			// metadata broadcasts.  Each location works inside its own
+			// block (the paper's kernels also give every processor its own
+			// slice of the operation stream); structural operations still
+			// pay the element shifting plus the machine-wide metadata
+			// update that pList avoids.  Operations stay away from block
+			// boundaries by a safety margin and the stream is fenced in
+			// batches, so concurrent index shifts from other locations
+			// never push an access outside its block between fences.
+			const batch = 32
+			margin := int64(batch * loc.NumLocations())
+			v := pvector.New[int64](loc, int64(loc.NumLocations())*8*margin)
+			loc.Fence()
+			out.add("pVector mix", timeSection(loc, func() {
+				for k, op := range ops {
+					d := v.LocalDomain()
+					span := d.Size() - 2*margin
+					if span <= 0 {
+						v.PushBack(0)
+					} else {
+						idx := d.Lo + margin + loc.Rand().Int63n(span)
+						switch op {
+						case workload.OpRead:
+							v.Get(idx)
+						case workload.OpWrite:
+							v.Set(idx, 1)
+						case workload.OpInsert:
+							v.Insert(idx, 2)
+						case workload.OpDelete:
+							if span > 8 {
+								v.Erase(idx)
+							}
+						}
+					}
+					if (k+1)%batch == 0 {
+						loc.Fence()
+					}
+				}
+				loc.Fence()
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig42", fmt.Sprintf("P=%d ops/loc=%d", p, opsPerLoc), ts)...)
+	}
+	return rows
+}
+
+// Fig43EulerTourWeakScaling measures the Euler tour construction and list
+// ranking with a fixed number of subtrees per location (paper Fig. 43).
+func Fig43EulerTourWeakScaling(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		params := workload.ForestParams{SubtreesPerLocation: 8, SubtreeHeight: 6}
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			edges, vertices, root := workload.TreeEdges(loc, params)
+			g := euler.BuildTree(loc, vertices, edges)
+			var tour *euler.Tour
+			out.add("euler tour construction", timeSection(loc, func() {
+				tour = euler.BuildTour(loc, g, root)
+			}))
+			out.add("list ranking (pointer jumping)", timeSection(loc, func() {
+				tour.Rank(loc)
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig43",
+			fmt.Sprintf("P=%d subtrees/loc=%d height=%d", p, params.SubtreesPerLocation, params.SubtreeHeight), ts)...)
+	}
+	return rows
+}
+
+// Fig44EulerTourApps measures the Euler tour applications (rooting the tree
+// and subtree sizes) for two subtree counts per location (paper Fig. 44).
+func Fig44EulerTourApps(cfg Config) []Row {
+	var rows []Row
+	p := cfg.Locations[len(cfg.Locations)-1]
+	for _, subtrees := range []int{4, 8} {
+		params := workload.ForestParams{SubtreesPerLocation: subtrees, SubtreeHeight: 6}
+		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			edges, vertices, root := workload.TreeEdges(loc, params)
+			g := euler.BuildTree(loc, vertices, edges)
+			tour := euler.BuildTour(loc, g, root)
+			rank := tour.Rank(loc)
+			out.add("tree rooting + subtree sizes", timeSection(loc, func() {
+				tour.Applications(loc, rank)
+			}))
+		})
+		rows = append(rows, rowsFromSeries("fig44",
+			fmt.Sprintf("P=%d subtrees/loc=%d", p, subtrees), ts)...)
+	}
+	return rows
+}

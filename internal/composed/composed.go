@@ -1,0 +1,151 @@
+// Package composed implements pContainer composition (Chapter IV.C and the
+// Fig. 61/62 study): containers whose elements are themselves pContainers,
+// supporting nested-parallel algorithms over the hierarchy.
+//
+// In the SPMD model every inner container is constructed collectively, so
+// each location holds its own representative of every level; the composed
+// GID of an element is the tuple (outer index, inner index), and nested
+// algorithm invocations run an inner pAlgorithm per outer element.
+package composed
+
+import (
+	"repro/internal/containers/parray"
+	"repro/internal/containers/plist"
+	"repro/internal/palgo"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// GID2 is the composed GID of a two-level container: the outer element index
+// and the GID within the inner container.
+type GID2 struct {
+	Outer, Inner int64
+}
+
+// ArrayOfArrays is a pArray whose elements are pArrays (the paper's
+// p_array<p_array<T>> example, Fig. 3): outer element i is a distributed
+// inner pArray with its own size.
+type ArrayOfArrays[T any] struct {
+	loc   *runtime.Location
+	inner []*parray.Array[T]
+}
+
+// NewArrayOfArrays constructs the composed container with one inner pArray
+// per entry of innerSizes.  Collective: every location passes the same
+// sizes.
+func NewArrayOfArrays[T any](loc *runtime.Location, innerSizes []int64) *ArrayOfArrays[T] {
+	c := &ArrayOfArrays[T]{loc: loc}
+	for _, n := range innerSizes {
+		c.inner = append(c.inner, parray.New[T](loc, n))
+	}
+	return c
+}
+
+// OuterSize returns the number of inner containers.
+func (c *ArrayOfArrays[T]) OuterSize() int64 { return int64(len(c.inner)) }
+
+// Inner returns the i-th inner pArray (this location's representative).
+func (c *ArrayOfArrays[T]) Inner(i int64) *parray.Array[T] { return c.inner[i] }
+
+// TotalSize returns the number of leaf elements in the composed hierarchy.
+func (c *ArrayOfArrays[T]) TotalSize() int64 {
+	var n int64
+	for _, a := range c.inner {
+		n += a.Size()
+	}
+	return n
+}
+
+// Get reads the leaf element with composed GID (outer, inner), equivalent to
+// the paper's pApA.get_element(i).get_element(j).  Synchronous.
+func (c *ArrayOfArrays[T]) Get(g GID2) T { return c.inner[g.Outer].Get(g.Inner) }
+
+// Set writes the leaf element with composed GID (outer, inner).
+// Asynchronous.
+func (c *ArrayOfArrays[T]) Set(g GID2, v T) { c.inner[g.Outer].Set(g.Inner, v) }
+
+// Fence forwards to the RTS fence.
+func (c *ArrayOfArrays[T]) Fence() { c.loc.Fence() }
+
+// NestedReduce runs an inner reduction (p_accumulate) over every inner
+// pArray — the nested pAlgorithm invocation of Fig. 61 — and returns the
+// per-outer-element results, replicated on every location.  Collective.
+func (c *ArrayOfArrays[T]) NestedReduce(op func(a, b T) T) []T {
+	out := make([]T, len(c.inner))
+	for i, a := range c.inner {
+		v, ok := palgo.Reduce(c.loc, views.NewArrayNative(a), op)
+		if ok {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// NestedFill fills every inner pArray using fn(outer, inner) — a nested
+// p_generate.  Collective.
+func (c *ArrayOfArrays[T]) NestedFill(fn func(outer, inner int64) T) {
+	for i, a := range c.inner {
+		i := int64(i)
+		palgo.Generate(c.loc, views.NewArrayNative(a), func(j int64) T { return fn(i, j) })
+	}
+}
+
+// ListOfArrays composes a pList with pArray elements (the paper's
+// p_list<p_array<T>>): the outer sequence is a pList whose elements refer to
+// collectively constructed inner pArrays.
+type ListOfArrays[T any] struct {
+	loc   *runtime.Location
+	outer *plist.List[int64]
+	inner []*parray.Array[T]
+}
+
+// NewListOfArrays constructs the composed container with one inner pArray
+// per entry of innerSizes; inner container references are distributed over
+// the outer pList with push-anywhere (each location holds a share of the
+// outer sequence).  Collective.
+func NewListOfArrays[T any](loc *runtime.Location, innerSizes []int64) *ListOfArrays[T] {
+	c := &ListOfArrays[T]{loc: loc, outer: plist.New[int64](loc)}
+	for i, n := range innerSizes {
+		c.inner = append(c.inner, parray.New[T](loc, n))
+		// Distribute outer elements round-robin over locations.
+		if i%loc.NumLocations() == loc.ID() {
+			c.outer.PushAnywhere(int64(i))
+		}
+	}
+	loc.Fence()
+	return c
+}
+
+// OuterSize returns the number of inner containers.
+func (c *ListOfArrays[T]) OuterSize() int64 { return int64(len(c.inner)) }
+
+// Inner returns the i-th inner pArray.
+func (c *ListOfArrays[T]) Inner(i int64) *parray.Array[T] { return c.inner[i] }
+
+// Outer returns the outer pList of inner-container references.
+func (c *ListOfArrays[T]) Outer() *plist.List[int64] { return c.outer }
+
+// NestedFill fills every inner pArray using fn(outer, inner).  Collective.
+func (c *ListOfArrays[T]) NestedFill(fn func(outer, inner int64) T) {
+	for i, a := range c.inner {
+		i := int64(i)
+		palgo.Generate(c.loc, views.NewArrayNative(a), func(j int64) T { return fn(i, j) })
+	}
+}
+
+// NestedReduce traverses the outer pList (each location its local segment)
+// and runs the inner reduction for the referenced inner pArrays.  Because
+// inner reductions are collective, the traversal is driven by outer index
+// rather than by segment, with each location contributing the rows its
+// segment holds; the per-row results are returned replicated on every
+// location.  Collective.
+func (c *ListOfArrays[T]) NestedReduce(op func(a, b T) T) []T {
+	out := make([]T, len(c.inner))
+	for i, a := range c.inner {
+		v, ok := palgo.Reduce(c.loc, views.NewArrayNative(a), op)
+		if ok {
+			out[i] = v
+		}
+	}
+	return out
+}

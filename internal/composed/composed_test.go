@@ -1,0 +1,92 @@
+package composed
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+func TestArrayOfArraysPaperExample(t *testing.T) {
+	// The paper's Fig. 3 example: pApA(3) with inner sizes 2, 3, 4.
+	run(2, func(loc *runtime.Location) {
+		c := NewArrayOfArrays[int](loc, []int64{2, 3, 4})
+		if c.OuterSize() != 3 || c.TotalSize() != 9 {
+			t.Errorf("outer = %d total = %d", c.OuterSize(), c.TotalSize())
+		}
+		loc.Barrier()
+		// Composed GID access: pApA.get_element(1).get_element(0).
+		if loc.ID() == 0 {
+			c.Set(GID2{Outer: 1, Inner: 0}, 42)
+			c.Set(GID2{Outer: 2, Inner: 3}, 7)
+		}
+		c.Fence()
+		if got := c.Get(GID2{Outer: 1, Inner: 0}); got != 42 {
+			t.Errorf("composed get = %d", got)
+		}
+		if got := c.Inner(2).Get(3); got != 7 {
+			t.Errorf("inner get = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayOfArraysNestedAlgorithms(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		rows, cols := int64(6), int64(20)
+		sizes := make([]int64, rows)
+		for i := range sizes {
+			sizes[i] = cols
+		}
+		c := NewArrayOfArrays[int64](loc, sizes)
+		// Fill row i with values i*1000 + j, then take the per-row minimum
+		// (the Fig. 62 row-minimum kernel).
+		c.NestedFill(func(outer, inner int64) int64 { return outer*1000 + inner })
+		mins := c.NestedReduce(func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+		for i, m := range mins {
+			if m != int64(i)*1000 {
+				t.Errorf("row %d min = %d, want %d", i, m, int64(i)*1000)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestListOfArraysComposition(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		rows, cols := int64(8), int64(10)
+		sizes := make([]int64, rows)
+		for i := range sizes {
+			sizes[i] = cols
+		}
+		c := NewListOfArrays[int64](loc, sizes)
+		if c.OuterSize() != rows {
+			t.Errorf("outer = %d", c.OuterSize())
+		}
+		// The outer pList holds one reference per row, spread across
+		// locations.
+		if got := c.Outer().Size(); got != rows {
+			t.Errorf("outer list size = %d", got)
+		}
+		c.NestedFill(func(outer, inner int64) int64 { return outer + inner })
+		sums := c.NestedReduce(func(a, b int64) int64 { return a + b })
+		for i, s := range sums {
+			want := int64(i)*cols + cols*(cols-1)/2
+			if s != want {
+				t.Errorf("row %d sum = %d, want %d", i, s, want)
+			}
+		}
+		if c.Inner(0).Size() != cols {
+			t.Error("inner size wrong")
+		}
+		loc.Fence()
+	})
+}

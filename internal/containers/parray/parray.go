@@ -1,0 +1,169 @@
+// Package parray implements the STAPL pArray (Chapter IX): the parallel
+// counterpart of a fixed-size array, distributed across locations and
+// globally addressable by index.
+//
+// A pArray is a static, indexed pContainer: its size is fixed at
+// construction, which lets address translation use closed-form partitions
+// (balanced, blocked, block-cyclic, explicit).  Element access is provided
+// in the three flavours the paper evaluates: asynchronous Set/ApplySet,
+// synchronous Get/ApplyGet and split-phase GetSplit.
+package parray
+
+import (
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// Array is the per-location representative of a pArray of element type T.
+// All representatives together form one shared object: any location may
+// read or write any index.
+type Array[T any] struct {
+	core.Container[int64, *bcontainer.Array[T]]
+
+	dom    domain.Range1D
+	part   partition.Indexed
+	mapper partition.Mapper
+}
+
+// options collects constructor customisations.
+type options struct {
+	part   partition.Indexed
+	mapper partition.Mapper
+	traits core.Traits
+	hasTr  bool
+}
+
+// Option customises pArray construction.
+type Option func(*options)
+
+// WithPartition selects the index partition (default: balanced, one
+// sub-domain per location).
+func WithPartition(p partition.Indexed) Option { return func(o *options) { o.part = p } }
+
+// WithMapper selects the sub-domain → location mapper (default: blocked).
+func WithMapper(m partition.Mapper) Option { return func(o *options) { o.mapper = m } }
+
+// WithTraits overrides the default traits (per-bContainer locking, relaxed
+// consistency).
+func WithTraits(t core.Traits) Option { return func(o *options) { o.traits = t; o.hasTr = true } }
+
+// New constructs a pArray of n elements.  It is a collective operation:
+// every location must call it in the same construction order, passing its
+// own Location.
+func New[T any](loc *runtime.Location, n int64, opts ...Option) *Array[T] {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	dom := domain.NewRange1D(0, n)
+	if o.part == nil {
+		o.part = partition.NewBalanced(dom, loc.NumLocations())
+	}
+	if o.mapper == nil {
+		o.mapper = partition.NewBlockedMapper(o.part.NumSubdomains(), loc.NumLocations())
+	}
+	if !o.hasTr {
+		o.traits = core.DefaultTraits()
+	}
+	a := &Array[T]{dom: dom, part: o.part, mapper: o.mapper}
+	a.InitContainer(loc, core.IndexedResolver{Partition: o.part, Mapper: o.mapper}, o.traits)
+	a.allocateLocal()
+	// Constructors are collective: no location may issue element methods
+	// before every representative is registered and its storage allocated.
+	loc.Barrier()
+	return a
+}
+
+// allocateLocal creates the base containers for the sub-domains mapped to
+// this location.
+func (a *Array[T]) allocateLocal() {
+	for _, b := range a.mapper.LocalBCIDs(a.Location().ID()) {
+		a.LocationManager().Add(bcontainer.NewArray[T](b, a.part.SubDomain(b)))
+	}
+}
+
+// Size returns the number of elements.  The pArray is static, so no
+// communication is needed.
+func (a *Array[T]) Size() int64 { return a.dom.Size() }
+
+// Domain returns the index domain [0, Size()).
+func (a *Array[T]) Domain() domain.Range1D { return a.dom }
+
+// Partition returns the index partition in use.
+func (a *Array[T]) Partition() partition.Indexed { return a.part }
+
+// Mapper returns the sub-domain mapper in use.
+func (a *Array[T]) Mapper() partition.Mapper { return a.mapper }
+
+// Set stores val at index i.  It is asynchronous: completion is guaranteed
+// by the next Fence, or by a later Get/GetSplit of the same index from this
+// location (the container's relaxed memory-consistency model).
+func (a *Array[T]) Set(i int64, val T) {
+	a.Invoke(i, core.Write, func(_ *runtime.Location, bc *bcontainer.Array[T]) { bc.Set(i, val) })
+}
+
+// Get returns the element at index i (synchronous).
+func (a *Array[T]) Get(i int64) T {
+	v := a.InvokeRet(i, core.Read, func(_ *runtime.Location, bc *bcontainer.Array[T]) any { return bc.Get(i) })
+	return v.(T)
+}
+
+// GetSplit starts a split-phase read of index i and returns a future for
+// its value (the paper's split_phase_get_element / pc_future).
+func (a *Array[T]) GetSplit(i int64) *runtime.FutureOf[T] {
+	f := a.InvokeSplit(i, core.Read, func(_ *runtime.Location, bc *bcontainer.Array[T]) any { return bc.Get(i) })
+	return runtime.NewFutureOf[T](f)
+}
+
+// ApplySet applies fn to the element at index i in place, asynchronously
+// (the paper's apply_set).
+func (a *Array[T]) ApplySet(i int64, fn func(T) T) {
+	a.Invoke(i, core.Write, func(_ *runtime.Location, bc *bcontainer.Array[T]) { bc.Apply(i, fn) })
+}
+
+// ApplyGet applies fn to the element at index i and returns fn's result,
+// synchronously (the paper's apply_get).
+func (a *Array[T]) ApplyGet(i int64, fn func(T) any) any {
+	return a.InvokeRet(i, core.Read, func(_ *runtime.Location, bc *bcontainer.Array[T]) any {
+		return bc.ApplyGet(i, fn)
+	})
+}
+
+// LocalSubdomains returns the index ranges stored on this location, in BCID
+// order.  Algorithms use it to build native views that access local data
+// without communication.
+func (a *Array[T]) LocalSubdomains() []domain.Range1D {
+	ids := a.LocationManager().BCIDs()
+	out := make([]domain.Range1D, len(ids))
+	for i, id := range ids {
+		out[i] = a.part.SubDomain(id)
+	}
+	return out
+}
+
+// RangeLocal applies fn to every locally stored (index, value) pair in index
+// order within each base container, under the read bracket of the
+// thread-safety manager.
+func (a *Array[T]) RangeLocal(fn func(gid int64, val T) bool) {
+	a.ForEachLocalBC(core.Read, func(bc *bcontainer.Array[T]) {
+		bc.Range(fn)
+	})
+}
+
+// UpdateLocal replaces every locally stored element with the value fn
+// returns for it, under the write bracket of the thread-safety manager.
+func (a *Array[T]) UpdateLocal(fn func(gid int64, val T) T) {
+	a.ForEachLocalBC(core.Write, func(bc *bcontainer.Array[T]) {
+		bc.Update(fn)
+	})
+}
+
+// MemorySize returns the container-wide data/metadata footprint.  It is a
+// collective operation (Tables XXII/XXIII).
+func (a *Array[T]) MemorySize() core.MemoryUsage {
+	meta := partition.MemoryBytes(a.mapper) + 48 // partition descriptor
+	return a.GlobalMemory(meta)
+}

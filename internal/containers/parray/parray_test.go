@@ -1,0 +1,503 @@
+package parray
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// run executes fn SPMD-style on p locations with the default RTS config.
+func run(p int, fn func(loc *runtime.Location)) *runtime.Machine {
+	m := runtime.NewMachine(p, runtime.DefaultConfig())
+	m.Execute(fn)
+	return m
+}
+
+func TestArrayConstructionAndSize(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pa := New[int](loc, 103)
+		if pa.Size() != 103 {
+			t.Errorf("size = %d", pa.Size())
+		}
+		if pa.Domain() != domain.NewRange1D(0, 103) {
+			t.Errorf("domain = %v", pa.Domain())
+		}
+		// Every location owns one balanced block by default.
+		if got := pa.LocationManager().NumBContainers(); got != 1 {
+			t.Errorf("local bContainers = %d, want 1", got)
+		}
+		// Global size equals the sum of local sizes.
+		if got := pa.GlobalSize(); got != 103 {
+			t.Errorf("global size = %d", got)
+		}
+		if pa.GlobalEmpty() {
+			t.Error("non-empty array reported empty")
+		}
+		loc.Fence()
+	})
+}
+
+func TestArraySetGetAllIndices(t *testing.T) {
+	const n = 200
+	run(4, func(loc *runtime.Location) {
+		pa := New[int64](loc, n)
+		loc.Barrier()
+		// Location 0 writes every element (most writes are remote).
+		if loc.ID() == 0 {
+			for i := int64(0); i < n; i++ {
+				pa.Set(i, i*10)
+			}
+		}
+		loc.Fence()
+		// Every location reads every element.
+		for i := int64(0); i < n; i++ {
+			if got := pa.Get(i); got != i*10 {
+				t.Errorf("loc %d: Get(%d) = %d, want %d", loc.ID(), i, got, i*10)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestArraySplitPhaseGet(t *testing.T) {
+	const n = 64
+	run(4, func(loc *runtime.Location) {
+		pa := New[int](loc, n)
+		loc.Barrier()
+		// Each location writes its own block, then split-phase reads the
+		// whole array, overlapping the requests.
+		for _, d := range pa.LocalSubdomains() {
+			for i := d.Lo; i < d.Hi; i++ {
+				pa.Set(i, int(i)+1)
+			}
+		}
+		loc.Fence()
+		futs := make([]*runtime.FutureOf[int], n)
+		for i := int64(0); i < n; i++ {
+			futs[i] = pa.GetSplit(i)
+		}
+		for i, f := range futs {
+			if got := f.Get(); got != i+1 {
+				t.Errorf("split get(%d) = %d, want %d", i, got, i+1)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayApplySetApplyGet(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		pa := New[int](loc, 30)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 30; i++ {
+				pa.Set(i, 1)
+			}
+		}
+		loc.Fence()
+		// All locations increment every element once.
+		for i := int64(0); i < 30; i++ {
+			pa.ApplySet(i, func(x int) int { return x + 1 })
+		}
+		loc.Fence()
+		for i := int64(0); i < 30; i++ {
+			want := 1 + loc.NumLocations()
+			if got := pa.Get(i); got != want {
+				t.Errorf("element %d = %d, want %d", i, got, want)
+				return
+			}
+		}
+		if got := pa.ApplyGet(5, func(x int) any { return x * 100 }); got != 400 {
+			t.Errorf("ApplyGet = %v, want 400", got)
+		}
+		if pa.Get(5) != 4 {
+			t.Error("ApplyGet must not modify the element")
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayMCMSameElementOrdering(t *testing.T) {
+	// Paper Chapter VII: an async write followed by a sync read of the
+	// same element from the same location must observe the write, with no
+	// fence in between.
+	run(2, func(loc *runtime.Location) {
+		pa := New[int](loc, 8)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			// Index 7 lives on location 1 (remote).
+			pa.Set(7, 11)
+			if got := pa.Get(7); got != 11 {
+				t.Errorf("read after write returned %d, want 11", got)
+			}
+			pa.Set(7, 22)
+			pa.Set(7, 33)
+			if got := pa.Get(7); got != 33 {
+				t.Errorf("read after two writes returned %d, want 33", got)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayIsLocalAndLookup(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pa := New[int](loc, 100)
+		for _, d := range pa.LocalSubdomains() {
+			for i := d.Lo; i < d.Hi; i++ {
+				if !pa.IsLocal(i) {
+					t.Errorf("index %d should be local to %d", i, loc.ID())
+				}
+				if pa.Lookup(i) != loc.ID() {
+					t.Errorf("lookup(%d) = %d, want %d", i, pa.Lookup(i), loc.ID())
+				}
+			}
+		}
+		// Count of local indices over all locations must equal the size.
+		var local int64
+		for i := int64(0); i < 100; i++ {
+			if pa.IsLocal(i) {
+				local++
+			}
+		}
+		if total := runtime.AllReduceSum(loc, local); total != 100 {
+			t.Errorf("total local indices = %d, want 100", total)
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayCustomPartitions(t *testing.T) {
+	const n = 60
+	run(4, func(loc *runtime.Location) {
+		dom := domain.NewRange1D(0, n)
+		// Blocked partition with block size 7 and a cyclic mapper.
+		part := partition.NewBlocked(dom, 7)
+		mapper := partition.NewCyclicMapper(part.NumSubdomains(), loc.NumLocations())
+		pa := New[int](loc, n, WithPartition(part), WithMapper(mapper))
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < n; i++ {
+				pa.Set(i, int(i))
+			}
+		}
+		loc.Fence()
+		for i := int64(0); i < n; i++ {
+			if pa.Get(i) != int(i) {
+				t.Errorf("blocked/cyclic: element %d corrupted", i)
+				return
+			}
+		}
+		// Every location should own roughly numSub/P blocks.
+		nLocal := pa.LocationManager().NumBContainers()
+		if nLocal == 0 && loc.ID() < part.NumSubdomains() {
+			t.Errorf("location %d owns no blocks", loc.ID())
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayExplicitPartition(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		dom := domain.NewRange1D(0, 10)
+		part, err := partition.NewExplicit(dom, []int64{3, 4, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa := New[string](loc, 10, WithPartition(part))
+		loc.Barrier()
+		if loc.ID() == 1 {
+			for i := int64(0); i < 10; i++ {
+				pa.Set(i, string(rune('a'+i)))
+			}
+		}
+		loc.Fence()
+		if got := pa.Get(9); got != "j" {
+			t.Errorf("Get(9) = %q", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayRangeAndUpdateLocal(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pa := New[int](loc, 40)
+		pa.UpdateLocal(func(gid int64, _ int) int { return int(gid) * 2 })
+		loc.Fence()
+		var count int64
+		pa.RangeLocal(func(gid int64, val int) bool {
+			if val != int(gid)*2 {
+				t.Errorf("local element %d = %d", gid, val)
+			}
+			count++
+			return true
+		})
+		if total := runtime.AllReduceSum(loc, count); total != 40 {
+			t.Errorf("visited %d elements in total, want 40", total)
+		}
+		// Cross-check through the global interface.
+		if loc.ID() == 0 {
+			if pa.Get(39) != 78 {
+				t.Errorf("Get(39) = %d, want 78", pa.Get(39))
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayMemorySize(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		pa := New[int64](loc, 1000)
+		mu := pa.MemorySize()
+		if mu.Data != 8000 {
+			t.Errorf("data bytes = %d, want 8000", mu.Data)
+		}
+		if mu.Metadata <= 0 {
+			t.Errorf("metadata bytes = %d", mu.Metadata)
+		}
+		if mu.Total() != mu.Data+mu.Metadata {
+			t.Error("total mismatch")
+		}
+		if mu.String() == "" {
+			t.Error("empty usage string")
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayRedistribute(t *testing.T) {
+	const n = 120
+	run(4, func(loc *runtime.Location) {
+		pa := New[int](loc, n)
+		loc.Barrier()
+		for _, d := range pa.LocalSubdomains() {
+			for i := d.Lo; i < d.Hi; i++ {
+				pa.Set(i, int(i)+7)
+			}
+		}
+		loc.Fence()
+		// Redistribute to a block-size-5 partition mapped cyclically.
+		part := partition.NewBlocked(domain.NewRange1D(0, n), 5)
+		mapper := partition.NewCyclicMapper(part.NumSubdomains(), loc.NumLocations())
+		pa.Redistribute(part, mapper)
+		// All data survives under the new distribution.
+		for i := int64(0); i < n; i++ {
+			if got := pa.Get(i); got != int(i)+7 {
+				t.Errorf("after redistribute: element %d = %d, want %d", i, got, int(i)+7)
+				return
+			}
+		}
+		// The new distribution is actually in effect.
+		if pa.Partition().NumSubdomains() != part.NumSubdomains() {
+			t.Error("partition not replaced")
+		}
+		if got := pa.LocationManager().NumBContainers(); got != len(mapper.LocalBCIDs(loc.ID())) {
+			t.Errorf("local bContainers = %d, want %d", got, len(mapper.LocalBCIDs(loc.ID())))
+		}
+		loc.Fence()
+		// And back to balanced.
+		pa.Rebalance()
+		for i := int64(0); i < n; i++ {
+			if got := pa.Get(i); got != int(i)+7 {
+				t.Errorf("after rebalance: element %d = %d", i, got)
+				return
+			}
+		}
+		if pa.LocationManager().NumBContainers() != 1 {
+			t.Error("rebalance should leave one block per location")
+		}
+		loc.Fence()
+	})
+}
+
+func TestArraySequentialConsistencyTraits(t *testing.T) {
+	// Under the Sequential model asynchronous Set degrades to synchronous
+	// execution: after Set returns the value is immediately visible from
+	// any location without a fence.
+	run(3, func(loc *runtime.Location) {
+		pa := New[int](loc, 12, WithTraits(core.Traits{Locking: core.PolicyPerBContainer, Consistency: core.Sequential}))
+		loc.Barrier()
+		if loc.ID() == 2 {
+			for i := int64(0); i < 12; i++ {
+				pa.Set(i, 5)
+			}
+			// No fence: reads from the writing location must see the data
+			// because writes completed synchronously.
+			for i := int64(0); i < 12; i++ {
+				if pa.Get(i) != 5 {
+					t.Errorf("sequential model: element %d not visible", i)
+				}
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayNoLockingTrait(t *testing.T) {
+	// PolicyNone installs the no-op thread-safety manager; with disjoint
+	// per-location writes this is safe and everything still works.
+	run(2, func(loc *runtime.Location) {
+		pa := New[int](loc, 20, WithTraits(core.Traits{Locking: core.PolicyNone}))
+		for _, d := range pa.LocalSubdomains() {
+			for i := d.Lo; i < d.Hi; i++ {
+				pa.Set(i, 3)
+			}
+		}
+		loc.Fence()
+		if loc.ID() == 0 && pa.Get(19) != 3 {
+			t.Error("value lost under no-locking traits")
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayConcurrentRemoteWritesAreAtomic(t *testing.T) {
+	// Many locations increment the same element concurrently via
+	// ApplySet.  The per-bContainer locks plus per-location RMI servers
+	// make each increment atomic, so none may be lost.
+	const perLoc = 200
+	run(4, func(loc *runtime.Location) {
+		pa := New[int64](loc, 4)
+		loc.Barrier()
+		for k := 0; k < perLoc; k++ {
+			pa.ApplySet(0, func(x int64) int64 { return x + 1 })
+		}
+		loc.Fence()
+		if got := pa.Get(0); got != 4*perLoc {
+			t.Errorf("lost updates: element 0 = %d, want %d", got, 4*perLoc)
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayLocalVsRemoteCounting(t *testing.T) {
+	// Local accesses must not generate remote RMIs: the shared-object view
+	// resolves them in place (the local/remote asymmetry behind Fig. 31).
+	run(2, func(loc *runtime.Location) {
+		pa := New[int](loc, 100)
+		loc.Barrier()
+		before := loc.RemoteRMIs()
+		for _, d := range pa.LocalSubdomains() {
+			for i := d.Lo; i < d.Hi; i++ {
+				pa.Set(i, 1)
+			}
+		}
+		if loc.RemoteRMIs() != before {
+			t.Errorf("local writes generated %d remote RMIs", loc.RemoteRMIs()-before)
+		}
+		loc.Fence()
+	})
+}
+
+func TestArraySingleLocation(t *testing.T) {
+	// Degenerate machine with one location: everything is local.
+	run(1, func(loc *runtime.Location) {
+		pa := New[int](loc, 10)
+		for i := int64(0); i < 10; i++ {
+			pa.Set(i, int(i))
+		}
+		loc.Fence()
+		for i := int64(0); i < 10; i++ {
+			if pa.Get(i) != int(i) {
+				t.Errorf("element %d wrong", i)
+			}
+		}
+		if pa.GlobalSize() != 10 {
+			t.Error("global size wrong")
+		}
+	})
+}
+
+func TestArrayMoreLocationsThanElements(t *testing.T) {
+	run(8, func(loc *runtime.Location) {
+		pa := New[int](loc, 3)
+		loc.Barrier()
+		if loc.ID() == 7 {
+			for i := int64(0); i < 3; i++ {
+				pa.Set(i, 9)
+			}
+		}
+		loc.Fence()
+		for i := int64(0); i < 3; i++ {
+			if pa.Get(i) != 9 {
+				t.Errorf("element %d wrong", i)
+			}
+		}
+		if pa.GlobalSize() != 3 {
+			t.Error("global size wrong")
+		}
+		loc.Fence()
+	})
+}
+
+func TestTwoArraysCoexist(t *testing.T) {
+	// Two containers constructed in the same SPMD order get distinct
+	// handles and do not interfere.
+	run(2, func(loc *runtime.Location) {
+		a := New[int](loc, 10)
+		b := New[int](loc, 10)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 10; i++ {
+				a.Set(i, 1)
+				b.Set(i, 2)
+			}
+		}
+		loc.Fence()
+		if a.Get(9) != 1 || b.Get(9) != 2 {
+			t.Errorf("containers interfered: a=%d b=%d", a.Get(9), b.Get(9))
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayDestroy(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		pa := New[int](loc, 10)
+		loc.Fence()
+		pa.Destroy()
+		loc.Fence()
+		// Construct another container afterwards; handles keep advancing
+		// and nothing panics.
+		pb := New[int](loc, 5)
+		loc.Barrier()
+		if loc.ID() == 1 {
+			pb.Set(0, 42)
+		}
+		loc.Fence()
+		if pb.Get(0) != 42 {
+			t.Error("second container broken after destroying the first")
+		}
+		loc.Fence()
+	})
+}
+
+func TestArrayStressManyWritersOneReader(t *testing.T) {
+	// A denser mixed workload to exercise aggregation, forwarding-free
+	// resolution and the locking managers together.
+	const n = 512
+	var writes atomic.Int64
+	run(4, func(loc *runtime.Location) {
+		pa := New[int64](loc, n)
+		loc.Barrier()
+		r := loc.Rand()
+		for k := 0; k < 2000; k++ {
+			i := int64(r.Intn(n))
+			pa.ApplySet(i, func(x int64) int64 { return x + 1 })
+			writes.Add(1)
+		}
+		loc.Fence()
+		var local int64
+		pa.RangeLocal(func(_ int64, v int64) bool { local += v; return true })
+		total := runtime.AllReduceSum(loc, local)
+		if total != writes.Load() {
+			t.Errorf("sum of elements = %d, want %d (no update may be lost)", total, writes.Load())
+		}
+		loc.Fence()
+	})
+}

@@ -1,0 +1,10 @@
+package parray
+
+import "unsafe"
+
+// unsafeElemSize reports the in-memory size of T, used only for simulated
+// marshalling statistics when elements migrate between locations.
+func unsafeElemSize[T any]() uintptr {
+	var t T
+	return unsafe.Sizeof(t)
+}

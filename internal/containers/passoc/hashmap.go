@@ -1,0 +1,163 @@
+// Package passoc implements the STAPL associative pContainers
+// (Chapter XII): unordered pHashMap / pHashSet distributed by key hashing,
+// the ordered pMap distributed by key ranges (value-based partition), and a
+// pMultiMap storing several values per key.
+//
+// Associative containers are dynamic pContainers whose GIDs are the keys
+// themselves; the partition has a closed form (hash or splitter search), so
+// element methods never need forwarding.
+package passoc
+
+import (
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// hashResolver routes keys through a hashed partition.
+type hashResolver[K comparable] struct {
+	part   *partition.Hashed[K]
+	mapper partition.Mapper
+}
+
+func (r hashResolver[K]) Find(k K) partition.Info       { return r.part.Find(k) }
+func (r hashResolver[K]) OwnerOf(b partition.BCID) int  { return r.mapper.Map(b) }
+
+// HashMap is the per-location representative of a pHashMap: an unordered
+// pair-associative pContainer with amortised O(1) element methods.
+type HashMap[K comparable, V any] struct {
+	core.Container[K, *bcontainer.HashMap[K, V]]
+
+	part   *partition.Hashed[K]
+	mapper partition.Mapper
+}
+
+// HashOption customises pHashMap construction.
+type HashOption struct {
+	// SubdomainsPerLocation sets how many hash buckets (bContainers) each
+	// location owns; the default is 1.
+	SubdomainsPerLocation int
+	// Traits overrides the default container traits.
+	Traits *core.Traits
+}
+
+// NewHashMap constructs an empty pHashMap distributed by hashing keys with
+// hash.  Collective.
+func NewHashMap[K comparable, V any](loc *runtime.Location, hash func(K) uint64, opt ...HashOption) *HashMap[K, V] {
+	var o HashOption
+	if len(opt) > 0 {
+		o = opt[0]
+	}
+	per := o.SubdomainsPerLocation
+	if per <= 0 {
+		per = 1
+	}
+	traits := core.DefaultTraits()
+	if o.Traits != nil {
+		traits = *o.Traits
+	}
+	p := loc.NumLocations()
+	part := partition.NewHashed[K](p*per, hash)
+	mapper := partition.NewBlockedMapper(part.NumSubdomains(), p)
+	h := &HashMap[K, V]{part: part, mapper: mapper}
+	h.InitContainer(loc, hashResolver[K]{part: part, mapper: mapper}, traits)
+	for _, b := range mapper.LocalBCIDs(loc.ID()) {
+		h.LocationManager().Add(bcontainer.NewHashMap[K, V](b))
+	}
+	// Constructors are collective: wait for every representative.
+	loc.Barrier()
+	return h
+}
+
+// Insert stores (k, v) asynchronously, overwriting any existing value.
+func (h *HashMap[K, V]) Insert(k K, v V) {
+	h.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) { bc.Insert(k, v) })
+}
+
+// InsertSync stores (k, v) and reports whether the key was newly inserted.
+func (h *HashMap[K, V]) InsertSync(k K, v V) bool {
+	out := h.InvokeRet(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) any {
+		return bc.Insert(k, v)
+	})
+	return out.(bool)
+}
+
+// InsertIfAbsent stores (k, v) only when the key is absent and reports
+// whether it inserted.  Synchronous.
+func (h *HashMap[K, V]) InsertIfAbsent(k K, v V) bool {
+	out := h.InvokeRet(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) any {
+		return bc.InsertIfAbsent(k, v)
+	})
+	return out.(bool)
+}
+
+// findResult carries a value and its presence flag through the untyped
+// invoke layer.
+type findResult[V any] struct {
+	val V
+	ok  bool
+}
+
+// Find returns the value stored under k (synchronous), with ok reporting
+// whether the key exists (the paper's find_val).
+func (h *HashMap[K, V]) Find(k K) (V, bool) {
+	out := h.InvokeRet(k, core.Read, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) any {
+		v, ok := bc.Find(k)
+		return findResult[V]{val: v, ok: ok}
+	}).(findResult[V])
+	return out.val, out.ok
+}
+
+// FindSplit starts a split-phase find of k (the paper's split_phase_find).
+func (h *HashMap[K, V]) FindSplit(k K) *runtime.FutureOf[V] {
+	f := h.InvokeSplit(k, core.Read, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) any {
+		v, _ := bc.Find(k)
+		return v
+	})
+	return runtime.NewFutureOf[V](f)
+}
+
+// Contains reports whether k is present.  Synchronous.
+func (h *HashMap[K, V]) Contains(k K) bool {
+	_, ok := h.Find(k)
+	return ok
+}
+
+// EraseAsync removes k asynchronously (the paper's erase_async).
+func (h *HashMap[K, V]) EraseAsync(k K) {
+	h.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) { bc.Erase(k) })
+}
+
+// Erase removes k and reports whether it was present.  Synchronous.
+func (h *HashMap[K, V]) Erase(k K) bool {
+	out := h.InvokeRet(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) any { return bc.Erase(k) })
+	return out.(bool)
+}
+
+// Apply applies fn to the value stored under k (starting from the zero value
+// when absent) and stores the result, asynchronously.  Concurrent Apply
+// calls to the same key are atomic, which makes it the natural reduction
+// primitive for MapReduce-style aggregation.
+func (h *HashMap[K, V]) Apply(k K, fn func(V) V) {
+	h.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) { bc.Apply(k, fn) })
+}
+
+// Size returns the global number of pairs.  Collective.
+func (h *HashMap[K, V]) Size() int64 { return h.GlobalSize() }
+
+// LocalRange applies fn to every locally stored pair (unspecified order).
+func (h *HashMap[K, V]) LocalRange(fn func(k K, v V) bool) {
+	h.ForEachLocalBC(core.Read, func(bc *bcontainer.HashMap[K, V]) { bc.Range(fn) })
+}
+
+// Clear removes all local pairs.  Call collectively (typically between
+// fences) to clear the whole container.
+func (h *HashMap[K, V]) Clear() {
+	h.ForEachLocalBC(core.Write, func(bc *bcontainer.HashMap[K, V]) { bc.Clear() })
+}
+
+// MemorySize returns the container-wide footprint.  Collective.
+func (h *HashMap[K, V]) MemorySize() core.MemoryUsage {
+	return h.GlobalMemory(partition.MemoryBytes(h.mapper) + 32)
+}

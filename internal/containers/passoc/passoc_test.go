@@ -1,0 +1,317 @@
+package passoc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+func TestHashMapInsertFindErase(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		h := NewHashMap[string, int](loc, partition.StringHash)
+		loc.Barrier()
+		// Every location inserts a disjoint set of keys asynchronously.
+		for i := 0; i < 50; i++ {
+			h.Insert(fmt.Sprintf("k-%d-%d", loc.ID(), i), i)
+		}
+		loc.Fence()
+		if got := h.Size(); got != int64(50*loc.NumLocations()) {
+			t.Errorf("size = %d", got)
+		}
+		// Every location can find every key.
+		for l := 0; l < loc.NumLocations(); l++ {
+			for i := 0; i < 50; i += 10 {
+				k := fmt.Sprintf("k-%d-%d", l, i)
+				if v, ok := h.Find(k); !ok || v != i {
+					t.Errorf("Find(%q) = %d,%v", k, v, ok)
+				}
+				if !h.Contains(k) {
+					t.Errorf("Contains(%q) = false", k)
+				}
+			}
+		}
+		if _, ok := h.Find("missing"); ok {
+			t.Error("found a key that was never inserted")
+		}
+		if h.Contains("missing") {
+			t.Error("contains a key that was never inserted")
+		}
+		// Split-phase find.
+		if f := h.FindSplit(fmt.Sprintf("k-%d-%d", loc.ID(), 7)); f.Get() != 7 {
+			t.Errorf("split find = %d", f.Get())
+		}
+		loc.Fence()
+		// Erase this location's keys.
+		for i := 0; i < 50; i++ {
+			h.EraseAsync(fmt.Sprintf("k-%d-%d", loc.ID(), i))
+		}
+		loc.Fence()
+		if got := h.Size(); got != 0 {
+			t.Errorf("size after erase = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapSyncVariants(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		h := NewHashMap[int64, string](loc, partition.Int64Hash)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			if !h.InsertSync(1, "a") {
+				t.Error("first insert should be new")
+			}
+			if h.InsertSync(1, "b") {
+				t.Error("second insert should overwrite, not be new")
+			}
+			if v, _ := h.Find(1); v != "b" {
+				t.Error("overwrite lost")
+			}
+			if !h.InsertIfAbsent(2, "c") || h.InsertIfAbsent(2, "d") {
+				t.Error("insertIfAbsent semantics wrong")
+			}
+			if v, _ := h.Find(2); v != "c" {
+				t.Error("insertIfAbsent overwrote")
+			}
+			if !h.Erase(1) || h.Erase(1) {
+				t.Error("erase semantics wrong")
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapApplyIsAtomicReduction(t *testing.T) {
+	// All locations increment the same counters concurrently; no update
+	// may be lost (the MapReduce aggregation pattern).
+	run(4, func(loc *runtime.Location) {
+		h := NewHashMap[string, int64](loc, partition.StringHash)
+		loc.Barrier()
+		for i := 0; i < 300; i++ {
+			h.Apply(fmt.Sprintf("word%d", i%7), func(v int64) int64 { return v + 1 })
+		}
+		loc.Fence()
+		var localTotal int64
+		h.LocalRange(func(_ string, v int64) bool { localTotal += v; return true })
+		total := runtime.AllReduceSum(loc, localTotal)
+		want := int64(300 * loc.NumLocations())
+		if total != want {
+			t.Errorf("total counted = %d, want %d", total, want)
+		}
+		if got := h.Size(); got != 7 {
+			t.Errorf("distinct keys = %d, want 7", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapMultipleBucketsPerLocation(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		h := NewHashMap[int64, int](loc, partition.Int64Hash, HashOption{SubdomainsPerLocation: 4})
+		if got := h.LocationManager().NumBContainers(); got != 4 {
+			t.Errorf("local buckets = %d, want 4", got)
+		}
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 100; i++ {
+				h.Insert(i, int(i))
+			}
+		}
+		loc.Fence()
+		for i := int64(0); i < 100; i += 11 {
+			if v, ok := h.Find(i); !ok || v != int(i) {
+				t.Errorf("Find(%d) = %d,%v", i, v, ok)
+			}
+		}
+		if h.MemorySize().Data <= 0 {
+			t.Error("memory accounting wrong")
+		}
+		h.Clear()
+		loc.Fence()
+		if h.Size() != 0 {
+			t.Error("clear failed")
+		}
+		loc.Fence()
+	})
+}
+
+func TestSortedMapRangePartitionAndOrder(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		splitters := UniformInt64Splitters(0, 1000, loc.NumLocations())
+		m := NewMap[int64, string](loc, func(a, b int64) bool { return a < b }, splitters)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 1000; i += 7 {
+				m.Insert(i, fmt.Sprint(i))
+			}
+		}
+		loc.Fence()
+		if got := m.Size(); got != 143 {
+			t.Errorf("size = %d", got)
+		}
+		// Finds work from every location.
+		for i := int64(0); i < 1000; i += 91 {
+			want := i - i%7
+			if v, ok := m.Find(want); !ok || v != fmt.Sprint(want) {
+				t.Errorf("Find(%d) = %q,%v", want, v, ok)
+			}
+		}
+		// Local keys are sorted and fall in this location's key range.
+		keys := m.LocalKeys()
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Errorf("local keys not sorted: %v", keys[:i+1])
+				break
+			}
+		}
+		// Value-based partition: location 0 holds the smallest keys,
+		// the last location the largest.
+		if loc.ID() == 0 && len(keys) > 0 && keys[0] != 0 {
+			t.Errorf("location 0 should hold key 0, first local key = %d", keys[0])
+		}
+		loc.Fence()
+		// Sync insert / erase / split find.
+		if loc.ID() == 1 {
+			if !m.InsertSync(1001, "big") {
+				t.Error("insertSync new wrong")
+			}
+			if v, ok := m.Find(1001); !ok || v != "big" {
+				t.Error("find after insertSync wrong")
+			}
+			if f := m.FindSplit(1001); f.Get() != "big" {
+				t.Error("split find wrong")
+			}
+			if !m.Erase(1001) || m.Erase(1001) {
+				t.Error("erase wrong")
+			}
+			if m.Contains(1001) {
+				t.Error("contains after erase wrong")
+			}
+			m.Apply(500, func(s string) string { return s + "!" })
+		}
+		loc.Fence()
+		if v, _ := m.Find(500); v[len(v)-1] != '!' {
+			t.Errorf("apply wrong: %q", v)
+		}
+		if m.MemorySize().Total() <= 0 {
+			t.Error("memory wrong")
+		}
+		loc.Fence()
+	})
+}
+
+func TestSortedMapNoSplitters(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		m := NewMap[string, int](loc, func(a, b string) bool { return a < b }, nil)
+		loc.Barrier()
+		if loc.ID() == 2 {
+			m.Insert("b", 2)
+			m.Insert("a", 1)
+			m.EraseAsync("missing")
+		}
+		loc.Fence()
+		if m.Size() != 2 {
+			t.Errorf("size = %d", m.Size())
+		}
+		if v, ok := m.Find("a"); !ok || v != 1 {
+			t.Error("find wrong")
+		}
+		loc.Fence()
+	})
+}
+
+func TestUniformInt64Splitters(t *testing.T) {
+	s := UniformInt64Splitters(0, 100, 4)
+	if len(s) != 3 || s[0] != 25 || s[1] != 50 || s[2] != 75 {
+		t.Fatalf("splitters = %v", s)
+	}
+	if UniformInt64Splitters(0, 10, 1) != nil {
+		t.Fatal("single range should have no splitters")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		s := NewSet[string](loc, partition.StringHash)
+		loc.Barrier()
+		// Every location inserts an overlapping set of members.
+		for i := 0; i < 30; i++ {
+			s.Insert(fmt.Sprintf("m%d", i))
+		}
+		loc.Fence()
+		if got := s.Size(); got != 30 {
+			t.Errorf("size = %d, want 30 (duplicates collapse)", got)
+		}
+		if !s.Contains("m7") || s.Contains("nope") {
+			t.Error("membership wrong")
+		}
+		if loc.ID() == 0 {
+			if s.InsertSync("m7") {
+				t.Error("inserting an existing member should report false")
+			}
+			if !s.InsertSync("new") {
+				t.Error("inserting a new member should report true")
+			}
+			if !s.Erase("new") || s.Erase("new") {
+				t.Error("erase wrong")
+			}
+			s.EraseAsync("m0")
+		}
+		s.Fence()
+		if s.Contains("m0") {
+			t.Error("erased member still present")
+		}
+		var localCount int64
+		s.LocalRange(func(string) bool { localCount++; return true })
+		if total := runtime.AllReduceSum(loc, localCount); total != 29 {
+			t.Errorf("members counted = %d, want 29", total)
+		}
+		if s.MemorySize().Total() < 0 {
+			t.Error("memory wrong")
+		}
+		loc.Fence()
+	})
+}
+
+func TestMultiMapSemantics(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		mm := NewMultiMap[string, int](loc, partition.StringHash)
+		loc.Barrier()
+		// All locations append values under shared keys.
+		for i := 0; i < 10; i++ {
+			mm.Insert("shared", loc.ID()*100+i)
+		}
+		mm.Insert(fmt.Sprintf("own-%d", loc.ID()), loc.ID())
+		mm.Fence()
+		if got := mm.Count("shared"); got != 10*loc.NumLocations() {
+			t.Errorf("Count(shared) = %d", got)
+		}
+		if got := mm.NumKeys(); got != int64(1+loc.NumLocations()) {
+			t.Errorf("distinct keys = %d", got)
+		}
+		vs := mm.Find(fmt.Sprintf("own-%d", loc.ID()))
+		if len(vs) != 1 || vs[0] != loc.ID() {
+			t.Errorf("own values = %v", vs)
+		}
+		if len(mm.Find("missing")) != 0 {
+			t.Error("missing key should have no values")
+		}
+		loc.Fence()
+		if loc.ID() == 1 {
+			mm.EraseKey("shared")
+		}
+		mm.Fence()
+		if got := mm.Count("shared"); got != 0 {
+			t.Errorf("Count after EraseKey = %d", got)
+		}
+		count := 0
+		mm.LocalRange(func(string, []int) bool { count++; return true })
+		loc.Fence()
+	})
+}

@@ -1,0 +1,86 @@
+package passoc
+
+import (
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// Set is a pHashSet: a simple associative pContainer in which the key is the
+// value (the paper's pSet/pHashSet).  It is a thin layer over the hashed
+// pair-associative machinery.
+type Set[K comparable] struct {
+	m *HashMap[K, struct{}]
+}
+
+// NewSet constructs an empty pSet distributed by hashing keys with hash.
+// Collective.
+func NewSet[K comparable](loc *runtime.Location, hash func(K) uint64, opt ...HashOption) *Set[K] {
+	return &Set[K]{m: NewHashMap[K, struct{}](loc, hash, opt...)}
+}
+
+// Insert adds k asynchronously.
+func (s *Set[K]) Insert(k K) { s.m.Insert(k, struct{}{}) }
+
+// InsertSync adds k and reports whether it was newly inserted.
+func (s *Set[K]) InsertSync(k K) bool { return s.m.InsertIfAbsent(k, struct{}{}) }
+
+// Contains reports whether k is a member.  Synchronous.
+func (s *Set[K]) Contains(k K) bool { return s.m.Contains(k) }
+
+// EraseAsync removes k asynchronously.
+func (s *Set[K]) EraseAsync(k K) { s.m.EraseAsync(k) }
+
+// Erase removes k and reports whether it was a member.  Synchronous.
+func (s *Set[K]) Erase(k K) bool { return s.m.Erase(k) }
+
+// Size returns the global number of members.  Collective.
+func (s *Set[K]) Size() int64 { return s.m.Size() }
+
+// LocalRange applies fn to every locally stored member.
+func (s *Set[K]) LocalRange(fn func(k K) bool) {
+	s.m.LocalRange(func(k K, _ struct{}) bool { return fn(k) })
+}
+
+// Fence forwards to the RTS fence.
+func (s *Set[K]) Fence() { s.m.Fence() }
+
+// MemorySize returns the container-wide footprint.  Collective.
+func (s *Set[K]) MemorySize() core.MemoryUsage { return s.m.MemorySize() }
+
+// MultiMap is a pMultiMap: a pair-associative pContainer that keeps every
+// value inserted for a key, in insertion order per key.
+type MultiMap[K comparable, V any] struct {
+	m *HashMap[K, []V]
+}
+
+// NewMultiMap constructs an empty pMultiMap distributed by hashing keys.
+// Collective.
+func NewMultiMap[K comparable, V any](loc *runtime.Location, hash func(K) uint64, opt ...HashOption) *MultiMap[K, V] {
+	return &MultiMap[K, V]{m: NewHashMap[K, []V](loc, hash, opt...)}
+}
+
+// Insert appends v to the values stored under k, asynchronously.
+func (mm *MultiMap[K, V]) Insert(k K, v V) {
+	mm.m.Apply(k, func(vs []V) []V { return append(vs, v) })
+}
+
+// Find returns all values stored under k (synchronous).
+func (mm *MultiMap[K, V]) Find(k K) []V {
+	vs, _ := mm.m.Find(k)
+	return vs
+}
+
+// Count returns how many values are stored under k.  Synchronous.
+func (mm *MultiMap[K, V]) Count(k K) int { return len(mm.Find(k)) }
+
+// EraseKey removes all values stored under k, asynchronously.
+func (mm *MultiMap[K, V]) EraseKey(k K) { mm.m.EraseAsync(k) }
+
+// NumKeys returns the global number of distinct keys.  Collective.
+func (mm *MultiMap[K, V]) NumKeys() int64 { return mm.m.Size() }
+
+// LocalRange applies fn to every locally stored (key, values) pair.
+func (mm *MultiMap[K, V]) LocalRange(fn func(k K, vs []V) bool) { mm.m.LocalRange(fn) }
+
+// Fence forwards to the RTS fence.
+func (mm *MultiMap[K, V]) Fence() { mm.m.Fence() }

@@ -1,0 +1,149 @@
+package passoc
+
+import (
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// rangeResolver routes keys through a splitter-based (value) partition, the
+// distribution of sorted associative pContainers (Fig. 58).
+type rangeResolver[K any] struct {
+	part   *partition.Ranged[K]
+	mapper partition.Mapper
+}
+
+func (r rangeResolver[K]) Find(k K) partition.Info      { return r.part.Find(k) }
+func (r rangeResolver[K]) OwnerOf(b partition.BCID) int { return r.mapper.Map(b) }
+
+// Map is the per-location representative of a pMap: an ordered
+// pair-associative pContainer whose keys are distributed by value ranges, so
+// a parallel ordered traversal visits location segments in key order.
+type Map[K any, V any] struct {
+	core.Container[K, *bcontainer.SortedMap[K, V]]
+
+	less   func(a, b K) bool
+	part   *partition.Ranged[K]
+	mapper partition.Mapper
+}
+
+// MapOption customises pMap construction.
+type MapOption struct {
+	// Traits overrides the default container traits.
+	Traits *core.Traits
+}
+
+// NewMap constructs an empty pMap ordered by less and distributed by the
+// given splitter keys (len(splitters)+1 key ranges, assigned blockwise to
+// locations).  With no splitters all keys live in a single range on location
+// 0.  Collective.
+func NewMap[K any, V any](loc *runtime.Location, less func(a, b K) bool, splitters []K, opt ...MapOption) *Map[K, V] {
+	var o MapOption
+	if len(opt) > 0 {
+		o = opt[0]
+	}
+	traits := core.DefaultTraits()
+	if o.Traits != nil {
+		traits = *o.Traits
+	}
+	part := partition.NewRanged(splitters, less)
+	mapper := partition.NewBlockedMapper(part.NumSubdomains(), loc.NumLocations())
+	m := &Map[K, V]{less: less, part: part, mapper: mapper}
+	m.InitContainer(loc, rangeResolver[K]{part: part, mapper: mapper}, traits)
+	for _, b := range mapper.LocalBCIDs(loc.ID()) {
+		m.LocationManager().Add(bcontainer.NewSortedMap[K, V](b, less))
+	}
+	// Constructors are collective: wait for every representative.
+	loc.Barrier()
+	return m
+}
+
+// UniformInt64Splitters builds numRanges-1 equally spaced splitters covering
+// [lo, hi), a convenient default for integer-keyed pMaps.
+func UniformInt64Splitters(lo, hi int64, numRanges int) []int64 {
+	if numRanges <= 1 {
+		return nil
+	}
+	out := make([]int64, 0, numRanges-1)
+	span := hi - lo
+	for i := 1; i < numRanges; i++ {
+		out = append(out, lo+span*int64(i)/int64(numRanges))
+	}
+	return out
+}
+
+// Insert stores (k, v) asynchronously, overwriting any existing value.
+func (m *Map[K, V]) Insert(k K, v V) {
+	m.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.SortedMap[K, V]) { bc.Insert(k, v) })
+}
+
+// InsertSync stores (k, v) and reports whether the key was newly inserted.
+func (m *Map[K, V]) InsertSync(k K, v V) bool {
+	out := m.InvokeRet(k, core.Write, func(_ *runtime.Location, bc *bcontainer.SortedMap[K, V]) any {
+		return bc.Insert(k, v)
+	})
+	return out.(bool)
+}
+
+// Find returns the value stored under k (synchronous).
+func (m *Map[K, V]) Find(k K) (V, bool) {
+	out := m.InvokeRet(k, core.Read, func(_ *runtime.Location, bc *bcontainer.SortedMap[K, V]) any {
+		v, ok := bc.Find(k)
+		return findResult[V]{val: v, ok: ok}
+	}).(findResult[V])
+	return out.val, out.ok
+}
+
+// FindSplit starts a split-phase find of k.
+func (m *Map[K, V]) FindSplit(k K) *runtime.FutureOf[V] {
+	f := m.InvokeSplit(k, core.Read, func(_ *runtime.Location, bc *bcontainer.SortedMap[K, V]) any {
+		v, _ := bc.Find(k)
+		return v
+	})
+	return runtime.NewFutureOf[V](f)
+}
+
+// Contains reports whether k is present.
+func (m *Map[K, V]) Contains(k K) bool {
+	_, ok := m.Find(k)
+	return ok
+}
+
+// EraseAsync removes k asynchronously.
+func (m *Map[K, V]) EraseAsync(k K) {
+	m.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.SortedMap[K, V]) { bc.Erase(k) })
+}
+
+// Erase removes k and reports whether it was present.  Synchronous.
+func (m *Map[K, V]) Erase(k K) bool {
+	out := m.InvokeRet(k, core.Write, func(_ *runtime.Location, bc *bcontainer.SortedMap[K, V]) any { return bc.Erase(k) })
+	return out.(bool)
+}
+
+// Apply applies fn to the value stored under k (starting from the zero value
+// when absent), asynchronously.
+func (m *Map[K, V]) Apply(k K, fn func(V) V) {
+	m.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.SortedMap[K, V]) { bc.Apply(k, fn) })
+}
+
+// Size returns the global number of pairs.  Collective.
+func (m *Map[K, V]) Size() int64 { return m.GlobalSize() }
+
+// LocalRange applies fn to every locally stored pair in key order within
+// each local range.
+func (m *Map[K, V]) LocalRange(fn func(k K, v V) bool) {
+	m.ForEachLocalBC(core.Read, func(bc *bcontainer.SortedMap[K, V]) { bc.Range(fn) })
+}
+
+// LocalKeys returns the locally stored keys in order.
+func (m *Map[K, V]) LocalKeys() []K {
+	var out []K
+	m.ForEachLocalBC(core.Read, func(bc *bcontainer.SortedMap[K, V]) { out = append(out, bc.Keys()...) })
+	return out
+}
+
+// MemorySize returns the container-wide footprint.  Collective.
+func (m *Map[K, V]) MemorySize() core.MemoryUsage {
+	return m.GlobalMemory(partition.MemoryBytes(m.mapper) + int64(m.part.NumSubdomains())*16)
+}

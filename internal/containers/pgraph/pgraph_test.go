@@ -1,0 +1,354 @@
+package pgraph
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+func TestStaticGraphConstruction(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		g := New[int, float64](loc, 100)
+		if g.Strategy() != Static || !g.Directed() {
+			t.Error("defaults wrong")
+		}
+		if got := g.NumVertices(); got != 100 {
+			t.Errorf("vertices = %d", got)
+		}
+		// Vertices are spread: each location holds a share.
+		if n := len(g.LocalVertices()); n != 25 {
+			t.Errorf("local vertices = %d, want 25", n)
+		}
+		// Every descriptor resolves from every location.
+		for vd := int64(0); vd < 100; vd += 13 {
+			if !g.HasVertex(vd) {
+				t.Errorf("vertex %d not found", vd)
+			}
+		}
+		if g.HasVertex(100) {
+			t.Error("vertex 100 should not exist")
+		}
+		loc.Fence()
+	})
+}
+
+func TestStaticGraphRejectsAddVertex(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		g := New[int, int](loc, 10)
+		loc.Fence()
+		defer func() {
+			if recover() == nil {
+				t.Error("add_vertex on a static graph must panic")
+			}
+			loc.Fence()
+		}()
+		g.AddVertex(1)
+	})
+}
+
+func TestStaticGraphEdgesAndProperties(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		g := New[string, int](loc, 40)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			// A ring 0 -> 1 -> ... -> 39 -> 0, plus properties.
+			for vd := int64(0); vd < 40; vd++ {
+				g.SetVertexProperty(vd, "v")
+				g.AddEdgeAsync(vd, (vd+1)%40, int(vd))
+			}
+		}
+		loc.Fence()
+		if got := g.NumEdges(); got != 40 {
+			t.Errorf("edges = %d", got)
+		}
+		for vd := int64(0); vd < 40; vd += 7 {
+			if d := g.OutDegree(vd); d != 1 {
+				t.Errorf("out-degree of %d = %d", vd, d)
+			}
+			es := g.OutEdges(vd)
+			if len(es) != 1 || es[0].Target != (vd+1)%40 {
+				t.Errorf("out-edges of %d = %v", vd, es)
+			}
+			if p, ok := g.FindEdge(vd, (vd+1)%40); !ok || p != int(vd) {
+				t.Errorf("edge property of %d = %d,%v", vd, p, ok)
+			}
+			if _, ok := g.FindEdge(vd, vd); ok {
+				t.Errorf("self edge of %d should not exist", vd)
+			}
+			if p, ok := g.VertexProperty(vd); !ok || p != "v" {
+				t.Errorf("vertex property of %d = %q,%v", vd, p, ok)
+			}
+		}
+		if f := g.OutDegreeSplit(3); f.Get() != 1 {
+			t.Error("split out-degree wrong")
+		}
+		// All locations must finish the read-only checks above before any
+		// location starts mutating vertex 0 below.
+		loc.Barrier()
+		// ApplyVertex mutates atomically from all locations.
+		g.ApplyVertex(0, func(s string) string { return s + "x" })
+		loc.Fence()
+		if p, _ := g.VertexProperty(0); len(p) != 1+loc.NumLocations() {
+			t.Errorf("property after concurrent applies = %q", p)
+		}
+		// Delete an edge.
+		if loc.ID() == 1 {
+			g.DeleteEdge(0, 1)
+		}
+		loc.Fence()
+		if got := g.NumEdges(); got != 39 {
+			t.Errorf("edges after delete = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestUndirectedGraphMirrorsEdges(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		g := New[int, int](loc, 30, WithDirected(false), WithMulti(false))
+		loc.Barrier()
+		if loc.ID() == 0 {
+			g.AddEdgeAsync(0, 29, 7)
+		}
+		loc.Fence()
+		if d := g.OutDegree(0); d != 1 {
+			t.Errorf("degree(0) = %d", d)
+		}
+		if d := g.OutDegree(29); d != 1 {
+			t.Errorf("degree(29) = %d (mirror edge missing)", d)
+		}
+		if _, ok := g.FindEdge(29, 0); !ok {
+			t.Error("mirror edge not found")
+		}
+		// Non-multi: duplicate is rejected on the source side.
+		if loc.ID() == 0 {
+			if g.AddEdge(0, 29, 8) {
+				t.Error("duplicate edge accepted on non-multi graph")
+			}
+		}
+		loc.Fence()
+		if loc.ID() == 1 {
+			g.DeleteEdge(0, 29)
+		}
+		loc.Fence()
+		if g.NumEdges() != 0 {
+			t.Errorf("edges after delete = %d (mirror not removed)", g.NumEdges())
+		}
+		loc.Fence()
+	})
+}
+
+func testDynamicGraph(t *testing.T, strategy Strategy) {
+	t.Helper()
+	run(4, func(loc *runtime.Location) {
+		g := New[int, int](loc, 0, WithStrategy(strategy))
+		if g.Strategy() != strategy {
+			t.Errorf("strategy = %v", g.Strategy())
+		}
+		// Every location adds its own vertices.
+		const perLoc = 25
+		vds := make([]int64, perLoc)
+		for i := 0; i < perLoc; i++ {
+			vds[i] = g.AddVertex(loc.ID()*1000 + i)
+		}
+		loc.Fence()
+		if got := g.NumVertices(); got != int64(perLoc*loc.NumLocations()) {
+			t.Errorf("vertices = %d", got)
+		}
+		// Share descriptors with everyone.
+		all := runtime.AllGatherT(loc, vds)
+		// Every location can read every vertex property (exercises the
+		// address translation / forwarding machinery).
+		for l, list := range all {
+			for i, vd := range list {
+				if p, ok := g.VertexProperty(vd); !ok || p != l*1000+i {
+					t.Errorf("strategy %v: property of %d = %d,%v", strategy, vd, p, ok)
+					return
+				}
+			}
+		}
+		// Build edges across locations: each of my vertices points at the
+		// corresponding vertex of the next location.
+		next := all[(loc.ID()+1)%loc.NumLocations()]
+		for i, vd := range vds {
+			g.AddEdgeAsync(vd, next[i], 1)
+		}
+		loc.Fence()
+		if got := g.NumEdges(); got != int64(perLoc*loc.NumLocations()) {
+			t.Errorf("edges = %d", got)
+		}
+		if d := g.OutDegree(vds[0]); d != 1 {
+			t.Errorf("out-degree = %d", d)
+		}
+		// All locations must finish their reads before the deletion below.
+		loc.Barrier()
+		// Delete a vertex and make sure it disappears globally.
+		if loc.ID() == 0 {
+			g.DeleteVertex(all[1][0])
+		}
+		loc.Fence()
+		if g.HasVertex(all[1][0]) {
+			t.Error("deleted vertex still visible")
+		}
+		if got := g.NumVertices(); got != int64(perLoc*loc.NumLocations()-1) {
+			t.Errorf("vertices after delete = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestDynamicEncodedGraph(t *testing.T)   { testDynamicGraph(t, DynamicEncoded) }
+func TestDynamicDirectoryGraph(t *testing.T) { testDynamicGraph(t, DynamicDirectory) }
+
+func TestDirectoryForwardingResolvesRemoteDescriptors(t *testing.T) {
+	// The defining behaviour of the forwarding strategy: a location that
+	// has never seen a descriptor can still operate on it, going through
+	// the directory location.
+	run(4, func(loc *runtime.Location) {
+		g := New[int, int](loc, 0, WithStrategy(DynamicDirectory))
+		var vd int64 = -1
+		if loc.ID() == 3 {
+			vd = g.AddVertex(42)
+		}
+		loc.Fence()
+		vd = runtime.BroadcastT(loc, 3, vd)
+		if loc.ID() == 0 {
+			// Remote property read, remote apply, remote edge addition.
+			if p, ok := g.VertexProperty(vd); !ok || p != 42 {
+				t.Errorf("property = %d,%v", p, ok)
+			}
+			g.ApplyVertex(vd, func(x int) int { return x + 1 })
+			g.AddEdgeAsync(vd, vd, 9)
+		}
+		loc.Fence()
+		if p, _ := g.VertexProperty(vd); p != 43 {
+			t.Errorf("apply lost: %d", p)
+		}
+		if d := g.OutDegree(vd); d != 1 {
+			t.Errorf("degree = %d", d)
+		}
+		loc.Fence()
+	})
+}
+
+func TestAddVertexWithDescriptor(t *testing.T) {
+	for _, strat := range []Strategy{DynamicEncoded, DynamicDirectory} {
+		strat := strat
+		run(3, func(loc *runtime.Location) {
+			g := New[string, int](loc, 0, WithStrategy(strat))
+			loc.Barrier()
+			if loc.ID() == 0 {
+				// Create vertices whose encoded home is location 2.
+				for i := int64(0); i < 5; i++ {
+					g.AddVertexWithDescriptor(int64(2)<<homeShift|i, "explicit")
+				}
+			}
+			loc.Fence()
+			if got := g.NumVertices(); got != 5 {
+				t.Errorf("strategy %v: vertices = %d", strat, got)
+			}
+			if loc.ID() == 2 {
+				if n := len(g.LocalVertices()); n != 5 {
+					t.Errorf("strategy %v: vertices landed on wrong location (%d local)", strat, n)
+				}
+			}
+			if p, ok := g.VertexProperty(int64(2)<<homeShift | 3); !ok || p != "explicit" {
+				t.Errorf("strategy %v: property lookup failed", strat)
+			}
+			loc.Fence()
+		})
+	}
+}
+
+func TestStaticAddVertexWithDescriptorSetsProperty(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		g := New[string, int](loc, 10)
+		loc.Barrier()
+		if loc.ID() == 1 {
+			g.AddVertexWithDescriptor(4, "hello")
+		}
+		loc.Fence()
+		if p, ok := g.VertexProperty(4); !ok || p != "hello" {
+			t.Errorf("property = %q,%v", p, ok)
+		}
+		loc.Fence()
+	})
+}
+
+func TestVisitRunsAtOwnerAndRecursesLocally(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		g := New[int, int](loc, 16)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			// Chain 0 -> 1 -> 2 -> ... -> 15.
+			for vd := int64(0); vd < 15; vd++ {
+				g.AddEdgeAsync(vd, vd+1, 0)
+			}
+		}
+		loc.Fence()
+		// From location 0, walk the chain with Visit: each visit marks the
+		// vertex and visits its successor (possibly local — exercising the
+		// no-self-deadlock property).
+		var mu sync.Mutex
+		visited := map[int64]bool{}
+		if loc.ID() == 0 {
+			var walk func(og *Graph[int, int], v *Vertex[int, int])
+			walk = func(og *Graph[int, int], v *Vertex[int, int]) {
+				mu.Lock()
+				visited[v.Descriptor] = true
+				mu.Unlock()
+				for _, e := range v.Edges {
+					og.Visit(e.Target, walk)
+				}
+			}
+			g.Visit(0, walk)
+		}
+		loc.Fence()
+		total := runtime.AllReduceSum(loc, int64(len(visited)))
+		if total != 16 {
+			t.Errorf("visited %d vertices, want 16", total)
+		}
+		// Visiting a non-existent vertex is silently dropped.
+		g.Visit(12345, func(*Graph[int, int], *Vertex[int, int]) {
+			t.Error("visit of non-existent vertex executed")
+		})
+		loc.Fence()
+	})
+}
+
+func TestLocalVertexTraversalAndUpdate(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		g := New[int, int](loc, 20)
+		g.UpdateLocalVertices(func(vd int64, _ int) int { return int(vd) })
+		loc.Fence()
+		count := 0
+		g.RangeLocalVertices(func(v *Vertex[int, int]) bool {
+			if v.Property != int(v.Descriptor) {
+				t.Errorf("vertex %d property %d", v.Descriptor, v.Property)
+			}
+			count++
+			return true
+		})
+		if count != 10 {
+			t.Errorf("local vertices = %d", count)
+		}
+		if g.LocalNumEdges() != 0 {
+			t.Error("unexpected local edges")
+		}
+		if g.MemorySize().Total() <= 0 {
+			t.Error("memory wrong")
+		}
+		loc.Fence()
+	})
+}
+
+func TestStrategyString(t *testing.T) {
+	if Static.String() != "static" || DynamicEncoded.String() != "dynamic-no-forwarding" || DynamicDirectory.String() != "dynamic-forwarding" {
+		t.Fatal("strategy names wrong")
+	}
+}

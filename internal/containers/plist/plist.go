@@ -1,0 +1,275 @@
+// Package plist implements the STAPL pList (Chapter X): a distributed
+// doubly-linked sequence.  Unlike pVector, all dynamic operations
+// (push_front/push_back/insert/erase and the parallel-friendly
+// push_anywhere) run in constant time, because element identifiers are
+// stable (location id + local node id) and never shift when other elements
+// are inserted or removed.
+package plist
+
+import (
+	"fmt"
+
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// GID identifies one pList element: the location whose base container stores
+// it and the stable node identifier within that base container.
+type GID struct {
+	Loc int32
+	ID  int64
+}
+
+// InvalidGID is the reserved "no element" identifier.
+var InvalidGID = GID{Loc: -1, ID: -1}
+
+// Valid reports whether the GID refers to an element.
+func (g GID) Valid() bool { return g.Loc >= 0 && g.ID >= 0 }
+
+// String formats the GID for diagnostics.
+func (g GID) String() string { return fmt.Sprintf("(%d,%d)", g.Loc, g.ID) }
+
+// listResolver maps a GID to the base container on its home location: the
+// location is embedded in the identifier, so resolution is O(1) with no
+// directory.
+type listResolver struct {
+	mapper partition.Mapper
+}
+
+func (r listResolver) Find(g GID) partition.Info {
+	if !g.Valid() {
+		return partition.Forward(0)
+	}
+	return partition.Found(partition.BCID(g.Loc))
+}
+
+func (r listResolver) OwnerOf(b partition.BCID) int { return r.mapper.Map(b) }
+
+// List is the per-location representative of a pList of element type T.
+type List[T any] struct {
+	core.Container[GID, *bcontainer.List[T]]
+}
+
+// Option customises pList construction.
+type Option func(*options)
+
+type options struct {
+	traits core.Traits
+	hasTr  bool
+}
+
+// WithTraits overrides the default traits.
+func WithTraits(t core.Traits) Option { return func(o *options) { o.traits = t; o.hasTr = true } }
+
+// New constructs an empty pList with one list base container per location.
+// Collective.
+func New[T any](loc *runtime.Location, opts ...Option) *List[T] {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if !o.hasTr {
+		o.traits = core.DefaultTraits()
+	}
+	p := loc.NumLocations()
+	l := &List[T]{}
+	l.InitContainer(loc, listResolver{mapper: partition.NewBlockedMapper(p, p)}, o.traits)
+	l.LocationManager().Add(bcontainer.NewList[T](partition.BCID(loc.ID())))
+	// Constructors are collective: wait for every representative.
+	loc.Barrier()
+	return l
+}
+
+// local returns this location's list base container.
+func (l *List[T]) local() *bcontainer.List[T] {
+	return l.LocationManager().MustGet(partition.BCID(l.Location().ID()))
+}
+
+// lockedLocal runs fn on this location's base container under the write (or
+// read) bracket of the thread-safety manager and returns fn's result.
+func (l *List[T]) lockedLocal(mode core.AccessMode, fn func(bc *bcontainer.List[T]) any) any {
+	b := partition.BCID(l.Location().ID())
+	l.ThreadSafety().DataAccessPre(b, mode)
+	defer l.ThreadSafety().DataAccessPost(b, mode)
+	return fn(l.local())
+}
+
+// PushAnywhere adds val at an unspecified position — on the calling
+// location, with no communication.  It is the paper's insert-anywhere
+// extension that lets parallel producers fill a list without contending for
+// its global ends.  It returns the new element's GID.
+func (l *List[T]) PushAnywhere(val T) GID {
+	id := l.lockedLocal(core.Write, func(bc *bcontainer.List[T]) any { return bc.PushBack(val) }).(int64)
+	return GID{Loc: int32(l.Location().ID()), ID: id}
+}
+
+// PushBack appends val at the global end of the sequence (the last
+// location's segment).  Asynchronous.
+func (l *List[T]) PushBack(val T) {
+	last := l.Location().NumLocations() - 1
+	if last == l.Location().ID() {
+		l.lockedLocal(core.Write, func(bc *bcontainer.List[T]) any { return bc.PushBack(val) })
+		return
+	}
+	l.InvokeAt(last, func(_ *runtime.Location, self *core.Container[GID, *bcontainer.List[T]]) {
+		b := partition.BCID(last)
+		self.ThreadSafety().DataAccessPre(b, core.Write)
+		self.LocationManager().MustGet(b).PushBack(val)
+		self.ThreadSafety().DataAccessPost(b, core.Write)
+	})
+}
+
+// PushFront prepends val at the global beginning of the sequence (location
+// 0's segment).  Asynchronous.
+func (l *List[T]) PushFront(val T) {
+	if l.Location().ID() == 0 {
+		l.lockedLocal(core.Write, func(bc *bcontainer.List[T]) any { return bc.PushFront(val) })
+		return
+	}
+	l.InvokeAt(0, func(_ *runtime.Location, self *core.Container[GID, *bcontainer.List[T]]) {
+		b := partition.BCID(0)
+		self.ThreadSafety().DataAccessPre(b, core.Write)
+		self.LocationManager().MustGet(b).PushFront(val)
+		self.ThreadSafety().DataAccessPost(b, core.Write)
+	})
+}
+
+// InsertAsync inserts val before the element identified by gid.
+// Asynchronous; constant work on the owning location.
+func (l *List[T]) InsertAsync(gid GID, val T) {
+	l.Invoke(gid, core.Write, func(_ *runtime.Location, bc *bcontainer.List[T]) {
+		bc.InsertBefore(gid.ID, val)
+	})
+}
+
+// Insert inserts val before gid and returns the new element's GID
+// (synchronous).
+func (l *List[T]) Insert(gid GID, val T) GID {
+	id := l.InvokeRet(gid, core.Write, func(_ *runtime.Location, bc *bcontainer.List[T]) any {
+		return bc.InsertBefore(gid.ID, val)
+	}).(int64)
+	return GID{Loc: gid.Loc, ID: id}
+}
+
+// Erase removes the element identified by gid.  Asynchronous.
+func (l *List[T]) Erase(gid GID) {
+	l.Invoke(gid, core.Write, func(_ *runtime.Location, bc *bcontainer.List[T]) { bc.Erase(gid.ID) })
+}
+
+// Get returns the value of the element identified by gid (synchronous).
+func (l *List[T]) Get(gid GID) T {
+	v := l.InvokeRet(gid, core.Read, func(_ *runtime.Location, bc *bcontainer.List[T]) any { return bc.Get(gid.ID) })
+	return v.(T)
+}
+
+// GetSplit starts a split-phase read of the element identified by gid.
+func (l *List[T]) GetSplit(gid GID) *runtime.FutureOf[T] {
+	f := l.InvokeSplit(gid, core.Read, func(_ *runtime.Location, bc *bcontainer.List[T]) any { return bc.Get(gid.ID) })
+	return runtime.NewFutureOf[T](f)
+}
+
+// Set replaces the value of the element identified by gid.  Asynchronous.
+func (l *List[T]) Set(gid GID, val T) {
+	l.Invoke(gid, core.Write, func(_ *runtime.Location, bc *bcontainer.List[T]) { bc.Set(gid.ID, val) })
+}
+
+// Apply applies fn to the element identified by gid in place. Asynchronous.
+func (l *List[T]) Apply(gid GID, fn func(T) T) {
+	l.Invoke(gid, core.Write, func(_ *runtime.Location, bc *bcontainer.List[T]) { bc.Apply(gid.ID, fn) })
+}
+
+// Size returns the global number of elements.  Collective.
+func (l *List[T]) Size() int64 { return l.GlobalSize() }
+
+// LocalValues returns the values stored on this location, in segment order.
+func (l *List[T]) LocalValues() []T {
+	return l.lockedLocal(core.Read, func(bc *bcontainer.List[T]) any { return bc.Values() }).([]T)
+}
+
+// LocalRange applies fn to every locally stored (GID, value) pair in segment
+// order.
+func (l *List[T]) LocalRange(fn func(gid GID, val T) bool) {
+	self := int32(l.Location().ID())
+	l.lockedLocal(core.Read, func(bc *bcontainer.List[T]) any {
+		bc.Range(func(id int64, val T) bool { return fn(GID{Loc: self, ID: id}, val) })
+		return nil
+	})
+}
+
+// LocalUpdate replaces every locally stored element with fn's result.
+func (l *List[T]) LocalUpdate(fn func(gid GID, val T) T) {
+	self := int32(l.Location().ID())
+	l.lockedLocal(core.Write, func(bc *bcontainer.List[T]) any {
+		bc.Update(func(id int64, val T) T { return fn(GID{Loc: self, ID: id}, val) })
+		return nil
+	})
+}
+
+// LocalFront returns the GID of this location's first segment element, or
+// InvalidGID if the segment is empty.
+func (l *List[T]) LocalFront() GID {
+	id := l.lockedLocal(core.Read, func(bc *bcontainer.List[T]) any { return bc.FrontID() }).(int64)
+	if id < 0 {
+		return InvalidGID
+	}
+	return GID{Loc: int32(l.Location().ID()), ID: id}
+}
+
+// LocalBack returns the GID of this location's last segment element, or
+// InvalidGID if the segment is empty.
+func (l *List[T]) LocalBack() GID {
+	id := l.lockedLocal(core.Read, func(bc *bcontainer.List[T]) any { return bc.BackID() }).(int64)
+	if id < 0 {
+		return InvalidGID
+	}
+	return GID{Loc: int32(l.Location().ID()), ID: id}
+}
+
+// Next returns the GID following gid in the global sequence, or InvalidGID
+// at the end.  Crossing a segment boundary moves to the next non-empty
+// location's segment.  Synchronous.
+func (l *List[T]) Next(gid GID) GID {
+	next := l.InvokeRet(gid, core.Read, func(_ *runtime.Location, bc *bcontainer.List[T]) any {
+		return bc.NextID(gid.ID)
+	}).(int64)
+	if next >= 0 {
+		return GID{Loc: gid.Loc, ID: next}
+	}
+	// Move to the first element of the next non-empty segment.
+	for d := int(gid.Loc) + 1; d < l.Location().NumLocations(); d++ {
+		front := l.InvokeAtRet(d, func(_ *runtime.Location, self *core.Container[GID, *bcontainer.List[T]]) any {
+			b := partition.BCID(d)
+			self.ThreadSafety().DataAccessPre(b, core.Read)
+			defer self.ThreadSafety().DataAccessPost(b, core.Read)
+			return self.LocationManager().MustGet(b).FrontID()
+		}).(int64)
+		if front >= 0 {
+			return GID{Loc: int32(d), ID: front}
+		}
+	}
+	return InvalidGID
+}
+
+// Begin returns the GID of the first element of the global sequence, or
+// InvalidGID if the list is empty.  Synchronous.
+func (l *List[T]) Begin() GID {
+	for d := 0; d < l.Location().NumLocations(); d++ {
+		front := l.InvokeAtRet(d, func(_ *runtime.Location, self *core.Container[GID, *bcontainer.List[T]]) any {
+			b := partition.BCID(d)
+			self.ThreadSafety().DataAccessPre(b, core.Read)
+			defer self.ThreadSafety().DataAccessPost(b, core.Read)
+			return self.LocationManager().MustGet(b).FrontID()
+		}).(int64)
+		if front >= 0 {
+			return GID{Loc: int32(d), ID: front}
+		}
+	}
+	return InvalidGID
+}
+
+// MemorySize returns the container-wide data/metadata footprint. Collective.
+func (l *List[T]) MemorySize() core.MemoryUsage {
+	return l.GlobalMemory(32)
+}

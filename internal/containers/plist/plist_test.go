@@ -1,0 +1,221 @@
+package plist
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+func TestListGID(t *testing.T) {
+	if InvalidGID.Valid() {
+		t.Fatal("invalid GID reported valid")
+	}
+	g := GID{Loc: 2, ID: 7}
+	if !g.Valid() || g.String() != "(2,7)" {
+		t.Fatalf("GID basics wrong: %v", g)
+	}
+}
+
+func TestListPushAnywhereAndSize(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		l := New[int](loc)
+		const perLoc = 50
+		for i := 0; i < perLoc; i++ {
+			gid := l.PushAnywhere(loc.ID()*1000 + i)
+			if int(gid.Loc) != loc.ID() {
+				t.Errorf("push_anywhere placed element remotely: %v", gid)
+			}
+		}
+		loc.Fence()
+		if got := l.Size(); got != int64(perLoc*loc.NumLocations()) {
+			t.Errorf("size = %d, want %d", got, perLoc*loc.NumLocations())
+		}
+		// Local values match what this location inserted.
+		vals := l.LocalValues()
+		if len(vals) != perLoc || vals[0] != loc.ID()*1000 {
+			t.Errorf("local values wrong: len=%d first=%d", len(vals), vals[0])
+		}
+		loc.Fence()
+	})
+}
+
+func TestListPushFrontBackEnds(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		l := New[string](loc)
+		loc.Barrier()
+		if loc.ID() == 1 {
+			l.PushFront("front")
+			l.PushBack("back")
+		}
+		loc.Fence()
+		// Front lives on location 0, back on the last location.
+		if loc.ID() == 0 {
+			vals := l.LocalValues()
+			if len(vals) != 1 || vals[0] != "front" {
+				t.Errorf("location 0 values = %v", vals)
+			}
+		}
+		if loc.ID() == 2 {
+			vals := l.LocalValues()
+			if len(vals) != 1 || vals[0] != "back" {
+				t.Errorf("last location values = %v", vals)
+			}
+		}
+		if got := l.Size(); got != 2 {
+			t.Errorf("size = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestListInsertEraseGetSet(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		l := New[int](loc)
+		var a, b GID
+		if loc.ID() == 0 {
+			a = l.PushAnywhere(1)
+			b = l.PushAnywhere(3)
+			_ = b
+			// Insert 2 before b, synchronously, getting its GID back.
+			mid := l.Insert(b, 2)
+			if !mid.Valid() {
+				t.Error("insert returned invalid GID")
+			}
+			if got := l.Get(mid); got != 2 {
+				t.Errorf("Get(mid) = %d", got)
+			}
+			vals := l.LocalValues()
+			if len(vals) != 3 || vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+				t.Errorf("local order = %v", vals)
+			}
+			l.Set(a, 10)
+			l.Apply(a, func(x int) int { return x + 5 })
+		}
+		loc.Fence()
+		if loc.ID() == 1 {
+			// Remote read of location 0's element requires its GID; location 1
+			// reads location 0's first element through Begin.
+			first := l.Begin()
+			if got := l.Get(first); got != 15 {
+				t.Errorf("remote Get(first) = %d, want 15", got)
+			}
+			if f := l.GetSplit(first); f.Get() != 15 {
+				t.Errorf("split get = %d", f.Get())
+			}
+		}
+		loc.Fence()
+		if loc.ID() == 0 {
+			l.Erase(a)
+		}
+		loc.Fence()
+		if got := l.Size(); got != 2 {
+			t.Errorf("size after erase = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestListStableGIDsUnderConcurrentInserts(t *testing.T) {
+	// Each location records GIDs of its own elements, then all locations
+	// insert many more elements; the recorded GIDs must remain valid and
+	// keep their values — the property that makes pList dynamic ops O(1).
+	run(4, func(loc *runtime.Location) {
+		l := New[int](loc)
+		gids := make([]GID, 20)
+		for i := range gids {
+			gids[i] = l.PushAnywhere(loc.ID()*100 + i)
+		}
+		loc.Fence()
+		for i := 0; i < 200; i++ {
+			l.PushAnywhere(-1)
+		}
+		// Also insert remotely before the first recorded element of the
+		// next location (wrap-around).
+		next := (loc.ID() + 1) % loc.NumLocations()
+		remote := GID{Loc: int32(next), ID: 0}
+		l.InsertAsync(remote, -2)
+		loc.Fence()
+		for i, g := range gids {
+			if got := l.Get(g); got != loc.ID()*100+i {
+				t.Errorf("element %v changed value: %d", g, got)
+			}
+		}
+		wantSize := int64(loc.NumLocations() * (20 + 200 + 1))
+		if got := l.Size(); got != wantSize {
+			t.Errorf("size = %d, want %d", got, wantSize)
+		}
+		loc.Fence()
+	})
+}
+
+func TestListGlobalTraversal(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		l := New[int](loc)
+		// Each location appends its id+1 elements locally.
+		for i := 0; i <= loc.ID(); i++ {
+			l.PushAnywhere(loc.ID())
+		}
+		loc.Fence()
+		if loc.ID() == 0 {
+			// Walk the global sequence: 1 element from loc 0, 2 from loc 1,
+			// 3 from loc 2.
+			var seen []int
+			for g := l.Begin(); g.Valid(); g = l.Next(g) {
+				seen = append(seen, l.Get(g))
+			}
+			want := []int{0, 1, 1, 2, 2, 2}
+			if len(seen) != len(want) {
+				t.Fatalf("traversal = %v", seen)
+			}
+			for i := range want {
+				if seen[i] != want[i] {
+					t.Fatalf("traversal = %v, want %v", seen, want)
+				}
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestListLocalFrontBackAndUpdate(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		l := New[int](loc)
+		if l.LocalFront().Valid() || l.LocalBack().Valid() {
+			t.Error("empty segment should have invalid front/back")
+		}
+		l.PushAnywhere(1)
+		l.PushAnywhere(2)
+		if !l.LocalFront().Valid() || !l.LocalBack().Valid() {
+			t.Error("front/back should be valid after inserts")
+		}
+		if l.Get(l.LocalFront()) != 1 || l.Get(l.LocalBack()) != 2 {
+			t.Error("front/back values wrong")
+		}
+		l.LocalUpdate(func(_ GID, v int) int { return v * 10 })
+		sum := 0
+		l.LocalRange(func(_ GID, v int) bool { sum += v; return true })
+		if sum != 30 {
+			t.Errorf("local sum = %d", sum)
+		}
+		loc.Fence()
+		if l.MemorySize().Data <= 0 {
+			t.Error("memory accounting wrong")
+		}
+		loc.Fence()
+	})
+}
+
+func TestListEmptyBeginIsInvalid(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		l := New[int](loc)
+		loc.Fence()
+		if loc.ID() == 0 && l.Begin().Valid() {
+			t.Error("Begin of empty list should be invalid")
+		}
+		loc.Fence()
+	})
+}

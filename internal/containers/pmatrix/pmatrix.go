@@ -1,0 +1,158 @@
+// Package pmatrix implements the STAPL pMatrix: a dense two-dimensional
+// indexed pContainer partitioned into rectangular blocks (by rows, by
+// columns or checkerboard) distributed over the locations.
+package pmatrix
+
+import (
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// matrixResolver adapts a 2-D matrix partition plus a mapper into a
+// core.Resolver over Index2D GIDs.
+type matrixResolver struct {
+	part   *partition.Matrix
+	mapper partition.Mapper
+}
+
+func (r matrixResolver) Find(g domain.Index2D) partition.Info { return r.part.Find(g) }
+func (r matrixResolver) OwnerOf(b partition.BCID) int         { return r.mapper.Map(b) }
+
+// Matrix is the per-location representative of a pMatrix of element type T.
+type Matrix[T any] struct {
+	core.Container[domain.Index2D, *bcontainer.MatrixBlock[T]]
+
+	dom    domain.Range2D
+	part   *partition.Matrix
+	mapper partition.Mapper
+}
+
+// Option customises pMatrix construction.
+type Option func(*options)
+
+type options struct {
+	layout partition.MatrixLayout
+	blocks int
+	traits core.Traits
+	hasTr  bool
+}
+
+// WithLayout selects the block decomposition (default RowBlocked).
+func WithLayout(l partition.MatrixLayout) Option { return func(o *options) { o.layout = l } }
+
+// WithBlocks overrides the number of blocks (default: one per location).
+func WithBlocks(n int) Option { return func(o *options) { o.blocks = n } }
+
+// WithTraits overrides the default traits.
+func WithTraits(t core.Traits) Option { return func(o *options) { o.traits = t; o.hasTr = true } }
+
+// New constructs a rows×cols pMatrix.  Collective.
+func New[T any](loc *runtime.Location, rows, cols int64, opts ...Option) *Matrix[T] {
+	o := options{layout: partition.RowBlocked}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.blocks <= 0 {
+		o.blocks = loc.NumLocations()
+	}
+	if !o.hasTr {
+		o.traits = core.DefaultTraits()
+	}
+	dom := domain.NewRange2D(rows, cols)
+	part := partition.NewMatrix(dom, o.blocks, o.layout)
+	mapper := partition.NewBlockedMapper(part.NumSubdomains(), loc.NumLocations())
+	m := &Matrix[T]{dom: dom, part: part, mapper: mapper}
+	m.InitContainer(loc, matrixResolver{part: part, mapper: mapper}, o.traits)
+	for _, b := range mapper.LocalBCIDs(loc.ID()) {
+		r, c := part.Block(b)
+		m.LocationManager().Add(bcontainer.NewMatrixBlock[T](b, r, c))
+	}
+	// Constructors are collective: wait for every representative.
+	loc.Barrier()
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix[T]) Rows() int64 { return m.dom.Rows }
+
+// Cols returns the number of columns.
+func (m *Matrix[T]) Cols() int64 { return m.dom.Cols }
+
+// Size returns the number of elements.
+func (m *Matrix[T]) Size() int64 { return m.dom.Size() }
+
+// Domain returns the 2-D index domain.
+func (m *Matrix[T]) Domain() domain.Range2D { return m.dom }
+
+// Partition returns the block partition in use.
+func (m *Matrix[T]) Partition() *partition.Matrix { return m.part }
+
+// Get returns the element at (row, col).  Synchronous.
+func (m *Matrix[T]) Get(row, col int64) T {
+	g := domain.Index2D{Row: row, Col: col}
+	v := m.InvokeRet(g, core.Read, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T]) any { return bc.Get(g) })
+	return v.(T)
+}
+
+// Set stores val at (row, col).  Asynchronous.
+func (m *Matrix[T]) Set(row, col int64, val T) {
+	g := domain.Index2D{Row: row, Col: col}
+	m.Invoke(g, core.Write, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T]) { bc.Set(g, val) })
+}
+
+// Apply applies fn to the element at (row, col) in place.  Asynchronous.
+func (m *Matrix[T]) Apply(row, col int64, fn func(T) T) {
+	g := domain.Index2D{Row: row, Col: col}
+	m.Invoke(g, core.Write, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T]) { bc.Apply(g, fn) })
+}
+
+// GetSplit starts a split-phase read of the element at (row, col).
+func (m *Matrix[T]) GetSplit(row, col int64) *runtime.FutureOf[T] {
+	g := domain.Index2D{Row: row, Col: col}
+	f := m.InvokeSplit(g, core.Read, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T]) any { return bc.Get(g) })
+	return runtime.NewFutureOf[T](f)
+}
+
+// LocalBlocks returns the (row range, column range) of every block stored on
+// this location.
+func (m *Matrix[T]) LocalBlocks() (rows, cols []domain.Range1D) {
+	for _, b := range m.LocationManager().BCIDs() {
+		r, c := m.part.Block(b)
+		rows = append(rows, r)
+		cols = append(cols, c)
+	}
+	return rows, cols
+}
+
+// RangeLocal applies fn to every locally stored (index, value) pair.
+func (m *Matrix[T]) RangeLocal(fn func(g domain.Index2D, val T) bool) {
+	m.ForEachLocalBC(core.Read, func(bc *bcontainer.MatrixBlock[T]) { bc.Range(fn) })
+}
+
+// UpdateLocal replaces every locally stored element with fn's result.
+func (m *Matrix[T]) UpdateLocal(fn func(g domain.Index2D, val T) T) {
+	m.ForEachLocalBC(core.Write, func(bc *bcontainer.MatrixBlock[T]) { bc.Update(fn) })
+}
+
+// LocalRowRange invokes fn for every locally stored row fragment: the global
+// row index and the contiguous slice of that row's locally stored columns
+// (starting at the block's first column).  Row-oriented algorithms (e.g. the
+// row-minimum composition study, Fig. 62) use it to process local data
+// without per-element calls.
+func (m *Matrix[T]) LocalRowRange(fn func(row int64, colStart int64, vals []T)) {
+	m.ForEachLocalBC(core.Read, func(bc *bcontainer.MatrixBlock[T]) {
+		rows := bc.Rows()
+		for r := rows.Lo; r < rows.Hi; r++ {
+			fn(r, bc.Cols().Lo, bc.RowSlice(r))
+		}
+	})
+}
+
+// MemorySize returns the container-wide data/metadata footprint. Collective.
+func (m *Matrix[T]) MemorySize() core.MemoryUsage {
+	meta := partition.MemoryBytes(m.mapper) + 64
+	return m.GlobalMemory(meta)
+}

@@ -1,0 +1,212 @@
+package pvector
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+func TestVectorConstructionAndIndexAccess(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		v := New[int](loc, 40)
+		if v.Size() != 40 {
+			t.Errorf("size = %d", v.Size())
+		}
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 40; i++ {
+				v.Set(i, int(i)*3)
+			}
+		}
+		loc.Fence()
+		for i := int64(0); i < 40; i++ {
+			if got := v.Get(i); got != int(i)*3 {
+				t.Errorf("Get(%d) = %d", i, got)
+				return
+			}
+		}
+		if f := v.GetSplit(17); f.Get() != 51 {
+			t.Errorf("split get = %d", f.Get())
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorPushBackGrowsAtEnd(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		v := New[int](loc, 9)
+		loc.Barrier()
+		if loc.ID() == 1 {
+			for k := 0; k < 5; k++ {
+				v.PushBack(100 + k)
+			}
+		}
+		loc.Fence()
+		if v.Size() != 14 {
+			t.Errorf("size = %d, want 14", v.Size())
+		}
+		for k := 0; k < 5; k++ {
+			if got := v.Get(int64(9 + k)); got != 100+k {
+				t.Errorf("appended element %d = %d", 9+k, got)
+			}
+		}
+		loc.Fence()
+		// PopBack removes from the global end.
+		if loc.ID() == 0 {
+			v.PopBack()
+		}
+		loc.Fence()
+		if v.Size() != 13 {
+			t.Errorf("size after pop = %d", v.Size())
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorInsertShiftsIndices(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		v := New[string](loc, 4)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 4; i++ {
+				v.Set(i, string(rune('a'+i)))
+			}
+		}
+		loc.Fence()
+		if loc.ID() == 0 {
+			v.Insert(2, "X") // a b X c d
+		}
+		loc.Fence()
+		if v.Size() != 5 {
+			t.Fatalf("size = %d", v.Size())
+		}
+		want := []string{"a", "b", "X", "c", "d"}
+		for i, w := range want {
+			if got := v.Get(int64(i)); got != w {
+				t.Errorf("element %d = %q, want %q (block sizes %v)", i, got, w, v.BlockSizes())
+			}
+		}
+		loc.Fence()
+		if loc.ID() == 1 {
+			v.Erase(2) // back to a b c d
+		}
+		loc.Fence()
+		if v.Size() != 4 || v.Get(2) != "c" {
+			t.Errorf("after erase: size=%d element2=%q", v.Size(), v.Get(2))
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorApplyAndLocalTraversal(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		v := New[int64](loc, 64)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 64; i++ {
+				v.Set(i, 1)
+			}
+		}
+		loc.Fence()
+		for i := int64(0); i < 64; i++ {
+			v.Apply(i, func(x int64) int64 { return x + 1 })
+		}
+		loc.Fence()
+		var localSum int64
+		v.LocalRange(func(_ int64, x int64) bool { localSum += x; return true })
+		total := runtime.AllReduceSum(loc, localSum)
+		want := int64(64 * (1 + loc.NumLocations()))
+		if total != want {
+			t.Errorf("total = %d, want %d", total, want)
+		}
+		// Local update and domain.
+		v.LocalUpdate(func(gid int64, _ int64) int64 { return gid })
+		d := v.LocalDomain()
+		if d.Size() != 16 {
+			t.Errorf("local domain size = %d, want 16", d.Size())
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorBlockTableConsistencyAfterManyInserts(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		v := New[int](loc, 10)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			for i := int64(0); i < 10; i++ {
+				v.Set(i, int(i))
+			}
+		}
+		loc.Fence()
+		// Interleave inserts at the front from one location only (the
+		// paper's semantics do not define the outcome of concurrent
+		// positional inserts without synchronisation).
+		if loc.ID() == 1 {
+			for k := 0; k < 10; k++ {
+				v.Insert(0, 1000+k)
+			}
+		}
+		loc.Fence()
+		if v.Size() != 20 {
+			t.Fatalf("size = %d", v.Size())
+		}
+		// The ten inserted values occupy the front in reverse insertion
+		// order, followed by the original sequence.
+		for k := 0; k < 10; k++ {
+			if got := v.Get(int64(k)); got != 1009-k {
+				t.Errorf("front element %d = %d, want %d", k, got, 1009-k)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			if got := v.Get(int64(10 + i)); got != i {
+				t.Errorf("shifted element %d = %d, want %d", 10+i, got, i)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorMemoryAndBlockSizes(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		v := New[int64](loc, 100)
+		sizes := v.BlockSizes()
+		if len(sizes) != 2 || sizes[0]+sizes[1] != 100 {
+			t.Errorf("block sizes = %v", sizes)
+		}
+		mu := v.MemorySize()
+		if mu.Data < 800 || mu.Metadata <= 0 {
+			t.Errorf("memory = %+v", mu)
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorEmptyAndSingleLocation(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		v := New[int](loc, 0)
+		if v.Size() != 0 {
+			t.Errorf("size = %d", v.Size())
+		}
+		v.PushBack(1)
+		v.PushBack(2)
+		loc.Fence()
+		if v.Size() != 2 || v.Get(0) != 1 || v.Get(1) != 2 {
+			t.Error("push_back into empty vector broken")
+		}
+		v.Insert(1, 9)
+		loc.Fence()
+		if v.Get(1) != 9 || v.Get(2) != 2 {
+			t.Error("insert into singleton block broken")
+		}
+		v.Erase(0)
+		loc.Fence()
+		if v.Size() != 2 || v.Get(0) != 9 {
+			t.Error("erase broken")
+		}
+	})
+}

@@ -1,0 +1,27 @@
+// Package core implements the STAPL Parallel Container Framework (PCF), the
+// primary contribution of the paper: the machinery that turns a collection
+// of per-location base containers into a single globally addressable,
+// thread-safe, distributed pContainer.
+//
+// The package provides
+//
+//   - the bContainer concept (Table III): the minimal interface any storage
+//     (sequential or concurrent) must implement to be used by a pContainer;
+//   - the location manager (Table IV): the per-location registry of base
+//     containers;
+//   - the thread-safety manager (Chapter VI): pluggable locking policies at
+//     element, bContainer, or location granularity;
+//   - the data-distribution manager (Table X, Fig. 8): the generic invoke
+//     skeleton that resolves a GID to its owning location and bContainer,
+//     executes the requested action there — locally when possible, through
+//     an RMI otherwise — and supports method forwarding when the home of a
+//     GID is not known locally;
+//   - the pContainer base (Table XI): SPMD-collective construction and
+//     registration with the RTS, global size and memory accounting, and the
+//     traits used to customise all of the above per container instance.
+//
+// Concrete containers (pArray, pList, pGraph, ...) in internal/containers
+// embed core.Container and express their methods as calls to Invoke /
+// InvokeRet / InvokeSplit with container-specific actions, exactly as the
+// paper's containers route their methods through the distribution manager.
+package core

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// This file implements the data-distribution manager's generic method
+// skeleton (Table X, Figures 8 and 17 of the paper).  Every element-wise
+// container method is expressed as one of three invoke flavours:
+//
+//	Invoke       — asynchronous, no result (set_element, insert_async, ...)
+//	InvokeRet    — synchronous, blocks for the result (get_element, ...)
+//	InvokeSplit  — split-phase, returns a Future   (split_phase_get_element)
+//
+// Each flavour resolves the GID through the container's resolver.  If the
+// owning base container is local the action runs in place under the
+// thread-safety manager; otherwise the invocation is shipped to the owning
+// location (or, when the partition only knows a hint, forwarded to the
+// location that may know more — the paper's method forwarding), where the
+// same resolution repeats.
+
+// maxForwardHops bounds forwarding chains so that a mis-configured partition
+// produces a clear failure instead of an infinite ping-pong of requests.
+const maxForwardHops = 64
+
+// Invoke runs action on the base container owning gid, asynchronously: the
+// call returns as soon as the request is issued.  mode describes whether the
+// action reads or writes the base container, so the thread-safety manager
+// can pick a shared or exclusive lock.
+func (c *Container[G, B]) Invoke(gid G, mode AccessMode, action func(loc *runtime.Location, bc B)) {
+	if c.Sequential() {
+		// Under the sequential model asynchronous methods execute
+		// synchronously (Claim 3 of Chapter VII).
+		c.InvokeRet(gid, mode, func(loc *runtime.Location, bc B) any {
+			action(loc, bc)
+			return nil
+		})
+		return
+	}
+	c.invokeHop(gid, mode, action, 0, false)
+}
+
+// invokeHop performs one resolution step of an asynchronous invocation.
+func (c *Container[G, B]) invokeHop(gid G, mode AccessMode, action func(loc *runtime.Location, bc B), hops int, urgent bool) {
+	if hops > maxForwardHops {
+		panic(fmt.Sprintf("core: invocation for GID %v forwarded more than %d times", gid, maxForwardHops))
+	}
+	dest, info := c.resolve(gid)
+	if info.Valid && dest == c.loc.ID() {
+		if bc, ok := c.locMgr.Get(info.BCID); ok {
+			c.ths.DataAccessPre(info.BCID, mode)
+			action(c.loc, bc)
+			c.ths.DataAccessPost(info.BCID, mode)
+			return
+		}
+	}
+	if dest == c.loc.ID() && !info.Valid {
+		panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gid))
+	}
+	send := c.loc.AsyncRMI
+	if urgent {
+		send = c.loc.AsyncRMIUrgent
+	}
+	send(dest, c.handle, func(obj any, _ *runtime.Location) {
+		obj.(*Container[G, B]).invokeHop(gid, mode, action, hops+1, urgent)
+	})
+}
+
+// InvokeRet runs action on the base container owning gid and blocks until
+// its result is available (a synchronous method).
+func (c *Container[G, B]) InvokeRet(gid G, mode AccessMode, action func(loc *runtime.Location, bc B) any) any {
+	return c.InvokeSplit(gid, mode, action).Get()
+}
+
+// InvokeSplit starts a split-phase invocation of action on the base
+// container owning gid and returns a future for its result.  The caller may
+// overlap other work and call Get later; forwarding hops are delivered
+// urgently so a blocked Get always makes progress.
+func (c *Container[G, B]) InvokeSplit(gid G, mode AccessMode, action func(loc *runtime.Location, bc B) any) *runtime.Future {
+	fut := runtime.NewFuture()
+	c.invokeReplyHop(gid, mode, action, fut, 0)
+	return fut
+}
+
+// invokeReplyHop performs one resolution step of a value-returning
+// invocation, completing fut when the action finally runs.
+func (c *Container[G, B]) invokeReplyHop(gid G, mode AccessMode, action func(loc *runtime.Location, bc B) any, fut *runtime.Future, hops int) {
+	if hops > maxForwardHops {
+		panic(fmt.Sprintf("core: invocation for GID %v forwarded more than %d times", gid, maxForwardHops))
+	}
+	dest, info := c.resolve(gid)
+	if info.Valid && dest == c.loc.ID() {
+		if bc, ok := c.locMgr.Get(info.BCID); ok {
+			c.ths.DataAccessPre(info.BCID, mode)
+			v := action(c.loc, bc)
+			c.ths.DataAccessPost(info.BCID, mode)
+			fut.Complete(v)
+			return
+		}
+	}
+	if dest == c.loc.ID() && !info.Valid {
+		panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gid))
+	}
+	c.loc.AsyncRMIUrgent(dest, c.handle, func(obj any, _ *runtime.Location) {
+		obj.(*Container[G, B]).invokeReplyHop(gid, mode, action, fut, hops+1)
+	})
+}
+
+// resolve queries the partition (under a metadata read bracket) and the
+// mapper for the location responsible for gid.
+func (c *Container[G, B]) resolve(gid G) (dest int, info partition.Info) {
+	c.ths.MetadataAccessPre(Read)
+	info = c.resolver.Find(gid)
+	c.ths.MetadataAccessPost(Read)
+	if info.Valid {
+		return c.resolver.OwnerOf(info.BCID), info
+	}
+	return info.Hint, info
+}
+
+// InvokeAt runs action on a specific location's representative regardless of
+// any GID (used by directory updates, redistribution and container-wide
+// maintenance operations).  It is asynchronous.
+func (c *Container[G, B]) InvokeAt(dest int, action func(loc *runtime.Location, self *Container[G, B])) {
+	c.loc.AsyncRMI(dest, c.handle, func(obj any, loc *runtime.Location) {
+		action(loc, obj.(*Container[G, B]))
+	})
+}
+
+// InvokeAtRet runs action on a specific location's representative and blocks
+// for its result.
+func (c *Container[G, B]) InvokeAtRet(dest int, action func(loc *runtime.Location, self *Container[G, B]) any) any {
+	return c.loc.SyncRMI(dest, c.handle, func(obj any, loc *runtime.Location) any {
+		return action(loc, obj.(*Container[G, B]))
+	})
+}
+
+// InvokeOnBC runs action asynchronously on the location owning the given
+// sub-domain, passing it that sub-domain's base container.
+func (c *Container[G, B]) InvokeOnBC(b partition.BCID, mode AccessMode, action func(loc *runtime.Location, bc B)) {
+	dest := c.resolver.OwnerOf(b)
+	if dest == c.loc.ID() {
+		if bc, ok := c.locMgr.Get(b); ok {
+			c.ths.DataAccessPre(b, mode)
+			action(c.loc, bc)
+			c.ths.DataAccessPost(b, mode)
+			return
+		}
+		panic(fmt.Sprintf("core: sub-domain %d mapped to this location but has no bContainer", b))
+	}
+	c.loc.AsyncRMI(dest, c.handle, func(obj any, _ *runtime.Location) {
+		obj.(*Container[G, B]).InvokeOnBC(b, mode, action)
+	})
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/partition"
+)
+
+// LockGranularity selects how much state a method invocation locks while it
+// runs (Chapter VI, Section D): nothing, one element, one base container, or
+// all local state of the container.
+type LockGranularity int
+
+// Lock granularities, mirroring the paper's NONE / ELEMENT / BCONTAINER /
+// LOCAL method attributes.
+const (
+	LockNone LockGranularity = iota
+	LockElement
+	LockBContainer
+	LockLocal
+)
+
+// AccessMode describes whether a method reads or writes the state it locks.
+type AccessMode int
+
+// Access modes for data and metadata.
+const (
+	Read AccessMode = iota
+	Write
+)
+
+// MethodPolicy is one row of the paper's locking-policy table: the
+// granularity and data/metadata access modes of one container method.
+type MethodPolicy struct {
+	Granularity LockGranularity
+	Data        AccessMode
+	Metadata    AccessMode
+}
+
+// PolicyTable maps method identifiers to their locking policies.  Containers
+// populate it in their constructors (see the pVector example in the paper)
+// and the thread-safety manager consults it on every invocation.
+type PolicyTable map[string]MethodPolicy
+
+// ThreadSafety is the thread-safety manager concept (Chapter VI, Section C).
+// The distribution manager brackets metadata queries and bContainer actions
+// with these calls; implementations decide what, if anything, to lock.
+type ThreadSafety interface {
+	// MetadataAccessPre/Post bracket accesses to the partition and other
+	// distribution metadata.
+	MetadataAccessPre(mode AccessMode)
+	MetadataAccessPost(mode AccessMode)
+	// DataAccessPre/Post bracket the execution of an action on a base
+	// container.
+	DataAccessPre(b partition.BCID, mode AccessMode)
+	DataAccessPost(b partition.BCID, mode AccessMode)
+}
+
+// NoLocking performs no synchronisation.  It is the right manager for
+// read-only phases or when the algorithm's task dependence graph already
+// guarantees exclusive access (the paper's NONE customisation).
+type NoLocking struct{}
+
+// MetadataAccessPre is a no-op.
+func (NoLocking) MetadataAccessPre(AccessMode) {}
+
+// MetadataAccessPost is a no-op.
+func (NoLocking) MetadataAccessPost(AccessMode) {}
+
+// DataAccessPre is a no-op.
+func (NoLocking) DataAccessPre(partition.BCID, AccessMode) {}
+
+// DataAccessPost is a no-op.
+func (NoLocking) DataAccessPost(partition.BCID, AccessMode) {}
+
+// BContainerLocking serialises access per base container with a
+// reader/writer lock each, plus one reader/writer lock for the metadata.
+// It is the default manager of every pContainer: incoming RMIs (served by
+// the location's RMI server goroutine) and local invocations (from the SPMD
+// goroutine) may touch the same base container concurrently, and this
+// manager makes each method's bContainer access atomic.
+type BContainerLocking struct {
+	metaMu sync.RWMutex
+	mu     sync.Mutex
+	locks  map[partition.BCID]*sync.RWMutex
+}
+
+// NewBContainerLocking returns a per-bContainer locking manager.
+func NewBContainerLocking() *BContainerLocking {
+	return &BContainerLocking{locks: make(map[partition.BCID]*sync.RWMutex)}
+}
+
+func (t *BContainerLocking) lockFor(b partition.BCID) *sync.RWMutex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.locks[b]
+	if !ok {
+		l = &sync.RWMutex{}
+		t.locks[b] = l
+	}
+	return l
+}
+
+// MetadataAccessPre acquires the metadata lock.
+func (t *BContainerLocking) MetadataAccessPre(mode AccessMode) {
+	if mode == Write {
+		t.metaMu.Lock()
+	} else {
+		t.metaMu.RLock()
+	}
+}
+
+// MetadataAccessPost releases the metadata lock.
+func (t *BContainerLocking) MetadataAccessPost(mode AccessMode) {
+	if mode == Write {
+		t.metaMu.Unlock()
+	} else {
+		t.metaMu.RUnlock()
+	}
+}
+
+// DataAccessPre acquires the lock of base container b.
+func (t *BContainerLocking) DataAccessPre(b partition.BCID, mode AccessMode) {
+	l := t.lockFor(b)
+	if mode == Write {
+		l.Lock()
+	} else {
+		l.RLock()
+	}
+}
+
+// DataAccessPost releases the lock of base container b.
+func (t *BContainerLocking) DataAccessPost(b partition.BCID, mode AccessMode) {
+	l := t.lockFor(b)
+	if mode == Write {
+		l.Unlock()
+	} else {
+		l.RUnlock()
+	}
+}
+
+// LocationLocking serialises every data access on the location with a single
+// reader/writer lock (the paper's LOCAL granularity), which some dynamic
+// containers need for methods that restructure several base containers at
+// once.
+type LocationLocking struct {
+	metaMu sync.RWMutex
+	dataMu sync.RWMutex
+}
+
+// NewLocationLocking returns a whole-location locking manager.
+func NewLocationLocking() *LocationLocking { return &LocationLocking{} }
+
+// MetadataAccessPre acquires the metadata lock.
+func (t *LocationLocking) MetadataAccessPre(mode AccessMode) {
+	if mode == Write {
+		t.metaMu.Lock()
+	} else {
+		t.metaMu.RLock()
+	}
+}
+
+// MetadataAccessPost releases the metadata lock.
+func (t *LocationLocking) MetadataAccessPost(mode AccessMode) {
+	if mode == Write {
+		t.metaMu.Unlock()
+	} else {
+		t.metaMu.RUnlock()
+	}
+}
+
+// DataAccessPre acquires the location-wide data lock.
+func (t *LocationLocking) DataAccessPre(_ partition.BCID, mode AccessMode) {
+	if mode == Write {
+		t.dataMu.Lock()
+	} else {
+		t.dataMu.RLock()
+	}
+}
+
+// DataAccessPost releases the location-wide data lock.
+func (t *LocationLocking) DataAccessPost(_ partition.BCID, mode AccessMode) {
+	if mode == Write {
+		t.dataMu.Unlock()
+	} else {
+		t.dataMu.RUnlock()
+	}
+}
+
+// LockPolicy names the built-in thread-safety managers selectable through
+// Traits.
+type LockPolicy int
+
+// Built-in locking policies.
+const (
+	// PolicyPerBContainer is the default: one reader/writer lock per base
+	// container.
+	PolicyPerBContainer LockPolicy = iota
+	// PolicyPerLocation serialises all data accesses on a location.
+	PolicyPerLocation
+	// PolicyNone disables framework locking entirely.
+	PolicyNone
+)
+
+// newThreadSafety instantiates the manager selected by a policy.
+func newThreadSafety(p LockPolicy) ThreadSafety {
+	switch p {
+	case PolicyPerLocation:
+		return NewLocationLocking()
+	case PolicyNone:
+		return NoLocking{}
+	default:
+		return NewBContainerLocking()
+	}
+}

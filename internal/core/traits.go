@@ -1,0 +1,47 @@
+package core
+
+// ConsistencyModel selects the memory-consistency model a pContainer's
+// element-wise methods follow (Chapter VII).
+type ConsistencyModel int
+
+// Supported consistency models.
+const (
+	// Relaxed is the paper's default pContainer MCM: asynchronous methods
+	// complete by the next fence (or by a later synchronous/split-phase
+	// access of the same element from the same location), per-element
+	// program order is preserved per location, and no global order is
+	// guaranteed between operations on different elements.
+	Relaxed ConsistencyModel = iota
+	// Sequential restricts the container interface to synchronous methods
+	// only, which (per Claim 3 of the paper) makes concurrent invocations
+	// sequentially consistent.  Asynchronous container methods degrade to
+	// their synchronous equivalents under this model.
+	Sequential
+)
+
+// Traits customises a pContainer instance, mirroring the paper's traits
+// template arguments: which thread-safety manager guards data and metadata,
+// which consistency model element-wise methods follow, and whether method
+// forwarding is enabled for partitions that support it.
+type Traits struct {
+	// Locking selects the thread-safety manager.
+	Locking LockPolicy
+	// Consistency selects the memory-consistency model.
+	Consistency ConsistencyModel
+	// Custom, when non-nil, overrides the manager selected by Locking.
+	Custom ThreadSafety
+}
+
+// DefaultTraits returns the defaults used when a container is constructed
+// without explicit traits: per-bContainer locking and the relaxed MCM.
+func DefaultTraits() Traits {
+	return Traits{Locking: PolicyPerBContainer, Consistency: Relaxed}
+}
+
+// manager instantiates the thread-safety manager described by the traits.
+func (t Traits) manager() ThreadSafety {
+	if t.Custom != nil {
+		return t.Custom
+	}
+	return newThreadSafety(t.Locking)
+}

@@ -1,0 +1,467 @@
+// Package domain implements the pContainer domain concepts of the STAPL
+// Parallel Container Framework: sets of global identifiers (GIDs) with
+// optional total orders, finite ordered domains with first/last/next/prev/
+// advance/offset operations, multi-dimensional index domains, enumerated
+// domains and composed (filtered, intersected) domains.
+//
+// Domains describe *which* elements a container (or a view of it) holds;
+// partitions (package partition) decompose domains into sub-domains that are
+// then mapped to locations.
+package domain
+
+// GID constraints: 1-D indexed containers use int64 indices, 2-D containers
+// use Index2D, associative containers use their key type.
+
+// Index2D is the GID type of two-dimensional indexed containers (pMatrix).
+type Index2D struct {
+	Row, Col int64
+}
+
+// Ordered is the ordered-domain concept (Table V of the paper): a set of
+// GIDs with a total order, a first GID and a one-past-the-end "last" GID.
+type Ordered[G any] interface {
+	// First returns the first GID of the domain according to the order.
+	First() G
+	// Last returns the conventional one-past-the-end GID: every GID in
+	// the domain compares less than it, and it is not itself a member.
+	Last() G
+	// Contains reports whether gid belongs to the domain.
+	Contains(gid G) bool
+	// Less compares two GIDs according to the domain order.
+	Less(a, b G) bool
+	// Invalid returns a GID value reserved to represent "no element".
+	Invalid() G
+}
+
+// Finite is the finite ordered domain concept (Table VI): an Ordered domain
+// with a known cardinality and enumeration operations.
+type Finite[G any] interface {
+	Ordered[G]
+	// Size returns the number of GIDs in the domain.
+	Size() int64
+	// Next returns the GID following gid in the enumeration.
+	Next(gid G) G
+	// Prev returns the GID preceding gid in the enumeration.
+	Prev(gid G) G
+	// Advance returns the n-th GID after gid.
+	Advance(gid G, n int64) G
+	// Offset returns the position of gid within the enumeration.
+	Offset(gid G) int64
+}
+
+// Range1D is the finite ordered domain [First, Last) over int64 indices,
+// the domain used by pArray, pVector and as building block for pMatrix.
+type Range1D struct {
+	Lo, Hi int64 // half-open interval [Lo, Hi)
+}
+
+// NewRange1D builds the domain [lo, hi).  hi < lo is treated as empty.
+func NewRange1D(lo, hi int64) Range1D {
+	if hi < lo {
+		hi = lo
+	}
+	return Range1D{Lo: lo, Hi: hi}
+}
+
+// First returns the first index.
+func (r Range1D) First() int64 { return r.Lo }
+
+// Last returns the one-past-the-end index.
+func (r Range1D) Last() int64 { return r.Hi }
+
+// Contains reports whether gid lies in [Lo, Hi).
+func (r Range1D) Contains(gid int64) bool { return gid >= r.Lo && gid < r.Hi }
+
+// Less compares indices.
+func (r Range1D) Less(a, b int64) bool { return a < b }
+
+// Invalid returns the reserved invalid index.
+func (r Range1D) Invalid() int64 { return -1 }
+
+// Size returns the number of indices.
+func (r Range1D) Size() int64 { return r.Hi - r.Lo }
+
+// Empty reports whether the domain holds no indices.
+func (r Range1D) Empty() bool { return r.Hi <= r.Lo }
+
+// Next returns gid+1.
+func (r Range1D) Next(gid int64) int64 { return gid + 1 }
+
+// Prev returns gid-1.
+func (r Range1D) Prev(gid int64) int64 { return gid - 1 }
+
+// Advance returns gid+n.
+func (r Range1D) Advance(gid int64, n int64) int64 { return gid + n }
+
+// Offset returns the position of gid relative to the first index.
+func (r Range1D) Offset(gid int64) int64 { return gid - r.Lo }
+
+// Intersect returns the overlap of two ranges (possibly empty).
+func (r Range1D) Intersect(o Range1D) Range1D {
+	lo, hi := r.Lo, r.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return NewRange1D(lo, hi)
+}
+
+// Split partitions the range into n contiguous blocks whose sizes differ by
+// at most one (the "split" of Definition 11), returning the blocks in order.
+func (r Range1D) Split(n int) []Range1D {
+	if n <= 0 {
+		n = 1
+	}
+	size := r.Size()
+	out := make([]Range1D, 0, n)
+	base := size / int64(n)
+	rem := size % int64(n)
+	lo := r.Lo
+	for i := 0; i < n; i++ {
+		sz := base
+		if int64(i) < rem {
+			sz++
+		}
+		out = append(out, Range1D{Lo: lo, Hi: lo + sz})
+		lo += sz
+	}
+	return out
+}
+
+// SplitBlocked partitions the range into consecutive blocks of the given
+// block size (the last block may be smaller).
+func (r Range1D) SplitBlocked(blockSize int64) []Range1D {
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	var out []Range1D
+	for lo := r.Lo; lo < r.Hi; lo += blockSize {
+		hi := lo + blockSize
+		if hi > r.Hi {
+			hi = r.Hi
+		}
+		out = append(out, Range1D{Lo: lo, Hi: hi})
+	}
+	if len(out) == 0 {
+		out = append(out, r)
+	}
+	return out
+}
+
+var (
+	_ Finite[int64] = Range1D{}
+)
+
+// Range2D is the finite ordered (row-major) domain of a two-dimensional
+// indexed container: rows [0,Rows) × cols [0,Cols).
+type Range2D struct {
+	Rows, Cols int64
+}
+
+// NewRange2D builds a rows×cols domain.
+func NewRange2D(rows, cols int64) Range2D {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return Range2D{Rows: rows, Cols: cols}
+}
+
+// First returns index (0,0).
+func (r Range2D) First() Index2D { return Index2D{0, 0} }
+
+// Last returns the conventional one-past-the-end index (Rows, 0).
+func (r Range2D) Last() Index2D { return Index2D{r.Rows, 0} }
+
+// Contains reports membership.
+func (r Range2D) Contains(g Index2D) bool {
+	return g.Row >= 0 && g.Row < r.Rows && g.Col >= 0 && g.Col < r.Cols
+}
+
+// Less orders indices row-major.
+func (r Range2D) Less(a, b Index2D) bool {
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+// Invalid returns the reserved invalid index.
+func (r Range2D) Invalid() Index2D { return Index2D{-1, -1} }
+
+// Size returns Rows*Cols.
+func (r Range2D) Size() int64 { return r.Rows * r.Cols }
+
+// Next advances one position in row-major order.
+func (r Range2D) Next(g Index2D) Index2D {
+	g.Col++
+	if g.Col >= r.Cols {
+		g.Col = 0
+		g.Row++
+	}
+	return g
+}
+
+// Prev moves one position back in row-major order.
+func (r Range2D) Prev(g Index2D) Index2D {
+	g.Col--
+	if g.Col < 0 {
+		g.Col = r.Cols - 1
+		g.Row--
+	}
+	return g
+}
+
+// Advance advances n positions in row-major order.
+func (r Range2D) Advance(g Index2D, n int64) Index2D {
+	off := r.Offset(g) + n
+	return Index2D{Row: off / r.Cols, Col: off % r.Cols}
+}
+
+// Offset returns the row-major linearised position of g.
+func (r Range2D) Offset(g Index2D) int64 { return g.Row*r.Cols + g.Col }
+
+var _ Finite[Index2D] = Range2D{}
+
+// Enumerated is a finite ordered domain given by an explicit list of GIDs in
+// enumeration order (the paper's "enumeration of individual elements").
+type Enumerated[G comparable] struct {
+	gids    []G
+	pos     map[G]int64
+	invalid G
+}
+
+// NewEnumerated builds an enumerated domain over the given GIDs, in the
+// given order; invalid is the reserved not-an-element value.
+func NewEnumerated[G comparable](invalid G, gids ...G) *Enumerated[G] {
+	e := &Enumerated[G]{gids: append([]G(nil), gids...), pos: make(map[G]int64, len(gids)), invalid: invalid}
+	for i, g := range e.gids {
+		e.pos[g] = int64(i)
+	}
+	return e
+}
+
+// First returns the first GID (or the invalid GID if empty).
+func (e *Enumerated[G]) First() G {
+	if len(e.gids) == 0 {
+		return e.invalid
+	}
+	return e.gids[0]
+}
+
+// Last returns the one-past-the-end GID, represented by the invalid value.
+func (e *Enumerated[G]) Last() G { return e.invalid }
+
+// Contains reports membership.
+func (e *Enumerated[G]) Contains(g G) bool { _, ok := e.pos[g]; return ok }
+
+// Less orders by enumeration position; GIDs outside the domain compare
+// greater than every member (so Last() is maximal).
+func (e *Enumerated[G]) Less(a, b G) bool {
+	pa, oka := e.pos[a]
+	pb, okb := e.pos[b]
+	switch {
+	case oka && okb:
+		return pa < pb
+	case oka:
+		return true
+	default:
+		return false
+	}
+}
+
+// Invalid returns the reserved invalid GID.
+func (e *Enumerated[G]) Invalid() G { return e.invalid }
+
+// Size returns the number of GIDs.
+func (e *Enumerated[G]) Size() int64 { return int64(len(e.gids)) }
+
+// Next returns the GID after g in enumeration order, or the invalid GID.
+func (e *Enumerated[G]) Next(g G) G {
+	p, ok := e.pos[g]
+	if !ok || p+1 >= int64(len(e.gids)) {
+		return e.invalid
+	}
+	return e.gids[p+1]
+}
+
+// Prev returns the GID before g, or the invalid GID.
+func (e *Enumerated[G]) Prev(g G) G {
+	p, ok := e.pos[g]
+	if !ok || p == 0 {
+		return e.invalid
+	}
+	return e.gids[p-1]
+}
+
+// Advance returns the n-th GID after g.
+func (e *Enumerated[G]) Advance(g G, n int64) G {
+	p, ok := e.pos[g]
+	if !ok || p+n < 0 || p+n >= int64(len(e.gids)) {
+		return e.invalid
+	}
+	return e.gids[p+n]
+}
+
+// Offset returns the enumeration position of g, or -1 if absent.
+func (e *Enumerated[G]) Offset(g G) int64 {
+	p, ok := e.pos[g]
+	if !ok {
+		return -1
+	}
+	return p
+}
+
+// GIDs returns the enumeration (a copy).
+func (e *Enumerated[G]) GIDs() []G { return append([]G(nil), e.gids...) }
+
+// KeyDomain is the (potentially infinite) open ordered domain of associative
+// containers: all keys of type K ordered by less, optionally restricted to
+// the half-open interval [Lo, Hi).
+type KeyDomain[K any] struct {
+	less    func(a, b K) bool
+	invalid K
+	bounded bool
+	lo, hi  K
+}
+
+// NewKeyDomain builds an unbounded key domain ordered by less.
+func NewKeyDomain[K any](invalid K, less func(a, b K) bool) *KeyDomain[K] {
+	return &KeyDomain[K]{less: less, invalid: invalid}
+}
+
+// NewKeyRange builds the key domain restricted to [lo, hi).
+func NewKeyRange[K any](invalid K, less func(a, b K) bool, lo, hi K) *KeyDomain[K] {
+	return &KeyDomain[K]{less: less, invalid: invalid, bounded: true, lo: lo, hi: hi}
+}
+
+// First returns the lower bound for bounded domains, the invalid key
+// otherwise (an unbounded key universe has no first element).
+func (d *KeyDomain[K]) First() K {
+	if d.bounded {
+		return d.lo
+	}
+	return d.invalid
+}
+
+// Last returns the upper bound for bounded domains, the invalid key
+// otherwise.
+func (d *KeyDomain[K]) Last() K {
+	if d.bounded {
+		return d.hi
+	}
+	return d.invalid
+}
+
+// Contains reports whether k belongs to the domain.
+func (d *KeyDomain[K]) Contains(k K) bool {
+	if !d.bounded {
+		return true
+	}
+	return !d.less(k, d.lo) && d.less(k, d.hi)
+}
+
+// Less compares keys.
+func (d *KeyDomain[K]) Less(a, b K) bool { return d.less(a, b) }
+
+// Invalid returns the reserved invalid key.
+func (d *KeyDomain[K]) Invalid() K { return d.invalid }
+
+var _ Ordered[string] = (*KeyDomain[string])(nil)
+
+// Filtered restricts a finite ordered domain to the GIDs accepted by a
+// predicate (the paper's filtered domain, e.g. "every second element").
+type Filtered[G any] struct {
+	Base   Finite[G]
+	Accept func(G) bool
+}
+
+// NewFiltered builds a filtered domain over base.
+func NewFiltered[G any](base Finite[G], accept func(G) bool) *Filtered[G] {
+	return &Filtered[G]{Base: base, Accept: accept}
+}
+
+// First returns the first accepted GID.
+func (f *Filtered[G]) First() G {
+	g := f.Base.First()
+	for f.Base.Contains(g) && !f.Accept(g) {
+		g = f.Base.Next(g)
+	}
+	if !f.Base.Contains(g) {
+		return f.Base.Last()
+	}
+	return g
+}
+
+// Last returns the base domain's one-past-the-end GID.
+func (f *Filtered[G]) Last() G { return f.Base.Last() }
+
+// Contains reports membership (in the base domain and accepted).
+func (f *Filtered[G]) Contains(g G) bool { return f.Base.Contains(g) && f.Accept(g) }
+
+// Less compares using the base order.
+func (f *Filtered[G]) Less(a, b G) bool { return f.Base.Less(a, b) }
+
+// Invalid returns the base domain's invalid GID.
+func (f *Filtered[G]) Invalid() G { return f.Base.Invalid() }
+
+// Size counts the accepted GIDs (linear in the base domain size).
+func (f *Filtered[G]) Size() int64 {
+	var n int64
+	for g := f.Base.First(); f.Base.Contains(g); g = f.Base.Next(g) {
+		if f.Accept(g) {
+			n++
+		}
+	}
+	return n
+}
+
+// Next returns the next accepted GID after g.
+func (f *Filtered[G]) Next(g G) G {
+	g = f.Base.Next(g)
+	for f.Base.Contains(g) && !f.Accept(g) {
+		g = f.Base.Next(g)
+	}
+	if !f.Base.Contains(g) {
+		return f.Base.Last()
+	}
+	return g
+}
+
+// Prev returns the previous accepted GID before g.
+func (f *Filtered[G]) Prev(g G) G {
+	g = f.Base.Prev(g)
+	for f.Base.Contains(g) && !f.Accept(g) {
+		g = f.Base.Prev(g)
+	}
+	if !f.Base.Contains(g) {
+		return f.Base.Invalid()
+	}
+	return g
+}
+
+// Advance applies Next n times.
+func (f *Filtered[G]) Advance(g G, n int64) G {
+	for i := int64(0); i < n; i++ {
+		g = f.Next(g)
+	}
+	return g
+}
+
+// Offset returns the position of g among accepted GIDs.
+func (f *Filtered[G]) Offset(g G) int64 {
+	var n int64
+	for x := f.First(); f.Base.Contains(x); x = f.Next(x) {
+		if !f.Base.Less(x, g) && !f.Base.Less(g, x) {
+			return n
+		}
+		n++
+	}
+	return -1
+}
+
+var _ Finite[int64] = (*Filtered[int64])(nil)

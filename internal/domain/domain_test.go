@@ -1,0 +1,310 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRange1DBasics(t *testing.T) {
+	r := NewRange1D(5, 12)
+	if r.First() != 5 || r.Last() != 12 {
+		t.Fatalf("first/last = %d/%d, want 5/12", r.First(), r.Last())
+	}
+	if r.Size() != 7 {
+		t.Fatalf("size = %d, want 7", r.Size())
+	}
+	if !r.Contains(5) || !r.Contains(11) || r.Contains(12) || r.Contains(4) {
+		t.Fatal("containment wrong")
+	}
+	if r.Invalid() != -1 {
+		t.Fatalf("invalid = %d", r.Invalid())
+	}
+	if r.Next(5) != 6 || r.Prev(6) != 5 || r.Advance(5, 3) != 8 || r.Offset(8) != 3 {
+		t.Fatal("enumeration ops wrong")
+	}
+	if !r.Less(5, 6) || r.Less(6, 5) {
+		t.Fatal("order wrong")
+	}
+	if r.Empty() {
+		t.Fatal("non-empty range reported empty")
+	}
+	if !NewRange1D(3, 3).Empty() {
+		t.Fatal("empty range not reported empty")
+	}
+	if NewRange1D(10, 2).Size() != 0 {
+		t.Fatal("inverted range should be empty")
+	}
+}
+
+func TestRange1DIntersect(t *testing.T) {
+	a := NewRange1D(0, 10)
+	b := NewRange1D(5, 20)
+	c := a.Intersect(b)
+	if c.Lo != 5 || c.Hi != 10 {
+		t.Fatalf("intersect = %+v, want [5,10)", c)
+	}
+	d := a.Intersect(NewRange1D(20, 30))
+	if !d.Empty() {
+		t.Fatalf("disjoint intersect should be empty, got %+v", d)
+	}
+}
+
+func TestRange1DSplitProperties(t *testing.T) {
+	// Property: splitting into n blocks yields a partition — blocks are
+	// contiguous, disjoint, ordered, cover the range, and sizes differ by
+	// at most one (Definition 9/11 of the paper).
+	prop := func(loRaw, sizeRaw int32, nRaw uint8) bool {
+		lo := int64(loRaw % 1000)
+		size := int64(sizeRaw%10000 + 10000)
+		n := int(nRaw%32) + 1
+		r := NewRange1D(lo, lo+size)
+		blocks := r.Split(n)
+		if len(blocks) != n {
+			return false
+		}
+		var total int64
+		prev := lo
+		minSz, maxSz := int64(1<<62), int64(0)
+		for _, b := range blocks {
+			if b.Lo != prev {
+				return false
+			}
+			prev = b.Hi
+			total += b.Size()
+			if b.Size() < minSz {
+				minSz = b.Size()
+			}
+			if b.Size() > maxSz {
+				maxSz = b.Size()
+			}
+		}
+		return prev == r.Hi && total == r.Size() && maxSz-minSz <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange1DSplitBlockedProperties(t *testing.T) {
+	prop := func(sizeRaw int32, bsRaw uint8) bool {
+		size := int64(sizeRaw % 5000)
+		if size < 0 {
+			size = -size
+		}
+		size++
+		bs := int64(bsRaw%64) + 1
+		r := NewRange1D(0, size)
+		blocks := r.SplitBlocked(bs)
+		var total int64
+		prev := int64(0)
+		for i, b := range blocks {
+			if b.Lo != prev {
+				return false
+			}
+			prev = b.Hi
+			total += b.Size()
+			if i < len(blocks)-1 && b.Size() != bs {
+				return false
+			}
+			if b.Size() > bs || b.Size() == 0 {
+				return false
+			}
+		}
+		return total == size
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange1DSplitDegenerate(t *testing.T) {
+	r := NewRange1D(0, 3)
+	blocks := r.Split(8)
+	if len(blocks) != 8 {
+		t.Fatalf("want 8 blocks, got %d", len(blocks))
+	}
+	var total int64
+	for _, b := range blocks {
+		total += b.Size()
+	}
+	if total != 3 {
+		t.Fatalf("blocks cover %d elements, want 3", total)
+	}
+	if got := r.Split(0); len(got) != 1 {
+		t.Fatalf("split(0) should fall back to one block, got %d", len(got))
+	}
+	if got := r.SplitBlocked(0); len(got) == 0 {
+		t.Fatal("splitBlocked(0) returned no blocks")
+	}
+}
+
+func TestRange2D(t *testing.T) {
+	r := NewRange2D(3, 4)
+	if r.Size() != 12 {
+		t.Fatalf("size = %d, want 12", r.Size())
+	}
+	if !r.Contains(Index2D{0, 0}) || !r.Contains(Index2D{2, 3}) || r.Contains(Index2D{3, 0}) || r.Contains(Index2D{0, 4}) {
+		t.Fatal("containment wrong")
+	}
+	if r.First() != (Index2D{0, 0}) {
+		t.Fatal("first wrong")
+	}
+	// Walk the whole domain in row-major order via Next.
+	g := r.First()
+	for i := int64(0); i < r.Size(); i++ {
+		if r.Offset(g) != i {
+			t.Fatalf("offset(%v) = %d, want %d", g, r.Offset(g), i)
+		}
+		if r.Advance(r.First(), i) != g {
+			t.Fatalf("advance mismatch at %d", i)
+		}
+		if i > 0 && !r.Less(r.Prev(g), g) {
+			t.Fatalf("order violated at %v", g)
+		}
+		g = r.Next(g)
+	}
+	if r.Contains(g) {
+		t.Fatal("walk did not terminate at the domain end")
+	}
+	if r.Invalid() != (Index2D{-1, -1}) {
+		t.Fatal("invalid wrong")
+	}
+	if NewRange2D(-2, 5).Size() != 0 {
+		t.Fatal("negative rows should clamp to empty")
+	}
+}
+
+func TestEnumerated(t *testing.T) {
+	e := NewEnumerated[string]("", "red", "blue", "black")
+	if e.Size() != 3 {
+		t.Fatalf("size = %d", e.Size())
+	}
+	if e.First() != "red" || e.Last() != "" {
+		t.Fatalf("first/last = %q/%q", e.First(), e.Last())
+	}
+	if !e.Contains("blue") || e.Contains("green") {
+		t.Fatal("containment wrong")
+	}
+	if e.Next("red") != "blue" || e.Prev("blue") != "red" || e.Next("black") != "" {
+		t.Fatal("next/prev wrong")
+	}
+	if e.Advance("red", 2) != "black" || e.Advance("red", 5) != "" {
+		t.Fatal("advance wrong")
+	}
+	if e.Offset("black") != 2 || e.Offset("green") != -1 {
+		t.Fatal("offset wrong")
+	}
+	if !e.Less("red", "black") || e.Less("black", "red") {
+		t.Fatal("order should follow enumeration, not lexicographic order")
+	}
+	if !e.Less("red", "zzz") || e.Less("zzz", "red") {
+		t.Fatal("members should order before non-members")
+	}
+	got := e.GIDs()
+	if len(got) != 3 || got[0] != "red" {
+		t.Fatalf("GIDs = %v", got)
+	}
+	empty := NewEnumerated[string]("")
+	if empty.First() != "" || empty.Size() != 0 {
+		t.Fatal("empty enumeration wrong")
+	}
+}
+
+func TestKeyDomain(t *testing.T) {
+	less := func(a, b string) bool { return a < b }
+	d := NewKeyDomain("", less)
+	if !d.Contains("anything") {
+		t.Fatal("unbounded key domain must contain every key")
+	}
+	if d.First() != "" || d.Last() != "" {
+		t.Fatal("unbounded domain bounds should be the invalid key")
+	}
+	r := NewKeyRange("", less, "a", "c")
+	if !r.Contains("a") || !r.Contains("b") || !r.Contains("aa") || r.Contains("c") || r.Contains("zz") {
+		t.Fatal("bounded key domain containment wrong")
+	}
+	if r.First() != "a" || r.Last() != "c" {
+		t.Fatal("bounded key domain bounds wrong")
+	}
+	if !r.Less("a", "b") {
+		t.Fatal("less wrong")
+	}
+	if r.Invalid() != "" {
+		t.Fatal("invalid wrong")
+	}
+}
+
+func TestFilteredDomain(t *testing.T) {
+	base := NewRange1D(0, 10)
+	even := NewFiltered[int64](base, func(g int64) bool { return g%2 == 0 })
+	if even.Size() != 5 {
+		t.Fatalf("size = %d, want 5", even.Size())
+	}
+	if even.First() != 0 {
+		t.Fatalf("first = %d", even.First())
+	}
+	if even.Next(0) != 2 || even.Next(8) != 10 {
+		t.Fatal("next wrong")
+	}
+	if even.Prev(4) != 2 {
+		t.Fatal("prev wrong")
+	}
+	if even.Prev(0) != base.Invalid() {
+		t.Fatal("prev before first should be invalid")
+	}
+	if !even.Contains(4) || even.Contains(5) || even.Contains(12) {
+		t.Fatal("containment wrong")
+	}
+	if even.Advance(0, 3) != 6 {
+		t.Fatalf("advance = %d, want 6", even.Advance(0, 3))
+	}
+	if even.Offset(6) != 3 {
+		t.Fatalf("offset = %d, want 3", even.Offset(6))
+	}
+	if even.Offset(7) != -1 {
+		t.Fatal("offset of non-member should be -1")
+	}
+	if even.Last() != 10 || even.Invalid() != -1 {
+		t.Fatal("last/invalid wrong")
+	}
+	if !even.Less(2, 4) {
+		t.Fatal("less wrong")
+	}
+	// Filter that rejects everything.
+	none := NewFiltered[int64](base, func(int64) bool { return false })
+	if none.Size() != 0 {
+		t.Fatal("empty filter size wrong")
+	}
+	if none.First() != base.Last() {
+		t.Fatal("empty filter First should be one-past-the-end")
+	}
+}
+
+func TestRange1DEnumerationProperty(t *testing.T) {
+	// Property: Offset and Advance are inverses within the domain.
+	prop := func(loRaw int16, szRaw uint16, offRaw uint16) bool {
+		lo := int64(loRaw)
+		size := int64(szRaw%1000) + 1
+		r := NewRange1D(lo, lo+size)
+		off := int64(offRaw) % size
+		g := r.Advance(r.First(), off)
+		return r.Contains(g) && r.Offset(g) == off
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange2DEnumerationProperty(t *testing.T) {
+	prop := func(rRaw, cRaw uint8, offRaw uint16) bool {
+		rows := int64(rRaw%20) + 1
+		cols := int64(cRaw%20) + 1
+		d := NewRange2D(rows, cols)
+		off := int64(offRaw) % d.Size()
+		g := d.Advance(d.First(), off)
+		return d.Contains(g) && d.Offset(g) == off
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

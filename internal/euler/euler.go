@@ -1,0 +1,286 @@
+// Package euler implements the Euler-tour technique of the paper's pList
+// application study (Chapter X.H): building the Euler tour of a distributed
+// tree, ranking it with pointer jumping (parallel list ranking), and the
+// tree applications built on top of it (rooting the tree at a designated
+// root and computing subtree sizes).
+//
+// The tree lives in a pGraph, the arc-identifier directory in a pHashMap,
+// and the successor/distance arrays of the list-ranking phase in pArrays —
+// the computation is deliberately expressed with the library's own
+// containers, as the paper's implementation is.
+package euler
+
+import (
+	"sort"
+
+	"repro/internal/containers/parray"
+	"repro/internal/containers/passoc"
+	"repro/internal/containers/pgraph"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// ArcKey identifies one directed arc (twin) of a tree edge.
+type ArcKey struct {
+	From, To int64
+}
+
+func arcHash(k ArcKey) uint64 {
+	return partition.Int64Hash(k.From*1_000_003 ^ k.To)
+}
+
+// Tour is the result of BuildTour: the Euler tour of the tree, ready for
+// ranking and tree applications.
+type Tour struct {
+	// Graph is the (undirected) tree.
+	Graph *pgraph.Graph[int8, int8]
+	// Root is the tree root descriptor.
+	Root int64
+	// NumArcs is the total number of directed arcs (2 × edges).
+	NumArcs int64
+	// ArcIDs maps an arc to its dense global index.
+	ArcIDs *passoc.HashMap[ArcKey, int64]
+	// Succ[i] is the index of the arc following arc i in the tour, or -1
+	// for the final arc.
+	Succ *parray.Array[int64]
+	// arcsByID records, for this location's arcs, the ArcKey of each local
+	// arc index.
+	localArcs map[int64]ArcKey
+	// firstArc is the index of the tour's first arc (root → first child).
+	firstArc int64
+}
+
+// BuildTree loads the (parent, child) edge list into an undirected dynamic
+// pGraph.  Every location passes its own edge and vertex lists (as produced
+// by workload.TreeEdges).  Collective.
+func BuildTree(loc *runtime.Location, vertices []int64, edges [][2]int64) *pgraph.Graph[int8, int8] {
+	g := pgraph.New[int8, int8](loc, 0,
+		pgraph.WithStrategy(pgraph.DynamicEncoded),
+		pgraph.WithDirected(false),
+		pgraph.WithMulti(false))
+	for _, vd := range vertices {
+		g.AddVertexWithDescriptor(vd, 0)
+	}
+	loc.Fence()
+	for _, e := range edges {
+		g.AddEdgeAsync(e[0], e[1], 0)
+	}
+	loc.Fence()
+	return g
+}
+
+// BuildTour constructs the Euler tour of the tree rooted at root: it
+// enumerates the directed arcs, assigns dense global arc indices, and fills
+// the successor array succ[arc(u,v)] = arc(v, next neighbour of v after u).
+// Collective.
+func BuildTour(loc *runtime.Location, g *pgraph.Graph[int8, int8], root int64) *Tour {
+	// Phase 1: count local arcs (out-edges of local vertices) and assign
+	// dense global indices: this location's arcs occupy
+	// [offset, offset+localArcs).
+	localArcs := int64(0)
+	g.RangeLocalVertices(func(v *pgraph.Vertex[int8, int8]) bool {
+		localArcs += int64(len(v.Edges))
+		return true
+	})
+	offset := runtime.ExclusiveScan(loc, localArcs, 0, func(a, b int64) int64 { return a + b })
+	numArcs := runtime.AllReduceSum(loc, localArcs)
+
+	arcIDs := passoc.NewHashMap[ArcKey, int64](loc, arcHash)
+	succ := parray.New[int64](loc, numArcs)
+	t := &Tour{Graph: g, Root: root, NumArcs: numArcs, ArcIDs: arcIDs, Succ: succ,
+		localArcs: make(map[int64]ArcKey)}
+
+	// Publish arc indices: arcs are numbered in local traversal order with
+	// a deterministic (sorted) adjacency order per vertex.
+	next := offset
+	g.RangeLocalVertices(func(v *pgraph.Vertex[int8, int8]) bool {
+		for _, tgt := range sortedNeighbours(v) {
+			key := ArcKey{From: v.Descriptor, To: tgt}
+			arcIDs.Insert(key, next)
+			t.localArcs[next] = key
+			next++
+		}
+		return true
+	})
+	loc.Fence()
+
+	// Phase 2: successor of arc (u → v) is arc (v → w), where w follows u
+	// in v's circular adjacency order.  The owner of v knows both v's
+	// adjacency and the index of (v → w); it looks up the index of (u → v)
+	// in the directory and writes the successor entry.
+	g.RangeLocalVertices(func(v *pgraph.Vertex[int8, int8]) bool {
+		nbrs := sortedNeighbours(v)
+		for i, u := range nbrs {
+			w := nbrs[(i+1)%len(nbrs)]
+			out, okOut := arcIDs.Find(ArcKey{From: v.Descriptor, To: w})
+			in, okIn := arcIDs.Find(ArcKey{From: u, To: v.Descriptor})
+			if okOut && okIn {
+				succ.Set(in, out)
+			}
+		}
+		return true
+	})
+	loc.Fence()
+
+	// Phase 3: linearise the cycle: the tour starts with (root → first
+	// neighbour) and ends with (last neighbour → root), whose successor is
+	// set to -1.
+	if g.IsLocal(root) {
+		g.RangeLocalVertices(func(v *pgraph.Vertex[int8, int8]) bool {
+			if v.Descriptor != root {
+				return true
+			}
+			nbrs := sortedNeighbours(v)
+			if len(nbrs) == 0 {
+				return false
+			}
+			first, _ := arcIDs.Find(ArcKey{From: root, To: nbrs[0]})
+			t.firstArc = first
+			last, ok := arcIDs.Find(ArcKey{From: nbrs[len(nbrs)-1], To: root})
+			if ok {
+				succ.Set(last, -1)
+			}
+			return false
+		})
+	}
+	loc.Fence()
+	t.firstArc = runtime.AllReduceMax(loc, func() int64 {
+		if g.IsLocal(root) {
+			return t.firstArc
+		}
+		return -1
+	}())
+	return t
+}
+
+// sortedNeighbours returns a vertex's neighbour descriptors in ascending
+// order, the deterministic circular order the tour uses.
+func sortedNeighbours(v *pgraph.Vertex[int8, int8]) []int64 {
+	out := make([]int64, 0, len(v.Edges))
+	for _, e := range v.Edges {
+		out = append(out, e.Target)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rank performs parallel list ranking on the tour's successor array using
+// pointer jumping and returns a pArray holding, for every arc, its position
+// in the tour (0 for the first arc).  Collective.
+//
+// The jumping is double-buffered: every superstep reads only the previous
+// superstep's dist/jump arrays and writes the next ones, so concurrent
+// remote reads never observe half-updated state.
+func (t *Tour) Rank(loc *runtime.Location) *parray.Array[int64] {
+	n := t.NumArcs
+	// dist[i]: number of arcs from i to the end of the list following
+	// successor pointers; jump[i]: current jump target.
+	dist := parray.New[int64](loc, n)
+	jump := parray.New[int64](loc, n)
+	nextDist := parray.New[int64](loc, n)
+	nextJump := parray.New[int64](loc, n)
+	// Initialise from the successor array: the terminal arc has distance 0.
+	blocks := balancedBlocks(loc, n)
+	for i := blocks.Lo; i < blocks.Hi; i++ {
+		s := t.Succ.Get(i)
+		jump.Set(i, s)
+		if s < 0 {
+			dist.Set(i, 0)
+		} else {
+			dist.Set(i, 1)
+		}
+	}
+	loc.Fence()
+	// Pointer jumping: O(log n) supersteps.
+	for {
+		changed := int64(0)
+		for i := blocks.Lo; i < blocks.Hi; i++ {
+			d := dist.Get(i)
+			j := jump.Get(i)
+			if j < 0 {
+				nextDist.Set(i, d)
+				nextJump.Set(i, -1)
+				continue
+			}
+			nextDist.Set(i, d+dist.Get(j))
+			nextJump.Set(i, jump.Get(j))
+			changed = 1
+		}
+		loc.Fence()
+		dist, nextDist = nextDist, dist
+		jump, nextJump = nextJump, jump
+		if runtime.AllReduceSum(loc, changed) == 0 {
+			break
+		}
+	}
+	// Position in the tour = (length of the tour - 1) - distance-to-end.
+	rank := parray.New[int64](loc, n)
+	for i := blocks.Lo; i < blocks.Hi; i++ {
+		rank.Set(i, n-1-dist.Get(i))
+	}
+	loc.Fence()
+	return rank
+}
+
+// balancedBlocks returns this location's balanced share of [0, n).
+func balancedBlocks(loc *runtime.Location, n int64) (r struct{ Lo, Hi int64 }) {
+	per := n / int64(loc.NumLocations())
+	rem := n % int64(loc.NumLocations())
+	lo := int64(loc.ID())*per + min64(int64(loc.ID()), rem)
+	sz := per
+	if int64(loc.ID()) < rem {
+		sz++
+	}
+	r.Lo, r.Hi = lo, lo+sz
+	return r
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TreeFunctions is the result of Applications: the tree structure recovered
+// from the ranked Euler tour.  Each location holds the entries for the child
+// vertices whose descending (parent → child) arc it stores; the union over
+// all locations covers every non-root vertex exactly once.
+type TreeFunctions struct {
+	// Parent maps a child vertex to its parent.
+	Parent map[int64]int64
+	// SubtreeSize maps a vertex to the number of vertices in its subtree
+	// (including itself); the root's entry is present on its owner.
+	SubtreeSize map[int64]int64
+}
+
+// Applications derives the classic Euler-tour applications from the ranked
+// tour: rooting the tree (parent function) and subtree sizes.  Collective.
+func (t *Tour) Applications(loc *runtime.Location, rank *parray.Array[int64]) *TreeFunctions {
+	res := &TreeFunctions{Parent: make(map[int64]int64), SubtreeSize: make(map[int64]int64)}
+
+	// For every locally stored arc (u → v), fetch the rank of the twin
+	// (v → u).  The lower-ranked twin is the "descending" arc: u is v's
+	// parent.  Subtree size of v = (rank(v→u) − rank(u→v) + 1) / 2.
+	for id, key := range t.localArcs {
+		twin, ok := t.ArcIDs.Find(ArcKey{From: key.To, To: key.From})
+		if !ok {
+			continue
+		}
+		myRank := rank.Get(id)
+		twinRank := rank.Get(twin)
+		if myRank < twinRank {
+			child := key.To
+			res.Parent[child] = key.From
+			res.SubtreeSize[child] = (twinRank - myRank + 1) / 2
+		}
+	}
+	loc.Fence()
+	// The root's subtree is the whole tree.
+	total := t.Graph.NumVertices()
+	if t.Graph.IsLocal(t.Root) {
+		res.SubtreeSize[t.Root] = total
+	}
+	loc.Fence()
+	return res
+}

@@ -1,0 +1,154 @@
+package euler
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+// buildSmallTree constructs, on every location, the same small rooted tree:
+//
+//	        0
+//	      /   \
+//	     1     2
+//	    / \     \
+//	   3   4     5
+//
+// with vertex descriptors as shown (all owned by location 0 when P == 1, or
+// spread when descriptors encode other homes — here all plain small ints so
+// they live on location 0 under the DynamicEncoded strategy).
+func smallTreeEdges() ([][2]int64, []int64) {
+	edges := [][2]int64{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}}
+	vertices := []int64{0, 1, 2, 3, 4, 5}
+	return edges, vertices
+}
+
+func TestEulerTourSmallTree(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		edges, vertices := smallTreeEdges()
+		var g = BuildTree(loc, ifLoc0(loc, vertices), ifLoc0Edges(loc, edges))
+		if g.NumVertices() != 6 {
+			t.Errorf("vertices = %d", g.NumVertices())
+		}
+		tour := BuildTour(loc, g, 0)
+		if tour.NumArcs != 10 {
+			t.Errorf("arcs = %d, want 10 (2 per tree edge)", tour.NumArcs)
+		}
+		rank := tour.Rank(loc)
+		// The ranks must be a permutation of 0..NumArcs-1: check that the
+		// sum matches.
+		var localSum int64
+		rank.RangeLocal(func(_ int64, r int64) bool { localSum += r; return true })
+		total := runtime.AllReduceSum(loc, localSum)
+		want := tour.NumArcs * (tour.NumArcs - 1) / 2
+		if total != want {
+			t.Errorf("rank sum = %d, want %d (ranks must be a permutation)", total, want)
+		}
+		// Applications: parents and subtree sizes.
+		fns := tour.Applications(loc, rank)
+		parents := map[int64]int64{}
+		sizes := map[int64]int64{}
+		gatherMaps(loc, fns.Parent, parents)
+		gatherMaps(loc, fns.SubtreeSize, sizes)
+		if loc.ID() == 0 {
+			wantParents := map[int64]int64{1: 0, 2: 0, 3: 1, 4: 1, 5: 2}
+			for child, p := range wantParents {
+				if parents[child] != p {
+					t.Errorf("parent(%d) = %d, want %d", child, parents[child], p)
+				}
+			}
+			wantSizes := map[int64]int64{0: 6, 1: 3, 2: 2, 3: 1, 4: 1, 5: 1}
+			for v, s := range wantSizes {
+				if sizes[v] != s {
+					t.Errorf("subtree(%d) = %d, want %d", v, sizes[v], s)
+				}
+			}
+		}
+		loc.Fence()
+	})
+}
+
+// ifLoc0 passes the payload on location 0 only (the tree is defined once).
+func ifLoc0(loc *runtime.Location, vs []int64) []int64 {
+	if loc.ID() == 0 {
+		return vs
+	}
+	return nil
+}
+
+func ifLoc0Edges(loc *runtime.Location, es [][2]int64) [][2]int64 {
+	if loc.ID() == 0 {
+		return es
+	}
+	return nil
+}
+
+// gatherMaps merges every location's map into dst on every location.
+func gatherMaps(loc *runtime.Location, local map[int64]int64, dst map[int64]int64) {
+	type kv struct{ K, V int64 }
+	flat := make([]kv, 0, len(local))
+	for k, v := range local {
+		flat = append(flat, kv{k, v})
+	}
+	all := runtime.AllGatherT(loc, flat)
+	for _, part := range all {
+		for _, e := range part {
+			dst[e.K] = e.V
+		}
+	}
+}
+
+func TestEulerTourDistributedForest(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		p := workload.ForestParams{SubtreesPerLocation: 2, SubtreeHeight: 3}
+		edges, vertices, root := workload.TreeEdges(loc, p)
+		g := BuildTree(loc, vertices, edges)
+		nVerts := g.NumVertices()
+		wantVerts := int64(4*2*7 + 1)
+		if nVerts != wantVerts {
+			t.Errorf("vertices = %d, want %d", nVerts, wantVerts)
+		}
+		tour := BuildTour(loc, g, root)
+		if tour.NumArcs != 2*(wantVerts-1) {
+			t.Errorf("arcs = %d, want %d", tour.NumArcs, 2*(wantVerts-1))
+		}
+		rank := tour.Rank(loc)
+		var localSum int64
+		rank.RangeLocal(func(_ int64, r int64) bool { localSum += r; return true })
+		total := runtime.AllReduceSum(loc, localSum)
+		want := tour.NumArcs * (tour.NumArcs - 1) / 2
+		if total != want {
+			t.Errorf("rank sum = %d, want %d", total, want)
+		}
+		fns := tour.Applications(loc, rank)
+		// Every non-root vertex receives exactly one parent across the
+		// machine; the root's subtree is the whole tree.
+		parentCount := runtime.AllReduceSum(loc, int64(len(fns.Parent)))
+		if parentCount != wantVerts-1 {
+			t.Errorf("parents assigned = %d, want %d", parentCount, wantVerts-1)
+		}
+		sizes := map[int64]int64{}
+		gatherMaps(loc, fns.SubtreeSize, sizes)
+		if sizes[root] != wantVerts {
+			t.Errorf("root subtree size = %d, want %d", sizes[root], wantVerts)
+		}
+		// Each subtree root (attached directly under the global root) has a
+		// complete binary subtree of 7 vertices.
+		perSubtree := int64(7)
+		count7 := 0
+		for _, s := range sizes {
+			if s == perSubtree {
+				count7++
+			}
+		}
+		if count7 < 4*2 {
+			t.Errorf("found %d subtrees of size 7, want at least 8", count7)
+		}
+		loc.Fence()
+	})
+}

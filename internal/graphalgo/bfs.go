@@ -1,0 +1,142 @@
+// Package graphalgo implements the pGraph algorithms evaluated in the paper
+// (Chapter XI.F.3-4): level-synchronous breadth-first search, connected
+// components by label propagation, find-sources for directed graphs and
+// page rank, all written in the computation-migration style the pGraph's
+// Visit primitive enables.
+//
+// Each algorithm creates one "engine" p_object per location that holds the
+// algorithm's distributed state (distances, labels, accumulators) for the
+// vertices stored on that location; frontier expansion and value exchange
+// happen through asynchronous RMIs between engines, synchronised per
+// superstep with fences, exactly as the paper's algorithms alternate
+// computation and rmi_fence.
+package graphalgo
+
+import (
+	"sync"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/runtime"
+)
+
+// BFSResult holds, per location, the BFS levels of the vertices stored on
+// that location.
+type BFSResult struct {
+	mu     sync.Mutex
+	levels map[int64]int64
+	next   []int64
+}
+
+// LocalLevels returns the level of every locally stored vertex reached by
+// the search.
+func (r *BFSResult) LocalLevels() map[int64]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int64]int64, len(r.levels))
+	for k, v := range r.levels {
+		out[k] = v
+	}
+	return out
+}
+
+// Level returns the level of a locally stored vertex, or -1 if it was not
+// reached or is not local.
+func (r *BFSResult) Level(vd int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.levels[vd]; ok {
+		return l
+	}
+	return -1
+}
+
+// relax records a newly discovered vertex at the given level.
+func (r *BFSResult) relax(vd, level int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, seen := r.levels[vd]; seen {
+		return false
+	}
+	r.levels[vd] = level
+	r.next = append(r.next, vd)
+	return true
+}
+
+func (r *BFSResult) takeFrontier() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.next
+	r.next = nil
+	return f
+}
+
+// BFS runs a level-synchronous breadth-first search from root and returns
+// each location's levels for its local vertices.  Collective.
+func BFS[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP], root int64) *BFSResult {
+	res := &BFSResult{levels: make(map[int64]int64)}
+	h := loc.RegisterObject(res)
+	loc.Barrier()
+
+	// Seed the frontier at the root's owner.
+	if g.IsLocal(root) {
+		res.relax(root, 0)
+	}
+	loc.Fence()
+
+	for level := int64(0); ; level++ {
+		frontier := res.takeFrontier()
+		// Every location must snapshot its frontier before any location
+		// starts expanding, otherwise a fast neighbour's relax for the
+		// *next* level could slip into this superstep's frontier and be
+		// expanded one level early.
+		loc.Barrier()
+		// Expand the local frontier: adjacency of frontier vertices is
+		// local by construction (vertices are stored with their edges).
+		for _, vd := range frontier {
+			g.Visit(vd, func(og *pgraph.Graph[VP, EP], v *pgraph.Vertex[VP, EP]) {
+				for _, e := range v.Edges {
+					tgt := e.Target
+					og.Visit(tgt, func(tg *pgraph.Graph[VP, EP], tv *pgraph.Vertex[VP, EP]) {
+						engine := tg.Location().Object(h).(*BFSResult)
+						engine.relax(tv.Descriptor, level+1)
+					})
+				}
+			})
+		}
+		loc.Fence()
+		// Count the vertices discovered this superstep across the machine.
+		res.mu.Lock()
+		discovered := int64(len(res.next))
+		res.mu.Unlock()
+		if runtime.AllReduceSum(loc, discovered) == 0 {
+			break
+		}
+	}
+	loc.Fence()
+	loc.UnregisterObject(h)
+	loc.Barrier()
+	return res
+}
+
+// ReachedCount returns the total number of vertices reached by a BFS.
+// Collective.
+func ReachedCount(loc *runtime.Location, res *BFSResult) int64 {
+	res.mu.Lock()
+	n := int64(len(res.levels))
+	res.mu.Unlock()
+	return runtime.AllReduceSum(loc, n)
+}
+
+// MaxLevel returns the largest BFS level across the machine (the eccentric
+// distance from the root within its component).  Collective.
+func MaxLevel(loc *runtime.Location, res *BFSResult) int64 {
+	res.mu.Lock()
+	local := int64(-1)
+	for _, l := range res.levels {
+		if l > local {
+			local = l
+		}
+	}
+	res.mu.Unlock()
+	return runtime.AllReduceMax(loc, local)
+}

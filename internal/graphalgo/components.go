@@ -1,0 +1,102 @@
+package graphalgo
+
+import (
+	"sync"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/runtime"
+)
+
+// ccEngine holds per-location connected-component labels.
+type ccEngine struct {
+	mu      sync.Mutex
+	label   map[int64]int64
+	changed bool
+}
+
+func (e *ccEngine) propose(vd, label int64) {
+	e.mu.Lock()
+	if cur, ok := e.label[vd]; ok && label < cur {
+		e.label[vd] = label
+		e.changed = true
+	}
+	e.mu.Unlock()
+}
+
+// ConnectedComponents labels every vertex with the smallest vertex
+// descriptor in its (weakly) connected component using iterative label
+// propagation, and returns each location's labels for its local vertices.
+// For directed graphs the propagation follows out-edges only, so it computes
+// reachability-based components; build the graph undirected to get the
+// standard weakly connected components.  Collective.
+func ConnectedComponents[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP]) map[int64]int64 {
+	eng := &ccEngine{label: make(map[int64]int64)}
+	h := loc.RegisterObject(eng)
+	loc.Barrier()
+
+	// Initialise every local vertex's label with its own descriptor.
+	for _, vd := range g.LocalVertices() {
+		eng.label[vd] = vd
+	}
+	loc.Fence()
+
+	for {
+		eng.mu.Lock()
+		eng.changed = false
+		snapshot := make(map[int64]int64, len(eng.label))
+		for k, v := range eng.label {
+			snapshot[k] = v
+		}
+		eng.mu.Unlock()
+
+		// Push every local vertex's label to its neighbours.
+		for vd, lbl := range snapshot {
+			lbl := lbl
+			g.Visit(vd, func(og *pgraph.Graph[VP, EP], v *pgraph.Vertex[VP, EP]) {
+				for _, e := range v.Edges {
+					tgt := e.Target
+					og.Visit(tgt, func(tg *pgraph.Graph[VP, EP], tv *pgraph.Vertex[VP, EP]) {
+						tg.Location().Object(h).(*ccEngine).propose(tv.Descriptor, lbl)
+					})
+				}
+			})
+		}
+		loc.Fence()
+
+		eng.mu.Lock()
+		changed := int64(0)
+		if eng.changed {
+			changed = 1
+		}
+		eng.mu.Unlock()
+		if runtime.AllReduceSum(loc, changed) == 0 {
+			break
+		}
+	}
+
+	eng.mu.Lock()
+	out := make(map[int64]int64, len(eng.label))
+	for k, v := range eng.label {
+		out[k] = v
+	}
+	eng.mu.Unlock()
+	loc.Fence()
+	loc.UnregisterObject(h)
+	loc.Barrier()
+	return out
+}
+
+// NumComponents counts the distinct component labels across the machine.
+// It is a collective helper over the result of ConnectedComponents.
+func NumComponents(loc *runtime.Location, labels map[int64]int64) int64 {
+	// A component is counted by the location owning the vertex whose
+	// descriptor equals the label (each component has exactly one such
+	// representative vertex).
+	var local int64
+	for vd, lbl := range labels {
+		if vd == lbl {
+			local++
+		}
+	}
+	return runtime.AllReduceSum(loc, local)
+}

@@ -1,0 +1,114 @@
+package graphalgo
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/runtime"
+)
+
+// PageRankParams configures the iterative page-rank computation of Fig. 56.
+type PageRankParams struct {
+	Damping    float64
+	Iterations int
+	// Tolerance, when positive, stops early once the global L1 change of
+	// the rank vector drops below it.
+	Tolerance float64
+}
+
+// DefaultPageRank returns the parameters used by the benches: damping 0.85,
+// 20 iterations, no early exit.
+func DefaultPageRank() PageRankParams {
+	return PageRankParams{Damping: 0.85, Iterations: 20}
+}
+
+// prEngine holds per-location rank state.
+type prEngine struct {
+	mu    sync.Mutex
+	rank  map[int64]float64
+	accum map[int64]float64
+}
+
+func (e *prEngine) contribute(vd int64, val float64) {
+	e.mu.Lock()
+	e.accum[vd] += val
+	e.mu.Unlock()
+}
+
+// PageRank computes page rank over the graph and returns each location's
+// ranks for its locally stored vertices.  The returned ranks sum
+// (approximately) to 1 across the machine.  Collective.
+func PageRank[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP], p PageRankParams) map[int64]float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return map[int64]float64{}
+	}
+	eng := &prEngine{rank: make(map[int64]float64), accum: make(map[int64]float64)}
+	h := loc.RegisterObject(eng)
+	loc.Barrier()
+
+	locals := g.LocalVertices()
+	for _, vd := range locals {
+		eng.rank[vd] = 1.0 / float64(n)
+	}
+	loc.Fence()
+
+	for iter := 0; iter < p.Iterations; iter++ {
+		// Scatter contributions along out-edges.
+		g.RangeLocalVertices(func(v *pgraph.Vertex[VP, EP]) bool {
+			eng.mu.Lock()
+			r := eng.rank[v.Descriptor]
+			eng.mu.Unlock()
+			if len(v.Edges) == 0 {
+				return true
+			}
+			share := r / float64(len(v.Edges))
+			for _, e := range v.Edges {
+				tgt := e.Target
+				g.Visit(tgt, func(tg *pgraph.Graph[VP, EP], tv *pgraph.Vertex[VP, EP]) {
+					tg.Location().Object(h).(*prEngine).contribute(tv.Descriptor, share)
+				})
+			}
+			return true
+		})
+		loc.Fence()
+
+		// Gather: new rank = (1-d)/n + d * accumulated contributions.
+		var delta float64
+		eng.mu.Lock()
+		for _, vd := range locals {
+			newRank := (1-p.Damping)/float64(n) + p.Damping*eng.accum[vd]
+			delta += math.Abs(newRank - eng.rank[vd])
+			eng.rank[vd] = newRank
+			eng.accum[vd] = 0
+		}
+		eng.mu.Unlock()
+		totalDelta := runtime.AllReduceFloat(loc, delta)
+		loc.Fence()
+		if p.Tolerance > 0 && totalDelta < p.Tolerance {
+			break
+		}
+	}
+
+	eng.mu.Lock()
+	out := make(map[int64]float64, len(eng.rank))
+	for k, v := range eng.rank {
+		out[k] = v
+	}
+	eng.mu.Unlock()
+	loc.Fence()
+	loc.UnregisterObject(h)
+	loc.Barrier()
+	return out
+}
+
+// RankSum returns the global sum of ranks (should be close to 1 when the
+// graph has no dangling vertices).  Collective.
+func RankSum(loc *runtime.Location, ranks map[int64]float64) float64 {
+	var local float64
+	for _, r := range ranks {
+		local += r
+	}
+	return runtime.AllReduceFloat(loc, local)
+}

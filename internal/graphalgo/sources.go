@@ -1,0 +1,75 @@
+package graphalgo
+
+import (
+	"sync"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/runtime"
+)
+
+// inDegreeEngine accumulates in-degrees for the vertices stored on one
+// location.
+type inDegreeEngine struct {
+	mu  sync.Mutex
+	deg map[int64]int64
+}
+
+func (e *inDegreeEngine) add(vd int64) {
+	e.mu.Lock()
+	e.deg[vd]++
+	e.mu.Unlock()
+}
+
+// InDegrees computes the in-degree of every vertex and returns each
+// location's map for its locally stored vertices.  Collective.
+func InDegrees[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP]) map[int64]int64 {
+	eng := &inDegreeEngine{deg: make(map[int64]int64)}
+	h := loc.RegisterObject(eng)
+	loc.Barrier()
+
+	for _, vd := range g.LocalVertices() {
+		eng.mu.Lock()
+		if _, ok := eng.deg[vd]; !ok {
+			eng.deg[vd] = 0
+		}
+		eng.mu.Unlock()
+	}
+	// Each location scans its local adjacency and sends one increment per
+	// edge to the target's owner (computation migration: the increment
+	// executes where the counter lives).
+	g.RangeLocalVertices(func(v *pgraph.Vertex[VP, EP]) bool {
+		for _, e := range v.Edges {
+			tgt := e.Target
+			g.Visit(tgt, func(tg *pgraph.Graph[VP, EP], tv *pgraph.Vertex[VP, EP]) {
+				tg.Location().Object(h).(*inDegreeEngine).add(tv.Descriptor)
+			})
+		}
+		return true
+	})
+	loc.Fence()
+
+	eng.mu.Lock()
+	out := make(map[int64]int64, len(eng.deg))
+	for k, v := range eng.deg {
+		out[k] = v
+	}
+	eng.mu.Unlock()
+	loc.Fence()
+	loc.UnregisterObject(h)
+	loc.Barrier()
+	return out
+}
+
+// FindSources returns the descriptors of this location's vertices that have
+// no incoming edges (the find-sources experiment of Fig. 51), plus the
+// global source count on every location.  Collective.
+func FindSources[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP]) (local []int64, total int64) {
+	deg := InDegrees(loc, g)
+	for vd, d := range deg {
+		if d == 0 {
+			local = append(local, vd)
+		}
+	}
+	total = runtime.AllReduceSum(loc, int64(len(local)))
+	return local, total
+}

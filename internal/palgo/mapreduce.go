@@ -1,0 +1,39 @@
+package palgo
+
+import (
+	"repro/internal/containers/passoc"
+	"repro/internal/runtime"
+)
+
+// MapReduce runs the paper's MapReduce pattern (Fig. 59) on top of the
+// associative pContainers: every location feeds its local share of the input
+// through mapFn, which emits (key, value) pairs; pairs are aggregated into
+// the result pHashMap with reduceFn, using the container's atomic Apply as
+// the combiner.  The reduction is initiated with the key's zero value.
+// Collective; returns the populated result map (also passed in by the
+// caller, constructed collectively).
+func MapReduce[In any, K comparable, V any](
+	loc *runtime.Location,
+	input []In,
+	out *passoc.HashMap[K, V],
+	mapFn func(In, func(K, V)),
+	reduceFn func(acc V, v V) V,
+) *passoc.HashMap[K, V] {
+	emit := func(k K, v V) {
+		out.Apply(k, func(acc V) V { return reduceFn(acc, v) })
+	}
+	for _, rec := range input {
+		mapFn(rec, emit)
+	}
+	loc.Fence()
+	return out
+}
+
+// WordCount counts word occurrences across all locations' local corpora,
+// the workload of the paper's Fig. 59 experiment.  Collective.
+func WordCount(loc *runtime.Location, localWords []string, out *passoc.HashMap[string, int64]) *passoc.HashMap[string, int64] {
+	return MapReduce(loc, localWords, out,
+		func(w string, emit func(string, int64)) { emit(w, 1) },
+		func(acc, v int64) int64 { return acc + v },
+	)
+}

@@ -1,0 +1,267 @@
+// Package palgo implements the STAPL pAlgorithms used throughout the
+// paper's evaluation: the generic data-parallel algorithms (p_for_each,
+// p_generate, p_accumulate, p_transform, p_count_if, p_find, p_min/max,
+// p_partial_sum, p_copy), a sample sort, and a MapReduce built on the
+// associative pContainers.
+//
+// Every algorithm is an SPMD collective: all locations call it with the same
+// arguments (their own Location plus views built over shared pContainers),
+// each location processes the index ranges its view assigns to it, and the
+// result — where there is one — is returned on every location.
+package palgo
+
+import (
+	"repro/internal/domain"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// ForEach applies fn to every (index, value) pair of the view.  fn must not
+// mutate the view; use Generate or TransformInPlace for mutation.
+// Collective.
+func ForEach[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64, x T)) {
+	for _, r := range v.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			fn(i, v.Get(i))
+		}
+	}
+	loc.Fence()
+}
+
+// Generate assigns fn(i) to every element of the view (p_generate).
+// Collective.
+func Generate[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64) T) {
+	for _, r := range v.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			v.Set(i, fn(i))
+		}
+	}
+	loc.Fence()
+}
+
+// TransformInPlace replaces every element with fn(index, old value)
+// (p_for_each with a mutating work function).  Collective.
+func TransformInPlace[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64, x T) T) {
+	for _, r := range v.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			v.Set(i, fn(i, v.Get(i)))
+		}
+	}
+	loc.Fence()
+}
+
+// Transform writes fn(in[i]) into out[i] for every index (p_transform).
+// The views must have equal sizes.  Collective.
+func Transform[T any, U any](loc *runtime.Location, in views.Partitioned[T], out views.Partitioned[U], fn func(T) U) {
+	for _, r := range in.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			out.Set(i, fn(in.Get(i)))
+		}
+	}
+	loc.Fence()
+}
+
+// Copy copies in into out element-wise (p_copy).  Collective.
+func Copy[T any](loc *runtime.Location, in views.Partitioned[T], out views.Partitioned[T]) {
+	Transform(loc, in, out, func(x T) T { return x })
+}
+
+// Accumulate reduces the view with op starting from init (p_accumulate):
+// the result equals folding op over init and every element exactly once.
+// op must be associative and commutative.  The result is returned on every
+// location.  Collective.
+func Accumulate[T any](loc *runtime.Location, v views.Partitioned[T], init T, op func(a, b T) T) T {
+	val, ok := Reduce(loc, v, op)
+	if !ok {
+		return init
+	}
+	return op(init, val)
+}
+
+type localAcc[T any] struct {
+	val   T
+	valid bool
+}
+
+// Reduce reduces the view with op over its elements only (no initial value
+// is folded in); it returns (zero, false) on an empty view.  Collective.
+func Reduce[T any](loc *runtime.Location, v views.Partitioned[T], op func(a, b T) T) (T, bool) {
+	var acc T
+	valid := false
+	for _, r := range v.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			x := v.Get(i)
+			if !valid {
+				acc, valid = x, true
+			} else {
+				acc = op(acc, x)
+			}
+		}
+	}
+	out := runtime.AllReduceT(loc, localAcc[T]{val: acc, valid: valid}, func(a, b localAcc[T]) localAcc[T] {
+		switch {
+		case !a.valid:
+			return b
+		case !b.valid:
+			return a
+		default:
+			return localAcc[T]{val: op(a.val, b.val), valid: true}
+		}
+	})
+	loc.Fence()
+	return out.val, out.valid
+}
+
+// CountIf returns the number of elements satisfying pred (p_count_if).
+// Collective.
+func CountIf[T any](loc *runtime.Location, v views.Partitioned[T], pred func(T) bool) int64 {
+	var n int64
+	for _, r := range v.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			if pred(v.Get(i)) {
+				n++
+			}
+		}
+	}
+	total := runtime.AllReduceSum(loc, n)
+	loc.Fence()
+	return total
+}
+
+// Find returns the smallest index whose element satisfies pred, or -1 when
+// none does (p_find_if).  Collective.
+func Find[T any](loc *runtime.Location, v views.Partitioned[T], pred func(T) bool) int64 {
+	best := int64(-1)
+	for _, r := range v.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			if pred(v.Get(i)) {
+				best = i
+				break
+			}
+		}
+		if best >= 0 {
+			break
+		}
+	}
+	out := runtime.AllReduceInt(loc, best, func(a, b int64) int64 {
+		switch {
+		case a < 0:
+			return b
+		case b < 0:
+			return a
+		case a < b:
+			return a
+		default:
+			return b
+		}
+	})
+	loc.Fence()
+	return out
+}
+
+// MinElement returns the minimum element according to less, and false on an
+// empty view (p_min_element).  Collective.
+func MinElement[T any](loc *runtime.Location, v views.Partitioned[T], less func(a, b T) bool) (T, bool) {
+	return Reduce(loc, v, func(a, b T) T {
+		if less(b, a) {
+			return b
+		}
+		return a
+	})
+}
+
+// MaxElement returns the maximum element according to less (p_max_element).
+// Collective.
+func MaxElement[T any](loc *runtime.Location, v views.Partitioned[T], less func(a, b T) bool) (T, bool) {
+	return Reduce(loc, v, func(a, b T) T {
+		if less(a, b) {
+			return b
+		}
+		return a
+	})
+}
+
+// PartialSum computes inclusive prefix sums of the view in place
+// (p_partial_sum, the prefix-sums algorithmic technique): element i becomes
+// op(v[0], ..., v[i]).  Collective.
+func PartialSum[T any](loc *runtime.Location, v views.Partitioned[T], zero T, op func(a, b T) T) {
+	ranges := v.LocalRanges(loc)
+	// Phase 1: local prefix within each local range; remember each range's
+	// total and first index so the cross-location offsets can be applied.
+	totals := make([]T, len(ranges))
+	for k, r := range ranges {
+		acc := zero
+		for i := r.Lo; i < r.Hi; i++ {
+			acc = op(acc, v.Get(i))
+			v.Set(i, acc)
+		}
+		totals[k] = acc
+	}
+	loc.Fence()
+	// Phase 2: gather (first index, total) of every range in the machine
+	// and compute, for each of this location's ranges, the combined total
+	// of all ranges that precede it in index order.
+	type rangeTotal struct {
+		Lo    int64
+		Total T
+	}
+	local := make([]rangeTotal, len(ranges))
+	for k, r := range ranges {
+		local[k] = rangeTotal{Lo: r.Lo, Total: totals[k]}
+	}
+	all := runtime.AllGatherT(loc, local)
+	var flat []rangeTotal
+	for _, part := range all {
+		flat = append(flat, part...)
+	}
+	// Phase 3: add the preceding offset to every local element.
+	for _, r := range ranges {
+		offset := zero
+		hasOffset := false
+		for _, rt := range flat {
+			if rt.Lo < r.Lo {
+				offset = op(offset, rt.Total)
+				hasOffset = true
+			}
+		}
+		if !hasOffset {
+			continue
+		}
+		for i := r.Lo; i < r.Hi; i++ {
+			v.Set(i, op(offset, v.Get(i)))
+		}
+	}
+	loc.Fence()
+}
+
+// AdjacentDifference writes out[i] = op(in[i], in[i-1]) for i > 0 and
+// out[0] = in[0], using an overlap-style access pattern.  Collective.
+func AdjacentDifference[T any](loc *runtime.Location, in views.Partitioned[T], out views.Partitioned[T], op func(cur, prev T) T) {
+	for _, r := range in.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			if i == 0 {
+				out.Set(0, in.Get(0))
+				continue
+			}
+			out.Set(i, op(in.Get(i), in.Get(i-1)))
+		}
+	}
+	loc.Fence()
+}
+
+// Iota fills the view with consecutive values starting at start.
+// Collective.
+func Iota(loc *runtime.Location, v views.Partitioned[int64], start int64) {
+	Generate(loc, v, func(i int64) int64 { return start + i })
+}
+
+// Fill assigns val to every element.  Collective.
+func Fill[T any](loc *runtime.Location, v views.Partitioned[T], val T) {
+	Generate(loc, v, func(int64) T { return val })
+}
+
+// balancedShare returns the calling location's share of [0, n) (a helper for
+// algorithms that generate their own input rather than reading a view).
+func balancedShare(loc *runtime.Location, n int64) domain.Range1D {
+	return domain.NewRange1D(0, n).Split(loc.NumLocations())[loc.ID()]
+}

@@ -1,0 +1,277 @@
+package palgo
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/containers/parray"
+	"repro/internal/containers/passoc"
+	"repro/internal/containers/pvector"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/views"
+	"repro/internal/workload"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+func TestGenerateAndAccumulate(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pa := parray.New[int64](loc, 1000)
+		v := views.NewArrayNative(pa)
+		Generate(loc, v, func(i int64) int64 { return i })
+		sum := Accumulate(loc, v, 0, func(a, b int64) int64 { return a + b })
+		want := int64(999 * 1000 / 2)
+		if sum != want {
+			t.Errorf("sum = %d, want %d", sum, want)
+		}
+		// Accumulate with a non-zero initial value folds it exactly once.
+		sum2 := Accumulate(loc, v, 5, func(a, b int64) int64 { return a + b })
+		if sum2 != want+5 {
+			t.Errorf("sum with init = %d, want %d", sum2, want+5)
+		}
+		loc.Fence()
+	})
+}
+
+func TestForEachVisitsEveryElementOnce(t *testing.T) {
+	var visits atomic.Int64
+	run(3, func(loc *runtime.Location) {
+		pa := parray.New[int](loc, 100)
+		v := views.NewArrayNative(pa)
+		ForEach(loc, v, func(i int64, x int) { visits.Add(1) })
+		loc.Fence()
+	})
+	if visits.Load() != 100 {
+		t.Fatalf("ForEach visited %d elements, want 100", visits.Load())
+	}
+}
+
+func TestTransformInPlaceAndTransform(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		in := parray.New[int64](loc, 64)
+		out := parray.New[int64](loc, 64)
+		vin := views.NewArrayNative(in)
+		vout := views.NewArrayNative(out)
+		Iota(loc, vin, 0)
+		TransformInPlace(loc, vin, func(i int64, x int64) int64 { return x * 2 })
+		if got := in.Get(10); got != 20 {
+			t.Errorf("in[10] = %d", got)
+		}
+		Transform(loc, vin, vout, func(x int64) int64 { return x + 1 })
+		if got := out.Get(10); got != 21 {
+			t.Errorf("out[10] = %d", got)
+		}
+		// p_for_each over the two containers with Copy.
+		Copy(loc, vout, vin)
+		if got := in.Get(63); got != 127 {
+			t.Errorf("copied in[63] = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestCountIfFindMinMax(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pa := parray.New[int64](loc, 200)
+		v := views.NewArrayNative(pa)
+		Generate(loc, v, func(i int64) int64 { return i % 10 })
+		if n := CountIf(loc, v, func(x int64) bool { return x == 3 }); n != 20 {
+			t.Errorf("count = %d", n)
+		}
+		if idx := Find(loc, v, func(x int64) bool { return x == 7 }); idx != 7 {
+			t.Errorf("find = %d", idx)
+		}
+		if idx := Find(loc, v, func(x int64) bool { return x == 99 }); idx != -1 {
+			t.Errorf("find missing = %d", idx)
+		}
+		less := func(a, b int64) bool { return a < b }
+		if mn, ok := MinElement(loc, v, less); !ok || mn != 0 {
+			t.Errorf("min = %d,%v", mn, ok)
+		}
+		if mx, ok := MaxElement(loc, v, less); !ok || mx != 9 {
+			t.Errorf("max = %d,%v", mx, ok)
+		}
+		loc.Fence()
+	})
+}
+
+func TestReduceEmptyView(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		pa := parray.New[int64](loc, 0)
+		v := views.NewArrayNative(pa)
+		if _, ok := Reduce(loc, v, func(a, b int64) int64 { return a + b }); ok {
+			t.Error("reduce of empty view should report not-ok")
+		}
+		if s := Accumulate(loc, v, 42, func(a, b int64) int64 { return a + b }); s != 42 {
+			t.Errorf("accumulate of empty view = %d, want init", s)
+		}
+		loc.Fence()
+	})
+}
+
+func TestPartialSum(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pa := parray.New[int64](loc, 100)
+		v := views.NewArrayNative(pa)
+		Fill(loc, v, int64(1))
+		PartialSum(loc, v, 0, func(a, b int64) int64 { return a + b })
+		// Element i must now hold i+1.
+		for _, i := range []int64{0, 1, 25, 50, 73, 99} {
+			if got := pa.Get(i); got != i+1 {
+				t.Errorf("prefix[%d] = %d, want %d", i, got, i+1)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestPartialSumArbitraryValues(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		pa := parray.New[int64](loc, 31)
+		v := views.NewArrayNative(pa)
+		Generate(loc, v, func(i int64) int64 { return i % 5 })
+		PartialSum(loc, v, 0, func(a, b int64) int64 { return a + b })
+		var want int64
+		for i := int64(0); i < 31; i++ {
+			want += i % 5
+			if got := pa.Get(i); got != want {
+				t.Errorf("prefix[%d] = %d, want %d", i, got, want)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestAdjacentDifference(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		in := parray.New[int64](loc, 20)
+		out := parray.New[int64](loc, 20)
+		vin := views.NewArrayNative(in)
+		Generate(loc, vin, func(i int64) int64 { return i * i })
+		AdjacentDifference(loc, vin, views.NewArrayNative(out), func(cur, prev int64) int64 { return cur - prev })
+		if out.Get(0) != 0 {
+			t.Errorf("out[0] = %d", out.Get(0))
+		}
+		for _, i := range []int64{1, 5, 10, 19} {
+			if got := out.Get(i); got != 2*i-1 {
+				t.Errorf("out[%d] = %d, want %d", i, got, 2*i-1)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestAlgorithmsOverBalancedAndVectorViews(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pv := pvector.New[int64](loc, 120)
+		nat := views.NewVectorNative(pv)
+		Generate(loc, nat, func(i int64) int64 { return 1 })
+		// Balanced view over the vector gives the same reduction result.
+		bal := views.NewBalanced[int64](nat)
+		if s := Accumulate(loc, bal, 0, func(a, b int64) int64 { return a + b }); s != 120 {
+			t.Errorf("balanced sum = %d", s)
+		}
+		loc.Fence()
+	})
+}
+
+func TestSampleSort(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		const n = 500
+		pa := parray.New[int64](loc, n)
+		v := views.NewArrayNative(pa)
+		// Deterministic pseudo-random fill.
+		Generate(loc, v, func(i int64) int64 { return (i*1103515245 + 12345) % 10007 })
+		if IsSorted(loc, v, func(a, b int64) bool { return a < b }) {
+			t.Error("input is unexpectedly sorted")
+		}
+		SampleSort(loc, pa, func(a, b int64) bool { return a < b })
+		if !IsSorted(loc, v, func(a, b int64) bool { return a < b }) {
+			t.Error("output is not sorted")
+		}
+		// The multiset of values is preserved.
+		sum := Accumulate(loc, v, 0, func(a, b int64) int64 { return a + b })
+		var want int64
+		for i := int64(0); i < n; i++ {
+			want += (i*1103515245 + 12345) % 10007
+		}
+		if sum != want {
+			t.Errorf("sum after sort = %d, want %d", sum, want)
+		}
+		loc.Fence()
+	})
+}
+
+func TestSampleSortSingleLocation(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		pa := parray.New[int64](loc, 50)
+		v := views.NewArrayNative(pa)
+		Generate(loc, v, func(i int64) int64 { return 50 - i })
+		SampleSort(loc, pa, func(a, b int64) bool { return a < b })
+		if !IsSorted(loc, v, func(a, b int64) bool { return a < b }) {
+			t.Error("not sorted")
+		}
+		if pa.Get(0) != 1 || pa.Get(49) != 50 {
+			t.Error("values wrong after sort")
+		}
+	})
+}
+
+func TestMapReduceWordCount(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		out := passoc.NewHashMap[string, int64](loc, partition.StringHash)
+		// Each location contributes the same tiny corpus.
+		words := []string{"a", "b", "a", "c", "a", "b"}
+		WordCount(loc, words, out)
+		if n, _ := out.Find("a"); n != int64(3*loc.NumLocations()) {
+			t.Errorf("count(a) = %d", n)
+		}
+		if n, _ := out.Find("b"); n != int64(2*loc.NumLocations()) {
+			t.Errorf("count(b) = %d", n)
+		}
+		if out.Size() != 3 {
+			t.Errorf("distinct words = %d", out.Size())
+		}
+		loc.Fence()
+	})
+}
+
+func TestMapReduceWithZipfCorpus(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		out := passoc.NewHashMap[string, int64](loc, partition.StringHash)
+		corpus := workload.Zipf(loc, 2000, 50, 1.2)
+		WordCount(loc, corpus, out)
+		var localTotal int64
+		out.LocalRange(func(_ string, c int64) bool { localTotal += c; return true })
+		total := runtime.AllReduceSum(loc, localTotal)
+		if total != 4000 {
+			t.Errorf("total word occurrences = %d, want 4000", total)
+		}
+		if out.Size() <= 0 || out.Size() > 50 {
+			t.Errorf("distinct words = %d", out.Size())
+		}
+		loc.Fence()
+	})
+}
+
+func TestGenericMapReduce(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		out := passoc.NewHashMap[int64, int64](loc, partition.Int64Hash)
+		// Histogram of numbers mod 5, each location over its own range.
+		nums := make([]int64, 0, 100)
+		for i := int64(0); i < 100; i++ {
+			nums = append(nums, i)
+		}
+		MapReduce(loc, nums, out,
+			func(x int64, emit func(int64, int64)) { emit(x%5, 1) },
+			func(acc, v int64) int64 { return acc + v })
+		if n, _ := out.Find(3); n != int64(20*loc.NumLocations()) {
+			t.Errorf("bucket 3 = %d", n)
+		}
+		loc.Fence()
+	})
+}

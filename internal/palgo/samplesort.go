@@ -1,0 +1,114 @@
+package palgo
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/containers/parray"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// SampleSort sorts a pArray in place using the classic sample-sort pattern
+// the paper uses to motivate bucket-level atomicity: each location samples
+// its local data, splitters are agreed on collectively, every element is
+// shipped to the bucket (location) owning its splitter range, buckets are
+// sorted locally, and the sorted buckets are written back into the array in
+// global order.  Collective.
+func SampleSort[T any](loc *runtime.Location, a *parray.Array[T], less func(x, y T) bool) {
+	p := loc.NumLocations()
+	// Phase 1: sample local data (oversampling factor 4).
+	var local []T
+	a.RangeLocal(func(_ int64, x T) bool { local = append(local, x); return true })
+	samples := make([]T, 0, 4*p)
+	if len(local) > 0 {
+		step := len(local)/(4*p) + 1
+		for i := 0; i < len(local); i += step {
+			samples = append(samples, local[i])
+		}
+	}
+	allSamples := runtime.AllGatherT(loc, samples)
+	var pool []T
+	for _, s := range allSamples {
+		pool = append(pool, s...)
+	}
+	sort.Slice(pool, func(i, j int) bool { return less(pool[i], pool[j]) })
+	// Choose p-1 splitters.
+	splitters := make([]T, 0, p-1)
+	for i := 1; i < p; i++ {
+		if len(pool) == 0 {
+			break
+		}
+		splitters = append(splitters, pool[i*len(pool)/p])
+	}
+
+	// Phase 2: ship every local element to its bucket's location.
+	buckets := newSortBuckets[T]()
+	h := loc.RegisterObject(buckets)
+	loc.Barrier()
+	bucketOf := func(x T) int {
+		idx := sort.Search(len(splitters), func(i int) bool { return less(x, splitters[i]) })
+		return idx
+	}
+	for _, x := range local {
+		dest := bucketOf(x)
+		x := x
+		loc.AsyncRMI(dest, h, func(obj any, _ *runtime.Location) {
+			obj.(*sortBuckets[T]).add(x)
+		})
+	}
+	loc.Fence()
+
+	// Phase 3: sort the local bucket and publish bucket sizes so that each
+	// location knows where its bucket starts in the global order.
+	buckets.mu.Lock()
+	mine := buckets.data
+	buckets.mu.Unlock()
+	sort.Slice(mine, func(i, j int) bool { return less(mine[i], mine[j]) })
+	start := runtime.ExclusiveScan(loc, int64(len(mine)), 0, func(a, b int64) int64 { return a + b })
+
+	// Phase 4: write the sorted bucket back into the array.
+	for i, x := range mine {
+		a.Set(start+int64(i), x)
+	}
+	loc.Fence()
+	loc.UnregisterObject(h)
+	loc.Barrier()
+}
+
+// sortBuckets receives the elements routed to one location during
+// SampleSort.
+type sortBuckets[T any] struct {
+	mu   sync.Mutex
+	data []T
+}
+
+func newSortBuckets[T any]() *sortBuckets[T] { return &sortBuckets[T]{} }
+
+func (b *sortBuckets[T]) add(x T) {
+	b.mu.Lock()
+	b.data = append(b.data, x)
+	b.mu.Unlock()
+}
+
+// IsSorted reports (collectively) whether the view is globally sorted
+// according to less.
+func IsSorted[T any](loc *runtime.Location, v views.Partitioned[T], less func(a, b T) bool) bool {
+	ok := int64(1)
+	for _, r := range v.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			if i > 0 && less(v.Get(i), v.Get(i-1)) {
+				ok = 0
+				break
+			}
+		}
+	}
+	agreed := runtime.AllReduceInt(loc, ok, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	loc.Fence()
+	return agreed == 1
+}

@@ -1,0 +1,81 @@
+package partition
+
+import "sort"
+
+// Hashed partitions an (unbounded) key universe into a fixed number of
+// sub-domains by hashing the key, the default distribution of unordered
+// associative pContainers (pHashMap, pHashSet).  The decomposition has a
+// closed form, so lookups never need forwarding.
+type Hashed[K comparable] struct {
+	n    int
+	hash func(K) uint64
+}
+
+// NewHashed builds a hashed partition into n sub-domains using the given
+// hash function.
+func NewHashed[K comparable](n int, hash func(K) uint64) *Hashed[K] {
+	if n <= 0 {
+		n = 1
+	}
+	return &Hashed[K]{n: n, hash: hash}
+}
+
+// NumSubdomains returns the number of sub-domains.
+func (p *Hashed[K]) NumSubdomains() int { return p.n }
+
+// Find returns the sub-domain owning key k.
+func (p *Hashed[K]) Find(k K) Info {
+	return Found(BCID(p.hash(k) % uint64(p.n)))
+}
+
+// Ranged partitions an ordered key universe into contiguous key ranges using
+// explicit splitters (the value-based partition of sorted associative
+// pContainers, Fig. 58).  Sub-domain i owns keys in [splitter[i-1],
+// splitter[i]), with the first and last sub-domains open below and above.
+type Ranged[K any] struct {
+	splitters []K
+	less      func(a, b K) bool
+}
+
+// NewRanged builds a range partition with the given splitters (must be
+// sorted according to less).  With s splitters there are s+1 sub-domains.
+func NewRanged[K any](splitters []K, less func(a, b K) bool) *Ranged[K] {
+	return &Ranged[K]{splitters: append([]K(nil), splitters...), less: less}
+}
+
+// NumSubdomains returns the number of key ranges.
+func (p *Ranged[K]) NumSubdomains() int { return len(p.splitters) + 1 }
+
+// Find returns the sub-domain owning key k.
+func (p *Ranged[K]) Find(k K) Info {
+	// First splitter strictly greater than k determines the range.
+	idx := sort.Search(len(p.splitters), func(i int) bool { return p.less(k, p.splitters[i]) })
+	return Found(BCID(idx))
+}
+
+// Splitters returns the splitter keys (a copy).
+func (p *Ranged[K]) Splitters() []K { return append([]K(nil), p.splitters...) }
+
+// StringHash is a simple FNV-1a hash usable as the hash function of a
+// Hashed[string] partition.
+func StringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Int64Hash mixes an int64 key (SplitMix64 finaliser) for Hashed[int64]
+// partitions.
+func Int64Hash(x int64) uint64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

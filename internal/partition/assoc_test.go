@@ -1,0 +1,209 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/domain"
+)
+
+func TestMatrixPartitionRowBlocked(t *testing.T) {
+	dom := domain.NewRange2D(10, 6)
+	p := NewMatrix(dom, 4, RowBlocked)
+	if p.NumSubdomains() != 4 {
+		t.Fatalf("subdomains = %d", p.NumSubdomains())
+	}
+	gr, gc := p.GridDims()
+	if gr != 4 || gc != 1 {
+		t.Fatalf("grid = %dx%d, want 4x1", gr, gc)
+	}
+	// Every index maps to a block containing it; blocks tile the domain.
+	var total int64
+	for b := 0; b < p.NumSubdomains(); b++ {
+		r, c := p.Block(BCID(b))
+		total += r.Size() * c.Size()
+	}
+	if total != dom.Size() {
+		t.Fatalf("blocks cover %d elements, domain has %d", total, dom.Size())
+	}
+	for row := int64(0); row < dom.Rows; row++ {
+		for col := int64(0); col < dom.Cols; col++ {
+			g := domain.Index2D{Row: row, Col: col}
+			info := p.Find(g)
+			if !info.Valid {
+				t.Fatalf("Find(%v) invalid", g)
+			}
+			r, c := p.Block(info.BCID)
+			if !r.Contains(row) || !c.Contains(col) {
+				t.Fatalf("Find(%v) -> block %d does not contain it", g, info.BCID)
+			}
+		}
+	}
+	if p.Find(domain.Index2D{Row: 10, Col: 0}).Valid {
+		t.Fatal("out-of-domain index should not resolve")
+	}
+}
+
+func TestMatrixPartitionLayouts(t *testing.T) {
+	dom := domain.NewRange2D(8, 8)
+	col := NewMatrix(dom, 4, ColBlocked)
+	gr, gc := col.GridDims()
+	if gr != 1 || gc != 4 {
+		t.Fatalf("col grid = %dx%d", gr, gc)
+	}
+	chk := NewMatrix(dom, 4, Checkerboard)
+	gr, gc = chk.GridDims()
+	if gr != 2 || gc != 2 {
+		t.Fatalf("checkerboard grid = %dx%d, want 2x2", gr, gc)
+	}
+	sizes := chk.SubSizes()
+	for _, s := range sizes {
+		if s != 16 {
+			t.Fatalf("checkerboard block sizes = %v, want all 16", sizes)
+		}
+	}
+	if NewMatrix(dom, 0, RowBlocked).NumSubdomains() != 1 {
+		t.Fatal("n=0 should clamp to one block")
+	}
+}
+
+func TestSquarestGrid(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 4: {2, 2}, 6: {2, 3}, 7: {1, 7}, 12: {3, 4}, 16: {4, 4}}
+	for n, want := range cases {
+		r, c := squarestGrid(n)
+		if r != want[0] || c != want[1] {
+			t.Errorf("squarestGrid(%d) = %d,%d want %d,%d", n, r, c, want[0], want[1])
+		}
+	}
+}
+
+func TestMatrixPartitionProperty(t *testing.T) {
+	prop := func(rRaw, cRaw, nRaw uint8) bool {
+		rows := int64(rRaw%30) + 1
+		cols := int64(cRaw%30) + 1
+		n := int(nRaw%12) + 1
+		dom := domain.NewRange2D(rows, cols)
+		for _, layout := range []MatrixLayout{RowBlocked, ColBlocked, Checkerboard} {
+			p := NewMatrix(dom, n, layout)
+			counts := make([]int64, p.NumSubdomains())
+			for r := int64(0); r < rows; r++ {
+				for c := int64(0); c < cols; c++ {
+					info := p.Find(domain.Index2D{Row: r, Col: c})
+					if !info.Valid {
+						return false
+					}
+					counts[info.BCID]++
+				}
+			}
+			sizes := p.SubSizes()
+			for b := range counts {
+				if counts[b] != sizes[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashedPartition(t *testing.T) {
+	p := NewHashed[string](4, StringHash)
+	if p.NumSubdomains() != 4 {
+		t.Fatal("subdomains wrong")
+	}
+	// Deterministic and in range.
+	for _, k := range []string{"alpha", "beta", "gamma", "delta", ""} {
+		a := p.Find(k)
+		b := p.Find(k)
+		if !a.Valid || a.BCID != b.BCID {
+			t.Fatalf("hashing of %q not deterministic", k)
+		}
+		if a.BCID < 0 || int(a.BCID) >= 4 {
+			t.Fatalf("bcid out of range: %d", a.BCID)
+		}
+	}
+	if NewHashed[int64](0, func(int64) uint64 { return 0 }).NumSubdomains() != 1 {
+		t.Fatal("n=0 should clamp to 1")
+	}
+}
+
+func TestHashedPartitionSpread(t *testing.T) {
+	// With many keys every sub-domain should receive a share: the hash
+	// partition is what gives associative containers their balance.
+	p := NewHashed[int64](8, Int64Hash)
+	counts := make([]int, 8)
+	for i := int64(0); i < 8000; i++ {
+		counts[p.Find(i).BCID]++
+	}
+	for b, c := range counts {
+		if c < 500 {
+			t.Fatalf("sub-domain %d received only %d of 8000 keys: %v", b, c, counts)
+		}
+	}
+}
+
+func TestRangedPartition(t *testing.T) {
+	less := func(a, b string) bool { return a < b }
+	p := NewRanged([]string{"g", "p"}, less)
+	if p.NumSubdomains() != 3 {
+		t.Fatalf("subdomains = %d, want 3", p.NumSubdomains())
+	}
+	cases := map[string]BCID{"a": 0, "f": 0, "g": 1, "m": 1, "p": 2, "z": 2}
+	for k, want := range cases {
+		if got := p.Find(k).BCID; got != want {
+			t.Errorf("Find(%q) = %d, want %d", k, got, want)
+		}
+	}
+	sp := p.Splitters()
+	if len(sp) != 2 || sp[0] != "g" {
+		t.Fatalf("splitters = %v", sp)
+	}
+	// No splitters: single sub-domain.
+	single := NewRanged(nil, less)
+	if single.NumSubdomains() != 1 || single.Find("anything").BCID != 0 {
+		t.Fatal("empty splitter partition wrong")
+	}
+}
+
+func TestRangedPartitionMonotoneProperty(t *testing.T) {
+	less := func(a, b int64) bool { return a < b }
+	p := NewRanged([]int64{10, 20, 30}, less)
+	prop := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		// Ownership must be monotone in the key.
+		return p.Find(x).BCID <= p.Find(y).BCID
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashFunctions(t *testing.T) {
+	if StringHash("a") == StringHash("b") {
+		t.Fatal("string hash collision on trivial inputs")
+	}
+	if StringHash("") == 0 {
+		t.Fatal("empty string hash should be the FNV offset, not 0")
+	}
+	if Int64Hash(1) == Int64Hash(2) {
+		t.Fatal("int64 hash collision on trivial inputs")
+	}
+	// SplitMix64 must spread consecutive keys across the space.
+	var low, high int
+	for i := int64(0); i < 1000; i++ {
+		if Int64Hash(i)%2 == 0 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low < 400 || high < 400 {
+		t.Fatalf("int64 hash poorly distributed: %d/%d", low, high)
+	}
+}

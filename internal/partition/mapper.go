@@ -1,0 +1,144 @@
+package partition
+
+// Mapper is the partition-mapper concept (Table IX): it maps sub-domain
+// identifiers (BCIDs) to the locations that store the corresponding base
+// containers, and can enumerate the BCIDs local to a location.
+type Mapper interface {
+	// Map returns the location owning sub-domain b.
+	Map(b BCID) int
+	// NumBContainers returns the total number of sub-domains managed.
+	NumBContainers() int
+	// LocalBCIDs returns the BCIDs mapped to the given location, in
+	// increasing order.
+	LocalBCIDs(loc int) []BCID
+	// IsLocal reports whether sub-domain b is mapped to loc.
+	IsLocal(b BCID, loc int) bool
+}
+
+// BlockedMapper maps m sub-domains to p locations in contiguous groups of
+// ceil(m/p): sub-domains 0..k-1 go to location 0, the next k to location 1,
+// and so on.
+type BlockedMapper struct {
+	numBC, numLoc int
+	group         int
+}
+
+// NewBlockedMapper builds a blocked mapper for numBC sub-domains over
+// numLoc locations.
+func NewBlockedMapper(numBC, numLoc int) *BlockedMapper {
+	if numLoc <= 0 {
+		numLoc = 1
+	}
+	group := (numBC + numLoc - 1) / numLoc
+	if group == 0 {
+		group = 1
+	}
+	return &BlockedMapper{numBC: numBC, numLoc: numLoc, group: group}
+}
+
+// Map returns the owning location of b.
+func (m *BlockedMapper) Map(b BCID) int {
+	loc := int(b) / m.group
+	if loc >= m.numLoc {
+		loc = m.numLoc - 1
+	}
+	return loc
+}
+
+// NumBContainers returns the number of managed sub-domains.
+func (m *BlockedMapper) NumBContainers() int { return m.numBC }
+
+// LocalBCIDs returns the sub-domains owned by loc.
+func (m *BlockedMapper) LocalBCIDs(loc int) []BCID {
+	var out []BCID
+	for b := 0; b < m.numBC; b++ {
+		if m.Map(BCID(b)) == loc {
+			out = append(out, BCID(b))
+		}
+	}
+	return out
+}
+
+// IsLocal reports whether b is owned by loc.
+func (m *BlockedMapper) IsLocal(b BCID, loc int) bool { return m.Map(b) == loc }
+
+// CyclicMapper maps sub-domain b to location b mod p.
+type CyclicMapper struct {
+	numBC, numLoc int
+}
+
+// NewCyclicMapper builds a cyclic mapper for numBC sub-domains over numLoc
+// locations.
+func NewCyclicMapper(numBC, numLoc int) *CyclicMapper {
+	if numLoc <= 0 {
+		numLoc = 1
+	}
+	return &CyclicMapper{numBC: numBC, numLoc: numLoc}
+}
+
+// Map returns b mod p.
+func (m *CyclicMapper) Map(b BCID) int { return int(b) % m.numLoc }
+
+// NumBContainers returns the number of managed sub-domains.
+func (m *CyclicMapper) NumBContainers() int { return m.numBC }
+
+// LocalBCIDs returns the sub-domains owned by loc.
+func (m *CyclicMapper) LocalBCIDs(loc int) []BCID {
+	var out []BCID
+	for b := loc; b < m.numBC; b += m.numLoc {
+		out = append(out, BCID(b))
+	}
+	return out
+}
+
+// IsLocal reports whether b is owned by loc.
+func (m *CyclicMapper) IsLocal(b BCID, loc int) bool { return m.Map(b) == loc }
+
+// ArbitraryMapper maps each sub-domain to an explicitly given location.
+type ArbitraryMapper struct {
+	locs   []int
+	numLoc int
+}
+
+// NewArbitraryMapper builds a mapper from an explicit BCID→location table.
+func NewArbitraryMapper(locs []int, numLoc int) *ArbitraryMapper {
+	cp := append([]int(nil), locs...)
+	return &ArbitraryMapper{locs: cp, numLoc: numLoc}
+}
+
+// Map returns the explicit location of b.
+func (m *ArbitraryMapper) Map(b BCID) int { return m.locs[b] }
+
+// NumBContainers returns the number of managed sub-domains.
+func (m *ArbitraryMapper) NumBContainers() int { return len(m.locs) }
+
+// LocalBCIDs returns the sub-domains owned by loc.
+func (m *ArbitraryMapper) LocalBCIDs(loc int) []BCID {
+	var out []BCID
+	for b, l := range m.locs {
+		if l == loc {
+			out = append(out, BCID(b))
+		}
+	}
+	return out
+}
+
+// IsLocal reports whether b is owned by loc.
+func (m *ArbitraryMapper) IsLocal(b BCID, loc int) bool { return m.locs[b] == loc }
+
+var (
+	_ Mapper = (*BlockedMapper)(nil)
+	_ Mapper = (*CyclicMapper)(nil)
+	_ Mapper = (*ArbitraryMapper)(nil)
+)
+
+// MemoryBytes estimates the metadata footprint of a mapper, used by the
+// containers' memory_size reporting (Table XXII/XXIII experiments).
+func MemoryBytes(m Mapper) int64 {
+	switch v := m.(type) {
+	case *ArbitraryMapper:
+		return int64(len(v.locs)) * 8
+	default:
+		return 24 // closed-form mappers store a constant amount of state
+	}
+}

@@ -1,0 +1,111 @@
+package partition
+
+import "repro/internal/domain"
+
+// MatrixLayout selects how a two-dimensional domain is decomposed
+// (p_matrix_partition in the paper): by blocks of rows, blocks of columns,
+// or a 2-D checkerboard of blocks.
+type MatrixLayout int
+
+// Matrix decomposition layouts.
+const (
+	RowBlocked MatrixLayout = iota
+	ColBlocked
+	Checkerboard
+)
+
+// Matrix partitions a Range2D domain into rectangular blocks.
+type Matrix struct {
+	dom    domain.Range2D
+	layout MatrixLayout
+	// grid dimensions of the block decomposition.
+	gridRows, gridCols int
+	rowBlocks          []domain.Range1D
+	colBlocks          []domain.Range1D
+}
+
+// NewMatrix builds a matrix partition of dom into n sub-domains using the
+// given layout.  For Checkerboard the n sub-domains are arranged in the most
+// square grid that divides n.
+func NewMatrix(dom domain.Range2D, n int, layout MatrixLayout) *Matrix {
+	if n <= 0 {
+		n = 1
+	}
+	p := &Matrix{dom: dom, layout: layout}
+	switch layout {
+	case RowBlocked:
+		p.gridRows, p.gridCols = n, 1
+	case ColBlocked:
+		p.gridRows, p.gridCols = 1, n
+	default:
+		p.gridRows, p.gridCols = squarestGrid(n)
+	}
+	p.rowBlocks = domain.NewRange1D(0, dom.Rows).Split(p.gridRows)
+	p.colBlocks = domain.NewRange1D(0, dom.Cols).Split(p.gridCols)
+	return p
+}
+
+// squarestGrid returns the factorisation r*c = n with r and c as close as
+// possible (r <= c).
+func squarestGrid(n int) (int, int) {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best, n / best
+}
+
+// Domain returns the partitioned 2-D domain.
+func (p *Matrix) Domain() domain.Range2D { return p.dom }
+
+// NumSubdomains returns the number of blocks.
+func (p *Matrix) NumSubdomains() int { return p.gridRows * p.gridCols }
+
+// GridDims returns the block-grid dimensions (rows, cols).
+func (p *Matrix) GridDims() (int, int) { return p.gridRows, p.gridCols }
+
+// Find returns the block owning the given 2-D index.
+func (p *Matrix) Find(g domain.Index2D) Info {
+	if !p.dom.Contains(g) {
+		return Forward(0)
+	}
+	br := findBlock(p.rowBlocks, g.Row)
+	bc := findBlock(p.colBlocks, g.Col)
+	return Found(BCID(br*p.gridCols + bc))
+}
+
+func findBlock(blocks []domain.Range1D, x int64) int {
+	lo, hi := 0, len(blocks)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := blocks[mid]
+		switch {
+		case x < b.Lo:
+			hi = mid - 1
+		case x >= b.Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return len(blocks) - 1
+}
+
+// Block returns the row and column ranges of sub-domain b.
+func (p *Matrix) Block(b BCID) (rows, cols domain.Range1D) {
+	br := int(b) / p.gridCols
+	bc := int(b) % p.gridCols
+	return p.rowBlocks[br], p.colBlocks[bc]
+}
+
+// SubSizes returns the number of elements in each block.
+func (p *Matrix) SubSizes() []int64 {
+	out := make([]int64, p.NumSubdomains())
+	for b := range out {
+		r, c := p.Block(BCID(b))
+		out[b] = r.Size() * c.Size()
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+// Package partition implements the partition and partition-mapper concepts
+// of the STAPL Parallel Container Framework.
+//
+// A partition decomposes a container's domain into disjoint sub-domains;
+// each sub-domain is stored in one base container (bContainer) identified by
+// a BCID.  A partition mapper assigns BCIDs to locations.  Together they
+// define the data distribution of a pContainer; the data-distribution
+// manager (package core) uses them to resolve the location and bContainer
+// that hold a given GID, possibly forwarding the request when only partial
+// information is available locally.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+)
+
+// BCID identifies one sub-domain / base container of a partition.  BCIDs are
+// dense integers in [0, NumSubdomains()).
+type BCID int
+
+// InvalidBCID is returned by lookups that cannot resolve a GID locally.
+const InvalidBCID BCID = -1
+
+// Info is the result of asking a partition where a GID lives (the paper's
+// bContainer info structure returned by the partition's "where" methods).
+// Either Valid is true and BCID identifies the sub-domain, or Valid is false
+// and Hint names a location that may hold more information (method
+// forwarding).
+type Info struct {
+	BCID  BCID
+	Valid bool
+	Hint  int
+}
+
+// Found returns an Info naming a resolved sub-domain.
+func Found(b BCID) Info { return Info{BCID: b, Valid: true} }
+
+// Forward returns an Info that forwards resolution to another location.
+func Forward(loc int) Info { return Info{BCID: InvalidBCID, Valid: false, Hint: loc} }
+
+// Indexed is the partition interface of one-dimensional indexed containers
+// (pArray, pVector): the domain is a Range1D and every GID maps to exactly
+// one sub-domain, computable locally (closed form).
+type Indexed interface {
+	// Domain returns the partitioned domain.
+	Domain() domain.Range1D
+	// NumSubdomains returns the number of sub-domains (== bContainers).
+	NumSubdomains() int
+	// Find returns the sub-domain holding gid.
+	Find(gid int64) Info
+	// SubDomain returns the GID set of sub-domain b.  For non-contiguous
+	// partitions (block-cyclic) the returned range is the b-th *block
+	// group's* covering range; use OwnsWithin to enumerate.
+	SubDomain(b BCID) domain.Range1D
+	// SubSizes returns the size of every sub-domain, indexed by BCID.
+	SubSizes() []int64
+}
+
+// Balanced divides a Range1D into n sub-domains whose sizes differ by at
+// most one (the default pArray partition).
+type Balanced struct {
+	dom    domain.Range1D
+	blocks []domain.Range1D
+}
+
+// NewBalanced builds a balanced partition of dom into n sub-domains.
+func NewBalanced(dom domain.Range1D, n int) *Balanced {
+	if n <= 0 {
+		n = 1
+	}
+	return &Balanced{dom: dom, blocks: dom.Split(n)}
+}
+
+// Domain returns the partitioned domain.
+func (p *Balanced) Domain() domain.Range1D { return p.dom }
+
+// NumSubdomains returns the number of sub-domains.
+func (p *Balanced) NumSubdomains() int { return len(p.blocks) }
+
+// Find locates the sub-domain containing gid using the closed form.
+func (p *Balanced) Find(gid int64) Info {
+	if !p.dom.Contains(gid) {
+		return Forward(0)
+	}
+	n := int64(len(p.blocks))
+	size := p.dom.Size()
+	base := size / n
+	rem := size % n
+	off := gid - p.dom.Lo
+	// The first rem blocks have size base+1.
+	var b int64
+	if off < rem*(base+1) {
+		if base+1 == 0 {
+			b = 0
+		} else {
+			b = off / (base + 1)
+		}
+	} else {
+		if base == 0 {
+			b = n - 1
+		} else {
+			b = rem + (off-rem*(base+1))/base
+		}
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return Found(BCID(b))
+}
+
+// SubDomain returns the GID range of sub-domain b.
+func (p *Balanced) SubDomain(b BCID) domain.Range1D { return p.blocks[b] }
+
+// SubSizes returns the sizes of all sub-domains.
+func (p *Balanced) SubSizes() []int64 {
+	out := make([]int64, len(p.blocks))
+	for i, blk := range p.blocks {
+		out[i] = blk.Size()
+	}
+	return out
+}
+
+// Blocked divides a Range1D into consecutive blocks of a fixed size (the
+// last block may be smaller).
+type Blocked struct {
+	dom       domain.Range1D
+	blockSize int64
+	blocks    []domain.Range1D
+}
+
+// NewBlocked builds a blocked partition of dom with the given block size.
+func NewBlocked(dom domain.Range1D, blockSize int64) *Blocked {
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	return &Blocked{dom: dom, blockSize: blockSize, blocks: dom.SplitBlocked(blockSize)}
+}
+
+// Domain returns the partitioned domain.
+func (p *Blocked) Domain() domain.Range1D { return p.dom }
+
+// NumSubdomains returns the number of blocks.
+func (p *Blocked) NumSubdomains() int { return len(p.blocks) }
+
+// Find locates the block containing gid.
+func (p *Blocked) Find(gid int64) Info {
+	if !p.dom.Contains(gid) {
+		return Forward(0)
+	}
+	return Found(BCID((gid - p.dom.Lo) / p.blockSize))
+}
+
+// SubDomain returns block b.
+func (p *Blocked) SubDomain(b BCID) domain.Range1D { return p.blocks[b] }
+
+// SubSizes returns the sizes of all blocks.
+func (p *Blocked) SubSizes() []int64 {
+	out := make([]int64, len(p.blocks))
+	for i, blk := range p.blocks {
+		out[i] = blk.Size()
+	}
+	return out
+}
+
+// Explicit is a partition given by an explicit list of contiguous
+// sub-domains (partition_blocked_explicit in the paper).
+type Explicit struct {
+	dom    domain.Range1D
+	blocks []domain.Range1D
+}
+
+// NewExplicit builds an explicit partition from consecutive block sizes.
+// The sizes must sum to the domain size.
+func NewExplicit(dom domain.Range1D, sizes []int64) (*Explicit, error) {
+	var total int64
+	for _, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("partition: negative block size %d", s)
+		}
+		total += s
+	}
+	if total != dom.Size() {
+		return nil, fmt.Errorf("partition: block sizes sum to %d, domain has %d elements", total, dom.Size())
+	}
+	blocks := make([]domain.Range1D, len(sizes))
+	lo := dom.Lo
+	for i, s := range sizes {
+		blocks[i] = domain.Range1D{Lo: lo, Hi: lo + s}
+		lo += s
+	}
+	return &Explicit{dom: dom, blocks: blocks}, nil
+}
+
+// Domain returns the partitioned domain.
+func (p *Explicit) Domain() domain.Range1D { return p.dom }
+
+// NumSubdomains returns the number of explicit blocks.
+func (p *Explicit) NumSubdomains() int { return len(p.blocks) }
+
+// Find locates the block containing gid by binary search.
+func (p *Explicit) Find(gid int64) Info {
+	if !p.dom.Contains(gid) {
+		return Forward(0)
+	}
+	lo, hi := 0, len(p.blocks)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := p.blocks[mid]
+		switch {
+		case gid < b.Lo:
+			hi = mid - 1
+		case gid >= b.Hi:
+			lo = mid + 1
+		default:
+			return Found(BCID(mid))
+		}
+	}
+	return Forward(0)
+}
+
+// SubDomain returns block b.
+func (p *Explicit) SubDomain(b BCID) domain.Range1D { return p.blocks[b] }
+
+// SubSizes returns the sizes of all blocks.
+func (p *Explicit) SubSizes() []int64 {
+	out := make([]int64, len(p.blocks))
+	for i, blk := range p.blocks {
+		out[i] = blk.Size()
+	}
+	return out
+}
+
+// BlockCyclic distributes blocks of a fixed size cyclically over a given
+// number of sub-domains (partition_block_cyclic in the paper).  Sub-domain
+// b owns blocks b, b+n, b+2n, ... of size blockSize.
+type BlockCyclic struct {
+	dom       domain.Range1D
+	n         int
+	blockSize int64
+}
+
+// NewBlockCyclic builds a block-cyclic partition into n sub-domains with the
+// given block size.
+func NewBlockCyclic(dom domain.Range1D, n int, blockSize int64) *BlockCyclic {
+	if n <= 0 {
+		n = 1
+	}
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	return &BlockCyclic{dom: dom, n: n, blockSize: blockSize}
+}
+
+// Domain returns the partitioned domain.
+func (p *BlockCyclic) Domain() domain.Range1D { return p.dom }
+
+// NumSubdomains returns the number of sub-domains.
+func (p *BlockCyclic) NumSubdomains() int { return p.n }
+
+// Find locates the sub-domain owning gid.
+func (p *BlockCyclic) Find(gid int64) Info {
+	if !p.dom.Contains(gid) {
+		return Forward(0)
+	}
+	block := (gid - p.dom.Lo) / p.blockSize
+	return Found(BCID(block % int64(p.n)))
+}
+
+// SubDomain returns the covering range of sub-domain b (block-cyclic
+// sub-domains are not contiguous; the covering range spans the whole
+// domain).  Use OwnedGIDs to enumerate the exact member GIDs.
+func (p *BlockCyclic) SubDomain(b BCID) domain.Range1D { return p.dom }
+
+// OwnedGIDs returns the GIDs owned by sub-domain b, in order.
+func (p *BlockCyclic) OwnedGIDs(b BCID) []int64 {
+	var out []int64
+	stride := p.blockSize * int64(p.n)
+	for start := p.dom.Lo + int64(b)*p.blockSize; start < p.dom.Hi; start += stride {
+		for g := start; g < start+p.blockSize && g < p.dom.Hi; g++ {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// SubSizes returns the number of GIDs owned by each sub-domain.
+func (p *BlockCyclic) SubSizes() []int64 {
+	out := make([]int64, p.n)
+	for g := p.dom.Lo; g < p.dom.Hi; g++ {
+		out[p.Find(g).BCID]++
+	}
+	return out
+}
+
+var (
+	_ Indexed = (*Balanced)(nil)
+	_ Indexed = (*Blocked)(nil)
+	_ Indexed = (*Explicit)(nil)
+	_ Indexed = (*BlockCyclic)(nil)
+)

@@ -1,0 +1,289 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/domain"
+)
+
+// checkCoverage verifies the partition axioms of Definition 9: every GID in
+// the domain maps to exactly one sub-domain, and that sub-domain contains it.
+func checkCoverage(t *testing.T, p Indexed) {
+	t.Helper()
+	dom := p.Domain()
+	counts := make([]int64, p.NumSubdomains())
+	for g := dom.Lo; g < dom.Hi; g++ {
+		info := p.Find(g)
+		if !info.Valid {
+			t.Fatalf("Find(%d) not valid", g)
+		}
+		if info.BCID < 0 || int(info.BCID) >= p.NumSubdomains() {
+			t.Fatalf("Find(%d) = %d out of range", g, info.BCID)
+		}
+		counts[info.BCID]++
+	}
+	sizes := p.SubSizes()
+	var total int64
+	for b, c := range counts {
+		if c != sizes[b] {
+			t.Fatalf("sub-domain %d: Find assigns %d GIDs but SubSizes reports %d", b, c, sizes[b])
+		}
+		total += c
+	}
+	if total != dom.Size() {
+		t.Fatalf("partition covers %d GIDs, domain has %d", total, dom.Size())
+	}
+}
+
+func TestBalancedPartition(t *testing.T) {
+	p := NewBalanced(domain.NewRange1D(0, 103), 8)
+	if p.NumSubdomains() != 8 {
+		t.Fatalf("subdomains = %d", p.NumSubdomains())
+	}
+	checkCoverage(t, p)
+	// Sizes differ by at most one.
+	sizes := p.SubSizes()
+	minS, maxS := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS-minS > 1 {
+		t.Fatalf("balanced partition imbalanced: %v", sizes)
+	}
+	// Find agrees with SubDomain.
+	for b := 0; b < p.NumSubdomains(); b++ {
+		sd := p.SubDomain(BCID(b))
+		for g := sd.Lo; g < sd.Hi; g++ {
+			if got := p.Find(g).BCID; got != BCID(b) {
+				t.Fatalf("Find(%d) = %d, want %d", g, got, b)
+			}
+		}
+	}
+	if p.Find(-1).Valid || p.Find(103).Valid {
+		t.Fatal("out-of-domain GIDs must not resolve")
+	}
+}
+
+func TestBalancedPartitionProperty(t *testing.T) {
+	prop := func(szRaw uint16, nRaw uint8, gRaw uint16) bool {
+		size := int64(szRaw%5000) + 1
+		n := int(nRaw%16) + 1
+		p := NewBalanced(domain.NewRange1D(0, size), n)
+		g := int64(gRaw) % size
+		info := p.Find(g)
+		if !info.Valid {
+			return false
+		}
+		return p.SubDomain(info.BCID).Contains(g)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedSmallerThanLocations(t *testing.T) {
+	// N < P: the paper specifies N sub-domains of size 1 plus empties.
+	p := NewBalanced(domain.NewRange1D(0, 3), 8)
+	checkCoverage(t, p)
+	sizes := p.SubSizes()
+	nonEmpty := 0
+	for _, s := range sizes {
+		if s > 0 {
+			if s != 1 {
+				t.Fatalf("expected singleton sub-domains, got %v", sizes)
+			}
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 3 {
+		t.Fatalf("expected 3 non-empty sub-domains, got %d", nonEmpty)
+	}
+}
+
+func TestBlockedPartition(t *testing.T) {
+	p := NewBlocked(domain.NewRange1D(0, 10), 3)
+	if p.NumSubdomains() != 4 {
+		t.Fatalf("subdomains = %d, want 4", p.NumSubdomains())
+	}
+	checkCoverage(t, p)
+	want := []int64{3, 3, 3, 1}
+	for i, s := range p.SubSizes() {
+		if s != want[i] {
+			t.Fatalf("sizes = %v, want %v", p.SubSizes(), want)
+		}
+	}
+	if p.Find(9).BCID != 3 || p.Find(0).BCID != 0 || p.Find(5).BCID != 1 {
+		t.Fatal("blocked Find wrong")
+	}
+	if NewBlocked(domain.NewRange1D(0, 5), 0).NumSubdomains() != 5 {
+		t.Fatal("zero block size should clamp to 1")
+	}
+}
+
+func TestExplicitPartition(t *testing.T) {
+	dom := domain.NewRange1D(1, 11) // paper example: D=[1..10]
+	p, err := NewExplicit(dom, []int64{3, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, p)
+	if p.SubDomain(0) != (domain.Range1D{Lo: 1, Hi: 4}) {
+		t.Fatalf("block 0 = %+v", p.SubDomain(0))
+	}
+	if p.Find(4).BCID != 1 || p.Find(7).BCID != 1 || p.Find(8).BCID != 2 {
+		t.Fatal("explicit Find wrong")
+	}
+	if _, err := NewExplicit(dom, []int64{3, 3}); err == nil {
+		t.Fatal("mismatched sizes should error")
+	}
+	if _, err := NewExplicit(dom, []int64{-1, 11}); err == nil {
+		t.Fatal("negative size should error")
+	}
+}
+
+func TestBlockCyclicPartition(t *testing.T) {
+	// partition_block_cyclic(domain[0..11), 2, BLOCK_CYCLIC(3))
+	dom := domain.NewRange1D(0, 11)
+	p := NewBlockCyclic(dom, 2, 3)
+	checkCoverage(t, p)
+	if p.Find(0).BCID != 0 || p.Find(2).BCID != 0 || p.Find(3).BCID != 1 || p.Find(6).BCID != 0 || p.Find(9).BCID != 1 {
+		t.Fatal("block-cyclic ownership wrong")
+	}
+	owned := p.OwnedGIDs(0)
+	want := []int64{0, 1, 2, 6, 7, 8}
+	if len(owned) != len(want) {
+		t.Fatalf("owned = %v, want %v", owned, want)
+	}
+	for i := range want {
+		if owned[i] != want[i] {
+			t.Fatalf("owned = %v, want %v", owned, want)
+		}
+	}
+	// Cyclic with block size 1.
+	p1 := NewBlockCyclic(dom, 2, 1)
+	if p1.Find(0).BCID != 0 || p1.Find(1).BCID != 1 || p1.Find(2).BCID != 0 {
+		t.Fatal("cyclic(1) ownership wrong")
+	}
+}
+
+func TestMappers(t *testing.T) {
+	bm := NewBlockedMapper(8, 4)
+	if bm.NumBContainers() != 8 {
+		t.Fatal("numBC wrong")
+	}
+	if bm.Map(0) != 0 || bm.Map(1) != 0 || bm.Map(2) != 1 || bm.Map(7) != 3 {
+		t.Fatal("blocked mapper wrong")
+	}
+	if got := bm.LocalBCIDs(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("local bcids = %v", got)
+	}
+	if !bm.IsLocal(2, 1) || bm.IsLocal(2, 0) {
+		t.Fatal("IsLocal wrong")
+	}
+
+	cm := NewCyclicMapper(8, 3)
+	if cm.Map(0) != 0 || cm.Map(1) != 1 || cm.Map(2) != 2 || cm.Map(3) != 0 {
+		t.Fatal("cyclic mapper wrong")
+	}
+	if got := cm.LocalBCIDs(0); len(got) != 3 {
+		t.Fatalf("cyclic local bcids = %v", got)
+	}
+	if cm.NumBContainers() != 8 || !cm.IsLocal(3, 0) {
+		t.Fatal("cyclic mapper metadata wrong")
+	}
+
+	am := NewArbitraryMapper([]int{2, 0, 1, 2}, 3)
+	if am.Map(0) != 2 || am.Map(2) != 1 {
+		t.Fatal("arbitrary mapper wrong")
+	}
+	if got := am.LocalBCIDs(2); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("arbitrary local bcids = %v", got)
+	}
+	if am.NumBContainers() != 4 || !am.IsLocal(3, 2) || am.IsLocal(3, 0) {
+		t.Fatal("arbitrary mapper metadata wrong")
+	}
+}
+
+func TestMapperEdgeCases(t *testing.T) {
+	// More locations than bContainers.
+	bm := NewBlockedMapper(2, 8)
+	seen := map[int]bool{}
+	for b := 0; b < 2; b++ {
+		loc := bm.Map(BCID(b))
+		if loc < 0 || loc >= 8 {
+			t.Fatalf("map out of range: %d", loc)
+		}
+		seen[loc] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no locations used")
+	}
+	// Zero locations clamps to one.
+	if NewBlockedMapper(4, 0).Map(3) != 0 {
+		t.Fatal("zero-location blocked mapper should map everything to 0")
+	}
+	if NewCyclicMapper(4, 0).Map(3) != 0 {
+		t.Fatal("zero-location cyclic mapper should map everything to 0")
+	}
+}
+
+func TestMapperCoverageProperty(t *testing.T) {
+	// Property: every BCID maps to a valid location and appears in exactly
+	// one location's LocalBCIDs list.
+	prop := func(nBCRaw, nLocRaw uint8) bool {
+		nBC := int(nBCRaw%40) + 1
+		nLoc := int(nLocRaw%8) + 1
+		for _, m := range []Mapper{NewBlockedMapper(nBC, nLoc), NewCyclicMapper(nBC, nLoc)} {
+			owners := make([]int, nBC)
+			for b := 0; b < nBC; b++ {
+				loc := m.Map(BCID(b))
+				if loc < 0 || loc >= nLoc {
+					return false
+				}
+				owners[b] = loc
+			}
+			count := 0
+			for loc := 0; loc < nLoc; loc++ {
+				for _, b := range m.LocalBCIDs(loc) {
+					if owners[b] != loc {
+						return false
+					}
+					count++
+				}
+			}
+			if count != nBC {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfoHelpers(t *testing.T) {
+	f := Found(3)
+	if !f.Valid || f.BCID != 3 {
+		t.Fatal("Found wrong")
+	}
+	fw := Forward(2)
+	if fw.Valid || fw.Hint != 2 || fw.BCID != InvalidBCID {
+		t.Fatal("Forward wrong")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	if MemoryBytes(NewBlockedMapper(10, 2)) != 24 {
+		t.Fatal("closed-form mapper should report constant metadata")
+	}
+	if MemoryBytes(NewArbitraryMapper(make([]int, 10), 2)) != 80 {
+		t.Fatal("arbitrary mapper metadata should scale with the table")
+	}
+}

@@ -1,0 +1,141 @@
+package runtime
+
+// Collective operations.  All locations in the machine must call the same
+// collective in the same order (the usual SPMD discipline); the semantics
+// match the paper's ARMI collectives (barrier, broadcast, reduce) which in
+// turn mirror their MPI counterparts.
+
+// Barrier blocks until every location has reached it.
+func (l *Location) Barrier() {
+	l.machine.barrier()
+}
+
+// Broadcast distributes the value supplied by the root location to all
+// locations and returns it everywhere.  Non-root callers may pass any value;
+// it is ignored.
+func (l *Location) Broadcast(root int, v any) any {
+	m := l.machine
+	if l.id == root {
+		m.collectMu.Lock()
+		m.collectVals[root] = v
+		m.collectMu.Unlock()
+	}
+	m.barrier()
+	m.collectMu.Lock()
+	out := m.collectVals[root]
+	m.collectMu.Unlock()
+	m.barrier()
+	return out
+}
+
+// gather deposits each location's contribution and returns, on every
+// location, a snapshot of all contributions indexed by location id.
+func (l *Location) gather(v any) []any {
+	m := l.machine
+	m.collectMu.Lock()
+	m.collectVals[l.id] = v
+	m.collectMu.Unlock()
+	m.barrier()
+	out := make([]any, l.n)
+	m.collectMu.Lock()
+	copy(out, m.collectVals)
+	m.collectMu.Unlock()
+	m.barrier()
+	return out
+}
+
+// AllGather returns every location's contribution, indexed by location id,
+// on every location.
+func (l *Location) AllGather(v any) []any { return l.gather(v) }
+
+// AllReduce combines every location's contribution with op (which must be
+// associative and commutative) and returns the combined value on every
+// location.
+func (l *Location) AllReduce(v any, op func(a, b any) any) any {
+	vals := l.gather(v)
+	acc := vals[0]
+	for _, x := range vals[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// Reduce combines every location's contribution with op and returns the
+// result on the root location only; all other locations receive nil.
+func (l *Location) Reduce(root int, v any, op func(a, b any) any) any {
+	vals := l.gather(v)
+	if l.id != root {
+		return nil
+	}
+	acc := vals[0]
+	for _, x := range vals[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// AllReduceInt is a typed helper for the common integer reduction.
+func AllReduceInt(l *Location, v int64, op func(a, b int64) int64) int64 {
+	out := l.AllReduce(v, func(a, b any) any { return op(a.(int64), b.(int64)) })
+	return out.(int64)
+}
+
+// AllReduceSum sums an int64 contribution across all locations.
+func AllReduceSum(l *Location, v int64) int64 {
+	return AllReduceInt(l, v, func(a, b int64) int64 { return a + b })
+}
+
+// AllReduceMax computes the maximum of an int64 contribution across all
+// locations.
+func AllReduceMax(l *Location, v int64) int64 {
+	return AllReduceInt(l, v, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceFloat sums a float64 contribution across all locations.
+func AllReduceFloat(l *Location, v float64) float64 {
+	out := l.AllReduce(v, func(a, b any) any { return a.(float64) + b.(float64) })
+	return out.(float64)
+}
+
+// AllGatherT gathers a typed contribution from every location.
+func AllGatherT[T any](l *Location, v T) []T {
+	raw := l.gather(v)
+	out := make([]T, len(raw))
+	for i, x := range raw {
+		out[i] = x.(T)
+	}
+	return out
+}
+
+// AllReduceT combines typed contributions from every location.
+func AllReduceT[T any](l *Location, v T, op func(a, b T) T) T {
+	vals := AllGatherT(l, v)
+	acc := vals[0]
+	for _, x := range vals[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// BroadcastT broadcasts a typed value from root to all locations.
+func BroadcastT[T any](l *Location, root int, v T) T {
+	return l.Broadcast(root, v).(T)
+}
+
+// ExclusiveScan returns, on each location, the combination (with op) of the
+// contributions of all lower-numbered locations, and `initial` on location
+// 0.  It is the building block for the paper's prefix-sum pAlgorithms and
+// for global index assignment in dynamic containers.
+func ExclusiveScan[T any](l *Location, v T, initial T, op func(a, b T) T) T {
+	vals := AllGatherT(l, v)
+	acc := initial
+	for i := 0; i < l.id; i++ {
+		acc = op(acc, vals[i])
+	}
+	return acc
+}

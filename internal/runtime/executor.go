@@ -1,0 +1,205 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TaskID identifies a task within one Executor instance.  Task identifiers
+// are global: any location may declare a task that executes on any location
+// and may add dependencies between tasks living on different locations.
+type TaskID int64
+
+// Task is one unit of work of a pRange: a work function plus the location it
+// executes on.  Dependencies are edges of the task dependence graph; a task
+// becomes runnable when all its predecessors have completed.
+type Task struct {
+	ID       TaskID
+	Location int
+	Work     func(loc *Location)
+
+	succs     []TaskID
+	numPred   int
+	scheduled bool
+}
+
+// Executor is the distributed task-graph executor of the RTS (the paper's
+// executor for pRanges).  Each location holds a representative; tasks are
+// registered collectively or locally, and Run drives execution to
+// completion, delivering completion notifications across locations through
+// asynchronous RMIs.
+type Executor struct {
+	loc    *Location
+	handle Handle
+
+	mu      sync.Mutex
+	tasks   map[TaskID]*Task
+	ready   []TaskID
+	pending int             // local tasks not yet completed
+	succLoc map[TaskID]int // owning location of successor tasks referenced locally
+}
+
+// NewExecutor creates an executor representative on this location.  It must
+// be called collectively (SPMD) so that all representatives share a handle.
+func NewExecutor(loc *Location) *Executor {
+	e := &Executor{loc: loc, tasks: make(map[TaskID]*Task)}
+	e.handle = loc.RegisterObject(e)
+	return e
+}
+
+// AddTask registers a task that will execute on task.Location.  Tasks may be
+// added from any location; the descriptor is shipped to the owning location.
+// AddTask must be followed by AddDependency calls (if any) before Run.
+func (e *Executor) AddTask(id TaskID, where int, work func(loc *Location)) {
+	e.loc.AsyncRMI(where, e.handle, func(obj any, loc *Location) {
+		ex := obj.(*Executor)
+		ex.mu.Lock()
+		defer ex.mu.Unlock()
+		if _, dup := ex.tasks[id]; dup {
+			panic(fmt.Sprintf("runtime: duplicate task %d", id))
+		}
+		ex.tasks[id] = &Task{ID: id, Location: where, Work: work}
+		ex.pending++
+	})
+}
+
+// AddDependency records that task "to" (owned by location toLoc) cannot run
+// before task "from" (owned by fromLoc) has completed.
+func (e *Executor) AddDependency(from TaskID, fromLoc int, to TaskID, toLoc int) {
+	// Register the successor edge at the predecessor's location and the
+	// predecessor count at the successor's location.
+	e.loc.AsyncRMI(fromLoc, e.handle, func(obj any, loc *Location) {
+		ex := obj.(*Executor)
+		ex.mu.Lock()
+		defer ex.mu.Unlock()
+		t, ok := ex.tasks[from]
+		if !ok {
+			panic(fmt.Sprintf("runtime: dependency from unknown task %d", from))
+		}
+		t.succs = append(t.succs, to)
+	})
+	e.loc.AsyncRMI(toLoc, e.handle, func(obj any, loc *Location) {
+		ex := obj.(*Executor)
+		ex.mu.Lock()
+		defer ex.mu.Unlock()
+		t, ok := ex.tasks[to]
+		if !ok {
+			panic(fmt.Sprintf("runtime: dependency to unknown task %d", to))
+		}
+		t.numPred++
+	})
+	// Record where the successor lives so completion can notify it.
+	e.loc.AsyncRMI(fromLoc, e.handle, func(obj any, loc *Location) {
+		ex := obj.(*Executor)
+		ex.mu.Lock()
+		defer ex.mu.Unlock()
+		if ex.succLoc == nil {
+			ex.succLoc = make(map[TaskID]int)
+		}
+		ex.succLoc[to] = toLoc
+	})
+}
+
+// Run executes the task graph.  It is collective: every location calls Run
+// after all AddTask/AddDependency calls, and Run returns everywhere once all
+// tasks in the machine have completed.
+func (e *Executor) Run() {
+	// Make sure all task registrations have been delivered.
+	e.loc.Fence()
+	// Seed the ready queue with dependency-free local tasks.  A task may
+	// already have been scheduled by a completion notification that
+	// arrived between the fence and this point, so the scheduled flag
+	// guards against double execution.
+	e.mu.Lock()
+	for id, t := range e.tasks {
+		if t.numPred == 0 && !t.scheduled {
+			t.scheduled = true
+			e.ready = append(e.ready, id)
+		}
+	}
+	e.mu.Unlock()
+	// Drive local execution until all local tasks have run.  Completion
+	// notifications arriving from other locations (as RMIs) append to the
+	// ready queue concurrently.
+	for {
+		e.mu.Lock()
+		if e.pending == 0 {
+			e.mu.Unlock()
+			break
+		}
+		if len(e.ready) == 0 {
+			e.mu.Unlock()
+			// Nothing runnable yet: let the RMI server make progress.
+			e.loc.Machine().yield()
+			continue
+		}
+		id := e.ready[0]
+		e.ready = e.ready[1:]
+		t := e.tasks[id]
+		e.mu.Unlock()
+
+		t.Work(e.loc)
+
+		e.mu.Lock()
+		e.pending--
+		succs := t.succs
+		e.mu.Unlock()
+		for _, s := range succs {
+			dst := e.successorLocation(s)
+			e.loc.AsyncRMI(dst, e.handle, func(obj any, loc *Location) {
+				obj.(*Executor).predDone(s)
+			})
+		}
+	}
+	// Wait for every location to finish its tasks and for trailing
+	// notifications to drain.
+	e.loc.Fence()
+}
+
+func (e *Executor) successorLocation(id TaskID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.succLoc != nil {
+		if d, ok := e.succLoc[id]; ok {
+			return d
+		}
+	}
+	// Fall back to a local successor.
+	return e.loc.ID()
+}
+
+// predDone records that one predecessor of the given local task completed,
+// moving the task to the ready queue when its last predecessor finishes.
+func (e *Executor) predDone(id TaskID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[id]
+	if !ok {
+		panic(fmt.Sprintf("runtime: completion notification for unknown task %d", id))
+	}
+	t.numPred--
+	if t.numPred <= 0 && !t.scheduled {
+		t.scheduled = true
+		e.ready = append(e.ready, id)
+	}
+}
+
+// Reset clears all tasks so the executor can be reused for another pRange.
+// It is collective.
+func (e *Executor) Reset() {
+	e.loc.Fence()
+	e.mu.Lock()
+	e.tasks = make(map[TaskID]*Task)
+	e.ready = nil
+	e.pending = 0
+	e.succLoc = nil
+	e.mu.Unlock()
+	e.loc.Fence()
+}
+
+// yield lets other goroutines (in particular RMI servers) make progress
+// while a location busy-waits for work.
+func (m *Machine) yield() {
+	// A short sleep keeps the busy-wait cheap without burning a core.
+	waitABit()
+}

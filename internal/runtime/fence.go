@@ -1,0 +1,42 @@
+package runtime
+
+// Fence is the collective rmi_fence of the paper: every location must call
+// it, and when it returns no RMI issued before the fence (including RMIs
+// issued transitively by handlers) is still pending anywhere in the machine.
+// It is the synchronisation point that turns the relaxed per-element
+// completion guarantees of asynchronous container methods into a globally
+// consistent state.
+func (l *Location) Fence() {
+	l.machine.stats.Fences.Add(1)
+	// 1. Deliver everything buffered locally.
+	l.flushAll()
+	// 2. Wait until every location has reached the fence, so no new
+	//    top-level requests can be issued.
+	l.machine.barrier()
+	// 3. One location waits for global quiescence; the others wait on the
+	//    closing barrier.  Handler-spawned requests are covered because a
+	//    handler increments the pending counter for requests it issues
+	//    before its own completion decrements it.
+	if l.id == 0 {
+		l.machine.waitQuiescent()
+	}
+	l.machine.barrier()
+	if l.id == 0 {
+		// A second round catches requests issued by handlers that were
+		// still draining when location 0 first observed quiescence is
+		// impossible by the accounting argument above, but the barrier
+		// pair below is kept so that all locations leave together only
+		// after quiescence was observed.
+		l.machine.waitQuiescent()
+	}
+	l.machine.barrier()
+}
+
+// OneSidedFence waits until every RMI issued *by this location* before the
+// call has been handled (the paper's os_fence).  Unlike Fence it is not
+// collective and gives no guarantee about requests issued by other
+// locations.
+func (l *Location) OneSidedFence() {
+	l.flushAll()
+	l.machine.waitSrcQuiescent(l.id)
+}

@@ -1,0 +1,111 @@
+package runtime
+
+import "sync"
+
+// Future is the handle returned by split-phase RMIs (the paper's pc_future).
+// Get blocks until the remote method has executed and its result is
+// available.  A Future is completed exactly once and may be read any number
+// of times from any goroutine.
+type Future struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	done  bool
+	value any
+	// onWait, when set, is invoked once by the first caller that has to
+	// block in Get.  The RTS uses it to flush the aggregation buffer
+	// holding the split-phase request, guaranteeing progress even when
+	// fewer requests than the aggregation factor were issued.
+	onWait func()
+}
+
+// NewFuture returns an incomplete future.
+func NewFuture() *Future {
+	f := &Future{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Complete stores the result and wakes all waiters.  Completing an already
+// complete future panics: the RTS guarantees each split-phase invocation
+// produces exactly one acknowledgement.
+func (f *Future) Complete(v any) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		panic("runtime: Future completed twice")
+	}
+	f.value = v
+	f.done = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Get blocks until the result is available and returns it.
+func (f *Future) Get() any {
+	f.mu.Lock()
+	if !f.done && f.onWait != nil {
+		nudge := f.onWait
+		f.onWait = nil
+		f.mu.Unlock()
+		nudge()
+		f.mu.Lock()
+	}
+	for !f.done {
+		f.cond.Wait()
+	}
+	v := f.value
+	f.mu.Unlock()
+	return v
+}
+
+// TryGet returns (value, true) if the result is already available, without
+// blocking, and (zero, false) otherwise.
+func (f *Future) TryGet() (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.done {
+		return nil, false
+	}
+	return f.value, true
+}
+
+// Done reports whether the result is available.
+func (f *Future) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+// FutureOf is a typed wrapper around Future produced by SplitRMIT.
+type FutureOf[T any] struct {
+	f *Future
+}
+
+// NewFutureOf wraps an untyped future.
+func NewFutureOf[T any](f *Future) *FutureOf[T] { return &FutureOf[T]{f: f} }
+
+// CompletedFuture returns an already-resolved typed future holding v.
+func CompletedFuture[T any](v T) *FutureOf[T] {
+	f := NewFuture()
+	f.Complete(v)
+	return &FutureOf[T]{f: f}
+}
+
+// Get blocks until the value is available.
+func (f *FutureOf[T]) Get() T { return f.f.Get().(T) }
+
+// TryGet returns the value without blocking if it is available.
+func (f *FutureOf[T]) TryGet() (T, bool) {
+	v, ok := f.f.TryGet()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return v.(T), true
+}
+
+// Done reports whether the value is available.
+func (f *FutureOf[T]) Done() bool { return f.f.Done() }
+
+// Untyped exposes the underlying untyped future.
+func (f *FutureOf[T]) Untyped() *Future { return f.f }

@@ -1,0 +1,358 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handle identifies a distributed p_object: every location holding a
+// representative of the same shared object registers it and obtains the same
+// handle, which is then used to address the object's peers in RMIs.
+type Handle int32
+
+// InvalidHandle is the zero value that no registered object ever receives.
+const InvalidHandle Handle = -1
+
+// Config controls machine-wide behaviour of the simulated RTS.
+type Config struct {
+	// Aggregation is the number of asynchronous RMIs buffered per
+	// destination before the buffer is flushed as a single batch
+	// (the paper's message-aggregation optimisation).  A value <= 1
+	// disables aggregation.
+	Aggregation int
+
+	// RemoteDelay, when non-nil, returns an artificial latency injected
+	// before delivering a request from src to dst.  It is used to model
+	// machine topology (e.g. intra-node vs. inter-node placement in the
+	// Fig. 41 experiment).  A nil function means no added delay.
+	RemoteDelay func(src, dst int) time.Duration
+
+	// Seed seeds each location's private random number generator
+	// deterministically (location id is mixed in).
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used when none is supplied:
+// aggregation of 16 requests, no artificial latency.
+func DefaultConfig() Config {
+	return Config{Aggregation: 16, Seed: 1}
+}
+
+// Machine simulates a parallel machine composed of a fixed number of
+// locations.  It owns the interconnect (mailboxes), the collective-operation
+// scratch space and the global quiescence counters used by Fence.
+type Machine struct {
+	cfg       Config
+	locations []*Location
+
+	// pending counts RMIs that have been sent (or buffered) but whose
+	// handlers have not yet completed.  Fence waits for it to reach zero.
+	// pendingBySrc tracks the same per issuing location, for the
+	// one-sided fence.
+	pending      atomic.Int64
+	pendingBySrc []atomic.Int64
+	quiesceMu    sync.Mutex
+	quiesceCv    *sync.Cond
+
+	// barrier state (central, sense-reversing).
+	barMu    sync.Mutex
+	barCv    *sync.Cond
+	barCount int
+	barPhase int
+
+	// collective scratch: one slot per location, plus a broadcast slot.
+	collectMu   sync.Mutex
+	collectVals []any
+
+	stats Stats
+}
+
+// Stats aggregates machine-wide communication statistics.  All fields are
+// updated atomically and may be read while the machine is running.
+type Stats struct {
+	RMIsSent      atomic.Int64 // individual RMI requests issued
+	MessagesSent  atomic.Int64 // physical messages (batches) delivered
+	RMIsHandled   atomic.Int64 // handlers executed
+	SyncRMIs      atomic.Int64
+	AsyncRMIs     atomic.Int64
+	SplitRMIs     atomic.Int64
+	Fences        atomic.Int64
+	BytesSimulated atomic.Int64
+}
+
+// NewMachine creates a machine with p locations and the given configuration.
+func NewMachine(p int, cfg Config) *Machine {
+	if p <= 0 {
+		panic(fmt.Sprintf("runtime: machine needs at least one location, got %d", p))
+	}
+	if cfg.Aggregation <= 0 {
+		cfg.Aggregation = 1
+	}
+	m := &Machine{cfg: cfg}
+	m.quiesceCv = sync.NewCond(&m.quiesceMu)
+	m.barCv = sync.NewCond(&m.barMu)
+	m.collectVals = make([]any, p)
+	m.pendingBySrc = make([]atomic.Int64, p)
+	m.locations = make([]*Location, p)
+	for i := 0; i < p; i++ {
+		m.locations[i] = newLocation(m, i, p, cfg)
+	}
+	return m
+}
+
+// NumLocations reports the number of locations in the machine.
+func (m *Machine) NumLocations() int { return len(m.locations) }
+
+// Location returns the location with the given id (for inspection in tests).
+func (m *Machine) Location(id int) *Location { return m.locations[id] }
+
+// Stats returns a pointer to the machine-wide statistics counters.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Execute runs fn in SPMD fashion: one goroutine per location, each passed
+// its own Location.  Incoming RMIs are served concurrently by per-location
+// server goroutines.  Execute returns when every SPMD goroutine has returned
+// and all outstanding RMIs have been handled.
+func (m *Machine) Execute(fn func(loc *Location)) {
+	var wg sync.WaitGroup
+	// Start RMI servers.
+	for _, l := range m.locations {
+		l.startServer()
+	}
+	wg.Add(len(m.locations))
+	for _, l := range m.locations {
+		go func(l *Location) {
+			defer wg.Done()
+			fn(l)
+			// Flush any aggregation buffers left by the SPMD code so
+			// trailing asynchronous requests are delivered.
+			l.flushAll()
+		}(l)
+	}
+	wg.Wait()
+	// Drain outstanding traffic before stopping the servers.
+	m.waitQuiescent()
+	for _, l := range m.locations {
+		l.stopServer()
+	}
+	for _, l := range m.locations {
+		l.serverWG.Wait()
+	}
+}
+
+// ExecuteOn is a convenience wrapper that builds a machine with p locations
+// and the default configuration, runs fn SPMD-style, and returns the machine
+// (for stats inspection).
+func ExecuteOn(p int, fn func(loc *Location)) *Machine {
+	m := NewMachine(p, DefaultConfig())
+	m.Execute(fn)
+	return m
+}
+
+func (m *Machine) addPending(src int, n int64) {
+	m.pending.Add(n)
+	m.pendingBySrc[src].Add(n)
+}
+
+func (m *Machine) donePending(src int) {
+	globalZero := m.pending.Add(-1) == 0
+	srcZero := m.pendingBySrc[src].Add(-1) == 0
+	if globalZero || srcZero {
+		m.quiesceMu.Lock()
+		m.quiesceCv.Broadcast()
+		m.quiesceMu.Unlock()
+	}
+}
+
+// waitQuiescent blocks until no RMIs are outstanding.  It must only be
+// called while no SPMD goroutine can issue new top-level requests (i.e.
+// inside a barrier or after all SPMD functions returned); handler-generated
+// requests are accounted for because a handler only decrements pending after
+// any requests it issued were already counted.
+//
+// Handler-issued asynchronous requests may be sitting in aggregation
+// buffers with no one left to fill them up to the flush threshold, so the
+// wait repeatedly flushes every location's buffers until the machine drains
+// (this is the fence's role of delivering all pending traffic).
+func (m *Machine) waitQuiescent() {
+	for m.pending.Load() != 0 {
+		for _, l := range m.locations {
+			l.flushAll()
+		}
+		if m.pending.Load() == 0 {
+			return
+		}
+		waitABit()
+	}
+}
+
+// waitSrcQuiescent blocks until no RMI issued by location src is
+// outstanding.  Requests that handlers spawned on other locations while
+// servicing src's traffic are attributed to the forwarding location, which
+// matches the paper's os_fence semantics (the caller's own requests have
+// been delivered and executed).
+func (m *Machine) waitSrcQuiescent(src int) {
+	m.quiesceMu.Lock()
+	for m.pendingBySrc[src].Load() != 0 {
+		m.quiesceCv.Wait()
+	}
+	m.quiesceMu.Unlock()
+}
+
+// barrier blocks until all locations have reached it.  It is reusable.
+func (m *Machine) barrier() {
+	m.barMu.Lock()
+	phase := m.barPhase
+	m.barCount++
+	if m.barCount == len(m.locations) {
+		m.barCount = 0
+		m.barPhase++
+		m.barCv.Broadcast()
+		m.barMu.Unlock()
+		return
+	}
+	for phase == m.barPhase {
+		m.barCv.Wait()
+	}
+	m.barMu.Unlock()
+}
+
+// Location is the RTS abstraction of a processing element: a unit with a
+// private address space and execution capability.  All state reachable from
+// a Location (registered p_object representatives, container base
+// containers, ...) belongs to that location; other locations may only act on
+// it through RMIs addressed to this location.
+type Location struct {
+	machine *Machine
+	id      int
+	n       int
+	cfg     Config
+
+	inbox    *mailbox
+	serverWG sync.WaitGroup
+
+	// Aggregation buffers, one per destination.
+	aggMu   sync.Mutex
+	aggBufs [][]*rmiRequest
+
+	// Registered p_object representatives.  Registration is collective
+	// and SPMD-ordered, so the running counter yields identical handles
+	// on every location.
+	regMu      sync.Mutex
+	objects    map[Handle]any
+	nextHandle Handle
+
+	// rng is a private, deterministic random source for workloads.
+	rng *rand.Rand
+
+	// localStats counts per-location activity.
+	localRMIs  atomic.Int64
+	remoteRMIs atomic.Int64
+}
+
+func newLocation(m *Machine, id, n int, cfg Config) *Location {
+	return &Location{
+		machine: m,
+		id:      id,
+		n:       n,
+		cfg:     cfg,
+		inbox:   newMailbox(),
+		aggBufs: make([][]*rmiRequest, n),
+		objects: make(map[Handle]any),
+		rng:     rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(id))),
+	}
+}
+
+// ID returns this location's identifier in [0, NumLocations()).
+func (l *Location) ID() int { return l.id }
+
+// NumLocations returns the number of locations in the machine.
+func (l *Location) NumLocations() int { return l.n }
+
+// Machine returns the machine this location belongs to.
+func (l *Location) Machine() *Machine { return l.machine }
+
+// Rand returns the location-private deterministic random source.
+func (l *Location) Rand() *rand.Rand { return l.rng }
+
+// LocalRMIs reports how many RMIs this location executed locally
+// (shortcut path, no message) since the machine was created.
+func (l *Location) LocalRMIs() int64 { return l.localRMIs.Load() }
+
+// RemoteRMIs reports how many RMIs this location sent to other locations.
+func (l *Location) RemoteRMIs() int64 { return l.remoteRMIs.Load() }
+
+// RegisterObject registers a p_object representative with the RTS and
+// returns its handle.  Registration must be performed collectively in the
+// same order on every location (the usual SPMD constructor discipline), so
+// that corresponding representatives share a handle.
+func (l *Location) RegisterObject(obj any) Handle {
+	l.regMu.Lock()
+	h := l.nextHandle
+	l.nextHandle++
+	l.objects[h] = obj
+	l.regMu.Unlock()
+	return h
+}
+
+// UnregisterObject removes a previously registered representative.
+func (l *Location) UnregisterObject(h Handle) {
+	l.regMu.Lock()
+	delete(l.objects, h)
+	l.regMu.Unlock()
+}
+
+// Object returns the representative registered under h on this location.
+// Framework code running inside an RMI handler uses it to reach sibling
+// p_objects (e.g. the outer container of an embedded base) at the
+// destination.  It panics if no object is registered under h.
+func (l *Location) Object(h Handle) any { return l.object(h) }
+
+// object looks up a registered representative.
+func (l *Location) object(h Handle) any {
+	l.regMu.Lock()
+	o, ok := l.objects[h]
+	l.regMu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("runtime: location %d has no object registered for handle %d", l.id, h))
+	}
+	return o
+}
+
+// startServer launches the goroutine that executes incoming RMIs for this
+// location.  Handlers are executed one at a time, which provides the
+// paper's per-location serialisation of incoming requests and the FIFO
+// ordering guarantee for a given (source, destination) pair.
+func (l *Location) startServer() {
+	l.serverWG.Add(1)
+	go func() {
+		defer l.serverWG.Done()
+		for {
+			req := l.inbox.pop()
+			if req == nil {
+				return
+			}
+			l.execute(req)
+		}
+	}()
+}
+
+func (l *Location) stopServer() { l.inbox.close() }
+
+// execute runs one RMI request against the local representative.
+func (l *Location) execute(req *rmiRequest) {
+	defer l.machine.donePending(req.src)
+	if req.delay > 0 {
+		time.Sleep(req.delay)
+	}
+	l.machine.stats.RMIsHandled.Add(1)
+	obj := l.object(req.handle)
+	if req.resp != nil {
+		req.resp <- req.retFn(obj, l)
+	} else {
+		req.fn(obj, l)
+	}
+}

@@ -1,0 +1,79 @@
+package runtime
+
+import "sync"
+
+// mailbox is an unbounded, FIFO, multiple-producer single-consumer queue of
+// RMI requests.  Unbounded capacity is required so that a sender never
+// blocks on a receiver that is itself blocked sending (which would deadlock
+// chains of forwarded requests).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*rmiRequest
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues a request.  It is safe to call from any goroutine.
+func (m *mailbox) push(r *rmiRequest) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, r)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// pushAll enqueues a batch of requests atomically, preserving their order.
+func (m *mailbox) pushAll(rs []*rmiRequest) {
+	if len(rs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, rs...)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// pop dequeues the next request, blocking until one is available or the
+// mailbox is closed.  It returns nil when the mailbox is closed and drained.
+func (m *mailbox) pop() *rmiRequest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nil
+	}
+	r := m.queue[0]
+	m.queue = m.queue[1:]
+	return r
+}
+
+// close wakes the consumer; pending requests are still delivered before pop
+// starts returning nil.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// length reports the number of queued requests (used by tests and stats).
+func (m *mailbox) length() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

@@ -1,0 +1,203 @@
+package runtime
+
+import "time"
+
+// rmiRequest is one remote method invocation in flight.  Exactly one of fn
+// (asynchronous, no result) or retFn+resp (synchronous / split-phase) is set.
+type rmiRequest struct {
+	src    int
+	handle Handle
+	fn     func(obj any, loc *Location)
+	retFn  func(obj any, loc *Location) any
+	resp   chan any
+	delay  time.Duration
+	bytes  int
+}
+
+// Sizer is implemented by argument payloads that want their (simulated)
+// marshalled size accounted in the machine statistics.  It mirrors the
+// paper's define_type marshalling hooks: we do not serialise bytes over a
+// wire, but we do track how many bytes would have moved.
+type Sizer interface {
+	ByteSize() int
+}
+
+// PayloadBytes returns the simulated marshalled size of v: its ByteSize if
+// it implements Sizer, otherwise a flat default per value.
+func PayloadBytes(v any) int {
+	if s, ok := v.(Sizer); ok {
+		return s.ByteSize()
+	}
+	return 8
+}
+
+// AsyncRMI executes fn against the representative of handle h on location
+// dest without waiting for completion.  Requests from this location to a
+// given destination are delivered and executed in invocation order.  If dest
+// is this location the handler runs immediately (the local fast path the
+// paper's containers exploit).
+func (l *Location) AsyncRMI(dest int, h Handle, fn func(obj any, loc *Location)) {
+	l.AsyncRMISized(dest, h, 0, fn)
+}
+
+// AsyncRMISized is AsyncRMI with an explicit simulated payload size in bytes.
+func (l *Location) AsyncRMISized(dest int, h Handle, bytes int, fn func(obj any, loc *Location)) {
+	l.machine.stats.AsyncRMIs.Add(1)
+	l.machine.stats.RMIsSent.Add(1)
+	l.machine.stats.BytesSimulated.Add(int64(bytes))
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		fn(l.object(h), l)
+		return
+	}
+	l.remoteRMIs.Add(1)
+	req := &rmiRequest{src: l.id, handle: h, fn: fn, bytes: bytes, delay: l.delayTo(dest)}
+	l.enqueue(dest, req)
+}
+
+// AsyncRMIUrgent behaves like AsyncRMI but bypasses the aggregation buffer:
+// earlier buffered requests to the destination are flushed first (preserving
+// per-destination FIFO order) and this request is delivered immediately.
+// The PCF uses it for requests whose results a caller may be blocked on
+// (forwarded split-phase and synchronous invocations), where holding the
+// request back for batching would stall the caller.
+func (l *Location) AsyncRMIUrgent(dest int, h Handle, fn func(obj any, loc *Location)) {
+	l.machine.stats.AsyncRMIs.Add(1)
+	l.machine.stats.RMIsSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		fn(l.object(h), l)
+		return
+	}
+	l.remoteRMIs.Add(1)
+	l.flushDest(dest)
+	req := &rmiRequest{src: l.id, handle: h, fn: fn, delay: l.delayTo(dest)}
+	l.machine.addPending(l.id, 1)
+	l.machine.stats.MessagesSent.Add(1)
+	l.machine.locations[dest].inbox.push(req)
+}
+
+// SyncRMI executes fn against the representative of handle h on location
+// dest and blocks until the result is available.  Synchronous RMIs issued by
+// RMI handlers themselves must not target a location whose handler is
+// blocked on this location (the framework's own handlers never block; they
+// forward asynchronously instead).
+func (l *Location) SyncRMI(dest int, h Handle, fn func(obj any, loc *Location) any) any {
+	l.machine.stats.SyncRMIs.Add(1)
+	l.machine.stats.RMIsSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		return fn(l.object(h), l)
+	}
+	l.remoteRMIs.Add(1)
+	resp := make(chan any, 1)
+	req := &rmiRequest{src: l.id, handle: h, retFn: fn, resp: resp, delay: l.delayTo(dest)}
+	// A synchronous request must not overtake earlier asynchronous
+	// requests to the same destination, so the aggregation buffer for
+	// that destination is flushed first.
+	l.flushDest(dest)
+	l.machine.addPending(l.id, 1)
+	l.machine.stats.MessagesSent.Add(1)
+	l.machine.locations[dest].inbox.push(req)
+	out := <-resp
+	// The response itself is one message on the simulated interconnect.
+	l.machine.stats.MessagesSent.Add(1)
+	return out
+}
+
+// SplitRMI starts a split-phase invocation of fn on location dest and
+// immediately returns a Future holding the eventual result (the paper's
+// pc_future).  The calling goroutine may keep working and retrieve the value
+// later with Future.Get.
+func (l *Location) SplitRMI(dest int, h Handle, fn func(obj any, loc *Location) any) *Future {
+	l.machine.stats.SplitRMIs.Add(1)
+	l.machine.stats.RMIsSent.Add(1)
+	fut := NewFuture()
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		fut.Complete(fn(l.object(h), l))
+		return fut
+	}
+	l.remoteRMIs.Add(1)
+	req := &rmiRequest{src: l.id, handle: h, delay: l.delayTo(dest)}
+	req.fn = func(obj any, loc *Location) {
+		fut.Complete(fn(obj, loc))
+		loc.machine.stats.MessagesSent.Add(1) // response message
+	}
+	// If the caller blocks on the future before the aggregation buffer
+	// holding this request fills up, flush the buffer so the request is
+	// delivered and the caller makes progress.
+	fut.onWait = func() { l.flushDest(dest) }
+	l.enqueue(dest, req)
+	return fut
+}
+
+// delayTo returns the configured artificial latency between this location
+// and dest, or zero.
+func (l *Location) delayTo(dest int) time.Duration {
+	if l.cfg.RemoteDelay == nil {
+		return 0
+	}
+	return l.cfg.RemoteDelay(l.id, dest)
+}
+
+// enqueue places an asynchronous request in the aggregation buffer for dest,
+// flushing the buffer as a single batch when it reaches the configured
+// aggregation factor.
+func (l *Location) enqueue(dest int, req *rmiRequest) {
+	l.machine.addPending(l.id, 1)
+	if l.cfg.Aggregation <= 1 {
+		l.machine.stats.MessagesSent.Add(1)
+		l.machine.locations[dest].inbox.push(req)
+		return
+	}
+	l.aggMu.Lock()
+	l.aggBufs[dest] = append(l.aggBufs[dest], req)
+	var batch []*rmiRequest
+	if len(l.aggBufs[dest]) >= l.cfg.Aggregation {
+		batch = l.aggBufs[dest]
+		l.aggBufs[dest] = nil
+	}
+	l.aggMu.Unlock()
+	if batch != nil {
+		l.machine.stats.MessagesSent.Add(1)
+		l.machine.locations[dest].inbox.pushAll(batch)
+	}
+}
+
+// flushDest delivers any buffered asynchronous requests destined to dest.
+func (l *Location) flushDest(dest int) {
+	if l.cfg.Aggregation <= 1 {
+		return
+	}
+	l.aggMu.Lock()
+	batch := l.aggBufs[dest]
+	l.aggBufs[dest] = nil
+	l.aggMu.Unlock()
+	if len(batch) > 0 {
+		l.machine.stats.MessagesSent.Add(1)
+		l.machine.locations[dest].inbox.pushAll(batch)
+	}
+}
+
+// flushAll delivers every buffered asynchronous request.  It is called on
+// entry to Fence and when the SPMD function returns.
+func (l *Location) flushAll() {
+	if l.cfg.Aggregation <= 1 {
+		return
+	}
+	for d := 0; d < l.n; d++ {
+		l.flushDest(d)
+	}
+}
+
+// SyncRMIT is a typed convenience wrapper around Location.SyncRMI.
+func SyncRMIT[T any](l *Location, dest int, h Handle, fn func(obj any, loc *Location) T) T {
+	v := l.SyncRMI(dest, h, func(obj any, loc *Location) any { return fn(obj, loc) })
+	return v.(T)
+}
+
+// SplitRMIT is a typed convenience wrapper around Location.SplitRMI.
+func SplitRMIT[T any](l *Location, dest int, h Handle, fn func(obj any, loc *Location) T) *FutureOf[T] {
+	return &FutureOf[T]{f: l.SplitRMI(dest, h, func(obj any, loc *Location) any { return fn(obj, loc) })}
+}

@@ -1,0 +1,9 @@
+package runtime
+
+import "time"
+
+// waitABit parks the calling goroutine briefly.  It is used by busy-wait
+// loops (executor idle polling) so that RMI server goroutines get scheduled.
+func waitABit() {
+	time.Sleep(20 * time.Microsecond)
+}

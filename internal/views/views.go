@@ -1,0 +1,271 @@
+// Package views implements the STAPL pView concept (Chapter III.A): light
+// abstract-data-type layers over pContainers that decouple pAlgorithms from
+// storage.  A view provides element access plus a per-location work
+// decomposition (LocalRanges); pAlgorithms are SPMD functions driven by that
+// decomposition.
+//
+// The views here mirror Table II of the paper: the native view (aligned with
+// the container distribution, all accesses local), the balanced view (equal
+// index shares per location regardless of distribution), strided, overlap
+// and transform views, plus a segment view over pList.
+package views
+
+import (
+	"repro/internal/containers/parray"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/runtime"
+)
+
+// RandomAccess is the one-dimensional random-access ADT: read and write by
+// global index.
+type RandomAccess[T any] interface {
+	Size() int64
+	Get(i int64) T
+	Set(i int64, v T)
+}
+
+// Partitioned is a RandomAccess view that also tells each location which
+// index ranges it should process.  All pAlgorithms in package palgo consume
+// Partitioned views.
+type Partitioned[T any] interface {
+	RandomAccess[T]
+	// LocalRanges returns the index ranges assigned to the calling
+	// location.  The union over all locations covers [0, Size()) exactly
+	// once.
+	LocalRanges(loc *runtime.Location) []domain.Range1D
+}
+
+// ArrayNative is the native view of a pArray: element i of the view is
+// element i of the array, and each location processes exactly the indices it
+// stores, so all accesses made by an algorithm following LocalRanges are
+// local (array_1d_view over the native partition).
+type ArrayNative[T any] struct {
+	A *parray.Array[T]
+}
+
+// NewArrayNative builds the native view of a pArray.
+func NewArrayNative[T any](a *parray.Array[T]) ArrayNative[T] { return ArrayNative[T]{A: a} }
+
+// Size returns the number of elements.
+func (v ArrayNative[T]) Size() int64 { return v.A.Size() }
+
+// Get reads element i (local or remote).
+func (v ArrayNative[T]) Get(i int64) T { return v.A.Get(i) }
+
+// Set writes element i (local or remote).
+func (v ArrayNative[T]) Set(i int64, x T) { v.A.Set(i, x) }
+
+// LocalRanges returns the sub-domains stored on the calling location.
+func (v ArrayNative[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	return v.A.LocalSubdomains()
+}
+
+// VectorNative is the native view of a pVector.
+type VectorNative[T any] struct {
+	V *pvector.Vector[T]
+}
+
+// NewVectorNative builds the native view of a pVector.
+func NewVectorNative[T any](v *pvector.Vector[T]) VectorNative[T] { return VectorNative[T]{V: v} }
+
+// Size returns the number of elements.
+func (v VectorNative[T]) Size() int64 { return v.V.Size() }
+
+// Get reads element i.
+func (v VectorNative[T]) Get(i int64) T { return v.V.Get(i) }
+
+// Set writes element i.
+func (v VectorNative[T]) Set(i int64, x T) { v.V.Set(i, x) }
+
+// LocalRanges returns the contiguous block stored on the calling location.
+func (v VectorNative[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	d := v.V.LocalDomain()
+	if d.Empty() {
+		return nil
+	}
+	return []domain.Range1D{d}
+}
+
+// Balanced re-partitions any RandomAccess collection into equal index shares
+// per location (balance_view).  Accesses may be remote when the underlying
+// distribution differs from the balanced split; that cost is exactly what
+// the native-vs-balanced experiments measure.
+type Balanced[T any] struct {
+	Base RandomAccess[T]
+}
+
+// NewBalanced builds a balanced view over any random-access collection.
+func NewBalanced[T any](base RandomAccess[T]) Balanced[T] { return Balanced[T]{Base: base} }
+
+// Size returns the number of elements.
+func (v Balanced[T]) Size() int64 { return v.Base.Size() }
+
+// Get reads element i.
+func (v Balanced[T]) Get(i int64) T { return v.Base.Get(i) }
+
+// Set writes element i.
+func (v Balanced[T]) Set(i int64, x T) { v.Base.Set(i, x) }
+
+// LocalRanges gives the calling location the i-th of P equal shares.
+func (v Balanced[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	blocks := domain.NewRange1D(0, v.Base.Size()).Split(loc.NumLocations())
+	b := blocks[loc.ID()]
+	if b.Empty() {
+		return nil
+	}
+	return []domain.Range1D{b}
+}
+
+// Strided exposes every stride-th element of a base view starting at offset,
+// as a dense view of its own (strided_1D_view).
+type Strided[T any] struct {
+	Base          Partitioned[T]
+	Offset, Strd  int64
+	logicalLength int64
+}
+
+// NewStrided builds a strided view; stride must be positive.
+func NewStrided[T any](base Partitioned[T], offset, stride int64) Strided[T] {
+	if stride <= 0 {
+		stride = 1
+	}
+	n := base.Size()
+	var length int64
+	if offset < n {
+		length = (n - offset + stride - 1) / stride
+	}
+	return Strided[T]{Base: base, Offset: offset, Strd: stride, logicalLength: length}
+}
+
+// Size returns the number of selected elements.
+func (v Strided[T]) Size() int64 { return v.logicalLength }
+
+// Get reads the i-th selected element.
+func (v Strided[T]) Get(i int64) T { return v.Base.Get(v.Offset + i*v.Strd) }
+
+// Set writes the i-th selected element.
+func (v Strided[T]) Set(i int64, x T) { v.Base.Set(v.Offset+i*v.Strd, x) }
+
+// LocalRanges splits the logical (strided) domain evenly per location.
+func (v Strided[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	blocks := domain.NewRange1D(0, v.logicalLength).Split(loc.NumLocations())
+	b := blocks[loc.ID()]
+	if b.Empty() {
+		return nil
+	}
+	return []domain.Range1D{b}
+}
+
+// Transform presents a read-only element-wise transformation of a base view
+// (transform_pview): reads return fn(base value); writes are not supported.
+type Transform[T any, U any] struct {
+	Base Partitioned[T]
+	Fn   func(T) U
+}
+
+// NewTransform builds a transform view.
+func NewTransform[T any, U any](base Partitioned[T], fn func(T) U) Transform[T, U] {
+	return Transform[T, U]{Base: base, Fn: fn}
+}
+
+// Size returns the number of elements.
+func (v Transform[T, U]) Size() int64 { return v.Base.Size() }
+
+// Get returns fn applied to the base element.
+func (v Transform[T, U]) Get(i int64) U { return v.Fn(v.Base.Get(i)) }
+
+// Set panics: transform views are read-only.
+func (v Transform[T, U]) Set(int64, U) { panic("views: transform view is read-only") }
+
+// LocalRanges delegates to the base view.
+func (v Transform[T, U]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	return v.Base.LocalRanges(loc)
+}
+
+// Overlap presents overlapping windows of a base view (overlap_view): window
+// i covers base indices [i*Core, i*Core+Left+Core+Right), as in Fig. 2 of
+// the paper.  Windows are read through GetWindow; the view's element type is
+// the window itself.
+type Overlap[T any] struct {
+	Base              Partitioned[T]
+	Core, Left, Right int64
+}
+
+// NewOverlap builds an overlap view with core size c, left overlap l and
+// right overlap r.
+func NewOverlap[T any](base Partitioned[T], c, l, r int64) Overlap[T] {
+	if c <= 0 {
+		c = 1
+	}
+	return Overlap[T]{Base: base, Core: c, Left: l, Right: r}
+}
+
+// Size returns the number of complete windows.
+func (v Overlap[T]) Size() int64 {
+	window := v.Left + v.Core + v.Right
+	n := v.Base.Size()
+	if n < window {
+		return 0
+	}
+	return (n-window)/v.Core + 1
+}
+
+// GetWindow returns a copy of window i.
+func (v Overlap[T]) GetWindow(i int64) []T {
+	window := v.Left + v.Core + v.Right
+	out := make([]T, 0, window)
+	start := i * v.Core
+	for k := int64(0); k < window; k++ {
+		out = append(out, v.Base.Get(start+k))
+	}
+	return out
+}
+
+// LocalRanges splits the window index space evenly per location.
+func (v Overlap[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	blocks := domain.NewRange1D(0, v.Size()).Split(loc.NumLocations())
+	b := blocks[loc.ID()]
+	if b.Empty() {
+		return nil
+	}
+	return []domain.Range1D{b}
+}
+
+// Slice is an in-memory Partitioned view over a plain Go slice, replicated
+// on every location.  It is useful as an algorithm input generated on the
+// fly and in tests; each location processes an equal share.
+type Slice[T any] struct {
+	Data []T
+}
+
+// NewSlice wraps a slice (shared by all locations of the simulated machine).
+func NewSlice[T any](data []T) Slice[T] { return Slice[T]{Data: data} }
+
+// Size returns the slice length.
+func (v Slice[T]) Size() int64 { return int64(len(v.Data)) }
+
+// Get reads element i.
+func (v Slice[T]) Get(i int64) T { return v.Data[i] }
+
+// Set writes element i.
+func (v Slice[T]) Set(i int64, x T) { v.Data[i] = x }
+
+// LocalRanges gives each location an equal share.
+func (v Slice[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	blocks := domain.NewRange1D(0, v.Size()).Split(loc.NumLocations())
+	b := blocks[loc.ID()]
+	if b.Empty() {
+		return nil
+	}
+	return []domain.Range1D{b}
+}
+
+var (
+	_ Partitioned[int] = ArrayNative[int]{}
+	_ Partitioned[int] = VectorNative[int]{}
+	_ Partitioned[int] = Balanced[int]{}
+	_ Partitioned[int] = Strided[int]{}
+	_ Partitioned[int] = Slice[int]{}
+	_ Partitioned[int] = Transform[string, int]{}
+)

@@ -1,0 +1,252 @@
+package views
+
+import (
+	"testing"
+
+	"repro/internal/containers/parray"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/runtime"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+// checkCoverage verifies that LocalRanges over all locations tile [0, size)
+// exactly once.
+func checkCoverage[T any](t *testing.T, loc *runtime.Location, v Partitioned[T]) {
+	t.Helper()
+	var local int64
+	for _, r := range v.LocalRanges(loc) {
+		local += r.Size()
+	}
+	if total := runtime.AllReduceSum(loc, local); total != v.Size() {
+		t.Errorf("local ranges cover %d of %d elements", total, v.Size())
+	}
+}
+
+func TestArrayNativeView(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		pa := parray.New[int](loc, 40)
+		v := NewArrayNative(pa)
+		if v.Size() != 40 {
+			t.Errorf("size = %d", v.Size())
+		}
+		checkCoverage[int](t, loc, v)
+		// Native ranges are exactly the local sub-domains.
+		ranges := v.LocalRanges(loc)
+		if len(ranges) != 1 || ranges[0].Size() != 10 {
+			t.Errorf("native ranges = %v", ranges)
+		}
+		// Writes through the view are visible through the container.
+		for _, r := range ranges {
+			for i := r.Lo; i < r.Hi; i++ {
+				v.Set(i, int(i)+1)
+			}
+		}
+		loc.Fence()
+		if got := v.Get(39); got != 40 {
+			t.Errorf("Get(39) = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorNativeView(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		pv := pvector.New[int](loc, 10)
+		v := NewVectorNative(pv)
+		if v.Size() != 10 {
+			t.Errorf("size = %d", v.Size())
+		}
+		checkCoverage[int](t, loc, v)
+		v.Set(int64(loc.ID()*5), 7)
+		loc.Fence()
+		if v.Get(5) != 7 || v.Get(0) != 7 {
+			t.Error("view writes lost")
+		}
+		loc.Fence()
+	})
+}
+
+func TestBalancedView(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		// A pArray whose distribution is deliberately skewed: blocked with
+		// a large block so location 0 owns everything.
+		pa := parray.New[int](loc, 32)
+		bal := NewBalanced[int](NewArrayNative(pa))
+		checkCoverage[int](t, loc, bal)
+		ranges := bal.LocalRanges(loc)
+		if len(ranges) != 1 || ranges[0].Size() != 8 {
+			t.Errorf("balanced ranges = %v", ranges)
+		}
+		// Every location gets a distinct range.
+		if ranges[0].Lo != int64(loc.ID())*8 {
+			t.Errorf("location %d range starts at %d", loc.ID(), ranges[0].Lo)
+		}
+		loc.Fence()
+	})
+}
+
+func TestStridedView(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		pa := parray.New[int](loc, 20)
+		base := NewArrayNative(pa)
+		for _, r := range base.LocalRanges(loc) {
+			for i := r.Lo; i < r.Hi; i++ {
+				base.Set(i, int(i))
+			}
+		}
+		loc.Fence()
+		// Every second element starting at 1: 1,3,5,...,19 → 10 elements.
+		st := NewStrided[int](base, 1, 2)
+		if st.Size() != 10 {
+			t.Errorf("strided size = %d", st.Size())
+		}
+		checkCoverage[int](t, loc, st)
+		if st.Get(0) != 1 || st.Get(9) != 19 {
+			t.Errorf("strided get wrong: %d %d", st.Get(0), st.Get(9))
+		}
+		if loc.ID() == 0 {
+			st.Set(0, 100)
+		}
+		loc.Fence()
+		if pa.Get(1) != 100 {
+			t.Error("strided set did not hit base index 1")
+		}
+		// Degenerate stride.
+		if NewStrided[int](base, 0, 0).Strd != 1 {
+			t.Error("stride 0 should clamp to 1")
+		}
+		// Offset beyond the end.
+		if NewStrided[int](base, 25, 2).Size() != 0 {
+			t.Error("out-of-range offset should give an empty view")
+		}
+		loc.Fence()
+	})
+}
+
+func TestTransformView(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		pa := parray.New[int](loc, 10)
+		base := NewArrayNative(pa)
+		for _, r := range base.LocalRanges(loc) {
+			for i := r.Lo; i < r.Hi; i++ {
+				base.Set(i, int(i))
+			}
+		}
+		loc.Fence()
+		tv := NewTransform[int, string](base, func(x int) string {
+			if x%2 == 0 {
+				return "even"
+			}
+			return "odd"
+		})
+		if tv.Size() != 10 {
+			t.Error("size wrong")
+		}
+		if tv.Get(2) != "even" || tv.Get(3) != "odd" {
+			t.Error("transform read wrong")
+		}
+		checkCoverage[string](t, loc, tv)
+		defer func() {
+			if recover() == nil {
+				t.Error("transform Set should panic")
+			}
+			loc.Fence()
+		}()
+		tv.Set(0, "x")
+	})
+}
+
+func TestOverlapView(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		// Paper example (Fig. 2): A[0,10], c=2, l=2, r=1 → windows of 5
+		// starting every 2: A[0..4], A[2..6], A[4..8], A[6..10].
+		pa := parray.New[int](loc, 11)
+		base := NewArrayNative(pa)
+		for _, r := range base.LocalRanges(loc) {
+			for i := r.Lo; i < r.Hi; i++ {
+				base.Set(i, int(i))
+			}
+		}
+		loc.Fence()
+		ov := NewOverlap[int](base, 2, 2, 1)
+		if ov.Size() != 4 {
+			t.Fatalf("windows = %d, want 4", ov.Size())
+		}
+		w := ov.GetWindow(1)
+		if len(w) != 5 || w[0] != 2 || w[4] != 6 {
+			t.Errorf("window 1 = %v", w)
+		}
+		w = ov.GetWindow(3)
+		if w[0] != 6 || w[4] != 10 {
+			t.Errorf("window 3 = %v", w)
+		}
+		var localWindows int64
+		for _, r := range ov.LocalRanges(loc) {
+			localWindows += r.Size()
+		}
+		if total := runtime.AllReduceSum(loc, localWindows); total != 4 {
+			t.Errorf("window coverage = %d", total)
+		}
+		// A view too small for a single window has no windows.
+		small := parray.New[int](loc, 3)
+		if NewOverlap[int](NewArrayNative(small), 2, 2, 1).Size() != 0 {
+			t.Error("small overlap view should be empty")
+		}
+		loc.Fence()
+	})
+}
+
+func TestSliceView(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		data := []int{1, 2, 3, 4, 5, 6}
+		v := NewSlice(data)
+		if v.Size() != 6 {
+			t.Error("size wrong")
+		}
+		checkCoverage[int](t, loc, v)
+		if v.Get(3) != 4 {
+			t.Error("get wrong")
+		}
+		loc.Fence()
+	})
+}
+
+func TestEmptyRangesForTinyCollections(t *testing.T) {
+	run(8, func(loc *runtime.Location) {
+		pa := parray.New[int](loc, 2)
+		bal := NewBalanced[int](NewArrayNative(pa))
+		var local int64
+		for _, r := range bal.LocalRanges(loc) {
+			if r.Empty() {
+				t.Error("empty range returned; expected it to be omitted")
+			}
+			local += r.Size()
+		}
+		if total := runtime.AllReduceSum(loc, local); total != 2 {
+			t.Errorf("coverage = %d", total)
+		}
+		loc.Fence()
+	})
+}
+
+func TestViewDomainsMatchRange1D(t *testing.T) {
+	// LocalRanges entries must be well-formed ranges.
+	run(3, func(loc *runtime.Location) {
+		pa := parray.New[int](loc, 17)
+		for _, v := range []Partitioned[int]{NewArrayNative(pa), NewBalanced[int](NewArrayNative(pa))} {
+			for _, r := range v.LocalRanges(loc) {
+				if r.Size() <= 0 || r.Lo < 0 || r.Hi > 17 {
+					t.Errorf("malformed range %v", r)
+				}
+				if r != domain.NewRange1D(r.Lo, r.Hi) {
+					t.Errorf("range not normalised: %v", r)
+				}
+			}
+		}
+		loc.Fence()
+	})
+}

@@ -1,0 +1,251 @@
+// Package workload provides the synthetic workload generators used by the
+// benchmark harness: an SSCA2-style clustered graph generator (the paper's
+// pGraph experiments), regular 2-D meshes (the page-rank inputs), binary
+// forests (the Euler-tour experiments), a Zipf-distributed word corpus
+// (standing in for the Simple English Wikipedia dump of Fig. 59) and the
+// mixed read/write/insert/delete operation streams of Fig. 42.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/runtime"
+)
+
+// SSCA2Params configures the clustered-graph generator modelled on the
+// SSCA#2 benchmark generator the paper uses: vertices are grouped into
+// cliques of random size up to MaxCliqueSize, cliques are fully connected
+// internally, and inter-clique edges are added with probability
+// InterCliqueProb between consecutive cliques at increasing distances.
+type SSCA2Params struct {
+	Scale           int     // number of vertices = 2^Scale
+	MaxCliqueSize   int     // maximum vertices per clique
+	InterCliqueProb float64 // probability of an inter-clique edge
+	Seed            int64
+}
+
+// DefaultSSCA2 returns the generator parameters used by the benches.
+func DefaultSSCA2(scale int) SSCA2Params {
+	return SSCA2Params{Scale: scale, MaxCliqueSize: 8, InterCliqueProb: 0.2, Seed: 42}
+}
+
+// NumVertices returns 2^Scale.
+func (p SSCA2Params) NumVertices() int64 { return int64(1) << p.Scale }
+
+// SSCA2EdgeList enumerates the generated edges, calling emit(src, dst) for
+// each.  The enumeration is deterministic for a given parameter set, and
+// restricted to edges whose source lies in [loVertex, hiVertex) so that each
+// location can generate only the edges it will insert.
+func SSCA2EdgeList(p SSCA2Params, loVertex, hiVertex int64, emit func(src, dst int64)) {
+	n := p.NumVertices()
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.MaxCliqueSize < 1 {
+		p.MaxCliqueSize = 1
+	}
+	// Assign vertices to cliques deterministically.
+	cliqueOf := make([]int64, n)
+	var cliqueStart []int64
+	var v int64
+	for v < n {
+		size := int64(rng.Intn(p.MaxCliqueSize) + 1)
+		if v+size > n {
+			size = n - v
+		}
+		cliqueStart = append(cliqueStart, v)
+		for k := int64(0); k < size; k++ {
+			cliqueOf[v+k] = int64(len(cliqueStart) - 1)
+		}
+		v += size
+	}
+	cliqueEnd := func(c int64) int64 {
+		if int(c+1) < len(cliqueStart) {
+			return cliqueStart[c+1]
+		}
+		return n
+	}
+	// Intra-clique edges: a full clique (directed, both orientations).
+	for src := loVertex; src < hiVertex; src++ {
+		c := cliqueOf[src]
+		for dst := cliqueStart[c]; dst < cliqueEnd(c); dst++ {
+			if dst != src {
+				emit(src, dst)
+			}
+		}
+	}
+	// Inter-clique edges: each clique links to cliques at distance 1, 2, 4,
+	// ... with the configured probability; the edge endpoints are the
+	// cliques' first vertices.
+	interRng := rand.New(rand.NewSource(p.Seed + 1))
+	numCliques := int64(len(cliqueStart))
+	for c := int64(0); c < numCliques; c++ {
+		for d := int64(1); c+d < numCliques; d *= 2 {
+			if interRng.Float64() < p.InterCliqueProb {
+				src := cliqueStart[c]
+				dst := cliqueStart[c+d]
+				if src >= loVertex && src < hiVertex {
+					emit(src, dst)
+				}
+			}
+		}
+	}
+}
+
+// BuildSSCA2Static populates a static pGraph with the SSCA2 topology:
+// each location inserts the edges whose source vertex it owns.  Collective.
+func BuildSSCA2Static(loc *runtime.Location, g *pgraph.Graph[int64, int8], p SSCA2Params) {
+	locals := g.LocalVertices()
+	if len(locals) > 0 {
+		lo, hi := locals[0], locals[len(locals)-1]+1
+		SSCA2EdgeList(p, lo, hi, func(src, dst int64) { g.AddEdgeAsync(src, dst, 0) })
+	}
+	loc.Fence()
+}
+
+// Mesh2DParams describes a rows×cols grid whose vertices are connected to
+// their 4-neighbourhood (the page-rank meshes of Fig. 56: 1500×1500 vs
+// 15×150000).
+type Mesh2DParams struct {
+	Rows, Cols int64
+}
+
+// NumVertices returns Rows*Cols.
+func (m Mesh2DParams) NumVertices() int64 { return m.Rows * m.Cols }
+
+// VertexID maps grid coordinates to a vertex descriptor.
+func (m Mesh2DParams) VertexID(r, c int64) int64 { return r*m.Cols + c }
+
+// BuildMesh2D populates a static pGraph with the 4-neighbour mesh topology.
+// Each location inserts the edges of the vertices it owns.  Collective.
+func BuildMesh2D(loc *runtime.Location, g *pgraph.Graph[float64, int8], m Mesh2DParams) {
+	for _, vd := range g.LocalVertices() {
+		r, c := vd/m.Cols, vd%m.Cols
+		if r > 0 {
+			g.AddEdgeAsync(vd, m.VertexID(r-1, c), 0)
+		}
+		if r < m.Rows-1 {
+			g.AddEdgeAsync(vd, m.VertexID(r+1, c), 0)
+		}
+		if c > 0 {
+			g.AddEdgeAsync(vd, m.VertexID(r, c-1), 0)
+		}
+		if c < m.Cols-1 {
+			g.AddEdgeAsync(vd, m.VertexID(r, c+1), 0)
+		}
+	}
+	loc.Fence()
+}
+
+// ForestParams describes the binary forest used by the Euler-tour
+// experiments: SubtreesPerLocation complete binary trees of SubtreeHeight
+// levels per location, all attached under one global root, giving a single
+// tree as in the paper's Fig. 44 workload.
+type ForestParams struct {
+	SubtreesPerLocation int
+	SubtreeHeight       int
+}
+
+// TreeEdges returns, for the calling location, the (parent, child) edges of
+// its part of the tree, the local vertex descriptors, and the global root
+// descriptor.  Descriptors encode the owning location so the tree can be
+// loaded into a dynamic pGraph or processed directly.
+func TreeEdges(loc *runtime.Location, p ForestParams) (edges [][2]int64, vertices []int64, root int64) {
+	// The global root is vertex 0 on location 0.
+	root = 0
+	if p.SubtreeHeight < 1 {
+		p.SubtreeHeight = 1
+	}
+	perSubtree := int64(1)<<p.SubtreeHeight - 1
+	// Local descriptor space: the owning location in the high bits (as the
+	// dynamic pGraph encodes homes), offset by one so location 0's first
+	// subtree vertex does not collide with the global root descriptor 0.
+	base := int64(loc.ID())<<40 + 1
+	if loc.ID() == 0 {
+		vertices = append(vertices, root)
+	}
+	for s := 0; s < p.SubtreesPerLocation; s++ {
+		offset := base + int64(s)*perSubtree
+		// Complete binary tree over [offset, offset+perSubtree).
+		for i := int64(0); i < perSubtree; i++ {
+			vd := offset + i
+			vertices = append(vertices, vd)
+			if i > 0 {
+				parent := offset + (i-1)/2
+				edges = append(edges, [2]int64{parent, vd})
+			}
+		}
+		// Attach the subtree root under the global root.
+		edges = append(edges, [2]int64{root, offset})
+	}
+	return edges, vertices, root
+}
+
+// Zipf generates n words drawn from a vocabulary of vocab words with a
+// Zipf(s) frequency distribution, seeded per location, standing in for the
+// Wikipedia corpus of Fig. 59.
+func Zipf(loc *runtime.Location, n int, vocab int, s float64) []string {
+	if vocab < 1 {
+		vocab = 1
+	}
+	if s <= 1.0 {
+		s = 1.01
+	}
+	z := rand.NewZipf(loc.Rand(), s, 1, uint64(vocab-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("word%05d", z.Uint64())
+	}
+	return out
+}
+
+// OpKind is one operation of the Fig. 42 dynamic mix.
+type OpKind int
+
+// Operation kinds of the dynamic mix.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpInsert
+	OpDelete
+)
+
+// MixRatios fixes the proportion of each operation kind; they must sum to 1.
+type MixRatios struct {
+	Read, Write, Insert, Delete float64
+}
+
+// DefaultMix is the read-heavy mix used by the Fig. 42 experiment.
+func DefaultMix() MixRatios { return MixRatios{Read: 0.4, Write: 0.4, Insert: 0.1, Delete: 0.1} }
+
+// OpStream generates n operations with the given ratios, using the
+// location-private random source.
+func OpStream(loc *runtime.Location, n int, mix MixRatios) []OpKind {
+	r := loc.Rand()
+	out := make([]OpKind, n)
+	for i := range out {
+		x := r.Float64()
+		switch {
+		case x < mix.Read:
+			out[i] = OpRead
+		case x < mix.Read+mix.Write:
+			out[i] = OpWrite
+		case x < mix.Read+mix.Write+mix.Insert:
+			out[i] = OpInsert
+		default:
+			out[i] = OpDelete
+		}
+	}
+	return out
+}
+
+// ZipfExpectedDistinct estimates how many distinct words a Zipf corpus of n
+// draws over the given vocabulary will contain; used by tests as a sanity
+// bound.
+func ZipfExpectedDistinct(n, vocab int) int {
+	if n < vocab {
+		return n
+	}
+	return int(math.Min(float64(vocab), float64(n)))
+}

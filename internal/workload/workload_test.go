@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/runtime"
+)
+
+func run(p int, fn func(loc *runtime.Location)) {
+	runtime.NewMachine(p, runtime.DefaultConfig()).Execute(fn)
+}
+
+func TestSSCA2EdgeListDeterministicAndValid(t *testing.T) {
+	p := DefaultSSCA2(8)
+	if p.NumVertices() != 256 {
+		t.Fatalf("vertices = %d", p.NumVertices())
+	}
+	collect := func() [][2]int64 {
+		var out [][2]int64
+		SSCA2EdgeList(p, 0, p.NumVertices(), func(s, d int64) { out = append(out, [2]int64{s, d}) })
+		return out
+	}
+	a := collect()
+	b := collect()
+	if len(a) == 0 {
+		t.Fatal("no edges generated")
+	}
+	if len(a) != len(b) {
+		t.Fatal("generator is not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator is not deterministic")
+		}
+	}
+	for _, e := range a {
+		if e[0] < 0 || e[0] >= 256 || e[1] < 0 || e[1] >= 256 || e[0] == e[1] {
+			t.Fatalf("invalid edge %v", e)
+		}
+	}
+	// Restricting the source range yields a subset.
+	var restricted int
+	SSCA2EdgeList(p, 0, 128, func(s, d int64) {
+		restricted++
+		if s >= 128 {
+			t.Fatalf("edge source %d outside requested range", s)
+		}
+	})
+	if restricted == 0 || restricted >= len(a) {
+		t.Fatalf("restricted generation produced %d edges of %d", restricted, len(a))
+	}
+}
+
+func TestBuildSSCA2Static(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		p := DefaultSSCA2(7)
+		g := pgraph.New[int64, int8](loc, p.NumVertices())
+		BuildSSCA2Static(loc, g, p)
+		edges := g.NumEdges()
+		if edges == 0 {
+			t.Error("no edges inserted")
+		}
+		// Intra-clique edges make most vertices non-isolated.
+		nonIsolated := int64(0)
+		g.RangeLocalVertices(func(v *pgraph.Vertex[int64, int8]) bool {
+			if len(v.Edges) > 0 {
+				nonIsolated++
+			}
+			return true
+		})
+		total := runtime.AllReduceSum(loc, nonIsolated)
+		if total < p.NumVertices()/2 {
+			t.Errorf("only %d of %d vertices have edges", total, p.NumVertices())
+		}
+		loc.Fence()
+	})
+}
+
+func TestBuildMesh2D(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		m := Mesh2DParams{Rows: 6, Cols: 5}
+		g := pgraph.New[float64, int8](loc, m.NumVertices())
+		BuildMesh2D(loc, g, m)
+		// Interior vertices have degree 4; corners 2; edges 3.
+		// Total directed edges = sum of degrees = 2*(#grid adjacencies).
+		want := int64(2 * (m.Rows*(m.Cols-1) + (m.Rows-1)*m.Cols))
+		if got := g.NumEdges(); got != want {
+			t.Errorf("mesh edges = %d, want %d", got, want)
+		}
+		if d := g.OutDegree(m.VertexID(0, 0)); d != 2 {
+			t.Errorf("corner degree = %d", d)
+		}
+		if d := g.OutDegree(m.VertexID(3, 2)); d != 4 {
+			t.Errorf("interior degree = %d", d)
+		}
+		loc.Fence()
+	})
+}
+
+func TestTreeEdges(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		p := ForestParams{SubtreesPerLocation: 3, SubtreeHeight: 4}
+		edges, vertices, root := TreeEdges(loc, p)
+		perSubtree := int64(1)<<p.SubtreeHeight - 1
+		wantVerts := 3 * perSubtree
+		if loc.ID() == 0 {
+			wantVerts++ // global root
+		}
+		if int64(len(vertices)) != wantVerts {
+			t.Errorf("local vertices = %d, want %d", len(vertices), wantVerts)
+		}
+		// Each subtree contributes perSubtree-1 internal edges plus one
+		// attachment edge to the root.
+		if int64(len(edges)) != 3*perSubtree {
+			t.Errorf("local edges = %d, want %d", len(edges), 3*perSubtree)
+		}
+		if root != 0 {
+			t.Errorf("root = %d", root)
+		}
+		// Globally the structure is a single tree: edges = vertices - 1.
+		totalV := runtime.AllReduceSum(loc, int64(len(vertices)))
+		totalE := runtime.AllReduceSum(loc, int64(len(edges)))
+		if totalE != totalV-1 {
+			t.Errorf("edges = %d, vertices = %d: not a tree", totalE, totalV)
+		}
+		// Descriptors never collide across locations.
+		seen := map[int64]bool{}
+		for _, v := range vertices {
+			if seen[v] {
+				t.Errorf("duplicate descriptor %d", v)
+			}
+			seen[v] = true
+		}
+		loc.Fence()
+	})
+}
+
+func TestZipfCorpus(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		words := Zipf(loc, 1000, 100, 1.3)
+		if len(words) != 1000 {
+			t.Errorf("corpus size = %d", len(words))
+		}
+		freq := map[string]int{}
+		for _, w := range words {
+			freq[w]++
+		}
+		if len(freq) < 2 || len(freq) > 100 {
+			t.Errorf("distinct words = %d", len(freq))
+		}
+		// Zipf skew: the most frequent word should dominate.
+		max := 0
+		for _, c := range freq {
+			if c > max {
+				max = c
+			}
+		}
+		if max < 1000/20 {
+			t.Errorf("most frequent word appears only %d times; distribution not skewed", max)
+		}
+		// Different locations draw different streams.
+		first := runtime.AllGatherT(loc, words[0])
+		if loc.ID() == 0 && loc.NumLocations() > 1 {
+			allSame := true
+			for _, w := range first[1:] {
+				if w != first[0] {
+					allSame = false
+				}
+			}
+			_ = allSame // different seeds usually differ, but equality is legal
+		}
+		loc.Fence()
+	})
+	if ZipfExpectedDistinct(10, 100) != 10 || ZipfExpectedDistinct(1000, 100) != 100 {
+		t.Error("expected-distinct helper wrong")
+	}
+}
+
+func TestOpStream(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		mix := DefaultMix()
+		ops := OpStream(loc, 10000, mix)
+		if len(ops) != 10000 {
+			t.Errorf("ops = %d", len(ops))
+		}
+		counts := map[OpKind]int{}
+		for _, op := range ops {
+			counts[op]++
+		}
+		if counts[OpRead] < 3000 || counts[OpWrite] < 3000 {
+			t.Errorf("read/write counts too low: %v", counts)
+		}
+		if counts[OpInsert] < 500 || counts[OpDelete] < 500 {
+			t.Errorf("insert/delete counts too low: %v", counts)
+		}
+		loc.Fence()
+	})
+}
