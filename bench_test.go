@@ -97,6 +97,10 @@ func BenchmarkFig60AssociativeAlgos(b *testing.B) { benchExperiment(b, "fig60") 
 // row-minimum comparison.
 func BenchmarkFig62Composition(b *testing.B) { benchExperiment(b, "fig62") }
 
+// Redistribution subsystem: skew a distribution, rebalance with the
+// load-balance advisor, measure imbalance and migration traffic.
+func BenchmarkRedistributeRebalance(b *testing.B) { benchExperiment(b, "redist") }
+
 // Design-choice ablation: RMI aggregation factor.
 func BenchmarkAblationAggregation(b *testing.B) { benchExperiment(b, "ablation-aggregation") }
 

@@ -53,7 +53,7 @@ func TestFindAndDescriptions(t *testing.T) {
 		if e.Description == "" || e.Run == nil {
 			t.Errorf("experiment %s incompletely registered", e.ID)
 		}
-		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") {
+		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") && e.ID != "redist" {
 			t.Errorf("unexpected experiment id %s", e.ID)
 		}
 	}
@@ -98,5 +98,31 @@ func TestFig30ShowsLocalRemoteShape(t *testing.T) {
 	}
 	if async >= sync {
 		t.Errorf("expected asynchronous writes (%.3fms) to be faster than synchronous reads (%.3fms)", async, sync)
+	}
+}
+
+func TestRedistRebalancesBelowThreshold(t *testing.T) {
+	// Acceptance shape of the redistribution subsystem: every family
+	// starts from a measurable skew and the advisor's proposal brings the
+	// imbalance factor to at most 1.1x.
+	cfg := Config{Locations: []int{4}, ElementsPerLocation: 2000, GraphScale: 6}
+	rows := RedistributeRebalance(cfg)
+	var checkedBefore, checkedAfter int
+	for _, r := range rows {
+		switch {
+		case strings.Contains(r.Series, "imbalance (before)"):
+			checkedBefore++
+			if r.Value < 1.5 {
+				t.Errorf("%s %s: expected a skewed start, got %.3fx", r.Series, r.Param, r.Value)
+			}
+		case strings.Contains(r.Series, "imbalance (after)"):
+			checkedAfter++
+			if r.Value > 1.1 {
+				t.Errorf("%s %s: rebalance left imbalance %.3fx > 1.1x", r.Series, r.Param, r.Value)
+			}
+		}
+	}
+	if checkedBefore != 4 || checkedAfter != 4 {
+		t.Fatalf("expected 4 before and 4 after measurements, got %d/%d", checkedBefore, checkedAfter)
 	}
 }

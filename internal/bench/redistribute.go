@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/containers/parray"
+	"repro/internal/containers/passoc"
+	"repro/internal/containers/pgraph"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// RedistributeRebalance exercises the shared redistribution subsystem
+// (Chapter V, Section G) across the container families that implement it:
+// each scenario skews a container's distribution so one location holds at
+// least half of the elements, asks the load-balance advisor for a balanced
+// proposal, redistributes, and reports the imbalance factor before and
+// after the migration together with the RMI and simulated-byte traffic the
+// migration cost (from Machine.Stats()).
+func RedistributeRebalance(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		n := cfg.ElementsPerLocation * int64(p)
+		rows = append(rows, redistArray(p, n)...)
+		rows = append(rows, redistVector(p, n)...)
+		rows = append(rows, redistHashMap(p, n)...)
+		rows = append(rows, redistGraph(p, n)...)
+	}
+	return rows
+}
+
+// skewedSizes gives the first location about three quarters of the n
+// elements and splits the rest evenly, the skew the rebalance scenarios
+// start from.
+func skewedSizes(n int64, p int) []int64 {
+	sizes := make([]int64, p)
+	if p == 1 {
+		sizes[0] = n
+		return sizes
+	}
+	rest := n / 4
+	each := rest / int64(p-1)
+	sizes[0] = n - each*int64(p-1)
+	for i := 1; i < p; i++ {
+		sizes[i] = each
+	}
+	return sizes
+}
+
+// redistReport converts one scenario's measurements into report rows.
+func redistReport(family string, p int, n int64, before, after float64, rmis, bytes int64) []Row {
+	param := fmt.Sprintf("P=%d N=%d", p, n)
+	return []Row{
+		{Experiment: "redist", Series: family + " imbalance (before)", Param: param, Value: before, Unit: "x"},
+		{Experiment: "redist", Series: family + " imbalance (after)", Param: param, Value: after, Unit: "x"},
+		{Experiment: "redist", Series: family + " migration traffic", Param: param, Value: float64(rmis), Unit: "RMIs"},
+		{Experiment: "redist", Series: family + " migration volume", Param: param, Value: float64(bytes), Unit: "bytes"},
+	}
+}
+
+// redistScenario runs one skew→rebalance scenario SPMD and gathers location
+// 0's measurements (written only by the location-0 goroutine and read after
+// Execute joins every goroutine).  body returns the imbalance factor before
+// and after its rebalance step; the migration traffic is the machine-stats
+// delta around body's rebalance, which body brackets with the snapshot
+// callback.
+func redistScenario(p int, body func(loc *runtime.Location, snapshot func()) (before, after float64)) (before, after float64, rmis, bytes int64) {
+	m := machine(p)
+	var preRMIs, preBytes int64
+	m.Execute(func(loc *runtime.Location) {
+		b, a := body(loc, func() {
+			if loc.ID() == 0 {
+				preRMIs = m.Stats().RMIsSent.Load()
+				preBytes = m.Stats().BytesSimulated.Load()
+			}
+			loc.Barrier()
+		})
+		if loc.ID() == 0 {
+			before, after = b, a
+		}
+	})
+	rmis = m.Stats().RMIsSent.Load() - preRMIs
+	bytes = m.Stats().BytesSimulated.Load() - preBytes
+	return before, after, rmis, bytes
+}
+
+func redistArray(p int, n int64) []Row {
+	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+		part, err := partition.NewExplicit(domain.NewRange1D(0, n), skewedSizes(n, p))
+		if err != nil {
+			panic(err)
+		}
+		a := parray.New[int64](loc, n,
+			parray.WithPartition(part),
+			parray.WithMapper(partition.NewBlockedMapper(p, p)))
+		a.UpdateLocal(func(gid int64, _ int64) int64 { return gid })
+		loc.Fence()
+		b := partition.CollectLoad(loc, a.LocalSize()).Imbalance()
+		snapshot()
+		a.Rebalance()
+		return b, partition.CollectLoad(loc, a.LocalSize()).Imbalance()
+	})
+	return redistReport("pArray", p, n, before, after, rmis, bytes)
+}
+
+func redistVector(p int, n int64) []Row {
+	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+		v := pvector.New[int64](loc, n)
+		v.LocalUpdate(func(gid int64, _ int64) int64 { return gid })
+		loc.Fence()
+		// Skew: move everything but the tail blocks' minimum onto
+		// location 0 with an explicit partition, then rebalance back.
+		part, err := partition.NewExplicit(domain.NewRange1D(0, n), skewedSizes(n, p))
+		if err != nil {
+			panic(err)
+		}
+		v.Redistribute(part, partition.NewBlockedMapper(p, p))
+		b := partition.CollectLoad(loc, v.LocalSize()).Imbalance()
+		snapshot()
+		v.Rebalance()
+		return b, partition.CollectLoad(loc, v.LocalSize()).Imbalance()
+	})
+	return redistReport("pVector", p, n, before, after, rmis, bytes)
+}
+
+func redistHashMap(p int, n int64) []Row {
+	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+		h := passoc.NewHashMap[int64, int64](loc, partition.Int64Hash,
+			passoc.HashOption{SubdomainsPerLocation: 4})
+		// Each location inserts its share of the keys.
+		for k := int64(loc.ID()); k < n; k += int64(p) {
+			h.Insert(k, k*2)
+		}
+		loc.Fence()
+		// Skew: remap every hash bucket onto location 0.
+		h.Redistribute(h.Partition(), partition.NewArbitraryMapper(make([]int, h.Partition().NumSubdomains()), p))
+		b := partition.CollectLoad(loc, h.LocalSize()).Imbalance()
+		snapshot()
+		h.Rebalance()
+		return b, partition.CollectLoad(loc, h.LocalSize()).Imbalance()
+	})
+	return redistReport("pHashMap", p, n, before, after, rmis, bytes)
+}
+
+func redistGraph(p int, n int64) []Row {
+	// Keep the graph an order of magnitude smaller than the flat
+	// containers: every vertex ships its adjacency too.
+	nv := n / 8
+	if nv < int64(p) {
+		nv = int64(p)
+	}
+	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+		g := pgraph.New[int64, int64](loc, nv)
+		// A ring plus a chord per vertex, striped over the locations.
+		for vd := int64(loc.ID()); vd < nv; vd += int64(p) {
+			g.AddEdgeAsync(vd, (vd+1)%nv, vd)
+			g.AddEdgeAsync(vd, (vd*7+3)%nv, vd)
+		}
+		loc.Fence()
+		// Skew the vertex set onto location 0.
+		part, err := partition.NewExplicit(domain.NewRange1D(0, nv), skewedSizes(nv, p))
+		if err != nil {
+			panic(err)
+		}
+		g.Redistribute(part, partition.NewBlockedMapper(p, p))
+		b := partition.CollectLoad(loc, g.LocalSize()).Imbalance()
+		snapshot()
+		g.RebalanceVertices()
+		return b, partition.CollectLoad(loc, g.LocalSize()).Imbalance()
+	})
+	return redistReport("pGraph", p, nv, before, after, rmis, bytes)
+}

@@ -1,93 +1,38 @@
 package parray
 
 import (
-	"sync"
-
 	"repro/internal/bcontainer"
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/partition"
-	"repro/internal/runtime"
 )
-
-// redistState is the per-location staging area used while a redistribution
-// is in flight: the freshly allocated base containers for the new partition,
-// receiving elements from their old owners.
-type redistState[T any] struct {
-	mu      sync.Mutex
-	staging map[partition.BCID]*bcontainer.Array[T]
-}
-
-// migrator is the handle-addressable object that receives migrated elements
-// during redistribution.  The pArray registers one per redistribution so
-// that element transfers are ordinary RMIs on the simulated interconnect
-// (the paper ships marshalled bContainer fragments the same way).
-type migrator[T any] struct {
-	state *redistState[T]
-}
-
-func (m *migrator[T]) place(b partition.BCID, gid int64, val T) {
-	m.state.mu.Lock()
-	m.state.staging[b].Set(gid, val)
-	m.state.mu.Unlock()
-}
 
 // Redistribute reorganises the pArray's data according to a new partition
 // and mapper (Chapter V, Section G).  It is a collective operation: every
-// location calls it with identical arguments.  Elements that change owner
-// are shipped with asynchronous RMIs; elements that stay local are copied
-// directly, which is what makes incremental repartitions (e.g. neighbouring
-// block moves) cheap.
+// location calls it with identical arguments.  The element migration runs
+// on the shared redistribution engine in package core: elements that change
+// owner are shipped with asynchronous RMIs; elements that stay local are
+// copied directly, which is what makes incremental repartitions (e.g.
+// neighbouring block moves) cheap.
 func (a *Array[T]) Redistribute(newPart partition.Indexed, newMapper partition.Mapper) {
-	loc := a.Location()
-	self := loc.ID()
-
-	// Phase 1: allocate the new local base containers and register the
-	// migration target.  Registration is collective and SPMD-ordered.
-	state := &redistState[T]{staging: make(map[partition.BCID]*bcontainer.Array[T])}
-	newLocal := newMapper.LocalBCIDs(self)
-	for _, b := range newLocal {
-		state.staging[b] = bcontainer.NewArray[T](b, newPart.SubDomain(b))
-	}
-	mig := &migrator[T]{state: state}
-	h := loc.RegisterObject(mig)
-	loc.Barrier()
-
-	// Phase 2: route every locally stored element to its new owner.
-	a.ForEachLocalBC(core.Read, func(bc *bcontainer.Array[T]) {
-		bc.Range(func(gid int64, val T) bool {
-			info := newPart.Find(gid)
-			owner := newMapper.Map(info.BCID)
-			if owner == self {
-				mig.place(info.BCID, gid, val)
-			} else {
-				b := info.BCID
-				loc.AsyncRMISized(owner, h, 8+int(unsafeElemSize[T]()), func(obj any, _ *runtime.Location) {
-					obj.(*migrator[T]).place(b, gid, val)
-				})
-			}
-			return true
+	core.RedistributeIndexed[T](&a.Container, newPart, newMapper,
+		func(b partition.BCID, dom domain.Range1D) *bcontainer.Array[T] {
+			return bcontainer.NewArray[T](b, dom)
+		},
+		func(lm *core.LocationManager[*bcontainer.Array[T]]) {
+			a.ReplaceLocationManager(lm)
+			a.SetResolver(core.IndexedResolver{Partition: newPart, Mapper: newMapper})
+			a.part, a.mapper = newPart, newMapper
 		})
-	})
-	loc.Fence()
-
-	// Phase 3: install the new distribution and storage, then retire the
-	// migration object.
-	lm := core.NewLocationManager[*bcontainer.Array[T]]()
-	for _, b := range newLocal {
-		lm.Add(state.staging[b])
-	}
-	a.ReplaceLocationManager(lm)
-	a.SetResolver(core.IndexedResolver{Partition: newPart, Mapper: newMapper})
-	a.part, a.mapper = newPart, newMapper
-	loc.UnregisterObject(h)
-	loc.Barrier()
 }
 
 // Rebalance redistributes the elements into a balanced partition with one
-// sub-domain per location (the paper's rebalance() pattern).
+// sub-domain per location (the paper's rebalance() pattern).  The pArray's
+// domain is static, so the balanced proposal needs no load measurement —
+// callers that want to rebalance only when it pays off measure with
+// partition.CollectLoad and check ShouldRebalance first.
 func (a *Array[T]) Rebalance() {
-	loc := a.Location()
-	p := partition.NewBalanced(a.dom, loc.NumLocations())
-	m := partition.NewBlockedMapper(p.NumSubdomains(), loc.NumLocations())
-	a.Redistribute(p, m)
+	n := a.Location().NumLocations()
+	p := partition.NewBalanced(a.dom, n)
+	a.Redistribute(p, partition.NewBlockedMapper(p.NumSubdomains(), n))
 }

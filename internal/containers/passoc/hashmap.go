@@ -21,8 +21,8 @@ type hashResolver[K comparable] struct {
 	mapper partition.Mapper
 }
 
-func (r hashResolver[K]) Find(k K) partition.Info       { return r.part.Find(k) }
-func (r hashResolver[K]) OwnerOf(b partition.BCID) int  { return r.mapper.Map(b) }
+func (r hashResolver[K]) Find(k K) partition.Info      { return r.part.Find(k) }
+func (r hashResolver[K]) OwnerOf(b partition.BCID) int { return r.mapper.Map(b) }
 
 // HashMap is the per-location representative of a pHashMap: an unordered
 // pair-associative pContainer with amortised O(1) element methods.

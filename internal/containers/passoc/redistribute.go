@@ -1,0 +1,71 @@
+package passoc
+
+import (
+	"unsafe"
+
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// kvPair is the element record shipped between locations when a pHashMap
+// redistributes.
+type kvPair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Redistribute reorganises the pHashMap's pairs according to a new hashed
+// partition and mapper, through the shared redistribution engine in package
+// core.  The new partition may change the number of hash buckets or the
+// hash function; the mapper may place buckets on arbitrary locations.
+// Collective; every location passes identical arguments.
+func (h *HashMap[K, V]) Redistribute(newPart *partition.Hashed[K], newMapper partition.Mapper) {
+	loc := h.Location()
+	var probe kvPair[K, V]
+	elemBytes := int(unsafe.Sizeof(probe))
+	core.RunMigration(loc, core.MigrationSpec[kvPair[K, V], *bcontainer.HashMap[K, V]]{
+		NewLocal: newMapper.LocalBCIDs(loc.ID()),
+		Alloc: func(b partition.BCID) *bcontainer.HashMap[K, V] {
+			return bcontainer.NewHashMap[K, V](b)
+		},
+		Enumerate: func(emit func(kvPair[K, V])) {
+			h.ForEachLocalBC(core.Read, func(bc *bcontainer.HashMap[K, V]) {
+				bc.Range(func(k K, v V) bool {
+					emit(kvPair[K, V]{key: k, val: v})
+					return true
+				})
+			})
+		},
+		Route: func(e kvPair[K, V]) (partition.BCID, int) {
+			info := newPart.Find(e.key)
+			return info.BCID, newMapper.Map(info.BCID)
+		},
+		Place: func(bc *bcontainer.HashMap[K, V], e kvPair[K, V]) { bc.Insert(e.key, e.val) },
+		Bytes: func(kvPair[K, V]) int { return elemBytes },
+		Install: func(lm *core.LocationManager[*bcontainer.HashMap[K, V]]) {
+			h.ReplaceLocationManager(lm)
+			h.SetResolver(hashResolver[K]{part: newPart, mapper: newMapper})
+			h.part, h.mapper = newPart, newMapper
+		},
+	})
+}
+
+// Rebalance evens out the per-location pair loads by remapping the existing
+// hash buckets with the load-balance advisor's greedy proposal (the bucket
+// set and hash function stay fixed, so only ownership moves).  Collective.
+func (h *HashMap[K, V]) Rebalance() {
+	loc := h.Location()
+	local := make([]int64, h.part.NumSubdomains())
+	h.ForEachLocalBC(core.Read, func(bc *bcontainer.HashMap[K, V]) {
+		local[int(bc.BCID())] = bc.Size()
+	})
+	sizes := partition.CollectSubSizes(loc, local)
+	h.Redistribute(h.part, partition.ProposeMapping(sizes, loc.NumLocations()))
+}
+
+// Partition returns the hashed partition in use.
+func (h *HashMap[K, V]) Partition() *partition.Hashed[K] { return h.part }
+
+// Mapper returns the bucket → location mapper in use.
+func (h *HashMap[K, V]) Mapper() partition.Mapper { return h.mapper }

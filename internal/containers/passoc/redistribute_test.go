@@ -1,0 +1,110 @@
+package passoc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func TestHashMapRedistributeEmpty(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		h := NewHashMap[string, int](loc, partition.StringHash)
+		h.Rebalance()
+		if got := h.Size(); got != 0 {
+			t.Errorf("size = %d, want 0", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapRedistributeSingleLocation(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		h := NewHashMap[string, int](loc, partition.StringHash)
+		for i := 0; i < 40; i++ {
+			h.Insert(fmt.Sprintf("k-%d", i), i)
+		}
+		loc.Fence()
+		// Repartition onto four times as many buckets.
+		newPart := partition.NewHashed[string](4, partition.StringHash)
+		h.Redistribute(newPart, partition.NewBlockedMapper(4, 1))
+		if got := h.Size(); got != 40 {
+			t.Errorf("size = %d, want 40", got)
+		}
+		for i := 0; i < 40; i++ {
+			if v, ok := h.Find(fmt.Sprintf("k-%d", i)); !ok || v != i {
+				t.Errorf("k-%d = (%d,%v), want (%d,true)", i, v, ok, i)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapRedistributeIdentityNoTraffic(t *testing.T) {
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		h := NewHashMap[int64, int64](loc, partition.Int64Hash)
+		for k := int64(loc.ID()); k < 100; k += int64(loc.NumLocations()) {
+			h.Insert(k, k)
+		}
+		loc.Fence()
+		// Same partition, same mapper: every pair stays put and the
+		// migration must not touch the interconnect.
+		before := m.Stats().RMIsSent.Load()
+		h.Redistribute(h.Partition(), h.Mapper())
+		after := m.Stats().RMIsSent.Load()
+		if after != before {
+			t.Errorf("identity repartition sent %d RMIs, want 0", after-before)
+		}
+		if got := h.Size(); got != 100 {
+			t.Errorf("size = %d, want 100", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapSkewRebalanceRoundTrip(t *testing.T) {
+	const n = 200
+	run(4, func(loc *runtime.Location) {
+		p := loc.NumLocations()
+		h := NewHashMap[int64, int64](loc, partition.Int64Hash, HashOption{SubdomainsPerLocation: 4})
+		for k := int64(loc.ID()); k < n; k += int64(p) {
+			h.Insert(k, k*11)
+		}
+		loc.Fence()
+		// Skew: map every bucket to location 0.
+		h.Redistribute(h.Partition(), partition.NewArbitraryMapper(make([]int, h.Partition().NumSubdomains()), p))
+		if f := partition.CollectLoad(loc, h.LocalSize()).Imbalance(); f != float64(p) {
+			t.Errorf("all-on-one imbalance = %.3f, want %d", f, p)
+		}
+		for k := int64(0); k < n; k++ {
+			if v, ok := h.Find(k); !ok || v != k*11 {
+				t.Errorf("after skew: key %d = (%d,%v)", k, v, ok)
+				return
+			}
+		}
+		loc.Fence()
+		h.Rebalance()
+		if f := partition.CollectLoad(loc, h.LocalSize()).Imbalance(); f > 1.1 {
+			t.Errorf("imbalance after rebalance = %.3f, want <= 1.1", f)
+		}
+		if got := h.Size(); got != n {
+			t.Errorf("size = %d, want %d", got, n)
+		}
+		for k := int64(0); k < n; k++ {
+			if v, ok := h.Find(k); !ok || v != k*11 {
+				t.Errorf("after rebalance: key %d = (%d,%v)", k, v, ok)
+				return
+			}
+		}
+		// Element methods still work against the new mapping.
+		h.Insert(int64(n+1), 1)
+		loc.Fence()
+		if got := h.Size(); got != n+1 {
+			t.Errorf("size after insert = %d, want %d", got, n+1)
+		}
+		loc.Fence()
+	})
+}

@@ -128,8 +128,8 @@ type staticResolver struct {
 	mapper partition.Mapper
 }
 
-func (r staticResolver) Find(vd int64) partition.Info    { return r.part.Find(vd) }
-func (r staticResolver) OwnerOf(b partition.BCID) int    { return r.mapper.Map(b) }
+func (r staticResolver) Find(vd int64) partition.Info { return r.part.Find(vd) }
+func (r staticResolver) OwnerOf(b partition.BCID) int { return r.mapper.Map(b) }
 
 // encodedResolver extracts the owner from the descriptor (dynamic, no
 // forwarding).

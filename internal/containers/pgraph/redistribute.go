@@ -1,0 +1,101 @@
+package pgraph
+
+import (
+	"unsafe"
+
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/partition"
+)
+
+// repartResolver collapses an indexed vertex partition and a mapper into the
+// location-keyed translation the pGraph storage uses (one graph base
+// container per location, BCID == location id).  It is installed by
+// Redistribute in place of the construction-time static resolver.
+type repartResolver struct {
+	part   partition.Indexed
+	mapper partition.Mapper
+}
+
+func (r repartResolver) Find(vd int64) partition.Info {
+	info := r.part.Find(vd)
+	if !info.Valid {
+		return info
+	}
+	return partition.Found(partition.BCID(r.mapper.Map(info.BCID)))
+}
+
+func (r repartResolver) OwnerOf(b partition.BCID) int { return int(b) }
+
+// vertexRec is the element record shipped between locations when a pGraph
+// repartitions: one vertex with its property and complete out-adjacency
+// (undirected mirror records live with their own endpoint, so they travel
+// with it).
+type vertexRec[VP any, EP any] struct {
+	vd    int64
+	prop  VP
+	edges []bcontainer.Edge[EP]
+}
+
+// Redistribute repartitions the vertex set of a static pGraph according to a
+// new indexed partition of [0, N) and a new mapper, through the shared
+// redistribution engine in package core.  Each vertex moves to the location
+// newMapper assigns to its new sub-domain, carrying its adjacency; storage
+// granularity stays one graph base container per location.  Dynamic
+// strategies already control placement through the descriptor or the
+// directory, so they reject redistribution.  Collective.
+func (g *Graph[VP, EP]) Redistribute(newPart partition.Indexed, newMapper partition.Mapper) {
+	if g.strategy != Static {
+		panic("pgraph: Redistribute requires the static strategy; dynamic graphs encode or publish vertex homes instead")
+	}
+	loc := g.Location()
+	var vp VP
+	var ep EP
+	vpBytes := 8 + int(unsafe.Sizeof(vp))
+	edgeBytes := 16 + int(unsafe.Sizeof(ep))
+	core.RunMigration(loc, core.MigrationSpec[vertexRec[VP, EP], *bcontainer.Graph[VP, EP]]{
+		NewLocal: []partition.BCID{partition.BCID(loc.ID())},
+		Alloc: func(b partition.BCID) *bcontainer.Graph[VP, EP] {
+			return bcontainer.NewGraph[VP, EP](b)
+		},
+		Enumerate: func(emit func(vertexRec[VP, EP])) {
+			g.ForEachLocalBC(core.Read, func(bc *bcontainer.Graph[VP, EP]) {
+				// The old storage is immutable for the whole
+				// migration and dropped at install, so the
+				// adjacency slice ships without a copy.
+				bc.RangeVertices(func(v *Vertex[VP, EP]) bool {
+					emit(vertexRec[VP, EP]{vd: v.Descriptor, prop: v.Property, edges: v.Edges})
+					return true
+				})
+			})
+		},
+		Route: func(rec vertexRec[VP, EP]) (partition.BCID, int) {
+			owner := newMapper.Map(newPart.Find(rec.vd).BCID)
+			return partition.BCID(owner), owner
+		},
+		Place: func(bc *bcontainer.Graph[VP, EP], rec vertexRec[VP, EP]) {
+			bc.AddVertex(rec.vd, rec.prop)
+			for _, e := range rec.edges {
+				bc.AddEdge(e.Source, e.Target, e.Property, true)
+			}
+		},
+		Bytes: func(rec vertexRec[VP, EP]) int { return vpBytes + len(rec.edges)*edgeBytes },
+		Install: func(lm *core.LocationManager[*bcontainer.Graph[VP, EP]]) {
+			g.ReplaceLocationManager(lm)
+			g.SetResolver(repartResolver{part: newPart, mapper: newMapper})
+			g.staticPart = newPart
+		},
+	})
+}
+
+// RebalanceVertices redistributes the vertices of a static pGraph into a
+// balanced partition with one sub-domain per location.  The vertex domain is
+// static, so the balanced proposal needs no load measurement — callers that
+// want to rebalance only when it pays off measure with partition.CollectLoad
+// and check ShouldRebalance first.  Collective.
+func (g *Graph[VP, EP]) RebalanceVertices() {
+	n := g.Location().NumLocations()
+	p := partition.NewBalanced(domain.NewRange1D(0, g.staticN), n)
+	g.Redistribute(p, partition.NewBlockedMapper(p.NumSubdomains(), n))
+}

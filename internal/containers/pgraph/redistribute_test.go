@@ -1,0 +1,123 @@
+package pgraph
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func TestGraphRedistributeEmpty(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		g := New[int, int](loc, 0, WithStrategy(Static))
+		g.RebalanceVertices()
+		if got := g.NumVertices(); got != 0 {
+			t.Errorf("vertices = %d, want 0", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestGraphRedistributeSingleLocation(t *testing.T) {
+	const nv = 20
+	run(1, func(loc *runtime.Location) {
+		g := New[int, int](loc, nv)
+		for vd := int64(0); vd < nv; vd++ {
+			g.SetVertexProperty(vd, int(vd)*2)
+			g.AddEdgeAsync(vd, (vd+1)%nv, int(vd))
+		}
+		loc.Fence()
+		part := partition.NewBlocked(domain.NewRange1D(0, nv), 3)
+		g.Redistribute(part, partition.NewBlockedMapper(part.NumSubdomains(), 1))
+		for vd := int64(0); vd < nv; vd++ {
+			if p, ok := g.VertexProperty(vd); !ok || p != int(vd)*2 {
+				t.Errorf("vertex %d property = (%d,%v)", vd, p, ok)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestGraphRedistributeIdentityNoTraffic(t *testing.T) {
+	const nv = 40
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		p := loc.NumLocations()
+		g := New[int, int](loc, nv)
+		loc.Fence()
+		// The construction-time distribution is balanced with one block
+		// per location; repeating it moves no vertex.
+		before := m.Stats().RMIsSent.Load()
+		g.Redistribute(partition.NewBalanced(domain.NewRange1D(0, nv), p), partition.NewBlockedMapper(p, p))
+		after := m.Stats().RMIsSent.Load()
+		if after != before {
+			t.Errorf("identity repartition sent %d RMIs, want 0", after-before)
+		}
+		if got := g.NumVertices(); got != nv {
+			t.Errorf("vertices = %d, want %d", got, nv)
+		}
+		loc.Fence()
+	})
+}
+
+func TestGraphSkewRebalanceRoundTrip(t *testing.T) {
+	const nv = 64
+	run(4, func(loc *runtime.Location) {
+		p := loc.NumLocations()
+		g := New[int64, int64](loc, nv)
+		// Ring edges and per-vertex properties, striped over locations.
+		for vd := int64(loc.ID()); vd < nv; vd += int64(p) {
+			g.SetVertexProperty(vd, vd*5)
+			g.AddEdgeAsync(vd, (vd+1)%nv, vd*100)
+		}
+		loc.Fence()
+		skew, err := partition.NewExplicit(domain.NewRange1D(0, nv), []int64{nv - int64(p) + 1, 1, 1, 1})
+		if err != nil {
+			t.Fatalf("explicit partition: %v", err)
+		}
+		g.Redistribute(skew, partition.NewBlockedMapper(p, p))
+		if f := partition.CollectLoad(loc, g.LocalSize()).Imbalance(); f < 1.5 {
+			t.Errorf("skewed distribution expected, imbalance = %.3f", f)
+		}
+		loc.Fence()
+		g.RebalanceVertices()
+		if f := partition.CollectLoad(loc, g.LocalSize()).Imbalance(); f > 1.1 {
+			t.Errorf("imbalance after rebalance = %.3f, want <= 1.1", f)
+		}
+		if got := g.NumVertices(); got != nv {
+			t.Errorf("vertices = %d, want %d", got, nv)
+		}
+		// Vertices kept their properties and adjacency through both moves.
+		for vd := int64(0); vd < nv; vd++ {
+			if prop, ok := g.VertexProperty(vd); !ok || prop != vd*5 {
+				t.Errorf("vertex %d property = (%d,%v), want (%d,true)", vd, prop, ok, vd*5)
+				return
+			}
+			if ep, ok := g.FindEdge(vd, (vd+1)%nv); !ok || ep != vd*100 {
+				t.Errorf("edge %d->%d = (%d,%v), want (%d,true)", vd, (vd+1)%nv, ep, ok, vd*100)
+				return
+			}
+		}
+		// Element methods still route correctly after the repartition.
+		g.AddEdgeAsync(0, nv/2, -1)
+		loc.Fence()
+		if _, ok := g.FindEdge(0, nv/2); !ok {
+			t.Error("edge added after rebalance not found")
+		}
+		loc.Fence()
+	})
+}
+
+func TestGraphRedistributeRejectsDynamic(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		g := New[int, int](loc, 0) // defaults to DynamicEncoded
+		defer func() {
+			if recover() == nil {
+				t.Error("Redistribute on a dynamic graph should panic")
+			}
+		}()
+		g.Redistribute(partition.NewBalanced(domain.NewRange1D(0, 1), 1), partition.NewBlockedMapper(1, 1))
+	})
+}

@@ -1,0 +1,54 @@
+package pvector
+
+import (
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/partition"
+)
+
+// Redistribute reorganises the pVector's elements according to a new
+// partition of the positional index space [0, Size()) and a new mapper,
+// through the shared redistribution engine in package core.  The partition
+// must be contiguous (Balanced, Blocked or Explicit): pVector blocks store
+// consecutive positions, so a block-cyclic layout does not apply to its
+// index space.  Collective; the container must be quiescent (fence first
+// after structural mutations).
+func (v *Vector[T]) Redistribute(newPart partition.Indexed, newMapper partition.Mapper) {
+	requireContiguous(newPart)
+	core.RedistributeIndexed[T](&v.Container, newPart, newMapper,
+		func(b partition.BCID, dom domain.Range1D) *bcontainer.Vector[T] {
+			return bcontainer.NewVector[T](b, dom)
+		},
+		func(lm *core.LocationManager[*bcontainer.Vector[T]]) {
+			v.ReplaceLocationManager(lm)
+			v.table.reset(newPart.SubSizes())
+			v.mapper = newMapper
+			v.SetResolver(vectorResolver{table: v.table, mapper: newMapper})
+		})
+}
+
+// requireContiguous panics unless the partition's sub-domains are
+// consecutive index ranges covering the domain in BCID order — the layout a
+// pVector's positional block table can represent.  Block-cyclic partitions
+// report a covering range wider than their sub-domain sizes and are caught
+// here instead of corrupting index resolution later.
+func requireContiguous(p partition.Indexed) {
+	lo := p.Domain().Lo
+	for b, want := range p.SubSizes() {
+		d := p.SubDomain(partition.BCID(b))
+		if d.Lo != lo || d.Size() != want {
+			panic("pvector: Redistribute requires a contiguous partition (balanced, blocked or explicit)")
+		}
+		lo = d.Hi
+	}
+}
+
+// Rebalance redistributes the elements into a balanced partition with one
+// block per location, using the load-balance advisor's proposal.
+// Collective.
+func (v *Vector[T]) Rebalance() {
+	stats := partition.CollectLoad(v.Location(), v.LocalSize())
+	p, m := stats.ProposeBalanced(domain.NewRange1D(0, stats.Total))
+	v.Redistribute(p, m)
+}

@@ -1,0 +1,133 @@
+package pvector
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func TestVectorRedistributeEmpty(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		v := New[int](loc, 0)
+		v.Rebalance()
+		if got := v.GlobalSize(); got != 0 {
+			t.Errorf("global size = %d, want 0", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorRedistributeSingleLocation(t *testing.T) {
+	const n = 24
+	run(1, func(loc *runtime.Location) {
+		v := New[int](loc, n)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, int(i)+5)
+		}
+		loc.Fence()
+		part := partition.NewBlocked(domain.NewRange1D(0, n), 5)
+		v.Redistribute(part, partition.NewBlockedMapper(part.NumSubdomains(), 1))
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != int(i)+5 {
+				t.Errorf("element %d = %d, want %d", i, got, int(i)+5)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorRedistributeIdentityNoTraffic(t *testing.T) {
+	const n = 80
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		p := loc.NumLocations()
+		v := New[int64](loc, n)
+		v.LocalUpdate(func(gid, _ int64) int64 { return gid + 9 })
+		loc.Fence()
+		// The constructor's distribution is already one balanced block
+		// per location, so a balanced repartition moves nothing.
+		before := m.Stats().RMIsSent.Load()
+		v.Redistribute(partition.NewBalanced(domain.NewRange1D(0, n), p), partition.NewBlockedMapper(p, p))
+		after := m.Stats().RMIsSent.Load()
+		if after != before {
+			t.Errorf("identity repartition sent %d RMIs, want 0", after-before)
+		}
+		// Keep the verification reads out of the stats windows of the
+		// other locations.
+		loc.Barrier()
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i+9 {
+				t.Errorf("element %d = %d, want %d", i, got, i+9)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestVectorRedistributeRejectsBlockCyclic(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		v := New[int](loc, 16)
+		loc.Fence()
+		defer func() {
+			if recover() == nil {
+				t.Error("Redistribute with a block-cyclic partition should panic")
+			}
+		}()
+		v.Redistribute(partition.NewBlockCyclic(domain.NewRange1D(0, 16), 2, 4), partition.NewBlockedMapper(2, 1))
+	})
+}
+
+func TestVectorSkewRebalanceRoundTrip(t *testing.T) {
+	const n = 160
+	run(4, func(loc *runtime.Location) {
+		p := loc.NumLocations()
+		v := New[int64](loc, n)
+		v.LocalUpdate(func(gid, _ int64) int64 { return gid * 7 })
+		loc.Fence()
+		skew, err := partition.NewExplicit(domain.NewRange1D(0, n), []int64{n - int64(p) + 1, 1, 1, 1})
+		if err != nil {
+			t.Fatalf("explicit partition: %v", err)
+		}
+		v.Redistribute(skew, partition.NewBlockedMapper(p, p))
+		if f := partition.CollectLoad(loc, v.LocalSize()).Imbalance(); f < 1.5 {
+			t.Errorf("skewed distribution expected, imbalance = %.3f", f)
+		}
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i*7 {
+				t.Errorf("after skew: element %d = %d, want %d", i, got, i*7)
+				return
+			}
+		}
+		loc.Fence()
+		v.Rebalance()
+		if f := partition.CollectLoad(loc, v.LocalSize()).Imbalance(); f > 1.1 {
+			t.Errorf("imbalance after rebalance = %.3f, want <= 1.1", f)
+		}
+		if got := v.Size(); got != n {
+			t.Errorf("size = %d, want %d", got, n)
+		}
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i*7 {
+				t.Errorf("after rebalance: element %d = %d, want %d", i, got, i*7)
+				return
+			}
+		}
+		// Structural mutations still work against the new metadata.
+		loc.Barrier()
+		if loc.ID() == 0 {
+			v.PushBack(int64(n) * 7)
+		}
+		loc.Fence()
+		if got := v.Size(); got != n+1 {
+			t.Errorf("size after push_back = %d, want %d", got, n+1)
+		}
+		if got := v.Get(n); got != int64(n)*7 {
+			t.Errorf("pushed element = %d, want %d", got, int64(n)*7)
+		}
+		loc.Fence()
+	})
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync"
+	"unsafe"
+
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// This file implements the shared redistribution subsystem (Chapter V,
+// Section G): the collective protocol that reorganises a pContainer's
+// elements according to a new partition and partition mapper.  The protocol
+// is the same for every container family — allocate staging storage for the
+// new distribution, ship every element to its new owner as an ordinary RMI
+// on the simulated interconnect, swap the staged storage in — so the engine
+// lives here and the containers only supply the family-specific pieces
+// through a MigrationSpec.
+//
+// The protocol has three phases, separated by collective synchronisation:
+//
+//  1. Every location allocates the base containers the new distribution
+//     assigns to it and registers a migration target with the RTS
+//     (registration is collective and SPMD-ordered, so all locations obtain
+//     the same handle).
+//  2. Every location routes each of its elements to the element's new
+//     owner: elements that stay local are placed directly (no message),
+//     elements that change owner travel as asynchronous RMIs, exactly like
+//     the marshalled bContainer fragments the paper ships.  A fence drains
+//     the traffic.
+//  3. Every location installs the staged storage and new address metadata,
+//     then retires the migration target.
+
+// MigrationSpec describes one container family's redistribution: how to
+// allocate staging storage, enumerate the elements currently stored locally,
+// route an element to its new sub-domain and owner location, place a
+// received element into staging, and install the completed storage.
+// E is the element record shipped between locations, B the base-container
+// type managed by the family's location manager.
+type MigrationSpec[E any, B BContainer] struct {
+	// NewLocal lists the sub-domains the new distribution maps to this
+	// location (typically newMapper.LocalBCIDs(self)).
+	NewLocal []partition.BCID
+	// Alloc allocates the empty staging base container for one sub-domain.
+	Alloc func(b partition.BCID) B
+	// Enumerate calls emit for every element currently stored on this
+	// location.
+	Enumerate func(emit func(e E))
+	// Route returns the sub-domain and owner location of e under the new
+	// distribution.
+	Route func(e E) (partition.BCID, int)
+	// Place stores a received element into the staging base container of
+	// its new sub-domain.  The engine serialises Place calls per location.
+	Place func(bc B, e E)
+	// Bytes returns the simulated marshalled size of e, accounted against
+	// the machine statistics when e changes location.  A nil Bytes counts
+	// a flat 8 bytes per element.
+	Bytes func(e E) int
+	// Install swaps the staged storage into the container; the containers
+	// also replace their resolver and distribution metadata here.  It runs
+	// after all elements have arrived and before any location resumes.
+	Install func(lm *LocationManager[B])
+}
+
+// migrator is the handle-addressable object that receives migrated elements
+// during one redistribution; element transfers address it through ordinary
+// RMIs.
+type migrator[E any, B BContainer] struct {
+	mu      sync.Mutex
+	staging map[partition.BCID]B
+	place   func(bc B, e E)
+}
+
+func (m *migrator[E, B]) recv(b partition.BCID, e E) {
+	m.mu.Lock()
+	m.place(m.staging[b], e)
+	m.mu.Unlock()
+}
+
+// RunMigration executes the collective redistribution protocol described by
+// spec.  Every location must call it with an equivalent spec (the usual SPMD
+// discipline); the container must be quiescent (no element methods in
+// flight — callers typically fence first).
+func RunMigration[E any, B BContainer](loc *runtime.Location, spec MigrationSpec[E, B]) {
+	self := loc.ID()
+
+	// Phase 1: staging storage and collective registration.
+	staging := make(map[partition.BCID]B, len(spec.NewLocal))
+	for _, b := range spec.NewLocal {
+		staging[b] = spec.Alloc(b)
+	}
+	m := &migrator[E, B]{staging: staging, place: spec.Place}
+	h := loc.RegisterObject(m)
+	loc.Barrier()
+
+	// Phase 2: route every locally stored element to its new owner.
+	spec.Enumerate(func(e E) {
+		b, owner := spec.Route(e)
+		if owner == self {
+			m.recv(b, e)
+			return
+		}
+		bytes := 8
+		if spec.Bytes != nil {
+			bytes = spec.Bytes(e)
+		}
+		loc.AsyncRMISized(owner, h, bytes, func(obj any, _ *runtime.Location) {
+			obj.(*migrator[E, B]).recv(b, e)
+		})
+	})
+	loc.Fence()
+
+	// Phase 3: install the staged storage, retire the migration target.
+	lm := NewLocationManager[B]()
+	for _, b := range spec.NewLocal {
+		lm.Add(staging[b])
+	}
+	spec.Install(lm)
+	loc.UnregisterObject(h)
+	loc.Barrier()
+}
+
+// IndexedElem is the element record shipped by indexed-container
+// redistributions: a GID and its value.
+type IndexedElem[T any] struct {
+	GID int64
+	Val T
+}
+
+// IndexedStore is the base-container surface an indexed redistribution
+// needs: per-GID stores into the staging storage and enumeration of the
+// current elements.  *bcontainer.Array[T] and *bcontainer.Vector[T] satisfy
+// it.
+type IndexedStore[T any] interface {
+	BContainer
+	Set(gid int64, val T)
+	Range(fn func(gid int64, val T) bool)
+}
+
+// ElemBytes returns the simulated marshalled size of one indexed element of
+// type T: the 8-byte GID plus the in-memory size of the value.
+func ElemBytes[T any]() int {
+	var t T
+	return 8 + int(unsafe.Sizeof(t))
+}
+
+// RedistributeIndexed migrates the elements of a one-dimensional indexed
+// container (pArray, pVector) into freshly allocated storage for (newPart,
+// newMapper) and hands the completed location manager to install, which
+// must also swap in the container's new resolver and metadata.  Collective.
+func RedistributeIndexed[T any, B IndexedStore[T]](
+	c *Container[int64, B],
+	newPart partition.Indexed,
+	newMapper partition.Mapper,
+	alloc func(b partition.BCID, dom domain.Range1D) B,
+	install func(lm *LocationManager[B]),
+) {
+	loc := c.Location()
+	elemBytes := ElemBytes[T]()
+	RunMigration(loc, MigrationSpec[IndexedElem[T], B]{
+		NewLocal: newMapper.LocalBCIDs(loc.ID()),
+		Alloc:    func(b partition.BCID) B { return alloc(b, newPart.SubDomain(b)) },
+		Enumerate: func(emit func(IndexedElem[T])) {
+			c.ForEachLocalBC(Read, func(bc B) {
+				bc.Range(func(gid int64, val T) bool {
+					emit(IndexedElem[T]{GID: gid, Val: val})
+					return true
+				})
+			})
+		},
+		Route: func(e IndexedElem[T]) (partition.BCID, int) {
+			info := newPart.Find(e.GID)
+			return info.BCID, newMapper.Map(info.BCID)
+		},
+		Place:   func(bc B, e IndexedElem[T]) { bc.Set(e.GID, e.Val) },
+		Bytes:   func(IndexedElem[T]) int { return elemBytes },
+		Install: install,
+	})
+}

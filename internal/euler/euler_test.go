@@ -13,11 +13,11 @@ func run(p int, fn func(loc *runtime.Location)) {
 
 // buildSmallTree constructs, on every location, the same small rooted tree:
 //
-//	        0
-//	      /   \
-//	     1     2
-//	    / \     \
-//	   3   4     5
+//	     0
+//	   /   \
+//	  1     2
+//	 / \     \
+//	3   4     5
 //
 // with vertex descriptors as shown (all owned by location 0 when P == 1, or
 // spread when descriptors encode other homes — here all plain small ints so

@@ -1,0 +1,118 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/domain"
+	"repro/internal/runtime"
+)
+
+// This file implements the load-balance advisor of the redistribution
+// subsystem (Chapter V, Section G): collect per-location element counts
+// with an RTS collective, quantify how skewed the current distribution is,
+// and propose a distribution that containers can feed straight into their
+// Redistribute methods.
+
+// LoadStats records the per-location element counts the advisor collected.
+type LoadStats struct {
+	// Counts holds one element count per location, indexed by location id.
+	Counts []int64
+	// Total is the sum of Counts.
+	Total int64
+}
+
+// CollectLoad gathers every location's local element count (typically the
+// container's LocalSize) and returns the machine-wide load statistics on
+// every location.  Collective.
+func CollectLoad(loc *runtime.Location, local int64) LoadStats {
+	counts := runtime.AllGatherT(loc, local)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return LoadStats{Counts: counts, Total: total}
+}
+
+// Imbalance returns the imbalance factor of the distribution: the largest
+// per-location count divided by the mean count.  A perfectly balanced
+// distribution has factor 1; a distribution with everything on one of P
+// locations has factor P.  Empty distributions report 1.
+func (s LoadStats) Imbalance() float64 {
+	if len(s.Counts) == 0 || s.Total == 0 {
+		return 1
+	}
+	var max int64
+	for _, c := range s.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(s.Total) / float64(len(s.Counts))
+	return float64(max) / mean
+}
+
+// ShouldRebalance reports whether the imbalance factor exceeds threshold
+// (e.g. 1.1 to tolerate 10% skew before paying for a migration).
+func (s LoadStats) ShouldRebalance(threshold float64) bool {
+	return s.Imbalance() > threshold
+}
+
+// ProposeBalanced proposes the distribution that eliminates the measured
+// imbalance for an indexed container over dom: a balanced partition with one
+// sub-domain per location and the identity (blocked) mapper.  The result can
+// be passed directly to the container's Redistribute.
+func (s LoadStats) ProposeBalanced(dom domain.Range1D) (*Balanced, *BlockedMapper) {
+	n := len(s.Counts)
+	p := NewBalanced(dom, n)
+	return p, NewBlockedMapper(p.NumSubdomains(), n)
+}
+
+// CollectSubSizes combines per-sub-domain element counts across all
+// locations: each location passes a slice indexed by BCID holding the sizes
+// of the sub-domains it stores (zero elsewhere); every location receives the
+// complete table.  Collective.
+func CollectSubSizes(loc *runtime.Location, local []int64) []int64 {
+	return runtime.AllReduceT(loc, local, func(a, b []int64) []int64 {
+		out := make([]int64, len(a))
+		for i := range a {
+			out[i] = a[i] + b[i]
+		}
+		return out
+	})
+}
+
+// ProposeMapping assigns sub-domains to locations so that the per-location
+// element loads even out, using the greedy longest-processing-time
+// heuristic: sub-domains are placed in decreasing size order, each onto the
+// currently least-loaded location.  Ties break towards the location with the
+// fewest sub-domains so that equal-sized (in particular empty) sub-domains
+// spread round-robin instead of piling onto location 0.  Containers whose
+// sub-domain set is fixed (e.g. a pHashMap's hash buckets) use it to
+// rebalance by remapping instead of repartitioning.
+func ProposeMapping(subSizes []int64, numLoc int) *ArbitraryMapper {
+	if numLoc <= 0 {
+		numLoc = 1
+	}
+	order := make([]int, len(subSizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return subSizes[order[a]] > subSizes[order[b]]
+	})
+	load := make([]int64, numLoc)
+	count := make([]int, numLoc)
+	locs := make([]int, len(subSizes))
+	for _, b := range order {
+		best := 0
+		for l := 1; l < numLoc; l++ {
+			if load[l] < load[best] || (load[l] == load[best] && count[l] < count[best]) {
+				best = l
+			}
+		}
+		locs[b] = best
+		load[best] += subSizes[b]
+		count[best]++
+	}
+	return NewArbitraryMapper(locs, numLoc)
+}

@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/runtime"
+)
+
+func TestLoadStatsImbalance(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts []int64
+		want   float64
+	}{
+		{"balanced", []int64{10, 10, 10, 10}, 1},
+		{"all-on-one", []int64{40, 0, 0, 0}, 4},
+		{"mild", []int64{15, 10, 10, 5}, 1.5},
+		{"empty", []int64{0, 0}, 1},
+		{"no-locations", nil, 1},
+	}
+	for _, c := range cases {
+		var total int64
+		for _, v := range c.counts {
+			total += v
+		}
+		s := LoadStats{Counts: c.counts, Total: total}
+		if got := s.Imbalance(); got != c.want {
+			t.Errorf("%s: imbalance = %v, want %v", c.name, got, c.want)
+		}
+	}
+	s := LoadStats{Counts: []int64{15, 10, 10, 5}, Total: 40}
+	if !s.ShouldRebalance(1.1) {
+		t.Error("1.5x imbalance should exceed a 1.1 threshold")
+	}
+	if s.ShouldRebalance(2.0) {
+		t.Error("1.5x imbalance should not exceed a 2.0 threshold")
+	}
+}
+
+func TestCollectLoadIsCollective(t *testing.T) {
+	runtime.ExecuteOn(4, func(loc *runtime.Location) {
+		local := int64((loc.ID() + 1) * 10)
+		s := CollectLoad(loc, local)
+		if s.Total != 100 {
+			t.Errorf("total = %d, want 100", s.Total)
+		}
+		for i, c := range s.Counts {
+			if c != int64((i+1)*10) {
+				t.Errorf("count[%d] = %d, want %d", i, c, (i+1)*10)
+			}
+		}
+	})
+}
+
+func TestProposeBalanced(t *testing.T) {
+	s := LoadStats{Counts: []int64{90, 5, 3, 2}, Total: 100}
+	p, m := s.ProposeBalanced(domain.NewRange1D(0, 100))
+	if p.NumSubdomains() != 4 || m.NumBContainers() != 4 {
+		t.Fatalf("want 4 sub-domains mapped 1:1, got %d/%d", p.NumSubdomains(), m.NumBContainers())
+	}
+	for b := 0; b < 4; b++ {
+		if p.SubDomain(BCID(b)).Size() != 25 {
+			t.Errorf("sub-domain %d size = %d, want 25", b, p.SubDomain(BCID(b)).Size())
+		}
+		if m.Map(BCID(b)) != b {
+			t.Errorf("sub-domain %d mapped to %d, want %d", b, m.Map(BCID(b)), b)
+		}
+	}
+}
+
+func TestProposeMappingEvensLoads(t *testing.T) {
+	sizes := []int64{50, 30, 20, 10, 10, 10, 5, 5}
+	m := ProposeMapping(sizes, 4)
+	load := make([]int64, 4)
+	for b, s := range sizes {
+		load[m.Map(BCID(b))] += s
+	}
+	var min, max int64 = load[0], load[0]
+	for _, l := range load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// 140 elements over 4 locations: the LPT heuristic lands every
+	// location within one largest-remaining item of the mean.
+	if max > 50 || min < 30 {
+		t.Errorf("LPT loads = %v, want them near 35 each", load)
+	}
+	// Every sub-domain is assigned to a legal location.
+	for b := range sizes {
+		if l := m.Map(BCID(b)); l < 0 || l >= 4 {
+			t.Errorf("sub-domain %d mapped to illegal location %d", b, l)
+		}
+	}
+}
+
+func TestProposeMappingSpreadsEmptyBuckets(t *testing.T) {
+	// All-equal (here: all-empty) sub-domains must spread round-robin, not
+	// pile onto location 0 — rebalancing an empty container would otherwise
+	// skew every future insert.
+	m := ProposeMapping(make([]int64, 8), 4)
+	perLoc := make([]int, 4)
+	for b := 0; b < 8; b++ {
+		perLoc[m.Map(BCID(b))]++
+	}
+	for l, n := range perLoc {
+		if n != 2 {
+			t.Errorf("location %d got %d empty buckets, want 2 (spread %v)", l, n, perLoc)
+		}
+	}
+}
+
+func TestCollectSubSizes(t *testing.T) {
+	runtime.ExecuteOn(4, func(loc *runtime.Location) {
+		// Each location owns buckets [2*id, 2*id+1] with known sizes.
+		local := make([]int64, 8)
+		local[2*loc.ID()] = int64(loc.ID() + 1)
+		local[2*loc.ID()+1] = int64(10 * (loc.ID() + 1))
+		sizes := CollectSubSizes(loc, local)
+		for i := 0; i < 4; i++ {
+			if sizes[2*i] != int64(i+1) || sizes[2*i+1] != int64(10*(i+1)) {
+				t.Errorf("bucket sizes for location %d = (%d,%d), want (%d,%d)",
+					i, sizes[2*i], sizes[2*i+1], i+1, 10*(i+1))
+			}
+		}
+	})
+}

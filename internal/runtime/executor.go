@@ -35,7 +35,7 @@ type Executor struct {
 	mu      sync.Mutex
 	tasks   map[TaskID]*Task
 	ready   []TaskID
-	pending int             // local tasks not yet completed
+	pending int            // local tasks not yet completed
 	succLoc map[TaskID]int // owning location of successor tasks referenced locally
 }
 

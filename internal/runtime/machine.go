@@ -73,13 +73,13 @@ type Machine struct {
 // Stats aggregates machine-wide communication statistics.  All fields are
 // updated atomically and may be read while the machine is running.
 type Stats struct {
-	RMIsSent      atomic.Int64 // individual RMI requests issued
-	MessagesSent  atomic.Int64 // physical messages (batches) delivered
-	RMIsHandled   atomic.Int64 // handlers executed
-	SyncRMIs      atomic.Int64
-	AsyncRMIs     atomic.Int64
-	SplitRMIs     atomic.Int64
-	Fences        atomic.Int64
+	RMIsSent       atomic.Int64 // individual RMI requests issued
+	MessagesSent   atomic.Int64 // physical messages (batches) delivered
+	RMIsHandled    atomic.Int64 // handlers executed
+	SyncRMIs       atomic.Int64
+	AsyncRMIs      atomic.Int64
+	SplitRMIs      atomic.Int64
+	Fences         atomic.Int64
 	BytesSimulated atomic.Int64
 }
 
