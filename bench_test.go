@@ -97,6 +97,11 @@ func BenchmarkFig60AssociativeAlgos(b *testing.B) { benchExperiment(b, "fig60") 
 // row-minimum comparison.
 func BenchmarkFig62Composition(b *testing.B) { benchExperiment(b, "fig62") }
 
+// Bulk element operations: SetBulk/GetBulk grouped per destination vs the
+// per-element path amortised only by RMI aggregation.  Reports time,
+// message and byte deltas per mode.
+func BenchmarkBulkVsElementwise(b *testing.B) { benchExperiment(b, "bulk") }
+
 // Redistribution subsystem: skew a distribution, rebalance with the
 // load-balance advisor, measure imbalance and migration traffic.
 func BenchmarkRedistributeRebalance(b *testing.B) { benchExperiment(b, "redist") }

@@ -98,5 +98,5 @@ func main() {
 
 	fmt.Printf("%s  (locations=%d, %.2fs)\n", report, *locations, time.Since(start).Seconds())
 	s := m.Stats()
-	fmt.Printf("rmi: handled=%d messages=%d fences=%d\n", s.RMIsHandled.Load(), s.MessagesSent.Load(), s.Fences.Load())
+	fmt.Printf("rmi: handled=%d messages=%d fences=%d\n", s.RMIsHandled, s.MessagesSent, s.Fences)
 }

@@ -94,5 +94,5 @@ func main() {
 	}
 	stats := m.Stats()
 	fmt.Printf("rmi: async=%d sync=%d messages=%d fences=%d\n",
-		stats.AsyncRMIs.Load(), stats.SyncRMIs.Load(), stats.MessagesSent.Load(), stats.Fences.Load())
+		stats.AsyncRMIs, stats.SyncRMIs, stats.MessagesSent, stats.Fences)
 }

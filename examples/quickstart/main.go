@@ -65,5 +65,5 @@ func main() {
 
 	stats := machine.Stats()
 	fmt.Printf("rmi traffic: %d async, %d sync, %d messages, %d fences\n",
-		stats.AsyncRMIs.Load(), stats.SyncRMIs.Load(), stats.MessagesSent.Load(), stats.Fences.Load())
+		stats.AsyncRMIs, stats.SyncRMIs, stats.MessagesSent, stats.Fences)
 }

@@ -327,7 +327,7 @@ func AblationAggregation(cfg Config) []Row {
 			}
 			loc.Fence()
 		})
-		msgs = m.Stats().MessagesSent.Load()
+		msgs = m.Stats().MessagesSent
 		param := fmt.Sprintf("P=%d aggregation=%d", p, agg)
 		rows = append(rows,
 			Row{Experiment: "ablation-aggregation", Series: "remote async writes", Param: param, Value: elapsed, Unit: "ms"},

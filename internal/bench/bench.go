@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"fig59", "MapReduce word count on a Zipf corpus", Fig59MapReduceWordCount},
 		{"fig60", "generic algorithms on associative pContainers", Fig60AssociativeAlgos},
 		{"fig62", "composition: pArray<pArray>, pList<pArray>, pMatrix row-min", Fig62Composition},
+		{"bulk", "bulk element operations vs per-element RMIs", BulkVsElementwise},
 		{"redist", "redistribution and load balancing: skew, rebalance, traffic", RedistributeRebalance},
 		{"ablation-aggregation", "RMI aggregation on/off (design-choice ablation)", AblationAggregation},
 		{"ablation-locking", "thread-safety manager policies (design-choice ablation)", AblationLocking},

@@ -53,7 +53,7 @@ func TestFindAndDescriptions(t *testing.T) {
 		if e.Description == "" || e.Run == nil {
 			t.Errorf("experiment %s incompletely registered", e.ID)
 		}
-		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") && e.ID != "redist" {
+		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") && e.ID != "redist" && e.ID != "bulk" {
 			t.Errorf("unexpected experiment id %s", e.ID)
 		}
 	}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/containers/parray"
+	"repro/internal/runtime"
+)
+
+// BulkVsElementwise compares per-element element methods against the bulk
+// element methods on the remote-heavy access pattern of Fig. 30 (every
+// location touches the next location's block).  The per-element path pays
+// one request descriptor per element and relies on the RTS aggregation
+// buffer (Aggregation: 16 by default) to amortise messages; the bulk path
+// resolves and groups a whole batch once and ships one sized RMI per
+// destination.  For each machine size the experiment reports elapsed time,
+// throughput, and the RMI / message / simulated-byte deltas of both modes.
+func BulkVsElementwise(cfg Config) []Row {
+	var rows []Row
+	const chunk = 1024 // bulk batch size per SetBulk/GetBulk call
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue // the comparison needs remote traffic
+		}
+		n := cfg.ElementsPerLocation * int64(p)
+		ops := cfg.ElementsPerLocation
+
+		type modeResult struct {
+			setMS, getMS float64
+			stats        runtime.Stats
+		}
+		run := func(bulk bool) modeResult {
+			var res modeResult
+			var mu sync.Mutex
+			m := machine(p)
+			m.Execute(func(loc *runtime.Location) {
+				a := parray.New[int64](loc, n)
+				next := (loc.ID() + 1) % loc.NumLocations()
+				base := int64(next) * (n / int64(loc.NumLocations()))
+				idxs := make([]int64, 0, chunk)
+				setD := timeSection(loc, func() {
+					if bulk {
+						for lo := int64(0); lo < ops; lo += chunk {
+							hi := lo + chunk
+							if hi > ops {
+								hi = ops
+							}
+							// Fresh slices: asynchronous bulk writes
+							// retain their arguments until the fence.
+							bi := make([]int64, 0, hi-lo)
+							bv := make([]int64, 0, hi-lo)
+							for k := lo; k < hi; k++ {
+								bi = append(bi, base+k%cfg.ElementsPerLocation)
+								bv = append(bv, k)
+							}
+							a.SetBulk(bi, bv)
+						}
+					} else {
+						for k := int64(0); k < ops; k++ {
+							a.Set(base+k%cfg.ElementsPerLocation, k)
+						}
+					}
+					loc.Fence()
+				})
+				getD := timeSection(loc, func() {
+					var sink int64
+					if bulk {
+						for lo := int64(0); lo < ops; lo += chunk {
+							hi := lo + chunk
+							if hi > ops {
+								hi = ops
+							}
+							idxs = idxs[:0]
+							for k := lo; k < hi; k++ {
+								idxs = append(idxs, base+k%cfg.ElementsPerLocation)
+							}
+							for _, v := range a.GetBulk(idxs) {
+								sink += v
+							}
+						}
+					} else {
+						for k := int64(0); k < ops; k++ {
+							sink += a.Get(base + k%cfg.ElementsPerLocation)
+						}
+					}
+					_ = sink
+					loc.Fence()
+				})
+				if loc.ID() == 0 {
+					mu.Lock()
+					res.setMS = ms(setD)
+					res.getMS = ms(getD)
+					mu.Unlock()
+				}
+				loc.Fence()
+			})
+			res.stats = m.Stats()
+			return res
+		}
+
+		elem := run(false)
+		bulk := run(true)
+		param := fmt.Sprintf("P=%d ops/loc=%d", p, ops)
+		add := func(series string, value float64, unit string) {
+			rows = append(rows, Row{Experiment: "bulk", Series: series, Param: param, Value: value, Unit: unit})
+		}
+		add("set_element (elementwise)", elem.setMS, "ms")
+		add("set_bulk", bulk.setMS, "ms")
+		add("get_element (sync)", elem.getMS, "ms")
+		add("get_bulk", bulk.getMS, "ms")
+		add("messages (elementwise)", float64(elem.stats.MessagesSent), "msgs")
+		add("messages (bulk)", float64(bulk.stats.MessagesSent), "msgs")
+		add("rmis (elementwise)", float64(elem.stats.RMIsSent), "rmis")
+		add("rmis (bulk)", float64(bulk.stats.RMIsSent), "rmis")
+		add("bytes (elementwise)", float64(elem.stats.BytesSimulated), "bytes")
+		add("bytes (bulk)", float64(bulk.stats.BytesSimulated), "bytes")
+		if bulk.stats.MessagesSent > 0 {
+			add("message reduction", float64(elem.stats.MessagesSent)/float64(bulk.stats.MessagesSent), "x")
+		}
+		if bulk.setMS > 0 && bulk.getMS > 0 {
+			add("set speedup", elem.setMS/bulk.setMS, "x")
+			add("get speedup", elem.getMS/bulk.getMS, "x")
+		}
+	}
+	return rows
+}

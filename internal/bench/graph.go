@@ -151,7 +151,7 @@ func Fig52GraphPartitions(cfg Config) []Row {
 			}
 			loc.Fence()
 			if loc.ID() == 0 {
-				handledBefore = loc.Machine().Stats().RMIsHandled.Load()
+				handledBefore = loc.Machine().Stats().RMIsHandled
 			}
 			d := timeSection(loc, func() {
 				r := loc.Rand()
@@ -171,7 +171,7 @@ func Fig52GraphPartitions(cfg Config) []Row {
 		// RMIs, the deterministic signal behind the paper's timing gap.
 		rows = append(rows, Row{Experiment: "fig52",
 			Series: "remote RMIs handled (" + strat.String() + ")", Param: param,
-			Value: float64(m.Stats().RMIsHandled.Load() - handledBefore), Unit: "rmis"})
+			Value: float64(m.Stats().RMIsHandled - handledBefore), Unit: "rmis"})
 	}
 	return rows
 }

@@ -72,8 +72,8 @@ func redistScenario(p int, body func(loc *runtime.Location, snapshot func()) (be
 	m.Execute(func(loc *runtime.Location) {
 		b, a := body(loc, func() {
 			if loc.ID() == 0 {
-				preRMIs = m.Stats().RMIsSent.Load()
-				preBytes = m.Stats().BytesSimulated.Load()
+				preRMIs = m.Stats().RMIsSent
+				preBytes = m.Stats().BytesSimulated
 			}
 			loc.Barrier()
 		})
@@ -81,8 +81,8 @@ func redistScenario(p int, body func(loc *runtime.Location, snapshot func()) (be
 			before, after = b, a
 		}
 	})
-	rmis = m.Stats().RMIsSent.Load() - preRMIs
-	bytes = m.Stats().BytesSimulated.Load() - preBytes
+	rmis = m.Stats().RMIsSent - preRMIs
+	bytes = m.Stats().BytesSimulated - preBytes
 	return before, after, rmis, bytes
 }
 

@@ -1,0 +1,148 @@
+package parray
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// TestBulkEquivalence is the property test for the bulk element methods:
+// SetBulk followed by a fence must leave the container in exactly the state
+// the elementwise Set loop produces, for mixed local/remote, empty and
+// all-local batches; GetBulk must agree with the Get loop.
+func TestBulkEquivalence(t *testing.T) {
+	const n = int64(4 * 64)
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		bulk := New[int64](loc, n)
+		elem := New[int64](loc, n)
+
+		// Mixed batch: every location writes a strided set of indices
+		// spanning every other location's blocks.
+		var idxs []int64
+		var vals []int64
+		for i := int64(loc.ID()); i < n; i += int64(loc.NumLocations()) {
+			idxs = append(idxs, i)
+			vals = append(vals, 1000*int64(loc.ID())+i)
+		}
+		bulk.SetBulk(idxs, vals)
+		for k := range idxs {
+			elem.Set(idxs[k], vals[k])
+		}
+		loc.Fence()
+		for i := int64(0); i < n; i++ {
+			if got, want := bulk.Get(i), elem.Get(i); got != want {
+				t.Errorf("index %d: bulk=%d elementwise=%d", i, got, want)
+			}
+		}
+		loc.Fence()
+
+		// GetBulk agrees with the Get loop (indices deliberately unsorted
+		// and with duplicates).
+		probe := []int64{n - 1, 0, 3, 3, n / 2}
+		got := bulk.GetBulk(probe)
+		for k, i := range probe {
+			if want := bulk.Get(i); got[k] != want {
+				t.Errorf("GetBulk[%d] (index %d) = %d, want %d", k, i, got[k], want)
+			}
+		}
+
+		// Empty batch: a no-op.
+		bulk.SetBulk(nil, nil)
+		if out := bulk.GetBulk(nil); len(out) != 0 {
+			t.Errorf("GetBulk(nil) returned %d values", len(out))
+		}
+		loc.Fence()
+
+		// ApplyBulk equals the ApplySet loop.
+		bulk.ApplyBulk(idxs, func(x int64) int64 { return x + 1 })
+		for _, i := range idxs {
+			elem.ApplySet(i, func(x int64) int64 { return x + 1 })
+		}
+		loc.Fence()
+		for i := int64(0); i < n; i++ {
+			if got, want := bulk.Get(i), elem.Get(i); got != want {
+				t.Errorf("after apply, index %d: bulk=%d elementwise=%d", i, got, want)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+// TestBulkAllLocalSendsNoMessages pins the local fast path: a batch that
+// resolves entirely to the calling location must not touch the interconnect.
+func TestBulkAllLocalSendsNoMessages(t *testing.T) {
+	const n = int64(4 * 32)
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	var before, after runtime.Stats
+	m.Execute(func(loc *runtime.Location) {
+		a := New[int64](loc, n)
+		doms := a.LocalSubdomains()
+		loc.Fence()
+		if loc.ID() == 0 {
+			before = m.Stats()
+		}
+		loc.Barrier()
+		var idxs, vals []int64
+		for _, d := range doms {
+			for i := d.Lo; i < d.Hi; i++ {
+				idxs = append(idxs, i)
+				vals = append(vals, i*2)
+			}
+		}
+		a.SetBulk(idxs, vals)
+		if got := a.GetBulk(idxs); len(got) > 0 && got[0] != idxs[0]*2 {
+			t.Errorf("local bulk read back %d, want %d", got[0], idxs[0]*2)
+		}
+		loc.Barrier()
+		if loc.ID() == 0 {
+			after = m.Stats()
+		}
+		loc.Fence()
+	})
+	if d := after.MessagesSent - before.MessagesSent; d != 0 {
+		t.Errorf("all-local bulk batch sent %d messages, want 0", d)
+	}
+	if d := after.BytesSimulated - before.BytesSimulated; d != 0 {
+		t.Errorf("all-local bulk batch accounted %d bytes, want 0", d)
+	}
+}
+
+// TestBulkMessageReduction pins the acceptance target of the bulk overhaul:
+// for the same remote element traffic, the bulk path must send at least 10x
+// fewer physical messages than the per-element path at the default
+// aggregation factor.
+func TestBulkMessageReduction(t *testing.T) {
+	const perLoc = int64(2000)
+	run := func(bulk bool) runtime.Stats {
+		p := 4
+		n := perLoc * int64(p)
+		m := runtime.NewMachine(p, runtime.DefaultConfig())
+		m.Execute(func(loc *runtime.Location) {
+			a := New[int64](loc, n)
+			next := (loc.ID() + 1) % loc.NumLocations()
+			base := int64(next) * perLoc
+			if bulk {
+				idxs := make([]int64, 0, perLoc)
+				vals := make([]int64, 0, perLoc)
+				for k := int64(0); k < perLoc; k++ {
+					idxs = append(idxs, base+k)
+					vals = append(vals, k)
+				}
+				a.SetBulk(idxs, vals)
+			} else {
+				for k := int64(0); k < perLoc; k++ {
+					a.Set(base+k, k)
+				}
+			}
+			loc.Fence()
+		})
+		return m.Stats()
+	}
+	elem := run(false)
+	bulk := run(true)
+	if bulk.MessagesSent*10 > elem.MessagesSent {
+		t.Errorf("bulk sent %d messages vs %d elementwise; want >= 10x reduction",
+			bulk.MessagesSent, elem.MessagesSent)
+	}
+}

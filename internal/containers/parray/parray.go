@@ -102,7 +102,7 @@ func (a *Array[T]) Mapper() partition.Mapper { return a.mapper }
 // by the next Fence, or by a later Get/GetSplit of the same index from this
 // location (the container's relaxed memory-consistency model).
 func (a *Array[T]) Set(i int64, val T) {
-	a.Invoke(i, core.Write, func(_ *runtime.Location, bc *bcontainer.Array[T]) { bc.Set(i, val) })
+	a.InvokeSized(i, core.Write, runtime.PayloadBytes(val), func(_ *runtime.Location, bc *bcontainer.Array[T]) { bc.Set(i, val) })
 }
 
 // Get returns the element at index i (synchronous).
@@ -129,6 +129,49 @@ func (a *Array[T]) ApplySet(i int64, fn func(T) T) {
 func (a *Array[T]) ApplyGet(i int64, fn func(T) any) any {
 	return a.InvokeRet(i, core.Read, func(_ *runtime.Location, bc *bcontainer.Array[T]) any {
 		return bc.ApplyGet(i, fn)
+	})
+}
+
+// SetBulk stores vals[k] at index idxs[k] for every k, asynchronously (like
+// Set, completion is guaranteed by the next Fence).  The whole batch is
+// resolved once, grouped by owning location and shipped as one sized RMI per
+// destination, so a remote-heavy batch costs O(destinations) messages
+// instead of O(len(idxs)) request descriptors.
+//
+// SetBulk retains both slices until the operations execute: callers hand
+// over ownership and must not mutate them before the next Fence (unlike Set,
+// which captures its value).
+func (a *Array[T]) SetBulk(idxs []int64, vals []T) {
+	if len(idxs) != len(vals) {
+		panic("parray: SetBulk index/value length mismatch")
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	bytesPerOp := 8 + runtime.PayloadBytes(vals[0]) // index + value
+	a.InvokeBulk(idxs, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.Array[T], k int) {
+		bc.Set(idxs[k], vals[k])
+	})
+}
+
+// GetBulk returns the elements at the given indices, in order (synchronous).
+// One request and one response message per owning location, regardless of
+// batch size.
+func (a *Array[T]) GetBulk(idxs []int64) []T {
+	out := make([]T, len(idxs))
+	a.InvokeBulkSync(idxs, core.Read, 8, func(_ *runtime.Location, bc *bcontainer.Array[T], k int) {
+		out[k] = bc.Get(idxs[k])
+	})
+	return out
+}
+
+// ApplyBulk applies fn to every element named by idxs in place,
+// asynchronously (the bulk counterpart of ApplySet).  The index slice is
+// retained until the operations execute; do not mutate it before the next
+// Fence.
+func (a *Array[T]) ApplyBulk(idxs []int64, fn func(T) T) {
+	a.InvokeBulk(idxs, core.Write, 8, func(_ *runtime.Location, bc *bcontainer.Array[T], k int) {
+		bc.Apply(idxs[k], fn)
 	})
 }
 

@@ -53,9 +53,9 @@ func TestArrayRedistributeIdentityNoTraffic(t *testing.T) {
 		loc.Fence()
 		// An identity repartition keeps every element on its location:
 		// the migration must not touch the interconnect at all.
-		before := m.Stats().RMIsSent.Load()
+		before := m.Stats().RMIsSent
 		pa.Redistribute(pa.Partition(), pa.Mapper())
-		after := m.Stats().RMIsSent.Load()
+		after := m.Stats().RMIsSent
 		if after != before {
 			t.Errorf("identity repartition sent %d RMIs, want 0", after-before)
 		}

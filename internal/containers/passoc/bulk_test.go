@@ -1,0 +1,68 @@
+package passoc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// TestHashMapBulkEquivalence: InsertBulk/ApplyBulk plus a fence must leave
+// the map identical to the elementwise loops, and FindBulk must agree with
+// Find — including empty batches and keys hashing to the caller's own
+// buckets.
+func TestHashMapBulkEquivalence(t *testing.T) {
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		bulk := NewHashMap[string, int64](loc, partition.StringHash)
+		elem := NewHashMap[string, int64](loc, partition.StringHash)
+
+		var keys []string
+		var vals []int64
+		for i := 0; i < 80; i++ {
+			keys = append(keys, fmt.Sprintf("key-%d-%d", loc.ID(), i))
+			vals = append(vals, int64(loc.ID()*1000+i))
+		}
+		bulk.InsertBulk(keys, vals)
+		for k := range keys {
+			elem.Insert(keys[k], vals[k])
+		}
+		loc.Fence()
+
+		// FindBulk agrees with Find, present and absent keys alike.
+		probe := append(append([]string(nil), keys[:10]...), "absent-a", "absent-b")
+		gotV, gotOK := bulk.FindBulk(probe)
+		for k, key := range probe {
+			wantV, wantOK := elem.Find(key)
+			if gotOK[k] != wantOK || (wantOK && gotV[k] != wantV) {
+				t.Errorf("FindBulk[%q] = (%d,%v), want (%d,%v)", key, gotV[k], gotOK[k], wantV, wantOK)
+			}
+		}
+		loc.Fence()
+
+		// Empty batch.
+		bulk.InsertBulk(nil, nil)
+		if v, ok := bulk.FindBulk(nil); len(v) != 0 || len(ok) != 0 {
+			t.Error("FindBulk(nil) returned values")
+		}
+		loc.Fence()
+
+		// ApplyBulk equals the elementwise Apply loop (atomic increments).
+		bulk.ApplyBulk(keys, func(v int64) int64 { return v + 7 })
+		for _, key := range keys {
+			elem.Apply(key, func(v int64) int64 { return v + 7 })
+		}
+		loc.Fence()
+		bulk.LocalRange(func(k string, v int64) bool {
+			if ev, ok := elem.Find(k); !ok || ev != v {
+				t.Errorf("key %q: bulk=%d elementwise=%d (ok=%v)", k, v, ev, ok)
+			}
+			return true
+		})
+		if got, want := bulk.Size(), elem.Size(); got != want {
+			t.Errorf("sizes diverged: bulk=%d elementwise=%d", got, want)
+		}
+		loc.Fence()
+	})
+}

@@ -72,7 +72,7 @@ func NewHashMap[K comparable, V any](loc *runtime.Location, hash func(K) uint64,
 
 // Insert stores (k, v) asynchronously, overwriting any existing value.
 func (h *HashMap[K, V]) Insert(k K, v V) {
-	h.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) { bc.Insert(k, v) })
+	h.InvokeSized(k, core.Write, runtime.PayloadBytes(v), func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) { bc.Insert(k, v) })
 }
 
 // InsertSync stores (k, v) and reports whether the key was newly inserted.
@@ -141,6 +141,50 @@ func (h *HashMap[K, V]) Erase(k K) bool {
 // primitive for MapReduce-style aggregation.
 func (h *HashMap[K, V]) Apply(k K, fn func(V) V) {
 	h.Invoke(k, core.Write, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V]) { bc.Apply(k, fn) })
+}
+
+// InsertBulk stores every (keys[k], vals[k]) pair asynchronously,
+// overwriting existing values.  The batch is hashed and grouped once and
+// shipped as one sized RMI per owning location — the fast path for loading a
+// pHashMap from a local slice (MapReduce emit, word count, ...).  Both
+// slices are retained until the operations execute; callers hand over
+// ownership and must not mutate them before the next Fence.
+func (h *HashMap[K, V]) InsertBulk(keys []K, vals []V) {
+	if len(keys) != len(vals) {
+		panic("passoc: InsertBulk key/value length mismatch")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	bytesPerOp := runtime.PayloadBytes(keys[0]) + runtime.PayloadBytes(vals[0])
+	h.InvokeBulk(keys, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V], k int) {
+		bc.Insert(keys[k], vals[k])
+	})
+}
+
+// FindBulk looks up every key and returns the values and presence flags, in
+// key order (synchronous; one round trip per owning location).
+func (h *HashMap[K, V]) FindBulk(keys []K) ([]V, []bool) {
+	vals := make([]V, len(keys))
+	oks := make([]bool, len(keys))
+	h.InvokeBulkSync(keys, core.Read, 8, func(_ *runtime.Location, bc *bcontainer.HashMap[K, V], k int) {
+		vals[k], oks[k] = bc.Find(keys[k])
+	})
+	return vals, oks
+}
+
+// ApplyBulk applies fn to the value stored under every key (starting from
+// the zero value when absent) and stores the results, asynchronously — the
+// bulk counterpart of Apply, and the natural sink for pre-combined
+// per-location reduction maps.  The key slice is retained until the
+// operations execute; do not mutate it before the next Fence.
+func (h *HashMap[K, V]) ApplyBulk(keys []K, fn func(V) V) {
+	if len(keys) == 0 {
+		return
+	}
+	h.InvokeBulk(keys, core.Write, runtime.PayloadBytes(keys[0]), func(_ *runtime.Location, bc *bcontainer.HashMap[K, V], k int) {
+		bc.Apply(keys[k], fn)
+	})
 }
 
 // Size returns the global number of pairs.  Collective.

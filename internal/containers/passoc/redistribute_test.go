@@ -52,9 +52,9 @@ func TestHashMapRedistributeIdentityNoTraffic(t *testing.T) {
 		loc.Fence()
 		// Same partition, same mapper: every pair stays put and the
 		// migration must not touch the interconnect.
-		before := m.Stats().RMIsSent.Load()
+		before := m.Stats().RMIsSent
 		h.Redistribute(h.Partition(), h.Mapper())
-		after := m.Stats().RMIsSent.Load()
+		after := m.Stats().RMIsSent
 		if after != before {
 			t.Errorf("identity repartition sent %d RMIs, want 0", after-before)
 		}

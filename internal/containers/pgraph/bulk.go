@@ -1,0 +1,141 @@
+package pgraph
+
+import (
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// Bulk mutation methods: batch vertex and edge insertion.  Graph loading is
+// the most RMI-intensive phase of every pGraph experiment (SSCA2 generation
+// fires millions of add_edge_async calls); these methods group a whole slice
+// of insertions by owning location and ship one sized RMI per destination
+// instead of one request per vertex or edge.
+
+// EdgeSpec describes one edge of a bulk insertion.
+type EdgeSpec[EP any] struct {
+	Src, Tgt int64
+	Prop     EP
+}
+
+// VertexSpec describes one vertex of a bulk insertion: an explicit
+// descriptor (carrying its home location for dynamic strategies) plus its
+// property.
+type VertexSpec[VP any] struct {
+	VD   int64
+	Prop VP
+}
+
+// AddEdgesBulk inserts every edge of the batch asynchronously.  Adjacency
+// records are grouped by the location owning their source vertex (and, for
+// undirected graphs, mirror records by target owner) and shipped as one
+// sized RMI per destination.  Visible by the next Fence.  The batch slice is
+// retained until the operations execute; callers hand over ownership and
+// must not mutate it before the next Fence.
+func (g *Graph[VP, EP]) AddEdgesBulk(edges []EdgeSpec[EP]) {
+	if len(edges) == 0 {
+		return
+	}
+	multi := g.multi
+	bytesPerOp := 16 + runtime.PayloadBytes(edges[0].Prop) // endpoints + property
+	srcs := make([]int64, len(edges))
+	for i, e := range edges {
+		srcs[i] = e.Src
+	}
+	g.InvokeBulk(srcs, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP], k int) {
+		bc.AddEdge(edges[k].Src, edges[k].Tgt, edges[k].Prop, multi)
+	})
+	if g.directed {
+		return
+	}
+	// Undirected: mirror records live with the target endpoint.
+	var mirrors []int64
+	var mirrorIdx []int
+	for i, e := range edges {
+		if e.Src != e.Tgt {
+			mirrors = append(mirrors, e.Tgt)
+			mirrorIdx = append(mirrorIdx, i)
+		}
+	}
+	g.InvokeBulk(mirrors, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP], k int) {
+		e := edges[mirrorIdx[k]]
+		bc.AddEdge(e.Tgt, e.Src, e.Prop, multi)
+	})
+}
+
+// AddVerticesBulk is the bulk counterpart of AddVertexWithDescriptor: it
+// creates every vertex of the batch on its natural home (the location
+// encoded in its descriptor), asynchronously — one bulk RMI per home
+// location, with directory entries published in per-directory-location
+// batches for the DynamicDirectory strategy.  Dynamic strategies only; like
+// AddVertexWithDescriptor, callers own the descriptor space they pass in
+// (EncodeDescriptor builds descriptors from a home and a counter).  The
+// batch slice is retained until the operations execute; do not mutate it
+// before the next Fence.
+func (g *Graph[VP, EP]) AddVerticesBulk(vs []VertexSpec[VP]) {
+	g.requireDynamic("add_vertices_bulk")
+	if len(vs) == 0 {
+		return
+	}
+	loc := g.Location()
+	bytesPerOp := 8 + runtime.PayloadBytes(vs[0].Prop) // descriptor + property
+	// Group by home location (encoded in the descriptor).
+	byHome := make(map[int][]int)
+	for i, v := range vs {
+		byHome[descriptorHome(v.VD)] = append(byHome[descriptorHome(v.VD)], i)
+	}
+	for home, group := range byHome {
+		group := group
+		loc.AsyncRMIBulk(home, g.graphHandle, len(group), bytesPerOp*len(group), func(obj any, _ *runtime.Location) {
+			og := obj.(*Graph[VP, EP])
+			og.withLocal(core.Write, func(bc *bcontainer.Graph[VP, EP]) any {
+				for _, k := range group {
+					bc.AddVertex(vs[k].VD, vs[k].Prop)
+				}
+				return nil
+			})
+			if og.strategy != DynamicDirectory {
+				return
+			}
+			// Publish the new homes from the home location AFTER the
+			// vertices exist (like publishDirectory on the per-element
+			// path): a directory entry must never lead a resolver to a
+			// home that has not created the vertex yet.  Still batched:
+			// one bulk RMI per (home, directory location) pair.
+			home := og.Location().ID()
+			byDir := make(map[int][]int)
+			for _, k := range group {
+				d := og.directoryLocation(vs[k].VD)
+				byDir[d] = append(byDir[d], k)
+			}
+			for dirLoc, dgroup := range byDir {
+				dgroup := dgroup
+				og.Location().AsyncRMIBulk(dirLoc, og.graphHandle, len(dgroup), 16*len(dgroup), func(dobj any, _ *runtime.Location) {
+					dg := dobj.(*Graph[VP, EP])
+					dg.dirMu.Lock()
+					for _, k := range dgroup {
+						dg.directory[vs[k].VD] = partition.BCID(home)
+					}
+					dg.dirMu.Unlock()
+				})
+			}
+		})
+	}
+}
+
+// EncodeDescriptor returns the descriptor a dynamic-strategy vertex would
+// receive as the counter-th vertex created on location home.  It lets
+// loaders precompute descriptor batches for AddVerticesBulk.
+func EncodeDescriptor(home int, counter int64) int64 { return encodeDescriptor(home, counter) }
+
+// ApplyVertexBulk applies fn to the property of every vertex named by vds in
+// place, asynchronously: one bulk RMI per owning location (the bulk
+// counterpart of ApplyVertex, used by property-update sweeps).  The
+// descriptor slice is retained until the operations execute; do not mutate
+// it before the next Fence.
+func (g *Graph[VP, EP]) ApplyVertexBulk(vds []int64, fn func(VP) VP) {
+	g.InvokeBulk(vds, core.Write, 8, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP], k int) {
+		bc.ApplyVertex(vds[k], fn)
+	})
+}

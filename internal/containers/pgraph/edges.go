@@ -12,11 +12,12 @@ import (
 // (tgt → src) is also stored with the target vertex.
 func (g *Graph[VP, EP]) AddEdgeAsync(src, tgt int64, prop EP) {
 	multi := g.multi
-	g.Invoke(src, core.Write, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP]) {
+	bytes := 8 + runtime.PayloadBytes(prop) // target descriptor + property
+	g.InvokeSized(src, core.Write, bytes, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP]) {
 		bc.AddEdge(src, tgt, prop, multi)
 	})
 	if !g.directed && src != tgt {
-		g.Invoke(tgt, core.Write, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP]) {
+		g.InvokeSized(tgt, core.Write, bytes, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP]) {
 			bc.AddEdge(tgt, src, prop, multi)
 		})
 	}

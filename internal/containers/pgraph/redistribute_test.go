@@ -49,9 +49,9 @@ func TestGraphRedistributeIdentityNoTraffic(t *testing.T) {
 		loc.Fence()
 		// The construction-time distribution is balanced with one block
 		// per location; repeating it moves no vertex.
-		before := m.Stats().RMIsSent.Load()
+		before := m.Stats().RMIsSent
 		g.Redistribute(partition.NewBalanced(domain.NewRange1D(0, nv), p), partition.NewBlockedMapper(p, p))
-		after := m.Stats().RMIsSent.Load()
+		after := m.Stats().RMIsSent
 		if after != before {
 			t.Errorf("identity repartition sent %d RMIs, want 0", after-before)
 		}

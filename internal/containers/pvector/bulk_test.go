@@ -1,0 +1,82 @@
+package pvector
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// TestBulkEquivalence: SetBulk/ApplyBulk plus a fence must leave the vector
+// identical to the elementwise loops, and GetBulk must agree with Get —
+// including empty and all-local batches.
+func TestBulkEquivalence(t *testing.T) {
+	const n = int64(4 * 50)
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		bulk := New[int64](loc, n)
+		elem := New[int64](loc, n)
+
+		var idxs, vals []int64
+		for i := int64(loc.ID()); i < n; i += int64(loc.NumLocations()) {
+			idxs = append(idxs, i)
+			vals = append(vals, 100*int64(loc.ID())+i)
+		}
+		bulk.SetBulk(idxs, vals)
+		for k := range idxs {
+			elem.Set(idxs[k], vals[k])
+		}
+		loc.Fence()
+		for i := int64(0); i < n; i++ {
+			if got, want := bulk.Get(i), elem.Get(i); got != want {
+				t.Errorf("index %d: bulk=%d elementwise=%d", i, got, want)
+			}
+		}
+		loc.Fence()
+
+		got := bulk.GetBulk(idxs)
+		for k, i := range idxs {
+			if want := bulk.Get(i); got[k] != want {
+				t.Errorf("GetBulk[%d] (index %d) = %d, want %d", k, i, got[k], want)
+			}
+		}
+
+		// Empty batch.
+		bulk.SetBulk(nil, nil)
+		if out := bulk.GetBulk(nil); len(out) != 0 {
+			t.Errorf("GetBulk(nil) returned %d values", len(out))
+		}
+		loc.Fence()
+
+		// All-local batch.
+		d := bulk.LocalDomain()
+		var lIdxs, lVals []int64
+		for i := d.Lo; i < d.Hi; i++ {
+			lIdxs = append(lIdxs, i)
+			lVals = append(lVals, -i)
+		}
+		bulk.SetBulk(lIdxs, lVals)
+		for k := range lIdxs {
+			elem.Set(lIdxs[k], lVals[k])
+		}
+		loc.Fence()
+		for i := int64(0); i < n; i++ {
+			if got, want := bulk.Get(i), elem.Get(i); got != want {
+				t.Errorf("after local batch, index %d: bulk=%d elementwise=%d", i, got, want)
+			}
+		}
+		loc.Fence()
+
+		// ApplyBulk equals the elementwise Apply loop.
+		bulk.ApplyBulk(idxs, func(x int64) int64 { return 3 * x })
+		for _, i := range idxs {
+			elem.Apply(i, func(x int64) int64 { return 3 * x })
+		}
+		loc.Fence()
+		for i := int64(0); i < n; i++ {
+			if got, want := bulk.Get(i), elem.Get(i); got != want {
+				t.Errorf("after apply, index %d: bulk=%d elementwise=%d", i, got, want)
+			}
+		}
+		loc.Fence()
+	})
+}

@@ -171,7 +171,7 @@ func (v *Vector[T]) Get(i int64) T {
 
 // Set stores val at global index i (asynchronous).
 func (v *Vector[T]) Set(i int64, val T) {
-	v.Invoke(i, core.Write, func(_ *runtime.Location, bc *bcontainer.Vector[T]) { bc.Set(i, val) })
+	v.InvokeSized(i, core.Write, runtime.PayloadBytes(val), func(_ *runtime.Location, bc *bcontainer.Vector[T]) { bc.Set(i, val) })
 }
 
 // Apply applies fn to the element at global index i in place (asynchronous).
@@ -183,6 +183,44 @@ func (v *Vector[T]) Apply(i int64, fn func(T) T) {
 func (v *Vector[T]) GetSplit(i int64) *runtime.FutureOf[T] {
 	f := v.InvokeSplit(i, core.Read, func(_ *runtime.Location, bc *bcontainer.Vector[T]) any { return bc.Get(i) })
 	return runtime.NewFutureOf[T](f)
+}
+
+// SetBulk stores vals[k] at global index idxs[k] for every k, asynchronously:
+// the batch is resolved against the block table once and shipped as one
+// sized RMI per owning location.  Both slices are retained until the
+// operations execute; callers hand over ownership and must not mutate them
+// before the next Fence.
+func (v *Vector[T]) SetBulk(idxs []int64, vals []T) {
+	if len(idxs) != len(vals) {
+		panic("pvector: SetBulk index/value length mismatch")
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	bytesPerOp := 8 + runtime.PayloadBytes(vals[0]) // index + value
+	v.InvokeBulk(idxs, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.Vector[T], k int) {
+		bc.Set(idxs[k], vals[k])
+	})
+}
+
+// GetBulk returns the elements at the given global indices, in order
+// (synchronous; one round trip per owning location).
+func (v *Vector[T]) GetBulk(idxs []int64) []T {
+	out := make([]T, len(idxs))
+	v.InvokeBulkSync(idxs, core.Read, 8, func(_ *runtime.Location, bc *bcontainer.Vector[T], k int) {
+		out[k] = bc.Get(idxs[k])
+	})
+	return out
+}
+
+// ApplyBulk applies fn to every element named by idxs in place,
+// asynchronously (the bulk counterpart of Apply).  The index slice is
+// retained until the operations execute; do not mutate it before the next
+// Fence.
+func (v *Vector[T]) ApplyBulk(idxs []int64, fn func(T) T) {
+	v.InvokeBulk(idxs, core.Write, 8, func(_ *runtime.Location, bc *bcontainer.Vector[T], k int) {
+		bc.Apply(idxs[k], fn)
+	})
 }
 
 // PushBack appends val at the global end of the vector (amortised O(1) plus
@@ -266,14 +304,21 @@ func (v *Vector[T]) mutateBlock(block int, action func(bc *bcontainer.Vector[T])
 }
 
 // rebaseAll asks every location to realign its block's base index with the
-// current prefix table.  Asynchronous; consistent by the next fence.
+// current prefix table.  Asynchronous; consistent by the next fence.  The
+// rebase is a write to the block's storage metadata, so it runs under the
+// thread-safety manager's write bracket (concurrent element reads hold the
+// read bracket of the same block).
 func (v *Vector[T]) rebaseAll() {
 	loc := v.Location()
 	for d := 0; d < loc.NumLocations(); d++ {
 		v.InvokeAt(d, func(_ *runtime.Location, self *core.Container[int64, *bcontainer.Vector[T]]) {
 			r := self.Resolver().(vectorResolver)
+			ths := self.ThreadSafety()
 			self.LocationManager().ForEach(func(bc *bcontainer.Vector[T]) {
-				bc.SetBase(r.table.blockBase(int(bc.BCID())))
+				b := bc.BCID()
+				ths.DataAccessPre(b, core.Write)
+				bc.SetBase(r.table.blockBase(int(b)))
+				ths.DataAccessPost(b, core.Write)
 			})
 		})
 	}

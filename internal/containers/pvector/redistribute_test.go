@@ -49,9 +49,9 @@ func TestVectorRedistributeIdentityNoTraffic(t *testing.T) {
 		loc.Fence()
 		// The constructor's distribution is already one balanced block
 		// per location, so a balanced repartition moves nothing.
-		before := m.Stats().RMIsSent.Load()
+		before := m.Stats().RMIsSent
 		v.Redistribute(partition.NewBalanced(domain.NewRange1D(0, n), p), partition.NewBlockedMapper(p, p))
-		after := m.Stats().RMIsSent.Load()
+		after := m.Stats().RMIsSent
 		if after != before {
 			t.Errorf("identity repartition sent %d RMIs, want 0", after-before)
 		}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// This file implements the bulk flavour of the distribution manager's method
+// skeleton: the semantic-batching counterpart of Invoke/InvokeRet.  Where
+// the per-element skeleton resolves, locks and (for remote GIDs) ships one
+// request per element — leaving message amortisation to the RTS aggregation
+// buffer — the bulk skeleton takes a whole slice of GIDs, resolves them all
+// under ONE metadata bracket, executes every local group under ONE data
+// bracket per base container, and ships ONE sized RMI per destination
+// carrying that destination's entire group.  The destination performs a
+// single handle lookup for the whole batch and repeats the same grouping for
+// any element that needs forwarding.
+//
+//	InvokeBulk      — asynchronous, no results (SetBulk, ApplyBulk, ...)
+//	InvokeBulkSync  — blocks until every element operation has executed;
+//	                  actions typically gather results into a caller-owned
+//	                  slice (GetBulk, FindBulk, ...)
+
+// bulkTracker counts the outstanding element operations of one synchronous
+// bulk invocation.  Remote handlers (and forwarded stragglers) decrement it
+// as they execute their groups; the issuing goroutine blocks on done.
+type bulkTracker struct {
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// complete retires n element operations, closing done on the last one.
+func (t *bulkTracker) complete(n int) {
+	if t.remaining.Add(-int64(n)) == 0 {
+		close(t.done)
+	}
+}
+
+// InvokeBulk runs action once for every element of gids on the base
+// container owning that element, asynchronously: the call returns as soon as
+// all per-destination group requests are issued.  action receives the index
+// k into gids (not the GID itself), so callers can carry per-element
+// arguments in parallel slices captured by the closure.  bytesPerOp is the
+// simulated marshalled size of one element operation; a destination's group
+// request is accounted as len(group)*bytesPerOp bytes on one message.
+//
+// Ordering: a bulk request flushes the per-element aggregation buffer of its
+// destination before delivery, so bulk and per-element methods on the same
+// (source, destination) pair execute in invocation order.  Elements within
+// one call execute in slice order per destination; elements owned by
+// different destinations race, exactly like independent per-element invokes.
+func (c *Container[G, B]) InvokeBulk(gids []G, mode AccessMode, bytesPerOp int, action func(loc *runtime.Location, bc B, k int)) {
+	if len(gids) == 0 {
+		return
+	}
+	if c.Sequential() {
+		// Under the sequential model asynchronous methods execute
+		// synchronously (Claim 3 of Chapter VII).
+		c.InvokeBulkSync(gids, mode, bytesPerOp, action)
+		return
+	}
+	c.bulkHop(gids, nil, mode, bytesPerOp, action, nil, 0)
+}
+
+// InvokeBulkSync runs action once for every element of gids and blocks until
+// all of them — local, remote and forwarded — have executed.  It is the bulk
+// counterpart of InvokeRet: gathering methods capture a results slice and
+// have action write out[k], which is safe because every k is written exactly
+// once and the completion signal orders those writes before the return.
+func (c *Container[G, B]) InvokeBulkSync(gids []G, mode AccessMode, bytesPerOp int, action func(loc *runtime.Location, bc B, k int)) {
+	if len(gids) == 0 {
+		return
+	}
+	tr := &bulkTracker{done: make(chan struct{})}
+	tr.remaining.Store(int64(len(gids)))
+	c.bulkHop(gids, nil, mode, bytesPerOp, action, tr, 0)
+	<-tr.done
+}
+
+// bulkHop performs one resolution step of a bulk invocation for the elements
+// of gids selected by idxs (nil means all).  Local groups execute in place;
+// remote groups are shipped as one bulk RMI per destination, where the same
+// grouping repeats (method forwarding happens per group, not per element).
+func (c *Container[G, B]) bulkHop(gids []G, idxs []int, mode AccessMode, bytesPerOp int, action func(loc *runtime.Location, bc B, k int), tr *bulkTracker, hops int) {
+	if hops > maxForwardHops {
+		panic(fmt.Sprintf("core: bulk invocation forwarded more than %d times", maxForwardHops))
+	}
+	self := c.loc.ID()
+	n := len(gids)
+	if idxs != nil {
+		n = len(idxs)
+	}
+	at := func(i int) int {
+		if idxs == nil {
+			return i
+		}
+		return idxs[i]
+	}
+
+	// Resolve every selected element under a single metadata bracket (one
+	// lock acquisition for the whole batch instead of one per element).
+	type target struct {
+		dest int
+		bcid partition.BCID // valid only when local
+	}
+	targets := make([]target, n)
+	c.ths.MetadataAccessPre(Read)
+	for i := 0; i < n; i++ {
+		info := c.resolver.Find(gids[at(i)])
+		if info.Valid {
+			targets[i] = target{dest: c.resolver.OwnerOf(info.BCID), bcid: info.BCID}
+		} else {
+			if info.Hint == self {
+				c.ths.MetadataAccessPost(Read)
+				panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gids[at(i)]))
+			}
+			targets[i] = target{dest: info.Hint, bcid: partition.BCID(-1)}
+		}
+	}
+	c.ths.MetadataAccessPost(Read)
+
+	// Group by owner: local elements by base container, remote (and
+	// hint-forwarded) elements by destination location.  Slice order is
+	// preserved within every group.
+	local := make(map[partition.BCID][]int)
+	remote := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		t := targets[i]
+		if t.dest == self && t.bcid >= 0 {
+			local[t.bcid] = append(local[t.bcid], at(i))
+		} else {
+			remote[t.dest] = append(remote[t.dest], at(i))
+		}
+	}
+
+	// Execute local groups: one handle-free data bracket per base
+	// container for the whole group.
+	for bcid, group := range local {
+		bc, ok := c.locMgr.Get(bcid)
+		if !ok {
+			// Metadata says local but the storage moved (transient
+			// redistribution window): retry the group as a forward.
+			group := group
+			c.loc.AsyncRMIBulk(self, c.handle, len(group), bytesPerOp*len(group), func(obj any, _ *runtime.Location) {
+				obj.(*Container[G, B]).bulkHop(gids, group, mode, bytesPerOp, action, tr, hops+1)
+			})
+			continue
+		}
+		c.ths.DataAccessPre(bcid, mode)
+		for _, k := range group {
+			action(c.loc, bc, k)
+		}
+		c.ths.DataAccessPost(bcid, mode)
+		if tr != nil {
+			if hops > 0 {
+				// This group was shipped here: its gathered results
+				// travel back as one response message.
+				c.loc.AccountReply(bytesPerOp * len(group))
+			}
+			tr.complete(len(group))
+		}
+	}
+
+	// Ship remote groups: one sized request per destination.
+	for dest, group := range remote {
+		group := group
+		c.loc.AsyncRMIBulk(dest, c.handle, len(group), bytesPerOp*len(group), func(obj any, _ *runtime.Location) {
+			obj.(*Container[G, B]).bulkHop(gids, group, mode, bytesPerOp, action, tr, hops+1)
+		})
+	}
+}

@@ -31,6 +31,15 @@ const maxForwardHops = 64
 // action reads or writes the base container, so the thread-safety manager
 // can pick a shared or exclusive lock.
 func (c *Container[G, B]) Invoke(gid G, mode AccessMode, action func(loc *runtime.Location, bc B)) {
+	c.InvokeSized(gid, mode, 0, action)
+}
+
+// InvokeSized is Invoke with an explicit simulated payload size for the
+// action's arguments, so element methods that carry a value (set_element,
+// insert_async, ...) feed the machine's byte statistics.  Remote requests
+// additionally account the fixed per-request descriptor overhead inside the
+// RTS; purely local invocations move no simulated bytes.
+func (c *Container[G, B]) InvokeSized(gid G, mode AccessMode, bytes int, action func(loc *runtime.Location, bc B)) {
 	if c.Sequential() {
 		// Under the sequential model asynchronous methods execute
 		// synchronously (Claim 3 of Chapter VII).
@@ -40,11 +49,11 @@ func (c *Container[G, B]) Invoke(gid G, mode AccessMode, action func(loc *runtim
 		})
 		return
 	}
-	c.invokeHop(gid, mode, action, 0, false)
+	c.invokeHop(gid, mode, bytes, action, 0, false)
 }
 
 // invokeHop performs one resolution step of an asynchronous invocation.
-func (c *Container[G, B]) invokeHop(gid G, mode AccessMode, action func(loc *runtime.Location, bc B), hops int, urgent bool) {
+func (c *Container[G, B]) invokeHop(gid G, mode AccessMode, bytes int, action func(loc *runtime.Location, bc B), hops int, urgent bool) {
 	if hops > maxForwardHops {
 		panic(fmt.Sprintf("core: invocation for GID %v forwarded more than %d times", gid, maxForwardHops))
 	}
@@ -60,13 +69,14 @@ func (c *Container[G, B]) invokeHop(gid G, mode AccessMode, action func(loc *run
 	if dest == c.loc.ID() && !info.Valid {
 		panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gid))
 	}
-	send := c.loc.AsyncRMI
-	if urgent {
-		send = c.loc.AsyncRMIUrgent
+	forward := func(obj any, _ *runtime.Location) {
+		obj.(*Container[G, B]).invokeHop(gid, mode, bytes, action, hops+1, urgent)
 	}
-	send(dest, c.handle, func(obj any, _ *runtime.Location) {
-		obj.(*Container[G, B]).invokeHop(gid, mode, action, hops+1, urgent)
-	})
+	if urgent {
+		c.loc.AsyncRMIUrgent(dest, c.handle, forward)
+	} else {
+		c.loc.AsyncRMISized(dest, c.handle, bytes, forward)
+	}
 }
 
 // InvokeRet runs action on the base container owning gid and blocks until
@@ -98,6 +108,11 @@ func (c *Container[G, B]) invokeReplyHop(gid G, mode AccessMode, action func(loc
 			v := action(c.loc, bc)
 			c.ths.DataAccessPost(info.BCID, mode)
 			fut.Complete(v)
+			if hops > 0 {
+				// The result travelled back to the issuing location: one
+				// response message carrying the marshalled value.
+				c.loc.AccountReply(runtime.PayloadBytes(v))
+			}
 			return
 		}
 	}

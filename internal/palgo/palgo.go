@@ -16,25 +16,89 @@ import (
 	"repro/internal/views"
 )
 
+// bulkChunk is how many elements the algorithms batch per bulk container
+// call: large enough to amortise resolution and messaging, small enough to
+// keep the scratch buffers cache-resident.
+const bulkChunk = 2048
+
+// chunks invokes body for every [lo, hi) sub-range of r of at most
+// bulkChunk elements.
+func chunks(r domain.Range1D, body func(lo, hi int64)) {
+	for lo := r.Lo; lo < r.Hi; lo += bulkChunk {
+		hi := lo + bulkChunk
+		if hi > r.Hi {
+			hi = r.Hi
+		}
+		body(lo, hi)
+	}
+}
+
+// iota64 returns a fresh slice of the consecutive indices [lo, hi).
+func iota64(lo, hi int64) []int64 {
+	out := make([]int64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// getChunk reads the elements [lo, hi) of the view into a fresh slice, using
+// the view's bulk path when it has one.  Bulk gets are synchronous, so the
+// index slice is not retained past the call.
+func getChunk[T any](v views.Partitioned[T], lo, hi int64) []T {
+	if b, ok := any(v).(views.BulkAccess[T]); ok {
+		return b.GetBulk(iota64(lo, hi))
+	}
+	out := make([]T, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, v.Get(i))
+	}
+	return out
+}
+
+// setChunk writes vals to the elements [lo, hi) of the view, using the
+// view's bulk path when it has one.  Bulk sets are asynchronous and retain
+// their argument slices until the next fence, so setChunk builds a fresh
+// index slice and callers must hand over ownership of vals (no reuse before
+// the fence).
+func setChunk[T any](v views.Partitioned[T], lo, hi int64, vals []T) {
+	if b, ok := any(v).(views.BulkAccess[T]); ok {
+		b.SetBulk(iota64(lo, hi), vals)
+		return
+	}
+	for k, i := 0, lo; i < hi; k, i = k+1, i+1 {
+		v.Set(i, vals[k])
+	}
+}
+
 // ForEach applies fn to every (index, value) pair of the view.  fn must not
 // mutate the view; use Generate or TransformInPlace for mutation.
 // Collective.
 func ForEach[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64, x T)) {
 	for _, r := range v.LocalRanges(loc) {
-		for i := r.Lo; i < r.Hi; i++ {
-			fn(i, v.Get(i))
-		}
+		chunks(r, func(lo, hi int64) {
+			vals := getChunk(v, lo, hi)
+			for k, x := range vals {
+				fn(lo+int64(k), x)
+			}
+		})
 	}
 	loc.Fence()
 }
 
 // Generate assigns fn(i) to every element of the view (p_generate).
-// Collective.
+// Collective.  Elements are written through the view's bulk path in chunks,
+// so a view whose distribution differs from the work decomposition ships one
+// message per (chunk, owner) pair instead of one request per element.
 func Generate[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64) T) {
 	for _, r := range v.LocalRanges(loc) {
-		for i := r.Lo; i < r.Hi; i++ {
-			v.Set(i, fn(i))
-		}
+		chunks(r, func(lo, hi int64) {
+			vals := make([]T, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				vals = append(vals, fn(i))
+			}
+			setChunk(v, lo, hi, vals)
+		})
 	}
 	loc.Fence()
 }
@@ -43,9 +107,13 @@ func Generate[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i in
 // (p_for_each with a mutating work function).  Collective.
 func TransformInPlace[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64, x T) T) {
 	for _, r := range v.LocalRanges(loc) {
-		for i := r.Lo; i < r.Hi; i++ {
-			v.Set(i, fn(i, v.Get(i)))
-		}
+		chunks(r, func(lo, hi int64) {
+			vals := getChunk(v, lo, hi)
+			for k := range vals {
+				vals[k] = fn(lo+int64(k), vals[k])
+			}
+			setChunk(v, lo, hi, vals)
+		})
 	}
 	loc.Fence()
 }
@@ -54,9 +122,14 @@ func TransformInPlace[T any](loc *runtime.Location, v views.Partitioned[T], fn f
 // The views must have equal sizes.  Collective.
 func Transform[T any, U any](loc *runtime.Location, in views.Partitioned[T], out views.Partitioned[U], fn func(T) U) {
 	for _, r := range in.LocalRanges(loc) {
-		for i := r.Lo; i < r.Hi; i++ {
-			out.Set(i, fn(in.Get(i)))
-		}
+		chunks(r, func(lo, hi int64) {
+			vals := getChunk(in, lo, hi)
+			mapped := make([]U, 0, len(vals))
+			for _, x := range vals {
+				mapped = append(mapped, fn(x))
+			}
+			setChunk(out, lo, hi, mapped)
+		})
 	}
 	loc.Fence()
 }
@@ -89,14 +162,15 @@ func Reduce[T any](loc *runtime.Location, v views.Partitioned[T], op func(a, b T
 	var acc T
 	valid := false
 	for _, r := range v.LocalRanges(loc) {
-		for i := r.Lo; i < r.Hi; i++ {
-			x := v.Get(i)
-			if !valid {
-				acc, valid = x, true
-			} else {
-				acc = op(acc, x)
+		chunks(r, func(lo, hi int64) {
+			for _, x := range getChunk(v, lo, hi) {
+				if !valid {
+					acc, valid = x, true
+				} else {
+					acc = op(acc, x)
+				}
 			}
-		}
+		})
 	}
 	out := runtime.AllReduceT(loc, localAcc[T]{val: acc, valid: valid}, func(a, b localAcc[T]) localAcc[T] {
 		switch {
@@ -117,11 +191,13 @@ func Reduce[T any](loc *runtime.Location, v views.Partitioned[T], op func(a, b T
 func CountIf[T any](loc *runtime.Location, v views.Partitioned[T], pred func(T) bool) int64 {
 	var n int64
 	for _, r := range v.LocalRanges(loc) {
-		for i := r.Lo; i < r.Hi; i++ {
-			if pred(v.Get(i)) {
-				n++
+		chunks(r, func(lo, hi int64) {
+			for _, x := range getChunk(v, lo, hi) {
+				if pred(x) {
+					n++
+				}
 			}
-		}
+		})
 	}
 	total := runtime.AllReduceSum(loc, n)
 	loc.Fence()

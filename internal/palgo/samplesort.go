@@ -42,7 +42,9 @@ func SampleSort[T any](loc *runtime.Location, a *parray.Array[T], less func(x, y
 		splitters = append(splitters, pool[i*len(pool)/p])
 	}
 
-	// Phase 2: ship every local element to its bucket's location.
+	// Phase 2: ship every local element to its bucket's location.  The
+	// elements are grouped by destination first, so each (source, bucket)
+	// pair costs one bulk RMI instead of one request per element.
 	buckets := newSortBuckets[T]()
 	h := loc.RegisterObject(buckets)
 	loc.Barrier()
@@ -50,11 +52,18 @@ func SampleSort[T any](loc *runtime.Location, a *parray.Array[T], less func(x, y
 		idx := sort.Search(len(splitters), func(i int) bool { return less(x, splitters[i]) })
 		return idx
 	}
+	perDest := make([][]T, p)
 	for _, x := range local {
 		dest := bucketOf(x)
-		x := x
-		loc.AsyncRMI(dest, h, func(obj any, _ *runtime.Location) {
-			obj.(*sortBuckets[T]).add(x)
+		perDest[dest] = append(perDest[dest], x)
+	}
+	for dest, xs := range perDest {
+		if len(xs) == 0 {
+			continue
+		}
+		xs := xs
+		loc.AsyncRMIBulk(dest, h, len(xs), 8*len(xs), func(obj any, _ *runtime.Location) {
+			obj.(*sortBuckets[T]).addAll(xs)
 		})
 	}
 	loc.Fence()
@@ -67,10 +76,13 @@ func SampleSort[T any](loc *runtime.Location, a *parray.Array[T], less func(x, y
 	sort.Slice(mine, func(i, j int) bool { return less(mine[i], mine[j]) })
 	start := runtime.ExclusiveScan(loc, int64(len(mine)), 0, func(a, b int64) int64 { return a + b })
 
-	// Phase 4: write the sorted bucket back into the array.
-	for i, x := range mine {
-		a.Set(start+int64(i), x)
+	// Phase 4: write the sorted bucket back into the array in one bulk
+	// batch (grouped by owning location inside SetBulk).
+	idxs := make([]int64, len(mine))
+	for i := range mine {
+		idxs[i] = start + int64(i)
 	}
+	a.SetBulk(idxs, mine)
 	loc.Fence()
 	loc.UnregisterObject(h)
 	loc.Barrier()
@@ -88,6 +100,12 @@ func newSortBuckets[T any]() *sortBuckets[T] { return &sortBuckets[T]{} }
 func (b *sortBuckets[T]) add(x T) {
 	b.mu.Lock()
 	b.data = append(b.data, x)
+	b.mu.Unlock()
+}
+
+func (b *sortBuckets[T]) addAll(xs []T) {
+	b.mu.Lock()
+	b.data = append(b.data, xs...)
 	b.mu.Unlock()
 }
 

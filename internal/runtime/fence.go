@@ -7,7 +7,7 @@ package runtime
 // completion guarantees of asynchronous container methods into a globally
 // consistent state.
 func (l *Location) Fence() {
-	l.machine.stats.Fences.Add(1)
+	l.stats.fences.Add(1)
 	// 1. Deliver everything buffered locally.
 	l.flushAll()
 	// 2. Wait until every location has reached the fence, so no new

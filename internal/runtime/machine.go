@@ -66,21 +66,43 @@ type Machine struct {
 	// collective scratch: one slot per location, plus a broadcast slot.
 	collectMu   sync.Mutex
 	collectVals []any
-
-	stats Stats
 }
 
-// Stats aggregates machine-wide communication statistics.  All fields are
-// updated atomically and may be read while the machine is running.
+// Stats is a folded snapshot of the machine-wide communication statistics.
+// The live counters are sharded per location (see statShard) so that the
+// element-access hot path never touches a machine-global cache line;
+// Machine.Stats sums the shards on demand.
 type Stats struct {
-	RMIsSent       atomic.Int64 // individual RMI requests issued
-	MessagesSent   atomic.Int64 // physical messages (batches) delivered
-	RMIsHandled    atomic.Int64 // handlers executed
-	SyncRMIs       atomic.Int64
-	AsyncRMIs      atomic.Int64
-	SplitRMIs      atomic.Int64
-	Fences         atomic.Int64
-	BytesSimulated atomic.Int64
+	RMIsSent       int64 // RMI requests issued (a bulk request counts once)
+	MessagesSent   int64 // physical messages (batches) delivered
+	RMIsHandled    int64 // handlers executed
+	SyncRMIs       int64
+	AsyncRMIs      int64
+	SplitRMIs      int64
+	BulkRMIs       int64 // bulk requests issued
+	BulkOps        int64 // element operations carried by bulk requests
+	Fences         int64
+	BytesSimulated int64
+}
+
+// statShard holds one location's contribution to the machine statistics.
+// The counters stay atomic — a location's SPMD goroutine and its RMI server
+// both write them — but they are private to the location, so updates from
+// different locations never contend on the same cache line the way the old
+// machine-global atomics did.  The shard is padded to a cache line to keep
+// neighbouring locations' shards from false sharing.
+type statShard struct {
+	rmisSent       atomic.Int64
+	messagesSent   atomic.Int64
+	rmisHandled    atomic.Int64
+	syncRMIs       atomic.Int64
+	asyncRMIs      atomic.Int64
+	splitRMIs      atomic.Int64
+	bulkRMIs       atomic.Int64
+	bulkOps        atomic.Int64
+	fences         atomic.Int64
+	bytesSimulated atomic.Int64
+	_              [48]byte // pad to a multiple of 64 bytes
 }
 
 // NewMachine creates a machine with p locations and the given configuration.
@@ -109,8 +131,25 @@ func (m *Machine) NumLocations() int { return len(m.locations) }
 // Location returns the location with the given id (for inspection in tests).
 func (m *Machine) Location(id int) *Location { return m.locations[id] }
 
-// Stats returns a pointer to the machine-wide statistics counters.
-func (m *Machine) Stats() *Stats { return &m.stats }
+// Stats folds the per-location statistic shards into one machine-wide
+// snapshot.  It may be called while the machine is running; each counter is
+// read atomically, but the snapshot as a whole is not a consistent cut.
+func (m *Machine) Stats() Stats {
+	var s Stats
+	for _, l := range m.locations {
+		s.RMIsSent += l.stats.rmisSent.Load()
+		s.MessagesSent += l.stats.messagesSent.Load()
+		s.RMIsHandled += l.stats.rmisHandled.Load()
+		s.SyncRMIs += l.stats.syncRMIs.Load()
+		s.AsyncRMIs += l.stats.asyncRMIs.Load()
+		s.SplitRMIs += l.stats.splitRMIs.Load()
+		s.BulkRMIs += l.stats.bulkRMIs.Load()
+		s.BulkOps += l.stats.bulkOps.Load()
+		s.Fences += l.stats.fences.Load()
+		s.BytesSimulated += l.stats.bytesSimulated.Load()
+	}
+	return s
+}
 
 // Execute runs fn in SPMD fashion: one goroutine per location, each passed
 // its own Location.  Incoming RMIs are served concurrently by per-location
@@ -238,15 +277,20 @@ type Location struct {
 	aggMu   sync.Mutex
 	aggBufs [][]*rmiRequest
 
-	// Registered p_object representatives.  Registration is collective
-	// and SPMD-ordered, so the running counter yields identical handles
-	// on every location.
+	// Registered p_object representatives, held as an immutable snapshot
+	// slice indexed by handle.  Registration is rare and collective
+	// (SPMD-ordered, so the running counter yields identical handles on
+	// every location) and copies the table under regMu; lookup happens on
+	// every RMI and is a single atomic load plus a slice index — no lock.
 	regMu      sync.Mutex
-	objects    map[Handle]any
+	objects    atomic.Pointer[[]any]
 	nextHandle Handle
 
 	// rng is a private, deterministic random source for workloads.
 	rng *rand.Rand
+
+	// stats is this location's shard of the machine statistics.
+	stats statShard
 
 	// localStats counts per-location activity.
 	localRMIs  atomic.Int64
@@ -254,16 +298,18 @@ type Location struct {
 }
 
 func newLocation(m *Machine, id, n int, cfg Config) *Location {
-	return &Location{
+	l := &Location{
 		machine: m,
 		id:      id,
 		n:       n,
 		cfg:     cfg,
 		inbox:   newMailbox(),
 		aggBufs: make([][]*rmiRequest, n),
-		objects: make(map[Handle]any),
 		rng:     rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(id))),
 	}
+	empty := make([]any, 0)
+	l.objects.Store(&empty)
+	return l
 }
 
 // ID returns this location's identifier in [0, NumLocations()).
@@ -293,7 +339,11 @@ func (l *Location) RegisterObject(obj any) Handle {
 	l.regMu.Lock()
 	h := l.nextHandle
 	l.nextHandle++
-	l.objects[h] = obj
+	old := *l.objects.Load()
+	next := make([]any, int(h)+1)
+	copy(next, old)
+	next[h] = obj
+	l.objects.Store(&next)
 	l.regMu.Unlock()
 	return h
 }
@@ -301,7 +351,12 @@ func (l *Location) RegisterObject(obj any) Handle {
 // UnregisterObject removes a previously registered representative.
 func (l *Location) UnregisterObject(h Handle) {
 	l.regMu.Lock()
-	delete(l.objects, h)
+	old := *l.objects.Load()
+	if int(h) < len(old) && old[h] != nil {
+		next := append([]any(nil), old...)
+		next[h] = nil
+		l.objects.Store(&next)
+	}
 	l.regMu.Unlock()
 }
 
@@ -311,31 +366,40 @@ func (l *Location) UnregisterObject(h Handle) {
 // destination.  It panics if no object is registered under h.
 func (l *Location) Object(h Handle) any { return l.object(h) }
 
-// object looks up a registered representative.
+// object looks up a registered representative in the current table
+// snapshot.  This is the per-RMI fast path: one atomic load, no lock.
 func (l *Location) object(h Handle) any {
-	l.regMu.Lock()
-	o, ok := l.objects[h]
-	l.regMu.Unlock()
-	if !ok {
-		panic(fmt.Sprintf("runtime: location %d has no object registered for handle %d", l.id, h))
+	tbl := *l.objects.Load()
+	if h >= 0 && int(h) < len(tbl) {
+		if o := tbl[h]; o != nil {
+			return o
+		}
 	}
-	return o
+	panic(fmt.Sprintf("runtime: location %d has no object registered for handle %d", l.id, h))
 }
 
 // startServer launches the goroutine that executes incoming RMIs for this
 // location.  Handlers are executed one at a time, which provides the
 // paper's per-location serialisation of incoming requests and the FIFO
-// ordering guarantee for a given (source, destination) pair.
+// ordering guarantee for a given (source, destination) pair.  The server
+// drains the mailbox in whole batches (one lock acquisition per batch) and
+// returns executed requests to the request pool.
 func (l *Location) startServer() {
 	l.serverWG.Add(1)
 	go func() {
 		defer l.serverWG.Done()
+		var spare []*rmiRequest
 		for {
-			req := l.inbox.pop()
-			if req == nil {
+			batch := l.inbox.popBatch(spare)
+			if batch == nil {
 				return
 			}
-			l.execute(req)
+			for i, req := range batch {
+				l.execute(req)
+				putRequest(req)
+				batch[i] = nil
+			}
+			spare = batch
 		}
 	}()
 }
@@ -348,11 +412,26 @@ func (l *Location) execute(req *rmiRequest) {
 	if req.delay > 0 {
 		time.Sleep(req.delay)
 	}
-	l.machine.stats.RMIsHandled.Add(1)
+	l.stats.rmisHandled.Add(1)
 	obj := l.object(req.handle)
 	if req.resp != nil {
 		req.resp <- req.retFn(obj, l)
 	} else {
 		req.fn(obj, l)
 	}
+}
+
+// reqPool recycles rmiRequest descriptors: the element-access hot path
+// allocates one per remote request, and the server returns it after the
+// handler ran, so steady-state traffic runs without per-request garbage.
+var reqPool = sync.Pool{New: func() any { return new(rmiRequest) }}
+
+// getRequest returns a zeroed request descriptor from the pool.
+func getRequest() *rmiRequest { return reqPool.Get().(*rmiRequest) }
+
+// putRequest clears and recycles a request descriptor.  Callers must not
+// retain any reference to it afterwards.
+func putRequest(r *rmiRequest) {
+	*r = rmiRequest{}
+	reqPool.Put(r)
 }

@@ -6,10 +6,17 @@ import "sync"
 // RMI requests.  Unbounded capacity is required so that a sender never
 // blocks on a receiver that is itself blocked sending (which would deadlock
 // chains of forwarded requests).
+//
+// The queue is a two-stack design: producers append to the in slice under
+// the lock, and the single consumer swaps the whole slice out with popBatch,
+// so draining n requests costs one lock acquisition instead of n (the old
+// head-slicing pop paid a lock round-trip and an O(n) copy per request).
+// The consumer hands its drained slice back on the next call, so steady
+// state runs without allocation.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*rmiRequest
+	in     []*rmiRequest
 	closed bool
 }
 
@@ -26,12 +33,13 @@ func (m *mailbox) push(r *rmiRequest) {
 		m.mu.Unlock()
 		return
 	}
-	m.queue = append(m.queue, r)
+	m.in = append(m.in, r)
 	m.cond.Signal()
 	m.mu.Unlock()
 }
 
 // pushAll enqueues a batch of requests atomically, preserving their order.
+// The caller keeps ownership of rs; its elements are copied out.
 func (m *mailbox) pushAll(rs []*rmiRequest) {
 	if len(rs) == 0 {
 		return
@@ -41,29 +49,37 @@ func (m *mailbox) pushAll(rs []*rmiRequest) {
 		m.mu.Unlock()
 		return
 	}
-	m.queue = append(m.queue, rs...)
+	m.in = append(m.in, rs...)
 	m.cond.Signal()
 	m.mu.Unlock()
 }
 
-// pop dequeues the next request, blocking until one is available or the
-// mailbox is closed.  It returns nil when the mailbox is closed and drained.
-func (m *mailbox) pop() *rmiRequest {
+// popBatch blocks until at least one request is queued (or the mailbox is
+// closed) and then drains the entire queue in one lock acquisition,
+// returning the requests in FIFO order.  spare, if non-nil, becomes the new
+// producer-side buffer, so the consumer can recycle the slice it finished
+// processing.  It returns nil when the mailbox is closed and drained.
+func (m *mailbox) popBatch(spare []*rmiRequest) []*rmiRequest {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for len(m.in) == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if len(m.in) == 0 {
+		m.mu.Unlock()
 		return nil
 	}
-	r := m.queue[0]
-	m.queue = m.queue[1:]
-	return r
+	batch := m.in
+	if spare != nil {
+		m.in = spare[:0]
+	} else {
+		m.in = nil
+	}
+	m.mu.Unlock()
+	return batch
 }
 
-// close wakes the consumer; pending requests are still delivered before pop
-// starts returning nil.
+// close wakes the consumer; pending requests are still delivered before
+// popBatch starts returning nil.
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
@@ -71,9 +87,10 @@ func (m *mailbox) close() {
 	m.mu.Unlock()
 }
 
-// length reports the number of queued requests (used by tests and stats).
+// length reports the number of queued, not yet drained requests (used by
+// tests).  Requests already handed to the consumer are not counted.
 func (m *mailbox) length() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return len(m.in)
 }

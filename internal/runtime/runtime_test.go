@@ -278,7 +278,7 @@ func TestAggregationReducesMessages(t *testing.T) {
 			}
 			loc.Fence()
 		})
-		return m.Stats().MessagesSent.Load()
+		return m.Stats().MessagesSent
 	}
 	noAgg := run(1)
 	agg := run(32)
@@ -449,14 +449,14 @@ func TestStatsCounters(t *testing.T) {
 		loc.Fence()
 	})
 	s := m.Stats()
-	if s.AsyncRMIs.Load() != 1 || s.SyncRMIs.Load() != 1 || s.SplitRMIs.Load() != 1 {
+	if s.AsyncRMIs != 1 || s.SyncRMIs != 1 || s.SplitRMIs != 1 {
 		t.Fatalf("stats async/sync/split = %d/%d/%d, want 1/1/1",
-			s.AsyncRMIs.Load(), s.SyncRMIs.Load(), s.SplitRMIs.Load())
+			s.AsyncRMIs, s.SyncRMIs, s.SplitRMIs)
 	}
-	if s.Fences.Load() != 2 {
-		t.Fatalf("fence count = %d, want 2", s.Fences.Load())
+	if s.Fences != 2 {
+		t.Fatalf("fence count = %d, want 2", s.Fences)
 	}
-	if s.RMIsHandled.Load() == 0 {
+	if s.RMIsHandled == 0 {
 		t.Fatal("no RMIs handled")
 	}
 }

@@ -25,6 +25,19 @@ type RandomAccess[T any] interface {
 	Set(i int64, v T)
 }
 
+// BulkAccess is the optional bulk extension of RandomAccess: read or write a
+// whole batch of indices with one resolution and one message per owning
+// location.  Views over containers with bulk element methods implement it;
+// pAlgorithms probe for it with a type assertion and fall back to
+// element-wise access otherwise.
+type BulkAccess[T any] interface {
+	// GetBulk returns the elements at the given indices, in order.
+	GetBulk(idxs []int64) []T
+	// SetBulk stores vals[k] at idxs[k] for every k (asynchronous, like
+	// Set: completion is guaranteed by the next fence).
+	SetBulk(idxs []int64, vals []T)
+}
+
 // Partitioned is a RandomAccess view that also tells each location which
 // index ranges it should process.  All pAlgorithms in package palgo consume
 // Partitioned views.
@@ -56,6 +69,12 @@ func (v ArrayNative[T]) Get(i int64) T { return v.A.Get(i) }
 // Set writes element i (local or remote).
 func (v ArrayNative[T]) Set(i int64, x T) { v.A.Set(i, x) }
 
+// GetBulk reads a batch of elements through the pArray's bulk path.
+func (v ArrayNative[T]) GetBulk(idxs []int64) []T { return v.A.GetBulk(idxs) }
+
+// SetBulk writes a batch of elements through the pArray's bulk path.
+func (v ArrayNative[T]) SetBulk(idxs []int64, vals []T) { v.A.SetBulk(idxs, vals) }
+
 // LocalRanges returns the sub-domains stored on the calling location.
 func (v ArrayNative[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	return v.A.LocalSubdomains()
@@ -77,6 +96,12 @@ func (v VectorNative[T]) Get(i int64) T { return v.V.Get(i) }
 
 // Set writes element i.
 func (v VectorNative[T]) Set(i int64, x T) { v.V.Set(i, x) }
+
+// GetBulk reads a batch of elements through the pVector's bulk path.
+func (v VectorNative[T]) GetBulk(idxs []int64) []T { return v.V.GetBulk(idxs) }
+
+// SetBulk writes a batch of elements through the pVector's bulk path.
+func (v VectorNative[T]) SetBulk(idxs []int64, vals []T) { v.V.SetBulk(idxs, vals) }
 
 // LocalRanges returns the contiguous block stored on the calling location.
 func (v VectorNative[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
@@ -106,6 +131,31 @@ func (v Balanced[T]) Get(i int64) T { return v.Base.Get(i) }
 
 // Set writes element i.
 func (v Balanced[T]) Set(i int64, x T) { v.Base.Set(i, x) }
+
+// GetBulk reads a batch through the base's bulk path when it has one —
+// exactly the case (balanced view over a differently distributed container)
+// where the batch spans remote locations and grouping pays off.
+func (v Balanced[T]) GetBulk(idxs []int64) []T {
+	if b, ok := v.Base.(BulkAccess[T]); ok {
+		return b.GetBulk(idxs)
+	}
+	out := make([]T, len(idxs))
+	for k, i := range idxs {
+		out[k] = v.Base.Get(i)
+	}
+	return out
+}
+
+// SetBulk writes a batch through the base's bulk path when it has one.
+func (v Balanced[T]) SetBulk(idxs []int64, vals []T) {
+	if b, ok := v.Base.(BulkAccess[T]); ok {
+		b.SetBulk(idxs, vals)
+		return
+	}
+	for k, i := range idxs {
+		v.Base.Set(i, vals[k])
+	}
+}
 
 // LocalRanges gives the calling location the i-th of P equal shares.
 func (v Balanced[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
@@ -251,6 +301,22 @@ func (v Slice[T]) Get(i int64) T { return v.Data[i] }
 // Set writes element i.
 func (v Slice[T]) Set(i int64, x T) { v.Data[i] = x }
 
+// GetBulk reads a batch of elements.
+func (v Slice[T]) GetBulk(idxs []int64) []T {
+	out := make([]T, len(idxs))
+	for k, i := range idxs {
+		out[k] = v.Data[i]
+	}
+	return out
+}
+
+// SetBulk writes a batch of elements.
+func (v Slice[T]) SetBulk(idxs []int64, vals []T) {
+	for k, i := range idxs {
+		v.Data[i] = vals[k]
+	}
+}
+
 // LocalRanges gives each location an equal share.
 func (v Slice[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	blocks := domain.NewRange1D(0, v.Size()).Split(loc.NumLocations())
@@ -268,4 +334,9 @@ var (
 	_ Partitioned[int] = Strided[int]{}
 	_ Partitioned[int] = Slice[int]{}
 	_ Partitioned[int] = Transform[string, int]{}
+
+	_ BulkAccess[int] = ArrayNative[int]{}
+	_ BulkAccess[int] = VectorNative[int]{}
+	_ BulkAccess[int] = Balanced[int]{}
+	_ BulkAccess[int] = Slice[int]{}
 )
