@@ -106,6 +106,11 @@ func BenchmarkBulkVsElementwise(b *testing.B) { benchExperiment(b, "bulk") }
 // load-balance advisor, measure imbalance and migration traffic.
 func BenchmarkRedistributeRebalance(b *testing.B) { benchExperiment(b, "redist") }
 
+// Distributed-directory resolution: repeat remote access through the
+// method-forwarding triangle with the per-location resolution cache on and
+// off, measuring RMI and message deltas.
+func BenchmarkDirectoryCachedAccess(b *testing.B) { benchExperiment(b, "directory") }
+
 // Design-choice ablation: RMI aggregation factor.
 func BenchmarkAblationAggregation(b *testing.B) { benchExperiment(b, "ablation-aggregation") }
 

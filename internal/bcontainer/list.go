@@ -55,9 +55,36 @@ func (l *List[T]) newNode(val T) *listNode[T] {
 	return n
 }
 
+// newNodeID creates a node under an explicit, caller-allocated identifier.
+// Directory-backed pLists allocate globally unique ids (birth location +
+// counter) so an element keeps its id when it migrates between base
+// containers; a list must not mix explicit and counter-assigned ids.
+func (l *List[T]) newNodeID(id int64, val T) *listNode[T] {
+	if _, dup := l.nodes[id]; dup {
+		panic(fmt.Sprintf("bcontainer: duplicate list node id %d", id))
+	}
+	n := &listNode[T]{id: id, value: val}
+	l.nodes[id] = n
+	l.size++
+	return n
+}
+
 // PushBack appends val and returns the new element's local identifier.
 func (l *List[T]) PushBack(val T) int64 {
 	n := l.newNode(val)
+	l.linkBack(n)
+	return n.id
+}
+
+// PushFront prepends val and returns the new element's local identifier.
+func (l *List[T]) PushFront(val T) int64 {
+	n := l.newNode(val)
+	l.linkFront(n)
+	return n.id
+}
+
+// linkBack appends an existing node at the tail.
+func (l *List[T]) linkBack(n *listNode[T]) {
 	if l.tail == nil {
 		l.head, l.tail = n, n
 	} else {
@@ -65,12 +92,10 @@ func (l *List[T]) PushBack(val T) int64 {
 		l.tail.next = n
 		l.tail = n
 	}
-	return n.id
 }
 
-// PushFront prepends val and returns the new element's local identifier.
-func (l *List[T]) PushFront(val T) int64 {
-	n := l.newNode(val)
+// linkFront prepends an existing node at the head.
+func (l *List[T]) linkFront(n *listNode[T]) {
 	if l.head == nil {
 		l.head, l.tail = n, n
 	} else {
@@ -78,7 +103,31 @@ func (l *List[T]) PushFront(val T) int64 {
 		l.head.prev = n
 		l.head = n
 	}
-	return n.id
+}
+
+// PushBackID appends val under an explicit node id (see newNodeID).
+func (l *List[T]) PushBackID(id int64, val T) {
+	l.linkBack(l.newNodeID(id, val))
+}
+
+// PushFrontID prepends val under an explicit node id (see newNodeID).
+func (l *List[T]) PushFrontID(id int64, val T) {
+	l.linkFront(l.newNodeID(id, val))
+}
+
+// InsertBeforeID inserts val under an explicit node id before the element
+// with local id at (see newNodeID).
+func (l *List[T]) InsertBeforeID(at, id int64, val T) {
+	ref := l.node(at)
+	n := l.newNodeID(id, val)
+	n.prev = ref.prev
+	n.next = ref
+	if ref.prev != nil {
+		ref.prev.next = n
+	} else {
+		l.head = n
+	}
+	ref.prev = n
 }
 
 func (l *List[T]) node(id int64) *listNode[T] {

@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"fig62", "composition: pArray<pArray>, pList<pArray>, pMatrix row-min", Fig62Composition},
 		{"bulk", "bulk element operations vs per-element RMIs", BulkVsElementwise},
 		{"redist", "redistribution and load balancing: skew, rebalance, traffic", RedistributeRebalance},
+		{"directory", "distributed-directory resolution: cached vs uncached repeat remote access", DirectoryCachedAccess},
 		{"ablation-aggregation", "RMI aggregation on/off (design-choice ablation)", AblationAggregation},
 		{"ablation-locking", "thread-safety manager policies (design-choice ablation)", AblationLocking},
 	}

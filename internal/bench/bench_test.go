@@ -53,7 +53,8 @@ func TestFindAndDescriptions(t *testing.T) {
 		if e.Description == "" || e.Run == nil {
 			t.Errorf("experiment %s incompletely registered", e.ID)
 		}
-		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") && e.ID != "redist" && e.ID != "bulk" {
+		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") &&
+			e.ID != "redist" && e.ID != "bulk" && e.ID != "directory" {
 			t.Errorf("unexpected experiment id %s", e.ID)
 		}
 	}
@@ -122,7 +123,41 @@ func TestRedistRebalancesBelowThreshold(t *testing.T) {
 			}
 		}
 	}
-	if checkedBefore != 4 || checkedAfter != 4 {
-		t.Fatalf("expected 4 before and 4 after measurements, got %d/%d", checkedBefore, checkedAfter)
+	if checkedBefore != 5 || checkedAfter != 5 {
+		t.Fatalf("expected 5 before and 5 after measurements, got %d/%d", checkedBefore, checkedAfter)
+	}
+}
+
+func TestDirectoryRMIReduction(t *testing.T) {
+	// Acceptance shape of the directory resolution cache: on the repeat
+	// remote reads of the method-forwarding triangle the cached mode must
+	// issue measurably fewer RMIs and messages than the pure forwarding
+	// path.  The analytic expectation with 8 rounds is 1.6x for RMIs and
+	// ~1.26x for messages (response accounting dilutes the message ratio);
+	// the floors (1.4x RMIs, 1.15x messages) leave room for aggregation
+	// noise while staying far above break-even.
+	cfg := Config{Locations: []int{4}, ElementsPerLocation: 2000, GraphScale: 6}
+	rows := DirectoryCachedAccess(cfg)
+	want := map[string]float64{}
+	for _, r := range rows {
+		want[r.Series] = r.Value
+	}
+	rmiRed, ok := want["rmi reduction"]
+	if !ok {
+		t.Fatalf("missing rmi reduction row: %+v", rows)
+	}
+	if rmiRed < 1.4 {
+		t.Errorf("cached repeat remote reads should cut RMIs by at least 1.4x, got %.2fx", rmiRed)
+	}
+	msgRed, ok := want["message reduction"]
+	if !ok {
+		t.Fatalf("missing message reduction row: %+v", rows)
+	}
+	if msgRed < 1.15 {
+		t.Errorf("cached repeat remote reads should cut messages by at least 1.15x, got %.2fx", msgRed)
+	}
+	if want["rmis (cached)"] >= want["rmis (uncached)"] {
+		t.Errorf("cached path issued %v RMIs, uncached %v — cache bought nothing",
+			want["rmis (cached)"], want["rmis (uncached)"])
 	}
 }

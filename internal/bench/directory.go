@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/containers/pgraph"
+	"repro/internal/runtime"
+)
+
+// DirectoryCachedAccess measures what the per-location resolution cache of
+// the shared distributed directory buys on repeat remote accesses.  The
+// workload is the method-forwarding triangle of the DynamicDirectory
+// pGraph: every location repeatedly reads vertex properties of the next
+// location's vertices, restricted to descriptors whose directory home is
+// neither the reader nor the owner — the exact pattern where every uncached
+// access pays the directory hop (reader → home → owner, two RMIs per read,
+// every round).  With the cache the first round forwards once and fills the
+// requester's cache (one extra directory RMI); every later round ships
+// straight to the owner — one RMI per read — so with R rounds the RMI count
+// approaches half the uncached path's.  With fewer than three locations the
+// triangle cannot exist (the home always coincides with reader or owner);
+// the degenerate all-remote set is measured instead and the cache roughly
+// breaks even.  The experiment reports elapsed time, RMIs, messages and the
+// directory-maintenance traffic (DirectoryRMIs) of both modes.
+func DirectoryCachedAccess(cfg Config) []Row {
+	var rows []Row
+	const rounds = 8
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue // the comparison needs remote traffic
+		}
+		nv := cfg.ElementsPerLocation / 4
+		if nv < 16 {
+			nv = 16
+		}
+
+		type modeResult struct {
+			readMS float64
+			rmis   int64
+			msgs   int64
+			dirs   int64
+		}
+		runMode := func(cached bool) modeResult {
+			var res modeResult
+			var mu sync.Mutex
+			var preRMIs, preMsgs, preDirs int64
+			m := machine(p)
+			m.Execute(func(loc *runtime.Location) {
+				g := pgraph.New[int64, int8](loc, 0,
+					pgraph.WithStrategy(pgraph.DynamicDirectory),
+					pgraph.WithDirectoryCache(cached))
+				vds := make([]int64, nv)
+				for i := range vds {
+					vds[i] = g.AddVertex(int64(loc.ID())*nv + int64(i))
+				}
+				loc.Fence()
+				owner := (loc.ID() + 1) % loc.NumLocations()
+				next := runtime.AllGatherT(loc, vds)[owner]
+				reads := next
+				if p >= 3 {
+					reads = make([]int64, 0, len(next))
+					for _, vd := range next {
+						if h := g.Directory().HomeOf(vd); h != loc.ID() && h != owner {
+							reads = append(reads, vd)
+						}
+					}
+				}
+				if loc.ID() == 0 {
+					s := m.Stats()
+					preRMIs, preMsgs, preDirs = s.RMIsSent, s.MessagesSent, s.DirectoryRMIs
+				}
+				loc.Barrier()
+				d := timeSection(loc, func() {
+					var sink int64
+					for r := 0; r < rounds; r++ {
+						for _, vd := range reads {
+							v, _ := g.VertexProperty(vd)
+							sink += v
+						}
+					}
+					_ = sink
+					loc.Fence()
+				})
+				if loc.ID() == 0 {
+					mu.Lock()
+					res.readMS = ms(d)
+					mu.Unlock()
+				}
+				loc.Fence()
+			})
+			s := m.Stats()
+			res.rmis = s.RMIsSent - preRMIs
+			res.msgs = s.MessagesSent - preMsgs
+			res.dirs = s.DirectoryRMIs - preDirs
+			return res
+		}
+
+		uncached := runMode(false)
+		cached := runMode(true)
+		param := fmt.Sprintf("P=%d verts/loc=%d rounds=%d", p, nv, rounds)
+		add := func(series string, value float64, unit string) {
+			rows = append(rows, Row{Experiment: "directory", Series: series, Param: param, Value: value, Unit: unit})
+		}
+		add("repeat remote reads (uncached)", uncached.readMS, "ms")
+		add("repeat remote reads (cached)", cached.readMS, "ms")
+		add("rmis (uncached)", float64(uncached.rmis), "rmis")
+		add("rmis (cached)", float64(cached.rmis), "rmis")
+		add("messages (uncached)", float64(uncached.msgs), "msgs")
+		add("messages (cached)", float64(cached.msgs), "msgs")
+		add("directory maintenance (uncached)", float64(uncached.dirs), "rmis")
+		add("directory maintenance (cached)", float64(cached.dirs), "rmis")
+		if cached.rmis > 0 {
+			add("rmi reduction", float64(uncached.rmis)/float64(cached.rmis), "x")
+		}
+		if cached.msgs > 0 {
+			add("message reduction", float64(uncached.msgs)/float64(cached.msgs), "x")
+		}
+	}
+	return rows
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/containers/parray"
 	"repro/internal/containers/passoc"
 	"repro/internal/containers/pgraph"
+	"repro/internal/containers/plist"
 	"repro/internal/containers/pvector"
 	"repro/internal/domain"
 	"repro/internal/partition"
@@ -27,6 +28,7 @@ func RedistributeRebalance(cfg Config) []Row {
 		rows = append(rows, redistVector(p, n)...)
 		rows = append(rows, redistHashMap(p, n)...)
 		rows = append(rows, redistGraph(p, n)...)
+		rows = append(rows, redistList(p, n)...)
 	}
 	return rows
 }
@@ -142,6 +144,30 @@ func redistHashMap(p int, n int64) []Row {
 		return b, partition.CollectLoad(loc, h.LocalSize()).Imbalance()
 	})
 	return redistReport("pHashMap", p, n, before, after, rmis, bytes)
+}
+
+func redistList(p int, n int64) []Row {
+	// Keep the list smaller than the flat containers: per-element directory
+	// publication makes construction communication-heavy.
+	nl := n / 4
+	if nl < int64(p) {
+		nl = int64(p)
+	}
+	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+		l := plist.New[int64](loc, plist.WithDirectory())
+		// Skew: location 0 pushes (almost) everything, the others a token
+		// share — the shape PushAnywhere produces under one hot producer.
+		sizes := skewedSizes(nl, p)
+		for i := int64(0); i < sizes[loc.ID()]; i++ {
+			l.PushAnywhere(int64(loc.ID())*nl + i)
+		}
+		loc.Fence()
+		b := partition.CollectLoad(loc, l.LocalSize()).Imbalance()
+		snapshot()
+		l.Rebalance()
+		return b, partition.CollectLoad(loc, l.LocalSize()).Imbalance()
+	})
+	return redistReport("pList", p, nl, before, after, rmis, bytes)
 }
 
 func redistGraph(p int, n int64) []Row {

@@ -31,6 +31,10 @@ type HashMap[K comparable, V any] struct {
 
 	part   *partition.Hashed[K]
 	mapper partition.Mapper
+
+	// dir is the exception overlay of the key-migration option (see
+	// migrate.go); nil when the overlay is disabled.
+	dir *core.Directory[K]
 }
 
 // HashOption customises pHashMap construction.
@@ -38,6 +42,11 @@ type HashOption struct {
 	// SubdomainsPerLocation sets how many hash buckets (bContainers) each
 	// location owns; the default is 1.
 	SubdomainsPerLocation int
+	// KeyMigration enables the directory-backed key-migration overlay:
+	// MigrateKeys can move individual keys away from their hash bucket, and
+	// lookups of migrated keys are served through the shared distributed
+	// directory with per-location resolution caching (see migrate.go).
+	KeyMigration bool
 	// Traits overrides the default container traits.
 	Traits *core.Traits
 }
@@ -61,7 +70,22 @@ func NewHashMap[K comparable, V any](loc *runtime.Location, hash func(K) uint64,
 	part := partition.NewHashed[K](p*per, hash)
 	mapper := partition.NewBlockedMapper(part.NumSubdomains(), p)
 	h := &HashMap[K, V]{part: part, mapper: mapper}
-	h.InitContainer(loc, hashResolver[K]{part: part, mapper: mapper}, traits)
+	if o.KeyMigration {
+		h.InitContainer(loc, migratingResolver[K, V]{h: h}, traits)
+		// The exception entry for a key is homed on its closed-form hash
+		// owner, so unmigrated keys never pay an extra hop (their first
+		// remote access per location and epoch additionally triggers one
+		// negative cache fill, after which the overlay is silent for them);
+		// the home and owner functions read the live partition metadata,
+		// following Redistribute's mapper swaps.
+		h.dir = core.NewDirectory(loc, core.DirectoryConfig[K]{
+			Home:     func(k K) int { return h.mapper.Map(h.part.Find(k).BCID) },
+			OwnerLoc: func(b partition.BCID) int { return h.mapper.Map(b) },
+			Cache:    true,
+		})
+	} else {
+		h.InitContainer(loc, hashResolver[K]{part: part, mapper: mapper}, traits)
+	}
 	for _, b := range mapper.LocalBCIDs(loc.ID()) {
 		h.LocationManager().Add(bcontainer.NewHashMap[K, V](b))
 	}

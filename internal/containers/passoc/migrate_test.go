@@ -1,0 +1,105 @@
+package passoc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func TestHashMapMigrateKeys(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		h := NewHashMap[int64, int64](loc, partition.Int64Hash,
+			HashOption{SubdomainsPerLocation: 2, KeyMigration: true})
+		if h.KeyDirectory() == nil {
+			t.Fatal("key-migration overlay not active")
+		}
+		const n = 200
+		for k := int64(loc.ID()); k < n; k += int64(loc.NumLocations()) {
+			h.Insert(k, 10*k)
+		}
+		loc.Fence()
+		// Location 2 pulls the "hot" keys 0..9 next to itself.
+		var hot []int64
+		if loc.ID() == 2 {
+			for k := int64(0); k < 10; k++ {
+				hot = append(hot, k)
+			}
+		}
+		h.MigrateKeys(hot, 2)
+		// Every key — migrated or not — still resolves to its value from
+		// every location.
+		for k := int64(0); k < n; k++ {
+			if v, ok := h.Find(k); !ok || v != 10*k {
+				t.Errorf("Find(%d) = %d,%v after migration", k, v, ok)
+			}
+		}
+		loc.Barrier()
+		// Updates of a migrated key land at its new bucket and stay visible.
+		h.Apply(3, func(v int64) int64 { return v + 1 })
+		loc.Fence()
+		if v, _ := h.Find(3); v != 30+int64(loc.NumLocations()) {
+			t.Errorf("migrated key lost updates: %d", v)
+		}
+		// Repeat remote lookups of migrated keys are served by the cache.
+		if loc.ID() == 0 {
+			for r := 0; r < 3; r++ {
+				for k := int64(0); k < 10; k++ {
+					h.Find(k)
+				}
+			}
+			if hits, _, _ := h.KeyDirectory().CacheStats(); hits == 0 {
+				t.Error("repeat lookups of migrated keys never hit the cache")
+			}
+		}
+		loc.Fence()
+		if got := h.Size(); got != n {
+			t.Errorf("size = %d", got)
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapRedistributeResetsMigrations(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		h := NewHashMap[int64, int64](loc, partition.Int64Hash,
+			HashOption{SubdomainsPerLocation: 2, KeyMigration: true})
+		const n = 100
+		for k := int64(loc.ID()); k < n; k += int64(loc.NumLocations()) {
+			h.Insert(k, k)
+		}
+		loc.Fence()
+		var hot []int64
+		if loc.ID() == 0 {
+			hot = []int64{1, 2, 3, 4, 5}
+		}
+		h.MigrateKeys(hot, 3)
+		// A rebalance routes every pair by the closed form again: the
+		// exception entries are dropped and everything still resolves.
+		h.Rebalance()
+		for k := int64(0); k < n; k++ {
+			if v, ok := h.Find(k); !ok || v != k {
+				t.Errorf("Find(%d) = %d,%v after redistribute", k, v, ok)
+			}
+		}
+		if entries := runtime.AllReduceSum(loc, int64(h.KeyDirectory().LocalEntries())); entries != 0 {
+			t.Errorf("redistribute left %d exception entries", entries)
+		}
+		loc.Fence()
+	})
+}
+
+func TestHashMapMigrateKeysRequiresOverlay(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		h := NewHashMap[int64, int64](loc, partition.Int64Hash)
+		loc.Fence()
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(r.(string), "KeyMigration") {
+				t.Errorf("MigrateKeys without the overlay did not fail fast: %v", r)
+			}
+			loc.Fence()
+		}()
+		h.MigrateKeys(nil, 0)
+	})
+}

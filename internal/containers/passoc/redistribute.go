@@ -19,7 +19,10 @@ type kvPair[K comparable, V any] struct {
 // partition and mapper, through the shared redistribution engine in package
 // core.  The new partition may change the number of hash buckets or the
 // hash function; the mapper may place buckets on arbitrary locations.
-// Collective; every location passes identical arguments.
+// Every pair is routed by the new closed form, so keys moved by the
+// key-migration overlay snap back to their hash bucket and the exception
+// directory is reset (entries cleared, caches invalidated).  Collective;
+// every location passes identical arguments.
 func (h *HashMap[K, V]) Redistribute(newPart *partition.Hashed[K], newMapper partition.Mapper) {
 	loc := h.Location()
 	var probe kvPair[K, V]
@@ -45,8 +48,16 @@ func (h *HashMap[K, V]) Redistribute(newPart *partition.Hashed[K], newMapper par
 		Bytes: func(kvPair[K, V]) int { return elemBytes },
 		Install: func(lm *core.LocationManager[*bcontainer.HashMap[K, V]]) {
 			h.ReplaceLocationManager(lm)
-			h.SetResolver(hashResolver[K]{part: newPart, mapper: newMapper})
 			h.part, h.mapper = newPart, newMapper
+			if h.dir != nil {
+				// The overlay resolver reads the live part/mapper fields;
+				// dropping the exception entries and caches here keeps
+				// every slice consistent before the final barrier releases
+				// element traffic.
+				h.dir.Reset()
+			} else {
+				h.SetResolver(hashResolver[K]{part: newPart, mapper: newMapper})
+			}
 		},
 	})
 }

@@ -99,27 +99,15 @@ func (g *Graph[VP, EP]) AddVerticesBulk(vs []VertexSpec[VP]) {
 				return
 			}
 			// Publish the new homes from the home location AFTER the
-			// vertices exist (like publishDirectory on the per-element
-			// path): a directory entry must never lead a resolver to a
-			// home that has not created the vertex yet.  Still batched:
-			// one bulk RMI per (home, directory location) pair.
-			home := og.Location().ID()
-			byDir := make(map[int][]int)
-			for _, k := range group {
-				d := og.directoryLocation(vs[k].VD)
-				byDir[d] = append(byDir[d], k)
+			// vertices exist (like the per-element path): a directory entry
+			// must never lead a resolver to a home that has not created the
+			// vertex yet.  PublishBulk keeps the traffic batched: one bulk
+			// RMI per (home, directory location) pair.
+			vds := make([]int64, len(group))
+			for i, k := range group {
+				vds[i] = vs[k].VD
 			}
-			for dirLoc, dgroup := range byDir {
-				dgroup := dgroup
-				og.Location().AsyncRMIBulk(dirLoc, og.graphHandle, len(dgroup), 16*len(dgroup), func(dobj any, _ *runtime.Location) {
-					dg := dobj.(*Graph[VP, EP])
-					dg.dirMu.Lock()
-					for _, k := range dgroup {
-						dg.directory[vs[k].VD] = partition.BCID(home)
-					}
-					dg.dirMu.Unlock()
-				})
-			}
+			og.dir.PublishBulk(vds, partition.BCID(og.Location().ID()))
 		})
 	}
 }

@@ -235,8 +235,9 @@ func (g *Graph[VP, EP]) UpdateLocalVertices(fn func(vd int64, prop VP) VP) {
 
 // MemorySize returns the container-wide footprint.  Collective.
 func (g *Graph[VP, EP]) MemorySize() core.MemoryUsage {
-	g.dirMu.RLock()
-	dirBytes := int64(len(g.directory)) * 16
-	g.dirMu.RUnlock()
+	var dirBytes int64
+	if g.dir != nil {
+		dirBytes = g.dir.MemoryBytes()
+	}
 	return g.GlobalMemory(dirBytes + 64)
 }

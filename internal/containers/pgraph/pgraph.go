@@ -27,6 +27,12 @@ import (
 	"repro/internal/runtime"
 )
 
+// The DynamicDirectory strategy runs on the shared distributed-directory
+// subsystem (core.Directory): ownership entries live on the home location
+// hash(vd) % P, remote resolutions forward through the home, and a
+// per-location resolution cache removes the directory hop from repeat
+// remote accesses (see internal/core/directory.go).
+
 // Strategy selects the pGraph address-translation scheme.
 type Strategy int
 
@@ -79,13 +85,12 @@ type Graph[VP any, EP any] struct {
 	ctrMu   sync.Mutex
 	nextCtr int64
 
-	// Distributed directory (DynamicDirectory strategy): the slice of the
-	// vd → home map this location is responsible for.
-	dirMu     sync.RWMutex
-	directory map[int64]partition.BCID
+	// dir is the shared distributed directory recording vd → home for the
+	// DynamicDirectory strategy (nil for the other strategies).
+	dir *core.Directory[int64]
 
 	// graphHandle addresses the outer Graph representative for graph-level
-	// RMIs (directory updates, reverse-edge insertion, visit dispatch).
+	// RMIs (reverse-edge insertion, visit dispatch).
 	graphHandle runtime.Handle
 }
 
@@ -101,6 +106,9 @@ type Options struct {
 	Strategy Strategy
 	// HasStrategy marks Strategy as explicitly set.
 	HasStrategy bool
+	// DirectoryCache disables the directory's per-location resolution cache
+	// when false (DynamicDirectory strategy only; default on).
+	DirectoryCache bool
 	// Traits overrides the default container traits.
 	Traits *core.Traits
 }
@@ -117,6 +125,15 @@ func WithMulti(m bool) Option { return func(o *Options) { o.Multi = m } }
 // WithStrategy selects the address-translation strategy.
 func WithStrategy(s Strategy) Option {
 	return func(o *Options) { o.Strategy = s; o.HasStrategy = true }
+}
+
+// WithDirectoryCache enables or disables the per-location resolution cache
+// of the DynamicDirectory strategy (default enabled).  Disabling it restores
+// the pure forwarding path of the paper's "dynamic, with forwarding"
+// partition — every remote access pays the directory hop — which the
+// `directory` bench experiment uses as its baseline.
+func WithDirectoryCache(on bool) Option {
+	return func(o *Options) { o.DirectoryCache = on }
 }
 
 // WithTraits overrides the default traits.
@@ -141,7 +158,8 @@ func (encodedResolver) Find(vd int64) partition.Info {
 func (encodedResolver) OwnerOf(b partition.BCID) int { return int(b) }
 
 // directoryResolver resolves through the local bContainer first, then the
-// distributed directory, forwarding when neither knows the vertex.
+// shared distributed directory (cache, then home), forwarding when neither
+// knows the vertex.
 type directoryResolver[VP any, EP any] struct {
 	g *Graph[VP, EP]
 }
@@ -152,19 +170,7 @@ func (r directoryResolver[VP, EP]) Find(vd int64) partition.Info {
 	if bc, ok := r.g.LocationManager().Get(partition.BCID(self)); ok && bc.HasVertex(vd) {
 		return partition.Found(partition.BCID(self))
 	}
-	dirLoc := r.g.directoryLocation(vd)
-	if dirLoc == self {
-		r.g.dirMu.RLock()
-		home, ok := r.g.directory[vd]
-		r.g.dirMu.RUnlock()
-		if ok {
-			return partition.Found(home)
-		}
-		// Unknown vertex: report the directory location itself as owner of
-		// record; the caller's action will observe a missing vertex.
-		return partition.Found(partition.BCID(self))
-	}
-	return partition.Forward(dirLoc)
+	return r.g.dir.Resolve(vd)
 }
 
 func (r directoryResolver[VP, EP]) OwnerOf(b partition.BCID) int { return int(b) }
@@ -173,7 +179,7 @@ func (r directoryResolver[VP, EP]) OwnerOf(b partition.BCID) int { return int(b)
 // for the Static strategy; dynamic strategies typically pass n == 0 and add
 // vertices at run time.  Collective.
 func New[VP any, EP any](loc *runtime.Location, n int64, opts ...Option) *Graph[VP, EP] {
-	o := Options{Directed: true, Multi: true}
+	o := Options{Directed: true, Multi: true, DirectoryCache: true}
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -189,11 +195,10 @@ func New[VP any, EP any](loc *runtime.Location, n int64, opts ...Option) *Graph[
 		traits = *o.Traits
 	}
 	g := &Graph[VP, EP]{
-		directed:  o.Directed,
-		multi:     o.Multi,
-		strategy:  o.Strategy,
-		staticN:   n,
-		directory: make(map[int64]partition.BCID),
+		directed: o.Directed,
+		multi:    o.Multi,
+		strategy: o.Strategy,
+		staticN:  n,
 	}
 	p := loc.NumLocations()
 	switch o.Strategy {
@@ -207,6 +212,10 @@ func New[VP any, EP any](loc *runtime.Location, n int64, opts ...Option) *Graph[
 		g.InitContainer(loc, encodedResolver{}, traits)
 	case DynamicDirectory:
 		g.InitContainer(loc, directoryResolver[VP, EP]{g: g}, traits)
+		g.dir = core.NewDirectory(loc, core.DirectoryConfig[int64]{
+			Hash:  partition.Int64Hash,
+			Cache: o.DirectoryCache,
+		})
 	}
 	// One graph base container per location, identified by the location id.
 	bc := bcontainer.NewGraph[VP, EP](partition.BCID(loc.ID()))
@@ -262,12 +271,6 @@ func (g *Graph[VP, EP]) requireDynamic(op string) {
 	}
 }
 
-// directoryLocation returns the location responsible for the directory entry
-// of vd.
-func (g *Graph[VP, EP]) directoryLocation(vd int64) int {
-	return int(partition.Int64Hash(vd) % uint64(g.Location().NumLocations()))
-}
-
 // AddVertex creates a new vertex with the given property on this location
 // and returns its descriptor.  For the directory strategy the directory
 // entry is published asynchronously; it is globally visible by the next
@@ -282,7 +285,7 @@ func (g *Graph[VP, EP]) AddVertex(prop VP) int64 {
 	vd := encodeDescriptor(loc.ID(), ctr)
 	g.withLocal(core.Write, func(bc *bcontainer.Graph[VP, EP]) any { return bc.AddVertex(vd, prop) })
 	if g.strategy == DynamicDirectory {
-		g.publishDirectory(vd, partition.BCID(loc.ID()))
+		g.dir.Publish(vd, partition.BCID(loc.ID()))
 	}
 	return vd
 }
@@ -306,19 +309,12 @@ func (g *Graph[VP, EP]) AddVertexWithDescriptor(vd int64, prop VP) {
 		home := descriptorHome(vd)
 		g.atGraph(home, func(og *Graph[VP, EP]) {
 			og.withLocal(core.Write, func(bc *bcontainer.Graph[VP, EP]) any { return bc.AddVertex(vd, prop) })
-			og.publishDirectory(vd, partition.BCID(home))
+			// Publish from the home AFTER the vertex exists: a directory
+			// entry must never lead a resolver to a home that has not
+			// created the vertex yet.
+			og.dir.Publish(vd, partition.BCID(home))
 		})
 	}
-}
-
-// publishDirectory records vd's home in the distributed directory.
-func (g *Graph[VP, EP]) publishDirectory(vd int64, home partition.BCID) {
-	dirLoc := g.directoryLocation(vd)
-	g.atGraph(dirLoc, func(og *Graph[VP, EP]) {
-		og.dirMu.Lock()
-		og.directory[vd] = home
-		og.dirMu.Unlock()
-	})
 }
 
 // atGraph runs fn against the Graph representative on location dest
@@ -346,11 +342,11 @@ func (g *Graph[VP, EP]) DeleteVertex(vd int64) {
 		bc.DeleteVertex(vd)
 	})
 	if g.strategy == DynamicDirectory {
-		dirLoc := g.directoryLocation(vd)
-		g.atGraph(dirLoc, func(og *Graph[VP, EP]) {
-			og.dirMu.Lock()
-			delete(og.directory, vd)
-			og.dirMu.Unlock()
-		})
+		g.dir.Unpublish(vd)
 	}
 }
+
+// Directory exposes the shared distributed directory of the DynamicDirectory
+// strategy (nil for the other strategies); tests and experiments use it to
+// inspect cache behaviour.
+func (g *Graph[VP, EP]) Directory() *core.Directory[int64] { return g.dir }

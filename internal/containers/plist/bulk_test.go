@@ -1,0 +1,103 @@
+package plist
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// bulkEquivalence drives SetBulk/GetBulk/ApplyBulk against the element-wise
+// loops on two lists built the same way, in the given mode.
+func bulkEquivalence(t *testing.T, opts ...Option) {
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		bulk := New[int](loc, opts...)
+		elem := New[int](loc, opts...)
+
+		// Each location contributes a segment to both lists.
+		const perLoc = 25
+		bulkGIDs := make([]GID, perLoc)
+		elemGIDs := make([]GID, perLoc)
+		for i := 0; i < perLoc; i++ {
+			bulkGIDs[i] = bulk.PushAnywhere(0)
+			elemGIDs[i] = elem.PushAnywhere(0)
+		}
+		loc.Fence()
+		// Every location writes the NEXT location's elements (remote batch).
+		next := (loc.ID() + 1) % loc.NumLocations()
+		bTargets := runtime.AllGatherT(loc, bulkGIDs)[next]
+		eTargets := runtime.AllGatherT(loc, elemGIDs)[next]
+		vals := make([]int, perLoc)
+		for i := range vals {
+			vals[i] = 100*next + i
+		}
+		bulk.SetBulk(bTargets, vals)
+		for k := range eTargets {
+			elem.Set(eTargets[k], vals[k])
+		}
+		loc.Fence()
+		for k := range bulkGIDs {
+			if got, want := bulk.Get(bulkGIDs[k]), elem.Get(elemGIDs[k]); got != want {
+				t.Errorf("element %d: bulk=%d elementwise=%d", k, got, want)
+			}
+		}
+		loc.Barrier()
+
+		// GetBulk agrees with Get.
+		got := bulk.GetBulk(bTargets)
+		for k, g := range bTargets {
+			if want := bulk.Get(g); got[k] != want {
+				t.Errorf("GetBulk[%d] = %d, want %d", k, got[k], want)
+			}
+		}
+		loc.Barrier()
+
+		// ApplyBulk equals the elementwise Apply loop.
+		bulk.ApplyBulk(bTargets, func(x int) int { return 2*x + 1 })
+		for _, g := range eTargets {
+			elem.Apply(g, func(x int) int { return 2*x + 1 })
+		}
+		loc.Fence()
+		for k := range bulkGIDs {
+			if got, want := bulk.Get(bulkGIDs[k]), elem.Get(elemGIDs[k]); got != want {
+				t.Errorf("after apply, element %d: bulk=%d elementwise=%d", k, got, want)
+			}
+		}
+		loc.Barrier()
+
+		// Empty batch.
+		bulk.SetBulk(nil, nil)
+		bulk.ApplyBulk(nil, func(x int) int { return x })
+		if out := bulk.GetBulk(nil); len(out) != 0 {
+			t.Errorf("GetBulk(nil) returned %d values", len(out))
+		}
+
+		// All-local batch: one data bracket, no messages needed.
+		localVals := make([]int, perLoc)
+		for i := range localVals {
+			localVals[i] = -i
+		}
+		bulk.SetBulk(bulkGIDs, localVals)
+		for k := range elemGIDs {
+			elem.Set(elemGIDs[k], localVals[k])
+		}
+		loc.Fence()
+		for k := range bulkGIDs {
+			if got, want := bulk.Get(bulkGIDs[k]), elem.Get(elemGIDs[k]); got != want {
+				t.Errorf("after local batch, element %d: bulk=%d elementwise=%d", k, got, want)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestListBulkEquivalence(t *testing.T)          { bulkEquivalence(t) }
+func TestListBulkEquivalenceDirectory(t *testing.T) { bulkEquivalence(t, WithDirectory()) }
+
+func TestListBulkLengthMismatchPanics(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		l := New[int](loc)
+		mustPanic(t, "length mismatch", func() { l.SetBulk(make([]GID, 2), make([]int, 1)) })
+		loc.Fence()
+	})
+}

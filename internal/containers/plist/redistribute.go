@@ -1,0 +1,152 @@
+package plist
+
+import (
+	"fmt"
+
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// Element migration and load balancing for the directory-backed mode.  The
+// encoded mode hard-codes the storage location into every GID, so its
+// elements can never move; the directory-backed mode records placement in
+// the shared distributed directory, and these services move elements and
+// republish their entries through core.MigrateElements.
+//
+// Ordering: elements that stay on a location keep their relative order;
+// migrated elements are appended to the destination segment (the arrival
+// order of elements from different source locations is unspecified, like
+// push_anywhere's placement).
+
+// listElem is the element record shipped between locations: the globally
+// unique node id (which encodes the GID) and the value.
+type listElem[T any] struct {
+	id  int64
+	val T
+}
+
+// requireDirectory panics when a service that needs movable elements is
+// invoked on an encoded-mode list.
+func (l *List[T]) requireDirectory(op string) {
+	if !l.directory {
+		panic(fmt.Sprintf("plist: %s requires the directory-backed mode (WithDirectory); encoded GIDs cannot move", op))
+	}
+}
+
+// migrate runs the collective element-migration protocol for this location's
+// move requests (gid → destination location); see core.MigrateElements.
+func (l *List[T]) migrate(moves map[GID]int) {
+	l.requireDirectory("element migration")
+	elemBytes := core.ElemBytes[T]()
+	core.MigrateElements(l.Location(), l.dir, moves, core.DirectoryMigration[listElem[T], GID, *bcontainer.List[T]]{
+		Alloc: func(b partition.BCID) *bcontainer.List[T] { return bcontainer.NewList[T](b) },
+		Enumerate: func(emit func(listElem[T])) {
+			l.ForEachLocalBC(core.Read, func(bc *bcontainer.List[T]) {
+				bc.Range(func(id int64, val T) bool {
+					emit(listElem[T]{id: id, val: val})
+					return true
+				})
+			})
+		},
+		GID:   func(e listElem[T]) GID { return GID{Loc: int32(e.id >> gidShift), ID: e.id} },
+		Place: func(bc *bcontainer.List[T], e listElem[T]) { bc.PushBackID(e.id, e.val) },
+		Bytes: func(listElem[T]) int { return elemBytes },
+		Install: func(lm *core.LocationManager[*bcontainer.List[T]]) {
+			l.ReplaceLocationManager(lm)
+		},
+	})
+}
+
+// MigrateElements moves the named elements to the given destination
+// location.  Their GIDs stay valid: the directory entries are republished by
+// the migration and every location's resolution cache is invalidated.
+// Collective — every location calls it; the union of all locations' requests
+// is applied in one protocol round, so different locations may name
+// different elements (and destinations) in the same call.  The container
+// must be quiescent (fence first after element traffic).
+func (l *List[T]) MigrateElements(gids []GID, dest int) {
+	l.requireDirectory("MigrateElements")
+	moves := make(map[GID]int, len(gids))
+	for _, g := range gids {
+		checkValid(g)
+		moves[g] = dest
+	}
+	l.migrate(moves)
+}
+
+// Redistribute moves elements between locations until location i holds
+// exactly targets[i] elements (the counts must sum to the list size).
+// Surplus locations ship their front elements to deficit locations in
+// location order — a deterministic flow plan every location derives from the
+// same gathered counts, with each location contributing the move requests
+// for its own elements.  Directory-backed mode only.  Collective.
+func (l *List[T]) Redistribute(targets []int64) {
+	l.requireDirectory("Redistribute")
+	loc := l.Location()
+	p := loc.NumLocations()
+	if len(targets) != p {
+		panic(fmt.Sprintf("plist: Redistribute needs %d target counts, got %d", p, len(targets)))
+	}
+	counts := runtime.AllGatherT(loc, l.LocalSize())
+	var total, want int64
+	for i := range counts {
+		total += counts[i]
+		want += targets[i]
+	}
+	if total != want {
+		panic(fmt.Sprintf("plist: target counts sum to %d, list has %d elements", want, total))
+	}
+	// Two-pointer flow plan over the surplus vector.
+	surplus := make([]int64, p)
+	for i := range counts {
+		surplus[i] = counts[i] - targets[i]
+	}
+	moves := make(map[GID]int)
+	self := loc.ID()
+	var mine []GID
+	next := 0
+	s, d := 0, 0
+	for {
+		for s < p && surplus[s] <= 0 {
+			s++
+		}
+		for d < p && surplus[d] >= 0 {
+			d++
+		}
+		if s >= p || d >= p {
+			break
+		}
+		n := surplus[s]
+		if need := -surplus[d]; need < n {
+			n = need
+		}
+		if s == self {
+			if mine == nil {
+				l.LocalRange(func(g GID, _ T) bool {
+					mine = append(mine, g)
+					return true
+				})
+			}
+			for i := int64(0); i < n; i++ {
+				moves[mine[next]] = d
+				next++
+			}
+		}
+		surplus[s] -= n
+		surplus[d] += n
+	}
+	l.migrate(moves)
+}
+
+// Rebalance evens out the per-location element counts using the
+// load-balance advisor's balanced proposal.  Directory-backed mode only.
+// Collective.
+func (l *List[T]) Rebalance() {
+	l.requireDirectory("Rebalance")
+	stats := partition.CollectLoad(l.Location(), l.LocalSize())
+	part, _ := stats.ProposeBalanced(domain.NewRange1D(0, stats.Total))
+	l.Redistribute(part.SubSizes())
+}

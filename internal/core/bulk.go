@@ -102,25 +102,29 @@ func (c *Container[G, B]) bulkHop(gids []G, idxs []int, mode AccessMode, bytesPe
 
 	// Resolve every selected element under a single metadata bracket (one
 	// lock acquisition for the whole batch instead of one per element).
+	// The bracket is released by defer so that a resolution panic — the
+	// unresolvable-GID guard below or a fail-fast resolver — does not leak
+	// the lock to a recovering caller.
 	type target struct {
 		dest int
 		bcid partition.BCID // valid only when local
 	}
 	targets := make([]target, n)
-	c.ths.MetadataAccessPre(Read)
-	for i := 0; i < n; i++ {
-		info := c.resolver.Find(gids[at(i)])
-		if info.Valid {
-			targets[i] = target{dest: c.resolver.OwnerOf(info.BCID), bcid: info.BCID}
-		} else {
-			if info.Hint == self {
-				c.ths.MetadataAccessPost(Read)
-				panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gids[at(i)]))
+	func() {
+		c.ths.MetadataAccessPre(Read)
+		defer c.ths.MetadataAccessPost(Read)
+		for i := 0; i < n; i++ {
+			info := c.resolver.Find(gids[at(i)])
+			if info.Valid {
+				targets[i] = target{dest: c.resolver.OwnerOf(info.BCID), bcid: info.BCID}
+			} else {
+				if info.Hint == self {
+					panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gids[at(i)]))
+				}
+				targets[i] = target{dest: info.Hint, bcid: partition.BCID(-1)}
 			}
-			targets[i] = target{dest: info.Hint, bcid: partition.BCID(-1)}
 		}
-	}
-	c.ths.MetadataAccessPost(Read)
+	}()
 
 	// Group by owner: local elements by base container, remote (and
 	// hint-forwarded) elements by destination location.  Slice order is

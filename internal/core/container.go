@@ -111,11 +111,12 @@ func (c *Container[G, B]) ThreadSafety() ThreadSafety { return c.ths }
 func (c *Container[G, B]) Sequential() bool { return c.traits.Consistency == Sequential }
 
 // IsLocal reports whether gid resolves to a base container stored on this
-// location (Table XII's is_local).
+// location (Table XII's is_local).  The metadata bracket is released by
+// defer so a fail-fast resolver panic does not leak the lock.
 func (c *Container[G, B]) IsLocal(gid G) bool {
 	c.ths.MetadataAccessPre(Read)
+	defer c.ths.MetadataAccessPost(Read)
 	info := c.resolver.Find(gid)
-	c.ths.MetadataAccessPost(Read)
 	if !info.Valid {
 		return false
 	}
@@ -126,8 +127,8 @@ func (c *Container[G, B]) IsLocal(gid G) bool {
 // (Table XII's lookup).
 func (c *Container[G, B]) Lookup(gid G) int {
 	c.ths.MetadataAccessPre(Read)
+	defer c.ths.MetadataAccessPost(Read)
 	info := c.resolver.Find(gid)
-	c.ths.MetadataAccessPost(Read)
 	if !info.Valid {
 		return info.Hint
 	}

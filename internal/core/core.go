@@ -16,6 +16,11 @@
 //     executes the requested action there — locally when possible, through
 //     an RMI otherwise — and supports method forwarding when the home of a
 //     GID is not known locally;
+//   - the distributed directory (directory.go): the explicit-ownership
+//     resolution scheme for containers whose placement is not computable,
+//     with home-hashed entries, a per-location resolution cache under
+//     epoch invalidation, and an element-migration service layered on the
+//     shared redistribution engine;
 //   - the pContainer base (Table XI): SPMD-collective construction and
 //     registration with the RTS, global size and memory accounting, and the
 //     traits used to customise all of the above per container instance.

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func newTestDirectory(loc *runtime.Location, cache bool) *Directory[int64] {
+	d := NewDirectory(loc, DirectoryConfig[int64]{Hash: partition.Int64Hash, Cache: cache})
+	loc.Barrier()
+	return d
+}
+
+func TestDirectoryPublishAndLookup(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		d := newTestDirectory(loc, false)
+		// Every location publishes entries owned by itself.
+		for g := int64(loc.ID()); g < 40; g += int64(loc.NumLocations()) {
+			d.Publish(g, partition.BCID(loc.ID()))
+		}
+		loc.Fence()
+		// Every location sees every entry through the home.
+		for g := int64(0); g < 40; g++ {
+			owner, ok := d.LookupOwner(g)
+			if !ok || int(owner) != int(g)%loc.NumLocations() {
+				t.Errorf("entry %d = %d,%v", g, owner, ok)
+			}
+		}
+		if _, ok := d.LookupOwner(999); ok {
+			t.Error("unpublished GID found")
+		}
+		// Entries are sliced over the homes, none lost.
+		total := runtime.AllReduceSum(loc, int64(d.LocalEntries()))
+		if total != 40 {
+			t.Errorf("total entries = %d, want 40", total)
+		}
+		loc.Fence()
+	})
+}
+
+func TestDirectoryPublishBulkAndUnpublish(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		d := newTestDirectory(loc, false)
+		if loc.ID() == 0 {
+			gids := make([]int64, 100)
+			for i := range gids {
+				gids[i] = int64(i)
+			}
+			d.PublishBulk(gids, partition.BCID(2))
+		}
+		loc.Fence()
+		for g := int64(0); g < 100; g += 17 {
+			if owner, ok := d.LookupOwner(g); !ok || owner != 2 {
+				t.Errorf("bulk entry %d = %d,%v", g, owner, ok)
+			}
+		}
+		loc.Barrier()
+		if loc.ID() == 3 {
+			d.Unpublish(5)
+		}
+		loc.Fence()
+		if _, ok := d.LookupOwner(5); ok {
+			t.Error("unpublished entry still present")
+		}
+		loc.Fence()
+	})
+}
+
+func TestDirectoryResolveSemantics(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		d := newTestDirectory(loc, false)
+		const g = int64(7)
+		home := d.HomeOf(g)
+		if loc.ID() == 0 {
+			d.Publish(g, partition.BCID(3))
+		}
+		loc.Fence()
+		info := d.Resolve(g)
+		if loc.ID() == home {
+			if !info.Valid || info.BCID != 3 {
+				t.Errorf("home resolution = %+v", info)
+			}
+			// A GID the directory has never seen resolves to the home as
+			// owner of record.
+			miss := d.Resolve(int64(1 << 30))
+			if !miss.Valid {
+				t.Errorf("unknown GID at home should resolve to the home: %+v", miss)
+			}
+		} else {
+			// Without a cache, non-home locations always forward to the home.
+			if info.Valid || info.Hint != home {
+				t.Errorf("non-home resolution = %+v, want forward to %d", info, home)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestDirectoryCacheFillAndHit(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		d := newTestDirectory(loc, true)
+		const g = int64(11)
+		home := d.HomeOf(g)
+		owner := (home + 1) % loc.NumLocations()
+		if loc.ID() == home {
+			d.Publish(g, partition.BCID(owner))
+		}
+		loc.Fence()
+		if loc.ID() != home && loc.ID() != owner {
+			// First resolution misses and forwards; the asynchronous fill
+			// lands by the fence at the latest.
+			if info := d.Resolve(g); info.Valid {
+				t.Errorf("cold resolution = %+v, want forward", info)
+			}
+		}
+		loc.Fence()
+		if loc.ID() != home && loc.ID() != owner {
+			info := d.Resolve(g)
+			if !info.Valid || !info.Cached || int(info.BCID) != owner {
+				t.Errorf("warm resolution = %+v, want cached owner %d", info, owner)
+			}
+			hits, misses, size := d.CacheStats()
+			if hits == 0 || misses == 0 || size != 1 {
+				t.Errorf("cache stats = %d/%d/%d", hits, misses, size)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestDirectoryEpochInvalidatesCache(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		d := newTestDirectory(loc, true)
+		const g = int64(3)
+		home := d.HomeOf(g)
+		owner := (home + 1) % loc.NumLocations()
+		if loc.ID() == home {
+			d.Publish(g, partition.BCID(owner))
+		}
+		loc.Fence()
+		d.Resolve(g) // warm (or at least request the fill)
+		loc.Fence()
+		before := d.Epoch()
+		// Every location must have recorded its pre-update epoch before the
+		// updater's bump broadcast can land anywhere.
+		loc.Barrier()
+		// An ownership update bumps every location's epoch and clears the
+		// caches; subsequent resolutions see the new owner via the home.
+		newOwner := (home + 2) % loc.NumLocations()
+		if loc.ID() == 0 {
+			d.Update(g, partition.BCID(newOwner))
+		}
+		loc.Fence()
+		if d.Epoch() == before {
+			t.Errorf("epoch did not advance after Update")
+		}
+		if _, _, size := d.CacheStats(); size != 0 {
+			t.Errorf("cache not cleared after Update: %d entries", size)
+		}
+		if owner, ok := d.LookupOwner(g); !ok || int(owner) != newOwner {
+			t.Errorf("updated entry = %d,%v want %d", owner, ok, newOwner)
+		}
+		loc.Fence()
+	})
+}
+
+func TestDirectoryStaleSelfEntryIsDropped(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		d := newTestDirectory(loc, true)
+		const g = int64(9)
+		home := d.HomeOf(g)
+		other := 1 - home
+		if loc.ID() == other {
+			// Plant a stale entry naming this location itself (as if the
+			// element migrated away mid-flight).  Resolve only runs after
+			// the local fast path failed, so the entry must be treated as
+			// stale and dropped, falling back to the home.
+			d.cacheMu.Lock()
+			d.cache[g] = partition.BCID(other)
+			d.cacheMu.Unlock()
+			info := d.Resolve(g)
+			if info.Valid || info.Hint != home {
+				t.Errorf("self-pointing cache entry not dropped: %+v", info)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestDirectoryFillRefusesSelfEntries(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		d := newTestDirectory(loc, true)
+		const g = int64(9)
+		home := d.HomeOf(g)
+		other := 1 - home
+		if loc.ID() == home {
+			d.Publish(g, partition.BCID(other))
+		}
+		loc.Fence()
+		if loc.ID() == other {
+			d.Resolve(g) // triggers a fill whose answer names this location
+		}
+		loc.Fence()
+		if loc.ID() == other {
+			// Local elements resolve through the container's fast path, not
+			// the cache, so the fill must not have installed the entry.
+			if _, _, size := d.CacheStats(); size != 0 {
+				t.Errorf("fill installed a self-pointing entry (%d cached)", size)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestDirectoryRequiresHashOrHome(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(r.(string), "Hash or Home") {
+				t.Errorf("constructor did not reject empty config: %v", r)
+			}
+		}()
+		NewDirectory[int64](loc, DirectoryConfig[int64]{})
+	})
+}
+
+func TestDirectoryRMIsAccounted(t *testing.T) {
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		d := newTestDirectory(loc, true)
+		for g := int64(0); g < 32; g++ {
+			if d.HomeOf(g) != loc.ID() {
+				continue
+			}
+			d.Publish(g, partition.BCID(loc.ID()))
+		}
+		loc.Fence()
+		// Remote resolutions trigger cache fills, which are directory RMIs.
+		for g := int64(0); g < 32; g++ {
+			d.Resolve(g)
+		}
+		loc.Fence()
+	})
+	if m.Stats().DirectoryRMIs == 0 {
+		t.Error("directory maintenance traffic not accounted")
+	}
+}

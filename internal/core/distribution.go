@@ -125,11 +125,13 @@ func (c *Container[G, B]) invokeReplyHop(gid G, mode AccessMode, action func(loc
 }
 
 // resolve queries the partition (under a metadata read bracket) and the
-// mapper for the location responsible for gid.
+// mapper for the location responsible for gid.  The bracket is released by
+// defer so that a resolver that fails fast (pList's invalid-GID panic) does
+// not leak the metadata lock to a recovering caller.
 func (c *Container[G, B]) resolve(gid G) (dest int, info partition.Info) {
 	c.ths.MetadataAccessPre(Read)
+	defer c.ths.MetadataAccessPost(Read)
 	info = c.resolver.Find(gid)
-	c.ths.MetadataAccessPost(Read)
 	if info.Valid {
 		return c.resolver.OwnerOf(info.BCID), info
 	}

@@ -28,14 +28,26 @@ const InvalidBCID BCID = -1
 // Either Valid is true and BCID identifies the sub-domain, or Valid is false
 // and Hint names a location that may hold more information (method
 // forwarding).
+//
+// Cached marks a resolution that came from a per-location resolution cache
+// rather than an authoritative source (closed-form partition or directory
+// home).  A cached resolution is a hint, not a promise: after an ownership
+// change it may be stale, so the destination's resolver re-validates local
+// presence and forwards once more instead of trusting it — a stale cache
+// entry costs one extra hop, never a wrong answer.
 type Info struct {
-	BCID  BCID
-	Valid bool
-	Hint  int
+	BCID   BCID
+	Valid  bool
+	Hint   int
+	Cached bool
 }
 
 // Found returns an Info naming a resolved sub-domain.
 func Found(b BCID) Info { return Info{BCID: b, Valid: true} }
+
+// FoundCached returns an Info naming a sub-domain resolved through a
+// resolution cache (see Info.Cached).
+func FoundCached(b BCID) Info { return Info{BCID: b, Valid: true, Cached: true} }
 
 // Forward returns an Info that forwards resolution to another location.
 func Forward(loc int) Info { return Info{BCID: InvalidBCID, Valid: false, Hint: loc} }

@@ -81,6 +81,7 @@ type Stats struct {
 	SplitRMIs      int64
 	BulkRMIs       int64 // bulk requests issued
 	BulkOps        int64 // element operations carried by bulk requests
+	DirectoryRMIs  int64 // RMIs carrying directory maintenance (publish, fill, epoch)
 	Fences         int64
 	BytesSimulated int64
 }
@@ -100,9 +101,10 @@ type statShard struct {
 	splitRMIs      atomic.Int64
 	bulkRMIs       atomic.Int64
 	bulkOps        atomic.Int64
+	directoryRMIs  atomic.Int64
 	fences         atomic.Int64
 	bytesSimulated atomic.Int64
-	_              [48]byte // pad to a multiple of 64 bytes
+	_              [40]byte // pad to a multiple of 64 bytes
 }
 
 // NewMachine creates a machine with p locations and the given configuration.
@@ -145,6 +147,7 @@ func (m *Machine) Stats() Stats {
 		s.SplitRMIs += l.stats.splitRMIs.Load()
 		s.BulkRMIs += l.stats.bulkRMIs.Load()
 		s.BulkOps += l.stats.bulkOps.Load()
+		s.DirectoryRMIs += l.stats.directoryRMIs.Load()
 		s.Fences += l.stats.fences.Load()
 		s.BytesSimulated += l.stats.bytesSimulated.Load()
 	}

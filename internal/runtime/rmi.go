@@ -123,6 +123,16 @@ func (l *Location) AsyncRMIBulk(dest int, h Handle, ops, bytes int, fn func(obj 
 	l.machine.locations[dest].inbox.push(req)
 }
 
+// AccountDirectoryRMI attributes n of this location's recently issued RMIs to
+// directory maintenance (ownership publication, cache fills, epoch bumps), so
+// machine statistics can separate the metadata traffic a distributed
+// directory generates from the element traffic it serves.  The RMIs
+// themselves are ordinary Async/Bulk requests and stay counted in
+// RMIsSent/MessagesSent; this is an additional category, like BulkOps.
+func (l *Location) AccountDirectoryRMI(n int) {
+	l.stats.directoryRMIs.Add(int64(n))
+}
+
 // AccountReply records one response message of the given simulated payload
 // size.  Framework code that answers a request out-of-band (bulk gathers,
 // split-phase completions routed through shared memory) uses it so the

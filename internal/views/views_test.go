@@ -108,6 +108,9 @@ func TestStridedView(t *testing.T) {
 		if st.Get(0) != 1 || st.Get(9) != 19 {
 			t.Errorf("strided get wrong: %d %d", st.Get(0), st.Get(9))
 		}
+		// All locations must finish the read-only checks above before any
+		// location starts mutating element 0 below.
+		loc.Barrier()
 		if loc.ID() == 0 {
 			st.Set(0, 100)
 		}
