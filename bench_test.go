@@ -111,6 +111,11 @@ func BenchmarkRedistributeRebalance(b *testing.B) { benchExperiment(b, "redist")
 // off, measuring RMI and message deltas.
 func BenchmarkDirectoryCachedAccess(b *testing.B) { benchExperiment(b, "directory") }
 
+// Composable pView algebra: coarsened vs element-wise execution, zipped
+// axpy/dot, overlap-halo Jacobi sweeps and Segmented-of-Zip reduction,
+// with deterministic message/RMI/byte series.
+func BenchmarkViewsComposition(b *testing.B) { benchExperiment(b, "views") }
+
 // Design-choice ablation: RMI aggregation factor.
 func BenchmarkAblationAggregation(b *testing.B) { benchExperiment(b, "ablation-aggregation") }
 

@@ -7,9 +7,17 @@
 //	pcfbench -list
 //	pcfbench -experiment fig30 -locations 1,2,4,8 -elements 20000
 //	pcfbench -all
+//
+// Machine-readable output and the benchmark-regression gate:
+//
+//	pcfbench -experiment bulk,directory,redist,views -json            # one JSON record per row
+//	pcfbench -experiment ... -json -counters > BENCH_baseline.json    # deterministic counter rows only
+//	pcfbench -experiment ... -baseline BENCH_baseline.json            # compare, exit 1 on >10% growth
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +27,27 @@ import (
 	"repro/internal/bench"
 )
 
+// jsonRow is the machine-readable form of one report row.
+type jsonRow struct {
+	Experiment string  `json:"experiment"`
+	Series     string  `json:"series"`
+	Param      string  `json:"param"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit"`
+}
+
+// counterUnits are the units whose values count requests, not time: they
+// are deterministic for a fixed configuration, which is what makes them
+// pinnable by the CI regression gate.  Timing rows ("ms") and timing-derived
+// ratios ("x") are excluded.
+var counterUnits = map[string]bool{
+	"msgs": true, "rmis": true, "RMIs": true, "bytes": true, "ops": true,
+}
+
+// regressionTolerance is how much a pinned counter may grow before the
+// baseline comparison fails.
+const regressionTolerance = 0.10
+
 func main() {
 	var (
 		list       = flag.Bool("list", false, "list available experiments and exit")
@@ -27,6 +56,9 @@ func main() {
 		locations  = flag.String("locations", "1,2,4,8", "comma-separated machine sizes to sweep")
 		elements   = flag.Int64("elements", 20000, "elements per location (weak-scaling unit)")
 		graphScale = flag.Int("graphscale", 10, "log2 of the SSCA2 graph vertex count")
+		jsonOut    = flag.Bool("json", false, "emit one JSON record per row instead of the report table")
+		counters   = flag.Bool("counters", false, "with -json: emit only deterministic counter rows (msgs/rmis/bytes/ops)")
+		baseline   = flag.String("baseline", "", "compare counter rows against this JSON baseline; exit 1 on >10% growth")
 	)
 	flag.Parse()
 
@@ -68,9 +100,120 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, e := range selected {
-		fmt.Printf("# %s — %s\n", e.ID, e.Description)
-		bench.PrintRows(e.Run(cfg))
-		fmt.Println()
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+			os.Exit(2)
+		}
+		if !compareBaseline(selected, cfg, base) {
+			os.Exit(1)
+		}
+		return
 	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range selected {
+		if !*jsonOut {
+			fmt.Printf("# %s — %s\n", e.ID, e.Description)
+			bench.PrintRows(e.Run(cfg))
+			fmt.Println()
+			continue
+		}
+		for _, r := range sortedRows(e.Run(cfg)) {
+			if *counters && !counterUnits[r.Unit] {
+				continue
+			}
+			if err := enc.Encode(jsonRow{Experiment: r.Experiment, Series: r.Series, Param: r.Param, Value: r.Value, Unit: r.Unit}); err != nil {
+				fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+}
+
+// sortedRows orders rows the way PrintRows does, so JSON output (and the
+// checked-in baseline) is stable across runs.
+func sortedRows(rows []bench.Row) []bench.Row {
+	return bench.SortRows(rows)
+}
+
+// loadBaseline reads a JSON-lines baseline produced by -json.
+func loadBaseline(path string) ([]jsonRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []jsonRow
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r jsonRow
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		rows = append(rows, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("baseline %s holds no rows", path)
+	}
+	return rows, nil
+}
+
+// compareBaseline reruns the selected experiments and checks every counter
+// row of the baseline against the fresh value.  It reports each regression
+// and returns false when any pinned counter grew beyond the tolerance (or a
+// pinned row disappeared).
+func compareBaseline(selected []bench.Experiment, cfg bench.Config, base []jsonRow) bool {
+	current := map[string]float64{}
+	for _, e := range selected {
+		for _, r := range e.Run(cfg) {
+			current[r.Experiment+"|"+r.Series+"|"+r.Param] = r.Value
+		}
+	}
+	ok := true
+	var checked, improved int
+	for _, b := range base {
+		if !counterUnits[b.Unit] {
+			continue
+		}
+		key := b.Experiment + "|" + b.Series + "|" + b.Param
+		cur, found := current[key]
+		if !found {
+			fmt.Printf("MISSING  %-10s %-42s %-24s (baseline %.0f %s)\n", b.Experiment, b.Series, b.Param, b.Value, b.Unit)
+			ok = false
+			continue
+		}
+		checked++
+		switch {
+		case cur <= b.Value:
+			if cur < b.Value {
+				improved++
+			}
+		case b.Value == 0 || (cur-b.Value)/b.Value > regressionTolerance:
+			fmt.Printf("REGRESSED %-10s %-42s %-24s %.0f -> %.0f %s (+%.1f%%)\n",
+				b.Experiment, b.Series, b.Param, b.Value, cur, b.Unit, growthPct(b.Value, cur))
+			ok = false
+		}
+	}
+	fmt.Printf("bench-regression: %d counters checked, %d improved, pass=%v\n", checked, improved, ok)
+	if improved > 0 {
+		fmt.Println("note: improved counters stay green; refresh BENCH_baseline.json to pin the better values")
+	}
+	return ok
+}
+
+func growthPct(base, cur float64) float64 {
+	if base == 0 {
+		return 100
+	}
+	return (cur - base) / base * 100
 }

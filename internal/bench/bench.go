@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"fig60", "generic algorithms on associative pContainers", Fig60AssociativeAlgos},
 		{"fig62", "composition: pArray<pArray>, pList<pArray>, pMatrix row-min", Fig62Composition},
 		{"bulk", "bulk element operations vs per-element RMIs", BulkVsElementwise},
+		{"views", "composable pView algebra: coarsened vs elementwise, zip, overlap halo, segmented", ViewsComposition},
 		{"redist", "redistribution and load balancing: skew, rebalance, traffic", RedistributeRebalance},
 		{"directory", "distributed-directory resolution: cached vs uncached repeat remote access", DirectoryCachedAccess},
 		{"ablation-aggregation", "RMI aggregation on/off (design-choice ablation)", AblationAggregation},
@@ -123,8 +124,9 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// PrintRows writes rows grouped by experiment and series.
-func PrintRows(rows []Row) {
+// SortRows returns the rows ordered by experiment then series (the report
+// order); the input is not modified.
+func SortRows(rows []Row) []Row {
 	sorted := append([]Row(nil), rows...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		if sorted[i].Experiment != sorted[j].Experiment {
@@ -132,7 +134,12 @@ func PrintRows(rows []Row) {
 		}
 		return sorted[i].Series < sorted[j].Series
 	})
-	for _, r := range sorted {
+	return sorted
+}
+
+// PrintRows writes rows grouped by experiment and series.
+func PrintRows(rows []Row) {
+	for _, r := range SortRows(rows) {
 		fmt.Println(r)
 	}
 }

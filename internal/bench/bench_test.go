@@ -54,7 +54,7 @@ func TestFindAndDescriptions(t *testing.T) {
 			t.Errorf("experiment %s incompletely registered", e.ID)
 		}
 		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") &&
-			e.ID != "redist" && e.ID != "bulk" && e.ID != "directory" {
+			e.ID != "redist" && e.ID != "bulk" && e.ID != "directory" && e.ID != "views" {
 			t.Errorf("unexpected experiment id %s", e.ID)
 		}
 	}
@@ -125,6 +125,45 @@ func TestRedistRebalancesBelowThreshold(t *testing.T) {
 	}
 	if checkedBefore != 5 || checkedAfter != 5 {
 		t.Fatalf("expected 5 before and 5 after measurements, got %d/%d", checkedBefore, checkedAfter)
+	}
+}
+
+func TestViewCoarseningMessageReduction(t *testing.T) {
+	// Acceptance floor of the pView algebra: pAlgorithm kernels over
+	// coarsened composed views must issue at least 5x fewer messages than
+	// element-wise traversal of the same views at the default aggregation
+	// factor (16).  The element-wise path pays one request per element
+	// (amortised 16x by aggregation, plus two messages per synchronous
+	// read); the coarsened path walks native chunks in place and ships the
+	// remote remainder as one grouped request per (chunk, owner) pair.
+	cfg := Config{Locations: []int{4}, ElementsPerLocation: 2000, GraphScale: 6}
+	rows := ViewsComposition(cfg)
+	vals := map[string]float64{}
+	for _, r := range rows {
+		vals[r.Series] = r.Value
+	}
+	for _, kernel := range []struct{ elem, coar string }{
+		{"p_for_each messages (elementwise)", "p_for_each messages (coarsened)"},
+		{"axpy messages (elementwise)", "axpy messages (zip coarsened)"},
+	} {
+		elem, okE := vals[kernel.elem]
+		coar, okC := vals[kernel.coar]
+		if !okE || !okC {
+			t.Fatalf("missing series %q/%q in %+v", kernel.elem, kernel.coar, rows)
+		}
+		if coar <= 0 {
+			t.Fatalf("%s = %v, expected remote traffic", kernel.coar, coar)
+		}
+		if elem < 5*coar {
+			t.Errorf("%s=%v vs %s=%v: want >= 5x fewer messages", kernel.elem, elem, kernel.coar, coar)
+		}
+	}
+	// The native path of the composed views stays message-free.
+	if v := vals["segmented zip reduce messages"]; v != 0 {
+		t.Errorf("segmented zip reduce sent %v messages, want 0", v)
+	}
+	if v := vals["dot messages (zip native)"]; v != 0 {
+		t.Errorf("zip-native dot sent %v messages, want 0", v)
 	}
 }
 

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/containers/parray"
+	"repro/internal/domain"
+	"repro/internal/palgo"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// ViewsComposition measures what the composable pView algebra buys on the
+// scenarios the paper's evaluation depends on (Figs. 33, 40, 41, 60, 62
+// route through views): a generic algorithm over a balanced view of a
+// skewed container executed coarsened (native chunks walked in place, the
+// remote remainder shipped as grouped bulk requests) versus element-wise; a
+// zipped axpy/dot over two differently distributed arrays; a 1-D Jacobi
+// stencil whose halo cells travel as one bulk request per neighbour per
+// sweep; and a Segmented-of-Zip reduction that stays entirely native.  The
+// RMI / message / byte series are deterministic (they count requests, not
+// time), which is what lets the CI regression gate pin them.
+func ViewsComposition(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		n := cfg.ElementsPerLocation * int64(p)
+		param := fmt.Sprintf("P=%d N=%d", p, n)
+		add := func(series string, value float64, unit string) {
+			rows = append(rows, Row{Experiment: "views", Series: series, Param: param, Value: value, Unit: unit})
+		}
+
+		// --- Coarsened vs element-wise p_for_each over a balanced view of
+		// a skewed pArray: most locations' work shares live in location 0's
+		// memory, the exact scenario where coarsening decides the message
+		// bill.
+		skewedView := func(loc *runtime.Location) views.Balanced[int64] {
+			part, err := partition.NewExplicit(domain.NewRange1D(0, n), skewedSizes(n, p))
+			if err != nil {
+				panic(err)
+			}
+			a := parray.New[int64](loc, n,
+				parray.WithPartition(part),
+				parray.WithMapper(partition.NewBlockedMapper(p, p)))
+			return views.NewBalanced[int64](views.NewArrayNative(a))
+		}
+		elemMS, elemStats := measuredRun(p, func(loc *runtime.Location) func() {
+			v := skewedView(loc)
+			return func() {
+				for _, r := range v.LocalRanges(loc) {
+					for i := r.Lo; i < r.Hi; i++ {
+						v.Set(i, v.Get(i)+1)
+					}
+				}
+				loc.Fence()
+			}
+		})
+		coarMS, coarStats := measuredRun(p, func(loc *runtime.Location) func() {
+			v := skewedView(loc)
+			return func() {
+				palgo.TransformInPlace(loc, v, func(_ int64, x int64) int64 { return x + 1 })
+			}
+		})
+		add("p_for_each (elementwise)", elemMS, "ms")
+		add("p_for_each (coarsened)", coarMS, "ms")
+		add("p_for_each rmis (elementwise)", float64(elemStats.RMIsSent), "rmis")
+		add("p_for_each rmis (coarsened)", float64(coarStats.RMIsSent), "rmis")
+		add("p_for_each messages (elementwise)", float64(elemStats.MessagesSent), "msgs")
+		add("p_for_each messages (coarsened)", float64(coarStats.MessagesSent), "msgs")
+		add("p_for_each bytes (elementwise)", float64(elemStats.BytesSimulated), "bytes")
+		add("p_for_each bytes (coarsened)", float64(coarStats.BytesSimulated), "bytes")
+		if coarStats.MessagesSent > 0 {
+			add("p_for_each message reduction", float64(elemStats.MessagesSent)/float64(coarStats.MessagesSent), "x")
+		}
+
+		// --- Zipped axpy over two differently distributed arrays: x is
+		// blocked evenly, y is skewed onto location 0; the zip follows x's
+		// decomposition, so y supplies the remote remainder.
+		zipSetup := func(loc *runtime.Location) (views.ArrayNative[int64], views.ArrayNative[int64]) {
+			x := parray.New[int64](loc, n)
+			part, err := partition.NewExplicit(domain.NewRange1D(0, n), skewedSizes(n, p))
+			if err != nil {
+				panic(err)
+			}
+			y := parray.New[int64](loc, n,
+				parray.WithPartition(part),
+				parray.WithMapper(partition.NewBlockedMapper(p, p)))
+			xv, yv := views.NewArrayNative(x), views.NewArrayNative(y)
+			palgo.Generate(loc, xv, func(i int64) int64 { return i })
+			palgo.Generate(loc, yv, func(i int64) int64 { return 2 * i })
+			return xv, yv
+		}
+		axpyElemMS, axpyElemStats := measuredRun(p, func(loc *runtime.Location) func() {
+			xv, yv := zipSetup(loc)
+			z := views.NewZip2[int64, int64](xv, yv)
+			return func() {
+				for _, r := range z.LocalRanges(loc) {
+					for i := r.Lo; i < r.Hi; i++ {
+						pr := z.Get(i)
+						yv.Set(i, 3*pr.First+pr.Second)
+					}
+				}
+				loc.Fence()
+			}
+		})
+		axpyCoarMS, axpyCoarStats := measuredRun(p, func(loc *runtime.Location) func() {
+			xv, yv := zipSetup(loc)
+			return func() {
+				palgo.Axpy[int64](loc, 3, xv, yv)
+			}
+		})
+		add("axpy (elementwise)", axpyElemMS, "ms")
+		add("axpy (zip coarsened)", axpyCoarMS, "ms")
+		add("axpy rmis (elementwise)", float64(axpyElemStats.RMIsSent), "rmis")
+		add("axpy rmis (zip coarsened)", float64(axpyCoarStats.RMIsSent), "rmis")
+		add("axpy messages (elementwise)", float64(axpyElemStats.MessagesSent), "msgs")
+		add("axpy messages (zip coarsened)", float64(axpyCoarStats.MessagesSent), "msgs")
+		add("axpy bytes (elementwise)", float64(axpyElemStats.BytesSimulated), "bytes")
+		add("axpy bytes (zip coarsened)", float64(axpyCoarStats.BytesSimulated), "bytes")
+		if axpyCoarStats.MessagesSent > 0 {
+			add("axpy message reduction", float64(axpyElemStats.MessagesSent)/float64(axpyCoarStats.MessagesSent), "x")
+		}
+
+		// --- Zipped dot product (native × native: stays message-free).
+		dotMS, dotStats := measuredRun(p, func(loc *runtime.Location) func() {
+			x := parray.New[int64](loc, n)
+			y := parray.New[int64](loc, n)
+			xv, yv := views.NewArrayNative(x), views.NewArrayNative(y)
+			palgo.Fill[int64](loc, xv, 1)
+			palgo.Fill[int64](loc, yv, 2)
+			return func() {
+				if got := palgo.Dot[int64](loc, xv, yv); got != 2*n {
+					panic(fmt.Sprintf("bench: dot = %d, want %d", got, 2*n))
+				}
+			}
+		})
+		add("dot (zip native)", dotMS, "ms")
+		add("dot messages (zip native)", float64(dotStats.MessagesSent), "msgs")
+
+		// --- 1-D Jacobi over the overlap/halo face: the boundary cells of
+		// each location's share travel as one grouped request per neighbour
+		// per sweep.
+		const sweeps = 4
+		jacMS, jacStats := measuredRun(p, func(loc *runtime.Location) func() {
+			cur := parray.New[float64](loc, n)
+			next := parray.New[float64](loc, n)
+			cv, nv := views.NewArrayNative(cur), views.NewArrayNative(next)
+			palgo.Generate(loc, cv, func(i int64) float64 {
+				if i == 0 {
+					return 100
+				}
+				return 0
+			})
+			return func() {
+				palgo.Jacobi1D(loc, cv, nv, sweeps)
+			}
+		})
+		add("jacobi (overlap halo)", jacMS, "ms")
+		add("jacobi messages/sweep", float64(jacStats.MessagesSent)/sweeps, "msgs")
+		add("jacobi rmis/sweep", float64(jacStats.RMIsSent)/sweeps, "rmis")
+		add("jacobi bytes/sweep", float64(jacStats.BytesSimulated)/sweeps, "bytes")
+
+		// --- Nested composition: a Segmented over a Zip of two native
+		// arrays reduces entirely inside native chunks — zero messages.
+		segMS, segStats := measuredRun(p, func(loc *runtime.Location) func() {
+			x := parray.New[int64](loc, n)
+			y := parray.New[int64](loc, n)
+			xv, yv := views.NewArrayNative(x), views.NewArrayNative(y)
+			palgo.Fill[int64](loc, xv, 1)
+			palgo.Fill[int64](loc, yv, 3)
+			seg := views.NewSegmented[views.Pair[int64, int64]](loc, views.NewZip2[int64, int64](xv, yv))
+			return func() {
+				sum, _ := palgo.Reduce(loc, seg, func(a, b views.Pair[int64, int64]) views.Pair[int64, int64] {
+					return views.Pair[int64, int64]{First: a.First + b.First, Second: a.Second + b.Second}
+				})
+				if sum.First != n || sum.Second != 3*n {
+					panic(fmt.Sprintf("bench: segmented zip reduce = %+v", sum))
+				}
+			}
+		})
+		add("segmented zip reduce", segMS, "ms")
+		add("segmented zip reduce messages", float64(segStats.MessagesSent), "msgs")
+	}
+	return rows
+}
+
+// measuredRun executes one measured section SPMD on p locations: build runs
+// first (construction and input generation are excluded from the
+// measurement), then the returned body runs between machine-stat snapshots.
+// It returns location 0's elapsed milliseconds and the stat delta of the
+// section.
+func measuredRun(p int, build func(loc *runtime.Location) func()) (float64, runtime.Stats) {
+	m := machine(p)
+	var pre, post runtime.Stats
+	var elapsed float64
+	m.Execute(func(loc *runtime.Location) {
+		body := build(loc)
+		loc.Fence()
+		if loc.ID() == 0 {
+			pre = m.Stats()
+		}
+		loc.Barrier()
+		d := timeSection(loc, body)
+		loc.Barrier()
+		if loc.ID() == 0 {
+			post = m.Stats()
+			elapsed = ms(d)
+		}
+		loc.Barrier()
+	})
+	return elapsed, runtime.Stats{
+		RMIsSent:       post.RMIsSent - pre.RMIsSent,
+		MessagesSent:   post.MessagesSent - pre.MessagesSent,
+		RMIsHandled:    post.RMIsHandled - pre.RMIsHandled,
+		BulkRMIs:       post.BulkRMIs - pre.BulkRMIs,
+		BulkOps:        post.BulkOps - pre.BulkOps,
+		BytesSimulated: post.BytesSimulated - pre.BytesSimulated,
+	}
+}

@@ -187,6 +187,31 @@ func (a *Array[T]) LocalSubdomains() []domain.Range1D {
 	return out
 }
 
+// LocalSegment returns the raw storage backing the global index range
+// [r.Lo, r.Hi) when one local base container holds it entirely, and
+// ok=false otherwise.  Native views hand the segment to pAlgorithms so a
+// coarsened local chunk is walked at raw-slice speed; callers must only
+// request ranges inside their own work decomposition and separate phases
+// touching the same elements with fences (the bracket-free discipline of
+// the paper's native views).
+func (a *Array[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
+	if r.Empty() {
+		return nil, false
+	}
+	for _, id := range a.LocationManager().BCIDs() {
+		d := a.part.SubDomain(id)
+		if r.Lo >= d.Lo && r.Hi <= d.Hi {
+			bc, ok := a.LocationManager().Get(id)
+			if !ok {
+				return nil, false
+			}
+			s := bc.Slice()
+			return s[r.Lo-d.Lo : r.Hi-d.Lo], true
+		}
+	}
+	return nil, false
+}
+
 // RangeLocal applies fn to every locally stored (index, value) pair in index
 // order within each base container, under the read bracket of the
 // thread-safety manager.

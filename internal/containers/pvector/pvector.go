@@ -324,6 +324,31 @@ func (v *Vector[T]) rebaseAll() {
 	}
 }
 
+// LocalSegment returns the raw storage backing the global index range
+// [r.Lo, r.Hi) when one local block holds it entirely, and ok=false
+// otherwise.  Only valid during phases without structural operations
+// (push/insert/erase move and rebase blocks); pAlgorithm use over native
+// views satisfies that, since structural mutation is fenced off from
+// element-wise traversal.
+func (v *Vector[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
+	if r.Empty() {
+		return nil, false
+	}
+	var out []T
+	ok := false
+	v.ForEachLocalBC(core.Read, func(bc *bcontainer.Vector[T]) {
+		if ok {
+			return
+		}
+		d := bc.Domain()
+		if r.Lo >= d.Lo && r.Hi <= d.Hi {
+			out = bc.Slice()[r.Lo-d.Lo : r.Hi-d.Lo]
+			ok = true
+		}
+	})
+	return out, ok
+}
+
 // LocalRange applies fn to every locally stored (index, value) pair.
 func (v *Vector[T]) LocalRange(fn func(gid int64, val T) bool) {
 	v.ForEachLocalBC(core.Read, func(bc *bcontainer.Vector[T]) { bc.Range(fn) })

@@ -228,6 +228,101 @@ func TestPageRankOnRing(t *testing.T) {
 	})
 }
 
+func TestPageRankCoarsenedMatchesVisitScatter(t *testing.T) {
+	// The coarsened scatter plan (static graphs) and the per-edge Visit
+	// fallback (dynamic graphs) must agree on the ranks of the same
+	// topology: a ring with chords built under both strategies.
+	const n = int64(48)
+	collect := func(dynamic bool) map[int64]float64 {
+		out := make(map[int64]float64)
+		run(4, func(loc *runtime.Location) {
+			var g *pgraph.Graph[float64, int8]
+			if dynamic {
+				g = pgraph.New[float64, int8](loc, 0, pgraph.WithStrategy(pgraph.DynamicEncoded))
+				if loc.ID() == 0 {
+					for v := int64(0); v < n; v++ {
+						g.AddVertexWithDescriptor(v, 0)
+					}
+				}
+				loc.Fence()
+			} else {
+				g = pgraph.New[float64, int8](loc, n)
+			}
+			if loc.ID() == 0 {
+				for v := int64(0); v < n; v++ {
+					g.AddEdgeAsync(v, (v+1)%n, 0)
+					g.AddEdgeAsync(v, (v*5+3)%n, 0)
+				}
+			}
+			loc.Fence()
+			ranks := PageRank(loc, g, PageRankParams{Damping: 0.85, Iterations: 15})
+			all := runtime.AllGatherT(loc, rankPairs(ranks))
+			if loc.ID() == 0 {
+				for _, part := range all {
+					for _, rp := range part {
+						out[rp.VD] = rp.Rank
+					}
+				}
+			}
+			loc.Fence()
+		})
+		return out
+	}
+	static := collect(false)
+	dynamic := collect(true)
+	if len(static) != int(n) || len(dynamic) != int(n) {
+		t.Fatalf("rank maps incomplete: %d / %d of %d", len(static), len(dynamic), n)
+	}
+	for vd, r := range static {
+		if math.Abs(r-dynamic[vd]) > 1e-9 {
+			t.Errorf("rank(%d): coarsened %v vs visit %v", vd, r, dynamic[vd])
+		}
+	}
+}
+
+type rankPair struct {
+	VD   int64
+	Rank float64
+}
+
+func rankPairs(m map[int64]float64) []rankPair {
+	out := make([]rankPair, 0, len(m))
+	for vd, r := range m {
+		out = append(out, rankPair{VD: vd, Rank: r})
+	}
+	return out
+}
+
+func TestPageRankCoarsenedScatterShipsBulk(t *testing.T) {
+	// On a static graph the scatter phase must run over the coarsened
+	// plan: bulk requests per destination instead of one Visit per edge.
+	const n = int64(64)
+	const iters = 5
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	var stats runtime.Stats
+	m.Execute(func(loc *runtime.Location) {
+		g := pgraph.New[float64, int8](loc, n)
+		if loc.ID() == 0 {
+			for v := int64(0); v < n; v++ {
+				g.AddEdgeAsync(v, (v+1)%n, 0)
+			}
+		}
+		loc.Fence()
+		PageRank(loc, g, PageRankParams{Damping: 0.85, Iterations: iters})
+		loc.Fence()
+	})
+	stats = m.Stats()
+	if stats.BulkRMIs == 0 {
+		t.Error("coarsened page-rank scatter issued no bulk RMIs")
+	}
+	// Each location's targets span at most two remote destinations on the
+	// ring (its own block plus the boundary neighbour), so the per-sweep
+	// bulk request count stays O(P), far below one RMI per edge.
+	if stats.BulkRMIs > int64(iters)*4*2 {
+		t.Errorf("scatter issued %d bulk RMIs, want <= %d", stats.BulkRMIs, iters*4*2)
+	}
+}
+
 func TestPageRankOnMeshPrefersCenter(t *testing.T) {
 	run(2, func(loc *runtime.Location) {
 		m := workload.Mesh2DParams{Rows: 9, Cols: 9}

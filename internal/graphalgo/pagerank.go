@@ -36,9 +36,64 @@ func (e *prEngine) contribute(vd int64, val float64) {
 	e.mu.Unlock()
 }
 
+// contributeBulk merges one source location's combined contributions — one
+// (vertex, value) pair per distinct target — under a single lock
+// acquisition.
+func (e *prEngine) contributeBulk(vds []int64, vals []float64) {
+	e.mu.Lock()
+	for k, vd := range vds {
+		e.accum[vd] += vals[k]
+	}
+	e.mu.Unlock()
+}
+
+// scatterPlan is the coarsened neighbour-access plan of one location: the
+// distinct edge targets of its local vertices, grouped by owning location.
+// It is computed once before the iterations (the targets of a static graph
+// never move), so each iteration only fills in the current values and ships
+// ONE bulk request per destination instead of one Visit RMI per edge.
+type scatterPlan struct {
+	localTargets []int64         // distinct targets owned by this location
+	destTargets  map[int][]int64 // distinct remote targets per owner
+}
+
+// buildScatterPlan groups the distinct out-edge targets of this location's
+// vertices by owner.  The per-destination slices are immutable afterwards:
+// iterations ship them directly alongside the current values.
+func buildScatterPlan[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP]) *scatterPlan {
+	plan := &scatterPlan{destTargets: make(map[int][]int64)}
+	seen := make(map[int64]bool)
+	g.RangeLocalVertices(func(v *pgraph.Vertex[VP, EP]) bool {
+		for _, e := range v.Edges {
+			if seen[e.Target] {
+				continue
+			}
+			seen[e.Target] = true
+			dest := g.Lookup(e.Target)
+			if dest < 0 || dest >= loc.NumLocations() {
+				continue // dangling descriptor: Visit would drop it too
+			}
+			if dest == loc.ID() {
+				plan.localTargets = append(plan.localTargets, e.Target)
+				continue
+			}
+			plan.destTargets[dest] = append(plan.destTargets[dest], e.Target)
+		}
+		return true
+	})
+	return plan
+}
+
 // PageRank computes page rank over the graph and returns each location's
 // ranks for its locally stored vertices.  The returned ranks sum
 // (approximately) to 1 across the machine.  Collective.
+//
+// On statically partitioned graphs the scatter phase runs over a coarsened
+// neighbour plan: contributions are combined locally per target and each
+// iteration ships one bulk message per destination location (the targets'
+// owners are resolved once, before the iterations).  Dynamic graphs — whose
+// descriptors may resolve through directory forwarding — fall back to
+// per-edge Visit scatter.
 func PageRank[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP], p PageRankParams) map[int64]float64 {
 	n := g.NumVertices()
 	if n == 0 {
@@ -52,26 +107,18 @@ func PageRank[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP], p 
 	for _, vd := range locals {
 		eng.rank[vd] = 1.0 / float64(n)
 	}
+	var plan *scatterPlan
+	if g.Strategy() == pgraph.Static {
+		plan = buildScatterPlan(loc, g)
+	}
 	loc.Fence()
 
 	for iter := 0; iter < p.Iterations; iter++ {
-		// Scatter contributions along out-edges.
-		g.RangeLocalVertices(func(v *pgraph.Vertex[VP, EP]) bool {
-			eng.mu.Lock()
-			r := eng.rank[v.Descriptor]
-			eng.mu.Unlock()
-			if len(v.Edges) == 0 {
-				return true
-			}
-			share := r / float64(len(v.Edges))
-			for _, e := range v.Edges {
-				tgt := e.Target
-				g.Visit(tgt, func(tg *pgraph.Graph[VP, EP], tv *pgraph.Vertex[VP, EP]) {
-					tg.Location().Object(h).(*prEngine).contribute(tv.Descriptor, share)
-				})
-			}
-			return true
-		})
+		if plan != nil {
+			scatterCoarsened(loc, g, eng, h, plan)
+		} else {
+			scatterVisit(g, eng, h)
+		}
 		loc.Fence()
 
 		// Gather: new rank = (1-d)/n + d * accumulated contributions.
@@ -101,6 +148,70 @@ func PageRank[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP], p 
 	loc.UnregisterObject(h)
 	loc.Barrier()
 	return out
+}
+
+// scatterCoarsened pushes this location's contributions along out-edges
+// through the precomputed plan: combine locally per target, apply local
+// targets in one bracket, ship one bulk request per remote owner.
+func scatterCoarsened[VP any, EP any](loc *runtime.Location, g *pgraph.Graph[VP, EP], eng *prEngine, h runtime.Handle, plan *scatterPlan) {
+	sums := make(map[int64]float64)
+	g.RangeLocalVertices(func(v *pgraph.Vertex[VP, EP]) bool {
+		eng.mu.Lock()
+		r := eng.rank[v.Descriptor]
+		eng.mu.Unlock()
+		if len(v.Edges) == 0 {
+			return true
+		}
+		share := r / float64(len(v.Edges))
+		for _, e := range v.Edges {
+			sums[e.Target] += share
+		}
+		return true
+	})
+	// Local targets: one lock acquisition for the whole batch.
+	if len(plan.localTargets) > 0 {
+		eng.mu.Lock()
+		for _, vd := range plan.localTargets {
+			if val, ok := sums[vd]; ok {
+				eng.accum[vd] += val
+			}
+		}
+		eng.mu.Unlock()
+	}
+	// Remote targets: one bulk request per destination, carrying that
+	// destination's distinct (target, value) pairs.  The target slice is
+	// immutable after plan construction, so it ships without copying.
+	for dest, targets := range plan.destTargets {
+		targets := targets
+		vals := make([]float64, len(targets))
+		for k, vd := range targets {
+			vals[k] = sums[vd]
+		}
+		loc.AsyncRMIBulk(dest, h, len(targets), 16*len(targets), func(obj any, _ *runtime.Location) {
+			obj.(*prEngine).contributeBulk(targets, vals)
+		})
+	}
+}
+
+// scatterVisit is the per-edge fallback for dynamic graphs: contributions
+// travel as one Visit per edge, resolved (and possibly forwarded) by the
+// graph's address translation.
+func scatterVisit[VP any, EP any](g *pgraph.Graph[VP, EP], eng *prEngine, h runtime.Handle) {
+	g.RangeLocalVertices(func(v *pgraph.Vertex[VP, EP]) bool {
+		eng.mu.Lock()
+		r := eng.rank[v.Descriptor]
+		eng.mu.Unlock()
+		if len(v.Edges) == 0 {
+			return true
+		}
+		share := r / float64(len(v.Edges))
+		for _, e := range v.Edges {
+			g.Visit(e.Target, func(tg *pgraph.Graph[VP, EP], tv *pgraph.Vertex[VP, EP]) {
+				tg.Location().Object(h).(*prEngine).contribute(tv.Descriptor, share)
+			})
+		}
+		return true
+	})
 }
 
 // RankSum returns the global sum of ranks (should be close to 1 when the

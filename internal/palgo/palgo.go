@@ -16,121 +16,131 @@ import (
 	"repro/internal/views"
 )
 
-// bulkChunk is how many elements the algorithms batch per bulk container
-// call: large enough to amortise resolution and messaging, small enough to
-// keep the scratch buffers cache-resident.
+// bulkChunk is how many elements the algorithms batch per chunk: large
+// enough to amortise resolution and messaging on the remote remainder,
+// small enough to keep the scratch buffers cache-resident.  Native chunks
+// are split too — walking a raw segment in 2048-element windows costs
+// nothing, and views without raw segments (Zip, Transform, Filtered) fall
+// back to materialising each window, so the transient working set stays
+// O(bulkChunk) instead of O(local share).
 const bulkChunk = 2048
 
-// chunks invokes body for every [lo, hi) sub-range of r of at most
-// bulkChunk elements.
-func chunks(r domain.Range1D, body func(lo, hi int64)) {
-	for lo := r.Lo; lo < r.Hi; lo += bulkChunk {
-		hi := lo + bulkChunk
-		if hi > r.Hi {
-			hi = r.Hi
+// forEachCoarsened drives the coarsened execution of every pAlgorithm: the
+// view is partitioned into native chunks (this location's own storage) plus
+// the remote remainder (views.Coarsen), every chunk is split into batches
+// of at most bulkChunk elements, and body runs once per batch.  This is
+// where the paper's "views drive coarsening" happens: the algorithms no
+// longer hand-roll chunk loops, the composition of the view decides what is
+// walked natively and what ships as grouped bulk requests.
+func forEachCoarsened[T any](loc *runtime.Location, v views.Partitioned[T], body func(c views.LocalChunk)) {
+	for _, c := range views.Coarsen(loc, v) {
+		for lo := c.Range.Lo; lo < c.Range.Hi; lo += bulkChunk {
+			hi := lo + bulkChunk
+			if hi > c.Range.Hi {
+				hi = c.Range.Hi
+			}
+			body(views.LocalChunk{Range: domain.NewRange1D(lo, hi), Kind: c.Kind})
 		}
-		body(lo, hi)
 	}
 }
 
-// iota64 returns a fresh slice of the consecutive indices [lo, hi).
-func iota64(lo, hi int64) []int64 {
-	out := make([]int64, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, i)
-	}
-	return out
-}
-
-// getChunk reads the elements [lo, hi) of the view into a fresh slice, using
-// the view's bulk path when it has one.  Bulk gets are synchronous, so the
-// index slice is not retained past the call.
-func getChunk[T any](v views.Partitioned[T], lo, hi int64) []T {
-	if b, ok := any(v).(views.BulkAccess[T]); ok {
-		return b.GetBulk(iota64(lo, hi))
-	}
-	out := make([]T, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, v.Get(i))
-	}
-	return out
-}
-
-// setChunk writes vals to the elements [lo, hi) of the view, using the
-// view's bulk path when it has one.  Bulk sets are asynchronous and retain
-// their argument slices until the next fence, so setChunk builds a fresh
-// index slice and callers must hand over ownership of vals (no reuse before
-// the fence).
-func setChunk[T any](v views.Partitioned[T], lo, hi int64, vals []T) {
-	if b, ok := any(v).(views.BulkAccess[T]); ok {
-		b.SetBulk(iota64(lo, hi), vals)
-		return
-	}
-	for k, i := 0, lo; i < hi; k, i = k+1, i+1 {
-		v.Set(i, vals[k])
-	}
+// readCoarsened iterates every (index, value) pair of the calling
+// location's share: native chunks through the raw storage segment when the
+// view exposes one, everything else through the grouped bulk read path.
+func readCoarsened[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64, x T)) {
+	forEachCoarsened(loc, v, func(c views.LocalChunk) {
+		if c.Kind == views.ChunkNative {
+			if seg, ok := views.Segment[T](v, c.Range); ok {
+				for k, x := range seg {
+					fn(c.Range.Lo+int64(k), x)
+				}
+				return
+			}
+		}
+		for k, x := range views.ReadChunk[T](v, c.Range) {
+			fn(c.Range.Lo+int64(k), x)
+		}
+	})
 }
 
 // ForEach applies fn to every (index, value) pair of the view.  fn must not
 // mutate the view; use Generate or TransformInPlace for mutation.
 // Collective.
 func ForEach[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64, x T)) {
-	for _, r := range v.LocalRanges(loc) {
-		chunks(r, func(lo, hi int64) {
-			vals := getChunk(v, lo, hi)
-			for k, x := range vals {
-				fn(lo+int64(k), x)
-			}
-		})
-	}
+	readCoarsened(loc, v, fn)
 	loc.Fence()
 }
 
 // Generate assigns fn(i) to every element of the view (p_generate).
-// Collective.  Elements are written through the view's bulk path in chunks,
-// so a view whose distribution differs from the work decomposition ships one
-// message per (chunk, owner) pair instead of one request per element.
+// Collective.  Native chunks of the coarsened view are filled in place at
+// raw-slice speed; the remote remainder ships one grouped message per
+// (chunk, owner) pair instead of one request per element.
 func Generate[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64) T) {
-	for _, r := range v.LocalRanges(loc) {
-		chunks(r, func(lo, hi int64) {
-			vals := make([]T, 0, hi-lo)
-			for i := lo; i < hi; i++ {
-				vals = append(vals, fn(i))
+	forEachCoarsened(loc, v, func(c views.LocalChunk) {
+		if c.Kind == views.ChunkNative {
+			if seg, ok := views.Segment[T](v, c.Range); ok {
+				for k := range seg {
+					seg[k] = fn(c.Range.Lo + int64(k))
+				}
+				return
 			}
-			setChunk(v, lo, hi, vals)
-		})
-	}
+		}
+		vals := make([]T, 0, c.Range.Size())
+		for i := c.Range.Lo; i < c.Range.Hi; i++ {
+			vals = append(vals, fn(i))
+		}
+		views.WriteChunk[T](v, c.Range, vals)
+	})
 	loc.Fence()
 }
 
 // TransformInPlace replaces every element with fn(index, old value)
 // (p_for_each with a mutating work function).  Collective.
 func TransformInPlace[T any](loc *runtime.Location, v views.Partitioned[T], fn func(i int64, x T) T) {
-	for _, r := range v.LocalRanges(loc) {
-		chunks(r, func(lo, hi int64) {
-			vals := getChunk(v, lo, hi)
-			for k := range vals {
-				vals[k] = fn(lo+int64(k), vals[k])
+	forEachCoarsened(loc, v, func(c views.LocalChunk) {
+		if c.Kind == views.ChunkNative {
+			if seg, ok := views.Segment[T](v, c.Range); ok {
+				for k := range seg {
+					seg[k] = fn(c.Range.Lo+int64(k), seg[k])
+				}
+				return
 			}
-			setChunk(v, lo, hi, vals)
-		})
-	}
+		}
+		vals := views.ReadChunk[T](v, c.Range)
+		for k := range vals {
+			vals[k] = fn(c.Range.Lo+int64(k), vals[k])
+		}
+		views.WriteChunk[T](v, c.Range, vals)
+	})
 	loc.Fence()
 }
 
 // Transform writes fn(in[i]) into out[i] for every index (p_transform).
-// The views must have equal sizes.  Collective.
+// The views must have equal sizes.  Aliasing between in and out is allowed
+// only element-aligned (out may be a constituent of in, as in Axpy's
+// Zip2(x, y) → y): each chunk is fully read before any of its indices are
+// written, but chunks are not ordered against each other, so shifted or
+// permuted aliasing corrupts data.  Collective.  The traversal coarsens
+// over the input view; each mapped chunk is then written through the
+// output view's own coarsening (raw segment where local, bulk elsewhere),
+// so the two views may be distributed differently.
 func Transform[T any, U any](loc *runtime.Location, in views.Partitioned[T], out views.Partitioned[U], fn func(T) U) {
-	for _, r := range in.LocalRanges(loc) {
-		chunks(r, func(lo, hi int64) {
-			vals := getChunk(in, lo, hi)
-			mapped := make([]U, 0, len(vals))
-			for _, x := range vals {
-				mapped = append(mapped, fn(x))
+	forEachCoarsened(loc, in, func(c views.LocalChunk) {
+		var vals []T
+		if c.Kind == views.ChunkNative {
+			if seg, ok := views.Segment[T](in, c.Range); ok {
+				vals = seg
 			}
-			setChunk(out, lo, hi, mapped)
-		})
-	}
+		}
+		if vals == nil {
+			vals = views.ReadChunk[T](in, c.Range)
+		}
+		mapped := make([]U, 0, len(vals))
+		for _, x := range vals {
+			mapped = append(mapped, fn(x))
+		}
+		views.WriteRange[U](loc, out, c.Range, mapped)
+	})
 	loc.Fence()
 }
 
@@ -161,17 +171,13 @@ type localAcc[T any] struct {
 func Reduce[T any](loc *runtime.Location, v views.Partitioned[T], op func(a, b T) T) (T, bool) {
 	var acc T
 	valid := false
-	for _, r := range v.LocalRanges(loc) {
-		chunks(r, func(lo, hi int64) {
-			for _, x := range getChunk(v, lo, hi) {
-				if !valid {
-					acc, valid = x, true
-				} else {
-					acc = op(acc, x)
-				}
-			}
-		})
-	}
+	readCoarsened(loc, v, func(_ int64, x T) {
+		if !valid {
+			acc, valid = x, true
+		} else {
+			acc = op(acc, x)
+		}
+	})
 	out := runtime.AllReduceT(loc, localAcc[T]{val: acc, valid: valid}, func(a, b localAcc[T]) localAcc[T] {
 		switch {
 		case !a.valid:
@@ -190,15 +196,11 @@ func Reduce[T any](loc *runtime.Location, v views.Partitioned[T], op func(a, b T
 // Collective.
 func CountIf[T any](loc *runtime.Location, v views.Partitioned[T], pred func(T) bool) int64 {
 	var n int64
-	for _, r := range v.LocalRanges(loc) {
-		chunks(r, func(lo, hi int64) {
-			for _, x := range getChunk(v, lo, hi) {
-				if pred(x) {
-					n++
-				}
-			}
-		})
-	}
+	readCoarsened(loc, v, func(_ int64, x T) {
+		if pred(x) {
+			n++
+		}
+	})
 	total := runtime.AllReduceSum(loc, n)
 	loc.Fence()
 	return total
@@ -311,16 +313,21 @@ func PartialSum[T any](loc *runtime.Location, v views.Partitioned[T], zero T, op
 }
 
 // AdjacentDifference writes out[i] = op(in[i], in[i-1]) for i > 0 and
-// out[0] = in[0], using an overlap-style access pattern.  Collective.
+// out[0] = in[0].  The views must not alias.  Collective.  The input is
+// materialised with a one-element left halo (ExchangeHalo), so the
+// cross-boundary neighbour of each location's first element arrives in one
+// grouped request instead of one RMI per boundary.
 func AdjacentDifference[T any](loc *runtime.Location, in views.Partitioned[T], out views.Partitioned[T], op func(cur, prev T) T) {
-	for _, r := range in.LocalRanges(loc) {
-		for i := r.Lo; i < r.Hi; i++ {
+	for _, c := range views.ExchangeHalo[T](loc, in, 1, 0) {
+		vals := make([]T, 0, c.Core.Size())
+		for i := c.Core.Lo; i < c.Core.Hi; i++ {
 			if i == 0 {
-				out.Set(0, in.Get(0))
+				vals = append(vals, c.At(0))
 				continue
 			}
-			out.Set(i, op(in.Get(i), in.Get(i-1)))
+			vals = append(vals, op(c.At(i), c.At(i-1)))
 		}
+		views.WriteRange[T](loc, out, c.Core, vals)
 	}
 	loc.Fence()
 }

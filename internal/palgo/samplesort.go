@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/containers/parray"
+	"repro/internal/domain"
 	"repro/internal/runtime"
 	"repro/internal/views"
 )
@@ -76,13 +77,12 @@ func SampleSort[T any](loc *runtime.Location, a *parray.Array[T], less func(x, y
 	sort.Slice(mine, func(i, j int) bool { return less(mine[i], mine[j]) })
 	start := runtime.ExclusiveScan(loc, int64(len(mine)), 0, func(a, b int64) int64 { return a + b })
 
-	// Phase 4: write the sorted bucket back into the array in one bulk
-	// batch (grouped by owning location inside SetBulk).
-	idxs := make([]int64, len(mine))
-	for i := range mine {
-		idxs[i] = start + int64(i)
-	}
-	a.SetBulk(idxs, mine)
+	// Phase 4: write the sorted bucket back into the array through the
+	// coarsened range writer: the slice of the global order that lands in
+	// this location's own blocks is copied straight into the raw storage,
+	// and only the overhang into neighbouring locations ships as grouped
+	// bulk writes.
+	views.WriteRange[T](loc, views.NewArrayNative(a), domain.NewRange1D(start, start+int64(len(mine))), mine)
 	loc.Fence()
 	loc.UnregisterObject(h)
 	loc.Barrier()

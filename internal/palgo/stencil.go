@@ -1,0 +1,92 @@
+// Zipped and stencil kernels: the workloads that only view composition
+// enables.  Dot and Axpy run over a Zip2 of two (possibly differently
+// distributed) views; Jacobi1D sweeps a 1-D field through the overlap/halo
+// face of the algebra, exchanging boundary cells as grouped bulk requests.
+package palgo
+
+import (
+	"math"
+
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// Numeric constrains the element types of the arithmetic kernels.
+type Numeric interface {
+	~int | ~int32 | ~int64 | ~float32 | ~float64
+}
+
+// Dot returns the inner product Σ x[i]*y[i] (zipped p_inner_product).  The
+// views must have equal sizes.  The result is returned on every location.
+// Collective.
+func Dot[T Numeric](loc *runtime.Location, x, y views.Partitioned[T]) T {
+	prod := views.NewTransform(views.NewZip2(x, y), func(p views.Pair[T, T]) T {
+		return p.First * p.Second
+	})
+	v, _ := Reduce[T](loc, prod, func(a, b T) T { return a + b })
+	return v
+}
+
+// Axpy computes y = alpha*x + y element-wise over the zipped views (the
+// BLAS axpy kernel).  The views must have equal sizes.  Collective.
+func Axpy[T Numeric](loc *runtime.Location, alpha T, x, y views.Partitioned[T]) {
+	Transform(loc, views.NewZip2(x, y), y, func(p views.Pair[T, T]) T {
+		return alpha*p.First + p.Second
+	})
+}
+
+// Jacobi1D runs iters Jacobi relaxation sweeps over the 1-D field in cur,
+// using next as the ping-pong buffer: every sweep replaces each interior
+// element with the mean of its two neighbours and keeps the boundary
+// elements fixed (Dirichlet conditions).  Each sweep materialises the
+// location's share of the input with a one-element halo per side through
+// ExchangeHalo, so the boundary cells owned by neighbouring locations move
+// as one grouped bulk request per neighbour per sweep.  Both views must
+// have equal sizes and must not alias.  Returns the view holding the final
+// field (cur for even iters, next for odd).  Collective.
+func Jacobi1D(loc *runtime.Location, cur, next views.Partitioned[float64], iters int) views.Partitioned[float64] {
+	n := cur.Size()
+	var chunks []views.HaloChunk[float64]
+	for it := 0; it < iters; it++ {
+		// Recycle the previous sweep's halo windows: the fence below
+		// guarantees they are no longer referenced.
+		chunks = views.ExchangeHaloInto[float64](loc, cur, 1, 1, chunks)
+		for _, c := range chunks {
+			vals := make([]float64, 0, c.Core.Size())
+			for i := c.Core.Lo; i < c.Core.Hi; i++ {
+				if i == 0 || i == n-1 {
+					vals = append(vals, c.At(i))
+					continue
+				}
+				vals = append(vals, 0.5*(c.At(i-1)+c.At(i+1)))
+			}
+			views.WriteRange[float64](loc, next, c.Core, vals)
+		}
+		// The fence completes every location's writes to next before the
+		// next sweep reads them (and before cur is reused as the target).
+		loc.Fence()
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// JacobiResidual returns the maximum absolute difference between each
+// interior element and the mean of its neighbours — the convergence measure
+// of the Jacobi sweeps.  Collective.
+func JacobiResidual(loc *runtime.Location, v views.Partitioned[float64]) float64 {
+	n := v.Size()
+	var local float64
+	for _, c := range views.ExchangeHalo[float64](loc, v, 1, 1) {
+		for i := c.Core.Lo; i < c.Core.Hi; i++ {
+			if i == 0 || i == n-1 {
+				continue
+			}
+			if d := math.Abs(c.At(i) - 0.5*(c.At(i-1)+c.At(i+1))); d > local {
+				local = d
+			}
+		}
+	}
+	out := runtime.AllReduceT(loc, local, math.Max)
+	loc.Fence()
+	return out
+}

@@ -1,0 +1,130 @@
+package palgo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/containers/parray"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+func TestDotAndAxpy(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		const n = 100
+		x := parray.New[int64](loc, n)
+		y := parray.New[int64](loc, n)
+		xv, yv := views.NewArrayNative(x), views.NewArrayNative(y)
+		Generate(loc, xv, func(i int64) int64 { return i })
+		Generate(loc, yv, func(i int64) int64 { return 2 })
+		// dot(i, 2) = 2 * sum(i) = n*(n-1).
+		if got := Dot[int64](loc, xv, yv); got != n*(n-1) {
+			t.Errorf("dot = %d, want %d", got, n*(n-1))
+		}
+		// y = 3x + y.
+		Axpy[int64](loc, 3, xv, yv)
+		ForEach(loc, yv, func(i int64, v int64) {
+			if v != 3*i+2 {
+				t.Errorf("axpy y[%d] = %d, want %d", i, v, 3*i+2)
+			}
+		})
+		loc.Fence()
+	})
+}
+
+func TestDotOverMisalignedDistributions(t *testing.T) {
+	// The zip pairs a blocked array with one stored entirely on location
+	// 0: the coarsened traversal must still produce the exact result.
+	run(4, func(loc *runtime.Location) {
+		const n = int64(64)
+		x := parray.New[int64](loc, n)
+		sizes := make([]int64, loc.NumLocations())
+		sizes[0] = n
+		part, err := partition.NewExplicit(domain.NewRange1D(0, n), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := parray.New[int64](loc, n,
+			parray.WithPartition(part),
+			parray.WithMapper(partition.NewBlockedMapper(loc.NumLocations(), loc.NumLocations())))
+		xv, yv := views.NewArrayNative(x), views.NewArrayNative(y)
+		Generate(loc, xv, func(i int64) int64 { return i })
+		Generate(loc, yv, func(i int64) int64 { return i })
+		var want int64
+		for i := int64(0); i < n; i++ {
+			want += i * i
+		}
+		if got := Dot[int64](loc, xv, yv); got != want {
+			t.Errorf("misaligned dot = %d, want %d", got, want)
+		}
+		loc.Fence()
+	})
+}
+
+func TestJacobi1DConvergesToLinearProfile(t *testing.T) {
+	// With fixed boundaries 100 and 0 the Jacobi iteration converges to
+	// the linear interpolation between them.
+	run(4, func(loc *runtime.Location) {
+		const n = int64(16)
+		cur := parray.New[float64](loc, n)
+		next := parray.New[float64](loc, n)
+		cv, nv := views.NewArrayNative(cur), views.NewArrayNative(next)
+		Generate(loc, cv, func(i int64) float64 {
+			if i == 0 {
+				return 100
+			}
+			return 0
+		})
+		Copy[float64](loc, cv, nv)
+		final := Jacobi1D(loc, cv, nv, 800)
+		res := JacobiResidual(loc, final)
+		if res > 1e-6 {
+			t.Errorf("residual after convergence = %g", res)
+		}
+		for _, r := range final.LocalRanges(loc) {
+			for i := r.Lo; i < r.Hi; i++ {
+				want := 100 * float64(n-1-i) / float64(n-1)
+				if math.Abs(final.Get(i)-want) > 1e-4 {
+					t.Errorf("x[%d] = %f, want %f", i, final.Get(i), want)
+				}
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestJacobi1DZeroIterations(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		cur := parray.New[float64](loc, 8)
+		next := parray.New[float64](loc, 8)
+		cv, nv := views.NewArrayNative(cur), views.NewArrayNative(next)
+		Fill(loc, cv, 7.0)
+		if final := Jacobi1D(loc, cv, nv, 0); final.Get(3) != 7 {
+			t.Error("zero iterations must return the input unchanged")
+		}
+		loc.Fence()
+	})
+}
+
+func TestAdjacentDifferenceCrossesBoundaries(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		const n = int64(40)
+		in := parray.New[int64](loc, n)
+		out := parray.New[int64](loc, n)
+		iv, ov := views.NewArrayNative(in), views.NewArrayNative(out)
+		Generate(loc, iv, func(i int64) int64 { return i * i })
+		AdjacentDifference(loc, iv, ov, func(cur, prev int64) int64 { return cur - prev })
+		ForEach(loc, ov, func(i int64, v int64) {
+			want := 2*i - 1 // i² - (i-1)²
+			if i == 0 {
+				want = 0
+			}
+			if v != want {
+				t.Errorf("diff[%d] = %d, want %d", i, v, want)
+			}
+		})
+		loc.Fence()
+	})
+}

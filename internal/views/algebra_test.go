@@ -1,0 +1,415 @@
+package views
+
+import (
+	"testing"
+
+	"repro/internal/containers/parray"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// fillNative writes i into element i of the array through its native view.
+func fillNative(loc *runtime.Location, a *parray.Array[int64]) {
+	nat := NewArrayNative(a)
+	for _, r := range nat.LocalRanges(loc) {
+		for i := r.Lo; i < r.Hi; i++ {
+			nat.Set(i, i)
+		}
+	}
+	loc.Fence()
+}
+
+// skewedArray builds an array whose elements all live on location 0.
+func skewedArray(t *testing.T, loc *runtime.Location, n int64) *parray.Array[int64] {
+	t.Helper()
+	sizes := make([]int64, loc.NumLocations())
+	sizes[0] = n
+	part, err := partition.NewExplicit(domain.NewRange1D(0, n), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parray.New[int64](loc, n,
+		parray.WithPartition(part),
+		parray.WithMapper(partition.NewBlockedMapper(loc.NumLocations(), loc.NumLocations())))
+}
+
+func TestZipView(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 40)
+		b := parray.New[int64](loc, 40)
+		fillNative(loc, a)
+		av, bv := NewArrayNative(a), NewArrayNative(b)
+		z := NewZip2[int64, int64](av, bv)
+		if z.Size() != 40 {
+			t.Errorf("zip size = %d", z.Size())
+		}
+		checkCoverage[Pair[int64, int64]](t, loc, z)
+		// Writes through the zip land in both constituents.
+		for _, r := range z.LocalRanges(loc) {
+			for i := r.Lo; i < r.Hi; i++ {
+				z.Set(i, Pair[int64, int64]{First: i, Second: 2 * i})
+			}
+		}
+		loc.Fence()
+		if p := z.Get(17); p.First != 17 || p.Second != 34 {
+			t.Errorf("zip Get(17) = %+v", p)
+		}
+		if got := b.Get(39); got != 78 {
+			t.Errorf("second constituent missed the write: %d", got)
+		}
+		// Bulk reads return pairs in order.
+		ps := z.GetBulk([]int64{3, 9, 21})
+		if len(ps) != 3 || ps[1].First != 9 || ps[1].Second != 18 {
+			t.Errorf("zip GetBulk = %+v", ps)
+		}
+		// Aligned native constituents make the whole share native.
+		for _, c := range Coarsen[Pair[int64, int64]](loc, z) {
+			if c.Kind != ChunkNative {
+				t.Errorf("aligned zip produced bulk chunk %+v", c)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestZipMismatchedSizes(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 10)
+		b := parray.New[int64](loc, 6)
+		z := NewZip2[int64, int64](NewArrayNative(a), NewArrayNative(b))
+		if z.Size() != 6 {
+			t.Errorf("zip of 10 and 6 has size %d", z.Size())
+		}
+		checkCoverage[Pair[int64, int64]](t, loc, z)
+		loc.Fence()
+	})
+}
+
+func TestSubrangeView(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 40)
+		fillNative(loc, a)
+		s := NewSubrange[int64](NewArrayNative(a), 10, 20)
+		if s.Size() != 20 {
+			t.Errorf("subrange size = %d", s.Size())
+		}
+		checkCoverage[int64](t, loc, s)
+		if s.Get(0) != 10 || s.Get(19) != 29 {
+			t.Errorf("subrange reads wrong: %d %d", s.Get(0), s.Get(19))
+		}
+		// Clamping: a window reaching past the end shrinks.
+		if NewSubrange[int64](NewArrayNative(a), 35, 100).Size() != 5 {
+			t.Error("subrange should clamp to the base domain")
+		}
+		// Empty window.
+		if NewSubrange[int64](NewArrayNative(a), 50, 10).Size() != 0 {
+			t.Error("out-of-domain subrange should be empty")
+		}
+		loc.Fence()
+	})
+}
+
+func TestSegmentedView(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 40)
+		fillNative(loc, a)
+		seg := NewSegmented[int64](loc, NewArrayNative(a))
+		if seg.NumSegments() != 4 {
+			t.Fatalf("segments = %d", seg.NumSegments())
+		}
+		checkCoverage[int64](t, loc, seg)
+		// Segment list is identical on every location and aligned with the
+		// storage: segment k belongs to location k here.
+		for k := 0; k < seg.NumSegments(); k++ {
+			if seg.SegmentOwner(k) != k {
+				t.Errorf("segment %d owned by %d", k, seg.SegmentOwner(k))
+			}
+			sub := seg.Segment(k)
+			if sub.Size() != 10 || sub.Get(0) != int64(k)*10 {
+				t.Errorf("segment %d = size %d first %d", k, sub.Size(), sub.Get(0))
+			}
+		}
+		// The segmented work decomposition coarsens fully native.
+		for _, c := range Coarsen[int64](loc, seg) {
+			if c.Kind != ChunkNative {
+				t.Errorf("segmented native view produced bulk chunk %+v", c)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestSegmentedOfZip(t *testing.T) {
+	// Nested composition: a Segmented over a Zip of two native arrays.
+	run(4, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 44)
+		b := parray.New[int64](loc, 44)
+		fillNative(loc, a)
+		fillNative(loc, b)
+		z := NewZip2[int64, int64](NewArrayNative(a), NewArrayNative(b))
+		seg := NewSegmented[Pair[int64, int64]](loc, z)
+		checkCoverage[Pair[int64, int64]](t, loc, seg)
+		if seg.NumSegments() != 4 {
+			t.Errorf("segments = %d", seg.NumSegments())
+		}
+		// Each segment reads through both constituents.
+		var localSum int64
+		for _, r := range seg.LocalRanges(loc) {
+			for i := r.Lo; i < r.Hi; i++ {
+				p := seg.Get(i)
+				localSum += p.First + p.Second
+			}
+		}
+		want := int64(44*43) / 2 * 2
+		if total := runtime.AllReduceSum(loc, localSum); total != want {
+			t.Errorf("segmented zip sum = %d, want %d", total, want)
+		}
+		// Aligned all the way down: the nested composition stays native.
+		for _, c := range Coarsen[Pair[int64, int64]](loc, seg) {
+			if c.Kind != ChunkNative {
+				t.Errorf("segmented zip produced bulk chunk %+v", c)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestFilteredView(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 40)
+		fillNative(loc, a)
+		// Keep multiples of three.
+		f := NewFiltered[int64](loc, NewArrayNative(a), func(_ int64, x int64) bool { return x%3 == 0 })
+		if f.Size() != 14 { // 0,3,...,39
+			t.Fatalf("filtered size = %d", f.Size())
+		}
+		checkCoverage[int64](t, loc, f)
+		if f.Get(0) != 0 || f.Get(13) != 39 {
+			t.Errorf("filtered reads wrong: %d %d", f.Get(0), f.Get(13))
+		}
+		if f.BaseIndex(1) != 3 {
+			t.Errorf("BaseIndex(1) = %d", f.BaseIndex(1))
+		}
+		// Writes pass through to the base element.
+		loc.Barrier()
+		if loc.ID() == 0 {
+			f.Set(2, -6) // base index 6
+		}
+		loc.Fence()
+		if a.Get(6) != -6 {
+			t.Errorf("filtered write missed the base: %d", a.Get(6))
+		}
+		// The filtered view over a native base coarsens fully native.
+		for _, c := range Coarsen[int64](loc, f) {
+			if c.Kind != ChunkNative {
+				t.Errorf("filtered native view produced bulk chunk %+v", c)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestFilteredRejectAll(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 10)
+		f := NewFiltered[int64](loc, NewArrayNative(a), func(int64, int64) bool { return false })
+		if f.Size() != 0 {
+			t.Errorf("size = %d", f.Size())
+		}
+		if len(f.LocalRanges(loc)) != 0 {
+			t.Error("reject-all filter should assign no work")
+		}
+		if len(Coarsen[int64](loc, f)) != 0 {
+			t.Error("reject-all filter should coarsen to nothing")
+		}
+		loc.Fence()
+	})
+}
+
+func TestCompositionEmptyDomains(t *testing.T) {
+	run(3, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 0)
+		b := parray.New[int64](loc, 0)
+		av := NewArrayNative(a)
+		z := NewZip2[int64, int64](av, NewArrayNative(b))
+		if z.Size() != 0 || len(z.LocalRanges(loc)) != 0 {
+			t.Error("empty zip should have no domain and no work")
+		}
+		seg := NewSegmented[int64](loc, av)
+		if seg.Size() != 0 || seg.NumSegments() != 0 {
+			t.Errorf("empty segmented: size %d, %d segments", seg.Size(), seg.NumSegments())
+		}
+		f := NewFiltered[int64](loc, av, func(int64, int64) bool { return true })
+		if f.Size() != 0 {
+			t.Error("filter of empty view should be empty")
+		}
+		if got := ExchangeHalo[int64](loc, av, 1, 1); len(got) != 0 {
+			t.Errorf("halo exchange over empty view returned %d chunks", len(got))
+		}
+		if len(Coarsen[Pair[int64, int64]](loc, z)) != 0 {
+			t.Error("empty view should coarsen to nothing")
+		}
+		loc.Fence()
+	})
+}
+
+func TestCompositionSingleLocation(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 12)
+		b := parray.New[int64](loc, 12)
+		fillNative(loc, a)
+		fillNative(loc, b)
+		z := NewZip2[int64, int64](NewArrayNative(a), NewArrayNative(b))
+		seg := NewSegmented[Pair[int64, int64]](loc, z)
+		if seg.NumSegments() != 1 || seg.SegmentOwner(0) != 0 {
+			t.Errorf("single-location segments: %d", seg.NumSegments())
+		}
+		checkCoverage[Pair[int64, int64]](t, loc, seg)
+		for _, c := range Coarsen[Pair[int64, int64]](loc, seg) {
+			if c.Kind != ChunkNative {
+				t.Errorf("single location produced bulk chunk %+v", c)
+			}
+		}
+		chunks := ExchangeHalo[int64](loc, NewArrayNative(a), 2, 2)
+		if len(chunks) != 1 || chunks[0].Lo != 0 || int64(len(chunks[0].Data)) != 12 {
+			t.Errorf("single-location halo chunks = %+v", chunks)
+		}
+		loc.Fence()
+	})
+}
+
+func TestExchangeHaloBoundaries(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 40)
+		fillNative(loc, a)
+		nat := NewArrayNative(a)
+		chunks := ExchangeHalo[int64](loc, nat, 2, 3)
+		if len(chunks) != 1 {
+			t.Fatalf("chunks = %d", len(chunks))
+		}
+		c := chunks[0]
+		core := nat.LocalRanges(loc)[0]
+		if c.Core != core {
+			t.Errorf("core = %v, want %v", c.Core, core)
+		}
+		// The halo is clamped at the machine/domain boundaries.
+		wantLo := core.Lo - 2
+		if wantLo < 0 {
+			wantLo = 0
+		}
+		wantHi := core.Hi + 3
+		if wantHi > 40 {
+			wantHi = 40
+		}
+		if c.Lo != wantLo || c.Lo+int64(len(c.Data)) != wantHi {
+			t.Errorf("halo window = [%d, %d), want [%d, %d)", c.Lo, c.Lo+int64(len(c.Data)), wantLo, wantHi)
+		}
+		// Every materialised cell holds the right value, including the
+		// cells fetched from neighbouring locations.
+		for i := wantLo; i < wantHi; i++ {
+			if c.At(i) != i {
+				t.Errorf("halo cell %d = %d", i, c.At(i))
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestExchangeHaloRemoteTrafficIsGrouped(t *testing.T) {
+	// The halo of a location's share costs one bulk request per
+	// neighbouring owner, not one RMI per halo cell.
+	p := 4
+	m := runtime.NewMachine(p, runtime.DefaultConfig())
+	var before, after runtime.Stats
+	m.Execute(func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 400)
+		fillNative(loc, a)
+		loc.Fence()
+		if loc.ID() == 0 {
+			before = m.Stats()
+		}
+		loc.Barrier()
+		chunks := ExchangeHalo[int64](loc, NewArrayNative(a), 8, 8)
+		if len(chunks) != 1 {
+			panic("expected one chunk per location")
+		}
+		loc.Fence()
+		if loc.ID() == 0 {
+			after = m.Stats()
+		}
+		loc.Barrier()
+	})
+	rmis := after.RMIsSent - before.RMIsSent
+	// Interior locations fetch two halos, boundary locations one: 6 bulk
+	// requests at P=4 (each halo is 8 cells, so the per-element path would
+	// have been 48 RMIs).
+	if rmis > 6 {
+		t.Errorf("halo exchange issued %d RMIs, want <= 6 grouped requests", rmis)
+	}
+	if ops := after.BulkOps - before.BulkOps; ops != 48 {
+		t.Errorf("halo exchange carried %d bulk ops, want 48", ops)
+	}
+}
+
+func TestCoarsenClassification(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		n := int64(40)
+		a := skewedArray(t, loc, n)
+		bal := NewBalanced[int64](NewArrayNative(a))
+		chunks := Coarsen[int64](loc, bal)
+		// The chunks tile the location's share exactly once.
+		var covered int64
+		for _, c := range chunks {
+			covered += c.Range.Size()
+		}
+		if total := runtime.AllReduceSum(loc, covered); total != n {
+			t.Errorf("chunks cover %d of %d", total, n)
+		}
+		// Location 0 owns all storage: its share is native, everyone
+		// else's is pure bulk remainder.
+		for _, c := range chunks {
+			want := ChunkBulk
+			if loc.ID() == 0 {
+				want = ChunkNative
+			}
+			if c.Kind != want {
+				t.Errorf("location %d chunk %+v, want kind %v", loc.ID(), c, want)
+			}
+		}
+		// Native chunks expose the raw storage.
+		if loc.ID() == 0 {
+			for _, c := range chunks {
+				seg, ok := Segment[int64](bal, c.Range)
+				if !ok || int64(len(seg)) != c.Range.Size() {
+					t.Errorf("no segment for native chunk %+v", c)
+				}
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestWriteRangeSplitsLocalAndRemote(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		a := parray.New[int64](loc, 20)
+		nat := NewArrayNative(a)
+		loc.Fence()
+		// Location 0 writes a range straddling the boundary between its
+		// block [0,10) and location 1's block [10,20).
+		if loc.ID() == 0 {
+			vals := make([]int64, 12)
+			for k := range vals {
+				vals[k] = int64(100 + k)
+			}
+			WriteRange[int64](loc, nat, domain.NewRange1D(4, 16), vals)
+		}
+		loc.Fence()
+		for i := int64(4); i < 16; i++ {
+			if got := nat.Get(i); got != 96+i {
+				t.Errorf("WriteRange element %d = %d, want %d", i, got, 96+i)
+			}
+		}
+		loc.Fence()
+	})
+}

@@ -80,6 +80,15 @@ func (v ArrayNative[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	return v.A.LocalSubdomains()
 }
 
+// LocalSpans reports the index ranges stored in this location's memory
+// (identical to the native work decomposition).
+func (v ArrayNative[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	return v.A.LocalSubdomains()
+}
+
+// LocalSegment exposes the raw storage backing a locally stored run.
+func (v ArrayNative[T]) LocalSegment(r domain.Range1D) ([]T, bool) { return v.A.LocalSegment(r) }
+
 // VectorNative is the native view of a pVector.
 type VectorNative[T any] struct {
 	V *pvector.Vector[T]
@@ -111,6 +120,14 @@ func (v VectorNative[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	}
 	return []domain.Range1D{d}
 }
+
+// LocalSpans reports the index ranges stored in this location's memory.
+func (v VectorNative[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	return v.LocalRanges(loc)
+}
+
+// LocalSegment exposes the raw storage backing a locally stored run.
+func (v VectorNative[T]) LocalSegment(r domain.Range1D) ([]T, bool) { return v.V.LocalSegment(r) }
 
 // Balanced re-partitions any RandomAccess collection into equal index shares
 // per location (balance_view).  Accesses may be remote when the underlying
@@ -167,6 +184,23 @@ func (v Balanced[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	return []domain.Range1D{b}
 }
 
+// LocalSpans reports the base's locally stored ranges (the balanced view
+// re-partitions the work, not the storage: view index i is base index i).
+func (v Balanced[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	if src, ok := v.Base.(LocalitySource); ok {
+		return src.LocalSpans(loc)
+	}
+	return nil
+}
+
+// LocalSegment delegates to the base's raw storage when it exposes one.
+func (v Balanced[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
+	if d, ok := v.Base.(DirectAccess[T]); ok {
+		return d.LocalSegment(r)
+	}
+	return nil, false
+}
+
 // Strided exposes every stride-th element of a base view starting at offset,
 // as a dense view of its own (strided_1D_view).
 type Strided[T any] struct {
@@ -207,6 +241,43 @@ func (v Strided[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	return []domain.Range1D{b}
 }
 
+// LocalSpans maps the base's locally stored ranges into the strided index
+// space: view index i is local when base index Offset+i*Strd is.
+func (v Strided[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	src, ok := v.Base.(LocalitySource)
+	if !ok {
+		return nil
+	}
+	var out []domain.Range1D
+	for _, s := range src.LocalSpans(loc) {
+		// Smallest i with Offset+i*Strd >= s.Lo, first i with base >= s.Hi.
+		lo := (s.Lo - v.Offset + v.Strd - 1) / v.Strd
+		hi := (s.Hi - v.Offset + v.Strd - 1) / v.Strd
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > v.logicalLength {
+			hi = v.logicalLength
+		}
+		if r := domain.NewRange1D(lo, hi); !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LocalSegment exposes the base's raw storage for unit-stride windows (a
+// strided run is not contiguous in the base for Strd > 1).
+func (v Strided[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
+	if v.Strd != 1 {
+		return nil, false
+	}
+	if d, ok := v.Base.(DirectAccess[T]); ok {
+		return d.LocalSegment(domain.NewRange1D(r.Lo+v.Offset, r.Hi+v.Offset))
+	}
+	return nil, false
+}
+
 // Transform presents a read-only element-wise transformation of a base view
 // (transform_pview): reads return fn(base value); writes are not supported.
 type Transform[T any, U any] struct {
@@ -228,9 +299,41 @@ func (v Transform[T, U]) Get(i int64) U { return v.Fn(v.Base.Get(i)) }
 // Set panics: transform views are read-only.
 func (v Transform[T, U]) Set(int64, U) { panic("views: transform view is read-only") }
 
+// GetBulk reads the base elements through its bulk path (when it has one)
+// and maps them, so a transformed remote batch still costs one grouped
+// request per owning location.
+func (v Transform[T, U]) GetBulk(idxs []int64) []U {
+	var vals []T
+	if b, ok := v.Base.(BulkAccess[T]); ok {
+		vals = b.GetBulk(idxs)
+	} else {
+		vals = make([]T, 0, len(idxs))
+		for _, i := range idxs {
+			vals = append(vals, v.Base.Get(i))
+		}
+	}
+	out := make([]U, len(vals))
+	for k, x := range vals {
+		out[k] = v.Fn(x)
+	}
+	return out
+}
+
+// SetBulk panics: transform views are read-only.
+func (v Transform[T, U]) SetBulk([]int64, []U) { panic("views: transform view is read-only") }
+
 // LocalRanges delegates to the base view.
 func (v Transform[T, U]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	return v.Base.LocalRanges(loc)
+}
+
+// LocalSpans delegates to the base view (the mapping is element-wise, so
+// locality is unchanged).
+func (v Transform[T, U]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	if src, ok := v.Base.(LocalitySource); ok {
+		return src.LocalSpans(loc)
+	}
+	return nil
 }
 
 // Overlap presents overlapping windows of a base view (overlap_view): window
@@ -327,6 +430,24 @@ func (v Slice[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
 	return []domain.Range1D{b}
 }
 
+// LocalSpans reports the whole domain: the slice is replicated shared
+// memory, so every index is local to every location.
+func (v Slice[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	d := domain.NewRange1D(0, v.Size())
+	if d.Empty() {
+		return nil
+	}
+	return []domain.Range1D{d}
+}
+
+// LocalSegment exposes the backing slice directly.
+func (v Slice[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
+	if r.Lo < 0 || r.Hi > v.Size() {
+		return nil, false
+	}
+	return v.Data[r.Lo:r.Hi], true
+}
+
 var (
 	_ Partitioned[int] = ArrayNative[int]{}
 	_ Partitioned[int] = VectorNative[int]{}
@@ -339,4 +460,18 @@ var (
 	_ BulkAccess[int] = VectorNative[int]{}
 	_ BulkAccess[int] = Balanced[int]{}
 	_ BulkAccess[int] = Slice[int]{}
+	_ BulkAccess[int] = Transform[string, int]{}
+
+	_ LocalitySource = ArrayNative[int]{}
+	_ LocalitySource = VectorNative[int]{}
+	_ LocalitySource = Balanced[int]{}
+	_ LocalitySource = Strided[int]{}
+	_ LocalitySource = Slice[int]{}
+	_ LocalitySource = Transform[string, int]{}
+
+	_ DirectAccess[int] = ArrayNative[int]{}
+	_ DirectAccess[int] = VectorNative[int]{}
+	_ DirectAccess[int] = Balanced[int]{}
+	_ DirectAccess[int] = Strided[int]{}
+	_ DirectAccess[int] = Slice[int]{}
 )
