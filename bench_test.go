@@ -102,6 +102,11 @@ func BenchmarkFig62Composition(b *testing.B) { benchExperiment(b, "fig62") }
 // message and byte deltas per mode.
 func BenchmarkBulkVsElementwise(b *testing.B) { benchExperiment(b, "bulk") }
 
+// pMatrix 2-D kernels: coarsened matvec/matmul vs element-wise traversal,
+// 2-D Jacobi row-halo sweeps and the row-blocked → checkerboard relayout,
+// with deterministic message/RMI/byte series.
+func BenchmarkMatrixKernels(b *testing.B) { benchExperiment(b, "matrix") }
+
 // Redistribution subsystem: skew a distribution, rebalance with the
 // load-balance advisor, measure imbalance and migration traffic.
 func BenchmarkRedistributeRebalance(b *testing.B) { benchExperiment(b, "redist") }

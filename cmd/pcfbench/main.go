@@ -198,7 +198,14 @@ func compareBaseline(selected []bench.Experiment, cfg bench.Config, base []jsonR
 			if cur < b.Value {
 				improved++
 			}
-		case b.Value == 0 || (cur-b.Value)/b.Value > regressionTolerance:
+		case b.Value == 0:
+			// Growth from a zero baseline has no meaningful percentage (the
+			// old report printed a flat "+100%" here, whether the counter
+			// grew to 1 or to 1 million); report the new traffic distinctly.
+			fmt.Printf("NEW       %-10s %-42s %-24s 0 -> %.0f %s (counter grew from a zero baseline)\n",
+				b.Experiment, b.Series, b.Param, cur, b.Unit)
+			ok = false
+		case (cur-b.Value)/b.Value > regressionTolerance:
 			fmt.Printf("REGRESSED %-10s %-42s %-24s %.0f -> %.0f %s (+%.1f%%)\n",
 				b.Experiment, b.Series, b.Param, b.Value, cur, b.Unit, growthPct(b.Value, cur))
 			ok = false
@@ -211,9 +218,9 @@ func compareBaseline(selected []bench.Experiment, cfg bench.Config, base []jsonR
 	return ok
 }
 
+// growthPct reports growth relative to a non-zero baseline; zero baselines
+// take the distinct NEW path in compareBaseline instead of a misleading flat
+// percentage.
 func growthPct(base, cur float64) float64 {
-	if base == 0 {
-		return 100
-	}
 	return (cur - base) / base * 100
 }

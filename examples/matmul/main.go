@@ -1,0 +1,125 @@
+// Command matmul demonstrates the 2-D pMatrix subsystem: a panel-blocked
+// matrix-matrix product (C = A·B) whose B panels arrive as one grouped bulk
+// request per owner and whose C contributions flush as one bulk RMI per
+// destination per panel, a coarsened matrix-vector product against a
+// pVector, and a checkerboard → row-blocked relayout through the shared
+// redistribution engine.  The result is checked against a sequential
+// reference.
+//
+// Usage:
+//
+//	matmul -locations 4 -n 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/containers/pmatrix"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/palgo"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func main() {
+	var (
+		locations = flag.Int("locations", 4, "number of locations (simulated processors)")
+		n         = flag.Int64("n", 24, "matrix dimension (n x n)")
+	)
+	flag.Parse()
+
+	aElem := func(r, c int64) int64 { return (r-c)%5 + 3 }
+	bElem := func(r, c int64) int64 { return r%4 + c%3 + 1 }
+	xElem := func(c int64) int64 { return c%7 + 1 }
+
+	// Sequential references.
+	d := *n
+	refC := make([]int64, d*d)
+	for r := int64(0); r < d; r++ {
+		for j := int64(0); j < d; j++ {
+			var acc int64
+			for k := int64(0); k < d; k++ {
+				acc += aElem(r, k) * bElem(k, j)
+			}
+			refC[r*d+j] = acc
+		}
+	}
+	refY := make([]int64, d)
+	for r := int64(0); r < d; r++ {
+		var acc int64
+		for c := int64(0); c < d; c++ {
+			acc += aElem(r, c) * xElem(c)
+		}
+		refY[r] = acc
+	}
+
+	var mulMS, vecMS, relayoutMS float64
+	mismatches := 0
+	m := runtime.NewMachine(*locations, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		// --- C = A·B with a checkerboard C and row-blocked operands.
+		a := pmatrix.New[int64](loc, d, d)
+		b := pmatrix.New[int64](loc, d, d)
+		c := pmatrix.New[int64](loc, d, d, pmatrix.WithLayout(partition.Checkerboard))
+		a.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return aElem(g.Row, g.Col) })
+		b.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return bElem(g.Row, g.Col) })
+		loc.Fence()
+		start := time.Now()
+		palgo.MatMul[int64](loc, a, b, c)
+		dMul := time.Since(start)
+
+		// --- y = A·x against a pVector.
+		x := pvector.New[int64](loc, d)
+		x.LocalUpdate(func(gid int64, _ int64) int64 { return xElem(gid) })
+		y := pvector.New[int64](loc, d)
+		loc.Fence()
+		start = time.Now()
+		palgo.MatVec[int64](loc, a, x, y)
+		dVec := time.Since(start)
+
+		// --- Relayout C onto a row-blocked decomposition and verify both
+		// results from location 0.
+		start = time.Now()
+		c.Relayout(partition.RowBlocked, 0)
+		dRelayout := time.Since(start)
+		if loc.ID() == 0 {
+			bad := 0
+			for r := int64(0); r < d && bad < 3; r++ {
+				for j := int64(0); j < d && bad < 3; j++ {
+					if got := c.Get(r, j); got != refC[r*d+j] {
+						fmt.Printf("MISMATCH C[%d,%d] = %d, want %d\n", r, j, got, refC[r*d+j])
+						bad++
+					}
+				}
+			}
+			for r := int64(0); r < d && bad < 3; r++ {
+				if got := y.Get(r); got != refY[r] {
+					fmt.Printf("MISMATCH y[%d] = %d, want %d\n", r, got, refY[r])
+					bad++
+				}
+			}
+			mulMS = float64(dMul.Microseconds()) / 1000
+			vecMS = float64(dVec.Microseconds()) / 1000
+			relayoutMS = float64(dRelayout.Microseconds()) / 1000
+			mismatches = bad
+		}
+		loc.Fence()
+	})
+
+	fmt.Printf("%dx%d matrices on %d locations\n", d, d, *locations)
+	fmt.Printf("matmul (panel blocked)       %8.2f ms\n", mulMS)
+	fmt.Printf("matvec (coarsened)           %8.2f ms\n", vecMS)
+	fmt.Printf("relayout checker->row        %8.2f ms\n", relayoutMS)
+	s := m.Stats()
+	fmt.Printf("traffic: %d RMIs, %d messages, %d simulated bytes (%d bulk ops)\n",
+		s.RMIsSent, s.MessagesSent, s.BytesSimulated, s.BulkOps)
+	if mismatches > 0 {
+		fmt.Println("FAILED: results diverge from the sequential reference")
+		os.Exit(1)
+	}
+	fmt.Println("verified against the sequential reference")
+}

@@ -89,6 +89,12 @@ func (m *MatrixBlock[T]) Update(fn func(g domain.Index2D, val T) T) {
 	}
 }
 
+// Slice exposes the whole block's row-major backing storage.  Like
+// Array.Slice it is the raw-segment escape hatch of the native views: the
+// caller follows the bracket-free native-view discipline (only touch data in
+// its own work decomposition, separate conflicting phases with fences).
+func (m *MatrixBlock[T]) Slice() []T { return m.data }
+
 // RowSlice returns the contiguous storage of one global row restricted to
 // this block's columns.  The caller must hold the container's data bracket.
 func (m *MatrixBlock[T]) RowSlice(row int64) []T {

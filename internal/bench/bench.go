@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"fig60", "generic algorithms on associative pContainers", Fig60AssociativeAlgos},
 		{"fig62", "composition: pArray<pArray>, pList<pArray>, pMatrix row-min", Fig62Composition},
 		{"bulk", "bulk element operations vs per-element RMIs", BulkVsElementwise},
+		{"matrix", "pMatrix 2-D kernels: coarsened matvec/matmul vs element-wise, 2-D jacobi, relayout", MatrixKernels},
 		{"views", "composable pView algebra: coarsened vs elementwise, zip, overlap halo, segmented", ViewsComposition},
 		{"redist", "redistribution and load balancing: skew, rebalance, traffic", RedistributeRebalance},
 		{"directory", "distributed-directory resolution: cached vs uncached repeat remote access", DirectoryCachedAccess},

@@ -54,7 +54,7 @@ func TestFindAndDescriptions(t *testing.T) {
 			t.Errorf("experiment %s incompletely registered", e.ID)
 		}
 		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") &&
-			e.ID != "redist" && e.ID != "bulk" && e.ID != "directory" && e.ID != "views" {
+			e.ID != "redist" && e.ID != "bulk" && e.ID != "directory" && e.ID != "views" && e.ID != "matrix" {
 			t.Errorf("unexpected experiment id %s", e.ID)
 		}
 	}
@@ -164,6 +164,43 @@ func TestViewCoarseningMessageReduction(t *testing.T) {
 	}
 	if v := vals["dot messages (zip native)"]; v != 0 {
 		t.Errorf("zip-native dot sent %v messages, want 0", v)
+	}
+}
+
+func TestMatrixMessageReduction(t *testing.T) {
+	// Acceptance floor of the pMatrix promotion: the coarsened 2-D kernels
+	// must issue at least 5x fewer messages than element-wise traversal of
+	// the same matrices at the default aggregation factor.  The element-wise
+	// paths pay one request per remote x / B element (two messages per
+	// synchronous read); the blocked paths move x strips / B panels as one
+	// grouped request per owner and flush partials as one bulk RMI per
+	// destination per panel.
+	cfg := Config{Locations: []int{4}, ElementsPerLocation: 2000, GraphScale: 6}
+	rows := MatrixKernels(cfg)
+	vals := map[string]float64{}
+	for _, r := range rows {
+		vals[r.Series] = r.Value
+	}
+	for _, kernel := range []struct{ elem, coar string }{
+		{"matvec messages (elementwise)", "matvec messages (coarsened)"},
+		{"matmul messages (elementwise)", "matmul messages (blocked)"},
+	} {
+		elem, okE := vals[kernel.elem]
+		coar, okC := vals[kernel.coar]
+		if !okE || !okC {
+			t.Fatalf("missing series %q/%q in %+v", kernel.elem, kernel.coar, rows)
+		}
+		if coar <= 0 {
+			t.Fatalf("%s = %v, expected remote traffic", kernel.coar, coar)
+		}
+		if elem < 5*coar {
+			t.Errorf("%s=%v vs %s=%v: want >= 5x fewer messages", kernel.elem, elem, kernel.coar, coar)
+		}
+	}
+	// The Jacobi row-halo exchange stays bounded: a handful of grouped
+	// requests per sweep, not one per boundary element.
+	if v, ok := vals["jacobi2d messages/sweep"]; !ok || v <= 0 {
+		t.Errorf("jacobi2d messages/sweep = %v, expected halo traffic", v)
 	}
 }
 

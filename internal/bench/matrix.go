@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/containers/pmatrix"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/palgo"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// MatrixKernels measures what the 2-D pMatrix subsystem buys over
+// element-wise traversal on the kernels of the paper's matrix composition
+// studies (Figs. 61/62 route through pMatrix): a matrix-vector product whose
+// x strips and y partials move as grouped bulk requests vs one RMI per
+// element, a panel-blocked matrix-matrix product vs a per-element triple
+// loop, a 2-D Jacobi sweep whose boundary rows travel as one halo request
+// per neighbour per sweep, and the row-blocked → checkerboard relayout
+// traffic through the shared redistribution engine.  The RMI / message /
+// byte series count requests, not time, so the CI regression gate pins them.
+func MatrixKernels(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue // the comparisons need remote traffic
+		}
+		n := cfg.ElementsPerLocation * int64(p)
+		// Matrix-vector and Jacobi operate on a dv×dv matrix (≈ n elements);
+		// the matrix-matrix comparison is cubic in its dimension, so it runs
+		// at dm ≈ n^(1/3) to keep the per-element baseline tractable.
+		dv := isqrt(n)
+		dm := icbrt(n)
+		if dm < 8 {
+			dm = 8
+		}
+		param := fmt.Sprintf("P=%d N=%d", p, n)
+		add := func(series string, value float64, unit string) {
+			rows = append(rows, Row{Experiment: "matrix", Series: series, Param: param, Value: value, Unit: unit})
+		}
+
+		// --- MatVec: y = A·x over a row-blocked dv×dv matrix.  The
+		// element-wise path pays one request per remote x element; the
+		// coarsened path reads each block's x strip as one grouped request
+		// per owner and flushes row partials as one CombineBulk per owner.
+		aElem := func(r, c int64) int64 { return (r+c)%7 + 1 }
+		xElem := func(c int64) int64 { return c%5 + 1 }
+		matvecSetup := func(loc *runtime.Location) (*pmatrix.Matrix[int64], *pvector.Vector[int64], *pvector.Vector[int64]) {
+			a := pmatrix.New[int64](loc, dv, dv)
+			a.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return aElem(g.Row, g.Col) })
+			x := pvector.New[int64](loc, dv)
+			x.LocalUpdate(func(gid int64, _ int64) int64 { return xElem(gid) })
+			y := pvector.New[int64](loc, dv)
+			loc.Fence()
+			return a, x, y
+		}
+		mvElemMS, mvElemStats := measuredRun(p, func(loc *runtime.Location) func() {
+			a, x, y := matvecSetup(loc)
+			return func() {
+				rs, cs := a.LocalBlocks()
+				for b := range rs {
+					for r := rs[b].Lo; r < rs[b].Hi; r++ {
+						var acc int64
+						for c := cs[b].Lo; c < cs[b].Hi; c++ {
+							acc += a.Get(r, c) * x.Get(c)
+						}
+						y.Set(r, acc)
+					}
+				}
+				loc.Fence()
+			}
+		})
+		// Correctness of the kernels against sequential references is pinned
+		// by the palgo unit tests; the measured bodies stay check-free so
+		// the baseline counters record kernel traffic only.
+		mvCoarMS, mvCoarStats := measuredRun(p, func(loc *runtime.Location) func() {
+			a, x, y := matvecSetup(loc)
+			return func() {
+				palgo.MatVec[int64](loc, a, x, y)
+			}
+		})
+		add("matvec (elementwise)", mvElemMS, "ms")
+		add("matvec (coarsened)", mvCoarMS, "ms")
+		add("matvec rmis (elementwise)", float64(mvElemStats.RMIsSent), "rmis")
+		add("matvec rmis (coarsened)", float64(mvCoarStats.RMIsSent), "rmis")
+		add("matvec messages (elementwise)", float64(mvElemStats.MessagesSent), "msgs")
+		add("matvec messages (coarsened)", float64(mvCoarStats.MessagesSent), "msgs")
+		add("matvec bytes (elementwise)", float64(mvElemStats.BytesSimulated), "bytes")
+		add("matvec bytes (coarsened)", float64(mvCoarStats.BytesSimulated), "bytes")
+		if mvCoarStats.MessagesSent > 0 {
+			add("matvec message reduction", float64(mvElemStats.MessagesSent)/float64(mvCoarStats.MessagesSent), "x")
+		}
+
+		// --- MatMul: C = A·B over row-blocked dm×dm matrices.  The blocked
+		// schedule fetches each panel's B strip once per owner and flushes C
+		// contributions as one bulk RMI per destination per panel; the
+		// element-wise triple loop pays one synchronous request per remote
+		// B element.
+		bElem := func(r, c int64) int64 { return r%3 + c%4 + 1 }
+		matmulSetup := func(loc *runtime.Location) (*pmatrix.Matrix[int64], *pmatrix.Matrix[int64], *pmatrix.Matrix[int64]) {
+			a := pmatrix.New[int64](loc, dm, dm)
+			a.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return aElem(g.Row, g.Col) })
+			b := pmatrix.New[int64](loc, dm, dm)
+			b.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return bElem(g.Row, g.Col) })
+			c := pmatrix.New[int64](loc, dm, dm)
+			loc.Fence()
+			return a, b, c
+		}
+		mmElemMS, mmElemStats := measuredRun(p, func(loc *runtime.Location) func() {
+			a, b, c := matmulSetup(loc)
+			return func() {
+				rs, cs := a.LocalBlocks()
+				for blk := range rs {
+					for r := rs[blk].Lo; r < rs[blk].Hi; r++ {
+						for j := int64(0); j < dm; j++ {
+							var acc int64
+							for k := cs[blk].Lo; k < cs[blk].Hi; k++ {
+								acc += a.Get(r, k) * b.Get(k, j)
+							}
+							c.Set(r, j, acc)
+						}
+					}
+				}
+				loc.Fence()
+			}
+		})
+		mmBlockMS, mmBlockStats := measuredRun(p, func(loc *runtime.Location) func() {
+			a, b, c := matmulSetup(loc)
+			return func() {
+				palgo.MatMul[int64](loc, a, b, c)
+			}
+		})
+		add("matmul (elementwise)", mmElemMS, "ms")
+		add("matmul (blocked)", mmBlockMS, "ms")
+		add("matmul rmis (elementwise)", float64(mmElemStats.RMIsSent), "rmis")
+		add("matmul rmis (blocked)", float64(mmBlockStats.RMIsSent), "rmis")
+		add("matmul messages (elementwise)", float64(mmElemStats.MessagesSent), "msgs")
+		add("matmul messages (blocked)", float64(mmBlockStats.MessagesSent), "msgs")
+		add("matmul bytes (elementwise)", float64(mmElemStats.BytesSimulated), "bytes")
+		add("matmul bytes (blocked)", float64(mmBlockStats.BytesSimulated), "bytes")
+		if mmBlockStats.MessagesSent > 0 {
+			add("matmul message reduction", float64(mmElemStats.MessagesSent)/float64(mmBlockStats.MessagesSent), "x")
+		}
+
+		// --- 2-D Jacobi over the row-halo face: each location's boundary
+		// rows travel as one grouped request per neighbour per sweep.
+		const sweeps = 4
+		jacMS, jacStats := measuredRun(p, func(loc *runtime.Location) func() {
+			cur := pmatrix.New[float64](loc, dv, dv)
+			next := pmatrix.New[float64](loc, dv, dv)
+			init := func(g domain.Index2D, _ float64) float64 {
+				if g.Row == 0 {
+					return 100
+				}
+				return 0
+			}
+			cur.UpdateLocal(init)
+			next.UpdateLocal(init)
+			loc.Fence()
+			return func() {
+				palgo.Jacobi2D(loc, cur, next, sweeps)
+			}
+		})
+		add("jacobi2d (row halo)", jacMS, "ms")
+		add("jacobi2d messages/sweep", float64(jacStats.MessagesSent)/sweeps, "msgs")
+		add("jacobi2d rmis/sweep", float64(jacStats.RMIsSent)/sweeps, "rmis")
+		add("jacobi2d bytes/sweep", float64(jacStats.BytesSimulated)/sweeps, "bytes")
+
+		// --- Relayout: row-blocked → checkerboard through the shared
+		// redistribution engine (the migration traffic is the deterministic
+		// cost of the 2-D data-placement switch).
+		relayoutMS, relayoutStats := measuredRun(p, func(loc *runtime.Location) func() {
+			m := pmatrix.New[int64](loc, dv, dv)
+			m.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return g.Row*dv + g.Col })
+			loc.Fence()
+			return func() {
+				m.Relayout(partition.Checkerboard, 0)
+			}
+		})
+		add("relayout row->checkerboard", relayoutMS, "ms")
+		add("relayout rmis", float64(relayoutStats.RMIsSent), "rmis")
+		add("relayout bytes", float64(relayoutStats.BytesSimulated), "bytes")
+	}
+	return rows
+}
+
+// isqrt returns the integer square root of n.
+func isqrt(n int64) int64 {
+	var r int64
+	for r*r <= n {
+		r++
+	}
+	return r - 1
+}
+
+// icbrt returns the integer cube root of n.
+func icbrt(n int64) int64 {
+	var r int64
+	for r*r*r <= n {
+		r++
+	}
+	return r - 1
+}

@@ -80,3 +80,95 @@ func (h *HashMap[K, V]) Partition() *partition.Hashed[K] { return h.part }
 
 // Mapper returns the bucket → location mapper in use.
 func (h *HashMap[K, V]) Mapper() partition.Mapper { return h.mapper }
+
+// Redistribute reorganises the pMap's pairs according to a new splitter
+// (value-range) partition and mapper through the shared redistribution
+// engine: the splitters may move (repartitioning the key ranges) and the
+// mapper may place ranges on arbitrary locations.  PR 1 wired only the
+// hashed family; the sorted family takes exactly the same three-phase path,
+// it just allocates sorted staging ranges and routes by splitter search.
+// Collective; every location passes identical arguments.
+func (m *Map[K, V]) Redistribute(newPart *partition.Ranged[K], newMapper partition.Mapper) {
+	loc := m.Location()
+	var probe mapPair[K, V]
+	elemBytes := int(unsafe.Sizeof(probe))
+	core.RunMigration(loc, core.MigrationSpec[mapPair[K, V], *bcontainer.SortedMap[K, V]]{
+		NewLocal: newMapper.LocalBCIDs(loc.ID()),
+		Alloc: func(b partition.BCID) *bcontainer.SortedMap[K, V] {
+			return bcontainer.NewSortedMap[K, V](b, m.less)
+		},
+		Enumerate: func(emit func(mapPair[K, V])) {
+			m.ForEachLocalBC(core.Read, func(bc *bcontainer.SortedMap[K, V]) {
+				bc.Range(func(k K, v V) bool {
+					emit(mapPair[K, V]{key: k, val: v})
+					return true
+				})
+			})
+		},
+		Route: func(e mapPair[K, V]) (partition.BCID, int) {
+			info := newPart.Find(e.key)
+			return info.BCID, newMapper.Map(info.BCID)
+		},
+		Place: func(bc *bcontainer.SortedMap[K, V], e mapPair[K, V]) { bc.Insert(e.key, e.val) },
+		Bytes: func(mapPair[K, V]) int { return elemBytes },
+		Install: func(lm *core.LocationManager[*bcontainer.SortedMap[K, V]]) {
+			m.ReplaceLocationManager(lm)
+			m.SetResolver(rangeResolver[K]{part: newPart, mapper: newMapper})
+			m.part, m.mapper = newPart, newMapper
+		},
+	})
+}
+
+// mapPair is the element record shipped by pMap redistributions (keys are
+// only required to be orderable, not comparable, so it cannot share kvPair).
+type mapPair[K any, V any] struct {
+	key K
+	val V
+}
+
+// Rebalance evens out the per-location pair loads by remapping the existing
+// key ranges with the load-balance advisor's greedy proposal (the splitters
+// stay fixed, only range ownership moves), matching the hashed family's
+// Rebalance.  Collective.
+func (m *Map[K, V]) Rebalance() {
+	loc := m.Location()
+	local := make([]int64, m.part.NumSubdomains())
+	m.ForEachLocalBC(core.Read, func(bc *bcontainer.SortedMap[K, V]) {
+		local[int(bc.BCID())] = bc.Size()
+	})
+	sizes := partition.CollectSubSizes(loc, local)
+	m.Redistribute(m.part, partition.ProposeMapping(sizes, loc.NumLocations()))
+}
+
+// Partition returns the splitter partition in use.
+func (m *Map[K, V]) Partition() *partition.Ranged[K] { return m.part }
+
+// Mapper returns the range → location mapper in use.
+func (m *Map[K, V]) Mapper() partition.Mapper { return m.mapper }
+
+// Redistribute reorganises the pSet's members according to a new hashed
+// partition and mapper (the set is a key-is-value layer over the hashed
+// machinery, so it redistributes through it).  Collective.
+func (s *Set[K]) Redistribute(newPart *partition.Hashed[K], newMapper partition.Mapper) {
+	s.m.Redistribute(newPart, newMapper)
+}
+
+// Rebalance evens out the per-location member loads by remapping the hash
+// buckets with the load-balance advisor.  Collective.
+func (s *Set[K]) Rebalance() { s.m.Rebalance() }
+
+// Partition returns the hashed partition in use.
+func (s *Set[K]) Partition() *partition.Hashed[K] { return s.m.Partition() }
+
+// Mapper returns the bucket → location mapper in use.
+func (s *Set[K]) Mapper() partition.Mapper { return s.m.Mapper() }
+
+// Redistribute reorganises the pMultiMap's (key, values) pairs according to
+// a new hashed partition and mapper.  Collective.
+func (mm *MultiMap[K, V]) Redistribute(newPart *partition.Hashed[K], newMapper partition.Mapper) {
+	mm.m.Redistribute(newPart, newMapper)
+}
+
+// Rebalance evens out the per-location key loads by remapping the hash
+// buckets with the load-balance advisor.  Collective.
+func (mm *MultiMap[K, V]) Rebalance() { mm.m.Rebalance() }

@@ -65,6 +65,131 @@ func TestHashMapRedistributeIdentityNoTraffic(t *testing.T) {
 	})
 }
 
+// TestMapSkewRebalanceRoundTrip: the sorted family was left out of PR 1's
+// redistribution wiring; this is its parity test — skew every key range onto
+// location 0, verify, rebalance with the advisor, verify again.
+func TestMapSkewRebalanceRoundTrip(t *testing.T) {
+	const n = int64(200)
+	run(4, func(loc *runtime.Location) {
+		p := loc.NumLocations()
+		less := func(a, b int64) bool { return a < b }
+		m := NewMap[int64, int64](loc, less, UniformInt64Splitters(0, n, 4*p))
+		for k := int64(loc.ID()); k < n; k += int64(p) {
+			m.Insert(k, k*13)
+		}
+		loc.Fence()
+		// Skew: map every key range to location 0.
+		m.Redistribute(m.Partition(), partition.NewArbitraryMapper(make([]int, m.Partition().NumSubdomains()), p))
+		if f := partition.CollectLoad(loc, m.LocalSize()).Imbalance(); f != float64(p) {
+			t.Errorf("all-on-one imbalance = %.3f, want %d", f, p)
+		}
+		for k := int64(0); k < n; k++ {
+			if v, ok := m.Find(k); !ok || v != k*13 {
+				t.Errorf("after skew: key %d = (%d,%v)", k, v, ok)
+				return
+			}
+		}
+		loc.Fence()
+		m.Rebalance()
+		if f := partition.CollectLoad(loc, m.LocalSize()).Imbalance(); f > 1.1 {
+			t.Errorf("imbalance after rebalance = %.3f, want <= 1.1", f)
+		}
+		if got := m.Size(); got != n {
+			t.Errorf("size = %d, want %d", got, n)
+		}
+		for k := int64(0); k < n; k++ {
+			if v, ok := m.Find(k); !ok || v != k*13 {
+				t.Errorf("after rebalance: key %d = (%d,%v)", k, v, ok)
+				return
+			}
+		}
+		// Local traversal still visits keys in ascending order: ranges are
+		// enumerated in BCID (= key-range) order and each staging range was
+		// rebuilt sorted.
+		keys := m.LocalKeys()
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Errorf("local keys out of order: %d before %d", keys[i-1], keys[i])
+				break
+			}
+		}
+		// Element methods still work against the new mapping.
+		m.Insert(n+1, 1)
+		loc.Fence()
+		if got := m.Size(); got != n+1 {
+			t.Errorf("size after insert = %d, want %d", got, n+1)
+		}
+		loc.Fence()
+	})
+}
+
+// TestMapRedistributeNewSplitters repartitions a pMap onto finer splitters
+// (more key ranges) and verifies every pair survives the move.
+func TestMapRedistributeNewSplitters(t *testing.T) {
+	const n = int64(120)
+	run(2, func(loc *runtime.Location) {
+		less := func(a, b int64) bool { return a < b }
+		m := NewMap[int64, int64](loc, less, UniformInt64Splitters(0, n, 2))
+		if loc.ID() == 0 {
+			for k := int64(0); k < n; k++ {
+				m.Insert(k, k+7)
+			}
+		}
+		loc.Fence()
+		newPart := partition.NewRanged(UniformInt64Splitters(0, n, 8), less)
+		m.Redistribute(newPart, partition.NewBlockedMapper(newPart.NumSubdomains(), loc.NumLocations()))
+		if got := m.Size(); got != n {
+			t.Errorf("size = %d, want %d", got, n)
+		}
+		for k := int64(0); k < n; k++ {
+			if v, ok := m.Find(k); !ok || v != k+7 {
+				t.Errorf("key %d = (%d,%v)", k, v, ok)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
+// TestSetSkewRebalanceRoundTrip: pSet parity with the shared redistribution
+// engine through its hashed underlay.
+func TestSetSkewRebalanceRoundTrip(t *testing.T) {
+	const n = int64(160)
+	run(4, func(loc *runtime.Location) {
+		p := loc.NumLocations()
+		s := NewSet[int64](loc, partition.Int64Hash, HashOption{SubdomainsPerLocation: 4})
+		for k := int64(loc.ID()); k < n; k += int64(p) {
+			s.Insert(k)
+		}
+		loc.Fence()
+		s.Redistribute(s.Partition(), partition.NewArbitraryMapper(make([]int, s.Partition().NumSubdomains()), p))
+		if f := partition.CollectLoad(loc, s.m.LocalSize()).Imbalance(); f != float64(p) {
+			t.Errorf("all-on-one imbalance = %.3f, want %d", f, p)
+		}
+		for k := int64(0); k < n; k++ {
+			if !s.Contains(k) {
+				t.Errorf("after skew: member %d lost", k)
+				return
+			}
+		}
+		loc.Fence()
+		s.Rebalance()
+		if f := partition.CollectLoad(loc, s.m.LocalSize()).Imbalance(); f > 1.1 {
+			t.Errorf("imbalance after rebalance = %.3f, want <= 1.1", f)
+		}
+		if got := s.Size(); got != n {
+			t.Errorf("size = %d, want %d", got, n)
+		}
+		for k := int64(0); k < n; k++ {
+			if !s.Contains(k) {
+				t.Errorf("after rebalance: member %d lost", k)
+				return
+			}
+		}
+		loc.Fence()
+	})
+}
+
 func TestHashMapSkewRebalanceRoundTrip(t *testing.T) {
 	const n = 200
 	run(4, func(loc *runtime.Location) {

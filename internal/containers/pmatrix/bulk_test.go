@@ -1,0 +1,203 @@
+package pmatrix
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// TestMatrixBulkEquivalence is the property test for the 2-D bulk element
+// methods: SetBulk followed by a fence must leave the matrix in exactly the
+// state the elementwise Set loop produces, for mixed local/remote, empty and
+// checkerboard-spanning batches; GetBulk must agree with the Get loop.
+func TestMatrixBulkEquivalence(t *testing.T) {
+	const rows, cols = int64(12), int64(8)
+	run(4, func(loc *runtime.Location) {
+		bulk := New[int64](loc, rows, cols, WithLayout(partition.Checkerboard))
+		elem := New[int64](loc, rows, cols, WithLayout(partition.Checkerboard))
+
+		// Mixed batch: every location writes a strided set of indices
+		// spanning every block of the checkerboard.
+		var idxs []domain.Index2D
+		var vals []int64
+		for r := int64(loc.ID()); r < rows; r += int64(loc.NumLocations()) {
+			for c := int64(0); c < cols; c++ {
+				idxs = append(idxs, domain.Index2D{Row: r, Col: c})
+				vals = append(vals, 1000*int64(loc.ID())+r*cols+c)
+			}
+		}
+		bulk.SetBulk(idxs, vals)
+		for k, g := range idxs {
+			elem.Set(g.Row, g.Col, vals[k])
+		}
+		loc.Fence()
+		for r := int64(0); r < rows; r++ {
+			for c := int64(0); c < cols; c++ {
+				if got, want := bulk.Get(r, c), elem.Get(r, c); got != want {
+					t.Errorf("(%d,%d): bulk=%d elementwise=%d", r, c, got, want)
+				}
+			}
+		}
+		loc.Fence()
+
+		// GetBulk agrees with the Get loop (unsorted, duplicated indices).
+		probe := []domain.Index2D{{Row: rows - 1, Col: cols - 1}, {Row: 0, Col: 0}, {Row: 3, Col: 5}, {Row: 3, Col: 5}}
+		got := bulk.GetBulk(probe)
+		for k, g := range probe {
+			if want := bulk.Get(g.Row, g.Col); got[k] != want {
+				t.Errorf("GetBulk[%d] (%v) = %d, want %d", k, g, got[k], want)
+			}
+		}
+
+		// Row strips round-trip across block boundaries.
+		strip := bulk.GetRowStrip(2, domain.NewRange1D(0, cols))
+		for c := int64(0); c < cols; c++ {
+			if strip[c] != bulk.Get(2, c) {
+				t.Errorf("row strip col %d = %d, want %d", c, strip[c], bulk.Get(2, c))
+			}
+		}
+
+		// Empty batch: a no-op.
+		bulk.SetBulk(nil, nil)
+		if out := bulk.GetBulk(nil); len(out) != 0 {
+			t.Errorf("GetBulk(nil) returned %d values", len(out))
+		}
+		loc.Fence()
+
+		// ApplyBulk equals the Apply loop; CombineBulk accumulates.
+		bulk.ApplyBulk(idxs, func(x int64) int64 { return x + 1 })
+		for _, g := range idxs {
+			elem.Apply(g.Row, g.Col, func(x int64) int64 { return x + 1 })
+		}
+		loc.Fence()
+		add := func(cur, val int64) int64 { return cur + val }
+		bulk.CombineBulk(idxs, vals, add)
+		for k, g := range idxs {
+			k := k
+			elem.Apply(g.Row, g.Col, func(x int64) int64 { return x + vals[k] })
+		}
+		loc.Fence()
+		for r := int64(0); r < rows; r++ {
+			for c := int64(0); c < cols; c++ {
+				if got, want := bulk.Get(r, c), elem.Get(r, c); got != want {
+					t.Errorf("after apply/combine (%d,%d): bulk=%d elementwise=%d", r, c, got, want)
+				}
+			}
+		}
+		loc.Fence()
+	})
+}
+
+// TestMatrixBulkAllLocalSendsNoMessages pins the local fast path: a batch
+// that resolves entirely to the calling location's blocks must not touch the
+// interconnect.
+func TestMatrixBulkAllLocalSendsNoMessages(t *testing.T) {
+	const rows, cols = int64(16), int64(8)
+	m := runtime.NewMachine(4, runtime.DefaultConfig())
+	var before, after runtime.Stats
+	m.Execute(func(loc *runtime.Location) {
+		a := New[int64](loc, rows, cols)
+		var idxs []domain.Index2D
+		var vals []int64
+		a.RangeLocal(func(g domain.Index2D, _ int64) bool {
+			idxs = append(idxs, g)
+			vals = append(vals, g.Row*cols+g.Col)
+			return true
+		})
+		loc.Fence()
+		if loc.ID() == 0 {
+			before = m.Stats()
+		}
+		loc.Barrier()
+		a.SetBulk(idxs, vals)
+		if got := a.GetBulk(idxs); len(got) > 0 && got[0] != idxs[0].Row*cols+idxs[0].Col {
+			t.Errorf("local bulk read back %d, want %d", got[0], idxs[0].Row*cols+idxs[0].Col)
+		}
+		loc.Barrier()
+		if loc.ID() == 0 {
+			after = m.Stats()
+		}
+		loc.Fence()
+	})
+	if d := after.MessagesSent - before.MessagesSent; d != 0 {
+		t.Errorf("all-local bulk batch sent %d messages, want 0", d)
+	}
+	if d := after.BytesSimulated - before.BytesSimulated; d != 0 {
+		t.Errorf("all-local bulk batch accounted %d bytes, want 0", d)
+	}
+}
+
+// TestMatrixBulkSingleLocation: the bulk methods degenerate cleanly on a
+// one-location machine (everything local, no messages).
+func TestMatrixBulkSingleLocation(t *testing.T) {
+	m := runtime.NewMachine(1, runtime.DefaultConfig())
+	m.Execute(func(loc *runtime.Location) {
+		a := New[int64](loc, 5, 5, WithLayout(partition.Checkerboard), WithBlocks(4))
+		var idxs []domain.Index2D
+		var vals []int64
+		for r := int64(0); r < 5; r++ {
+			for c := int64(0); c < 5; c++ {
+				idxs = append(idxs, domain.Index2D{Row: r, Col: c})
+				vals = append(vals, r*5+c)
+			}
+		}
+		a.SetBulk(idxs, vals)
+		loc.Fence()
+		for k, g := range idxs {
+			if got := a.Get(g.Row, g.Col); got != vals[k] {
+				t.Errorf("(%d,%d) = %d, want %d", g.Row, g.Col, got, vals[k])
+			}
+		}
+		loc.Fence()
+	})
+	if s := m.Stats(); s.MessagesSent != 0 {
+		t.Errorf("single-location bulk writes sent %d messages", s.MessagesSent)
+	}
+}
+
+// TestMatrixSegments covers the raw-segment accessors the 2-D views build
+// on: row segments inside one block, linear segments across full-width
+// blocks, and refusal everywhere else.
+func TestMatrixSegments(t *testing.T) {
+	const rows, cols = int64(8), int64(6)
+	run(2, func(loc *runtime.Location) {
+		a := New[int64](loc, rows, cols) // row-blocked: full-width blocks
+		a.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return g.Row*cols + g.Col })
+		loc.Fence()
+		rs, cs := a.LocalBlocks()
+		if len(rs) != 1 {
+			t.Fatalf("expected one local block, got %d", len(rs))
+		}
+		// A whole local row.
+		row := rs[0].Lo
+		seg, ok := a.RowSegment(row, cs[0])
+		if !ok || int64(len(seg)) != cols {
+			t.Fatalf("RowSegment(%d) ok=%v len=%d", row, ok, len(seg))
+		}
+		if seg[2] != row*cols+2 {
+			t.Errorf("RowSegment value = %d", seg[2])
+		}
+		// The full local block as one linear run (full-width storage).
+		lin := domain.NewRange1D(rs[0].Lo*cols, rs[0].Hi*cols)
+		seg, ok = a.LinearSegment(lin)
+		if !ok || int64(len(seg)) != lin.Size() {
+			t.Fatalf("LinearSegment(%v) ok=%v len=%d", lin, ok, len(seg))
+		}
+		if seg[0] != rs[0].Lo*cols {
+			t.Errorf("LinearSegment first value = %d", seg[0])
+		}
+		// A sub-run inside one row.
+		seg, ok = a.LinearSegment(domain.NewRange1D(row*cols+1, row*cols+4))
+		if !ok || len(seg) != 3 || seg[0] != row*cols+1 {
+			t.Errorf("within-row LinearSegment ok=%v seg=%v", ok, seg)
+		}
+		// A remote row refuses.
+		otherRow := (rs[0].Lo + rows/2) % rows
+		if _, ok := a.RowSegment(otherRow, cs[0]); ok {
+			t.Errorf("RowSegment(%d) should not be local", otherRow)
+		}
+		loc.Fence()
+	})
+}

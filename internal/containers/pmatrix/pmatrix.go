@@ -90,6 +90,9 @@ func (m *Matrix[T]) Domain() domain.Range2D { return m.dom }
 // Partition returns the block partition in use.
 func (m *Matrix[T]) Partition() *partition.Matrix { return m.part }
 
+// Mapper returns the block → location mapper in use.
+func (m *Matrix[T]) Mapper() partition.Mapper { return m.mapper }
+
 // Get returns the element at (row, col).  Synchronous.
 func (m *Matrix[T]) Get(row, col int64) T {
 	g := domain.Index2D{Row: row, Col: col}
@@ -114,6 +117,147 @@ func (m *Matrix[T]) GetSplit(row, col int64) *runtime.FutureOf[T] {
 	g := domain.Index2D{Row: row, Col: col}
 	f := m.InvokeSplit(g, core.Read, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T]) any { return bc.Get(g) })
 	return runtime.NewFutureOf[T](f)
+}
+
+// SetBulk stores vals[k] at index idxs[k] for every k, asynchronously.  The
+// whole batch is resolved under one metadata bracket, grouped by owning
+// location and shipped as one sized RMI per destination (AsyncRMIBulk), like
+// the bulk element methods of the other container families.  Both slices are
+// retained until the operations execute; callers hand over ownership and
+// must not mutate them before the next Fence.
+func (m *Matrix[T]) SetBulk(idxs []domain.Index2D, vals []T) {
+	if len(idxs) != len(vals) {
+		panic("pmatrix: SetBulk index/value length mismatch")
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	bytesPerOp := 16 + runtime.PayloadBytes(vals[0]) // (row, col) + value
+	m.InvokeBulk(idxs, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T], k int) {
+		bc.Set(idxs[k], vals[k])
+	})
+}
+
+// GetBulk returns the elements at the given indices, in order (synchronous).
+// One request and one response message per owning location, regardless of
+// batch size.
+func (m *Matrix[T]) GetBulk(idxs []domain.Index2D) []T {
+	out := make([]T, len(idxs))
+	m.InvokeBulkSync(idxs, core.Read, 16, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T], k int) {
+		out[k] = bc.Get(idxs[k])
+	})
+	return out
+}
+
+// ApplyBulk applies fn to every element named by idxs in place,
+// asynchronously (the bulk counterpart of Apply).  The index slice is
+// retained until the operations execute; do not mutate it before the next
+// Fence.
+func (m *Matrix[T]) ApplyBulk(idxs []domain.Index2D, fn func(T) T) {
+	m.InvokeBulk(idxs, core.Write, 16, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T], k int) {
+		bc.Apply(idxs[k], fn)
+	})
+}
+
+// CombineBulk merges vals into the named elements with op (element becomes
+// op(current, vals[k])), asynchronously.  It is the accumulate flavour the
+// blocked kernels use to flush partial results: one bulk RMI per destination
+// per call, commutative-op semantics across concurrent contributors.  Both
+// slices are retained until the next Fence.
+func (m *Matrix[T]) CombineBulk(idxs []domain.Index2D, vals []T, op func(cur, val T) T) {
+	if len(idxs) != len(vals) {
+		panic("pmatrix: CombineBulk index/value length mismatch")
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	bytesPerOp := 16 + runtime.PayloadBytes(vals[0])
+	m.InvokeBulk(idxs, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.MatrixBlock[T], k int) {
+		bc.Apply(idxs[k], func(cur T) T { return op(cur, vals[k]) })
+	})
+}
+
+// rowStripIdxs materialises the 2-D indices of one row strip.
+func rowStripIdxs(row int64, cols domain.Range1D) []domain.Index2D {
+	idxs := make([]domain.Index2D, 0, cols.Size())
+	for c := cols.Lo; c < cols.Hi; c++ {
+		idxs = append(idxs, domain.Index2D{Row: row, Col: c})
+	}
+	return idxs
+}
+
+// GetRowStrip reads the row strip (row, [cols.Lo, cols.Hi)) in column order:
+// one grouped bulk request per owning location, however many blocks the
+// strip crosses.  Synchronous.
+func (m *Matrix[T]) GetRowStrip(row int64, cols domain.Range1D) []T {
+	return m.GetBulk(rowStripIdxs(row, cols))
+}
+
+// SetRowStrip writes vals over the row strip (row, [cols.Lo, cols.Hi)),
+// asynchronously, one grouped bulk request per owning location.  vals is
+// retained until the next Fence.
+func (m *Matrix[T]) SetRowStrip(row int64, cols domain.Range1D, vals []T) {
+	if int64(len(vals)) != cols.Size() {
+		panic("pmatrix: SetRowStrip value/range length mismatch")
+	}
+	m.SetBulk(rowStripIdxs(row, cols), vals)
+}
+
+// RowSegment returns the raw storage backing the row strip
+// (row, [cols.Lo, cols.Hi)) when one local block holds it entirely, and
+// ok=false otherwise.  Like the 1-D LocalSegment methods it bypasses the
+// per-access brackets: callers follow the native-view discipline (touch only
+// their own work decomposition, fence between conflicting phases).
+func (m *Matrix[T]) RowSegment(row int64, cols domain.Range1D) ([]T, bool) {
+	if cols.Empty() {
+		return nil, false
+	}
+	for _, id := range m.LocationManager().BCIDs() {
+		r, c := m.part.Block(id)
+		if r.Contains(row) && cols.Lo >= c.Lo && cols.Hi <= c.Hi {
+			bc, ok := m.LocationManager().Get(id)
+			if !ok {
+				return nil, false
+			}
+			s := bc.RowSlice(row)
+			return s[cols.Lo-c.Lo : cols.Hi-c.Lo], true
+		}
+	}
+	return nil, false
+}
+
+// LinearSegment returns the raw storage backing the row-major linearised
+// index range [r.Lo, r.Hi) — index row*Cols+col — when one local block backs
+// it contiguously: either the run stays inside a single row of a block, or
+// the owning block spans every column, in which case its whole row-major
+// storage is one contiguous linear run.  The 2-D views hand these segments
+// to Coarsen so native chunks are walked at raw-slice speed.
+func (m *Matrix[T]) LinearSegment(r domain.Range1D) ([]T, bool) {
+	if r.Empty() || m.dom.Cols == 0 {
+		return nil, false
+	}
+	cols := m.dom.Cols
+	row, col := r.Lo/cols, r.Lo%cols
+	if (r.Hi-1)/cols == row {
+		// The run stays inside one row.
+		return m.RowSegment(row, domain.NewRange1D(col, col+r.Size()))
+	}
+	// Multi-row runs are contiguous only in full-width blocks.
+	for _, id := range m.LocationManager().BCIDs() {
+		br, bc := m.part.Block(id)
+		if bc.Lo != 0 || bc.Hi != cols {
+			continue
+		}
+		if r.Lo >= br.Lo*cols && r.Hi <= br.Hi*cols {
+			blk, ok := m.LocationManager().Get(id)
+			if !ok {
+				return nil, false
+			}
+			s := blk.Slice()
+			return s[r.Lo-br.Lo*cols : r.Hi-br.Lo*cols], true
+		}
+	}
+	return nil, false
 }
 
 // LocalBlocks returns the (row range, column range) of every block stored on

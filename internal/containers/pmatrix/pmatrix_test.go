@@ -1,6 +1,8 @@
 package pmatrix
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/domain"
@@ -110,6 +112,44 @@ func TestMatrixLocalRowRange(t *testing.T) {
 		rows, cols := m.LocalBlocks()
 		if len(rows) != 1 || rows[0].Size() != 3 || cols[0].Size() != 4 {
 			t.Errorf("local blocks = %v x %v", rows, cols)
+		}
+		loc.Fence()
+	})
+}
+
+// TestMatrixOutOfDomainFailsFast is the regression test for the 2-D
+// resolution bug: partition.Matrix.Find used to return Forward(0) for
+// out-of-domain indices, so an out-of-bounds Get/Set/Apply issued from
+// location 0 self-forwarded (and from any other location shipped an RMI that
+// blew up on location 0's server goroutine) instead of failing fast at the
+// caller.  Every location must now observe a clear resolver panic on its own
+// goroutine, exactly like pList's invalid-GID path.
+func TestMatrixOutOfDomainFailsFast(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		m := New[int](loc, 6, 4, WithLayout(partition.Checkerboard))
+		expectPanic := func(name string, fn func()) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("loc %d: %s outside the domain did not panic", loc.ID(), name)
+					return
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "outside") {
+					t.Errorf("loc %d: %s panicked with %q, want a clear out-of-domain message", loc.ID(), name, msg)
+				}
+			}()
+			fn()
+		}
+		expectPanic("Get", func() { m.Get(6, 0) })
+		expectPanic("Set", func() { m.Set(0, 4, 1) })
+		expectPanic("Apply", func() { m.Apply(-1, 0, func(x int) int { return x }) })
+		expectPanic("GetBulk", func() { m.GetBulk([]domain.Index2D{{Row: 0, Col: 0}, {Row: 99, Col: 99}}) })
+		// In-domain accesses still work after the recovered panics (the
+		// resolver releases the metadata bracket by defer).
+		m.Set(0, 0, 7+loc.ID())
+		loc.Fence()
+		if got := m.Get(0, 0); got < 7 {
+			t.Errorf("in-domain access after panic = %d", got)
 		}
 		loc.Fence()
 	})

@@ -1,0 +1,88 @@
+package pmatrix
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/bcontainer"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/partition"
+)
+
+// matrixElem is the element record shipped between locations when a pMatrix
+// redistributes: the 2-D index and its value.
+type matrixElem[T any] struct {
+	g   domain.Index2D
+	val T
+}
+
+// Redistribute reorganises the pMatrix's elements according to a new 2-D
+// block partition and mapper through the shared redistribution engine in
+// package core (Chapter V, Section G): row-blocked ↔ checkerboard relayouts,
+// finer or coarser block grids, and arbitrary block → location remappings
+// all take the same path.  Elements that stay on their location are placed
+// directly; elements that change owner travel as asynchronous RMIs.
+// Collective; every location passes equivalent arguments over the same
+// rows×cols domain.
+func (m *Matrix[T]) Redistribute(newPart *partition.Matrix, newMapper partition.Mapper) {
+	if newPart.Domain() != m.dom {
+		panic(fmt.Sprintf("pmatrix: Redistribute must keep the %dx%d domain, got %dx%d",
+			m.dom.Rows, m.dom.Cols, newPart.Domain().Rows, newPart.Domain().Cols))
+	}
+	loc := m.Location()
+	var probe matrixElem[T]
+	elemBytes := int(unsafe.Sizeof(probe))
+	core.RunMigration(loc, core.MigrationSpec[matrixElem[T], *bcontainer.MatrixBlock[T]]{
+		NewLocal: newMapper.LocalBCIDs(loc.ID()),
+		Alloc: func(b partition.BCID) *bcontainer.MatrixBlock[T] {
+			r, c := newPart.Block(b)
+			return bcontainer.NewMatrixBlock[T](b, r, c)
+		},
+		Enumerate: func(emit func(matrixElem[T])) {
+			m.ForEachLocalBC(core.Read, func(bc *bcontainer.MatrixBlock[T]) {
+				bc.Range(func(g domain.Index2D, val T) bool {
+					emit(matrixElem[T]{g: g, val: val})
+					return true
+				})
+			})
+		},
+		Route: func(e matrixElem[T]) (partition.BCID, int) {
+			info := newPart.Find(e.g)
+			return info.BCID, newMapper.Map(info.BCID)
+		},
+		Place: func(bc *bcontainer.MatrixBlock[T], e matrixElem[T]) { bc.Set(e.g, e.val) },
+		Bytes: func(matrixElem[T]) int { return elemBytes },
+		Install: func(lm *core.LocationManager[*bcontainer.MatrixBlock[T]]) {
+			m.ReplaceLocationManager(lm)
+			m.SetResolver(matrixResolver{part: newPart, mapper: newMapper})
+			m.part, m.mapper = newPart, newMapper
+		},
+	})
+}
+
+// Relayout rebuilds the block decomposition with the given layout and block
+// count (0 means one block per location) and migrates the elements into it —
+// the row-blocked ↔ checkerboard switch of the paper's composition studies
+// as a one-call operation.  Collective.
+func (m *Matrix[T]) Relayout(layout partition.MatrixLayout, blocks int) {
+	if blocks <= 0 {
+		blocks = m.Location().NumLocations()
+	}
+	p := partition.NewMatrix(m.dom, blocks, layout)
+	m.Redistribute(p, partition.NewBlockedMapper(p.NumSubdomains(), m.Location().NumLocations()))
+}
+
+// Rebalance evens out the per-location element loads by remapping the
+// existing blocks with the load-balance advisor's greedy proposal (the block
+// grid stays fixed, only ownership moves), exactly like the associative
+// families.  Collective.
+func (m *Matrix[T]) Rebalance() {
+	loc := m.Location()
+	local := make([]int64, m.part.NumSubdomains())
+	m.ForEachLocalBC(core.Read, func(bc *bcontainer.MatrixBlock[T]) {
+		local[int(bc.BCID())] = bc.Size()
+	})
+	sizes := partition.CollectSubSizes(loc, local)
+	m.Redistribute(m.part, partition.ProposeMapping(sizes, loc.NumLocations()))
+}

@@ -223,6 +223,25 @@ func (v *Vector[T]) ApplyBulk(idxs []int64, fn func(T) T) {
 	})
 }
 
+// CombineBulk merges vals into the named elements with op (element becomes
+// op(current, vals[k])), asynchronously: the accumulate flavour of the bulk
+// path, used by the blocked matrix kernels to flush per-row partial results
+// as one grouped request per owning location.  op should be commutative when
+// several locations combine into the same element concurrently.  Both slices
+// are retained until the next Fence.
+func (v *Vector[T]) CombineBulk(idxs []int64, vals []T, op func(cur, val T) T) {
+	if len(idxs) != len(vals) {
+		panic("pvector: CombineBulk index/value length mismatch")
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	bytesPerOp := 8 + runtime.PayloadBytes(vals[0])
+	v.InvokeBulk(idxs, core.Write, bytesPerOp, func(_ *runtime.Location, bc *bcontainer.Vector[T], k int) {
+		bc.Apply(idxs[k], func(cur T) T { return op(cur, vals[k]) })
+	})
+}
+
 // PushBack appends val at the global end of the vector (amortised O(1) plus
 // one metadata broadcast).  Asynchronous.
 func (v *Vector[T]) PushBack(val T) {

@@ -1,0 +1,211 @@
+// Blocked 2-D kernels over the pMatrix subsystem: the matrix-vector product,
+// a panel-blocked matrix-matrix product and a 2-D Jacobi sweep.  All three
+// follow the same coarsening discipline as the 1-D kernels — walk the data a
+// location already stores through raw block segments, ship everything else
+// through the grouped bulk element paths — so their communication scales
+// with the number of (block, owner) pairs, not with the element count.
+package palgo
+
+import (
+	"fmt"
+
+	"repro/internal/containers/pmatrix"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// MatVec computes y = A·x (p_matvec).  Each location walks the blocks of A
+// it stores: the x strip covering a block's columns arrives as one grouped
+// bulk read per owning location, the block rows stream through their raw
+// row segments, and the per-row partial sums flush into y as one grouped
+// CombineBulk request per owning location — so a P-location row-blocked
+// matvec costs O(P) messages instead of O(rows·cols).  y is overwritten and
+// must not alias x (it is cleared before the x strips are read).
+// Collective.
+func MatVec[T Numeric](loc *runtime.Location, a *pmatrix.Matrix[T], x, y *pvector.Vector[T]) {
+	if x.Size() != a.Cols() || y.Size() != a.Rows() {
+		panic(fmt.Sprintf("palgo: MatVec dimensions %dx%d · %d -> %d", a.Rows(), a.Cols(), x.Size(), y.Size()))
+	}
+	if x == y {
+		panic("palgo: MatVec output must not alias x")
+	}
+	// Phase 1: clear y (every element is owned by exactly one location).
+	var zero T
+	y.LocalUpdate(func(int64, T) T { return zero })
+	loc.Fence()
+
+	// Phase 2: accumulate this location's block contributions.
+	rows, cols := a.LocalBlocks()
+	var idxs []int64
+	var vals []T
+	for b := range rows {
+		if rows[b].Empty() || cols[b].Empty() {
+			continue
+		}
+		// One grouped read for the x strip this block multiplies against.
+		xs := x.GetBulk(iotaRange(cols[b]))
+		for r := rows[b].Lo; r < rows[b].Hi; r++ {
+			seg, ok := a.RowSegment(r, cols[b])
+			if !ok {
+				seg = a.GetRowStrip(r, cols[b])
+			}
+			var acc T
+			for k, av := range seg {
+				acc += av * xs[k]
+			}
+			idxs = append(idxs, r)
+			vals = append(vals, acc)
+		}
+	}
+	// One bulk RMI per destination carries every partial this location
+	// produced; addition is commutative, so concurrent combiners are safe.
+	y.CombineBulk(idxs, vals, func(cur, val T) T { return cur + val })
+	loc.Fence()
+}
+
+// MatMul computes C = A·B with panel streaming (the SUMMA schedule adapted
+// to the simulated machine): every location takes each A block it stores as
+// a panel, pulls the matching B row strip with one grouped bulk read per
+// owning location — the panel "broadcast" — multiplies it against the
+// panel's raw row segments, and flushes the resulting C contributions as one
+// bulk RMI per destination per panel.  C is overwritten and must not alias A
+// or B (it is cleared before the panels are read).  Collective.
+func MatMul[T Numeric](loc *runtime.Location, a, b, c *pmatrix.Matrix[T]) {
+	if a.Cols() != b.Rows() || c.Rows() != a.Rows() || c.Cols() != b.Cols() {
+		panic(fmt.Sprintf("palgo: MatMul dimensions %dx%d · %dx%d -> %dx%d",
+			a.Rows(), a.Cols(), b.Rows(), b.Cols(), c.Rows(), c.Cols()))
+	}
+	if c == a || c == b {
+		panic("palgo: MatMul output must not alias an operand")
+	}
+	var zero T
+	c.UpdateLocal(func(domain.Index2D, T) T { return zero })
+	loc.Fence()
+
+	n := b.Cols()
+	add := func(cur, val T) T { return cur + val }
+	rowsA, colsA := a.LocalBlocks()
+	for p := range rowsA {
+		R, K := rowsA[p], colsA[p]
+		if R.Empty() || K.Empty() || n == 0 {
+			continue
+		}
+		// Fetch the B panel B[K, :] — one grouped request per owner.
+		bIdxs := make([]domain.Index2D, 0, K.Size()*n)
+		for k := K.Lo; k < K.Hi; k++ {
+			for j := int64(0); j < n; j++ {
+				bIdxs = append(bIdxs, domain.Index2D{Row: k, Col: j})
+			}
+		}
+		bs := b.GetBulk(bIdxs)
+		// Multiply the panel: C[R, :] += A[R, K] · B[K, :].
+		cIdxs := make([]domain.Index2D, 0, R.Size()*n)
+		cVals := make([]T, 0, R.Size()*n)
+		for r := R.Lo; r < R.Hi; r++ {
+			arow, ok := a.RowSegment(r, K)
+			if !ok {
+				arow = a.GetRowStrip(r, K)
+			}
+			for j := int64(0); j < n; j++ {
+				var acc T
+				for k := range arow {
+					acc += arow[k] * bs[int64(k)*n+j]
+				}
+				cIdxs = append(cIdxs, domain.Index2D{Row: r, Col: j})
+				cVals = append(cVals, acc)
+			}
+		}
+		// One bulk RMI per destination per panel.
+		c.CombineBulk(cIdxs, cVals, add)
+	}
+	loc.Fence()
+}
+
+// Jacobi2D runs iters five-point Jacobi relaxation sweeps over the 2-D field
+// in cur, using next as the ping-pong buffer: every sweep replaces each
+// interior element with the mean of its four neighbours and keeps the
+// boundary ring fixed (Dirichlet conditions).  Each sweep materialises the
+// location's share of the row-major matrix view with a one-row halo per side
+// through ExchangeHalo, so on a row-blocked layout the neighbouring
+// locations' boundary rows travel as one grouped bulk request per neighbour
+// per sweep, and the halo buffers are recycled across sweeps.  Both matrices
+// must have the same dimensions and must not alias.  Returns the matrix
+// holding the final field (cur for even iters, next for odd).  Collective.
+func Jacobi2D(loc *runtime.Location, cur, next *pmatrix.Matrix[float64], iters int) *pmatrix.Matrix[float64] {
+	if cur.Rows() != next.Rows() || cur.Cols() != next.Cols() {
+		panic("palgo: Jacobi2D dimension mismatch")
+	}
+	rows, cols := cur.Rows(), cur.Cols()
+	if rows == 0 || cols == 0 {
+		return cur
+	}
+	var chunks []views.HaloChunk[float64]
+	for it := 0; it < iters; it++ {
+		cv, nv := views.NewMatrixView(cur), views.NewMatrixView(next)
+		// Recycle the previous sweep's halo windows: the fence below
+		// guarantees they are no longer referenced.
+		chunks = views.ExchangeHaloInto[float64](loc, cv, cols, cols, chunks)
+		for _, ch := range chunks {
+			vals := make([]float64, 0, ch.Core.Size())
+			for i := ch.Core.Lo; i < ch.Core.Hi; i++ {
+				r, c := i/cols, i%cols
+				if r == 0 || r == rows-1 || c == 0 || c == cols-1 {
+					vals = append(vals, ch.At(i))
+					continue
+				}
+				vals = append(vals, 0.25*(ch.At(i-cols)+ch.At(i+cols)+ch.At(i-1)+ch.At(i+1)))
+			}
+			views.WriteRange[float64](loc, nv, ch.Core, vals)
+		}
+		// The fence completes every location's writes to next before the
+		// next sweep reads them (and before cur is reused as the target).
+		loc.Fence()
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Jacobi2DResidual returns the maximum absolute difference between each
+// interior element and the mean of its four neighbours — the convergence
+// measure of the 2-D sweeps.  Collective.
+func Jacobi2DResidual(loc *runtime.Location, m *pmatrix.Matrix[float64]) float64 {
+	rows, cols := m.Rows(), m.Cols()
+	var local float64
+	if rows > 0 && cols > 0 {
+		v := views.NewMatrixView(m)
+		for _, ch := range views.ExchangeHalo[float64](loc, v, cols, cols) {
+			for i := ch.Core.Lo; i < ch.Core.Hi; i++ {
+				r, c := i/cols, i%cols
+				if r == 0 || r == rows-1 || c == 0 || c == cols-1 {
+					continue
+				}
+				d := ch.At(i) - 0.25*(ch.At(i-cols)+ch.At(i+cols)+ch.At(i-1)+ch.At(i+1))
+				if d < 0 {
+					d = -d
+				}
+				if d > local {
+					local = d
+				}
+			}
+		}
+	}
+	out := runtime.AllReduceT(loc, local, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	loc.Fence()
+	return out
+}
+
+// iotaRange returns the consecutive indices of r as a fresh slice.
+func iotaRange(r domain.Range1D) []int64 {
+	out := make([]int64, 0, r.Size())
+	for i := r.Lo; i < r.Hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

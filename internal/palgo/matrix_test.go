@@ -1,0 +1,183 @@
+package palgo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/containers/pmatrix"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// refMatVec computes the reference y = A·x sequentially.
+func refMatVec(rows, cols int64, a func(r, c int64) int64, x func(c int64) int64) []int64 {
+	out := make([]int64, rows)
+	for r := int64(0); r < rows; r++ {
+		var acc int64
+		for c := int64(0); c < cols; c++ {
+			acc += a(r, c) * x(c)
+		}
+		out[r] = acc
+	}
+	return out
+}
+
+func TestMatVecAgainstReference(t *testing.T) {
+	const rows, cols = int64(12), int64(9)
+	aElem := func(r, c int64) int64 { return r*3 + c%5 + 1 }
+	xElem := func(c int64) int64 { return c + 1 }
+	want := refMatVec(rows, cols, aElem, xElem)
+	for _, layout := range []partition.MatrixLayout{partition.RowBlocked, partition.ColBlocked, partition.Checkerboard} {
+		layout := layout
+		run(4, func(loc *runtime.Location) {
+			a := pmatrix.New[int64](loc, rows, cols, pmatrix.WithLayout(layout))
+			a.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return aElem(g.Row, g.Col) })
+			x := pvector.New[int64](loc, cols)
+			x.LocalUpdate(func(gid int64, _ int64) int64 { return xElem(gid) })
+			y := pvector.New[int64](loc, rows)
+			y.LocalUpdate(func(int64, int64) int64 { return -1 }) // overwritten
+			loc.Fence()
+			MatVec[int64](loc, a, x, y)
+			for r := int64(0); r < rows; r++ {
+				if got := y.Get(r); got != want[r] {
+					t.Errorf("layout %v: y[%d] = %d, want %d", layout, r, got, want[r])
+					return
+				}
+			}
+			loc.Fence()
+		})
+	}
+}
+
+func TestMatMulAgainstReference(t *testing.T) {
+	const m, k, n = int64(6), int64(5), int64(7)
+	aElem := func(r, c int64) int64 { return r - c + 2 }
+	bElem := func(r, c int64) int64 { return r*c%4 + 1 }
+	want := make([]int64, m*n)
+	for r := int64(0); r < m; r++ {
+		for j := int64(0); j < n; j++ {
+			var acc int64
+			for kk := int64(0); kk < k; kk++ {
+				acc += aElem(r, kk) * bElem(kk, j)
+			}
+			want[r*n+j] = acc
+		}
+	}
+	for _, layout := range []partition.MatrixLayout{partition.RowBlocked, partition.Checkerboard} {
+		layout := layout
+		run(4, func(loc *runtime.Location) {
+			a := pmatrix.New[int64](loc, m, k, pmatrix.WithLayout(layout))
+			b := pmatrix.New[int64](loc, k, n, pmatrix.WithLayout(layout))
+			c := pmatrix.New[int64](loc, m, n, pmatrix.WithLayout(layout))
+			a.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return aElem(g.Row, g.Col) })
+			b.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return bElem(g.Row, g.Col) })
+			c.UpdateLocal(func(domain.Index2D, int64) int64 { return 99 }) // overwritten
+			loc.Fence()
+			MatMul[int64](loc, a, b, c)
+			for r := int64(0); r < m; r++ {
+				for j := int64(0); j < n; j++ {
+					if got := c.Get(r, j); got != want[r*n+j] {
+						t.Errorf("layout %v: C[%d,%d] = %d, want %d", layout, r, j, got, want[r*n+j])
+						return
+					}
+				}
+			}
+			loc.Fence()
+		})
+	}
+}
+
+func TestJacobi2DConverges(t *testing.T) {
+	const rows, cols = int64(12), int64(10)
+	run(4, func(loc *runtime.Location) {
+		cur := pmatrix.New[float64](loc, rows, cols)
+		next := pmatrix.New[float64](loc, rows, cols)
+		// A hot top edge diffusing into a cold plate; both buffers start
+		// from the same field so the fixed boundary is consistent.
+		init := func(g domain.Index2D, _ float64) float64 {
+			if g.Row == 0 {
+				return 100
+			}
+			return 0
+		}
+		cur.UpdateLocal(init)
+		next.UpdateLocal(init)
+		loc.Fence()
+		before := Jacobi2DResidual(loc, cur)
+		final := Jacobi2D(loc, cur, next, 60)
+		after := Jacobi2DResidual(loc, final)
+		if !(after < before/10) {
+			t.Errorf("residual %.4f -> %.4f: sweeps did not converge", before, after)
+		}
+		// The boundary stayed fixed and interior values are between the
+		// boundary extremes.
+		if got := final.Get(0, cols/2); got != 100 {
+			t.Errorf("hot boundary drifted to %v", got)
+		}
+		if got := final.Get(rows/2, cols/2); got <= 0 || got >= 100 || math.IsNaN(got) {
+			t.Errorf("interior value %v out of range", got)
+		}
+		loc.Fence()
+	})
+}
+
+// TestJacobi2DMatchesSequential pins the sweep against a sequential
+// reference on a small plate.
+func TestJacobi2DMatchesSequential(t *testing.T) {
+	const rows, cols = int64(6), int64(5)
+	const sweeps = 7
+	// Sequential reference.
+	ref := make([]float64, rows*cols)
+	tmp := make([]float64, rows*cols)
+	for c := int64(0); c < cols; c++ {
+		ref[c] = 50
+	}
+	copy(tmp, ref)
+	for s := 0; s < sweeps; s++ {
+		for r := int64(1); r < rows-1; r++ {
+			for c := int64(1); c < cols-1; c++ {
+				tmp[r*cols+c] = 0.25 * (ref[(r-1)*cols+c] + ref[(r+1)*cols+c] + ref[r*cols+c-1] + ref[r*cols+c+1])
+			}
+		}
+		ref, tmp = tmp, ref
+	}
+	run(2, func(loc *runtime.Location) {
+		cur := pmatrix.New[float64](loc, rows, cols)
+		next := pmatrix.New[float64](loc, rows, cols)
+		init := func(g domain.Index2D, _ float64) float64 {
+			if g.Row == 0 {
+				return 50
+			}
+			return 0
+		}
+		cur.UpdateLocal(init)
+		next.UpdateLocal(init)
+		loc.Fence()
+		final := Jacobi2D(loc, cur, next, sweeps)
+		for r := int64(0); r < rows; r++ {
+			for c := int64(0); c < cols; c++ {
+				if got := final.Get(r, c); math.Abs(got-ref[r*cols+c]) > 1e-12 {
+					t.Errorf("(%d,%d) = %v, want %v", r, c, got, ref[r*cols+c])
+					return
+				}
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestMatVecDimensionMismatchPanics(t *testing.T) {
+	run(1, func(loc *runtime.Location) {
+		a := pmatrix.New[int64](loc, 3, 4)
+		x := pvector.New[int64](loc, 3) // wrong: needs 4
+		y := pvector.New[int64](loc, 3)
+		defer func() {
+			if recover() == nil {
+				t.Error("MatVec with mismatched dimensions did not panic")
+			}
+		}()
+		MatVec[int64](loc, a, x, y)
+	})
+}

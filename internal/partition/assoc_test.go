@@ -39,8 +39,26 @@ func TestMatrixPartitionRowBlocked(t *testing.T) {
 			}
 		}
 	}
-	if p.Find(domain.Index2D{Row: 10, Col: 0}).Valid {
-		t.Fatal("out-of-domain index should not resolve")
+}
+
+// TestMatrixPartitionOutOfDomainPanics pins the fail-fast contract: the
+// matrix decomposition is closed-form, so an out-of-domain index must panic
+// at the resolver instead of forwarding to location 0 (where it would
+// self-forward until the hop limit tripped).
+func TestMatrixPartitionOutOfDomainPanics(t *testing.T) {
+	p := NewMatrix(domain.NewRange2D(10, 6), 4, RowBlocked)
+	for _, g := range []domain.Index2D{
+		{Row: 10, Col: 0}, {Row: 0, Col: 6}, {Row: -1, Col: 0}, {Row: 0, Col: -1},
+	} {
+		g := g
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Find(%v) did not panic", g)
+				}
+			}()
+			p.Find(g)
+		}()
 	}
 }
 

@@ -1,6 +1,10 @@
 package partition
 
-import "repro/internal/domain"
+import (
+	"fmt"
+
+	"repro/internal/domain"
+)
 
 // MatrixLayout selects how a two-dimensional domain is decomposed
 // (p_matrix_partition in the paper): by blocks of rows, blocks of columns,
@@ -66,10 +70,15 @@ func (p *Matrix) NumSubdomains() int { return p.gridRows * p.gridCols }
 // GridDims returns the block-grid dimensions (rows, cols).
 func (p *Matrix) GridDims() (int, int) { return p.gridRows, p.gridCols }
 
-// Find returns the block owning the given 2-D index.
+// Find returns the block owning the given 2-D index.  An index outside the
+// domain fails fast with a panic: the decomposition has a closed form, so no
+// other location can know more about the index, and returning Forward(0) —
+// the old behaviour — made an out-of-bounds access self-forward on location
+// 0 until the forward-hop limit tripped far from the caller (the same bug
+// pList's invalid-GID path fixed).
 func (p *Matrix) Find(g domain.Index2D) Info {
 	if !p.dom.Contains(g) {
-		return Forward(0)
+		panic(fmt.Sprintf("partition: 2-D index %v outside the %dx%d matrix domain", g, p.dom.Rows, p.dom.Cols))
 	}
 	br := findBlock(p.rowBlocks, g.Row)
 	bc := findBlock(p.colBlocks, g.Col)

@@ -1,0 +1,437 @@
+package views
+
+import (
+	"sort"
+
+	"repro/internal/containers/pmatrix"
+	"repro/internal/domain"
+	"repro/internal/runtime"
+)
+
+// This file implements the 2-D face of the pView algebra: views over a
+// pMatrix that present its rows×cols domain through the one-dimensional
+// Partitioned interface every pAlgorithm (and Coarsen, and ExchangeHalo)
+// already consumes.  The linearisation is row-major — view index
+// i = row*Cols + col — so a row-blocked matrix coarsens into one native
+// segment per location, a checkerboard into one run per stored row, and the
+// remote remainder of any composition ships through the matrix's bulk
+// element path, one grouped request per owning location.  Row, column,
+// transpose and sub-block adaptors re-map the linearisation and propagate
+// locality (and, where storage stays contiguous, raw segments) so 2-D
+// compositions coarsen like the 1-D ones.
+
+// MatrixView is the native 2-D view of a pMatrix in row-major linearisation.
+type MatrixView[T any] struct {
+	M *pmatrix.Matrix[T]
+}
+
+// NewMatrixView builds the row-major view of a pMatrix.
+func NewMatrixView[T any](m *pmatrix.Matrix[T]) MatrixView[T] { return MatrixView[T]{M: m} }
+
+// Size returns rows*cols.
+func (v MatrixView[T]) Size() int64 { return v.M.Size() }
+
+// index2D maps a row-major linear index to its 2-D index.
+func (v MatrixView[T]) index2D(i int64) domain.Index2D {
+	c := v.M.Cols()
+	return domain.Index2D{Row: i / c, Col: i % c}
+}
+
+// to2D maps a linear index batch to 2-D indices.
+func (v MatrixView[T]) to2D(idxs []int64) []domain.Index2D {
+	out := make([]domain.Index2D, len(idxs))
+	for k, i := range idxs {
+		out[k] = v.index2D(i)
+	}
+	return out
+}
+
+// Get reads linear element i.
+func (v MatrixView[T]) Get(i int64) T {
+	g := v.index2D(i)
+	return v.M.Get(g.Row, g.Col)
+}
+
+// Set writes linear element i.
+func (v MatrixView[T]) Set(i int64, x T) {
+	g := v.index2D(i)
+	v.M.Set(g.Row, g.Col, x)
+}
+
+// GetBulk reads a batch through the matrix's grouped bulk path.
+func (v MatrixView[T]) GetBulk(idxs []int64) []T { return v.M.GetBulk(v.to2D(idxs)) }
+
+// SetBulk writes a batch through the matrix's grouped bulk path.
+func (v MatrixView[T]) SetBulk(idxs []int64, vals []T) { v.M.SetBulk(v.to2D(idxs), vals) }
+
+// mergeRuns sorts runs by lower bound, drops empty ones and merges exactly
+// adjacent neighbours, in place.  The per-row runs of the 2-D views collapse
+// through it: full-width (or full-height, for the transpose) blocks become
+// one run per block.
+func mergeRuns(runs []domain.Range1D) []domain.Range1D {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Lo < runs[j].Lo })
+	merged := runs[:0]
+	for _, r := range runs {
+		if r.Empty() {
+			continue
+		}
+		if n := len(merged); n > 0 && merged[n-1].Hi == r.Lo {
+			merged[n-1].Hi = r.Hi
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// localLinearRuns lists the linear runs of this location's blocks: one run
+// per stored row, merged where the linearisation keeps neighbouring rows
+// adjacent (full-width blocks collapse to one run per block).
+func (v MatrixView[T]) localLinearRuns() []domain.Range1D {
+	cols := v.M.Cols()
+	rows, colRanges := v.M.LocalBlocks()
+	var runs []domain.Range1D
+	for b := range rows {
+		for r := rows[b].Lo; r < rows[b].Hi; r++ {
+			runs = append(runs, domain.NewRange1D(r*cols+colRanges[b].Lo, r*cols+colRanges[b].Hi))
+		}
+	}
+	return mergeRuns(runs)
+}
+
+// LocalRanges assigns every location the linear runs of the blocks it
+// stores: the native 2-D work decomposition (the runs of all locations tile
+// the domain exactly once because the blocks do).
+func (v MatrixView[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	return v.localLinearRuns()
+}
+
+// LocalSpans reports the same runs: the view is storage-aligned.
+func (v MatrixView[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	return v.localLinearRuns()
+}
+
+// LocalSegment exposes the raw block storage backing a linear run.
+func (v MatrixView[T]) LocalSegment(r domain.Range1D) ([]T, bool) { return v.M.LinearSegment(r) }
+
+// Row returns the 1-D view of one matrix row; its work decomposition keeps
+// each column strip on the location storing it.
+func (v MatrixView[T]) Row(row int64) MatrixRow[T] { return MatrixRow[T]{M: v.M, R: row} }
+
+// Col returns the 1-D view of one matrix column.
+func (v MatrixView[T]) Col(col int64) MatrixCol[T] { return MatrixCol[T]{M: v.M, C: col} }
+
+// Transpose returns the column-major re-linearisation of the matrix.
+func (v MatrixView[T]) Transpose() MatrixTranspose[T] { return MatrixTranspose[T]{M: v.M} }
+
+// SubBlock returns the rectangular window rows×cols as a dense 2-D view of
+// its own.
+func (v MatrixView[T]) SubBlock(rows, cols domain.Range1D) MatrixSub[T] {
+	full := domain.NewRange1D(0, v.M.Rows())
+	rows = rows.Intersect(full)
+	cols = cols.Intersect(domain.NewRange1D(0, v.M.Cols()))
+	return MatrixSub[T]{M: v.M, RowR: rows, ColR: cols}
+}
+
+// MatrixRow is the view of one matrix row (row_view): element i is
+// M[row, i].
+type MatrixRow[T any] struct {
+	M *pmatrix.Matrix[T]
+	R int64
+}
+
+// Size returns the number of columns.
+func (v MatrixRow[T]) Size() int64 { return v.M.Cols() }
+
+// Get reads column i of the row.
+func (v MatrixRow[T]) Get(i int64) T { return v.M.Get(v.R, i) }
+
+// Set writes column i of the row.
+func (v MatrixRow[T]) Set(i int64, x T) { v.M.Set(v.R, i, x) }
+
+// GetBulk reads a batch of columns as one grouped row-strip request per
+// owning location.
+func (v MatrixRow[T]) GetBulk(idxs []int64) []T { return v.M.GetBulk(v.to2D(idxs)) }
+
+// SetBulk writes a batch of columns through the grouped bulk path.
+func (v MatrixRow[T]) SetBulk(idxs []int64, vals []T) { v.M.SetBulk(v.to2D(idxs), vals) }
+
+func (v MatrixRow[T]) to2D(idxs []int64) []domain.Index2D {
+	out := make([]domain.Index2D, len(idxs))
+	for k, i := range idxs {
+		out[k] = domain.Index2D{Row: v.R, Col: i}
+	}
+	return out
+}
+
+// localColRuns returns the column ranges of this location's blocks that
+// contain the row.
+func (v MatrixRow[T]) localColRuns() []domain.Range1D {
+	rows, cols := v.M.LocalBlocks()
+	var out []domain.Range1D
+	for b := range rows {
+		if rows[b].Contains(v.R) && !cols[b].Empty() {
+			out = append(out, cols[b])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}
+
+// LocalRanges assigns the row's column strips to the locations storing them
+// (locations not storing any part of the row contribute no work).
+func (v MatrixRow[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	return v.localColRuns()
+}
+
+// LocalSpans reports the locally stored column strips.
+func (v MatrixRow[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	return v.localColRuns()
+}
+
+// LocalSegment exposes the raw row-strip storage.
+func (v MatrixRow[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
+	return v.M.RowSegment(v.R, r)
+}
+
+// MatrixCol is the view of one matrix column: element i is M[i, col].
+// Column elements are strided in the row-major block storage, so the view
+// propagates locality but no raw segments.
+type MatrixCol[T any] struct {
+	M *pmatrix.Matrix[T]
+	C int64
+}
+
+// Size returns the number of rows.
+func (v MatrixCol[T]) Size() int64 { return v.M.Rows() }
+
+// Get reads row i of the column.
+func (v MatrixCol[T]) Get(i int64) T { return v.M.Get(i, v.C) }
+
+// Set writes row i of the column.
+func (v MatrixCol[T]) Set(i int64, x T) { v.M.Set(i, v.C, x) }
+
+// GetBulk reads a batch of rows through the grouped bulk path.
+func (v MatrixCol[T]) GetBulk(idxs []int64) []T { return v.M.GetBulk(v.to2D(idxs)) }
+
+// SetBulk writes a batch of rows through the grouped bulk path.
+func (v MatrixCol[T]) SetBulk(idxs []int64, vals []T) { v.M.SetBulk(v.to2D(idxs), vals) }
+
+func (v MatrixCol[T]) to2D(idxs []int64) []domain.Index2D {
+	out := make([]domain.Index2D, len(idxs))
+	for k, i := range idxs {
+		out[k] = domain.Index2D{Row: i, Col: v.C}
+	}
+	return out
+}
+
+// localRowRuns returns the row ranges of this location's blocks that contain
+// the column.
+func (v MatrixCol[T]) localRowRuns() []domain.Range1D {
+	rows, cols := v.M.LocalBlocks()
+	var out []domain.Range1D
+	for b := range rows {
+		if cols[b].Contains(v.C) && !rows[b].Empty() {
+			out = append(out, rows[b])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}
+
+// LocalRanges assigns the column's row strips to the locations storing them.
+func (v MatrixCol[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	return v.localRowRuns()
+}
+
+// LocalSpans reports the locally stored row strips.
+func (v MatrixCol[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	return v.localRowRuns()
+}
+
+// MatrixTranspose presents the matrix in column-major linearisation: view
+// index i is M[i % Rows, i / Rows], so iterating the view walks columns.
+// Writes pass through (the view transposes the traversal, not the data).
+type MatrixTranspose[T any] struct {
+	M *pmatrix.Matrix[T]
+}
+
+// Size returns rows*cols.
+func (v MatrixTranspose[T]) Size() int64 { return v.M.Size() }
+
+func (v MatrixTranspose[T]) index2D(i int64) domain.Index2D {
+	r := v.M.Rows()
+	return domain.Index2D{Row: i % r, Col: i / r}
+}
+
+func (v MatrixTranspose[T]) to2D(idxs []int64) []domain.Index2D {
+	out := make([]domain.Index2D, len(idxs))
+	for k, i := range idxs {
+		out[k] = v.index2D(i)
+	}
+	return out
+}
+
+// Get reads transposed element i.
+func (v MatrixTranspose[T]) Get(i int64) T {
+	g := v.index2D(i)
+	return v.M.Get(g.Row, g.Col)
+}
+
+// Set writes transposed element i.
+func (v MatrixTranspose[T]) Set(i int64, x T) {
+	g := v.index2D(i)
+	v.M.Set(g.Row, g.Col, x)
+}
+
+// GetBulk reads a batch through the grouped bulk path.
+func (v MatrixTranspose[T]) GetBulk(idxs []int64) []T { return v.M.GetBulk(v.to2D(idxs)) }
+
+// SetBulk writes a batch through the grouped bulk path.
+func (v MatrixTranspose[T]) SetBulk(idxs []int64, vals []T) { v.M.SetBulk(v.to2D(idxs), vals) }
+
+// localLinearRuns lists the column-major runs of this location's blocks: one
+// run per stored column, merged where adjacent (full-height blocks collapse
+// to one run per block).
+func (v MatrixTranspose[T]) localLinearRuns() []domain.Range1D {
+	rowsN := v.M.Rows()
+	rows, cols := v.M.LocalBlocks()
+	var runs []domain.Range1D
+	for b := range rows {
+		for c := cols[b].Lo; c < cols[b].Hi; c++ {
+			runs = append(runs, domain.NewRange1D(c*rowsN+rows[b].Lo, c*rowsN+rows[b].Hi))
+		}
+	}
+	return mergeRuns(runs)
+}
+
+// LocalRanges assigns every location the column-major runs of its blocks.
+func (v MatrixTranspose[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	return v.localLinearRuns()
+}
+
+// LocalSpans reports the same runs: the view is storage-aligned, just
+// re-ordered (column runs are strided in block storage, so there are no raw
+// segments).
+func (v MatrixTranspose[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	return v.localLinearRuns()
+}
+
+// MatrixSub is the dense view of a rectangular window of the matrix,
+// re-linearised row-major from zero: view index i is
+// M[RowR.Lo + i/w, ColR.Lo + i%w] with w = ColR.Size().
+type MatrixSub[T any] struct {
+	M          *pmatrix.Matrix[T]
+	RowR, ColR domain.Range1D
+}
+
+// Rows returns the window height.
+func (v MatrixSub[T]) Rows() int64 { return v.RowR.Size() }
+
+// Cols returns the window width.
+func (v MatrixSub[T]) Cols() int64 { return v.ColR.Size() }
+
+// Size returns the window element count.
+func (v MatrixSub[T]) Size() int64 { return v.RowR.Size() * v.ColR.Size() }
+
+func (v MatrixSub[T]) index2D(i int64) domain.Index2D {
+	w := v.ColR.Size()
+	return domain.Index2D{Row: v.RowR.Lo + i/w, Col: v.ColR.Lo + i%w}
+}
+
+func (v MatrixSub[T]) to2D(idxs []int64) []domain.Index2D {
+	out := make([]domain.Index2D, len(idxs))
+	for k, i := range idxs {
+		out[k] = v.index2D(i)
+	}
+	return out
+}
+
+// Get reads window element i.
+func (v MatrixSub[T]) Get(i int64) T {
+	g := v.index2D(i)
+	return v.M.Get(g.Row, g.Col)
+}
+
+// Set writes window element i.
+func (v MatrixSub[T]) Set(i int64, x T) {
+	g := v.index2D(i)
+	v.M.Set(g.Row, g.Col, x)
+}
+
+// GetBulk reads a batch through the grouped bulk path.
+func (v MatrixSub[T]) GetBulk(idxs []int64) []T { return v.M.GetBulk(v.to2D(idxs)) }
+
+// SetBulk writes a batch through the grouped bulk path.
+func (v MatrixSub[T]) SetBulk(idxs []int64, vals []T) { v.M.SetBulk(v.to2D(idxs), vals) }
+
+// localRuns lists the window's linear runs backed by this location's blocks:
+// the intersection of each block with the window, one run per window row.
+func (v MatrixSub[T]) localRuns() []domain.Range1D {
+	w := v.ColR.Size()
+	rows, cols := v.M.LocalBlocks()
+	var runs []domain.Range1D
+	for b := range rows {
+		rr := rows[b].Intersect(v.RowR)
+		cc := cols[b].Intersect(v.ColR)
+		if rr.Empty() || cc.Empty() {
+			continue
+		}
+		for r := rr.Lo; r < rr.Hi; r++ {
+			base := (r - v.RowR.Lo) * w
+			runs = append(runs, domain.NewRange1D(base+cc.Lo-v.ColR.Lo, base+cc.Hi-v.ColR.Lo))
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Lo < runs[j].Lo })
+	return runs
+}
+
+// LocalRanges assigns each location the window runs its blocks back; across
+// locations they tile the window exactly once.
+func (v MatrixSub[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	return v.localRuns()
+}
+
+// LocalSpans reports the same runs (storage-aligned).
+func (v MatrixSub[T]) LocalSpans(loc *runtime.Location) []domain.Range1D {
+	return v.localRuns()
+}
+
+// LocalSegment exposes raw storage for runs inside one window row.
+func (v MatrixSub[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
+	if r.Empty() {
+		return nil, false
+	}
+	w := v.ColR.Size()
+	if w == 0 || r.Lo/w != (r.Hi-1)/w {
+		return nil, false
+	}
+	row := v.RowR.Lo + r.Lo/w
+	lo := v.ColR.Lo + r.Lo%w
+	return v.M.RowSegment(row, domain.NewRange1D(lo, lo+r.Size()))
+}
+
+var (
+	_ Partitioned[int]  = MatrixView[int]{}
+	_ BulkAccess[int]   = MatrixView[int]{}
+	_ LocalitySource    = MatrixView[int]{}
+	_ DirectAccess[int] = MatrixView[int]{}
+
+	_ Partitioned[int]  = MatrixRow[int]{}
+	_ BulkAccess[int]   = MatrixRow[int]{}
+	_ LocalitySource    = MatrixRow[int]{}
+	_ DirectAccess[int] = MatrixRow[int]{}
+
+	_ Partitioned[int] = MatrixCol[int]{}
+	_ BulkAccess[int]  = MatrixCol[int]{}
+	_ LocalitySource   = MatrixCol[int]{}
+
+	_ Partitioned[int] = MatrixTranspose[int]{}
+	_ BulkAccess[int]  = MatrixTranspose[int]{}
+	_ LocalitySource   = MatrixTranspose[int]{}
+
+	_ Partitioned[int]  = MatrixSub[int]{}
+	_ BulkAccess[int]   = MatrixSub[int]{}
+	_ LocalitySource    = MatrixSub[int]{}
+	_ DirectAccess[int] = MatrixSub[int]{}
+)

@@ -1,0 +1,251 @@
+package views
+
+import (
+	"testing"
+
+	"repro/internal/containers/pmatrix"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// fillMatrix writes the row-major pattern r*cols+c through local updates.
+func fillMatrix(loc *runtime.Location, m *pmatrix.Matrix[int64]) {
+	cols := m.Cols()
+	m.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return g.Row*cols + g.Col })
+	loc.Fence()
+}
+
+func TestMatrixViewCoarsensNative(t *testing.T) {
+	const rows, cols = int64(8), int64(6)
+	run(4, func(loc *runtime.Location) {
+		m := pmatrix.New[int64](loc, rows, cols) // row-blocked
+		fillMatrix(loc, m)
+		v := NewMatrixView(m)
+		if v.Size() != rows*cols {
+			t.Fatalf("size = %d", v.Size())
+		}
+		// Row-blocked, full-width blocks: the whole share coarsens into one
+		// native chunk backed by one raw segment.
+		chunks := Coarsen[int64](loc, v)
+		if len(chunks) != 1 || chunks[0].Kind != ChunkNative {
+			t.Fatalf("chunks = %+v, want one native chunk", chunks)
+		}
+		seg, ok := Segment[int64](v, chunks[0].Range)
+		if !ok || int64(len(seg)) != chunks[0].Range.Size() {
+			t.Fatalf("segment ok=%v len=%d", ok, len(seg))
+		}
+		if seg[0] != chunks[0].Range.Lo {
+			t.Errorf("segment value = %d, want %d", seg[0], chunks[0].Range.Lo)
+		}
+		// The linear view agrees with 2-D access everywhere.
+		for i := int64(0); i < v.Size(); i += 7 {
+			if got := v.Get(i); got != i {
+				t.Errorf("Get(%d) = %d", i, got)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestMatrixViewCheckerboardRuns(t *testing.T) {
+	const rows, cols = int64(8), int64(8)
+	run(4, func(loc *runtime.Location) {
+		m := pmatrix.New[int64](loc, rows, cols, pmatrix.WithLayout(partition.Checkerboard))
+		fillMatrix(loc, m)
+		v := NewMatrixView(m)
+		// A 2x2 checkerboard stores 4 half-width rows per location: four
+		// native runs, none mergeable.
+		spans := v.LocalSpans(loc)
+		if len(spans) != 4 {
+			t.Fatalf("spans = %v, want 4 half-rows", spans)
+		}
+		var total int64
+		for _, s := range spans {
+			total += s.Size()
+			seg, ok := Segment[int64](v, s)
+			if !ok {
+				t.Fatalf("span %v has no raw segment", s)
+			}
+			if seg[0] != s.Lo {
+				t.Errorf("span %v segment starts with %d", s, seg[0])
+			}
+		}
+		if total != rows*cols/4 {
+			t.Errorf("local spans cover %d elements, want %d", total, rows*cols/4)
+		}
+		// The work decomposition tiles the domain exactly once machine-wide.
+		all := runtime.AllGatherT(loc, v.LocalRanges(loc))
+		counted := make([]int, rows*cols)
+		for _, part := range all {
+			for _, r := range part {
+				for i := r.Lo; i < r.Hi; i++ {
+					counted[i]++
+				}
+			}
+		}
+		for i, n := range counted {
+			if n != 1 {
+				t.Fatalf("linear index %d covered %d times", i, n)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+func TestMatrixRowColViews(t *testing.T) {
+	const rows, cols = int64(6), int64(8)
+	run(4, func(loc *runtime.Location) {
+		m := pmatrix.New[int64](loc, rows, cols, pmatrix.WithLayout(partition.Checkerboard))
+		fillMatrix(loc, m)
+		v := NewMatrixView(m)
+
+		row := v.Row(2)
+		if row.Size() != cols {
+			t.Fatalf("row size = %d", row.Size())
+		}
+		for c := int64(0); c < cols; c++ {
+			if got := row.Get(c); got != 2*cols+c {
+				t.Errorf("row.Get(%d) = %d", c, got)
+			}
+		}
+		// The row's work decomposition tiles the row exactly once.
+		all := runtime.AllGatherT(loc, row.LocalRanges(loc))
+		var covered int64
+		for _, part := range all {
+			for _, r := range part {
+				covered += r.Size()
+				// Stored strips expose raw segments.
+				if _, ok := row.LocalSegment(r); len(part) > 0 && !ok && len(row.localColRuns()) > 0 {
+					// only the owning location may request its own run
+					_ = ok
+				}
+			}
+		}
+		if covered != cols {
+			t.Errorf("row ranges cover %d, want %d", covered, cols)
+		}
+		// Native coarsening walks the local strip through a raw segment.
+		for _, ch := range Coarsen[int64](loc, row) {
+			if ch.Kind != ChunkNative {
+				t.Errorf("row chunk %+v not native", ch)
+			}
+			if seg, ok := Segment[int64](row, ch.Range); !ok || seg[0] != 2*cols+ch.Range.Lo {
+				t.Errorf("row segment ok=%v", ok)
+			}
+		}
+
+		col := v.Col(3)
+		if col.Size() != rows {
+			t.Fatalf("col size = %d", col.Size())
+		}
+		for r := int64(0); r < rows; r++ {
+			if got := col.Get(r); got != r*cols+3 {
+				t.Errorf("col.Get(%d) = %d", r, got)
+			}
+		}
+		colAll := runtime.AllGatherT(loc, col.LocalRanges(loc))
+		covered = 0
+		for _, part := range colAll {
+			for _, r := range part {
+				covered += r.Size()
+			}
+		}
+		if covered != rows {
+			t.Errorf("col ranges cover %d, want %d", covered, rows)
+		}
+		// All locations must finish the read-only checks before any of them
+		// starts mutating through the column view.
+		loc.Barrier()
+		// Bulk writes through the column view land in the matrix.
+		if len(col.LocalRanges(loc)) > 0 {
+			r := col.LocalRanges(loc)[0]
+			idxs := []int64{r.Lo}
+			col.SetBulk(idxs, []int64{-7})
+		}
+		loc.Fence()
+		found := int64(0)
+		m.RangeLocal(func(g domain.Index2D, val int64) bool {
+			if val == -7 && g.Col == 3 {
+				found++
+			}
+			return true
+		})
+		if total := runtime.AllReduceSum(loc, found); total == 0 {
+			t.Error("column bulk write did not land")
+		}
+		loc.Fence()
+	})
+}
+
+func TestMatrixTransposeAndSubBlock(t *testing.T) {
+	const rows, cols = int64(6), int64(4)
+	run(2, func(loc *runtime.Location) {
+		m := pmatrix.New[int64](loc, rows, cols)
+		fillMatrix(loc, m)
+		v := NewMatrixView(m)
+
+		tr := v.Transpose()
+		if tr.Size() != rows*cols {
+			t.Fatalf("transpose size = %d", tr.Size())
+		}
+		// Column-major: index i reads M[i%rows, i/rows].
+		for i := int64(0); i < tr.Size(); i++ {
+			r, c := i%rows, i/rows
+			if got := tr.Get(i); got != r*cols+c {
+				t.Fatalf("transpose.Get(%d) = %d, want %d", i, got, r*cols+c)
+			}
+		}
+		// Transposed work tiles the domain once.
+		all := runtime.AllGatherT(loc, tr.LocalRanges(loc))
+		var covered int64
+		for _, part := range all {
+			for _, r := range part {
+				covered += r.Size()
+			}
+		}
+		if covered != rows*cols {
+			t.Errorf("transpose ranges cover %d", covered)
+		}
+
+		sub := v.SubBlock(domain.NewRange1D(1, 5), domain.NewRange1D(1, 3))
+		if sub.Rows() != 4 || sub.Cols() != 2 || sub.Size() != 8 {
+			t.Fatalf("sub dims = %dx%d", sub.Rows(), sub.Cols())
+		}
+		for i := int64(0); i < sub.Size(); i++ {
+			r, c := 1+i/2, 1+i%2
+			if got := sub.Get(i); got != r*cols+c {
+				t.Fatalf("sub.Get(%d) = %d, want %d", i, got, r*cols+c)
+			}
+		}
+		// Sub-block coarsening yields native chunks with raw segments on the
+		// owning location.
+		for _, ch := range Coarsen[int64](loc, sub) {
+			if ch.Kind == ChunkNative {
+				if _, ok := Segment[int64](sub, ch.Range); !ok {
+					t.Errorf("native sub chunk %+v lacks a segment", ch)
+				}
+			}
+		}
+		// All locations must finish the read-only checks before any of them
+		// starts mutating through the sub-block.
+		loc.Barrier()
+		// Writes through the sub-block update the base matrix.
+		subAll := sub.LocalRanges(loc)
+		if len(subAll) > 0 {
+			sub.Set(subAll[0].Lo, 1000)
+		}
+		loc.Fence()
+		var found int64
+		m.RangeLocal(func(_ domain.Index2D, val int64) bool {
+			if val == 1000 {
+				found++
+			}
+			return true
+		})
+		if total := runtime.AllReduceSum(loc, found); total == 0 {
+			t.Error("sub-block write did not land")
+		}
+		loc.Fence()
+	})
+}
