@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/runtime"
 )
 
 // jsonRow is the machine-readable form of one report row.
@@ -56,6 +57,7 @@ func main() {
 		locations  = flag.String("locations", "1,2,4,8", "comma-separated machine sizes to sweep")
 		elements   = flag.Int64("elements", 20000, "elements per location (weak-scaling unit)")
 		graphScale = flag.Int("graphscale", 10, "log2 of the SSCA2 graph vertex count")
+		transportF = flag.String("transport", "", "interconnect for the experiment machines: inproc, wire, tcp, chaos or chaos-tcp (default: PCF_TRANSPORT, else inproc)")
 		jsonOut    = flag.Bool("json", false, "emit one JSON record per row instead of the report table")
 		counters   = flag.Bool("counters", false, "with -json: emit only deterministic counter rows (msgs/rmis/bytes/ops)")
 		baseline   = flag.String("baseline", "", "compare counter rows against this JSON baseline; exit 1 on >10% growth")
@@ -72,6 +74,14 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.ElementsPerLocation = *elements
 	cfg.GraphScale = *graphScale
+	if *transportF != "" {
+		factory, err := resolveTransport(*transportF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Transport = factory
+	}
 	cfg.Locations = nil
 	for _, tok := range strings.Split(*locations, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -132,6 +142,19 @@ func main() {
 	}
 }
 
+// resolveTransport maps the -transport flag to a factory by reusing the
+// PCF_TRANSPORT resolution table (which panics on unknown names — here that
+// becomes a flag error instead of a crash).
+func resolveTransport(name string) (factory runtime.TransportFactory, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			factory, err = nil, fmt.Errorf("invalid -transport %q (want inproc, wire, tcp, chaos or chaos-tcp)", name)
+		}
+	}()
+	os.Setenv("PCF_TRANSPORT", name)
+	return runtime.TransportFromEnv(), nil
+}
+
 // sortedRows orders rows the way PrintRows does, so JSON output (and the
 // checked-in baseline) is stable across runs.
 func sortedRows(rows []bench.Row) []bench.Row {
@@ -169,12 +192,16 @@ func loadBaseline(path string) ([]jsonRow, error) {
 }
 
 // compareBaseline reruns the selected experiments and checks every counter
-// row of the baseline against the fresh value.  It reports each regression
-// and returns false when any pinned counter grew beyond the tolerance (or a
-// pinned row disappeared).
+// row the baseline pins for them against the fresh value.  Baseline rows of
+// experiments that were not selected are ignored, so a subset run (e.g. the
+// TCP-loopback bulk check) compares only its own counters.  It reports each
+// regression and returns false when any pinned counter grew beyond the
+// tolerance (or a pinned row disappeared).
 func compareBaseline(selected []bench.Experiment, cfg bench.Config, base []jsonRow) bool {
 	current := map[string]float64{}
+	selectedIDs := map[string]bool{}
 	for _, e := range selected {
+		selectedIDs[e.ID] = true
 		for _, r := range e.Run(cfg) {
 			current[r.Experiment+"|"+r.Series+"|"+r.Param] = r.Value
 		}
@@ -182,7 +209,7 @@ func compareBaseline(selected []bench.Experiment, cfg bench.Config, base []jsonR
 	ok := true
 	var checked, improved int
 	for _, b := range base {
-		if !counterUnits[b.Unit] {
+		if !counterUnits[b.Unit] || !selectedIDs[b.Experiment] {
 			continue
 		}
 		key := b.Experiment + "|" + b.Series + "|" + b.Param

@@ -17,7 +17,7 @@ func Fig27ArrayConstructor(cfg Config) []Row {
 	for _, p := range cfg.Locations {
 		for _, mult := range []int64{1, 2, 4} {
 			n := cfg.ElementsPerLocation * int64(p) * mult
-			ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 				d := timeSection(loc, func() {
 					a := parray.New[int64](loc, n)
 					_ = a
@@ -38,7 +38,7 @@ func Fig28ArrayLocalMethods(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		n := cfg.ElementsPerLocation * int64(p)
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n)
 			doms := a.LocalSubdomains()
 			out.add("set_element (local)", timeSection(loc, func() {
@@ -81,7 +81,7 @@ func Fig29ArrayMethodsSizes(cfg Config) []Row {
 	for _, mult := range []int64{1, 2, 4, 8} {
 		n := cfg.ElementsPerLocation * int64(p) * mult
 		ops := cfg.ElementsPerLocation
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n)
 			r := loc.Rand()
 			out.add("set_element", timeSection(loc, func() {
@@ -115,7 +115,7 @@ func Fig30ArraySyncAsyncSplit(cfg Config) []Row {
 		}
 		n := cfg.ElementsPerLocation * int64(p)
 		ops := cfg.ElementsPerLocation
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n)
 			// Remote indices: the block of the next location.
 			next := (loc.ID() + 1) % loc.NumLocations()
@@ -171,7 +171,7 @@ func Fig31ArrayRemoteFraction(cfg Config) []Row {
 	ops := cfg.ElementsPerLocation
 	for _, pct := range []int{0, 25, 50, 75, 100} {
 		pct := pct
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n)
 			doms := a.LocalSubdomains()
 			local := doms[0]
@@ -214,7 +214,7 @@ func Fig32ArrayLocalRemote(cfg Config) []Row {
 	for _, mult := range []int64{1, 2, 4} {
 		n := cfg.ElementsPerLocation * int64(p) * mult
 		ops := cfg.ElementsPerLocation
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n)
 			r := loc.Rand()
 			doms := a.LocalSubdomains()
@@ -245,7 +245,7 @@ func Fig33ArrayAlgorithms(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		n := cfg.ElementsPerLocation * int64(p)
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n)
 			nat := views.NewArrayNative(a)
 			bal := views.NewBalanced[int64](nat)
@@ -276,7 +276,7 @@ func Fig34ArrayMemory(cfg Config) []Row {
 	for _, mult := range []int64{1, 4} {
 		n := cfg.ElementsPerLocation * int64(p) * mult
 		var usage core.MemoryUsage
-		m := machine(p)
+		m := machine(cfg, p)
 		m.Execute(func(loc *runtime.Location) {
 			a := parray.New[int64](loc, n)
 			u := a.MemorySize()
@@ -309,6 +309,7 @@ func AblationAggregation(cfg Config) []Row {
 	for _, agg := range []int{1, 16, 64} {
 		rcfg := runtime.DefaultConfig()
 		rcfg.Aggregation = agg
+		rcfg.Transport = cfg.Transport
 		var elapsed float64
 		var msgs int64
 		m := runtime.NewMachine(p, rcfg)
@@ -353,7 +354,7 @@ func AblationLocking(cfg Config) []Row {
 		{"no locking", core.PolicyNone},
 	}
 	for _, pol := range policies {
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n, parray.WithTraits(core.Traits{Locking: pol.policy}))
 			doms := a.LocalSubdomains()
 			out.add(pol.name, timeSection(loc, func() {

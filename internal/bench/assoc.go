@@ -20,7 +20,7 @@ func Fig59MapReduceWordCount(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		wordsPerLoc := int(cfg.ElementsPerLocation)
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			corpus := workload.Zipf(loc, wordsPerLoc, 5000, 1.2)
 			counts := passoc.NewHashMap[string, int64](loc, partition.StringHash)
 			out.add("map_reduce word count", timeSection(loc, func() {
@@ -39,7 +39,7 @@ func Fig60AssociativeAlgos(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		keysPerLoc := cfg.ElementsPerLocation
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			h := passoc.NewHashMap[int64, int64](loc, partition.Int64Hash)
 			base := int64(loc.ID()) * keysPerLoc
 			out.add("pHashMap insert", timeSection(loc, func() {
@@ -106,7 +106,7 @@ func Fig62Composition(cfg Config) []Row {
 	}
 	param := fmt.Sprintf("P=%d rows=%d cols=%d", p, nrows, ncols)
 
-	ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+	ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 		apa := composed.NewArrayOfArrays[int64](loc, sizes)
 		apa.NestedFill(func(o, i int64) int64 { return o*1_000_000 + i })
 		out.add("pArray<pArray> row minima", timeSection(loc, func() {
@@ -115,7 +115,7 @@ func Fig62Composition(cfg Config) []Row {
 	})
 	rows = append(rows, rowsFromSeries("fig62", param, ts)...)
 
-	ts = runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+	ts = runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 		lpa := composed.NewListOfArrays[int64](loc, sizes)
 		lpa.NestedFill(func(o, i int64) int64 { return o*1_000_000 + i })
 		out.add("pList<pArray> row minima", timeSection(loc, func() {
@@ -124,7 +124,7 @@ func Fig62Composition(cfg Config) []Row {
 	})
 	rows = append(rows, rowsFromSeries("fig62", param, ts)...)
 
-	ts = runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+	ts = runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 		m := pmatrix.New[int64](loc, nrows, ncols, pmatrix.WithLayout(partition.RowBlocked))
 		m.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return g.Row*1_000_000 + g.Col })
 		loc.Fence()

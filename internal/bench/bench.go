@@ -50,6 +50,13 @@ type Config struct {
 	GraphScale int
 	// Verbose prints every row as it is produced.
 	Verbose bool
+	// Transport builds the interconnect every experiment machine uses.  Nil
+	// keeps the runtime default (the PCF_TRANSPORT environment variable, or
+	// in-process delivery).  Because the machine statistics are counted at
+	// logical send time, a deterministic experiment must report identical
+	// counter rows over every transport — the cross-transport equivalence
+	// suite in bench_transport_test.go asserts exactly that.
+	Transport runtime.TransportFactory
 }
 
 // DefaultConfig returns the scale used by the committed bench outputs.
@@ -156,7 +163,10 @@ func maxElapsed(loc *runtime.Location, start time.Time) time.Duration {
 // ms converts a duration to milliseconds for report rows.
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
 
-// machine builds a machine with the default RTS configuration.
-func machine(p int) *runtime.Machine {
-	return runtime.NewMachine(p, runtime.DefaultConfig())
+// machine builds a machine with the default RTS configuration over the
+// experiment configuration's transport.
+func machine(cfg Config, p int) *runtime.Machine {
+	rcfg := runtime.DefaultConfig()
+	rcfg.Transport = cfg.Transport
+	return runtime.NewMachine(p, rcfg)
 }

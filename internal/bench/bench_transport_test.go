@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// equivalenceExperiments are the pinned experiments of the cross-transport
+// suite: every counter row they report must be identical over every
+// transport.  They cover the five communication-heavy subsystems (bulk
+// batching, the distributed directory, redistribution, the view algebra and
+// the 2-D matrix kernels).
+var equivalenceExperiments = []string{"bulk", "directory", "redist", "views", "matrix"}
+
+// counterUnits are the row units that count logical communication events.
+// They are incremented at send/execute time, independent of how frames move,
+// so they must not change with the transport.  Time-derived rows ("ms",
+// "ops/s" and the speedup ratios in "x") legitimately vary run to run.
+var counterUnits = map[string]bool{
+	"msgs":  true,
+	"rmis":  true,
+	"RMIs":  true,
+	"bytes": true,
+	"ops":   true,
+}
+
+// counterRows filters rows to the deterministic counter series, in report
+// order.
+func counterRows(rows []Row) []Row {
+	var out []Row
+	for _, r := range SortRows(rows) {
+		if counterUnits[r.Unit] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// rowKey renders a row for byte-exact comparison across transports.
+func rowKey(r Row) string {
+	return fmt.Sprintf("%s|%s|%s|%v|%s", r.Experiment, r.Series, r.Param, r.Value, r.Unit)
+}
+
+// equivalenceConfig is the pinned scale of the suite: small enough for the
+// socket transports, large enough that every experiment crosses location
+// boundaries.
+func equivalenceConfig(factory runtime.TransportFactory) Config {
+	return Config{
+		Locations:           []int{2, 4},
+		ElementsPerLocation: 1000,
+		GraphScale:          6,
+		Transport:           factory,
+	}
+}
+
+// runCounterRows executes one pinned experiment over the given transport and
+// returns its counter rows.
+func runCounterRows(t *testing.T, id string, factory runtime.TransportFactory) []Row {
+	t.Helper()
+	exp, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %q is not registered", id)
+	}
+	return counterRows(exp.Run(equivalenceConfig(factory)))
+}
+
+// TestCrossTransportEquivalence re-runs the pinned experiments over the
+// in-process transport, the TCP loopback wire and the fault-injecting chaos
+// wire, asserting that every counter row is identical: same series, same
+// parameters, same values, byte for byte.  This is the suite's core claim —
+// the wire may delay, duplicate or drop frames, but the logical
+// communication structure of an experiment must not move at all.
+func TestCrossTransportEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-transport equivalence is not a -short test")
+	}
+	alternatives := []struct {
+		name    string
+		factory runtime.TransportFactory
+	}{
+		{"tcp-loopback", runtime.TCPLoopbackTransport},
+		{"chaos", runtime.ChaosTransport(transport.DefaultChaosConfig())},
+	}
+	for _, id := range equivalenceExperiments {
+		t.Run(id, func(t *testing.T) {
+			baseline := runCounterRows(t, id, runtime.InprocTransport)
+			if len(baseline) == 0 {
+				t.Fatalf("experiment %s reports no counter rows; the equivalence suite would assert nothing", id)
+			}
+			for _, alt := range alternatives {
+				t.Run(alt.name, func(t *testing.T) {
+					got := runCounterRows(t, id, alt.factory)
+					if len(got) != len(baseline) {
+						t.Fatalf("%d counter rows over %s, %d over inproc", len(got), alt.name, len(baseline))
+					}
+					for i := range baseline {
+						if rowKey(got[i]) != rowKey(baseline[i]) {
+							t.Errorf("row %d diverges:\n  inproc: %s\n  %s: %s", i, rowKey(baseline[i]), alt.name, rowKey(got[i]))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestTransportThreadedThroughBenchConfig pins that Config.Transport really
+// reaches the experiment machines: a counting factory must be invoked once
+// per machine Execute of the experiment.
+func TestTransportThreadedThroughBenchConfig(t *testing.T) {
+	builds := 0
+	cfg := equivalenceConfig(func(m *runtime.Machine) runtime.Transport {
+		builds++
+		return runtime.InprocTransport(m)
+	})
+	cfg.Locations = []int{2}
+	exp, _ := Find("bulk")
+	exp.Run(cfg)
+	if builds == 0 {
+		t.Fatal("Config.Transport factory never invoked by the experiment")
+	}
+}

@@ -33,7 +33,7 @@ func BulkVsElementwise(cfg Config) []Row {
 		run := func(bulk bool) modeResult {
 			var res modeResult
 			var mu sync.Mutex
-			m := machine(p)
+			m := machine(cfg, p)
 			m.Execute(func(loc *runtime.Location) {
 				a := parray.New[int64](loc, n)
 				next := (loc.ID() + 1) % loc.NumLocations()

@@ -45,7 +45,7 @@ func DirectoryCachedAccess(cfg Config) []Row {
 			var res modeResult
 			var mu sync.Mutex
 			var preRMIs, preMsgs, preDirs int64
-			m := machine(p)
+			m := machine(cfg, p)
 			m.Execute(func(loc *runtime.Location) {
 				g := pgraph.New[int64, int8](loc, 0,
 					pgraph.WithStrategy(pgraph.DynamicDirectory),

@@ -19,7 +19,7 @@ func Fig49GraphMethods(cfg Config) []Row {
 		n := params.NumVertices()
 		// Static strategy: vertices exist at construction, only edges are
 		// added.
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			g := pgraph.New[int64, int8](loc, n)
 			out.add("static: add_edge_async (SSCA2)", timeSection(loc, func() {
 				workload.BuildSSCA2Static(loc, g, params)
@@ -37,7 +37,7 @@ func Fig49GraphMethods(cfg Config) []Row {
 		// Dynamic strategies: vertices are added at run time.
 		for _, strat := range []pgraph.Strategy{pgraph.DynamicEncoded, pgraph.DynamicDirectory} {
 			strat := strat
-			ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+			ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 				g := pgraph.New[int64, int8](loc, 0, pgraph.WithStrategy(strat))
 				perLoc := n / int64(loc.NumLocations())
 				var mine []int64
@@ -78,7 +78,7 @@ func Fig51FindSources(cfg Config) []Row {
 	n := params.NumVertices()
 	for _, strat := range []pgraph.Strategy{pgraph.Static, pgraph.DynamicEncoded, pgraph.DynamicDirectory} {
 		strat := strat
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			var g *pgraph.Graph[int64, int8]
 			var ids []int64
 			if strat == pgraph.Static {
@@ -126,7 +126,7 @@ func Fig52GraphPartitions(cfg Config) []Row {
 	lookups := cfg.ElementsPerLocation
 	for _, strat := range []pgraph.Strategy{pgraph.Static, pgraph.DynamicEncoded, pgraph.DynamicDirectory} {
 		strat := strat
-		m := machine(p)
+		m := machine(cfg, p)
 		var series timedSeries
 		var handledBefore int64
 		m.Execute(func(loc *runtime.Location) {
@@ -183,7 +183,7 @@ func Fig53GraphAlgorithms(cfg Config) []Row {
 	for _, p := range cfg.Locations {
 		params := workload.DefaultSSCA2(cfg.GraphScale)
 		n := params.NumVertices()
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			g := pgraph.New[int64, int8](loc, n)
 			workload.BuildSSCA2Static(loc, g, params)
 			out.add("BFS", timeSection(loc, func() {
@@ -217,7 +217,7 @@ func Fig56PageRank(cfg Config) []Row {
 	}
 	for _, mesh := range meshes {
 		mesh := mesh
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			g := pgraph.New[float64, int8](loc, mesh.dims.NumVertices())
 			workload.BuildMesh2D(loc, g, mesh.dims)
 			prp := graphalgo.DefaultPageRank()

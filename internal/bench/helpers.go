@@ -22,10 +22,10 @@ func (t *timedSeries) add(label string, d time.Duration) {
 // runTimed runs fn SPMD on p locations; fn fills a timedSeries using
 // collective timing helpers (every location must add the same series in the
 // same order).  Location 0's series is returned.
-func runTimed(p int, fn func(loc *runtime.Location, out *timedSeries)) timedSeries {
+func runTimed(cfg Config, p int, fn func(loc *runtime.Location, out *timedSeries)) timedSeries {
 	var result timedSeries
 	var mu sync.Mutex
-	machine(p).Execute(func(loc *runtime.Location) {
+	machine(cfg, p).Execute(func(loc *runtime.Location) {
 		var local timedSeries
 		fn(loc, &local)
 		if loc.ID() == 0 {

@@ -55,7 +55,7 @@ func MatrixKernels(cfg Config) []Row {
 			loc.Fence()
 			return a, x, y
 		}
-		mvElemMS, mvElemStats := measuredRun(p, func(loc *runtime.Location) func() {
+		mvElemMS, mvElemStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			a, x, y := matvecSetup(loc)
 			return func() {
 				rs, cs := a.LocalBlocks()
@@ -74,7 +74,7 @@ func MatrixKernels(cfg Config) []Row {
 		// Correctness of the kernels against sequential references is pinned
 		// by the palgo unit tests; the measured bodies stay check-free so
 		// the baseline counters record kernel traffic only.
-		mvCoarMS, mvCoarStats := measuredRun(p, func(loc *runtime.Location) func() {
+		mvCoarMS, mvCoarStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			a, x, y := matvecSetup(loc)
 			return func() {
 				palgo.MatVec[int64](loc, a, x, y)
@@ -107,7 +107,7 @@ func MatrixKernels(cfg Config) []Row {
 			loc.Fence()
 			return a, b, c
 		}
-		mmElemMS, mmElemStats := measuredRun(p, func(loc *runtime.Location) func() {
+		mmElemMS, mmElemStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			a, b, c := matmulSetup(loc)
 			return func() {
 				rs, cs := a.LocalBlocks()
@@ -125,7 +125,7 @@ func MatrixKernels(cfg Config) []Row {
 				loc.Fence()
 			}
 		})
-		mmBlockMS, mmBlockStats := measuredRun(p, func(loc *runtime.Location) func() {
+		mmBlockMS, mmBlockStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			a, b, c := matmulSetup(loc)
 			return func() {
 				palgo.MatMul[int64](loc, a, b, c)
@@ -146,7 +146,7 @@ func MatrixKernels(cfg Config) []Row {
 		// --- 2-D Jacobi over the row-halo face: each location's boundary
 		// rows travel as one grouped request per neighbour per sweep.
 		const sweeps = 4
-		jacMS, jacStats := measuredRun(p, func(loc *runtime.Location) func() {
+		jacMS, jacStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			cur := pmatrix.New[float64](loc, dv, dv)
 			next := pmatrix.New[float64](loc, dv, dv)
 			init := func(g domain.Index2D, _ float64) float64 {
@@ -170,7 +170,7 @@ func MatrixKernels(cfg Config) []Row {
 		// --- Relayout: row-blocked → checkerboard through the shared
 		// redistribution engine (the migration traffic is the deterministic
 		// cost of the 2-D data-placement switch).
-		relayoutMS, relayoutStats := measuredRun(p, func(loc *runtime.Location) func() {
+		relayoutMS, relayoutStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			m := pmatrix.New[int64](loc, dv, dv)
 			m.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return g.Row*dv + g.Col })
 			loc.Fence()

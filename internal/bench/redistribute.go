@@ -24,11 +24,11 @@ func RedistributeRebalance(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		n := cfg.ElementsPerLocation * int64(p)
-		rows = append(rows, redistArray(p, n)...)
-		rows = append(rows, redistVector(p, n)...)
-		rows = append(rows, redistHashMap(p, n)...)
-		rows = append(rows, redistGraph(p, n)...)
-		rows = append(rows, redistList(p, n)...)
+		rows = append(rows, redistArray(cfg, p, n)...)
+		rows = append(rows, redistVector(cfg, p, n)...)
+		rows = append(rows, redistHashMap(cfg, p, n)...)
+		rows = append(rows, redistGraph(cfg, p, n)...)
+		rows = append(rows, redistList(cfg, p, n)...)
 	}
 	return rows
 }
@@ -68,8 +68,8 @@ func redistReport(family string, p int, n int64, before, after float64, rmis, by
 // and after its rebalance step; the migration traffic is the machine-stats
 // delta around body's rebalance, which body brackets with the snapshot
 // callback.
-func redistScenario(p int, body func(loc *runtime.Location, snapshot func()) (before, after float64)) (before, after float64, rmis, bytes int64) {
-	m := machine(p)
+func redistScenario(cfg Config, p int, body func(loc *runtime.Location, snapshot func()) (before, after float64)) (before, after float64, rmis, bytes int64) {
+	m := machine(cfg, p)
 	var preRMIs, preBytes int64
 	m.Execute(func(loc *runtime.Location) {
 		b, a := body(loc, func() {
@@ -88,8 +88,8 @@ func redistScenario(p int, body func(loc *runtime.Location, snapshot func()) (be
 	return before, after, rmis, bytes
 }
 
-func redistArray(p int, n int64) []Row {
-	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+func redistArray(cfg Config, p int, n int64) []Row {
+	before, after, rmis, bytes := redistScenario(cfg, p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
 		part, err := partition.NewExplicit(domain.NewRange1D(0, n), skewedSizes(n, p))
 		if err != nil {
 			panic(err)
@@ -107,8 +107,8 @@ func redistArray(p int, n int64) []Row {
 	return redistReport("pArray", p, n, before, after, rmis, bytes)
 }
 
-func redistVector(p int, n int64) []Row {
-	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+func redistVector(cfg Config, p int, n int64) []Row {
+	before, after, rmis, bytes := redistScenario(cfg, p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
 		v := pvector.New[int64](loc, n)
 		v.LocalUpdate(func(gid int64, _ int64) int64 { return gid })
 		loc.Fence()
@@ -127,8 +127,8 @@ func redistVector(p int, n int64) []Row {
 	return redistReport("pVector", p, n, before, after, rmis, bytes)
 }
 
-func redistHashMap(p int, n int64) []Row {
-	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+func redistHashMap(cfg Config, p int, n int64) []Row {
+	before, after, rmis, bytes := redistScenario(cfg, p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
 		h := passoc.NewHashMap[int64, int64](loc, partition.Int64Hash,
 			passoc.HashOption{SubdomainsPerLocation: 4})
 		// Each location inserts its share of the keys.
@@ -146,14 +146,14 @@ func redistHashMap(p int, n int64) []Row {
 	return redistReport("pHashMap", p, n, before, after, rmis, bytes)
 }
 
-func redistList(p int, n int64) []Row {
+func redistList(cfg Config, p int, n int64) []Row {
 	// Keep the list smaller than the flat containers: per-element directory
 	// publication makes construction communication-heavy.
 	nl := n / 4
 	if nl < int64(p) {
 		nl = int64(p)
 	}
-	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+	before, after, rmis, bytes := redistScenario(cfg, p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
 		l := plist.New[int64](loc, plist.WithDirectory())
 		// Skew: location 0 pushes (almost) everything, the others a token
 		// share — the shape PushAnywhere produces under one hot producer.
@@ -170,14 +170,14 @@ func redistList(p int, n int64) []Row {
 	return redistReport("pList", p, nl, before, after, rmis, bytes)
 }
 
-func redistGraph(p int, n int64) []Row {
+func redistGraph(cfg Config, p int, n int64) []Row {
 	// Keep the graph an order of magnitude smaller than the flat
 	// containers: every vertex ships its adjacency too.
 	nv := n / 8
 	if nv < int64(p) {
 		nv = int64(p)
 	}
-	before, after, rmis, bytes := redistScenario(p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
+	before, after, rmis, bytes := redistScenario(cfg, p, func(loc *runtime.Location, snapshot func()) (float64, float64) {
 		g := pgraph.New[int64, int64](loc, nv)
 		// A ring plus a chord per vertex, striped over the locations.
 		for vd := int64(loc.ID()); vd < nv; vd += int64(p) {

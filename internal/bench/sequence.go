@@ -21,7 +21,7 @@ func Fig39ListMethods(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		ops := cfg.ElementsPerLocation
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			l := plist.New[int64](loc)
 			gids := make([]plist.GID, 0, ops)
 			out.add("push_anywhere", timeSection(loc, func() {
@@ -61,7 +61,7 @@ func Fig40ListVsArrayAlgos(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		n := cfg.ElementsPerLocation * int64(p)
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			a := parray.New[int64](loc, n)
 			nat := views.NewArrayNative(a)
 			l := plist.New[int64](loc)
@@ -112,6 +112,7 @@ func Fig41PlacementWeakScaling(cfg Config) []Row {
 		for _, pl := range placements {
 			rcfg := runtime.DefaultConfig()
 			rcfg.RemoteDelay = pl.delay
+			rcfg.Transport = cfg.Transport
 			var elapsed float64
 			m := runtime.NewMachine(p, rcfg)
 			m.Execute(func(loc *runtime.Location) {
@@ -143,7 +144,7 @@ func Fig42ListVsVectorMix(cfg Config) []Row {
 	for _, p := range cfg.Locations {
 		opsPerLoc := int(cfg.ElementsPerLocation / 4)
 		mix := workload.DefaultMix()
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			ops := workload.OpStream(loc, opsPerLoc, mix)
 			// pList: operations target this location's own segment.
 			l := plist.New[int64](loc)
@@ -225,7 +226,7 @@ func Fig43EulerTourWeakScaling(cfg Config) []Row {
 	var rows []Row
 	for _, p := range cfg.Locations {
 		params := workload.ForestParams{SubtreesPerLocation: 8, SubtreeHeight: 6}
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			edges, vertices, root := workload.TreeEdges(loc, params)
 			g := euler.BuildTree(loc, vertices, edges)
 			var tour *euler.Tour
@@ -249,7 +250,7 @@ func Fig44EulerTourApps(cfg Config) []Row {
 	p := cfg.Locations[len(cfg.Locations)-1]
 	for _, subtrees := range []int{4, 8} {
 		params := workload.ForestParams{SubtreesPerLocation: subtrees, SubtreeHeight: 6}
-		ts := runTimed(p, func(loc *runtime.Location, out *timedSeries) {
+		ts := runTimed(cfg, p, func(loc *runtime.Location, out *timedSeries) {
 			edges, vertices, root := workload.TreeEdges(loc, params)
 			g := euler.BuildTree(loc, vertices, edges)
 			tour := euler.BuildTour(loc, g, root)

@@ -44,7 +44,7 @@ func ViewsComposition(cfg Config) []Row {
 				parray.WithMapper(partition.NewBlockedMapper(p, p)))
 			return views.NewBalanced[int64](views.NewArrayNative(a))
 		}
-		elemMS, elemStats := measuredRun(p, func(loc *runtime.Location) func() {
+		elemMS, elemStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			v := skewedView(loc)
 			return func() {
 				for _, r := range v.LocalRanges(loc) {
@@ -55,7 +55,7 @@ func ViewsComposition(cfg Config) []Row {
 				loc.Fence()
 			}
 		})
-		coarMS, coarStats := measuredRun(p, func(loc *runtime.Location) func() {
+		coarMS, coarStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			v := skewedView(loc)
 			return func() {
 				palgo.TransformInPlace(loc, v, func(_ int64, x int64) int64 { return x + 1 })
@@ -90,7 +90,7 @@ func ViewsComposition(cfg Config) []Row {
 			palgo.Generate(loc, yv, func(i int64) int64 { return 2 * i })
 			return xv, yv
 		}
-		axpyElemMS, axpyElemStats := measuredRun(p, func(loc *runtime.Location) func() {
+		axpyElemMS, axpyElemStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			xv, yv := zipSetup(loc)
 			z := views.NewZip2[int64, int64](xv, yv)
 			return func() {
@@ -103,7 +103,7 @@ func ViewsComposition(cfg Config) []Row {
 				loc.Fence()
 			}
 		})
-		axpyCoarMS, axpyCoarStats := measuredRun(p, func(loc *runtime.Location) func() {
+		axpyCoarMS, axpyCoarStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			xv, yv := zipSetup(loc)
 			return func() {
 				palgo.Axpy[int64](loc, 3, xv, yv)
@@ -122,7 +122,7 @@ func ViewsComposition(cfg Config) []Row {
 		}
 
 		// --- Zipped dot product (native × native: stays message-free).
-		dotMS, dotStats := measuredRun(p, func(loc *runtime.Location) func() {
+		dotMS, dotStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			x := parray.New[int64](loc, n)
 			y := parray.New[int64](loc, n)
 			xv, yv := views.NewArrayNative(x), views.NewArrayNative(y)
@@ -141,7 +141,7 @@ func ViewsComposition(cfg Config) []Row {
 		// each location's share travel as one grouped request per neighbour
 		// per sweep.
 		const sweeps = 4
-		jacMS, jacStats := measuredRun(p, func(loc *runtime.Location) func() {
+		jacMS, jacStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			cur := parray.New[float64](loc, n)
 			next := parray.New[float64](loc, n)
 			cv, nv := views.NewArrayNative(cur), views.NewArrayNative(next)
@@ -162,7 +162,7 @@ func ViewsComposition(cfg Config) []Row {
 
 		// --- Nested composition: a Segmented over a Zip of two native
 		// arrays reduces entirely inside native chunks — zero messages.
-		segMS, segStats := measuredRun(p, func(loc *runtime.Location) func() {
+		segMS, segStats := measuredRun(cfg, p, func(loc *runtime.Location) func() {
 			x := parray.New[int64](loc, n)
 			y := parray.New[int64](loc, n)
 			xv, yv := views.NewArrayNative(x), views.NewArrayNative(y)
@@ -189,8 +189,8 @@ func ViewsComposition(cfg Config) []Row {
 // measurement), then the returned body runs between machine-stat snapshots.
 // It returns location 0's elapsed milliseconds and the stat delta of the
 // section.
-func measuredRun(p int, build func(loc *runtime.Location) func()) (float64, runtime.Stats) {
-	m := machine(p)
+func measuredRun(cfg Config, p int, build func(loc *runtime.Location) func()) (float64, runtime.Stats) {
+	m := machine(cfg, p)
 	var pre, post runtime.Stats
 	var elapsed float64
 	m.Execute(func(loc *runtime.Location) {

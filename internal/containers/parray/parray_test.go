@@ -1,6 +1,8 @@
 package parray
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -497,6 +499,43 @@ func TestArrayStressManyWritersOneReader(t *testing.T) {
 		total := runtime.AllReduceSum(loc, local)
 		if total != writes.Load() {
 			t.Errorf("sum of elements = %d, want %d (no update may be lost)", total, writes.Load())
+		}
+		loc.Fence()
+	})
+}
+
+// TestArrayOutOfDomainFailsFast is the 1-D analogue of the pMatrix
+// regression test: the closed-form partitions (Balanced here) used to
+// return Forward(0) for out-of-domain indices, so an out-of-bounds access
+// silently routed to sub-domain 0 — self-forwarding from its owner, or
+// blowing up on the remote server goroutine from anywhere else.  Resolution
+// is sender-side, so every location must now observe a clear out-of-domain
+// panic on its own goroutine, and in-domain traffic must keep working after
+// the recovered panic.
+func TestArrayOutOfDomainFailsFast(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		a := New[int](loc, 40)
+		expectPanic := func(name string, fn func()) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("loc %d: %s outside the domain did not panic", loc.ID(), name)
+					return
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "outside") {
+					t.Errorf("loc %d: %s panicked with %q, want a clear out-of-domain message", loc.ID(), name, msg)
+				}
+			}()
+			fn()
+		}
+		expectPanic("Get", func() { a.Get(40) })
+		expectPanic("Set", func() { a.Set(-1, 1) })
+		expectPanic("ApplySet", func() { a.ApplySet(1<<40, func(x int) int { return x }) })
+		expectPanic("GetBulk", func() { a.GetBulk([]int64{0, 40}) })
+		a.Set(int64(loc.ID()), 7+loc.ID())
+		loc.Fence()
+		if got := a.Get(int64(loc.ID())); got != 7+loc.ID() {
+			t.Errorf("in-domain access after panic = %d", got)
 		}
 		loc.Fence()
 	})

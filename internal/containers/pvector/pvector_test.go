@@ -210,3 +210,38 @@ func TestVectorEmptyAndSingleLocation(t *testing.T) {
 		}
 	})
 }
+
+// TestVectorTransientForwardingSurvivesPartitionFailFast pins the growing
+// container's resolution contract against the closed-form partitions'
+// fail-fast change: pVector resolves through its own block-table resolver,
+// which still returns Forward(0) for an index it cannot see yet (a
+// concurrent PushBack that has not reached this location's cached metadata),
+// and the directory retries the hop until the table catches up.  Accessing
+// indices far beyond the vector's construction-time domain therefore keeps
+// working — they are a growth artefact, not a caller bug.
+func TestVectorTransientForwardingSurvivesPartitionFailFast(t *testing.T) {
+	const perLoc = 8
+	run(4, func(loc *runtime.Location) {
+		v := New[int](loc, 16) // initial domain [0, 16)
+		loc.Fence()
+		// Every location grows the shared vector past its initial domain.
+		for i := 0; i < perLoc; i++ {
+			v.PushBack(100*loc.ID() + i)
+		}
+		loc.Fence()
+		// Indices in [16, 48) are outside the construction-time domain; a
+		// closed-form partition would fail fast here, the vector's
+		// transient-forwarding resolver must not.
+		if v.Size() != 16+4*perLoc {
+			t.Errorf("size = %d, want %d", v.Size(), 16+4*perLoc)
+		}
+		sum := 0
+		for i := int64(16); i < v.Size(); i++ {
+			sum += v.Get(i)
+		}
+		if sum <= 0 {
+			t.Errorf("loc %d: pushed tail reads as %d, want positive content", loc.ID(), sum)
+		}
+		loc.Fence()
+	})
+}

@@ -348,7 +348,14 @@ func TestIndexedResolver(t *testing.T) {
 	if !info.Valid || r.OwnerOf(info.BCID) != 1 {
 		t.Fatalf("resolver wrong: %+v owner %d", info, r.OwnerOf(info.BCID))
 	}
-	if r.Find(-5).Valid {
-		t.Fatal("out-of-domain GID should not resolve")
-	}
+	// Closed-form partitions fail fast on out-of-domain GIDs rather than
+	// silently forwarding to sub-domain 0.
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("out-of-domain GID should panic")
+			}
+		}()
+		r.Find(-5)
+	}()
 }

@@ -91,10 +91,21 @@ func (p *Balanced) Domain() domain.Range1D { return p.dom }
 // NumSubdomains returns the number of sub-domains.
 func (p *Balanced) NumSubdomains() int { return len(p.blocks) }
 
+// outOfDomain reports an index outside a closed-form partition's domain.
+// The closed-form partitions know the complete static distribution, so an
+// out-of-domain index can never be a transiently unresolved GID the way it
+// can for a growing container (pVector's resolver forwards those): it is a
+// caller bug, and failing fast beats silently routing the request to
+// sub-domain 0.
+func outOfDomain(gid int64, dom domain.Range1D) string {
+	return fmt.Sprintf("partition: index %d outside the [%d, %d) domain", gid, dom.Lo, dom.Hi)
+}
+
 // Find locates the sub-domain containing gid using the closed form.
+// It panics for indices outside the domain (see outOfDomain).
 func (p *Balanced) Find(gid int64) Info {
 	if !p.dom.Contains(gid) {
-		return Forward(0)
+		panic(outOfDomain(gid, p.dom))
 	}
 	n := int64(len(p.blocks))
 	size := p.dom.Size()
@@ -156,10 +167,11 @@ func (p *Blocked) Domain() domain.Range1D { return p.dom }
 // NumSubdomains returns the number of blocks.
 func (p *Blocked) NumSubdomains() int { return len(p.blocks) }
 
-// Find locates the block containing gid.
+// Find locates the block containing gid.  It panics for indices outside
+// the domain (see outOfDomain).
 func (p *Blocked) Find(gid int64) Info {
 	if !p.dom.Contains(gid) {
-		return Forward(0)
+		panic(outOfDomain(gid, p.dom))
 	}
 	return Found(BCID((gid - p.dom.Lo) / p.blockSize))
 }
@@ -211,10 +223,13 @@ func (p *Explicit) Domain() domain.Range1D { return p.dom }
 // NumSubdomains returns the number of explicit blocks.
 func (p *Explicit) NumSubdomains() int { return len(p.blocks) }
 
-// Find locates the block containing gid by binary search.
+// Find locates the block containing gid by binary search.  It panics for
+// indices outside the domain (see outOfDomain); the blocks tile the domain
+// exactly (NewExplicit checks the sizes), so the search cannot miss an
+// in-domain index.
 func (p *Explicit) Find(gid int64) Info {
 	if !p.dom.Contains(gid) {
-		return Forward(0)
+		panic(outOfDomain(gid, p.dom))
 	}
 	lo, hi := 0, len(p.blocks)-1
 	for lo <= hi {
@@ -229,7 +244,7 @@ func (p *Explicit) Find(gid int64) Info {
 			return Found(BCID(mid))
 		}
 	}
-	return Forward(0)
+	panic(outOfDomain(gid, p.dom))
 }
 
 // SubDomain returns block b.
@@ -271,10 +286,11 @@ func (p *BlockCyclic) Domain() domain.Range1D { return p.dom }
 // NumSubdomains returns the number of sub-domains.
 func (p *BlockCyclic) NumSubdomains() int { return p.n }
 
-// Find locates the sub-domain owning gid.
+// Find locates the sub-domain owning gid.  It panics for indices outside
+// the domain (see outOfDomain).
 func (p *BlockCyclic) Find(gid int64) Info {
 	if !p.dom.Contains(gid) {
-		return Forward(0)
+		panic(outOfDomain(gid, p.dom))
 	}
 	block := (gid - p.dom.Lo) / p.blockSize
 	return Found(BCID(block % int64(p.n)))

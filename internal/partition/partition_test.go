@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -65,9 +66,8 @@ func TestBalancedPartition(t *testing.T) {
 			}
 		}
 	}
-	if p.Find(-1).Valid || p.Find(103).Valid {
-		t.Fatal("out-of-domain GIDs must not resolve")
-	}
+	expectOutOfDomainPanic(t, func() { p.Find(-1) })
+	expectOutOfDomainPanic(t, func() { p.Find(103) })
 }
 
 func TestBalancedPartitionProperty(t *testing.T) {
@@ -285,5 +285,53 @@ func TestMemoryBytes(t *testing.T) {
 	}
 	if MemoryBytes(NewArbitraryMapper(make([]int, 10), 2)) != 80 {
 		t.Fatal("arbitrary mapper metadata should scale with the table")
+	}
+}
+
+// expectOutOfDomainPanic asserts fn panics with the closed-form partitions'
+// out-of-domain message.
+func expectOutOfDomainPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-domain Find should panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "outside") {
+			t.Fatalf("panic %v, want an out-of-domain message", r)
+		}
+	}()
+	fn()
+}
+
+// TestOutOfDomainFailsFast pins the closed-form partitions' contract: an
+// index outside the domain is a caller bug and panics instead of silently
+// resolving to Forward(0), which used to route the request to sub-domain 0
+// and let the directory chase a hint that could never converge.  (Growing
+// containers that need transient forwarding, like pVector, use their own
+// resolver — see that package's tests.)
+func TestOutOfDomainFailsFast(t *testing.T) {
+	dom := domain.NewRange1D(10, 50)
+	expl, err := NewExplicit(dom, []int64{15, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := map[string]Indexed{
+		"balanced":    NewBalanced(dom, 4),
+		"blocked":     NewBlocked(dom, 7),
+		"explicit":    expl,
+		"blockcyclic": NewBlockCyclic(dom, 3, 4),
+	}
+	for name, p := range parts {
+		for _, gid := range []int64{9, 50, -1, 1 << 40} {
+			t.Run(name, func(t *testing.T) {
+				expectOutOfDomainPanic(t, func() { p.Find(gid) })
+			})
+		}
+		// The domain boundaries themselves still resolve.
+		if !p.Find(10).Valid || !p.Find(49).Valid {
+			t.Fatalf("%s: in-domain boundary GIDs must resolve", name)
+		}
 	}
 }

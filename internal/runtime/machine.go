@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // Handle identifies a distributed p_object: every location holding a
@@ -33,6 +35,13 @@ type Config struct {
 	// Seed seeds each location's private random number generator
 	// deterministically (location id is mixed in).
 	Seed int64
+
+	// Transport builds the interconnect used for remote requests.  Nil
+	// selects the transport named by the PCF_TRANSPORT environment variable
+	// (in-process delivery when that is unset).  The factory runs at the
+	// start of every Execute and the transport is drained and closed at the
+	// end, so wire resources only live while SPMD code runs.
+	Transport TransportFactory
 }
 
 // DefaultConfig returns the configuration used when none is supplied:
@@ -66,6 +75,15 @@ type Machine struct {
 	// collective scratch: one slot per location, plus a broadcast slot.
 	collectMu   sync.Mutex
 	collectVals []any
+
+	// transport is the interconnect for the Execute run in progress; it is
+	// built from transportFactory when Execute starts and torn down when it
+	// ends.  lastWire* retain the final wire identity and traffic counters
+	// of the most recent run for post-Execute inspection.
+	transportFactory TransportFactory
+	transport        Transport
+	lastWireName     string
+	lastWireStats    transport.WireStats
 }
 
 // Stats is a folded snapshot of the machine-wide communication statistics.
@@ -116,6 +134,10 @@ func NewMachine(p int, cfg Config) *Machine {
 		cfg.Aggregation = 1
 	}
 	m := &Machine{cfg: cfg}
+	m.transportFactory = cfg.Transport
+	if m.transportFactory == nil {
+		m.transportFactory = TransportFromEnv()
+	}
 	m.quiesceCv = sync.NewCond(&m.quiesceMu)
 	m.barCv = sync.NewCond(&m.barMu)
 	m.collectVals = make([]any, p)
@@ -154,12 +176,36 @@ func (m *Machine) Stats() Stats {
 	return s
 }
 
+// TransportName reports the transport of the most recent Execute run (the
+// transport of the run in progress, while one is running).
+func (m *Machine) TransportName() string {
+	if t := m.transport; t != nil {
+		return t.Name()
+	}
+	return m.lastWireName
+}
+
+// WireStats reports the wire-level traffic counters of the most recent
+// Execute run.  In-process transports report all zeros; wire transports
+// report frames, bytes, protocol and fault-injection counters.  Unlike
+// Stats, these counters are transport-DEPENDENT by design — they describe
+// the wire, not the workload.
+func (m *Machine) WireStats() transport.WireStats {
+	if t := m.transport; t != nil {
+		return t.WireStats()
+	}
+	return m.lastWireStats
+}
+
 // Execute runs fn in SPMD fashion: one goroutine per location, each passed
 // its own Location.  Incoming RMIs are served concurrently by per-location
 // server goroutines.  Execute returns when every SPMD goroutine has returned
 // and all outstanding RMIs have been handled.
 func (m *Machine) Execute(fn func(loc *Location)) {
 	var wg sync.WaitGroup
+	// Bring up the interconnect for this run.  It is built per Execute so
+	// wire transports only hold sockets and goroutines while SPMD code runs.
+	m.transport = m.transportFactory(m)
 	// Start RMI servers.
 	for _, l := range m.locations {
 		l.startServer()
@@ -177,12 +223,20 @@ func (m *Machine) Execute(fn func(loc *Location)) {
 	wg.Wait()
 	// Drain outstanding traffic before stopping the servers.
 	m.waitQuiescent()
+	// Every handler ran (pending hit zero), but the wire may still owe
+	// acknowledgements or delayed duplicates; wait those out, then retain
+	// the wire's identity and counters for post-run inspection.
+	m.transport.Drain()
+	m.lastWireName = m.transport.Name()
+	m.lastWireStats = m.transport.WireStats()
 	for _, l := range m.locations {
 		l.stopServer()
 	}
 	for _, l := range m.locations {
 		l.serverWG.Wait()
 	}
+	m.transport.Close()
+	m.transport = nil
 }
 
 // ExecuteOn is a convenience wrapper that builds a machine with p locations

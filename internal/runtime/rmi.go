@@ -3,6 +3,8 @@ package runtime
 import (
 	"sync"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // rmiRequest is one remote method invocation in flight.  Exactly one of fn
@@ -10,6 +12,7 @@ import (
 type rmiRequest struct {
 	src    int
 	handle Handle
+	kind   uint8 // transport.Kind* — the RMI flavour, for the wire descriptor
 	fn     func(obj any, loc *Location)
 	retFn  func(obj any, loc *Location) any
 	resp   chan any
@@ -63,7 +66,7 @@ func (l *Location) AsyncRMISized(dest int, h Handle, bytes int, fn func(obj any,
 	l.stats.bytesSimulated.Add(int64(bytes) + requestOverheadBytes)
 	l.remoteRMIs.Add(1)
 	req := getRequest()
-	*req = rmiRequest{src: l.id, handle: h, fn: fn, bytes: bytes, delay: l.delayTo(dest)}
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindAsync, fn: fn, bytes: bytes, delay: l.delayTo(dest)}
 	l.enqueue(dest, req)
 }
 
@@ -85,10 +88,10 @@ func (l *Location) AsyncRMIUrgent(dest int, h Handle, fn func(obj any, loc *Loca
 	l.remoteRMIs.Add(1)
 	l.flushDest(dest)
 	req := getRequest()
-	*req = rmiRequest{src: l.id, handle: h, fn: fn, delay: l.delayTo(dest)}
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindUrgent, fn: fn, delay: l.delayTo(dest)}
 	l.machine.addPending(l.id, 1)
 	l.stats.messagesSent.Add(1)
-	l.machine.locations[dest].inbox.push(req)
+	l.machine.transport.DeliverOne(l.id, dest, req)
 }
 
 // AsyncRMIBulk ships ops logical element operations to dest as ONE request
@@ -117,10 +120,10 @@ func (l *Location) AsyncRMIBulk(dest int, h Handle, ops, bytes int, fn func(obj 
 	l.remoteRMIs.Add(1)
 	l.flushDest(dest)
 	req := getRequest()
-	*req = rmiRequest{src: l.id, handle: h, fn: fn, bytes: bytes, delay: l.delayTo(dest)}
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindBulk, fn: fn, bytes: bytes, delay: l.delayTo(dest)}
 	l.machine.addPending(l.id, 1)
 	l.stats.messagesSent.Add(1)
-	l.machine.locations[dest].inbox.push(req)
+	l.machine.transport.DeliverOne(l.id, dest, req)
 }
 
 // AccountDirectoryRMI attributes n of this location's recently issued RMIs to
@@ -158,14 +161,14 @@ func (l *Location) SyncRMI(dest int, h Handle, fn func(obj any, loc *Location) a
 	l.remoteRMIs.Add(1)
 	resp := make(chan any, 1)
 	req := getRequest()
-	*req = rmiRequest{src: l.id, handle: h, retFn: fn, resp: resp, delay: l.delayTo(dest)}
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSync, retFn: fn, resp: resp, delay: l.delayTo(dest)}
 	// A synchronous request must not overtake earlier asynchronous
 	// requests to the same destination, so the aggregation buffer for
 	// that destination is flushed first.
 	l.flushDest(dest)
 	l.machine.addPending(l.id, 1)
 	l.stats.messagesSent.Add(1)
-	l.machine.locations[dest].inbox.push(req)
+	l.machine.transport.DeliverOne(l.id, dest, req)
 	out := <-resp
 	// The response itself is one message on the simulated interconnect,
 	// carrying the marshalled result.
@@ -189,7 +192,7 @@ func (l *Location) SplitRMI(dest int, h Handle, fn func(obj any, loc *Location) 
 	l.stats.bytesSimulated.Add(requestOverheadBytes)
 	l.remoteRMIs.Add(1)
 	req := getRequest()
-	*req = rmiRequest{src: l.id, handle: h, delay: l.delayTo(dest)}
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSplit, delay: l.delayTo(dest)}
 	req.fn = func(obj any, loc *Location) {
 		out := fn(obj, loc)
 		fut.Complete(out)
@@ -236,7 +239,7 @@ func (l *Location) enqueue(dest int, req *rmiRequest) {
 	l.machine.addPending(l.id, 1)
 	if l.cfg.Aggregation <= 1 {
 		l.stats.messagesSent.Add(1)
-		l.machine.locations[dest].inbox.push(req)
+		l.machine.transport.DeliverOne(l.id, dest, req)
 		return
 	}
 	l.aggMu.Lock()
@@ -252,7 +255,7 @@ func (l *Location) enqueue(dest int, req *rmiRequest) {
 	l.aggMu.Unlock()
 	if batch != nil {
 		l.stats.messagesSent.Add(1)
-		l.machine.locations[dest].inbox.pushAll(batch)
+		l.machine.transport.Deliver(l.id, dest, batch)
 		putBatch(batch)
 	}
 }
@@ -268,7 +271,7 @@ func (l *Location) flushDest(dest int) {
 	l.aggMu.Unlock()
 	if len(batch) > 0 {
 		l.stats.messagesSent.Add(1)
-		l.machine.locations[dest].inbox.pushAll(batch)
+		l.machine.transport.Deliver(l.id, dest, batch)
 	}
 	if batch != nil {
 		putBatch(batch)

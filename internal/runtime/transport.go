@@ -1,0 +1,309 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Transport moves RMI request batches between locations.  The runtime layers
+// above it (aggregation buffers, fences, quiescence accounting) are
+// transport-independent: every machine statistic is counted at logical send
+// or execute time, so swapping the transport must not change a deterministic
+// experiment's counters — the cross-transport equivalence suite asserts
+// exactly that.
+//
+// Ownership: Deliver and DeliverOne must be done with the batch slice and
+// the request pointers being *shared* — they either hand the requests to the
+// destination mailbox synchronously or copy the pointers into their own
+// storage before returning.  The caller recycles the batch slice (not the
+// requests) after Deliver returns.
+type Transport interface {
+	// Deliver ships a batch of requests from location src to dst's mailbox,
+	// preserving batch order per (src, dst) pair.
+	Deliver(src, dst int, batch []*rmiRequest)
+	// DeliverOne ships a single request (urgent / sync / bulk paths).
+	DeliverOne(src, dst int, req *rmiRequest)
+	// Flush nudges any transport-internal buffering for traffic issued by
+	// src.  The runtime's own aggregation buffers live above the transport;
+	// current transports deliver eagerly, so this is a no-op hook.
+	Flush(src int)
+	// Drain blocks until every delivered batch has reached its destination
+	// mailbox (wire transports: all frames acknowledged).
+	Drain()
+	// Close releases sockets, queues and goroutines.
+	Close()
+	// Name identifies the transport for stats and bench reports.
+	Name() string
+	// WireStats reports wire-level traffic, all-zero for in-process
+	// transports.
+	WireStats() transport.WireStats
+}
+
+// TransportFactory builds a transport for one Execute run of a machine.
+// The factory is invoked at the start of Machine.Execute and the transport
+// is drained and closed at the end, so wire resources (sockets, goroutines)
+// only live while SPMD code runs.
+type TransportFactory func(m *Machine) Transport
+
+// InprocTransport is the default: requests go straight into the destination
+// mailbox on the sender's goroutine, exactly as the runtime behaved before
+// the transport seam existed.
+func InprocTransport(m *Machine) Transport { return inprocTransport{m: m} }
+
+// WireTransport runs the full wire protocol stack (batch framing plus the
+// reliable FIFO exactly-once layer) over the synchronous in-process wire.
+// No sockets are involved; this exercises the protocol itself.
+func WireTransport(m *Machine) Transport {
+	n := m.NumLocations()
+	return newWireTransport(m, transport.NewReliable(transport.NewInproc(n), n))
+}
+
+// TCPLoopbackTransport runs the wire protocol stack over real kernel TCP
+// sockets on 127.0.0.1: every frame — descriptors plus payload padding —
+// crosses a socket.
+func TCPLoopbackTransport(m *Machine) Transport {
+	n := m.NumLocations()
+	return newWireTransport(m, transport.NewReliable(transport.NewTCP(n), n))
+}
+
+// ChaosTransport returns a factory for the protocol stack over a
+// fault-injecting wire: frames are delayed, duplicated and dropped (with
+// reconnects) per cfg, and the reliable layer must restore FIFO exactly-once
+// delivery.  The underlying wire is the in-process one, so the whole test
+// tree can run under chaos quickly.
+func ChaosTransport(cfg transport.ChaosConfig) TransportFactory {
+	return func(m *Machine) Transport {
+		n := m.NumLocations()
+		chaos := transport.NewChaos(transport.NewInproc(n), cfg)
+		return newWireTransport(m, transport.NewReliable(chaos, n))
+	}
+}
+
+// ChaosTCPTransport is ChaosTransport over the TCP loopback wire.
+func ChaosTCPTransport(cfg transport.ChaosConfig) TransportFactory {
+	return func(m *Machine) Transport {
+		n := m.NumLocations()
+		chaos := transport.NewChaos(transport.NewTCP(n), cfg)
+		return newWireTransport(m, transport.NewReliable(chaos, n))
+	}
+}
+
+// TransportFromEnv resolves the transport selected by the PCF_TRANSPORT
+// environment variable (inproc, wire, tcp, chaos, chaos-tcp; empty or unset
+// means inproc), so CI can run the entire test tree over any transport
+// without code changes.  PCF_CHAOS_SEED optionally reseeds the chaos
+// schedule.  Unknown names panic: a typo silently falling back to inproc
+// would run the wrong suite.
+func TransportFromEnv() TransportFactory {
+	name := os.Getenv("PCF_TRANSPORT")
+	switch name {
+	case "", "inproc":
+		return InprocTransport
+	case "wire":
+		return WireTransport
+	case "tcp":
+		return TCPLoopbackTransport
+	case "chaos", "chaos-tcp":
+		cfg := transport.DefaultChaosConfig()
+		if s := os.Getenv("PCF_CHAOS_SEED"); s != "" {
+			seed, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				panic(fmt.Sprintf("runtime: bad PCF_CHAOS_SEED %q: %v", s, err))
+			}
+			cfg.Seed = seed
+		}
+		if name == "chaos-tcp" {
+			return ChaosTCPTransport(cfg)
+		}
+		return ChaosTransport(cfg)
+	default:
+		panic(fmt.Sprintf("runtime: unknown PCF_TRANSPORT %q (want inproc, wire, tcp, chaos or chaos-tcp)", name))
+	}
+}
+
+// inprocTransport delivers synchronously through shared memory.
+type inprocTransport struct{ m *Machine }
+
+func (t inprocTransport) Deliver(src, dst int, batch []*rmiRequest) {
+	t.m.locations[dst].inbox.pushAll(batch)
+}
+
+func (t inprocTransport) DeliverOne(src, dst int, req *rmiRequest) {
+	t.m.locations[dst].inbox.push(req)
+}
+
+func (t inprocTransport) Flush(int)                      {}
+func (t inprocTransport) Drain()                         {}
+func (t inprocTransport) Close()                         {}
+func (t inprocTransport) Name() string                   { return "inproc" }
+func (t inprocTransport) WireStats() transport.WireStats { return transport.WireStats{} }
+
+// wireTransport adapts the runtime's closure-carrying requests to the frame
+// wire via a rendezvous: the descriptors and payload padding of a batch
+// cross the wire while the closures wait in the sender-side rendezvous
+// table keyed by (src, dst, seq); the receive callback matches the decoded
+// frame back to its batch and pushes the requests into the destination
+// mailbox.  See transport.BatchHeader for why.
+type wireTransport struct {
+	m    *Machine
+	wire transport.Wire
+
+	// pairs serialises senders per (src, dst) pair: the sequence number is
+	// assigned and the frame handed to the wire under the pair's lock, so
+	// the adapter's batch order matches the reliable layer's frame order.
+	pairs []wirePairSend
+
+	// recvs asserts in-order arrival per pair (the reliable layer's
+	// guarantee) and serialises mailbox pushes for a pair.
+	recvs []wirePairRecv
+
+	// pending is the rendezvous table of in-flight closure batches.
+	pendMu  sync.Mutex
+	pending map[wireKey][]*rmiRequest
+}
+
+type wirePairSend struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+type wirePairRecv struct {
+	mu       sync.Mutex
+	expected uint64
+}
+
+type wireKey struct {
+	src, dst int
+	seq      uint64
+}
+
+func newWireTransport(m *Machine, wire transport.Wire) *wireTransport {
+	n := m.NumLocations()
+	t := &wireTransport{
+		m:       m,
+		wire:    wire,
+		pairs:   make([]wirePairSend, n*n),
+		recvs:   make([]wirePairRecv, n*n),
+		pending: make(map[wireKey][]*rmiRequest),
+	}
+	if err := wire.Start(t.onFrame); err != nil {
+		panic(fmt.Sprintf("runtime: starting %s wire: %v", wire.Name(), err))
+	}
+	return t
+}
+
+func (t *wireTransport) pair(src, dst int) int { return src*t.m.NumLocations() + dst }
+
+func (t *wireTransport) Deliver(src, dst int, batch []*rmiRequest) {
+	// Copy the requests out: the caller recycles the batch slice, and the
+	// closures must survive until the frame arrives.
+	held := make([]*rmiRequest, len(batch))
+	copy(held, batch)
+
+	descs := make([]transport.RequestDescriptor, len(batch))
+	payload := 0
+	for i, req := range batch {
+		descs[i] = transport.RequestDescriptor{
+			Handle: int32(req.handle),
+			Kind:   req.kind,
+			Bytes:  uint32(req.bytes),
+		}
+		payload += req.bytes
+	}
+
+	p := &t.pairs[t.pair(src, dst)]
+	p.mu.Lock()
+	seq := p.next
+	p.next++
+	t.pendMu.Lock()
+	t.pending[wireKey{src, dst, seq}] = held
+	t.pendMu.Unlock()
+	frame := transport.EncodeBatch(transport.BatchHeader{
+		Src: src, Dst: dst, Seq: seq, PayloadBytes: payload,
+	}, descs)
+	// The frame is handed to the wire while the pair lock is held so that
+	// concurrent senders from the same location cannot invert the sequence
+	// order the reliable layer sees.
+	t.wire.Send(src, dst, frame)
+	p.mu.Unlock()
+}
+
+func (t *wireTransport) DeliverOne(src, dst int, req *rmiRequest) {
+	t.Deliver(src, dst, []*rmiRequest{req})
+}
+
+// onFrame is the wire's deliver callback: it matches the decoded header back
+// to the closure batch and hands the requests to the destination mailbox.
+// The reliable layer guarantees per-pair FIFO exactly-once delivery; the
+// expected-sequence check turns a violation into an immediate panic instead
+// of a reordered execution.
+func (t *wireTransport) onFrame(src, dst int, frame []byte) {
+	hdr, descs, err := transport.DecodeBatch(frame)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: wire delivered corrupt batch %d->%d: %v", src, dst, err))
+	}
+	if hdr.Src != src || hdr.Dst != dst {
+		panic(fmt.Sprintf("runtime: wire frame header names pair %d->%d but travelled %d->%d", hdr.Src, hdr.Dst, src, dst))
+	}
+
+	key := wireKey{hdr.Src, hdr.Dst, hdr.Seq}
+	t.pendMu.Lock()
+	held, ok := t.pending[key]
+	delete(t.pending, key)
+	t.pendMu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("runtime: no rendezvous batch for frame %d->%d seq %d (duplicate delivery?)", src, dst, hdr.Seq))
+	}
+	if len(descs) != len(held) {
+		panic(fmt.Sprintf("runtime: frame %d->%d seq %d carries %d descriptors for a batch of %d requests", src, dst, hdr.Seq, len(descs), len(held)))
+	}
+	for i, d := range descs {
+		if Handle(d.Handle) != held[i].handle || d.Kind != held[i].kind {
+			panic(fmt.Sprintf("runtime: frame %d->%d seq %d descriptor %d does not match its request", src, dst, hdr.Seq, i))
+		}
+	}
+
+	r := &t.recvs[t.pair(src, dst)]
+	r.mu.Lock()
+	if hdr.Seq != r.expected {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("runtime: wire delivered frame %d->%d seq %d, expected %d (FIFO violated below the reliable layer?)", src, dst, hdr.Seq, r.expected))
+	}
+	r.expected++
+	// Push while holding the pair's receive lock: delivery callbacks for a
+	// pair are already serialised by the reliable layer, and the lock keeps
+	// that true even if a future wire grows concurrent delivery.
+	t.m.locations[dst].inbox.pushAll(held)
+	r.mu.Unlock()
+}
+
+func (t *wireTransport) Flush(int) {}
+
+func (t *wireTransport) Drain() {
+	t.wire.Drain()
+	t.pendMu.Lock()
+	n := len(t.pending)
+	t.pendMu.Unlock()
+	if n != 0 {
+		panic(fmt.Sprintf("runtime: wire drained but %d rendezvous batches never arrived", n))
+	}
+}
+
+func (t *wireTransport) Close() {
+	if err := t.wire.Close(); err != nil {
+		panic(fmt.Sprintf("runtime: closing %s wire: %v", t.wire.Name(), err))
+	}
+}
+
+func (t *wireTransport) Name() string { return t.wire.Name() }
+
+func (t *wireTransport) WireStats() transport.WireStats {
+	if s, ok := t.wire.(transport.StatsSource); ok {
+		return s.WireStats()
+	}
+	return transport.WireStats{}
+}

@@ -1,0 +1,445 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/domain"
+)
+
+// Buffer is the codec's byte stream: an append-only binary writer and a
+// cursor-based reader over the same storage.  Encoders call the Put methods;
+// decoders Reset the buffer over received bytes and call the matching Get
+// methods.  Read errors (underflow, oversized blobs) are sticky: the first
+// failure records Err and every later Get returns a zero value, so decoders
+// can check once at the end instead of after every field.
+type Buffer struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewBuffer returns an empty encoding buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// NewReader returns a buffer positioned to decode data.  The buffer aliases
+// data; the caller must not mutate it while decoding.
+func NewReader(data []byte) *Buffer { return &Buffer{buf: data} }
+
+// Reset re-arms the buffer to decode data from the start.
+func (b *Buffer) Reset(data []byte) { b.buf, b.off, b.err = data, 0, nil }
+
+// Bytes returns the encoded bytes written so far.
+func (b *Buffer) Bytes() []byte { return b.buf }
+
+// Len returns the number of encoded bytes.
+func (b *Buffer) Len() int { return len(b.buf) }
+
+// Remaining reports how many bytes are left to decode.
+func (b *Buffer) Remaining() int { return len(b.buf) - b.off }
+
+// Err returns the first decode error, or nil.
+func (b *Buffer) Err() error { return b.err }
+
+func (b *Buffer) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("transport: "+format, args...)
+	}
+}
+
+// take returns the next n raw bytes, or nil after recording an underflow.
+func (b *Buffer) take(n int) []byte {
+	if b.err != nil {
+		return nil
+	}
+	if n < 0 || b.off+n > len(b.buf) {
+		b.fail("decode underflow: need %d bytes, have %d", n, len(b.buf)-b.off)
+		return nil
+	}
+	out := b.buf[b.off : b.off+n]
+	b.off += n
+	return out
+}
+
+// PutU8 appends one byte.
+func (b *Buffer) PutU8(v uint8) { b.buf = append(b.buf, v) }
+
+// U8 decodes one byte.
+func (b *Buffer) U8() uint8 {
+	p := b.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// PutU32 appends a fixed-width big-endian uint32.
+func (b *Buffer) PutU32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
+
+// U32 decodes a fixed-width big-endian uint32.
+func (b *Buffer) U32() uint32 {
+	p := b.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+// PutU64 appends a fixed-width big-endian uint64.
+func (b *Buffer) PutU64(v uint64) { b.buf = binary.BigEndian.AppendUint64(b.buf, v) }
+
+// U64 decodes a fixed-width big-endian uint64.
+func (b *Buffer) U64() uint64 {
+	p := b.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+// PutUvarint appends a variable-width unsigned integer.
+func (b *Buffer) PutUvarint(v uint64) { b.buf = binary.AppendUvarint(b.buf, v) }
+
+// Uvarint decodes a variable-width unsigned integer.
+func (b *Buffer) Uvarint() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(b.buf[b.off:])
+	if n <= 0 {
+		b.fail("decode underflow: truncated uvarint")
+		return 0
+	}
+	b.off += n
+	return v
+}
+
+// PutVarint appends a variable-width signed integer (zig-zag).
+func (b *Buffer) PutVarint(v int64) { b.buf = binary.AppendVarint(b.buf, v) }
+
+// Varint decodes a variable-width signed integer.
+func (b *Buffer) Varint() int64 {
+	if b.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(b.buf[b.off:])
+	if n <= 0 {
+		b.fail("decode underflow: truncated varint")
+		return 0
+	}
+	b.off += n
+	return v
+}
+
+// PutF64 appends a float64 as its IEEE-754 bits.
+func (b *Buffer) PutF64(v float64) { b.PutU64(math.Float64bits(v)) }
+
+// F64 decodes a float64.
+func (b *Buffer) F64() float64 { return math.Float64frombits(b.U64()) }
+
+// PutBool appends a boolean as one byte.
+func (b *Buffer) PutBool(v bool) {
+	if v {
+		b.PutU8(1)
+	} else {
+		b.PutU8(0)
+	}
+}
+
+// Bool decodes a boolean.
+func (b *Buffer) Bool() bool { return b.U8() != 0 }
+
+// PutBlob appends a length-prefixed byte slice.
+func (b *Buffer) PutBlob(v []byte) {
+	b.PutUvarint(uint64(len(v)))
+	b.buf = append(b.buf, v...)
+}
+
+// Blob decodes a length-prefixed byte slice.  The result is a copy, so it
+// stays valid after the underlying frame buffer is recycled.
+func (b *Buffer) Blob() []byte {
+	n := b.Uvarint()
+	if n > uint64(b.Remaining()) {
+		b.fail("decode underflow: blob of %d bytes, have %d", n, b.Remaining())
+		return nil
+	}
+	p := b.take(int(n))
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+// PutString appends a length-prefixed string.
+func (b *Buffer) PutString(v string) {
+	b.PutUvarint(uint64(len(v)))
+	b.buf = append(b.buf, v...)
+}
+
+// Str decodes a length-prefixed string.  (Deliberately not named String: a
+// String() string method would make Buffer an fmt.Stringer whose formatting
+// mutates the decode cursor.)
+func (b *Buffer) Str() string { return string(b.Blob()) }
+
+// Codec is a generics-instantiated encoder/decoder pair for one value type.
+// Container element types register a Codec once (Register); the instantiated
+// Encode/Decode functions are then called directly on the hot path — no
+// reflection, no interface dispatch on the value.
+type Codec[T any] struct {
+	// Name identifies the codec on the wire and in the registry.
+	Name string
+	// Encode appends the wire form of v to the buffer.
+	Encode func(b *Buffer, v T)
+	// Decode reads one value off the buffer.
+	Decode func(b *Buffer) T
+}
+
+// RoundTrip encodes v, decodes it, re-encodes the decoded value and reports
+// both encodings.  Byte-equal encodings are the codec property the wire
+// depends on (a retransmitted frame must be bit-identical to the original).
+func (c Codec[T]) RoundTrip(v T) (first, second []byte, err error) {
+	enc := NewBuffer()
+	c.Encode(enc, v)
+	first = append([]byte(nil), enc.Bytes()...)
+	dec := NewReader(first)
+	got := c.Decode(dec)
+	if dec.Err() != nil {
+		return first, nil, fmt.Errorf("codec %s: decode failed: %w", c.Name, dec.Err())
+	}
+	if dec.Remaining() != 0 {
+		return first, nil, fmt.Errorf("codec %s: %d trailing bytes after decode", c.Name, dec.Remaining())
+	}
+	re := NewBuffer()
+	c.Encode(re, got)
+	second = append([]byte(nil), re.Bytes()...)
+	return first, second, nil
+}
+
+// Built-in codecs for the element types the containers instantiate in tests,
+// benches and examples.
+var (
+	// Int64Codec encodes int64 elements (pArray/pVector/pMatrix benches).
+	Int64Codec = Codec[int64]{
+		Name:   "int64",
+		Encode: func(b *Buffer, v int64) { b.PutVarint(v) },
+		Decode: func(b *Buffer) int64 { return b.Varint() },
+	}
+	// IntCodec encodes int elements.
+	IntCodec = Codec[int]{
+		Name:   "int",
+		Encode: func(b *Buffer, v int) { b.PutVarint(int64(v)) },
+		Decode: func(b *Buffer) int { return int(b.Varint()) },
+	}
+	// Uint64Codec encodes uint64 elements (graph vertex descriptors).
+	Uint64Codec = Codec[uint64]{
+		Name:   "uint64",
+		Encode: func(b *Buffer, v uint64) { b.PutUvarint(v) },
+		Decode: func(b *Buffer) uint64 { return b.Uvarint() },
+	}
+	// Float64Codec encodes float64 elements (pagerank, jacobi).
+	Float64Codec = Codec[float64]{
+		Name:   "float64",
+		Encode: func(b *Buffer, v float64) { b.PutF64(v) },
+		Decode: func(b *Buffer) float64 { return b.F64() },
+	}
+	// BoolCodec encodes booleans.
+	BoolCodec = Codec[bool]{
+		Name:   "bool",
+		Encode: func(b *Buffer, v bool) { b.PutBool(v) },
+		Decode: func(b *Buffer) bool { return b.Bool() },
+	}
+	// StringCodec encodes string elements (wordcount keys).
+	StringCodec = Codec[string]{
+		Name:   "string",
+		Encode: func(b *Buffer, v string) { b.PutString(v) },
+		Decode: func(b *Buffer) string { return b.Str() },
+	}
+	// BytesCodec encodes opaque byte-slice elements.
+	BytesCodec = Codec[[]byte]{
+		Name:   "bytes",
+		Encode: func(b *Buffer, v []byte) { b.PutBlob(v) },
+		Decode: func(b *Buffer) []byte { return b.Blob() },
+	}
+	// Index2DCodec encodes 2-D GIDs (pMatrix bulk batches).
+	Index2DCodec = Codec[domain.Index2D]{
+		Name: "index2d",
+		Encode: func(b *Buffer, v domain.Index2D) {
+			b.PutVarint(v.Row)
+			b.PutVarint(v.Col)
+		},
+		Decode: func(b *Buffer) domain.Index2D {
+			return domain.Index2D{Row: b.Varint(), Col: b.Varint()}
+		},
+	}
+)
+
+// SliceCodec derives a codec for []T from a codec for T.
+func SliceCodec[T any](elem Codec[T]) Codec[[]T] {
+	return Codec[[]T]{
+		Name: elem.Name + "-slice",
+		Encode: func(b *Buffer, v []T) {
+			b.PutUvarint(uint64(len(v)))
+			for _, x := range v {
+				elem.Encode(b, x)
+			}
+		},
+		Decode: func(b *Buffer) []T {
+			n := b.Uvarint()
+			if n > uint64(b.Remaining()) {
+				// Every element needs at least one byte; a bigger count is a
+				// corrupt frame, not a huge allocation.
+				b.fail("decode underflow: slice of %d elements, %d bytes left", n, b.Remaining())
+				return nil
+			}
+			out := make([]T, n)
+			for i := range out {
+				out[i] = elem.Decode(b)
+			}
+			return out
+		},
+	}
+}
+
+// PairCodec derives a codec for a two-field struct from its field codecs.
+func PairCodec[A, B any](first Codec[A], second Codec[B]) Codec[Pair[A, B]] {
+	return Codec[Pair[A, B]]{
+		Name: "pair[" + first.Name + "," + second.Name + "]",
+		Encode: func(b *Buffer, v Pair[A, B]) {
+			first.Encode(b, v.First)
+			second.Encode(b, v.Second)
+		},
+		Decode: func(b *Buffer) Pair[A, B] {
+			return Pair[A, B]{First: first.Decode(b), Second: second.Decode(b)}
+		},
+	}
+}
+
+// Pair is the generic two-field payload PairCodec encodes (index+value
+// records of bulk element batches).
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// registryEntry wraps one registered codec with type-erased self-check
+// closures.  The closures are instantiated at registration time, so
+// enumerating and exercising the registry needs no reflection.
+type registryEntry struct {
+	name string
+	// roundTrips round-trips every registered sample value and returns the
+	// first error (nil when all encodings are byte-identical).
+	roundTrips func() error
+	// encodedSizes returns the encoded size of every sample.
+	encodedSizes func() []int
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]registryEntry{}
+)
+
+// Register records a codec under its name together with sample values used
+// by the registry's self check.  It panics on a duplicate name (two element
+// types must not share a wire name).  It returns the codec so registrations
+// can initialise package-level variables.
+func Register[T any](c Codec[T], samples ...T) Codec[T] {
+	if c.Name == "" {
+		panic("transport: codec with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[c.Name]; dup {
+		panic(fmt.Sprintf("transport: codec %q registered twice", c.Name))
+	}
+	registry[c.Name] = registryEntry{
+		name: c.Name,
+		roundTrips: func() error {
+			for _, s := range samples {
+				first, second, err := c.RoundTrip(s)
+				if err != nil {
+					return err
+				}
+				if string(first) != string(second) {
+					return fmt.Errorf("codec %s: re-encoding differs (%x vs %x)", c.Name, first, second)
+				}
+			}
+			return nil
+		},
+		encodedSizes: func() []int {
+			sizes := make([]int, 0, len(samples))
+			for _, s := range samples {
+				b := NewBuffer()
+				c.Encode(b, s)
+				sizes = append(sizes, b.Len())
+			}
+			return sizes
+		},
+	}
+	return c
+}
+
+// RegisteredCodecs returns the names of all registered codecs, sorted.
+func RegisteredCodecs() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SelfCheck round-trips the registered sample values of the named codec and
+// returns the first failure (or an error for an unknown name).
+func SelfCheck(name string) error {
+	registryMu.RLock()
+	e, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("transport: no codec registered under %q", name)
+	}
+	return e.roundTrips()
+}
+
+// EncodedSampleSizes returns the encoded size of every registered sample of
+// the named codec (used by tests asserting zero-length and max-size cases).
+func EncodedSampleSizes(name string) ([]int, error) {
+	registryMu.RLock()
+	e, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no codec registered under %q", name)
+	}
+	return e.encodedSizes(), nil
+}
+
+// maxSample is a large payload exercising multi-byte varint length prefixes.
+var maxSample = func() []byte {
+	b := make([]byte, 1<<16)
+	for i := range b {
+		b[i] = byte(i * 131)
+	}
+	return b
+}()
+
+func init() {
+	// The element types instantiated by the containers' tests, benches and
+	// examples.  Samples cover zero values, extremes, and the cases the
+	// satellite tests pin (zero-length and max-size payloads).
+	Register(Int64Codec, 0, 1, -1, math.MaxInt64, math.MinInt64, 4242)
+	Register(IntCodec, 0, -7, 1<<30)
+	Register(Uint64Codec, 0, 1, math.MaxUint64)
+	Register(Float64Codec, 0, -1.5, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64)
+	Register(BoolCodec, false, true)
+	Register(StringCodec, "", "a", "hello, pcf", string(maxSample))
+	Register(BytesCodec, nil, []byte{}, []byte{0}, maxSample)
+	Register(Index2DCodec, domain.Index2D{}, domain.Index2D{Row: -3, Col: 1 << 40})
+	Register(SliceCodec(Int64Codec), nil, []int64{}, []int64{1, -2, 3})
+	Register(SliceCodec(Float64Codec), nil, []float64{0, math.Inf(1), math.Inf(-1)})
+	Register(PairCodec(Int64Codec, Float64Codec),
+		Pair[int64, float64]{}, Pair[int64, float64]{First: -9, Second: 2.5})
+}

@@ -1,0 +1,19 @@
+// Package transport implements the wire layer under the runtime's mailbox:
+// a binary codec for request descriptors and element payloads, a framed
+// point-to-point Wire abstraction, and three Wire implementations — an
+// in-process reference pipe, a real TCP loopback transport with one
+// connection and outgoing queue per (source, destination) pair, and a
+// fault-injecting chaos wrapper (delay, duplication, connection drop +
+// reconnect).
+//
+// The package is deliberately independent of the runtime: it moves opaque
+// frames between integer-numbered endpoints.  A Wire makes NO delivery
+// guarantees beyond best effort — frames may arrive late, twice, or (after
+// an injected connection drop) not at all.  The Reliable wrapper restores
+// the guarantees the runtime's RMI semantics need: per-(source, destination)
+// FIFO order and exactly-once delivery, implemented with per-pair sequence
+// numbers, an out-of-order reorder buffer, cumulative acknowledgements, and
+// retransmission of unacknowledged frames when a connection drop is
+// signalled.  The runtime's wire adapter (runtime.WireTransport) sits on
+// top and is what converts mailbox batches into frames.
+package transport

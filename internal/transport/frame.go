@@ -1,0 +1,158 @@
+package transport
+
+import "fmt"
+
+// Frame kinds, encoded as the first byte of every frame so that wrappers
+// (chaos, reliable) can classify a frame without decoding it.
+const (
+	// FrameData carries a batch of RMI request descriptors plus payload
+	// padding.  Only data frames are subject to chaos injection.
+	FrameData = 0x01
+	// FrameAck is the reliable layer's cumulative acknowledgement.
+	FrameAck = 0x02
+)
+
+// Request kinds carried by a request descriptor (mirrors the RMI flavours
+// of the runtime).
+const (
+	KindAsync  = 0x01
+	KindUrgent = 0x02
+	KindSync   = 0x03
+	KindSplit  = 0x04
+	KindBulk   = 0x05
+)
+
+// RequestDescriptor is the wire form of one RMI request header: everything a
+// remote endpoint needs to identify the invocation except the handler code
+// itself (which is registered, not shipped — see the rendezvous note on
+// BatchHeader).
+type RequestDescriptor struct {
+	// Handle addresses the registered p_object representative.
+	Handle int32
+	// Kind is one of the Kind* constants.
+	Kind uint8
+	// Bytes is the marshalled size of the request's argument payload.
+	Bytes uint32
+}
+
+// BatchHeader describes one mailbox batch in flight between two locations.
+//
+// The runtime's requests carry Go closures, which cannot cross a process
+// boundary; what crosses the wire is the request *descriptors* plus payload
+// padding of the argument sizes, while the closure batch itself waits in the
+// sender's rendezvous table keyed by (Src, Dst, Seq).  The receiving side of
+// the loopback wire matches the decoded header back to the batch, so every
+// simulated byte genuinely crosses the socket even though the closures do
+// not.  A future multi-process transport replaces the rendezvous with
+// registered operation decoders; the frame format already carries everything
+// else it needs.
+type BatchHeader struct {
+	Src, Dst int
+	// Seq numbers batches per (Src, Dst) pair, starting at 0.
+	Seq uint64
+	// PayloadBytes is the total simulated argument size of the batch; the
+	// frame carries min(PayloadBytes, MaxPadBytes) bytes of padding so the
+	// wire sees a realistic volume.
+	PayloadBytes int
+}
+
+// MaxPadBytes bounds the padding of a single frame so a pathological
+// simulated size cannot allocate an unbounded frame.
+const MaxPadBytes = 1 << 20
+
+// padLen returns the actual padding carried for a simulated payload size.
+func padLen(payloadBytes int) int {
+	if payloadBytes < 0 {
+		return 0
+	}
+	if payloadBytes > MaxPadBytes {
+		return MaxPadBytes
+	}
+	return payloadBytes
+}
+
+// EncodeBatch encodes a data frame: header, request descriptors, payload
+// padding.  The result is a fresh slice owned by the caller.
+func EncodeBatch(hdr BatchHeader, reqs []RequestDescriptor) []byte {
+	b := NewBuffer()
+	b.PutU8(FrameData)
+	b.PutUvarint(uint64(hdr.Src))
+	b.PutUvarint(uint64(hdr.Dst))
+	b.PutUvarint(hdr.Seq)
+	b.PutUvarint(uint64(hdr.PayloadBytes))
+	b.PutUvarint(uint64(len(reqs)))
+	for _, r := range reqs {
+		b.PutVarint(int64(r.Handle))
+		b.PutU8(r.Kind)
+		b.PutUvarint(uint64(r.Bytes))
+	}
+	pad := padLen(hdr.PayloadBytes)
+	b.buf = append(b.buf, make([]byte, pad)...)
+	return b.Bytes()
+}
+
+// DecodeBatch decodes a data frame produced by EncodeBatch.
+func DecodeBatch(frame []byte) (BatchHeader, []RequestDescriptor, error) {
+	b := NewReader(frame)
+	if kind := b.U8(); kind != FrameData {
+		return BatchHeader{}, nil, fmt.Errorf("transport: expected data frame, got kind 0x%02x", kind)
+	}
+	var hdr BatchHeader
+	hdr.Src = int(b.Uvarint())
+	hdr.Dst = int(b.Uvarint())
+	hdr.Seq = b.Uvarint()
+	hdr.PayloadBytes = int(b.Uvarint())
+	n := b.Uvarint()
+	if err := b.Err(); err != nil {
+		return BatchHeader{}, nil, err
+	}
+	if n > uint64(b.Remaining()) {
+		return BatchHeader{}, nil, fmt.Errorf("transport: corrupt batch: %d descriptors, %d bytes left", n, b.Remaining())
+	}
+	reqs := make([]RequestDescriptor, n)
+	for i := range reqs {
+		reqs[i] = RequestDescriptor{
+			Handle: int32(b.Varint()),
+			Kind:   b.U8(),
+			Bytes:  uint32(b.Uvarint()),
+		}
+	}
+	if err := b.Err(); err != nil {
+		return BatchHeader{}, nil, err
+	}
+	if want := padLen(hdr.PayloadBytes); b.Remaining() != want {
+		return BatchHeader{}, nil, fmt.Errorf("transport: corrupt batch: %d padding bytes, want %d", b.Remaining(), want)
+	}
+	return hdr, reqs, nil
+}
+
+// EncodeAck encodes a cumulative acknowledgement for a (src, dst) data
+// stream: every data frame of the pair with sequence <= cum has been
+// delivered.  src/dst name the DATA direction (the ack itself travels
+// dst -> src).
+func EncodeAck(src, dst int, cum uint64) []byte {
+	b := NewBuffer()
+	b.PutU8(FrameAck)
+	b.PutUvarint(uint64(src))
+	b.PutUvarint(uint64(dst))
+	b.PutUvarint(cum)
+	return b.Bytes()
+}
+
+// DecodeAck decodes an acknowledgement frame.
+func DecodeAck(frame []byte) (src, dst int, cum uint64, err error) {
+	b := NewReader(frame)
+	if kind := b.U8(); kind != FrameAck {
+		return 0, 0, 0, fmt.Errorf("transport: expected ack frame, got kind 0x%02x", kind)
+	}
+	src = int(b.Uvarint())
+	dst = int(b.Uvarint())
+	cum = b.Uvarint()
+	if err := b.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	if b.Remaining() != 0 {
+		return 0, 0, 0, fmt.Errorf("transport: %d trailing bytes after ack", b.Remaining())
+	}
+	return src, dst, cum, nil
+}

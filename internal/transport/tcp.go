@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPWire moves frames over real kernel TCP sockets on the loopback
+// interface: every endpoint owns a listener, and each (source, destination)
+// pair that exchanges traffic gets its own connection with an unbounded
+// outgoing queue and a dedicated writer goroutine (batched writes through a
+// buffered writer, flushed whenever the queue runs dry).  Frames are
+// length-prefixed; a connection opens with an 8-byte (src, dst) handshake so
+// the acceptor can attribute everything it reads.
+//
+// In-process the sockets never fail outside Close, so a bare TCPWire is
+// ordered and lossless per pair; the runtime still layers Reliable on top so
+// the exact same protocol stack runs with and without chaos.
+type TCPWire struct {
+	n       int
+	deliver DeliverFunc
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	addrs     []string
+	out       map[int]*outConn // key src*n+dst
+	closed    bool
+
+	accepting sync.WaitGroup
+	reading   sync.WaitGroup
+	writing   sync.WaitGroup
+
+	framesSent    atomic.Int64
+	framesRecv    atomic.Int64
+	bytesSent     atomic.Int64
+	bytesRecv     atomic.Int64
+	connsAccepted atomic.Int64
+}
+
+// outConn is the sending half of one (src, dst) pair: a connection plus its
+// outgoing queue.
+type outConn struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte
+	writing bool // writer holds frames it has not flushed yet
+	closed  bool
+	conn    net.Conn
+}
+
+// NewTCP builds a TCP loopback wire between n endpoints.  Listeners are
+// opened by Start; connections are dialled lazily on first send.
+func NewTCP(n int) *TCPWire {
+	return &TCPWire{n: n, out: make(map[int]*outConn)}
+}
+
+// Start opens one loopback listener per endpoint and begins accepting.
+func (w *TCPWire) Start(deliver DeliverFunc) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.deliver != nil {
+		return errors.New("transport: tcp wire started twice")
+	}
+	w.deliver = deliver
+	w.listeners = make([]net.Listener, w.n)
+	w.addrs = make([]string, w.n)
+	for i := 0; i < w.n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				w.listeners[j].Close()
+			}
+			w.deliver = nil
+			return fmt.Errorf("transport: tcp listen for location %d: %w", i, err)
+		}
+		w.listeners[i] = ln
+		w.addrs[i] = ln.Addr().String()
+		w.accepting.Add(1)
+		go w.acceptLoop(ln)
+	}
+	return nil
+}
+
+// acceptLoop accepts inbound connections for one endpoint and spawns a
+// reader per connection.
+func (w *TCPWire) acceptLoop(ln net.Listener) {
+	defer w.accepting.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.connsAccepted.Add(1)
+		w.reading.Add(1)
+		go w.readLoop(conn)
+	}
+}
+
+// readLoop reads the handshake and then delivers length-prefixed frames
+// until the connection closes.
+func (w *TCPWire) readLoop(conn net.Conn) {
+	defer w.reading.Done()
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var hs [8]byte
+	if _, err := io.ReadFull(br, hs[:]); err != nil {
+		return
+	}
+	src := int(binary.BigEndian.Uint32(hs[0:4]))
+	dst := int(binary.BigEndian.Uint32(hs[4:8]))
+	if src < 0 || src >= w.n || dst < 0 || dst >= w.n {
+		panic(fmt.Sprintf("transport: tcp handshake names pair %d->%d outside [0,%d)", src, dst, w.n))
+	}
+	var lenb [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenb[:])
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		w.framesRecv.Add(1)
+		w.bytesRecv.Add(int64(size) + 4)
+		w.deliver(src, dst, frame)
+	}
+}
+
+// Send queues the frame on the pair's connection, dialling it first if
+// needed.
+func (w *TCPWire) Send(src, dst int, frame []byte) {
+	if src == dst {
+		panic("transport: tcp wire asked to send to self (the runtime shortcuts local requests)")
+	}
+	oc := w.conn(src, dst)
+	if oc == nil {
+		return // wire closed
+	}
+	oc.mu.Lock()
+	if oc.closed {
+		oc.mu.Unlock()
+		return
+	}
+	oc.queue = append(oc.queue, frame)
+	oc.cond.Signal()
+	oc.mu.Unlock()
+}
+
+// conn returns the outgoing connection for the pair, dialling and spawning
+// its writer on first use.  Returns nil when the wire is closed.
+func (w *TCPWire) conn(src, dst int) *outConn {
+	key := src*w.n + dst
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	if oc, ok := w.out[key]; ok {
+		return oc
+	}
+	if w.deliver == nil {
+		panic("transport: tcp wire used before Start")
+	}
+	c, err := net.Dial("tcp", w.addrs[dst])
+	if err != nil {
+		panic(fmt.Sprintf("transport: tcp dial %d->%d (%s): %v", src, dst, w.addrs[dst], err))
+	}
+	var hs [8]byte
+	binary.BigEndian.PutUint32(hs[0:4], uint32(src))
+	binary.BigEndian.PutUint32(hs[4:8], uint32(dst))
+	if _, err := c.Write(hs[:]); err != nil {
+		panic(fmt.Sprintf("transport: tcp handshake %d->%d: %v", src, dst, err))
+	}
+	oc := &outConn{conn: c}
+	oc.cond = sync.NewCond(&oc.mu)
+	w.out[key] = oc
+	w.writing.Add(1)
+	go w.writeLoop(oc)
+	return oc
+}
+
+// writeLoop drains the pair's queue into the socket, flushing whenever the
+// queue runs dry (the per-connection batching that keeps frame writes off
+// the senders' critical path).
+func (w *TCPWire) writeLoop(oc *outConn) {
+	defer w.writing.Done()
+	bw := bufio.NewWriterSize(oc.conn, 1<<16)
+	var lenb [4]byte
+	for {
+		oc.mu.Lock()
+		for len(oc.queue) == 0 && !oc.closed {
+			oc.cond.Wait()
+		}
+		if len(oc.queue) == 0 && oc.closed {
+			oc.mu.Unlock()
+			return
+		}
+		batch := oc.queue
+		oc.queue = nil
+		oc.writing = true
+		oc.mu.Unlock()
+		for _, frame := range batch {
+			binary.BigEndian.PutUint32(lenb[:], uint32(len(frame)))
+			if _, err := bw.Write(lenb[:]); err != nil {
+				w.dropRest(oc)
+				return
+			}
+			if _, err := bw.Write(frame); err != nil {
+				w.dropRest(oc)
+				return
+			}
+			w.framesSent.Add(1)
+			w.bytesSent.Add(int64(len(frame)) + 4)
+		}
+		bw.Flush()
+		oc.mu.Lock()
+		oc.writing = false
+		oc.cond.Broadcast()
+		oc.mu.Unlock()
+	}
+}
+
+// dropRest marks a connection dead after a write error (which in-process
+// only happens once Close tore the peer down); queued frames are dropped.
+func (w *TCPWire) dropRest(oc *outConn) {
+	oc.mu.Lock()
+	oc.closed = true
+	oc.queue = nil
+	oc.writing = false
+	oc.cond.Broadcast()
+	oc.mu.Unlock()
+}
+
+// Drain blocks until every queued frame has been written and flushed to its
+// socket.  End-to-end delivery is the Reliable layer's job; Drain only
+// guarantees the sending side is empty.
+func (w *TCPWire) Drain() {
+	w.mu.Lock()
+	conns := make([]*outConn, 0, len(w.out))
+	for _, oc := range w.out {
+		conns = append(conns, oc)
+	}
+	w.mu.Unlock()
+	for _, oc := range conns {
+		oc.mu.Lock()
+		for (len(oc.queue) > 0 || oc.writing) && !oc.closed {
+			oc.cond.Wait()
+		}
+		oc.mu.Unlock()
+	}
+}
+
+// Close tears down queues, connections and listeners and waits for every
+// goroutine to exit.
+func (w *TCPWire) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	listeners := w.listeners
+	conns := make([]*outConn, 0, len(w.out))
+	for _, oc := range w.out {
+		conns = append(conns, oc)
+	}
+	w.mu.Unlock()
+
+	// Let writers drain what is already queued, then stop them.
+	for _, oc := range conns {
+		oc.mu.Lock()
+		for (len(oc.queue) > 0 || oc.writing) && !oc.closed {
+			oc.cond.Wait()
+		}
+		oc.closed = true
+		oc.cond.Broadcast()
+		oc.mu.Unlock()
+	}
+	w.writing.Wait()
+	for _, oc := range conns {
+		oc.conn.Close()
+	}
+	for _, ln := range listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	w.accepting.Wait()
+	w.reading.Wait()
+	return nil
+}
+
+// Name identifies the wire.
+func (w *TCPWire) Name() string { return "tcp" }
+
+// WireStats reports socket-level traffic.
+func (w *TCPWire) WireStats() WireStats {
+	return WireStats{
+		FramesSent:     w.framesSent.Load(),
+		FramesReceived: w.framesRecv.Load(),
+		BytesSent:      w.bytesSent.Load(),
+		BytesReceived:  w.bytesRecv.Load(),
+		Connections:    w.connsAccepted.Load(),
+	}
+}

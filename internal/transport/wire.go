@@ -1,0 +1,90 @@
+package transport
+
+// DeliverFunc receives one frame on the destination side of a wire.  src and
+// dst are the endpoints named by the matching Send.  Implementations of Wire
+// may invoke it from arbitrary goroutines; per-pair ordering is only
+// guaranteed by the Reliable wrapper, never by a raw Wire.
+type DeliverFunc func(src, dst int, frame []byte)
+
+// Wire is a best-effort frame pipe between n integer-numbered endpoints.
+//
+//	Send    — queue one frame for delivery from src to dst (takes ownership
+//	          of the frame slice; never blocks on the receiver)
+//	Drain   — block until every queued frame has left the sender (flushed
+//	          to the socket / handed to the deliver callback)
+//	Close   — release sockets, queues and goroutines; Send afterwards is a
+//	          silent drop
+//
+// A raw Wire makes NO ordering, uniqueness or delivery guarantee: the chaos
+// wrapper deliberately delays, duplicates and drops frames.  Layer Reliable
+// on top to restore per-pair FIFO exactly-once delivery.
+type Wire interface {
+	// Start installs the deliver callback and brings up the receive side.
+	// It must be called exactly once, before the first Send.
+	Start(deliver DeliverFunc) error
+	Send(src, dst int, frame []byte)
+	Drain()
+	Close() error
+	// Name identifies the wire stack (for stats and bench reports).
+	Name() string
+}
+
+// WireStats aggregates counters across a wire stack; each layer fills the
+// fields it owns and adds its inner wire's counters.
+type WireStats struct {
+	// Frame traffic (TCP / inproc layer).
+	FramesSent     int64
+	FramesReceived int64
+	BytesSent      int64
+	BytesReceived  int64
+	Connections    int64
+	// Reliability protocol (Reliable layer).
+	DataFrames        int64 // data frames first-sent (retransmits excluded)
+	Acks              int64 // acknowledgement frames sent
+	Retransmits       int64 // data frames re-sent after a reconnect signal
+	DuplicatesDropped int64 // received data frames discarded as duplicates
+	OutOfOrder        int64 // received data frames buffered for reordering
+	// Fault injection (Chaos layer).
+	Delayed    int64
+	Duplicated int64
+	Dropped    int64
+	Reconnects int64
+}
+
+// add accumulates an inner layer's counters.
+func (s *WireStats) add(o WireStats) {
+	s.FramesSent += o.FramesSent
+	s.FramesReceived += o.FramesReceived
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.Connections += o.Connections
+	s.DataFrames += o.DataFrames
+	s.Acks += o.Acks
+	s.Retransmits += o.Retransmits
+	s.DuplicatesDropped += o.DuplicatesDropped
+	s.OutOfOrder += o.OutOfOrder
+	s.Delayed += o.Delayed
+	s.Duplicated += o.Duplicated
+	s.Dropped += o.Dropped
+	s.Reconnects += o.Reconnects
+}
+
+// StatsSource is implemented by wires that report traffic counters.
+type StatsSource interface {
+	WireStats() WireStats
+}
+
+// innerStats reads the counters of a wrapped wire, if it exposes any.
+func innerStats(w Wire) WireStats {
+	if s, ok := w.(StatsSource); ok {
+		return s.WireStats()
+	}
+	return WireStats{}
+}
+
+// reconnectSignaler is implemented by wires that can signal a connection
+// drop for a (src, dst) pair (the chaos wrapper).  The Reliable layer
+// registers a handler and retransmits unacknowledged frames of the pair.
+type reconnectSignaler interface {
+	OnReconnect(fn func(src, dst int))
+}
