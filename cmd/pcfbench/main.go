@@ -23,9 +23,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/runtime"
+	"repro/internal/transport"
 )
 
 // jsonRow is the machine-readable form of one report row.
@@ -58,7 +60,8 @@ func main() {
 		elements   = flag.Int64("elements", 20000, "elements per location (weak-scaling unit)")
 		graphScale = flag.Int("graphscale", 10, "log2 of the SSCA2 graph vertex count")
 		transportF = flag.String("transport", "", "interconnect for the experiment machines: inproc, wire, tcp, chaos or chaos-tcp (default: PCF_TRANSPORT, else inproc)")
-		jsonOut    = flag.Bool("json", false, "emit one JSON record per row instead of the report table")
+		chaosSeed  = flag.Int64("chaos-seed", -1, "reseed the chaos wire's fault schedule (chaos transports only; -1 keeps PCF_CHAOS_SEED / the default)")
+		jsonOut    = flag.Bool("json", false, "emit one JSON record per row instead of the report table (includes wire-level fault counters)")
 		counters   = flag.Bool("counters", false, "with -json: emit only deterministic counter rows (msgs/rmis/bytes/ops)")
 		baseline   = flag.String("baseline", "", "compare counter rows against this JSON baseline; exit 1 on >10% growth")
 	)
@@ -74,6 +77,11 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.ElementsPerLocation = *elements
 	cfg.GraphScale = *graphScale
+	if *chaosSeed >= 0 {
+		// The chaos schedule is resolved from the environment when the
+		// transport factory is built, so the flag must land first.
+		os.Setenv("PCF_CHAOS_SEED", strconv.FormatInt(*chaosSeed, 10))
+	}
 	if *transportF != "" {
 		factory, err := resolveTransport(*transportF)
 		if err != nil {
@@ -81,7 +89,13 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Transport = factory
+	} else {
+		cfg.Transport = runtime.TransportFromEnv()
 	}
+	// Tap every experiment machine's transport so the harness can report the
+	// wire-level traffic and fault counters the runs accumulated.
+	tap := &wireTap{inner: cfg.Transport}
+	cfg.Transport = tap.factory
 	cfg.Locations = nil
 	for _, tok := range strings.Split(*locations, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -140,6 +154,95 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut && !*counters {
+		// Wire-level counters are transport-DEPENDENT by design (they
+		// describe the wire, not the workload), so they carry their own
+		// "wire" unit: the -counters baseline and the regression gate ignore
+		// them, and fault-free runs keep their counter rows byte-identical.
+		for _, r := range tap.rows() {
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+}
+
+// wireTap wraps the selected transport factory so the final WireStats of
+// every machine run are accumulated for the harness report.
+type wireTap struct {
+	inner runtime.TransportFactory
+
+	mu    sync.Mutex
+	name  string
+	total transport.WireStats
+}
+
+func (w *wireTap) factory(m *runtime.Machine) runtime.Transport {
+	return tapTransport{Transport: w.inner(m), tap: w}
+}
+
+// add folds one run's counters into the tap.
+func (w *wireTap) add(name string, s transport.WireStats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.name = name
+	w.total.FramesSent += s.FramesSent
+	w.total.FramesReceived += s.FramesReceived
+	w.total.BytesSent += s.BytesSent
+	w.total.BytesReceived += s.BytesReceived
+	w.total.Connections += s.Connections
+	w.total.DialRetries += s.DialRetries
+	w.total.DataFrames += s.DataFrames
+	w.total.Acks += s.Acks
+	w.total.Retransmits += s.Retransmits
+	w.total.DuplicatesDropped += s.DuplicatesDropped
+	w.total.OutOfOrder += s.OutOfOrder
+	w.total.Delayed += s.Delayed
+	w.total.Duplicated += s.Duplicated
+	w.total.Dropped += s.Dropped
+	w.total.Reconnects += s.Reconnects
+}
+
+// rows renders the accumulated wire counters as JSON rows: the protocol and
+// fault-injection counters that tell whether (and how hard) the wire was
+// exercised, keyed by the wire stack's name.
+func (w *wireTap) rows() []jsonRow {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	series := []struct {
+		label string
+		value int64
+	}{
+		{"frames-sent", w.total.FramesSent},
+		{"data-frames", w.total.DataFrames},
+		{"acks", w.total.Acks},
+		{"retransmits", w.total.Retransmits},
+		{"duplicates-dropped", w.total.DuplicatesDropped},
+		{"out-of-order", w.total.OutOfOrder},
+		{"delayed", w.total.Delayed},
+		{"duplicated", w.total.Duplicated},
+		{"dropped", w.total.Dropped},
+		{"reconnects", w.total.Reconnects},
+		{"dial-retries", w.total.DialRetries},
+	}
+	rows := make([]jsonRow, 0, len(series))
+	for _, s := range series {
+		rows = append(rows, jsonRow{Experiment: "wirestats", Series: s.label, Param: w.name, Value: float64(s.value), Unit: "wire"})
+	}
+	return rows
+}
+
+// tapTransport forwards everything to the run's real transport and reports
+// the final counters when the run tears it down.
+type tapTransport struct {
+	runtime.Transport
+	tap *wireTap
+}
+
+func (t tapTransport) Close() error {
+	t.tap.add(t.Transport.Name(), t.Transport.WireStats())
+	return t.Transport.Close()
 }
 
 // resolveTransport maps the -transport flag to a factory by reusing the

@@ -130,6 +130,9 @@ func (e *Executor) Run() {
 		if len(e.ready) == 0 {
 			e.mu.Unlock()
 			// Nothing runnable yet: let the RMI server make progress.
+			// If the machine aborted, the notification we are spinning
+			// for may never arrive — unwind instead.
+			e.loc.machine.checkAbort()
 			e.loc.Machine().yield()
 			continue
 		}

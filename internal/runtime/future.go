@@ -6,23 +6,30 @@ import "sync"
 // Get blocks until the remote method has executed and its result is
 // available.  A Future is completed exactly once and may be read any number
 // of times from any goroutine.
+//
+// Completion is signalled through a channel (not a condition variable) so
+// that a waiter can simultaneously watch the owning machine's abort channel:
+// when the machine aborts — the handler that would have completed the future
+// died with it — Get unwinds the waiter instead of blocking forever.
 type Future struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	done  bool
-	value any
+	mu        sync.Mutex
+	done      chan struct{}
+	completed bool
+	value     any
 	// onWait, when set, is invoked once by the first caller that has to
 	// block in Get.  The RTS uses it to flush the aggregation buffer
 	// holding the split-phase request, guaranteeing progress even when
 	// fewer requests than the aggregation factor were issued.
 	onWait func()
+	// abort, when set (split-phase RMIs), is the owning machine's abort
+	// channel; a nil channel never fires, so plain futures block exactly
+	// as before.
+	abort <-chan struct{}
 }
 
 // NewFuture returns an incomplete future.
 func NewFuture() *Future {
-	f := &Future{}
-	f.cond = sync.NewCond(&f.mu)
-	return f
+	return &Future{done: make(chan struct{})}
 }
 
 // Complete stores the result and wakes all waiters.  Completing an already
@@ -30,32 +37,43 @@ func NewFuture() *Future {
 // produces exactly one acknowledgement.
 func (f *Future) Complete(v any) {
 	f.mu.Lock()
-	if f.done {
+	if f.completed {
 		f.mu.Unlock()
 		panic("runtime: Future completed twice")
 	}
 	f.value = v
-	f.done = true
-	f.cond.Broadcast()
+	f.completed = true
+	close(f.done)
 	f.mu.Unlock()
 }
 
-// Get blocks until the result is available and returns it.
+// Get blocks until the result is available and returns it.  If the owning
+// machine aborts first, Get unwinds the calling goroutine (the completion
+// will never arrive).
 func (f *Future) Get() any {
 	f.mu.Lock()
-	if !f.done && f.onWait != nil {
+	if !f.completed && f.onWait != nil {
 		nudge := f.onWait
 		f.onWait = nil
 		f.mu.Unlock()
 		nudge()
 		f.mu.Lock()
 	}
-	for !f.done {
-		f.cond.Wait()
-	}
-	v := f.value
+	abort := f.abort
 	f.mu.Unlock()
-	return v
+	select {
+	case <-f.done:
+	case <-abort:
+		// Re-check: completion may have raced the abort.
+		select {
+		case <-f.done:
+		default:
+			panic(abortSignal{})
+		}
+	}
+	// The close of f.done happens after value is written, so this read is
+	// ordered.
+	return f.value
 }
 
 // TryGet returns (value, true) if the result is already available, without
@@ -63,7 +81,7 @@ func (f *Future) Get() any {
 func (f *Future) TryGet() (any, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if !f.done {
+	if !f.completed {
 		return nil, false
 	}
 	return f.value, true
@@ -73,7 +91,7 @@ func (f *Future) TryGet() (any, bool) {
 func (f *Future) Done() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.done
+	return f.completed
 }
 
 // FutureOf is a typed wrapper around Future produced by SplitRMIT.

@@ -1,0 +1,50 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runtimeGoroutines returns the stacks of goroutines still executing
+// runtime- or transport-owned code: server loops, wire readers/writers,
+// watchdogs, chaos fault goroutines.  The calling test goroutine (and the
+// testing harness around it) is excluded, as are goroutines that merely
+// parked in the standard library with no frame of ours on the stack.
+func runtimeGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := goruntime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "testing.tRunner") || strings.Contains(g, "testing.(*M).Run") {
+			continue
+		}
+		if !strings.Contains(g, "repro/internal/runtime") && !strings.Contains(g, "repro/internal/transport") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// assertNoRuntimeGoroutines fails the test if runtime-owned goroutines
+// survive past the deadline.  Every Execute/ExecuteErr — including faulted
+// and aborted ones — must leave zero such goroutines behind; goroutines
+// mid-exit are given a short grace to finish unwinding.
+func assertNoRuntimeGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked []string
+	for {
+		leaked = runtimeGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("%d runtime-owned goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+}

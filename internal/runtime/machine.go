@@ -42,6 +42,18 @@ type Config struct {
 	// start of every Execute and the transport is drained and closed at the
 	// end, so wire resources only live while SPMD code runs.
 	Transport TransportFactory
+
+	// StallTimeout arms the progress watchdog: when requests are pending
+	// but no machine counter moves for this long, the run aborts with a
+	// FaultStall diagnosing the frozen counters.  Zero consults the
+	// PCF_STALL_TIMEOUT environment variable (disabled when unset);
+	// negative disables the watchdog outright.
+	StallTimeout time.Duration
+
+	// FaultInjection, when non-nil, deterministically injects one fault
+	// into every Execute run (see SeededFaultInjection).  Nil consults the
+	// PCF_CHAOS_PANIC / PCF_CHAOS_STALL environment variables.
+	FaultInjection *FaultInjection
 }
 
 // DefaultConfig returns the configuration used when none is supplied:
@@ -84,6 +96,18 @@ type Machine struct {
 	transport        Transport
 	lastWireName     string
 	lastWireStats    transport.WireStats
+
+	// Fault-containment state, reset at the start of every run.  abortCh
+	// closes when the machine aborts; every blocking primitive selects on
+	// it (or re-checks aborted() from its condition-variable wait loop).
+	abortCh      chan struct{}
+	abortOnce    *sync.Once
+	faultMu      sync.Mutex
+	faults       []*LocationFault
+	status       []LocationStatus
+	watchdogStop chan struct{}
+	watchdogDone chan struct{}
+	stallTimeout time.Duration
 }
 
 // Stats is a folded snapshot of the machine-wide communication statistics.
@@ -133,10 +157,24 @@ func NewMachine(p int, cfg Config) *Machine {
 	if cfg.Aggregation <= 0 {
 		cfg.Aggregation = 1
 	}
+	if cfg.FaultInjection == nil {
+		cfg.FaultInjection = faultInjectionFromEnv(p)
+	}
 	m := &Machine{cfg: cfg}
 	m.transportFactory = cfg.Transport
 	if m.transportFactory == nil {
 		m.transportFactory = TransportFromEnv()
+	}
+	switch {
+	case cfg.StallTimeout > 0:
+		m.stallTimeout = cfg.StallTimeout
+	case cfg.StallTimeout == 0:
+		m.stallTimeout = stallTimeoutFromEnv()
+	}
+	if m.stallTimeout <= 0 && cfg.FaultInjection != nil && cfg.FaultInjection.Kind == FaultStall {
+		// A stall injection with no watchdog would deadlock by construction:
+		// only the watchdog's abort releases the injected stall.
+		m.stallTimeout = defaultInjectedStallTimeout
 	}
 	m.quiesceCv = sync.NewCond(&m.quiesceMu)
 	m.barCv = sync.NewCond(&m.barMu)
@@ -197,12 +235,43 @@ func (m *Machine) WireStats() transport.WireStats {
 	return m.lastWireStats
 }
 
+// Drain budgets: a clean run gives the wire the full reliable-protocol
+// window to collect its acknowledgements; an aborted run bounds the drain so
+// a dead peer cannot hold the machine hostage.  abortUnwindGrace bounds how
+// long an aborted run waits for SPMD and server goroutines to unwind
+// cooperatively — a location stuck in non-cooperative compute (an infinite
+// loop that never touches a runtime primitive) cannot be preempted, and
+// after the grace the run returns its fault anyway rather than deadlock.
+const (
+	fullDrainBudget  = 60 * time.Second
+	abortDrainBudget = 2 * time.Second
+	abortUnwindGrace = 30 * time.Second
+)
+
 // Execute runs fn in SPMD fashion: one goroutine per location, each passed
 // its own Location.  Incoming RMIs are served concurrently by per-location
 // server goroutines.  Execute returns when every SPMD goroutine has returned
-// and all outstanding RMIs have been handled.
+// and all outstanding RMIs have been handled.  A fault anywhere in the run
+// — a handler or body panic, a stall, a wire failure — aborts the machine
+// and panics with the resulting *MachineFault on the caller's goroutine
+// (the pre-containment behaviour, minus the deadlock); use ExecuteErr to
+// handle faults as values.
 func (m *Machine) Execute(fn func(loc *Location)) {
-	var wg sync.WaitGroup
+	if fault := m.ExecuteErr(fn); fault != nil {
+		panic(fault)
+	}
+}
+
+// ExecuteErr is Execute with structured failure propagation: it returns nil
+// for a clean run, or a *MachineFault naming the first fault and the
+// per-location outcome.  A fault on any location triggers a machine-wide
+// cooperative abort — every location parked in a barrier, fence, future,
+// synchronous response or mailbox wait is unblocked within a bounded drain
+// instead of deadlocking — and the machine is reusable for another run
+// afterwards (its containers' contents, however, are whatever the aborted
+// run left behind).
+func (m *Machine) ExecuteErr(fn func(loc *Location)) *MachineFault {
+	m.beginRun()
 	// Bring up the interconnect for this run.  It is built per Execute so
 	// wire transports only hold sockets and goroutines while SPMD code runs.
 	m.transport = m.transportFactory(m)
@@ -210,33 +279,125 @@ func (m *Machine) Execute(fn func(loc *Location)) {
 	for _, l := range m.locations {
 		l.startServer()
 	}
+	if m.stallTimeout > 0 {
+		m.startWatchdog(m.stallTimeout)
+	}
+	var wg sync.WaitGroup
 	wg.Add(len(m.locations))
 	for _, l := range m.locations {
 		go func(l *Location) {
 			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if _, unwound := r.(abortSignal); unwound {
+					m.setUnwound(l.id)
+					return
+				}
+				m.recordFault(&LocationFault{
+					Location: l.id, Kind: FaultBodyPanic, Err: r, Stack: captureStack(),
+				})
+			}()
 			fn(l)
 			// Flush any aggregation buffers left by the SPMD code so
 			// trailing asynchronous requests are delivered.
 			l.flushAll()
 		}(l)
 	}
-	wg.Wait()
-	// Drain outstanding traffic before stopping the servers.
+	m.awaitUnwind(&wg)
+	// Drain outstanding traffic before stopping the servers (returns early
+	// when the run aborted: dropped requests keep pending above zero).
 	m.waitQuiescent()
+	// The watchdog covered the SPMD run and the quiescence wait; the drain
+	// below is bounded on its own.
+	m.stopWatchdog()
 	// Every handler ran (pending hit zero), but the wire may still owe
 	// acknowledgements or delayed duplicates; wait those out, then retain
 	// the wire's identity and counters for post-run inspection.
-	m.transport.Drain()
+	budget := fullDrainBudget
+	if m.aborted() {
+		budget = abortDrainBudget
+	}
+	if err := m.transport.Drain(budget); err != nil {
+		m.recordFault(&LocationFault{Location: -1, Kind: FaultTransport, Err: err})
+	}
 	m.lastWireName = m.transport.Name()
 	m.lastWireStats = m.transport.WireStats()
 	for _, l := range m.locations {
 		l.stopServer()
 	}
+	var serverWG sync.WaitGroup
+	serverWG.Add(len(m.locations))
 	for _, l := range m.locations {
-		l.serverWG.Wait()
+		go func(l *Location) {
+			defer serverWG.Done()
+			l.serverWG.Wait()
+		}(l)
 	}
-	m.transport.Close()
+	m.awaitUnwind(&serverWG)
+	if err := m.transport.Close(); err != nil {
+		m.recordFault(&LocationFault{Location: -1, Kind: FaultTransport, Err: err})
+	}
 	m.transport = nil
+	return m.collectFault()
+}
+
+// beginRun resets the per-run fault, abort, synchronisation and mailbox
+// state so the machine can execute again — including after an aborted run,
+// which leaves pending counters nonzero and mailboxes interrupted.
+func (m *Machine) beginRun() {
+	m.abortCh = make(chan struct{})
+	m.abortOnce = new(sync.Once)
+	m.faultMu.Lock()
+	m.faults = nil
+	m.status = make([]LocationStatus, len(m.locations))
+	m.faultMu.Unlock()
+	m.pending.Store(0)
+	for i := range m.pendingBySrc {
+		m.pendingBySrc[i].Store(0)
+	}
+	m.barMu.Lock()
+	m.barCount = 0
+	m.barMu.Unlock()
+	for _, l := range m.locations {
+		l.inbox.reopen()
+		l.handlerStarted.Store(0)
+		l.handlerDone.Store(0)
+		l.injectionCount.Store(0)
+		l.aggMu.Lock()
+		for d := range l.aggBufs {
+			l.aggBufs[d] = nil
+		}
+		l.aggMu.Unlock()
+	}
+}
+
+// awaitUnwind waits for wg.  On a clean run it blocks indefinitely, exactly
+// like wg.Wait.  Once the machine aborts it waits at most abortUnwindGrace
+// for the goroutines to unwind cooperatively, then gives up (leaking the
+// stuck goroutine — nothing can preempt non-cooperative user code) so the
+// fault still reaches the caller.
+func (m *Machine) awaitUnwind(wg *sync.WaitGroup) {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-m.abortCh:
+	}
+	select {
+	case <-done:
+	case <-time.After(abortUnwindGrace):
+		m.recordFault(&LocationFault{
+			Location: -1, Kind: FaultStall,
+			Err: fmt.Sprintf("goroutines failed to unwind within %v of the abort", abortUnwindGrace),
+		})
+	}
 }
 
 // ExecuteOn is a convenience wrapper that builds a machine with p locations
@@ -273,8 +434,14 @@ func (m *Machine) donePending(src int) {
 // buffers with no one left to fill them up to the flush threshold, so the
 // wait repeatedly flushes every location's buffers until the machine drains
 // (this is the fence's role of delivering all pending traffic).
+// An aborted machine can never quiesce — dropped requests keep the pending
+// counter above zero — so the wait returns as soon as the abort is observed
+// and leaves the unwinding to the caller.
 func (m *Machine) waitQuiescent() {
 	for m.pending.Load() != 0 {
+		if m.aborted() {
+			return
+		}
 		for _, l := range m.locations {
 			l.flushAll()
 		}
@@ -293,13 +460,20 @@ func (m *Machine) waitQuiescent() {
 func (m *Machine) waitSrcQuiescent(src int) {
 	m.quiesceMu.Lock()
 	for m.pendingBySrc[src].Load() != 0 {
+		if m.aborted() {
+			m.quiesceMu.Unlock()
+			panic(abortSignal{})
+		}
 		m.quiesceCv.Wait()
 	}
 	m.quiesceMu.Unlock()
 }
 
-// barrier blocks until all locations have reached it.  It is reusable.
+// barrier blocks until all locations have reached it.  It is reusable.  A
+// machine abort unwinds every waiter (the missing location will never
+// arrive), so a fault on one location cannot strand the others here.
 func (m *Machine) barrier() {
+	m.checkAbort()
 	m.barMu.Lock()
 	phase := m.barPhase
 	m.barCount++
@@ -312,6 +486,10 @@ func (m *Machine) barrier() {
 	}
 	for phase == m.barPhase {
 		m.barCv.Wait()
+		if m.aborted() {
+			m.barMu.Unlock()
+			panic(abortSignal{})
+		}
 	}
 	m.barMu.Unlock()
 }
@@ -352,6 +530,13 @@ type Location struct {
 	// localStats counts per-location activity.
 	localRMIs  atomic.Int64
 	remoteRMIs atomic.Int64
+
+	// handlerStarted/handlerDone bracket handler execution so the progress
+	// watchdog can attribute a stall to the location whose handler never
+	// finished; injectionCount drives the deterministic fault injection.
+	handlerStarted atomic.Int64
+	handlerDone    atomic.Int64
+	injectionCount atomic.Int64
 }
 
 func newLocation(m *Machine, id, n int, cfg Config) *Location {
@@ -463,12 +648,33 @@ func (l *Location) startServer() {
 
 func (l *Location) stopServer() { l.inbox.close() }
 
-// execute runs one RMI request against the local representative.
+// execute runs one RMI request against the local representative.  A panic
+// in the handler (or in the framework lookup around it) is contained: it is
+// captured as a FaultHandlerPanic with the handler's stack and aborts the
+// machine, instead of killing the process from a server goroutine and
+// stranding every other location.  The abort sentinel itself (a handler
+// unblocked mid-abort) is swallowed — the fault that caused it is already
+// on file.
 func (l *Location) execute(req *rmiRequest) {
+	l.handlerStarted.Add(1)
+	defer l.handlerDone.Add(1)
 	defer l.machine.donePending(req.src)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, unwound := r.(abortSignal); unwound {
+			return
+		}
+		l.machine.recordFault(&LocationFault{
+			Location: l.id, Kind: FaultHandlerPanic, Err: r, Stack: captureStack(),
+		})
+	}()
 	if req.delay > 0 {
 		time.Sleep(req.delay)
 	}
+	l.maybeInjectFault()
 	l.stats.rmisHandled.Add(1)
 	obj := l.object(req.handle)
 	if req.resp != nil {

@@ -18,6 +18,11 @@ type mailbox struct {
 	cond   *sync.Cond
 	in     []*rmiRequest
 	closed bool
+	// aborted is the machine-abort interrupt: unlike closed (which still
+	// delivers queued requests), an aborted mailbox drops its queue and
+	// wakes the consumer immediately — the machine is unwinding and the
+	// requests' senders have already been unblocked.
+	aborted bool
 }
 
 func newMailbox() *mailbox {
@@ -29,7 +34,7 @@ func newMailbox() *mailbox {
 // push enqueues a request.  It is safe to call from any goroutine.
 func (m *mailbox) push(r *rmiRequest) {
 	m.mu.Lock()
-	if m.closed {
+	if m.closed || m.aborted {
 		m.mu.Unlock()
 		return
 	}
@@ -45,7 +50,7 @@ func (m *mailbox) pushAll(rs []*rmiRequest) {
 		return
 	}
 	m.mu.Lock()
-	if m.closed {
+	if m.closed || m.aborted {
 		m.mu.Unlock()
 		return
 	}
@@ -61,10 +66,11 @@ func (m *mailbox) pushAll(rs []*rmiRequest) {
 // processing.  It returns nil when the mailbox is closed and drained.
 func (m *mailbox) popBatch(spare []*rmiRequest) []*rmiRequest {
 	m.mu.Lock()
-	for len(m.in) == 0 && !m.closed {
+	for len(m.in) == 0 && !m.closed && !m.aborted {
 		m.cond.Wait()
 	}
-	if len(m.in) == 0 {
+	if m.aborted || len(m.in) == 0 {
+		m.in = nil
 		m.mu.Unlock()
 		return nil
 	}
@@ -84,6 +90,26 @@ func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
 	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// interrupt is the machine-abort path: queued requests are dropped and the
+// consumer wakes immediately, so a server goroutine blocked here cannot
+// outlive an aborted run.
+func (m *mailbox) interrupt() {
+	m.mu.Lock()
+	m.aborted = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// reopen resets the mailbox for a fresh Execute run (machines are reusable,
+// including after an aborted run).
+func (m *mailbox) reopen() {
+	m.mu.Lock()
+	m.closed = false
+	m.aborted = false
+	m.in = nil
 	m.mu.Unlock()
 }
 

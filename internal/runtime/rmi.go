@@ -169,7 +169,19 @@ func (l *Location) SyncRMI(dest int, h Handle, fn func(obj any, loc *Location) a
 	l.machine.addPending(l.id, 1)
 	l.stats.messagesSent.Add(1)
 	l.machine.transport.DeliverOne(l.id, dest, req)
-	out := <-resp
+	var out any
+	select {
+	case out = <-resp:
+	case <-l.machine.abortCh:
+		// The handler that would have answered died with the machine;
+		// unwind instead of blocking forever.  Prefer a response that
+		// raced the abort.
+		select {
+		case out = <-resp:
+		default:
+			panic(abortSignal{})
+		}
+	}
 	// The response itself is one message on the simulated interconnect,
 	// carrying the marshalled result.
 	l.AccountReply(PayloadBytes(out))
@@ -202,6 +214,9 @@ func (l *Location) SplitRMI(dest int, h Handle, fn func(obj any, loc *Location) 
 	// holding this request fills up, flush the buffer so the request is
 	// delivered and the caller makes progress.
 	fut.onWait = func() { l.flushDest(dest) }
+	// A machine abort means the completion may never arrive; let Get
+	// unwind instead of deadlocking.
+	fut.abort = l.machine.abortCh
 	l.enqueue(dest, req)
 	return fut
 }

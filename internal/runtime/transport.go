@@ -3,8 +3,11 @@ package runtime
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -32,10 +35,13 @@ type Transport interface {
 	// current transports deliver eagerly, so this is a no-op hook.
 	Flush(src int)
 	// Drain blocks until every delivered batch has reached its destination
-	// mailbox (wire transports: all frames acknowledged).
-	Drain()
+	// mailbox (wire transports: all frames acknowledged), or until the
+	// budget runs out, in which case it returns an error naming what never
+	// arrived.  An aborted run passes a short budget so a dead peer cannot
+	// hold the machine hostage.
+	Drain(budget time.Duration) error
 	// Close releases sockets, queues and goroutines.
-	Close()
+	Close() error
 	// Name identifies the transport for stats and bench reports.
 	Name() string
 	// WireStats reports wire-level traffic, all-zero for in-process
@@ -137,8 +143,8 @@ func (t inprocTransport) DeliverOne(src, dst int, req *rmiRequest) {
 }
 
 func (t inprocTransport) Flush(int)                      {}
-func (t inprocTransport) Drain()                         {}
-func (t inprocTransport) Close()                         {}
+func (t inprocTransport) Drain(time.Duration) error      { return nil }
+func (t inprocTransport) Close() error                   { return nil }
 func (t inprocTransport) Name() string                   { return "inproc" }
 func (t inprocTransport) WireStats() transport.WireStats { return transport.WireStats{} }
 
@@ -190,6 +196,13 @@ func newWireTransport(m *Machine, wire transport.Wire) *wireTransport {
 		recvs:   make([]wirePairRecv, n*n),
 		pending: make(map[wireKey][]*rmiRequest),
 	}
+	// Asynchronous wire failures (dial exhaustion, peer resets) become
+	// machine-level transport faults instead of panics on wire goroutines.
+	if es, ok := wire.(transport.ErrorSink); ok {
+		es.OnWireError(func(err error) {
+			m.recordFault(&LocationFault{Location: -1, Kind: FaultTransport, Err: err})
+		})
+	}
 	if err := wire.Start(t.onFrame); err != nil {
 		panic(fmt.Sprintf("runtime: starting %s wire: %v", wire.Name(), err))
 	}
@@ -239,9 +252,18 @@ func (t *wireTransport) DeliverOne(src, dst int, req *rmiRequest) {
 // onFrame is the wire's deliver callback: it matches the decoded header back
 // to the closure batch and hands the requests to the destination mailbox.
 // The reliable layer guarantees per-pair FIFO exactly-once delivery; the
-// expected-sequence check turns a violation into an immediate panic instead
-// of a reordered execution.
+// expected-sequence check turns a violation into a transport fault instead
+// of a reordered execution.  The callback runs on wire goroutines, so any
+// panic here is contained into a machine abort rather than killing the
+// process.
 func (t *wireTransport) onFrame(src, dst int, frame []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.m.recordFault(&LocationFault{
+				Location: -1, Kind: FaultTransport, Err: r, Stack: captureStack(),
+			})
+		}
+	}()
 	hdr, descs, err := transport.DecodeBatch(frame)
 	if err != nil {
 		panic(fmt.Sprintf("runtime: wire delivered corrupt batch %d->%d: %v", src, dst, err))
@@ -283,20 +305,49 @@ func (t *wireTransport) onFrame(src, dst int, frame []byte) {
 
 func (t *wireTransport) Flush(int) {}
 
-func (t *wireTransport) Drain() {
-	t.wire.Drain()
-	t.pendMu.Lock()
-	n := len(t.pending)
-	t.pendMu.Unlock()
-	if n != 0 {
-		panic(fmt.Sprintf("runtime: wire drained but %d rendezvous batches never arrived", n))
+func (t *wireTransport) Drain(budget time.Duration) error {
+	if td, ok := t.wire.(transport.TimedDrainer); ok {
+		if err := td.DrainErr(budget); err != nil {
+			return err
+		}
+	} else {
+		t.wire.Drain()
 	}
+	t.pendMu.Lock()
+	keys := make([]wireKey, 0, len(t.pending))
+	for k := range t.pending {
+		keys = append(keys, k)
+	}
+	t.pendMu.Unlock()
+	if len(keys) == 0 {
+		return nil
+	}
+	// Name every missing rendezvous pair so a chaos-run failure is
+	// diagnosable from the message alone.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d->%d seq %d", k.src, k.dst, k.seq)
+	}
+	return fmt.Errorf("runtime: wire drained but %d rendezvous batches never arrived: %s", len(keys), b.String())
 }
 
-func (t *wireTransport) Close() {
+func (t *wireTransport) Close() error {
 	if err := t.wire.Close(); err != nil {
-		panic(fmt.Sprintf("runtime: closing %s wire: %v", t.wire.Name(), err))
+		return fmt.Errorf("runtime: closing %s wire: %w", t.wire.Name(), err)
 	}
+	return nil
 }
 
 func (t *wireTransport) Name() string { return t.wire.Name() }

@@ -89,6 +89,14 @@ func (c *Chaos) Start(deliver DeliverFunc) error { return c.inner.Start(deliver)
 // drop (reconnectSignaler; the reliable layer retransmits from it).
 func (c *Chaos) OnReconnect(fn func(src, dst int)) { c.onReconnect.Store(&fn) }
 
+// OnWireError forwards asynchronous-failure reporting to the inner wire
+// (ErrorSink); injected faults are schedule, not failures, and stay silent.
+func (c *Chaos) OnWireError(fn func(err error)) {
+	if es, ok := c.inner.(ErrorSink); ok {
+		es.OnWireError(fn)
+	}
+}
+
 // Send applies the fault schedule to data frames and forwards everything
 // else untouched.
 func (c *Chaos) Send(src, dst int, frame []byte) {

@@ -83,6 +83,14 @@ func (r *Reliable) Start(deliver DeliverFunc) error {
 	return nil
 }
 
+// OnWireError forwards asynchronous-failure reporting to the inner wire
+// (ErrorSink); the reliable layer itself fails only through Drain.
+func (r *Reliable) OnWireError(fn func(err error)) {
+	if es, ok := r.inner.(ErrorSink); ok {
+		es.OnWireError(fn)
+	}
+}
+
 func (r *Reliable) pair(src, dst int) int { return src*r.n + dst }
 
 // Send assigns the frame its sequence number, files it for retransmission
@@ -228,15 +236,27 @@ const drainTimeout = 60 * time.Second
 
 // Drain blocks until every sent frame has been acknowledged (hence
 // delivered, in order, exactly once) and the inner wire's queues are empty.
+// It panics when the protocol cannot converge within the default window; use
+// DrainErr to bound the wait and handle the failure as a value.
 func (r *Reliable) Drain() {
-	deadline := time.Now().Add(drainTimeout)
+	if err := r.DrainErr(drainTimeout); err != nil {
+		panic(err.Error())
+	}
+}
+
+// DrainErr is Drain with an explicit budget and structured failure: it
+// returns nil once every sent frame is acknowledged and the inner wire's
+// queues are empty, or an error naming the stuck pairs when the budget runs
+// out (a dead peer, or an aborted run whose receivers went away).
+func (r *Reliable) DrainErr(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
 	for {
 		r.inner.Drain()
 		if r.allAcked() {
-			return
+			return nil
 		}
 		if time.Now().After(deadline) {
-			panic(fmt.Sprintf("transport: reliable drain stuck: %s", r.describeUnacked()))
+			return fmt.Errorf("transport: reliable drain stuck after %v:%s", timeout, r.describeUnacked())
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
@@ -261,7 +281,12 @@ func (r *Reliable) describeUnacked() string {
 		s := &r.send[i]
 		s.mu.Lock()
 		if len(s.unacked) > 0 {
-			out += fmt.Sprintf(" pair %d->%d: %d unacked;", i/r.n, i%r.n, len(s.unacked))
+			seqs := make([]uint64, 0, len(s.unacked))
+			for seq := range s.unacked {
+				seqs = append(seqs, seq)
+			}
+			sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+			out += fmt.Sprintf(" pair %d->%d: %d unacked (seq %d..%d);", i/r.n, i%r.n, len(seqs), seqs[0], seqs[len(seqs)-1])
 		}
 		s.mu.Unlock()
 	}

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TCPWire moves frames over real kernel TCP sockets on the loopback
@@ -41,6 +43,12 @@ type TCPWire struct {
 	bytesSent     atomic.Int64
 	bytesRecv     atomic.Int64
 	connsAccepted atomic.Int64
+	dialRetries   atomic.Int64
+
+	// errSink, when installed, receives asynchronous wire failures (dial
+	// exhaustion, a peer resetting a connection mid-write) instead of the
+	// failure panicking or being dropped silently.
+	errSink atomic.Pointer[func(err error)]
 }
 
 // outConn is the sending half of one (src, dst) pair: a connection plus its
@@ -153,8 +161,65 @@ func (w *TCPWire) Send(src, dst int, frame []byte) {
 	oc.mu.Unlock()
 }
 
+// Dial-retry schedule: a peer's listener may come up after our first Send
+// (the multi-process launcher starts processes independently), so failed
+// dials back off exponentially with full jitter before the wire gives up.
+const (
+	dialAttempts    = 8
+	dialBackoffBase = 1 * time.Millisecond
+	dialBackoffCap  = 250 * time.Millisecond
+)
+
+// OnWireError installs the asynchronous-failure callback (ErrorSink).
+func (w *TCPWire) OnWireError(fn func(err error)) { w.errSink.Store(&fn) }
+
+// reportError hands an asynchronous failure to the installed sink; with no
+// sink it panics — the pre-containment behaviour.
+func (w *TCPWire) reportError(err error) {
+	if fn := w.errSink.Load(); fn != nil {
+		(*fn)(err)
+		return
+	}
+	panic(err.Error())
+}
+
+// dial connects to dst with jittered exponential backoff, retrying transient
+// refusals while the peer's listener comes up.
+func (w *TCPWire) dial(src, dst int) (net.Conn, error) {
+	var lastErr error
+	backoff := dialBackoffBase
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			w.dialRetries.Add(1)
+			// Full jitter: sleep a uniform fraction of the current backoff so
+			// simultaneous redials from many pairs spread out.
+			time.Sleep(time.Duration(rand.Int63n(int64(backoff)) + 1))
+			backoff *= 2
+			if backoff > dialBackoffCap {
+				backoff = dialBackoffCap
+			}
+		}
+		c, err := net.Dial("tcp", w.addrs[dst])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var hs [8]byte
+		binary.BigEndian.PutUint32(hs[0:4], uint32(src))
+		binary.BigEndian.PutUint32(hs[4:8], uint32(dst))
+		if _, err := c.Write(hs[:]); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("transport: tcp dial %d->%d (%s) failed after %d attempts: %w", src, dst, w.addrs[dst], dialAttempts, lastErr)
+}
+
 // conn returns the outgoing connection for the pair, dialling and spawning
-// its writer on first use.  Returns nil when the wire is closed.
+// its writer on first use.  Returns nil when the wire is closed or the dial
+// retries were exhausted (with the failure reported through the error sink).
 func (w *TCPWire) conn(src, dst int) *outConn {
 	key := src*w.n + dst
 	w.mu.Lock()
@@ -168,15 +233,10 @@ func (w *TCPWire) conn(src, dst int) *outConn {
 	if w.deliver == nil {
 		panic("transport: tcp wire used before Start")
 	}
-	c, err := net.Dial("tcp", w.addrs[dst])
+	c, err := w.dial(src, dst)
 	if err != nil {
-		panic(fmt.Sprintf("transport: tcp dial %d->%d (%s): %v", src, dst, w.addrs[dst], err))
-	}
-	var hs [8]byte
-	binary.BigEndian.PutUint32(hs[0:4], uint32(src))
-	binary.BigEndian.PutUint32(hs[4:8], uint32(dst))
-	if _, err := c.Write(hs[:]); err != nil {
-		panic(fmt.Sprintf("transport: tcp handshake %d->%d: %v", src, dst, err))
+		w.reportError(err)
+		return nil
 	}
 	oc := &outConn{conn: c}
 	oc.cond = sync.NewCond(&oc.mu)
@@ -209,22 +269,42 @@ func (w *TCPWire) writeLoop(oc *outConn) {
 		for _, frame := range batch {
 			binary.BigEndian.PutUint32(lenb[:], uint32(len(frame)))
 			if _, err := bw.Write(lenb[:]); err != nil {
-				w.dropRest(oc)
+				w.writeFailed(oc, err)
 				return
 			}
 			if _, err := bw.Write(frame); err != nil {
-				w.dropRest(oc)
+				w.writeFailed(oc, err)
 				return
 			}
 			w.framesSent.Add(1)
 			w.bytesSent.Add(int64(len(frame)) + 4)
 		}
-		bw.Flush()
+		if err := bw.Flush(); err != nil {
+			w.writeFailed(oc, err)
+			return
+		}
 		oc.mu.Lock()
 		oc.writing = false
 		oc.cond.Broadcast()
 		oc.mu.Unlock()
 	}
+}
+
+// writeFailed marks a connection dead after a write error.  During Close
+// that is the expected teardown; any other time the peer reset the
+// connection mid-stream, which is reported through the error sink (when one
+// is installed) so the run surfaces a transport fault instead of silently
+// losing the queued frames.
+func (w *TCPWire) writeFailed(oc *outConn, err error) {
+	w.mu.Lock()
+	closing := w.closed
+	w.mu.Unlock()
+	if !closing {
+		if fn := w.errSink.Load(); fn != nil {
+			(*fn)(fmt.Errorf("transport: tcp write failed (peer reset during drain?): %w", err))
+		}
+	}
+	w.dropRest(oc)
 }
 
 // dropRest marks a connection dead after a write error (which in-process
@@ -308,5 +388,6 @@ func (w *TCPWire) WireStats() WireStats {
 		BytesSent:      w.bytesSent.Load(),
 		BytesReceived:  w.bytesRecv.Load(),
 		Connections:    w.connsAccepted.Load(),
+		DialRetries:    w.dialRetries.Load(),
 	}
 }

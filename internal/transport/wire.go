@@ -1,5 +1,7 @@
 package transport
 
+import "time"
+
 // DeliverFunc receives one frame on the destination side of a wire.  src and
 // dst are the endpoints named by the matching Send.  Implementations of Wire
 // may invoke it from arbitrary goroutines; per-pair ordering is only
@@ -38,6 +40,9 @@ type WireStats struct {
 	BytesSent      int64
 	BytesReceived  int64
 	Connections    int64
+	// DialRetries counts dial attempts that failed and were retried with
+	// backoff before a connection came up (TCP layer).
+	DialRetries int64
 	// Reliability protocol (Reliable layer).
 	DataFrames        int64 // data frames first-sent (retransmits excluded)
 	Acks              int64 // acknowledgement frames sent
@@ -58,6 +63,7 @@ func (s *WireStats) add(o WireStats) {
 	s.BytesSent += o.BytesSent
 	s.BytesReceived += o.BytesReceived
 	s.Connections += o.Connections
+	s.DialRetries += o.DialRetries
 	s.DataFrames += o.DataFrames
 	s.Acks += o.Acks
 	s.Retransmits += o.Retransmits
@@ -87,4 +93,21 @@ func innerStats(w Wire) WireStats {
 // registers a handler and retransmits unacknowledged frames of the pair.
 type reconnectSignaler interface {
 	OnReconnect(fn func(src, dst int))
+}
+
+// TimedDrainer is implemented by wires whose drain can fail (a peer that
+// never acknowledges): DrainErr bounds the wait and returns a diagnostic
+// error instead of panicking, so the runtime can surface a wire failure as a
+// structured fault.  Wrappers delegate to their inner wire's DrainErr.
+type TimedDrainer interface {
+	DrainErr(timeout time.Duration) error
+}
+
+// ErrorSink is implemented by wires that can report asynchronous failures
+// (dial exhaustion, a peer resetting a connection mid-write) to an installed
+// callback instead of panicking from an internal goroutine.  With no sink
+// installed, such failures still panic — the pre-containment behaviour.
+// Wrappers forward the registration to their inner wire.
+type ErrorSink interface {
+	OnWireError(fn func(err error))
 }
