@@ -1,0 +1,44 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/containers/parray"
+	"repro/internal/runtime"
+)
+
+// BenchmarkBulkSetGet pins the wall-clock cost of the container bulk path:
+// chunked SetBulk/GetBulk from each location against the next location's
+// block, the access pattern of the bulk-vs-elementwise experiment.  One
+// benchmark iteration moves `chunk` elements (b.N iterations total), so
+// ns/op is nanoseconds per 1024-element bulk set+get round trip.
+func BenchmarkBulkSetGet(b *testing.B) {
+	const chunk = 1024
+	const perLoc = 4096
+	m := runtime.NewMachine(2, runtime.DefaultConfig())
+	b.ReportAllocs()
+	m.Execute(func(loc *runtime.Location) {
+		a := parray.New[int64](loc, int64(loc.NumLocations())*perLoc)
+		next := (loc.ID() + 1) % loc.NumLocations()
+		base := int64(next) * perLoc
+		idxs := make([]int64, chunk)
+		vals := make([]int64, chunk)
+		for i := range idxs {
+			idxs[i] = base + int64(i)
+			vals[i] = int64(i)
+		}
+		loc.Barrier()
+		if loc.ID() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.SetBulk(idxs, vals)
+				got := a.GetBulk(idxs)
+				if len(got) != chunk {
+					b.Errorf("GetBulk returned %d values, want %d", len(got), chunk)
+				}
+			}
+			b.StopTimer()
+		}
+		loc.Barrier()
+	})
+}

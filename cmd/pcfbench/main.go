@@ -13,6 +13,12 @@
 //	pcfbench -experiment bulk,directory,redist,views -json            # one JSON record per row
 //	pcfbench -experiment ... -json -counters > BENCH_baseline.json    # deterministic counter rows only
 //	pcfbench -experiment ... -baseline BENCH_baseline.json            # compare, exit 1 on >10% growth
+//
+// Wall-clock mode (calibrated timed repetitions; ns/op, allocs/op, B/op):
+//
+//	pcfbench -time -experiment bulk,views,matrix,directory -json > BENCH_time.json
+//	pcfbench -time -experiment ... -baseline BENCH_time.json          # exit 1 on allocs/op growth
+//	pcfbench -time -experiment bulk -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -63,7 +70,13 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", -1, "reseed the chaos wire's fault schedule (chaos transports only; -1 keeps PCF_CHAOS_SEED / the default)")
 		jsonOut    = flag.Bool("json", false, "emit one JSON record per row instead of the report table (includes wire-level fault counters)")
 		counters   = flag.Bool("counters", false, "with -json: emit only deterministic counter rows (msgs/rmis/bytes/ops)")
-		baseline   = flag.String("baseline", "", "compare counter rows against this JSON baseline; exit 1 on >10% growth")
+		baseline   = flag.String("baseline", "", "compare counter rows against this JSON baseline; exit 1 on >10% growth (with -time: allocs/op gate, ns advisory)")
+		timeMode   = flag.Bool("time", false, "run the timed variants: calibrated repetitions emitting ns/op, allocs/op and B/op rows instead of counters")
+		timeBudget = flag.Duration("timebudget", 0, "with -time: minimum duration of each calibrated measured section (default 50ms)")
+		adaptive   = flag.Bool("adaptive", false, "enable adaptive aggregation (EWMA-sized flush batches) in the experiment machines; changes message counts, so not for counter baselines")
+		aggMax     = flag.Int("aggmax", 0, "with -adaptive: bound on the adaptive aggregation target (0 keeps the runtime default)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	)
 	flag.Parse()
 
@@ -77,6 +90,9 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.ElementsPerLocation = *elements
 	cfg.GraphScale = *graphScale
+	cfg.TimedMinTime = *timeBudget
+	cfg.Adaptive = *adaptive
+	cfg.AggregationMax = *aggMax
 	if *chaosSeed >= 0 {
 		// The chaos schedule is resolved from the environment when the
 		// transport factory is built, so the flag must land first.
@@ -106,13 +122,20 @@ func main() {
 		cfg.Locations = append(cfg.Locations, p)
 	}
 
+	// In -time mode the experiment ids resolve to their timed variants: the
+	// same workloads, measured with calibrated repetitions instead of
+	// counter snapshots.
+	find, everything := bench.Find, bench.All
+	if *timeMode {
+		find, everything = bench.FindTimed, bench.TimedExperiments
+	}
 	var selected []bench.Experiment
 	switch {
 	case *all:
-		selected = bench.All()
+		selected = everything()
 	case *experiment != "":
 		for _, id := range strings.Split(*experiment, ",") {
-			e, ok := bench.Find(strings.TrimSpace(id))
+			e, ok := find(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "pcfbench: unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
@@ -124,13 +147,54 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+			}
+		}()
+	}
+
 	if *baseline != "" {
 		base, err := loadBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
 			os.Exit(2)
 		}
-		if !compareBaseline(selected, cfg, base) {
+		pass := false
+		if *timeMode {
+			pass = compareTimeBaseline(selected, cfg, base)
+		} else {
+			pass = compareBaseline(selected, cfg, base)
+		}
+		if !pass {
+			// os.Exit skips the deferred profile flush; stop explicitly so a
+			// failing gate still leaves a usable CPU profile behind.
+			if *cpuProfile != "" {
+				pprof.StopCPUProfile()
+			}
 			os.Exit(1)
 		}
 		return
@@ -154,7 +218,7 @@ func main() {
 			}
 		}
 	}
-	if *jsonOut && !*counters {
+	if *jsonOut && !*counters && !*timeMode {
 		// Wire-level counters are transport-DEPENDENT by design (they
 		// describe the wire, not the workload), so they carry their own
 		// "wire" unit: the -counters baseline and the regression gate ignore
@@ -353,4 +417,60 @@ func compareBaseline(selected []bench.Experiment, cfg bench.Config, base []jsonR
 // percentage.
 func growthPct(base, cur float64) float64 {
 	return (cur - base) / base * 100
+}
+
+// allocsSlack is the absolute allocs/op headroom on top of the relative
+// tolerance: per-section scaffolding (machine bring-up, calibration) is
+// amortised over the repetition count, which varies slightly between runs,
+// so a fraction of an allocation of jitter is expected even when the
+// workload itself is allocation-identical.
+const allocsSlack = 1.0
+
+// compareTimeBaseline reruns the selected timed experiments and checks them
+// against a BENCH_time.json baseline.  Only allocs/op rows gate (allocation
+// counts are deterministic for a fixed workload and Go version); ns/op and
+// B/op changes are reported as advisory lines — CI machines differ too much
+// in speed to fail on nanoseconds.  Rows are keyed by experiment, series,
+// param AND unit: a timed series emits one row per unit, so the counter
+// gate's three-part key would collide here.
+func compareTimeBaseline(selected []bench.Experiment, cfg bench.Config, base []jsonRow) bool {
+	current := map[string]float64{}
+	selectedIDs := map[string]bool{}
+	for _, e := range selected {
+		selectedIDs[e.ID] = true
+		for _, r := range e.Run(cfg) {
+			current[r.Experiment+"|"+r.Series+"|"+r.Param+"|"+r.Unit] = r.Value
+		}
+	}
+	ok := true
+	var gated, advisories int
+	for _, b := range base {
+		if !selectedIDs[b.Experiment] {
+			continue
+		}
+		key := b.Experiment + "|" + b.Series + "|" + b.Param + "|" + b.Unit
+		cur, found := current[key]
+		if !found {
+			fmt.Printf("MISSING  %-10s %-38s %-24s (baseline %.3f %s)\n", b.Experiment, b.Series, b.Param, b.Value, b.Unit)
+			ok = false
+			continue
+		}
+		switch b.Unit {
+		case "allocs":
+			gated++
+			if cur > b.Value*(1+regressionTolerance)+allocsSlack {
+				fmt.Printf("REGRESSED %-10s %-38s %-24s %.2f -> %.2f allocs/op\n",
+					b.Experiment, b.Series, b.Param, b.Value, cur)
+				ok = false
+			}
+		case "ns", "bytes-alloc":
+			if b.Value > 0 && (cur-b.Value)/b.Value > 0.5 {
+				fmt.Printf("ADVISORY  %-10s %-38s %-24s %.1f -> %.1f %s (+%.0f%%, not gated)\n",
+					b.Experiment, b.Series, b.Param, b.Value, cur, b.Unit, growthPct(b.Value, cur))
+				advisories++
+			}
+		}
+	}
+	fmt.Printf("bench-time: %d allocs/op rows gated, %d timing advisories, pass=%v\n", gated, advisories, ok)
+	return ok
 }

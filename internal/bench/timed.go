@@ -1,0 +1,429 @@
+package bench
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/containers/parray"
+	"repro/internal/containers/pgraph"
+	"repro/internal/containers/pmatrix"
+	"repro/internal/containers/pvector"
+	"repro/internal/domain"
+	"repro/internal/palgo"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/views"
+)
+
+// This file is the wall-clock half of the harness: where the counter
+// experiments report deterministic message/RMI/byte series (pinned
+// byte-identical by the regression gate), the timed experiments report ns/op,
+// allocs/op and B/op for the same workloads.  Time is machine-dependent by
+// nature, so these rows are tracked as a trajectory (BENCH_time.json) rather
+// than gated on exact values — with one exception: allocs/op is deterministic
+// for a fixed workload and Go version, which is what lets CI fail on
+// allocation growth while treating nanoseconds as advisory.
+//
+// Containers persist across Execute runs on one machine (registered objects
+// survive), so each timed experiment builds its containers once and measures
+// subsequent Executes only: construction cost never pollutes the steady-state
+// numbers, exactly like testing.B setup outside ResetTimer.
+
+// DefaultTimedMinTime is the calibration floor used when Config.TimedMinTime
+// is zero: measured sections are grown until they last at least this long.
+const DefaultTimedMinTime = 50 * time.Millisecond
+
+// maxCalibratedReps caps the calibration growth, mirroring testing.B's 1e9
+// iteration cap scaled to whole measured sections.
+const maxCalibratedReps = 1 << 24
+
+func (c Config) timedMinTime() time.Duration {
+	if c.TimedMinTime > 0 {
+		return c.TimedMinTime
+	}
+	return DefaultTimedMinTime
+}
+
+// Measurement is one calibrated timed result, normalised per logical
+// operation (element access, element visit, property read — the experiment
+// decides what an op is).
+type Measurement struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// MeasureOp runs body with a growing repetition count until the measured
+// section lasts at least minTime, then reports per-op time and allocation.
+// body(reps) must perform reps repetitions of the workload (opsPerRep
+// logical ops each) and return the duration of the measured section itself,
+// so per-call scaffolding the body excludes (barriers, machine bring-up)
+// stays out of ns/op.  Allocations are measured around the whole body call —
+// process-wide, like testing.AllocsPerRun — which is why the final
+// calibrated call, with its large rep count, is the one that is reported:
+// fixed per-call allocation is amortised to noise.
+//
+// body is called once with reps=1 before measuring, as a warm-up: pools
+// fill, lazy tables build, first-touch paths run cold exactly once.
+func MeasureOp(minTime time.Duration, opsPerRep int64, body func(reps int) time.Duration) Measurement {
+	if opsPerRep <= 0 {
+		panic("bench: MeasureOp needs opsPerRep >= 1")
+	}
+	body(1) // warm-up, discarded
+	reps := 1
+	for {
+		goruntime.GC()
+		var before, after goruntime.MemStats
+		goruntime.ReadMemStats(&before)
+		elapsed := body(reps)
+		goruntime.ReadMemStats(&after)
+		if elapsed >= minTime || reps >= maxCalibratedReps {
+			ops := float64(reps) * float64(opsPerRep)
+			return Measurement{
+				NsPerOp:     float64(elapsed.Nanoseconds()) / ops,
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / ops,
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / ops,
+			}
+		}
+		reps = growReps(reps, elapsed, minTime)
+	}
+}
+
+// growReps predicts the repetition count that reaches minTime, with
+// testing.B's safety margins: overshoot by 20%, grow at least +1, at most
+// 100x, never past the cap.
+func growReps(prev int, elapsed, minTime time.Duration) int {
+	next := prev * 100
+	if elapsed > 0 {
+		predicted := int(1.2 * float64(prev) * float64(minTime) / float64(elapsed))
+		if predicted < next {
+			next = predicted
+		}
+	}
+	if next <= prev {
+		next = prev + 1
+	}
+	if next > maxCalibratedReps {
+		next = maxCalibratedReps
+	}
+	return next
+}
+
+// timedRows renders one measurement as its three trajectory rows.  The units
+// ("ns", "allocs", "bytes-alloc") are deliberately absent from pcfbench's
+// counterUnits set, so timed rows can never leak into the byte-identical
+// counter baseline.
+func timedRows(exp, series, param string, m Measurement) []Row {
+	return []Row{
+		{Experiment: exp, Series: series, Param: param, Value: m.NsPerOp, Unit: "ns"},
+		{Experiment: exp, Series: series, Param: param, Value: m.AllocsPerOp, Unit: "allocs"},
+		{Experiment: exp, Series: series, Param: param, Value: m.BytesPerOp, Unit: "bytes-alloc"},
+	}
+}
+
+// TimedExperiments returns the wall-clock experiment registry: timed
+// variants of the counter experiments pcfbench runs under -time.  IDs match
+// the counter experiments they shadow, so `-time -experiment bulk` times the
+// workload that `-experiment bulk` counts.
+func TimedExperiments() []Experiment {
+	return []Experiment{
+		{"bulk", "timed: bulk vs elementwise element access (ns/allocs per element)", TimedBulk},
+		{"views", "timed: coarsened vs elementwise traversal over a balanced view", TimedViews},
+		{"matrix", "timed: coarsened vs elementwise matrix-vector product", TimedMatrix},
+		{"directory", "timed: cached vs uncached repeat remote directory reads", TimedDirectory},
+	}
+}
+
+// FindTimed returns the timed experiment with the given id.
+func FindTimed(id string) (Experiment, bool) {
+	for _, e := range TimedExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// TimedBulk times the four access modes of the bulk experiment — bulk and
+// elementwise set/get against the next location's block — per element.
+// Location 0 drives; the other locations serve requests.
+func TimedBulk(cfg Config) []Row {
+	var rows []Row
+	const chunk = 1024
+	minTime := cfg.timedMinTime()
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue // the workload needs remote traffic
+		}
+		n := cfg.ElementsPerLocation * int64(p)
+		m := machine(cfg, p)
+		arrs := make([]*parray.Array[int64], p)
+		m.Execute(func(loc *runtime.Location) {
+			arrs[loc.ID()] = parray.New[int64](loc, n)
+		})
+		// Location 0 targets location 1's block with a fixed chunk of
+		// indices; the slices are never mutated, so the asynchronous bulk
+		// writes may retain them across repetitions.
+		idxs := make([]int64, chunk)
+		vals := make([]int64, chunk)
+		base := n / int64(p) // first index owned by location 1
+		for i := range idxs {
+			idxs[i] = base + int64(i)%cfg.ElementsPerLocation
+			vals[i] = int64(i)
+		}
+		param := fmt.Sprintf("P=%d chunk=%d", p, chunk)
+		drive := func(body func(a *parray.Array[int64])) func(reps int) time.Duration {
+			return func(reps int) time.Duration {
+				var elapsed time.Duration
+				m.Execute(func(loc *runtime.Location) {
+					loc.Barrier()
+					if loc.ID() == 0 {
+						a := arrs[0]
+						start := time.Now()
+						for r := 0; r < reps; r++ {
+							body(a)
+						}
+						// One-sided: the serving locations are parked at the
+						// closing barrier, not in a collective fence.
+						loc.OneSidedFence()
+						elapsed = time.Since(start)
+					}
+					loc.Barrier()
+				})
+				return elapsed
+			}
+		}
+		var sink int64
+		measures := []struct {
+			series string
+			body   func(a *parray.Array[int64])
+		}{
+			{"set_bulk", func(a *parray.Array[int64]) { a.SetBulk(idxs, vals) }},
+			{"get_bulk", func(a *parray.Array[int64]) {
+				for _, v := range a.GetBulk(idxs) {
+					sink += v
+				}
+			}},
+			{"set_element (elementwise)", func(a *parray.Array[int64]) {
+				for i := 0; i < chunk; i++ {
+					a.Set(idxs[i], vals[i])
+				}
+			}},
+			{"get_element (sync)", func(a *parray.Array[int64]) {
+				for i := 0; i < chunk; i++ {
+					sink += a.Get(idxs[i])
+				}
+			}},
+		}
+		for _, ms := range measures {
+			got := MeasureOp(minTime, chunk, drive(ms.body))
+			rows = append(rows, timedRows("bulk", ms.series, param, got)...)
+		}
+		_ = sink
+	}
+	return rows
+}
+
+// TimedViews times the coarsened vs elementwise p_for_each over a balanced
+// view of a skewed pArray — the views experiment's headline comparison —
+// per element visited.  The traversal is collective: every location works
+// its balanced share each repetition.
+func TimedViews(cfg Config) []Row {
+	var rows []Row
+	minTime := cfg.timedMinTime()
+	for _, p := range cfg.Locations {
+		n := cfg.ElementsPerLocation * int64(p)
+		m := machine(cfg, p)
+		vs := make([]views.Balanced[int64], p)
+		m.Execute(func(loc *runtime.Location) {
+			part, err := partition.NewExplicit(domain.NewRange1D(0, n), skewedSizes(n, p))
+			if err != nil {
+				panic(err)
+			}
+			a := parray.New[int64](loc, n,
+				parray.WithPartition(part),
+				parray.WithMapper(partition.NewBlockedMapper(p, p)))
+			vs[loc.ID()] = views.NewBalanced[int64](views.NewArrayNative(a))
+		})
+		param := fmt.Sprintf("P=%d N=%d", p, n)
+		collective := func(body func(loc *runtime.Location, v views.Balanced[int64])) func(reps int) time.Duration {
+			return func(reps int) time.Duration {
+				var elapsed time.Duration
+				m.Execute(func(loc *runtime.Location) {
+					v := vs[loc.ID()]
+					loc.Barrier()
+					start := time.Now()
+					for r := 0; r < reps; r++ {
+						body(loc, v)
+					}
+					loc.Barrier()
+					if loc.ID() == 0 {
+						elapsed = time.Since(start)
+					}
+				})
+				return elapsed
+			}
+		}
+		coar := MeasureOp(minTime, n, collective(func(loc *runtime.Location, v views.Balanced[int64]) {
+			palgo.TransformInPlace(loc, v, func(_ int64, x int64) int64 { return x + 1 })
+		}))
+		rows = append(rows, timedRows("views", "p_for_each (coarsened)", param, coar)...)
+		elem := MeasureOp(minTime, n, collective(func(loc *runtime.Location, v views.Balanced[int64]) {
+			for _, r := range v.LocalRanges(loc) {
+				for i := r.Lo; i < r.Hi; i++ {
+					v.Set(i, v.Get(i)+1)
+				}
+			}
+			loc.Fence()
+		}))
+		rows = append(rows, timedRows("views", "p_for_each (elementwise)", param, elem)...)
+	}
+	return rows
+}
+
+// TimedMatrix times the coarsened vs elementwise matrix-vector product of
+// the matrix experiment, per multiply-add (dv×dv of them per repetition).
+func TimedMatrix(cfg Config) []Row {
+	var rows []Row
+	minTime := cfg.timedMinTime()
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue
+		}
+		n := cfg.ElementsPerLocation * int64(p)
+		dv := isqrt(n)
+		m := machine(cfg, p)
+		as := make([]*pmatrix.Matrix[int64], p)
+		xs := make([]*pvector.Vector[int64], p)
+		ys := make([]*pvector.Vector[int64], p)
+		m.Execute(func(loc *runtime.Location) {
+			a := pmatrix.New[int64](loc, dv, dv)
+			a.UpdateLocal(func(g domain.Index2D, _ int64) int64 { return (g.Row+g.Col)%7 + 1 })
+			x := pvector.New[int64](loc, dv)
+			x.LocalUpdate(func(gid int64, _ int64) int64 { return gid%5 + 1 })
+			y := pvector.New[int64](loc, dv)
+			loc.Fence()
+			as[loc.ID()], xs[loc.ID()], ys[loc.ID()] = a, x, y
+		})
+		param := fmt.Sprintf("P=%d N=%d", p, dv*dv)
+		collective := func(body func(loc *runtime.Location, id int)) func(reps int) time.Duration {
+			return func(reps int) time.Duration {
+				var elapsed time.Duration
+				m.Execute(func(loc *runtime.Location) {
+					loc.Barrier()
+					start := time.Now()
+					for r := 0; r < reps; r++ {
+						body(loc, loc.ID())
+					}
+					loc.Barrier()
+					if loc.ID() == 0 {
+						elapsed = time.Since(start)
+					}
+				})
+				return elapsed
+			}
+		}
+		coar := MeasureOp(minTime, dv*dv, collective(func(loc *runtime.Location, id int) {
+			palgo.MatVec[int64](loc, as[id], xs[id], ys[id])
+		}))
+		rows = append(rows, timedRows("matrix", "matvec (coarsened)", param, coar)...)
+		elem := MeasureOp(minTime, dv*dv, collective(func(loc *runtime.Location, id int) {
+			a, x, y := as[id], xs[id], ys[id]
+			rs, cs := a.LocalBlocks()
+			for b := range rs {
+				for r := rs[b].Lo; r < rs[b].Hi; r++ {
+					var acc int64
+					for c := cs[b].Lo; c < cs[b].Hi; c++ {
+						acc += a.Get(r, c) * x.Get(c)
+					}
+					y.Set(r, acc)
+				}
+			}
+			loc.Fence()
+		}))
+		rows = append(rows, timedRows("matrix", "matvec (elementwise)", param, elem)...)
+	}
+	return rows
+}
+
+// TimedDirectory times repeat remote vertex-property reads through the
+// distributed directory, cached and uncached, per read.  Location 0 reads
+// the triangle descriptors (home ∉ {reader, owner}) of the next location's
+// vertices — the directory experiment's steady-state pattern.
+func TimedDirectory(cfg Config) []Row {
+	var rows []Row
+	minTime := cfg.timedMinTime()
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue
+		}
+		nv := cfg.ElementsPerLocation / 4
+		if nv < 16 {
+			nv = 16
+		}
+		for _, cached := range []bool{false, true} {
+			m := machine(cfg, p)
+			gs := make([]*pgraph.Graph[int64, int8], p)
+			var reads []int64 // location 0's read set
+			m.Execute(func(loc *runtime.Location) {
+				g := pgraph.New[int64, int8](loc, 0,
+					pgraph.WithStrategy(pgraph.DynamicDirectory),
+					pgraph.WithDirectoryCache(cached))
+				vds := make([]int64, nv)
+				for i := range vds {
+					vds[i] = g.AddVertex(int64(loc.ID())*nv + int64(i))
+				}
+				loc.Fence()
+				gs[loc.ID()] = g
+				if loc.ID() == 0 {
+					owner := 1 % p
+					next := runtime.AllGatherT(loc, vds)[owner]
+					reads = next
+					if p >= 3 {
+						reads = make([]int64, 0, len(next))
+						for _, vd := range next {
+							if h := g.Directory().HomeOf(vd); h != loc.ID() && h != owner {
+								reads = append(reads, vd)
+							}
+						}
+					}
+				} else {
+					runtime.AllGatherT(loc, vds)
+				}
+				loc.Fence()
+			})
+			if len(reads) == 0 {
+				continue
+			}
+			series := "repeat remote reads (uncached)"
+			if cached {
+				series = "repeat remote reads (cached)"
+			}
+			param := fmt.Sprintf("P=%d verts/loc=%d", p, nv)
+			got := MeasureOp(minTime, int64(len(reads)), func(reps int) time.Duration {
+				var elapsed time.Duration
+				m.Execute(func(loc *runtime.Location) {
+					loc.Barrier()
+					if loc.ID() == 0 {
+						g := gs[0]
+						var sink int64
+						start := time.Now()
+						for r := 0; r < reps; r++ {
+							for _, vd := range reads {
+								v, _ := g.VertexProperty(vd)
+								sink += v
+							}
+						}
+						elapsed = time.Since(start)
+						_ = sink
+					}
+					loc.Barrier()
+				})
+				return elapsed
+			})
+			rows = append(rows, timedRows("directory", series, param, got)...)
+		}
+	}
+	return rows
+}

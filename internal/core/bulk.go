@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/partition"
@@ -23,6 +24,13 @@ import (
 //	InvokeBulkSync  — blocks until every element operation has executed;
 //	                  actions typically gather results into a caller-owned
 //	                  slice (GetBulk, FindBulk, ...)
+//
+// The skeleton is on the container hot path, so its working state is pooled:
+// resolution targets and group lists live in a recycled scratch, group index
+// slices come from a shared pool (ownership travels with the request and the
+// handler recycles them), and a shipped group rides an argument-carrying RMI
+// with a static handler — steady-state bulk traffic allocates nothing per
+// call beyond what the caller's own action captures.
 
 // bulkTracker counts the outstanding element operations of one synchronous
 // bulk invocation.  Remote handlers (and forwarded stragglers) decrement it
@@ -80,6 +88,108 @@ func (c *Container[G, B]) InvokeBulkSync(gids []G, mode AccessMode, bytesPerOp i
 	<-tr.done
 }
 
+// bulkGroup is one destination's (or one local base container's) share of a
+// bulk invocation: the positions into gids it owns, in slice order.
+type bulkGroup struct {
+	dest int
+	bcid partition.BCID // >= 0 marks a local group; -1 a shipped one
+	idxs []int          // pooled; ownership transfers to whoever executes the group
+}
+
+// bulkScratch is the reusable working state of one bulkHop: the per-element
+// resolution table and the group list built from it.  Group counts are small
+// (a handful of base containers locally, at most P-1 destinations remotely),
+// so groups are found by linear search instead of map lookups — no hashing,
+// no per-call map allocation.
+type bulkScratch struct {
+	targets []Placement
+	groups  []bulkGroup
+}
+
+var bulkScratchPool = sync.Pool{New: func() any { return new(bulkScratch) }}
+
+func getBulkScratch(n int) *bulkScratch {
+	s := bulkScratchPool.Get().(*bulkScratch)
+	if cap(s.targets) < n {
+		s.targets = make([]Placement, n)
+	}
+	s.targets = s.targets[:n]
+	s.groups = s.groups[:0]
+	return s
+}
+
+func putBulkScratch(s *bulkScratch) {
+	for i := range s.groups {
+		s.groups[i].idxs = nil // shipped or recycled by the executor
+	}
+	bulkScratchPool.Put(s)
+}
+
+// bulkIdxPool recycles the group index slices.  A slice's ownership follows
+// the group: locally executed groups recycle it in bulkHop, shipped groups
+// hand it to the destination's bulkForward, which recycles it after the hop.
+var bulkIdxPool = sync.Pool{New: func() any { return make([]int, 0, 64) }}
+
+func getBulkIdxs() []int { return bulkIdxPool.Get().([]int)[:0] }
+
+func putBulkIdxs(idxs []int) {
+	//lint:ignore SA6002 the slice header is what we pool; its backing array
+	// is reused, so the boxed header allocation is amortised.
+	bulkIdxPool.Put(idxs[:0])
+}
+
+// bulkArgs carries one shipped group: everything bulkForward needs to resume
+// the hop at the destination.  Instances are recycled through an untyped
+// pool shared by every container instantiation; a descriptor that comes back
+// under the wrong type parameters is simply dropped (see getBulkArgs).
+type bulkArgs[G any, B BContainer] struct {
+	c          *Container[G, B]
+	gids       []G
+	idxs       []int
+	mode       AccessMode
+	bytesPerOp int
+	action     func(loc *runtime.Location, bc B, k int)
+	tr         *bulkTracker
+	hops       int
+}
+
+var bulkArgsPool sync.Pool
+
+func getBulkArgs[G any, B BContainer]() *bulkArgs[G, B] {
+	if v := bulkArgsPool.Get(); v != nil {
+		if a, ok := v.(*bulkArgs[G, B]); ok {
+			return a
+		}
+		// A descriptor of another container family's instantiation: drop it
+		// (the GC reclaims it) rather than juggle per-type pools.
+	}
+	return new(bulkArgs[G, B])
+}
+
+func putBulkArgs[G any, B BContainer](a *bulkArgs[G, B]) {
+	*a = bulkArgs[G, B]{}
+	bulkArgsPool.Put(a)
+}
+
+// bulkForward is the static handler every shipped group targets: it resumes
+// the hop on the destination's representative, then recycles the group's
+// index slice and the argument descriptor.  Being non-capturing, shipping a
+// group allocates no closure — the pooled descriptor is the whole payload.
+func bulkForward[G any, B BContainer](obj any, _ *runtime.Location, arg any) {
+	a := arg.(*bulkArgs[G, B])
+	obj.(*Container[G, B]).bulkHop(a.gids, a.idxs, a.mode, a.bytesPerOp, a.action, a.tr, a.hops)
+	putBulkIdxs(a.idxs)
+	putBulkArgs(a)
+}
+
+// shipGroup sends one group to dest as a single sized bulk request.  The
+// group's index slice ownership transfers to the destination.
+func (c *Container[G, B]) shipGroup(dest int, gids []G, group []int, mode AccessMode, bytesPerOp int, action func(loc *runtime.Location, bc B, k int), tr *bulkTracker, hops int) {
+	a := getBulkArgs[G, B]()
+	*a = bulkArgs[G, B]{c: c, gids: gids, idxs: group, mode: mode, bytesPerOp: bytesPerOp, action: action, tr: tr, hops: hops}
+	c.loc.AsyncRMIBulkArg(dest, c.handle, len(group), bytesPerOp*len(group), bulkForward[G, B], a)
+}
+
 // bulkHop performs one resolution step of a bulk invocation for the elements
 // of gids selected by idxs (nil means all).  Local groups execute in place;
 // remote groups are shipped as one bulk RMI per destination, where the same
@@ -93,86 +203,105 @@ func (c *Container[G, B]) bulkHop(gids []G, idxs []int, mode AccessMode, bytesPe
 	if idxs != nil {
 		n = len(idxs)
 	}
-	at := func(i int) int {
-		if idxs == nil {
-			return i
-		}
-		return idxs[i]
-	}
+	s := getBulkScratch(n)
+	defer putBulkScratch(s)
 
 	// Resolve every selected element under a single metadata bracket (one
 	// lock acquisition for the whole batch instead of one per element).
-	// The bracket is released by defer so that a resolution panic — the
-	// unresolvable-GID guard below or a fail-fast resolver — does not leak
-	// the lock to a recovering caller.
-	type target struct {
-		dest int
-		bcid partition.BCID // valid only when local
-	}
-	targets := make([]target, n)
+	// Resolvers that can place a batch in one call take the bulk fast path;
+	// the per-element loop is the generic fallback.  The bracket is released
+	// by defer so that a fail-fast resolver panic does not leak the lock to
+	// a recovering caller.
 	func() {
 		c.ths.MetadataAccessPre(Read)
 		defer c.ths.MetadataAccessPost(Read)
+		if br, ok := c.resolver.(BulkResolver[G]); ok {
+			br.ResolveBulk(gids, idxs, s.targets[:n])
+			return
+		}
 		for i := 0; i < n; i++ {
-			info := c.resolver.Find(gids[at(i)])
+			k := i
+			if idxs != nil {
+				k = idxs[i]
+			}
+			info := c.resolver.Find(gids[k])
 			if info.Valid {
-				targets[i] = target{dest: c.resolver.OwnerOf(info.BCID), bcid: info.BCID}
+				s.targets[i] = Placement{Dest: c.resolver.OwnerOf(info.BCID), BCID: info.BCID}
 			} else {
-				if info.Hint == self {
-					panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gids[at(i)]))
-				}
-				targets[i] = target{dest: info.Hint, bcid: partition.BCID(-1)}
+				s.targets[i] = Placement{Dest: info.Hint, BCID: partition.InvalidBCID}
 			}
 		}
 	}()
 
 	// Group by owner: local elements by base container, remote (and
-	// hint-forwarded) elements by destination location.  Slice order is
-	// preserved within every group.
-	local := make(map[partition.BCID][]int)
-	remote := make(map[int][]int)
+	// hint-forwarded) elements by destination location only — a remote
+	// destination's elements travel as ONE request however many base
+	// containers they land in there.  Slice order is preserved within every
+	// group.  The group list is searched linearly with a last-group fast
+	// path: resolution runs are long (consecutive GIDs usually share an
+	// owner), so most elements append to the group just touched.
+	last := -1
 	for i := 0; i < n; i++ {
-		t := targets[i]
-		if t.dest == self && t.bcid >= 0 {
-			local[t.bcid] = append(local[t.bcid], at(i))
-		} else {
-			remote[t.dest] = append(remote[t.dest], at(i))
+		k := i
+		if idxs != nil {
+			k = idxs[i]
 		}
+		t := s.targets[i]
+		if t.BCID < 0 && t.Dest == self {
+			panic(fmt.Sprintf("core: GID %v cannot be resolved on its directory location", gids[k]))
+		}
+		key := t.BCID
+		if t.Dest != self {
+			key = partition.InvalidBCID
+		}
+		if last < 0 || s.groups[last].dest != t.Dest || s.groups[last].bcid != key {
+			last = -1
+			for j := range s.groups {
+				if s.groups[j].dest == t.Dest && s.groups[j].bcid == key {
+					last = j
+					break
+				}
+			}
+			if last < 0 {
+				s.groups = append(s.groups, bulkGroup{dest: t.Dest, bcid: key, idxs: getBulkIdxs()})
+				last = len(s.groups) - 1
+			}
+		}
+		s.groups[last].idxs = append(s.groups[last].idxs, k)
 	}
 
-	// Execute local groups: one handle-free data bracket per base
-	// container for the whole group.
-	for bcid, group := range local {
-		bc, ok := c.locMgr.Get(bcid)
-		if !ok {
-			// Metadata says local but the storage moved (transient
-			// redistribution window): retry the group as a forward.
-			group := group
-			c.loc.AsyncRMIBulk(self, c.handle, len(group), bytesPerOp*len(group), func(obj any, _ *runtime.Location) {
-				obj.(*Container[G, B]).bulkHop(gids, group, mode, bytesPerOp, action, tr, hops+1)
-			})
+	// Execute local groups in place (one data bracket per base container for
+	// the whole group); ship every other group as one sized request.  A
+	// shipped group's index slice belongs to the destination afterwards.
+	for gi := range s.groups {
+		g := &s.groups[gi]
+		if g.dest == self && g.bcid >= 0 {
+			bc, ok := c.locMgr.Get(g.bcid)
+			if !ok {
+				// Metadata says local but the storage moved (transient
+				// redistribution window): retry the group as a forward.
+				c.shipGroup(self, gids, g.idxs, mode, bytesPerOp, action, tr, hops+1)
+				g.idxs = nil
+				continue
+			}
+			c.ths.DataAccessPre(g.bcid, mode)
+			for _, k := range g.idxs {
+				action(c.loc, bc, k)
+			}
+			c.ths.DataAccessPost(g.bcid, mode)
+			if tr != nil {
+				if hops > 0 {
+					// This group was shipped here: its gathered results
+					// travel back as one response message.
+					c.loc.AccountReply(bytesPerOp * len(g.idxs))
+				}
+				tr.complete(len(g.idxs))
+			}
+			putBulkIdxs(g.idxs)
+			g.idxs = nil
 			continue
 		}
-		c.ths.DataAccessPre(bcid, mode)
-		for _, k := range group {
-			action(c.loc, bc, k)
-		}
-		c.ths.DataAccessPost(bcid, mode)
-		if tr != nil {
-			if hops > 0 {
-				// This group was shipped here: its gathered results
-				// travel back as one response message.
-				c.loc.AccountReply(bytesPerOp * len(group))
-			}
-			tr.complete(len(group))
-		}
-	}
-
-	// Ship remote groups: one sized request per destination.
-	for dest, group := range remote {
-		group := group
-		c.loc.AsyncRMIBulk(dest, c.handle, len(group), bytesPerOp*len(group), func(obj any, _ *runtime.Location) {
-			obj.(*Container[G, B]).bulkHop(gids, group, mode, bytesPerOp, action, tr, hops+1)
-		})
+		c.shipGroup(g.dest, gids, g.idxs, mode, bytesPerOp, action, tr, hops+1)
+		g.idxs = nil
 	}
 }

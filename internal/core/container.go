@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/domain"
 	"repro/internal/partition"
 	"repro/internal/runtime"
 )
@@ -18,6 +19,28 @@ type Resolver[G any] interface {
 	OwnerOf(b partition.BCID) int
 }
 
+// Placement is one element's fully resolved owner: the destination location
+// and, when resolution succeeded, the sub-domain.  BCID < 0 marks a
+// forwarding hint (the element could not be resolved here; Dest may know
+// more).
+type Placement struct {
+	Dest int
+	BCID partition.BCID
+}
+
+// BulkResolver is an optional Resolver extension: resolvers that can place a
+// whole batch in one call.  The bulk method skeleton prefers it over
+// per-element Find/OwnerOf pairs because a batch resolver can amortise work
+// across elements — e.g. memoise the last block's extent so a run of
+// consecutive GIDs costs one range check each instead of a closed-form
+// resolution.  For i in [0, len(out)), out[i] must receive the placement of
+// gids[idxs[i]] (or gids[i] when idxs is nil), with exactly the semantics of
+// Find + OwnerOf.
+type BulkResolver[G any] interface {
+	Resolver[G]
+	ResolveBulk(gids []G, idxs []int, out []Placement)
+}
+
 // IndexedResolver adapts a one-dimensional indexed partition plus a mapper
 // into a Resolver (the common case for pArray/pVector).
 type IndexedResolver struct {
@@ -30,6 +53,45 @@ func (r IndexedResolver) Find(gid int64) partition.Info { return r.Partition.Fin
 
 // OwnerOf resolves a sub-domain through the mapper.
 func (r IndexedResolver) OwnerOf(b partition.BCID) int { return r.Mapper.Map(b) }
+
+// ResolveBulk places a batch of indices.  When the partition guarantees
+// contiguous sub-domains, the last resolved block's extent and owner are
+// memoised: bulk accesses overwhelmingly touch runs of consecutive indices,
+// so most elements resolve with a single range check and no mapper call.
+// Non-contiguous partitions (block-cyclic) fall back to per-element
+// resolution — range membership does not imply ownership there.
+func (r IndexedResolver) ResolveBulk(gids []int64, idxs []int, out []Placement) {
+	memo := false
+	if c, ok := r.Partition.(partition.Contiguous); ok {
+		memo = c.ContiguousBlocks()
+	}
+	var run domain.Range1D
+	var cached Placement
+	have := false
+	for i := range out {
+		k := i
+		if idxs != nil {
+			k = idxs[i]
+		}
+		g := gids[k]
+		if have && run.Contains(g) {
+			out[i] = cached
+			continue
+		}
+		info := r.Partition.Find(g)
+		if !info.Valid {
+			out[i] = Placement{Dest: info.Hint, BCID: partition.InvalidBCID}
+			have = false
+			continue
+		}
+		cached = Placement{Dest: r.Mapper.Map(info.BCID), BCID: info.BCID}
+		out[i] = cached
+		if memo {
+			run = r.Partition.SubDomain(info.BCID)
+			have = true
+		}
+	}
+}
 
 // Container is the pContainer base class (Table XI): the per-location
 // representative of a distributed container.  Concrete containers embed it,

@@ -70,12 +70,28 @@ type Indexed interface {
 	SubSizes() []int64
 }
 
+// Contiguous is an optional Indexed extension: a partition whose every
+// sub-domain is exactly the Range1D reported by SubDomain (no gaps, no
+// striding).  Batch resolvers use it to memoise Find over runs of
+// consecutive GIDs — one SubDomain range check instead of one closed-form
+// Find per element.  Block-cyclic partitions must NOT implement it: their
+// SubDomain is only a covering range, so range membership does not imply
+// ownership there.
+type Contiguous interface {
+	// ContiguousBlocks reports that SubDomain(b) is the exact GID set of
+	// every sub-domain b.
+	ContiguousBlocks() bool
+}
+
 // Balanced divides a Range1D into n sub-domains whose sizes differ by at
 // most one (the default pArray partition).
 type Balanced struct {
 	dom    domain.Range1D
 	blocks []domain.Range1D
 }
+
+// ContiguousBlocks marks Balanced sub-domains as exact ranges.
+func (p *Balanced) ContiguousBlocks() bool { return true }
 
 // NewBalanced builds a balanced partition of dom into n sub-domains.
 func NewBalanced(dom domain.Range1D, n int) *Balanced {
@@ -194,6 +210,9 @@ type Explicit struct {
 	dom    domain.Range1D
 	blocks []domain.Range1D
 }
+
+// ContiguousBlocks marks Explicit sub-domains as exact ranges.
+func (p *Explicit) ContiguousBlocks() bool { return true }
 
 // NewExplicit builds an explicit partition from consecutive block sizes.
 // The sizes must sum to the domain size.

@@ -13,23 +13,28 @@ import "sync"
 // died with it — Get unwinds the waiter instead of blocking forever.
 type Future struct {
 	mu        sync.Mutex
-	done      chan struct{}
+	done      chan struct{} // allocated lazily by the first blocking Get
 	completed bool
 	value     any
-	// onWait, when set, is invoked once by the first caller that has to
-	// block in Get.  The RTS uses it to flush the aggregation buffer
-	// holding the split-phase request, guaranteeing progress even when
-	// fewer requests than the aggregation factor were issued.
-	onWait func()
+	// onWaitLoc/onWaitDest, when set, identify the aggregation buffer
+	// holding the split-phase request.  The first caller that has to block
+	// in Get flushes it, guaranteeing progress even when fewer requests
+	// than the aggregation factor were issued.  Fields instead of a closure
+	// so issuing a split-phase RMI allocates no capture.
+	onWaitLoc  *Location
+	onWaitDest int
 	// abort, when set (split-phase RMIs), is the owning machine's abort
 	// channel; a nil channel never fires, so plain futures block exactly
 	// as before.
 	abort <-chan struct{}
 }
 
-// NewFuture returns an incomplete future.
+// NewFuture returns an incomplete future.  The completion channel is
+// allocated only if a caller actually blocks in Get: split-phase traffic
+// whose results are harvested after completion (the common fence-then-read
+// pattern, or TryGet polling) never pays for a channel.
 func NewFuture() *Future {
-	return &Future{done: make(chan struct{})}
+	return &Future{}
 }
 
 // Complete stores the result and wakes all waiters.  Completing an already
@@ -43,7 +48,9 @@ func (f *Future) Complete(v any) {
 	}
 	f.value = v
 	f.completed = true
-	close(f.done)
+	if f.done != nil {
+		close(f.done)
+	}
 	f.mu.Unlock()
 }
 
@@ -52,26 +59,40 @@ func (f *Future) Complete(v any) {
 // will never arrive).
 func (f *Future) Get() any {
 	f.mu.Lock()
-	if !f.completed && f.onWait != nil {
-		nudge := f.onWait
-		f.onWait = nil
+	if f.completed {
+		v := f.value
 		f.mu.Unlock()
-		nudge()
-		f.mu.Lock()
+		return v
 	}
+	if f.onWaitLoc != nil {
+		loc, dest := f.onWaitLoc, f.onWaitDest
+		f.onWaitLoc = nil
+		f.mu.Unlock()
+		loc.flushDest(dest)
+		f.mu.Lock()
+		if f.completed {
+			v := f.value
+			f.mu.Unlock()
+			return v
+		}
+	}
+	if f.done == nil {
+		f.done = make(chan struct{})
+	}
+	done := f.done
 	abort := f.abort
 	f.mu.Unlock()
 	select {
-	case <-f.done:
+	case <-done:
 	case <-abort:
 		// Re-check: completion may have raced the abort.
 		select {
-		case <-f.done:
+		case <-done:
 		default:
 			panic(abortSignal{})
 		}
 	}
-	// The close of f.done happens after value is written, so this read is
+	// The close of done happens after value is written, so this read is
 	// ordered.
 	return f.value
 }

@@ -26,6 +26,22 @@ type Config struct {
 	// disables aggregation.
 	Aggregation int
 
+	// AdaptiveAggregation replaces the fixed Aggregation threshold with a
+	// per-destination target sized from observed flush occupancy: an EWMA of
+	// how full each destination's buffer is when it flushes, probing upward
+	// under sustained traffic and collapsing back toward 1 when a
+	// destination goes quiet (so trickle traffic is not held hostage to a
+	// large batch).  Aggregation still seeds the initial target; the target
+	// is clamped to [1, AggregationMax].  Off by default: the adaptive
+	// threshold changes message counts, so the deterministic counter
+	// baselines keep the fixed policy.
+	AdaptiveAggregation bool
+
+	// AggregationMax bounds the adaptive aggregation target so FIFO flush
+	// latency stays predictable.  Zero means DefaultAggregationMax.  It has
+	// no effect when AdaptiveAggregation is false.
+	AggregationMax int
+
 	// RemoteDelay, when non-nil, returns an artificial latency injected
 	// before delivering a request from src to dst.  It is used to model
 	// machine topology (e.g. intra-node vs. inter-node placement in the
@@ -126,6 +142,7 @@ type Stats struct {
 	DirectoryRMIs  int64 // RMIs carrying directory maintenance (publish, fill, epoch)
 	Fences         int64
 	BytesSimulated int64
+	SizerMisses    int64 // payload sizes guessed because no sizer tier matched
 }
 
 // statShard holds one location's contribution to the machine statistics.
@@ -146,7 +163,8 @@ type statShard struct {
 	directoryRMIs  atomic.Int64
 	fences         atomic.Int64
 	bytesSimulated atomic.Int64
-	_              [40]byte // pad to a multiple of 64 bytes
+	sizerMisses    atomic.Int64
+	_              [32]byte // pad to a multiple of 64 bytes
 }
 
 // NewMachine creates a machine with p locations and the given configuration.
@@ -156,6 +174,12 @@ func NewMachine(p int, cfg Config) *Machine {
 	}
 	if cfg.Aggregation <= 0 {
 		cfg.Aggregation = 1
+	}
+	if cfg.AggregationMax <= 0 {
+		cfg.AggregationMax = DefaultAggregationMax
+	}
+	if cfg.Aggregation > cfg.AggregationMax {
+		cfg.AggregationMax = cfg.Aggregation
 	}
 	if cfg.FaultInjection == nil {
 		cfg.FaultInjection = faultInjectionFromEnv(p)
@@ -210,6 +234,7 @@ func (m *Machine) Stats() Stats {
 		s.DirectoryRMIs += l.stats.directoryRMIs.Load()
 		s.Fences += l.stats.fences.Load()
 		s.BytesSimulated += l.stats.bytesSimulated.Load()
+		s.SizerMisses += l.stats.sizerMisses.Load()
 	}
 	return s
 }
@@ -371,6 +396,9 @@ func (m *Machine) beginRun() {
 			l.aggBufs[d] = nil
 		}
 		l.aggMu.Unlock()
+		if l.cfg.AdaptiveAggregation {
+			l.resetAggregation()
+		}
 	}
 }
 
@@ -508,9 +536,14 @@ type Location struct {
 	inbox    *mailbox
 	serverWG sync.WaitGroup
 
-	// Aggregation buffers, one per destination.
-	aggMu   sync.Mutex
-	aggBufs [][]*rmiRequest
+	// Aggregation buffers, one per destination.  Under AdaptiveAggregation,
+	// aggEWMA tracks each destination's smoothed flush occupancy and
+	// aggTarget caches the integer flush threshold derived from it; both are
+	// guarded by aggMu alongside the buffers they describe.
+	aggMu     sync.Mutex
+	aggBufs   [][]*rmiRequest
+	aggEWMA   []float64
+	aggTarget []int
 
 	// Registered p_object representatives, held as an immutable snapshot
 	// slice indexed by handle.  Registration is rare and collective
@@ -548,6 +581,11 @@ func newLocation(m *Machine, id, n int, cfg Config) *Location {
 		inbox:   newMailbox(),
 		aggBufs: make([][]*rmiRequest, n),
 		rng:     rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(id))),
+	}
+	if cfg.AdaptiveAggregation {
+		l.aggEWMA = make([]float64, n)
+		l.aggTarget = make([]int, n)
+		l.resetAggregation()
 	}
 	empty := make([]any, 0)
 	l.objects.Store(&empty)
@@ -677,9 +715,28 @@ func (l *Location) execute(req *rmiRequest) {
 	l.maybeInjectFault()
 	l.stats.rmisHandled.Add(1)
 	obj := l.object(req.handle)
-	if req.resp != nil {
-		req.resp <- req.retFn(obj, l)
-	} else {
+	switch {
+	case req.resp != nil:
+		if req.retArgFn != nil {
+			req.resp <- req.retArgFn(obj, l, req.arg)
+		} else {
+			req.resp <- req.retFn(obj, l)
+		}
+	case req.fut != nil:
+		// Split-phase request executed natively: the server computes the
+		// result, accounts the simulated reply traffic and completes the
+		// caller's future — no wrapper closure on the request path.
+		var out any
+		if req.retArgFn != nil {
+			out = req.retArgFn(obj, l, req.arg)
+		} else {
+			out = req.retFn(obj, l)
+		}
+		l.AccountReply(l.payloadBytes(out))
+		req.fut.Complete(out)
+	case req.argFn != nil:
+		req.argFn(obj, l, req.arg)
+	default:
 		req.fn(obj, l)
 	}
 }

@@ -7,34 +7,24 @@ import (
 	"repro/internal/transport"
 )
 
-// rmiRequest is one remote method invocation in flight.  Exactly one of fn
-// (asynchronous, no result) or retFn+resp (synchronous / split-phase) is set.
+// rmiRequest is one remote method invocation in flight.  Exactly one of fn /
+// argFn (asynchronous, no result) or retFn / retArgFn (synchronous via resp,
+// split-phase via fut) is set.  The arg-carrying pair exists so hot paths can
+// ship a static handler plus an explicit argument instead of allocating a
+// capturing closure per request (see AsyncRMIArg).
 type rmiRequest struct {
-	src    int
-	handle Handle
-	kind   uint8 // transport.Kind* — the RMI flavour, for the wire descriptor
-	fn     func(obj any, loc *Location)
-	retFn  func(obj any, loc *Location) any
-	resp   chan any
-	delay  time.Duration
-	bytes  int
-}
-
-// Sizer is implemented by argument payloads that want their (simulated)
-// marshalled size accounted in the machine statistics.  It mirrors the
-// paper's define_type marshalling hooks: we do not serialise bytes over a
-// wire, but we do track how many bytes would have moved.
-type Sizer interface {
-	ByteSize() int
-}
-
-// PayloadBytes returns the simulated marshalled size of v: its ByteSize if
-// it implements Sizer, otherwise a flat default per value.
-func PayloadBytes(v any) int {
-	if s, ok := v.(Sizer); ok {
-		return s.ByteSize()
-	}
-	return 8
+	src      int
+	handle   Handle
+	kind     uint8 // transport.Kind* — the RMI flavour, for the wire descriptor
+	fn       func(obj any, loc *Location)
+	argFn    func(obj any, loc *Location, arg any)
+	retFn    func(obj any, loc *Location) any
+	retArgFn func(obj any, loc *Location, arg any) any
+	arg      any
+	resp     chan any
+	fut      *Future // split-phase: completed (and the reply accounted) by the server
+	delay    time.Duration
+	bytes    int
 }
 
 // requestOverheadBytes is the simulated size of a request descriptor (the
@@ -67,6 +57,28 @@ func (l *Location) AsyncRMISized(dest int, h Handle, bytes int, fn func(obj any,
 	l.remoteRMIs.Add(1)
 	req := getRequest()
 	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindAsync, fn: fn, bytes: bytes, delay: l.delayTo(dest)}
+	l.enqueue(dest, req)
+}
+
+// AsyncRMIArg is the allocation-lean flavour of AsyncRMISized: fn must be a
+// static (non-capturing) handler and receives arg explicitly at the
+// destination.  Because nothing is captured, the caller pays no closure
+// allocation per request — the framework's bulk and element paths use it so
+// steady-state traffic runs without per-op garbage (the request descriptor
+// itself is pooled).  arg crosses locations by reference: like every RMI
+// argument it must not be mutated until the handler has run.
+func (l *Location) AsyncRMIArg(dest int, h Handle, bytes int, fn func(obj any, loc *Location, arg any), arg any) {
+	l.stats.asyncRMIs.Add(1)
+	l.stats.rmisSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		fn(l.object(h), l, arg)
+		return
+	}
+	l.stats.bytesSimulated.Add(int64(bytes) + requestOverheadBytes)
+	l.remoteRMIs.Add(1)
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindAsync, argFn: fn, arg: arg, bytes: bytes, delay: l.delayTo(dest)}
 	l.enqueue(dest, req)
 }
 
@@ -126,6 +138,29 @@ func (l *Location) AsyncRMIBulk(dest int, h Handle, ops, bytes int, fn func(obj 
 	l.machine.transport.DeliverOne(l.id, dest, req)
 }
 
+// AsyncRMIBulkArg is AsyncRMIBulk with a static handler and an explicit
+// argument: the per-destination flush of a bulk operation ships its group
+// without allocating a capturing closure (the group itself travels in arg,
+// typically a pooled descriptor the handler recycles after applying it).
+func (l *Location) AsyncRMIBulkArg(dest int, h Handle, ops, bytes int, fn func(obj any, loc *Location, arg any), arg any) {
+	l.stats.bulkRMIs.Add(1)
+	l.stats.bulkOps.Add(int64(ops))
+	l.stats.rmisSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		fn(l.object(h), l, arg)
+		return
+	}
+	l.stats.bytesSimulated.Add(int64(bytes) + requestOverheadBytes)
+	l.remoteRMIs.Add(1)
+	l.flushDest(dest)
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindBulk, argFn: fn, arg: arg, bytes: bytes, delay: l.delayTo(dest)}
+	l.machine.addPending(l.id, 1)
+	l.stats.messagesSent.Add(1)
+	l.machine.transport.DeliverOne(l.id, dest, req)
+}
+
 // AccountDirectoryRMI attributes n of this location's recently issued RMIs to
 // directory maintenance (ownership publication, cache fills, epoch bumps), so
 // machine statistics can separate the metadata traffic a distributed
@@ -159,12 +194,40 @@ func (l *Location) SyncRMI(dest int, h Handle, fn func(obj any, loc *Location) a
 	}
 	l.stats.bytesSimulated.Add(requestOverheadBytes)
 	l.remoteRMIs.Add(1)
-	resp := make(chan any, 1)
 	req := getRequest()
-	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSync, retFn: fn, resp: resp, delay: l.delayTo(dest)}
-	// A synchronous request must not overtake earlier asynchronous
-	// requests to the same destination, so the aggregation buffer for
-	// that destination is flushed first.
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSync, retFn: fn, delay: l.delayTo(dest)}
+	return l.syncCall(dest, req)
+}
+
+// SyncRMIArg is SyncRMI with a static handler and an explicit argument: the
+// blocking round trip runs without a capturing closure on the request side.
+func (l *Location) SyncRMIArg(dest int, h Handle, fn func(obj any, loc *Location, arg any) any, arg any) any {
+	l.stats.syncRMIs.Add(1)
+	l.stats.rmisSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		return fn(l.object(h), l, arg)
+	}
+	l.stats.bytesSimulated.Add(requestOverheadBytes)
+	l.remoteRMIs.Add(1)
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSync, retArgFn: fn, arg: arg, delay: l.delayTo(dest)}
+	return l.syncCall(dest, req)
+}
+
+// respPool recycles the one-slot response channels of synchronous RMIs.  A
+// channel is returned to the pool only after its response was received, so a
+// recycled channel is always empty; the abort path deliberately leaks its
+// channel because a dying handler may still complete the send.
+var respPool = sync.Pool{New: func() any { return make(chan any, 1) }}
+
+// syncCall delivers a prepared synchronous request to dest and blocks for
+// the response.  The destination's aggregation buffer is flushed first so a
+// synchronous request cannot overtake earlier asynchronous requests on the
+// same (source, destination) pair.
+func (l *Location) syncCall(dest int, req *rmiRequest) any {
+	resp := respPool.Get().(chan any)
+	req.resp = resp
 	l.flushDest(dest)
 	l.machine.addPending(l.id, 1)
 	l.stats.messagesSent.Add(1)
@@ -182,9 +245,10 @@ func (l *Location) SyncRMI(dest int, h Handle, fn func(obj any, loc *Location) a
 			panic(abortSignal{})
 		}
 	}
+	respPool.Put(resp)
 	// The response itself is one message on the simulated interconnect,
 	// carrying the marshalled result.
-	l.AccountReply(PayloadBytes(out))
+	l.AccountReply(l.payloadBytes(out))
 	return out
 }
 
@@ -204,18 +268,37 @@ func (l *Location) SplitRMI(dest int, h Handle, fn func(obj any, loc *Location) 
 	l.stats.bytesSimulated.Add(requestOverheadBytes)
 	l.remoteRMIs.Add(1)
 	req := getRequest()
-	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSplit, delay: l.delayTo(dest)}
-	req.fn = func(obj any, loc *Location) {
-		out := fn(obj, loc)
-		fut.Complete(out)
-		loc.AccountReply(PayloadBytes(out)) // response message
-	}
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSplit, retFn: fn, fut: fut, delay: l.delayTo(dest)}
 	// If the caller blocks on the future before the aggregation buffer
-	// holding this request fills up, flush the buffer so the request is
-	// delivered and the caller makes progress.
-	fut.onWait = func() { l.flushDest(dest) }
+	// holding this request fills up, Get flushes the buffer (identified by
+	// these fields — no closure) so the request is delivered and the caller
+	// makes progress.
+	fut.onWaitLoc = l
+	fut.onWaitDest = dest
 	// A machine abort means the completion may never arrive; let Get
 	// unwind instead of deadlocking.
+	fut.abort = l.machine.abortCh
+	l.enqueue(dest, req)
+	return fut
+}
+
+// SplitRMIArg is SplitRMI with a static handler and an explicit argument:
+// the split-phase issue allocates only the Future.
+func (l *Location) SplitRMIArg(dest int, h Handle, fn func(obj any, loc *Location, arg any) any, arg any) *Future {
+	l.stats.splitRMIs.Add(1)
+	l.stats.rmisSent.Add(1)
+	fut := NewFuture()
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		fut.Complete(fn(l.object(h), l, arg))
+		return fut
+	}
+	l.stats.bytesSimulated.Add(requestOverheadBytes)
+	l.remoteRMIs.Add(1)
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindSplit, retArgFn: fn, arg: arg, fut: fut, delay: l.delayTo(dest)}
+	fut.onWaitLoc = l
+	fut.onWaitDest = dest
 	fut.abort = l.machine.abortCh
 	l.enqueue(dest, req)
 	return fut
@@ -247,12 +330,79 @@ func putBatch(b []*rmiRequest) {
 	batchPool.Put(b[:0])
 }
 
+// DefaultAggregationMax bounds the adaptive aggregation target when
+// Config.AggregationMax is zero.
+const DefaultAggregationMax = 64
+
+// aggEWMAAlpha is the smoothing factor of the per-destination occupancy
+// EWMA: high enough that a destination going quiet collapses its target
+// within a dozen trickle flushes, low enough that one odd flush does not
+// whipsaw the batch size.
+const aggEWMAAlpha = 0.25
+
+// resetAggregation reseeds every destination's adaptive target from the
+// configured Aggregation factor.  Called at construction and at the start of
+// each run, so targets learned by one Execute do not leak into the next
+// (runs must stay deterministic in isolation).
+func (l *Location) resetAggregation() {
+	l.aggMu.Lock()
+	seed := l.cfg.Aggregation
+	if seed > l.cfg.AggregationMax {
+		seed = l.cfg.AggregationMax
+	}
+	for d := range l.aggTarget {
+		l.aggTarget[d] = seed
+		l.aggEWMA[d] = float64(seed)
+	}
+	l.aggMu.Unlock()
+}
+
+// AggregationTarget reports the current flush threshold for dest: the fixed
+// Aggregation factor, or the adaptively learned per-destination target when
+// AdaptiveAggregation is on (exposed for tests and introspection).
+func (l *Location) AggregationTarget(dest int) int {
+	if !l.cfg.AdaptiveAggregation {
+		return l.cfg.Aggregation
+	}
+	l.aggMu.Lock()
+	defer l.aggMu.Unlock()
+	return l.aggTarget[dest]
+}
+
+// observeFlushLocked folds one flush of dest's buffer into its occupancy
+// EWMA and re-derives the integer target.  threshold marks a flush that
+// happened because the buffer reached its target (sustained traffic): the
+// sample is doubled so the target probes upward toward AggregationMax.  An
+// explicit flush (fence, sync, bulk, future wait) samples the raw occupancy,
+// so a destination that keeps flushing nearly empty decays toward 1 and
+// trickle traffic stops waiting on a batch that will never fill.
+// Caller holds aggMu.
+func (l *Location) observeFlushLocked(dest, occ int, threshold bool) {
+	sample := float64(occ)
+	if threshold {
+		sample *= 2
+	}
+	if max := float64(l.cfg.AggregationMax); sample > max {
+		sample = max
+	}
+	l.aggEWMA[dest] += (sample - l.aggEWMA[dest]) * aggEWMAAlpha
+	t := int(l.aggEWMA[dest] + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	if t > l.cfg.AggregationMax {
+		t = l.cfg.AggregationMax
+	}
+	l.aggTarget[dest] = t
+}
+
 // enqueue places an asynchronous request in the aggregation buffer for dest,
-// flushing the buffer as a single batch when it reaches the configured
-// aggregation factor.
+// flushing the buffer as a single batch when it reaches the aggregation
+// threshold (the fixed factor, or the destination's adaptive target).
 func (l *Location) enqueue(dest int, req *rmiRequest) {
 	l.machine.addPending(l.id, 1)
-	if l.cfg.Aggregation <= 1 {
+	adaptive := l.cfg.AdaptiveAggregation
+	if !adaptive && l.cfg.Aggregation <= 1 {
 		l.stats.messagesSent.Add(1)
 		l.machine.transport.DeliverOne(l.id, dest, req)
 		return
@@ -262,10 +412,17 @@ func (l *Location) enqueue(dest int, req *rmiRequest) {
 		l.aggBufs[dest] = getBatch()
 	}
 	l.aggBufs[dest] = append(l.aggBufs[dest], req)
+	target := l.cfg.Aggregation
+	if adaptive {
+		target = l.aggTarget[dest]
+	}
 	var batch []*rmiRequest
-	if len(l.aggBufs[dest]) >= l.cfg.Aggregation {
+	if len(l.aggBufs[dest]) >= target {
 		batch = l.aggBufs[dest]
 		l.aggBufs[dest] = nil
+		if adaptive {
+			l.observeFlushLocked(dest, len(batch), true)
+		}
 	}
 	l.aggMu.Unlock()
 	if batch != nil {
@@ -277,12 +434,35 @@ func (l *Location) enqueue(dest int, req *rmiRequest) {
 
 // flushDest delivers any buffered asynchronous requests destined to dest.
 func (l *Location) flushDest(dest int) {
-	if l.cfg.Aggregation <= 1 {
+	l.flushDestObserve(dest, false)
+}
+
+// flushDestObserve is flushDest with control over idle observation.  An
+// explicit flush that finds the buffer EMPTY is the trickle signal — the
+// destination's traffic is not filling batches between synchronisation
+// points — so fences feed it to the controller as a floor sample of 1,
+// letting the target decay all the way back (a threshold flush at target 1
+// probes upward with a doubled sample, so without idle observations the
+// target could never settle at 1).  Only the deterministic fence-level
+// flushAll passes observeIdle: flushDest is also reached from a blocked
+// Future.Get, whose flush depends on completion timing, and an idle
+// observation there would make message boundaries — and therefore the
+// machine counters — racy.
+func (l *Location) flushDestObserve(dest int, observeIdle bool) {
+	adaptive := l.cfg.AdaptiveAggregation
+	if !adaptive && l.cfg.Aggregation <= 1 {
 		return
 	}
 	l.aggMu.Lock()
 	batch := l.aggBufs[dest]
 	l.aggBufs[dest] = nil
+	if adaptive {
+		if len(batch) > 0 {
+			l.observeFlushLocked(dest, len(batch), false)
+		} else if observeIdle {
+			l.observeFlushLocked(dest, 1, false)
+		}
+	}
 	l.aggMu.Unlock()
 	if len(batch) > 0 {
 		l.stats.messagesSent.Add(1)
@@ -296,11 +476,11 @@ func (l *Location) flushDest(dest int) {
 // flushAll delivers every buffered asynchronous request.  It is called on
 // entry to Fence and when the SPMD function returns.
 func (l *Location) flushAll() {
-	if l.cfg.Aggregation <= 1 {
+	if !l.cfg.AdaptiveAggregation && l.cfg.Aggregation <= 1 {
 		return
 	}
 	for d := 0; d < l.n; d++ {
-		l.flushDest(d)
+		l.flushDestObserve(d, true)
 	}
 }
 

@@ -1,0 +1,128 @@
+package runtime
+
+import "sync"
+
+// This file implements the payload-size resolution for RMI byte accounting.
+// Three tiers, all reflection-free:
+//
+//  1. a built-in fast path for the 8-byte scalars the element paths move
+//     (identical to the historical flat default, so counters do not move);
+//  2. the Sizer interface, for payloads that carry their own size;
+//  3. a registry of generics-instantiated sizers (RegisterSizer), each a
+//     plain type assertion — no reflect on the hot path.
+//
+// A value that matches none of the tiers falls back to the flat default and
+// is counted in the SizerMisses statistic: the fallback is a guess, and the
+// stat makes the guessing visible instead of silent.
+
+// Sizer is implemented by argument payloads that want their (simulated)
+// marshalled size accounted in the machine statistics.  It mirrors the
+// paper's define_type marshalling hooks: we do not serialise bytes over a
+// wire, but we do track how many bytes would have moved.
+type Sizer interface {
+	ByteSize() int
+}
+
+// defaultPayloadBytes is the flat per-value fallback used when no sizer
+// matches (the historical behaviour for every non-Sizer payload).
+const defaultPayloadBytes = 8
+
+// sizerFn reports the simulated size of v if this entry's type matches.
+type sizerFn func(v any) (int, bool)
+
+// sizerRegistry is an immutable snapshot slice of registered sizers; lookup
+// is an atomic load plus a handful of type assertions.  Registration is rare
+// (init time) and copies the table under sizerMu.
+var (
+	sizerMu       sync.Mutex
+	sizerRegistry atomicSizerTable
+)
+
+type atomicSizerTable struct {
+	mu    sync.RWMutex
+	table []sizerFn
+}
+
+func (t *atomicSizerTable) load() []sizerFn {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.table
+}
+
+func (t *atomicSizerTable) store(fns []sizerFn) {
+	t.mu.Lock()
+	t.table = fns
+	t.mu.Unlock()
+}
+
+// RegisterSizer registers a marshalled-size function for payloads of type T.
+// It is consulted by PayloadBytes after the built-in fast path and the Sizer
+// interface; the lookup is a type assertion per registered entry, so keep
+// the registry to the handful of types a workload actually ships.  Sizers
+// registered for a type that already matches an earlier tier are never
+// consulted.  Safe for concurrent use; intended for init time.
+func RegisterSizer[T any](size func(T) int) {
+	sizerMu.Lock()
+	defer sizerMu.Unlock()
+	old := sizerRegistry.load()
+	next := make([]sizerFn, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, func(v any) (int, bool) {
+		t, ok := v.(T)
+		if !ok {
+			return 0, false
+		}
+		return size(t), true
+	})
+	sizerRegistry.store(next)
+}
+
+// sizeOf resolves v through the three tiers; ok reports whether any tier
+// matched (false means the caller is about to guess the flat default).
+func sizeOf(v any) (int, bool) {
+	switch v.(type) {
+	case nil:
+		// A nil result marshals as a presence marker; keep the historical
+		// flat default so reply accounting does not move.
+		return defaultPayloadBytes, true
+	case int64, uint64, int, uint, float64:
+		// The 8-byte scalars every element path ships; equals the historical
+		// flat default by construction.
+		return defaultPayloadBytes, true
+	}
+	if s, ok := v.(Sizer); ok {
+		return s.ByteSize(), true
+	}
+	for _, fn := range sizerRegistry.load() {
+		if n, ok := fn(v); ok {
+			return n, true
+		}
+	}
+	return defaultPayloadBytes, false
+}
+
+// PayloadBytes returns the simulated marshalled size of v: the built-in
+// scalar fast path, its ByteSize if it implements Sizer, a registered sizer
+// (RegisterSizer), or a flat default per value.  Framework code holding a
+// Location should prefer Location.PayloadBytes, which additionally counts
+// fallback guesses in the SizerMisses statistic.
+func PayloadBytes(v any) int {
+	n, _ := sizeOf(v)
+	return n
+}
+
+// PayloadBytes is the accounted flavour of the package-level PayloadBytes:
+// when every sizer tier misses and the flat default is guessed, the miss is
+// counted in this location's SizerMisses shard, so hot paths that silently
+// fall back to the guess show up in Machine.Stats instead of hiding.
+func (l *Location) PayloadBytes(v any) int {
+	return l.payloadBytes(v)
+}
+
+func (l *Location) payloadBytes(v any) int {
+	n, ok := sizeOf(v)
+	if !ok {
+		l.stats.sizerMisses.Add(1)
+	}
+	return n
+}
