@@ -66,7 +66,7 @@ func main() {
 		locations  = flag.String("locations", "1,2,4,8", "comma-separated machine sizes to sweep")
 		elements   = flag.Int64("elements", 20000, "elements per location (weak-scaling unit)")
 		graphScale = flag.Int("graphscale", 10, "log2 of the SSCA2 graph vertex count")
-		transportF = flag.String("transport", "", "interconnect for the experiment machines: inproc, wire, tcp, chaos or chaos-tcp (default: PCF_TRANSPORT, else inproc)")
+		transportF = flag.String("transport", "", "interconnect for the experiment machines: inproc, wire, tcp, proc, chaos or chaos-tcp (default: PCF_TRANSPORT, else inproc); proc re-executes pcfbench one OS process per location")
 		chaosSeed  = flag.Int64("chaos-seed", -1, "reseed the chaos wire's fault schedule (chaos transports only; -1 keeps PCF_CHAOS_SEED / the default)")
 		jsonOut    = flag.Bool("json", false, "emit one JSON record per row instead of the report table (includes wire-level fault counters)")
 		counters   = flag.Bool("counters", false, "with -json: emit only deterministic counter rows (msgs/rmis/bytes/ops)")
@@ -98,20 +98,6 @@ func main() {
 		// transport factory is built, so the flag must land first.
 		os.Setenv("PCF_CHAOS_SEED", strconv.FormatInt(*chaosSeed, 10))
 	}
-	if *transportF != "" {
-		factory, err := resolveTransport(*transportF)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
-			os.Exit(2)
-		}
-		cfg.Transport = factory
-	} else {
-		cfg.Transport = runtime.TransportFromEnv()
-	}
-	// Tap every experiment machine's transport so the harness can report the
-	// wire-level traffic and fault counters the runs accumulated.
-	tap := &wireTap{inner: cfg.Transport}
-	cfg.Transport = tap.factory
 	cfg.Locations = nil
 	for _, tok := range strings.Split(*locations, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -120,6 +106,63 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Locations = append(cfg.Locations, p)
+	}
+
+	transportName := *transportF
+	if transportName == "" {
+		transportName = os.Getenv("PCF_TRANSPORT")
+	}
+	// The wire tap reports the wire-level traffic and fault counters the runs
+	// accumulated; it stays nil in multi-process mode, where the transport
+	// factory must be the proc one unwrapped (the runtime recognises it by
+	// identity) and the counters surface through Machine.WireStats instead.
+	var tap *wireTap
+	if transportName == "proc" {
+		// Multi-process mode.  The parent re-executes itself, one process per
+		// location, under the launcher; the children run the experiments over
+		// the proc transport and only rank 0 reports.
+		rank, nprocs, child := runtime.ProcRank()
+		if !child {
+			if len(cfg.Locations) != 1 {
+				fmt.Fprintf(os.Stderr, "pcfbench: -transport=proc needs a single -locations value (one process per location), got %q\n", *locations)
+				os.Exit(2)
+			}
+			if err := runtime.LaunchSelf(cfg.Locations[0], "PCF_TRANSPORT=proc"); err != nil {
+				fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		runtime.ChildMain()
+		defer runtime.ChildDone()
+		if len(cfg.Locations) != 1 || cfg.Locations[0] != nprocs {
+			fmt.Fprintf(os.Stderr, "pcfbench: proc child of %d processes got -locations %q (must match)\n", nprocs, *locations)
+			os.Exit(2)
+		}
+		cfg.Transport = runtime.ProcTransport
+		if rank != 0 {
+			// Every rank runs the same experiments (SPMD discipline) and folds
+			// the same machine-wide statistics; one report is enough.
+			devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+				os.Exit(2)
+			}
+			os.Stdout = devnull
+		}
+	} else {
+		if *transportF != "" {
+			factory, err := resolveTransport(*transportF)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcfbench: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Transport = factory
+		} else {
+			cfg.Transport = runtime.TransportFromEnv()
+		}
+		tap = &wireTap{inner: cfg.Transport}
+		cfg.Transport = tap.factory
 	}
 
 	// In -time mode the experiment ids resolve to their timed variants: the
@@ -218,7 +261,7 @@ func main() {
 			}
 		}
 	}
-	if *jsonOut && !*counters && !*timeMode {
+	if *jsonOut && !*counters && !*timeMode && tap != nil {
 		// Wire-level counters are transport-DEPENDENT by design (they
 		// describe the wire, not the workload), so they carry their own
 		// "wire" unit: the -counters baseline and the regression gate ignore
@@ -262,6 +305,7 @@ func (w *wireTap) add(name string, s transport.WireStats) {
 	w.total.Retransmits += s.Retransmits
 	w.total.DuplicatesDropped += s.DuplicatesDropped
 	w.total.OutOfOrder += s.OutOfOrder
+	w.total.RendezvousFallbacks += s.RendezvousFallbacks
 	w.total.Delayed += s.Delayed
 	w.total.Duplicated += s.Duplicated
 	w.total.Dropped += s.Dropped
@@ -284,6 +328,7 @@ func (w *wireTap) rows() []jsonRow {
 		{"retransmits", w.total.Retransmits},
 		{"duplicates-dropped", w.total.DuplicatesDropped},
 		{"out-of-order", w.total.OutOfOrder},
+		{"rendezvous-fallbacks", w.total.RendezvousFallbacks},
 		{"delayed", w.total.Delayed},
 		{"duplicated", w.total.Duplicated},
 		{"dropped", w.total.Dropped},
@@ -315,7 +360,7 @@ func (t tapTransport) Close() error {
 func resolveTransport(name string) (factory runtime.TransportFactory, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			factory, err = nil, fmt.Errorf("invalid -transport %q (want inproc, wire, tcp, chaos or chaos-tcp)", name)
+			factory, err = nil, fmt.Errorf("invalid -transport %q (want inproc, wire, tcp, proc, chaos or chaos-tcp)", name)
 		}
 	}()
 	os.Setenv("PCF_TRANSPORT", name)

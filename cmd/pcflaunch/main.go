@@ -1,0 +1,60 @@
+// Command pcflaunch starts a multi-process SPMD job: it runs one OS process
+// per location and serves the control plane the processes synchronise over
+// (collective rounds, fault propagation, shutdown supervision).  The
+// launched program must call runtime.ChildMain early in main() and build its
+// machine with the proc transport (PCF_TRANSPORT=proc is exported to every
+// child by default, so runtime.TransportFromEnv picks it up unchanged).
+//
+// Usage:
+//
+//	pcflaunch -n 4 [-grace 15s] -- prog [args...]
+//
+// Every child receives the same command line; ranks differ only in the
+// PCF_PROC_RANK / PCF_PROC_NPROCS / PCF_PROC_CONTROL environment variables.
+// pcflaunch exits 0 when all children shut down cleanly, and nonzero with
+// the first failure otherwise (a child that exited nonzero, was killed, or
+// lost its control connection mid-run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of processes (= machine locations)")
+	grace := flag.Duration("grace", 15*time.Second,
+		"how long survivors may run after the first child failure before being killed")
+	noEnv := flag.Bool("no-transport-env", false,
+		"do not export PCF_TRANSPORT=proc to the children (program selects its transport itself)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pcflaunch -n N [-grace D] -- prog [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var env []string
+	if !*noEnv {
+		env = append(env, "PCF_TRANSPORT=proc")
+	}
+	if err := runtime.Launch(runtime.LaunchSpec{
+		NProcs: *n,
+		Prog:   args[0],
+		Args:   args[1:],
+		Env:    env,
+		Grace:  *grace,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -186,34 +186,39 @@ func ViewsComposition(cfg Config) []Row {
 
 // measuredRun executes one measured section SPMD on p locations: build runs
 // first (construction and input generation are excluded from the
-// measurement), then the returned body runs between machine-stat snapshots.
+// measurement), then the returned body runs between per-location stat
+// snapshots whose deltas are summed with a collective.  The collective is
+// what makes the delta machine-wide on EVERY transport: under the
+// multi-process transport a location can only read its own process's
+// counters mid-run, so each location contributes its own share and the
+// AllReduce produces the same machine-wide delta an in-process fold would.
 // It returns location 0's elapsed milliseconds and the stat delta of the
 // section.
 func measuredRun(cfg Config, p int, build func(loc *runtime.Location) func()) (float64, runtime.Stats) {
 	m := machine(cfg, p)
-	var pre, post runtime.Stats
+	var delta runtime.Stats
 	var elapsed float64
 	m.Execute(func(loc *runtime.Location) {
 		body := build(loc)
 		loc.Fence()
-		if loc.ID() == 0 {
-			pre = m.Stats()
-		}
+		pre := loc.Stats()
 		loc.Barrier()
 		d := timeSection(loc, body)
 		loc.Barrier()
+		local := loc.Stats().Sub(pre)
+		total := runtime.AllReduceT(loc, local, runtime.Stats.Add)
 		if loc.ID() == 0 {
-			post = m.Stats()
+			delta = total
 			elapsed = ms(d)
 		}
 		loc.Barrier()
 	})
 	return elapsed, runtime.Stats{
-		RMIsSent:       post.RMIsSent - pre.RMIsSent,
-		MessagesSent:   post.MessagesSent - pre.MessagesSent,
-		RMIsHandled:    post.RMIsHandled - pre.RMIsHandled,
-		BulkRMIs:       post.BulkRMIs - pre.BulkRMIs,
-		BulkOps:        post.BulkOps - pre.BulkOps,
-		BytesSimulated: post.BytesSimulated - pre.BytesSimulated,
+		RMIsSent:       delta.RMIsSent,
+		MessagesSent:   delta.MessagesSent,
+		RMIsHandled:    delta.RMIsHandled,
+		BulkRMIs:       delta.BulkRMIs,
+		BulkOps:        delta.BulkOps,
+		BytesSimulated: delta.BytesSimulated,
 	}
 }

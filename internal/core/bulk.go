@@ -85,7 +85,7 @@ func (c *Container[G, B]) InvokeBulkSync(gids []G, mode AccessMode, bytesPerOp i
 	tr := &bulkTracker{done: make(chan struct{})}
 	tr.remaining.Store(int64(len(gids)))
 	c.bulkHop(gids, nil, mode, bytesPerOp, action, tr, 0)
-	<-tr.done
+	c.loc.WaitDone(tr.done)
 }
 
 // bulkGroup is one destination's (or one local base container's) share of a

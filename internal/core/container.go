@@ -222,6 +222,12 @@ type MemoryUsage struct {
 	Metadata int64
 }
 
+func init() {
+	// MemorySize reduces MemoryUsage collectively; in multi-process mode the
+	// contribution crosses the control plane as gob.
+	runtime.RegisterCollectiveType(MemoryUsage{})
+}
+
 // Total returns data plus metadata bytes.
 func (m MemoryUsage) Total() int64 { return m.Data + m.Metadata }
 

@@ -161,9 +161,11 @@ func Accumulate[T any](loc *runtime.Location, v views.Partitioned[T], init T, op
 	return op(init, val)
 }
 
+// localAcc crosses the machine as a collective contribution, so its fields
+// are exported (the multi-process control plane moves contributions as gob).
 type localAcc[T any] struct {
-	val   T
-	valid bool
+	Val   T
+	Valid bool
 }
 
 // Reduce reduces the view with op over its elements only (no initial value
@@ -178,18 +180,18 @@ func Reduce[T any](loc *runtime.Location, v views.Partitioned[T], op func(a, b T
 			acc = op(acc, x)
 		}
 	})
-	out := runtime.AllReduceT(loc, localAcc[T]{val: acc, valid: valid}, func(a, b localAcc[T]) localAcc[T] {
+	out := runtime.AllReduceT(loc, localAcc[T]{Val: acc, Valid: valid}, func(a, b localAcc[T]) localAcc[T] {
 		switch {
-		case !a.valid:
+		case !a.Valid:
 			return b
-		case !b.valid:
+		case !b.Valid:
 			return a
 		default:
-			return localAcc[T]{val: op(a.val, b.val), valid: true}
+			return localAcc[T]{Val: op(a.Val, b.Val), Valid: true}
 		}
 	})
 	loc.Fence()
-	return out.val, out.valid
+	return out.Val, out.Valid
 }
 
 // CountIf returns the number of elements satisfying pred (p_count_if).

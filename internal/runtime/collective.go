@@ -15,6 +15,9 @@ func (l *Location) Barrier() {
 // it is ignored.
 func (l *Location) Broadcast(root int, v any) any {
 	m := l.machine
+	if m.proc != nil {
+		return m.procBroadcast(root, v)
+	}
 	if l.id == root {
 		m.collectMu.Lock()
 		m.collectVals[root] = v
@@ -32,6 +35,9 @@ func (l *Location) Broadcast(root int, v any) any {
 // location, a snapshot of all contributions indexed by location id.
 func (l *Location) gather(v any) []any {
 	m := l.machine
+	if m.proc != nil {
+		return m.procGather(v)
+	}
 	m.collectMu.Lock()
 	m.collectVals[l.id] = v
 	m.collectMu.Unlock()

@@ -59,6 +59,11 @@ type LocationFault struct {
 	Kind     FaultKind
 	Err      any    // recovered panic value or error
 	Stack    []byte // goroutine stack captured at the fault site, if any
+
+	// remote marks a fault applied from another process's broadcast in
+	// multi-process mode, so the machine does not forward it back to the hub
+	// (which already knows).
+	remote bool
 }
 
 // Error formats the fault as one line; the captured stack is kept apart so
@@ -231,8 +236,16 @@ func (m *Machine) recordFault(f *LocationFault) {
 	if f.Location >= 0 && f.Location < len(m.status) {
 		m.status[f.Location] = StatusFaulted
 	}
+	hook := m.onFault
 	m.faultMu.Unlock()
 	m.abort()
+	// In multi-process mode locally raised faults are forwarded to the
+	// launcher hub (after the local abort is under way, so a slow control
+	// plane cannot delay the unwind).  Remotely applied faults are not
+	// re-forwarded: the hub broadcast them to us in the first place.
+	if hook != nil && !f.remote {
+		hook(f)
+	}
 }
 
 // setUnwound marks a location as unwound by the abort, unless it already

@@ -7,6 +7,10 @@ package runtime
 // completion guarantees of asynchronous container methods into a globally
 // consistent state.
 func (l *Location) Fence() {
+	if l.machine.proc != nil {
+		l.procFence()
+		return
+	}
 	l.stats.fences.Add(1)
 	// 1. Deliver everything buffered locally.
 	l.flushAll()

@@ -124,6 +124,18 @@ type Machine struct {
 	watchdogStop chan struct{}
 	watchdogDone chan struct{}
 	stallTimeout time.Duration
+
+	// Multi-process state.  proc is non-nil when this machine runs as one
+	// rank of a launched job (see proc.go): the SPMD body executes only for
+	// locations[proc.rank], collectives run over the launcher's control
+	// plane, and onFault forwards locally raised faults to the hub.
+	// foldedStats/foldedWire hold the job-wide sums gathered at the end of a
+	// clean proc-mode run, so Stats() reports machine-wide totals exactly as
+	// an in-process run would.
+	proc        *procRuntime
+	onFault     func(*LocationFault) // guarded by faultMu
+	foldedStats *Stats
+	foldedWire  *transport.WireStats
 }
 
 // Stats is a folded snapshot of the machine-wide communication statistics.
@@ -143,6 +155,41 @@ type Stats struct {
 	Fences         int64
 	BytesSimulated int64
 	SizerMisses    int64 // payload sizes guessed because no sizer tier matched
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	s.RMIsSent += o.RMIsSent
+	s.MessagesSent += o.MessagesSent
+	s.RMIsHandled += o.RMIsHandled
+	s.SyncRMIs += o.SyncRMIs
+	s.AsyncRMIs += o.AsyncRMIs
+	s.SplitRMIs += o.SplitRMIs
+	s.BulkRMIs += o.BulkRMIs
+	s.BulkOps += o.BulkOps
+	s.DirectoryRMIs += o.DirectoryRMIs
+	s.Fences += o.Fences
+	s.BytesSimulated += o.BytesSimulated
+	s.SizerMisses += o.SizerMisses
+	return s
+}
+
+// Sub returns the field-wise difference s − o (the delta between two
+// snapshots of the same counters).
+func (s Stats) Sub(o Stats) Stats {
+	s.RMIsSent -= o.RMIsSent
+	s.MessagesSent -= o.MessagesSent
+	s.RMIsHandled -= o.RMIsHandled
+	s.SyncRMIs -= o.SyncRMIs
+	s.AsyncRMIs -= o.AsyncRMIs
+	s.SplitRMIs -= o.SplitRMIs
+	s.BulkRMIs -= o.BulkRMIs
+	s.BulkOps -= o.BulkOps
+	s.DirectoryRMIs -= o.DirectoryRMIs
+	s.Fences -= o.Fences
+	s.BytesSimulated -= o.BytesSimulated
+	s.SizerMisses -= o.SizerMisses
+	return s
 }
 
 // statShard holds one location's contribution to the machine statistics.
@@ -208,6 +255,16 @@ func NewMachine(p int, cfg Config) *Machine {
 	for i := 0; i < p; i++ {
 		m.locations[i] = newLocation(m, i, p, cfg)
 	}
+	if isProcFactory(m.transportFactory) {
+		rt, err := procConnect()
+		if err != nil {
+			panic(fmt.Sprintf("runtime: proc transport requires a launched child: %v", err))
+		}
+		if p != rt.n {
+			panic(fmt.Sprintf("runtime: proc machine needs one location per process: %d locations, %d processes", p, rt.n))
+		}
+		m.proc = rt
+	}
 	return m
 }
 
@@ -221,6 +278,14 @@ func (m *Machine) Location(id int) *Location { return m.locations[id] }
 // snapshot.  It may be called while the machine is running; each counter is
 // read atomically, but the snapshot as a whole is not a consistent cut.
 func (m *Machine) Stats() Stats {
+	if m.foldedStats != nil {
+		return *m.foldedStats
+	}
+	return m.foldShards()
+}
+
+// foldShards sums this process's per-location statistic shards.
+func (m *Machine) foldShards() Stats {
 	var s Stats
 	for _, l := range m.locations {
 		s.RMIsSent += l.stats.rmisSent.Load()
@@ -239,6 +304,30 @@ func (m *Machine) Stats() Stats {
 	return s
 }
 
+// Stats reports this location's own share of the machine statistics — the
+// counters attributed to requests this location issued and handlers it ran.
+// Unlike Machine.Stats, the share is meaningful mid-run on EVERY transport,
+// including multi-process (where a mid-run machine-wide fold would need a
+// collective): SPMD code that wants a machine-wide mid-run delta snapshots
+// per-location shares and sums them with a collective of its own (see
+// bench.measuredRun).
+func (l *Location) Stats() Stats {
+	return Stats{
+		RMIsSent:       l.stats.rmisSent.Load(),
+		MessagesSent:   l.stats.messagesSent.Load(),
+		RMIsHandled:    l.stats.rmisHandled.Load(),
+		SyncRMIs:       l.stats.syncRMIs.Load(),
+		AsyncRMIs:      l.stats.asyncRMIs.Load(),
+		SplitRMIs:      l.stats.splitRMIs.Load(),
+		BulkRMIs:       l.stats.bulkRMIs.Load(),
+		BulkOps:        l.stats.bulkOps.Load(),
+		DirectoryRMIs:  l.stats.directoryRMIs.Load(),
+		Fences:         l.stats.fences.Load(),
+		BytesSimulated: l.stats.bytesSimulated.Load(),
+		SizerMisses:    l.stats.sizerMisses.Load(),
+	}
+}
+
 // TransportName reports the transport of the most recent Execute run (the
 // transport of the run in progress, while one is running).
 func (m *Machine) TransportName() string {
@@ -254,6 +343,9 @@ func (m *Machine) TransportName() string {
 // Stats, these counters are transport-DEPENDENT by design — they describe
 // the wire, not the workload.
 func (m *Machine) WireStats() transport.WireStats {
+	if m.foldedWire != nil {
+		return *m.foldedWire
+	}
 	if t := m.transport; t != nil {
 		return t.WireStats()
 	}
@@ -296,6 +388,9 @@ func (m *Machine) Execute(fn func(loc *Location)) {
 // afterwards (its containers' contents, however, are whatever the aborted
 // run left behind).
 func (m *Machine) ExecuteErr(fn func(loc *Location)) *MachineFault {
+	if m.proc != nil {
+		return m.procExecuteErr(fn)
+	}
 	m.beginRun()
 	// Bring up the interconnect for this run.  It is built per Execute so
 	// wire transports only hold sockets and goroutines while SPMD code runs.
@@ -373,6 +468,8 @@ func (m *Machine) ExecuteErr(fn func(loc *Location)) *MachineFault {
 // state so the machine can execute again — including after an aborted run,
 // which leaves pending counters nonzero and mailboxes interrupted.
 func (m *Machine) beginRun() {
+	m.foldedStats = nil
+	m.foldedWire = nil
 	m.abortCh = make(chan struct{})
 	m.abortOnce = new(sync.Once)
 	m.faultMu.Lock()
@@ -399,6 +496,11 @@ func (m *Machine) beginRun() {
 		if l.cfg.AdaptiveAggregation {
 			l.resetAggregation()
 		}
+		// Completion callbacks of an aborted run will never fire; drop them
+		// so a stale reply cannot complete a new run's token by accident.
+		l.tokMu.Lock()
+		l.tokens = nil
+		l.tokMu.Unlock()
 	}
 }
 
@@ -440,6 +542,21 @@ func ExecuteOn(p int, fn func(loc *Location)) *Machine {
 func (m *Machine) addPending(src int, n int64) {
 	m.pending.Add(n)
 	m.pendingBySrc[src].Add(n)
+}
+
+// unpendSent removes n requests issued by src from the pending accounting.
+// The multi-process transport calls it after handing a batch to the wire:
+// responsibility moves to the receiving process, which re-pends the requests
+// at arrival, and the quiescence waves account for frames in flight between
+// the two (see procQuiesce).
+func (m *Machine) unpendSent(src int, n int64) {
+	globalZero := m.pending.Add(-n) == 0
+	srcZero := m.pendingBySrc[src].Add(-n) == 0
+	if globalZero || srcZero {
+		m.quiesceMu.Lock()
+		m.quiesceCv.Broadcast()
+		m.quiesceMu.Unlock()
+	}
 }
 
 func (m *Machine) donePending(src int) {
@@ -501,6 +618,10 @@ func (m *Machine) waitSrcQuiescent(src int) {
 // machine abort unwinds every waiter (the missing location will never
 // arrive), so a fault on one location cannot strand the others here.
 func (m *Machine) barrier() {
+	if m.proc != nil {
+		m.procBarrier()
+		return
+	}
 	m.checkAbort()
 	m.barMu.Lock()
 	phase := m.barPhase
@@ -570,6 +691,13 @@ type Location struct {
 	handlerStarted atomic.Int64
 	handlerDone    atomic.Int64
 	injectionCount atomic.Int64
+
+	// Completion tokens for value-returning registered operations on
+	// self-decoding transports (see ops.go): the origin parks a callback
+	// here and the matching KindReply request routes its value back.
+	tokMu    sync.Mutex
+	tokens   map[uint64]func(v any) bool
+	tokenSeq uint64
 }
 
 func newLocation(m *Machine, id, n int, cfg Config) *Location {
@@ -709,6 +837,13 @@ func (l *Location) execute(req *rmiRequest) {
 			Location: l.id, Kind: FaultHandlerPanic, Err: r, Stack: captureStack(),
 		})
 	}()
+	if req.kind == transport.KindReply {
+		// Reply routing, not a handler: no delay, no injection, and it does
+		// not count as a handled RMI (the shared-memory completion path it
+		// mirrors never reaches a server either).
+		l.completeToken(req.token, req.arg)
+		return
+	}
 	if req.delay > 0 {
 		time.Sleep(req.delay)
 	}

@@ -1,0 +1,243 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// This file implements the operation registry: the piece that makes an RMI
+// request *self-decoding*.  A registered operation binds a stable op ID to a
+// static handler plus a Codec-encoded argument type; a request issued through
+// the Op RMI variants carries its op ID into the wire descriptor, and the
+// receive path of a wire transport reconstructs and executes the request from
+// bytes alone — no sender-side rendezvous state, so the request can cross a
+// process boundary.  Requests that still carry Go closures take the
+// compatibility path through the rendezvous table (single-process wires
+// only), counted by WireStats.RendezvousFallbacks.
+
+// OpID is the stable identity of a registered operation: the FNV-64a hash of
+// its registration name.  Hashing the name (rather than numbering
+// registrations) makes the ID independent of registration order, so
+// cooperating processes agree on IDs without negotiation.  Zero is reserved
+// for "unregistered closure".
+type OpID uint64
+
+// opIDFor hashes a registration name to its op ID (FNV-64a).
+func opIDFor(name string) OpID {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1 // preserve the "zero means closure" invariant
+	}
+	return OpID(h)
+}
+
+// opEntry is the registered implementation of one operation, type-erased so
+// the wire receive path can reconstruct any request without generics.
+type opEntry struct {
+	name string
+	// exec runs the operation at the destination.  It owns arg: handlers of
+	// pooled argument types release them after applying the operation.
+	exec func(obj any, loc *Location, arg any)
+	// encode/decode marshal the argument.  decode allocates (or takes from a
+	// pool) a fresh argument, so the decoded request owns it like a local one.
+	encode func(b *transport.Buffer, arg any)
+	decode func(b *transport.Buffer) any
+	// release returns an encoded-and-dropped argument to its pool (sender
+	// side of a self-decoding batch).  May be nil.
+	release func(arg any)
+	// encodeRet/decodeRet marshal the operation's reply value (KindReply
+	// frames).  Nil for operations that return nothing.
+	encodeRet func(b *transport.Buffer, v any)
+	decodeRet func(b *transport.Buffer) any
+}
+
+var (
+	opMu      sync.RWMutex
+	opsByID   = map[OpID]*opEntry{}
+	opsByName = map[string]OpID{}
+)
+
+func registerOpEntry(name string, e *opEntry) OpID {
+	if name == "" {
+		panic("runtime: operation with empty name")
+	}
+	id := opIDFor(name)
+	e.name = name
+	opMu.Lock()
+	defer opMu.Unlock()
+	if _, dup := opsByName[name]; dup {
+		panic(fmt.Sprintf("runtime: operation %q registered twice", name))
+	}
+	if prev, collide := opsByID[id]; collide {
+		panic(fmt.Sprintf("runtime: operation id collision: %q and %q both hash to %#x", prev.name, name, uint64(id)))
+	}
+	opsByName[name] = id
+	opsByID[id] = e
+	return id
+}
+
+// opByID resolves an op ID to its entry, panicking on an unknown ID (a frame
+// naming an operation this process never registered is unexecutable).
+func opByID(id OpID) *opEntry {
+	opMu.RLock()
+	e := opsByID[id]
+	opMu.RUnlock()
+	if e == nil {
+		panic(fmt.Sprintf("runtime: no operation registered under id %#x", uint64(id)))
+	}
+	return e
+}
+
+// RegisterOp registers a void operation: a static handler plus the codec of
+// its argument type.  The returned OpID is what the Op RMI variants
+// (AsyncRMIOpSized, AsyncRMIUrgentOp, AsyncRMIBulkOp) carry into the wire
+// descriptor.  release, when non-nil, returns an argument to its pool after
+// a self-decoding send encoded and dropped it; handlers release their own
+// (decoded or locally delivered) arguments.  Registration names must be
+// unique and stable across processes — derive them from codec names, not
+// from registration order.  Panics on a duplicate name or an ID collision.
+func RegisterOp[A any](name string, argCodec transport.Codec[A], exec func(obj any, loc *Location, arg A), release func(A)) OpID {
+	e := &opEntry{
+		exec:   func(obj any, loc *Location, arg any) { exec(obj, loc, arg.(A)) },
+		encode: func(b *transport.Buffer, arg any) { argCodec.Encode(b, arg.(A)) },
+		decode: func(b *transport.Buffer) any { return argCodec.Decode(b) },
+	}
+	if release != nil {
+		e.release = func(arg any) { release(arg.(A)) }
+	}
+	return registerOpEntry(name, e)
+}
+
+// RegisterOpRet registers a value-returning operation.  The handler computes
+// the result itself and sends it home with Location.ReplyOp (or completes the
+// in-memory future the argument carries, on a non-self-decoding transport);
+// retCodec is how the registry marshals that reply on KindReply frames.
+func RegisterOpRet[A any, R any](name string, argCodec transport.Codec[A], retCodec transport.Codec[R], exec func(obj any, loc *Location, arg A), release func(A)) OpID {
+	e := &opEntry{
+		exec:      func(obj any, loc *Location, arg any) { exec(obj, loc, arg.(A)) },
+		encode:    func(b *transport.Buffer, arg any) { argCodec.Encode(b, arg.(A)) },
+		decode:    func(b *transport.Buffer) any { return argCodec.Decode(b) },
+		encodeRet: func(b *transport.Buffer, v any) { retCodec.Encode(b, v.(R)) },
+		decodeRet: func(b *transport.Buffer) any { return retCodec.Decode(b) },
+	}
+	if release != nil {
+		e.release = func(arg any) { release(arg.(A)) }
+	}
+	return registerOpEntry(name, e)
+}
+
+// RegisteredOps returns the names of all registered operations, sorted (for
+// tests and diagnostics).
+func RegisteredOps() []string {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	out := make([]string, 0, len(opsByName))
+	for name := range opsByName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpIDOf reports the id registered under name.
+func OpIDOf(name string) (OpID, bool) {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	id, ok := opsByName[name]
+	return id, ok
+}
+
+// Completion tokens.
+//
+// A value-returning operation on a self-decoding transport cannot carry its
+// *Future across the wire; instead the origin registers a completion callback
+// under a per-location token, ships the token inside the encoded argument,
+// and the destination answers with a KindReply frame naming the token.  The
+// location server routes the reply to the callback (see Location.execute).
+
+// RegisterToken installs a completion callback and returns its (nonzero)
+// token.  The callback runs on the location's server goroutine once per
+// matching reply; returning true removes the registration (one-shot
+// completions), returning false keeps it live for further replies (bulk
+// gathers with one reply per destination group) until UnregisterToken.
+func (l *Location) RegisterToken(fn func(v any) bool) uint64 {
+	l.tokMu.Lock()
+	l.tokenSeq++
+	tok := l.tokenSeq
+	if l.tokens == nil {
+		l.tokens = make(map[uint64]func(v any) bool)
+	}
+	l.tokens[tok] = fn
+	l.tokMu.Unlock()
+	return tok
+}
+
+// UnregisterToken removes a completion callback (no-op if already removed).
+func (l *Location) UnregisterToken(tok uint64) {
+	l.tokMu.Lock()
+	delete(l.tokens, tok)
+	l.tokMu.Unlock()
+}
+
+// completeToken routes a KindReply value to its registered callback.  A
+// missing token is dropped silently: it can only arise from a reply that
+// outlived an aborted run's cleanup.
+func (l *Location) completeToken(tok uint64, v any) {
+	l.tokMu.Lock()
+	fn := l.tokens[tok]
+	l.tokMu.Unlock()
+	if fn == nil {
+		return
+	}
+	if fn(v) {
+		l.UnregisterToken(tok)
+	}
+}
+
+// SelfDecodingTransport reports whether the machine's current transport
+// reconstructs registered operations from bytes (so completions must travel
+// as tokens and KindReply frames, not shared-memory futures).  Outside an
+// Execute run there is no transport and the answer is false.
+func (l *Location) SelfDecodingTransport() bool {
+	t := l.machine.transport
+	return t != nil && t.SelfDecoding()
+}
+
+// NewAbortableFuture returns a future wired to this machine's abort channel,
+// so a blocked Get unwinds instead of deadlocking when the completion will
+// never arrive (e.g. the answering process died).  It deliberately does NOT
+// arm the aggregation-flush hook: registered read paths flush eagerly like
+// their closure twins, and a wait-triggered flush would change message
+// boundaries and break counter identity across transports.
+func (l *Location) NewAbortableFuture() *Future {
+	fut := NewFuture()
+	fut.abort = l.machine.abortCh
+	return fut
+}
+
+// WaitDone blocks until ch closes.  If the machine aborts first, the wait
+// unwinds the calling goroutine (cooperative abort) unless ch closed in the
+// same instant.  Framework completion waits (bulk gathers) use it so a fault
+// elsewhere cannot strand them.
+func (l *Location) WaitDone(ch <-chan struct{}) {
+	select {
+	case <-ch:
+	case <-l.machine.abortCh:
+		select {
+		case <-ch:
+		default:
+			panic(abortSignal{})
+		}
+	}
+}

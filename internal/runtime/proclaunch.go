@@ -1,0 +1,367 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// This file is the HUB side of multi-process execution: Launch starts one
+// child process per location, serves the control plane they collectively
+// synchronise over, and supervises their lifetime — a child that dies
+// without saying goodbye becomes a fatal abort broadcast to the survivors,
+// so a killed rank surfaces as a structured MachineFault everywhere instead
+// of a hung job.  cmd/pcflaunch is a thin flag wrapper around Launch;
+// LaunchSelf re-executes the current binary (the pcfbench -transport=proc
+// parent mode and the test suite use it).
+
+// LaunchSpec describes a multi-process job.
+type LaunchSpec struct {
+	// NProcs is the number of child processes (= machine locations).
+	NProcs int
+	// Prog and Args name the child command line (the same SPMD program is
+	// started NProcs times; ranks differ only in environment).
+	Prog string
+	Args []string
+	// Env is appended to the inherited environment of every child (the
+	// launcher's own PCF_PROC_* variables are always set last).
+	Env []string
+	// Stdout and Stderr receive the children's combined output; nil means
+	// the launcher's own streams.
+	Stdout, Stderr *os.File
+	// Grace bounds how long survivors may keep running after the first
+	// child failure before they are killed (default 15s — long enough for
+	// the abort broadcast to give them a structured MachineFault first).
+	Grace time.Duration
+}
+
+const (
+	defaultLaunchGrace   = 15 * time.Second
+	launchBringUpTimeout = 60 * time.Second
+)
+
+// launchChild is the hub's per-rank bookkeeping.
+type launchChild struct {
+	rank int
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex    // serialises enc
+	done chan struct{} // closed when the control stream has been read to its end
+	bye  bool
+}
+
+func (c *launchChild) send(msg *ctlMsg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(msg)
+}
+
+// launchHub matches collective rounds and relays faults between children.
+type launchHub struct {
+	n        int
+	mu       sync.Mutex
+	children []*launchChild
+	rounds   map[uint64][][]byte // round contributions by sequence number
+	counts   map[uint64]int
+	fatal    bool
+	firstErr error
+}
+
+func newLaunchHub(n int) *launchHub {
+	return &launchHub{
+		n:        n,
+		children: make([]*launchChild, n),
+		rounds:   make(map[uint64][][]byte),
+		counts:   make(map[uint64]int),
+	}
+}
+
+// broadcast sends msg to every connected child.
+func (h *launchHub) broadcast(msg *ctlMsg) {
+	h.mu.Lock()
+	kids := append([]*launchChild(nil), h.children...)
+	h.mu.Unlock()
+	for _, c := range kids {
+		if c != nil {
+			_ = c.send(msg)
+		}
+	}
+}
+
+// fail records the job's first error and broadcasts a fatal abort so every
+// surviving rank turns it into a structured MachineFault.
+func (h *launchHub) fail(rank int, err error) {
+	h.mu.Lock()
+	if h.fatal {
+		h.mu.Unlock()
+		return
+	}
+	h.fatal = true
+	if h.firstErr == nil {
+		h.firstErr = err
+	}
+	h.mu.Unlock()
+	h.broadcast(&ctlMsg{Kind: ctlAbort, Fault: &ProcFault{
+		Location: rank, Kind: FaultTransport, Msg: err.Error(), Fatal: true,
+	}})
+}
+
+// serve reads one child's control stream until it says goodbye (or dies).
+// dec must be the decoder that read the child's hello: a gob stream defines
+// each type once, so a second decoder on the same connection cannot follow.
+func (h *launchHub) serve(c *launchChild, dec *gob.Decoder) {
+	defer close(c.done)
+	for {
+		var msg ctlMsg
+		if err := dec.Decode(&msg); err != nil {
+			h.mu.Lock()
+			clean := c.bye || h.fatal
+			h.mu.Unlock()
+			if !clean {
+				h.fail(c.rank, fmt.Errorf("rank %d control connection lost before shutdown: %v", c.rank, err))
+			}
+			return
+		}
+		switch msg.Kind {
+		case ctlRound:
+			h.mu.Lock()
+			slots, ok := h.rounds[msg.Seq]
+			if !ok {
+				slots = make([][]byte, h.n)
+				h.rounds[msg.Seq] = slots
+			}
+			if slots[c.rank] == nil {
+				h.counts[msg.Seq]++
+			}
+			slots[c.rank] = msg.Payload
+			if msg.Payload == nil {
+				slots[c.rank] = []byte{} // distinguish "contributed nil" from "absent"
+			}
+			done := h.counts[msg.Seq] == h.n
+			if done {
+				delete(h.rounds, msg.Seq)
+				delete(h.counts, msg.Seq)
+			}
+			h.mu.Unlock()
+			if done {
+				h.broadcast(&ctlMsg{Kind: ctlRoundDone, Seq: msg.Seq, Payloads: slots})
+			}
+		case ctlFault:
+			// Relay to everyone (including the reporter — it ignores its own
+			// echo) so the whole job aborts the faulted run together.
+			h.broadcast(&ctlMsg{Kind: ctlAbort, Fault: msg.Fault})
+		case ctlBye:
+			h.mu.Lock()
+			c.bye = true
+			h.mu.Unlock()
+		}
+	}
+}
+
+// Launch runs spec.NProcs copies of the program as a multi-process SPMD job
+// and blocks until every child exited.  It returns nil when all children
+// shut down cleanly, or the first failure (a child that exited nonzero, was
+// killed, or lost its control connection mid-run).
+func Launch(spec LaunchSpec) error {
+	if spec.NProcs <= 0 {
+		return fmt.Errorf("runtime: launch needs at least one process, got %d", spec.NProcs)
+	}
+	if spec.Prog == "" {
+		return fmt.Errorf("runtime: launch needs a program")
+	}
+	grace := spec.Grace
+	if grace <= 0 {
+		grace = defaultLaunchGrace
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("runtime: launch control listener: %w", err)
+	}
+	defer ln.Close()
+	hub := newLaunchHub(spec.NProcs)
+
+	// Accept the children's hellos.  Children not checked in within the
+	// dial timeout window are a bring-up failure.
+	accepted := make(chan error, 1)
+	go func() {
+		for i := 0; i < spec.NProcs; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				accepted <- fmt.Errorf("runtime: launch accept: %w", err)
+				return
+			}
+			dec := gob.NewDecoder(conn)
+			var hello ctlMsg
+			if err := dec.Decode(&hello); err != nil || hello.Kind != ctlHello {
+				accepted <- fmt.Errorf("runtime: launch handshake: %v (kind %d)", err, hello.Kind)
+				return
+			}
+			if hello.Rank < 0 || hello.Rank >= spec.NProcs {
+				accepted <- fmt.Errorf("runtime: launch hello from rank %d outside [0,%d)", hello.Rank, spec.NProcs)
+				return
+			}
+			c := &launchChild{rank: hello.Rank, conn: conn, enc: gob.NewEncoder(conn), done: make(chan struct{})}
+			hub.mu.Lock()
+			dup := hub.children[hello.Rank] != nil
+			if !dup {
+				hub.children[hello.Rank] = c
+			}
+			hub.mu.Unlock()
+			if dup {
+				accepted <- fmt.Errorf("runtime: launch: two children claim rank %d", hello.Rank)
+				return
+			}
+			go hub.serve(c, dec)
+		}
+		accepted <- nil
+	}()
+
+	// Spawn the children.
+	cmds := make([]*exec.Cmd, spec.NProcs)
+	for i := 0; i < spec.NProcs; i++ {
+		cmd := exec.Command(spec.Prog, spec.Args...)
+		cmd.Env = append(os.Environ(), spec.Env...)
+		cmd.Env = append(cmd.Env,
+			fmt.Sprintf("%s=%d", procRankEnv, i),
+			fmt.Sprintf("%s=%d", procNEnv, spec.NProcs),
+			fmt.Sprintf("%s=%s", procCtlEnv, ln.Addr().String()),
+		)
+		if spec.Stdout != nil {
+			cmd.Stdout = spec.Stdout
+		} else {
+			cmd.Stdout = os.Stdout
+		}
+		if spec.Stderr != nil {
+			cmd.Stderr = spec.Stderr
+		} else {
+			cmd.Stderr = os.Stderr
+		}
+		if err := cmd.Start(); err != nil {
+			hub.fail(i, fmt.Errorf("rank %d failed to start: %w", i, err))
+			for _, prev := range cmds[:i] {
+				_ = prev.Process.Kill()
+			}
+			return fmt.Errorf("runtime: launch rank %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+
+	// Supervise: wait for every child; the first failure arms the grace
+	// timer after which survivors are killed (they normally exit on their
+	// own once the fatal abort reaches their machine).
+	var wg sync.WaitGroup
+	exits := make([]error, spec.NProcs)
+	firstFail := make(chan struct{})
+	var failOnce sync.Once
+	for i, cmd := range cmds {
+		wg.Add(1)
+		go func(rank int, cmd *exec.Cmd) {
+			defer wg.Done()
+			err := cmd.Wait()
+			exits[rank] = err
+			hub.mu.Lock()
+			c := hub.children[rank]
+			hub.mu.Unlock()
+			if err == nil && c != nil {
+				// The child has exited; its goodbye may still be in flight on
+				// the control socket.  Wait for the stream to be read to its
+				// end before judging the shutdown.
+				select {
+				case <-c.done:
+				case <-time.After(5 * time.Second):
+				}
+			}
+			hub.mu.Lock()
+			clean := err == nil && c != nil && c.bye
+			hub.mu.Unlock()
+			if !clean {
+				if err == nil {
+					err = fmt.Errorf("rank %d exited without completing shutdown", rank)
+				} else {
+					err = fmt.Errorf("rank %d: %w", rank, err)
+				}
+				hub.fail(rank, err)
+				failOnce.Do(func() { close(firstFail) })
+			}
+		}(i, cmd)
+	}
+	allDone := make(chan struct{})
+	go func() { wg.Wait(); close(allDone) }()
+
+	// Bring-up: all hellos must arrive before any collective round can run.
+	// A child dying (or hanging) before its hello fails the job rather than
+	// blocking the launcher forever.
+	bringUp := time.NewTimer(launchBringUpTimeout)
+	defer bringUp.Stop()
+	select {
+	case err := <-accepted:
+		if err != nil {
+			hub.fail(-1, err)
+			failOnce.Do(func() { close(firstFail) })
+		} else {
+			hub.broadcast(&ctlMsg{Kind: ctlReady})
+		}
+	case <-firstFail:
+	case <-bringUp.C:
+		hub.fail(-1, fmt.Errorf("children failed to check in within %v", launchBringUpTimeout))
+		failOnce.Do(func() { close(firstFail) })
+	}
+
+	select {
+	case <-allDone:
+	case <-firstFail:
+		select {
+		case <-allDone:
+		case <-time.After(grace):
+			// Kill everything still running; a Kill on an already-exited
+			// child is a harmless error.
+			for _, cmd := range cmds {
+				_ = cmd.Process.Kill()
+			}
+			<-allDone
+		}
+	}
+
+	hub.mu.Lock()
+	err = hub.firstErr
+	hub.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("runtime: launch: %w", err)
+	}
+	for rank, e := range exits {
+		if e != nil {
+			return fmt.Errorf("runtime: launch: rank %d: %w", rank, e)
+		}
+	}
+	return nil
+}
+
+// LaunchSelf re-executes the current binary n times as a multi-process job
+// with the same command line, appending extraEnv to each child's
+// environment.  A program using it branches on ChildMain():
+//
+//	func main() {
+//		if runtime.ChildMain() {        // child: run the SPMD program
+//			defer runtime.ChildDone()
+//			...
+//			return
+//		}
+//		if err := runtime.LaunchSelf(4); err != nil { ... } // parent
+//	}
+func LaunchSelf(n int, extraEnv ...string) error {
+	prog, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("runtime: launch self: %w", err)
+	}
+	return Launch(LaunchSpec{
+		NProcs: n,
+		Prog:   prog,
+		Args:   os.Args[1:],
+		Env:    extraEnv,
+	})
+}

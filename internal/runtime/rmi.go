@@ -25,6 +25,13 @@ type rmiRequest struct {
 	fut      *Future // split-phase: completed (and the reply accounted) by the server
 	delay    time.Duration
 	bytes    int
+	// op identifies the registered operation behind argFn (0 for closure
+	// requests).  A request with op != 0 is self-decoding: a wire transport
+	// encodes arg with the registry codec instead of rendezvousing with
+	// sender-side state.  token addresses the origin's completion callback
+	// for KindReply requests.
+	op    OpID
+	token uint64
 }
 
 // requestOverheadBytes is the simulated size of a request descriptor (the
@@ -80,6 +87,88 @@ func (l *Location) AsyncRMIArg(dest int, h Handle, bytes int, fn func(obj any, l
 	req := getRequest()
 	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindAsync, argFn: fn, arg: arg, bytes: bytes, delay: l.delayTo(dest)}
 	l.enqueue(dest, req)
+}
+
+// AsyncRMIOpSized is AsyncRMIArg for a REGISTERED operation: op names the
+// registry entry whose static handler will run at the destination, and the
+// request is self-decoding on wire transports (the argument crosses as codec
+// bytes, never as a shared pointer).  Counter behaviour is identical to
+// AsyncRMIArg — an inproc run and a wire run report the same Stats.
+func (l *Location) AsyncRMIOpSized(dest int, h Handle, bytes int, op OpID, arg any) {
+	e := opByID(op)
+	l.stats.asyncRMIs.Add(1)
+	l.stats.rmisSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		e.exec(l.object(h), l, arg)
+		return
+	}
+	l.stats.bytesSimulated.Add(int64(bytes) + requestOverheadBytes)
+	l.remoteRMIs.Add(1)
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindAsync, argFn: e.exec, arg: arg, op: op, bytes: bytes, delay: l.delayTo(dest)}
+	l.enqueue(dest, req)
+}
+
+// AsyncRMIUrgentOp is AsyncRMIUrgent for a registered operation (see
+// AsyncRMIOpSized).  The PCF's directory forwarding hops use it so a
+// forwarded element operation stays self-decoding across every hop.
+func (l *Location) AsyncRMIUrgentOp(dest int, h Handle, op OpID, arg any) {
+	e := opByID(op)
+	l.stats.asyncRMIs.Add(1)
+	l.stats.rmisSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		e.exec(l.object(h), l, arg)
+		return
+	}
+	l.stats.bytesSimulated.Add(requestOverheadBytes)
+	l.remoteRMIs.Add(1)
+	l.flushDest(dest)
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindUrgent, argFn: e.exec, arg: arg, op: op, delay: l.delayTo(dest)}
+	l.machine.addPending(l.id, 1)
+	l.stats.messagesSent.Add(1)
+	l.machine.transport.DeliverOne(l.id, dest, req)
+}
+
+// AsyncRMIBulkOp is AsyncRMIBulkArg for a registered operation (see
+// AsyncRMIOpSized): one self-decoding request carries a whole element group.
+func (l *Location) AsyncRMIBulkOp(dest int, h Handle, ops, bytes int, op OpID, arg any) {
+	e := opByID(op)
+	l.stats.bulkRMIs.Add(1)
+	l.stats.bulkOps.Add(int64(ops))
+	l.stats.rmisSent.Add(1)
+	if dest == l.id {
+		l.localRMIs.Add(1)
+		e.exec(l.object(h), l, arg)
+		return
+	}
+	l.stats.bytesSimulated.Add(int64(bytes) + requestOverheadBytes)
+	l.remoteRMIs.Add(1)
+	l.flushDest(dest)
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindBulk, argFn: e.exec, arg: arg, op: op, bytes: bytes, delay: l.delayTo(dest)}
+	l.machine.addPending(l.id, 1)
+	l.stats.messagesSent.Add(1)
+	l.machine.transport.DeliverOne(l.id, dest, req)
+}
+
+// ReplyOp sends the result of a value-returning registered operation back to
+// the request's origin, addressed by the completion token the request
+// carried.  op names the operation whose retCodec marshals v on the wire.
+// The reply moves NO machine counters here: the handler that computed v
+// accounts the reply traffic itself with AccountReply, exactly like the
+// shared-memory completion path, so Stats stay transport-independent.
+func (l *Location) ReplyOp(dest int, h Handle, op OpID, token uint64, v any) {
+	if dest == l.id {
+		l.completeToken(token, v)
+		return
+	}
+	req := getRequest()
+	*req = rmiRequest{src: l.id, handle: h, kind: transport.KindReply, arg: v, op: op, token: token, delay: l.delayTo(dest)}
+	l.machine.addPending(l.id, 1)
+	l.machine.transport.DeliverOne(l.id, dest, req)
 }
 
 // AsyncRMIUrgent behaves like AsyncRMI but bypasses the aggregation buffer:

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -47,6 +48,11 @@ type Transport interface {
 	// WireStats reports wire-level traffic, all-zero for in-process
 	// transports.
 	WireStats() transport.WireStats
+	// SelfDecoding reports whether this transport executes registered
+	// operations from bytes alone (wire transports), so value-returning
+	// operations must route completions through tokens and KindReply frames
+	// rather than shared-memory futures.  In-process delivery reports false.
+	SelfDecoding() bool
 }
 
 // TransportFactory builds a transport for one Execute run of a machine.
@@ -113,6 +119,8 @@ func TransportFromEnv() TransportFactory {
 		return WireTransport
 	case "tcp":
 		return TCPLoopbackTransport
+	case "proc":
+		return ProcTransport
 	case "chaos", "chaos-tcp":
 		cfg := transport.DefaultChaosConfig()
 		if s := os.Getenv("PCF_CHAOS_SEED"); s != "" {
@@ -127,7 +135,7 @@ func TransportFromEnv() TransportFactory {
 		}
 		return ChaosTransport(cfg)
 	default:
-		panic(fmt.Sprintf("runtime: unknown PCF_TRANSPORT %q (want inproc, wire, tcp, chaos or chaos-tcp)", name))
+		panic(fmt.Sprintf("runtime: unknown PCF_TRANSPORT %q (want inproc, wire, tcp, proc, chaos or chaos-tcp)", name))
 	}
 }
 
@@ -147,13 +155,21 @@ func (t inprocTransport) Drain(time.Duration) error      { return nil }
 func (t inprocTransport) Close() error                   { return nil }
 func (t inprocTransport) Name() string                   { return "inproc" }
 func (t inprocTransport) WireStats() transport.WireStats { return transport.WireStats{} }
+func (t inprocTransport) SelfDecoding() bool             { return false }
 
-// wireTransport adapts the runtime's closure-carrying requests to the frame
-// wire via a rendezvous: the descriptors and payload padding of a batch
-// cross the wire while the closures wait in the sender-side rendezvous
-// table keyed by (src, dst, seq); the receive callback matches the decoded
-// frame back to its batch and pushes the requests into the destination
-// mailbox.  See transport.BatchHeader for why.
+// wireTransport adapts the runtime's requests to the frame wire.
+//
+// A batch whose requests are all registered operations (op != 0) is
+// self-decoding: each argument is encoded with its registry codec into the
+// frame, the requests are recycled on the sender, and the receive callback
+// reconstructs and executes the batch from bytes alone — the mode a
+// multi-process wire requires.
+//
+// A batch containing an unregistered closure request falls back to the
+// rendezvous: descriptors and payload padding cross the wire while the
+// closures wait in the sender-side table keyed by (src, dst, seq), and the
+// receive callback matches the decoded frame back to its batch.  Fallback
+// batches count each closure request in WireStats.RendezvousFallbacks.
 type wireTransport struct {
 	m    *Machine
 	wire transport.Wire
@@ -170,6 +186,16 @@ type wireTransport struct {
 	// pending is the rendezvous table of in-flight closure batches.
 	pendMu  sync.Mutex
 	pending map[wireKey][]*rmiRequest
+
+	// fallbacks counts requests that crossed as bare descriptors because
+	// their operation was an unregistered closure.
+	fallbacks atomic.Int64
+
+	// arrived, when non-nil, observes every received batch just before it is
+	// pushed to the destination mailbox (src is the sending location, n the
+	// request count).  The multi-process transport uses it to re-establish
+	// the pending accounting the sending process gave up at send time.
+	arrived func(src, n int)
 }
 
 type wirePairSend struct {
@@ -212,13 +238,20 @@ func newWireTransport(m *Machine, wire transport.Wire) *wireTransport {
 func (t *wireTransport) pair(src, dst int) int { return src*t.m.NumLocations() + dst }
 
 func (t *wireTransport) Deliver(src, dst int, batch []*rmiRequest) {
-	// Copy the requests out: the caller recycles the batch slice, and the
-	// closures must survive until the frame arrives.
-	held := make([]*rmiRequest, len(batch))
-	copy(held, batch)
+	selfDecoding := true
+	for _, req := range batch {
+		if req.op == 0 {
+			selfDecoding = false
+			t.fallbacks.Add(1)
+		}
+	}
 
 	descs := make([]transport.RequestDescriptor, len(batch))
 	payload := 0
+	var enc *transport.Buffer
+	if selfDecoding {
+		enc = transport.NewBuffer()
+	}
 	for i, req := range batch {
 		descs[i] = transport.RequestDescriptor{
 			Handle: int32(req.handle),
@@ -226,15 +259,40 @@ func (t *wireTransport) Deliver(src, dst int, batch []*rmiRequest) {
 			Bytes:  uint32(req.bytes),
 		}
 		payload += req.bytes
+		if !selfDecoding {
+			continue
+		}
+		e := opByID(req.op)
+		descs[i].Op = uint64(req.op)
+		// Reset to nil (not a truncation): Bytes aliases the buffer, so each
+		// argument must grow its own backing array to survive the loop.
+		enc.Reset(nil)
+		if req.kind == transport.KindReply {
+			descs[i].Token = req.token
+			e.encodeRet(enc, req.arg)
+		} else {
+			e.encode(enc, req.arg)
+		}
+		descs[i].Arg = enc.Bytes()
+	}
+
+	var held []*rmiRequest
+	if !selfDecoding {
+		// Copy the requests out: the caller recycles the batch slice, and
+		// the closures must survive until the frame arrives.
+		held = make([]*rmiRequest, len(batch))
+		copy(held, batch)
 	}
 
 	p := &t.pairs[t.pair(src, dst)]
 	p.mu.Lock()
 	seq := p.next
 	p.next++
-	t.pendMu.Lock()
-	t.pending[wireKey{src, dst, seq}] = held
-	t.pendMu.Unlock()
+	if !selfDecoding {
+		t.pendMu.Lock()
+		t.pending[wireKey{src, dst, seq}] = held
+		t.pendMu.Unlock()
+	}
 	frame := transport.EncodeBatch(transport.BatchHeader{
 		Src: src, Dst: dst, Seq: seq, PayloadBytes: payload,
 	}, descs)
@@ -243,6 +301,19 @@ func (t *wireTransport) Deliver(src, dst int, batch []*rmiRequest) {
 	// order the reliable layer sees.
 	t.wire.Send(src, dst, frame)
 	p.mu.Unlock()
+
+	if selfDecoding {
+		// The frame carries everything; recycle the requests (and their
+		// pooled arguments) on the sender.
+		for _, req := range batch {
+			if req.kind != transport.KindReply {
+				if e := opByID(req.op); e.release != nil {
+					e.release(req.arg)
+				}
+			}
+			putRequest(req)
+		}
+	}
 }
 
 func (t *wireTransport) DeliverOne(src, dst int, req *rmiRequest) {
@@ -272,6 +343,61 @@ func (t *wireTransport) onFrame(src, dst int, frame []byte) {
 		panic(fmt.Sprintf("runtime: wire frame header names pair %d->%d but travelled %d->%d", hdr.Src, hdr.Dst, src, dst))
 	}
 
+	selfDecoding := true
+	for _, d := range descs {
+		if d.Op == 0 {
+			selfDecoding = false
+			break
+		}
+	}
+	if selfDecoding {
+		// Reconstruct the batch from bytes alone: look up each operation,
+		// decode its argument and rebuild the request — no sender state.
+		held := make([]*rmiRequest, len(descs))
+		for i, d := range descs {
+			e := opByID(OpID(d.Op))
+			b := transport.NewReader(d.Arg)
+			req := getRequest()
+			*req = rmiRequest{
+				src:    hdr.Src,
+				handle: Handle(d.Handle),
+				kind:   d.Kind,
+				op:     OpID(d.Op),
+				bytes:  int(d.Bytes),
+			}
+			if d.Kind == transport.KindReply {
+				req.token = d.Token
+				req.arg = e.decodeRet(b)
+			} else {
+				req.argFn = e.exec
+				req.arg = e.decode(b)
+			}
+			if err := b.Err(); err != nil {
+				panic(fmt.Sprintf("runtime: frame %d->%d seq %d: decoding argument of op %q: %v", src, dst, hdr.Seq, e.name, err))
+			}
+			// The artificial latency is a deterministic function of the pair,
+			// so the receiver recomputes exactly what the sender would have
+			// stamped.
+			if t.m.cfg.RemoteDelay != nil {
+				req.delay = t.m.cfg.RemoteDelay(hdr.Src, hdr.Dst)
+			}
+			held[i] = req
+		}
+		r := &t.recvs[t.pair(src, dst)]
+		r.mu.Lock()
+		if hdr.Seq != r.expected {
+			r.mu.Unlock()
+			panic(fmt.Sprintf("runtime: wire delivered frame %d->%d seq %d, expected %d (FIFO violated below the reliable layer?)", src, dst, hdr.Seq, r.expected))
+		}
+		r.expected++
+		if t.arrived != nil {
+			t.arrived(src, len(held))
+		}
+		t.m.locations[dst].inbox.pushAll(held)
+		r.mu.Unlock()
+		return
+	}
+
 	key := wireKey{hdr.Src, hdr.Dst, hdr.Seq}
 	t.pendMu.Lock()
 	held, ok := t.pending[key]
@@ -296,6 +422,9 @@ func (t *wireTransport) onFrame(src, dst int, frame []byte) {
 		panic(fmt.Sprintf("runtime: wire delivered frame %d->%d seq %d, expected %d (FIFO violated below the reliable layer?)", src, dst, hdr.Seq, r.expected))
 	}
 	r.expected++
+	if t.arrived != nil {
+		t.arrived(src, len(held))
+	}
 	// Push while holding the pair's receive lock: delivery callbacks for a
 	// pair are already serialised by the reliable layer, and the lock keeps
 	// that true even if a future wire grows concurrent delivery.
@@ -352,9 +481,13 @@ func (t *wireTransport) Close() error {
 
 func (t *wireTransport) Name() string { return t.wire.Name() }
 
+func (t *wireTransport) SelfDecoding() bool { return true }
+
 func (t *wireTransport) WireStats() transport.WireStats {
-	if s, ok := t.wire.(transport.StatsSource); ok {
-		return s.WireStats()
+	var s transport.WireStats
+	if ss, ok := t.wire.(transport.StatsSource); ok {
+		s = ss.WireStats()
 	}
-	return transport.WireStats{}
+	s.RendezvousFallbacks += t.fallbacks.Load()
+	return s
 }

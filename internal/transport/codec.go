@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -417,6 +418,44 @@ func EncodedSampleSizes(name string) ([]int, error) {
 	return e.encodedSizes(), nil
 }
 
+// The typed registry maps Go element types to their codecs, so generic
+// framework code (the operation registry's per-element-type ports) can ask
+// "does T have a wire codec?" at instantiation time.  The name registry
+// above keys on wire names and serves the self check; this one keys on
+// reflect.Type and serves codec *lookup*.  Reflection happens once per
+// container construction, never per element.
+var (
+	typedMu  sync.RWMutex
+	typedReg = map[reflect.Type]any{} // Codec[T] boxed per element type T
+)
+
+// RegisterTyped records c as THE codec for element type T, enabling the
+// self-decoding operation paths for containers instantiated at T.  It panics
+// if T already has a typed codec (two codecs for one type would make the
+// wire form ambiguous).  Returns c for variable initialisation.
+func RegisterTyped[T any](c Codec[T]) Codec[T] {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	typedMu.Lock()
+	defer typedMu.Unlock()
+	if _, dup := typedReg[t]; dup {
+		panic(fmt.Sprintf("transport: type %v already has a typed codec", t))
+	}
+	typedReg[t] = c
+	return c
+}
+
+// TypedCodecFor returns the codec registered for element type T, or
+// ok == false when T has none (callers fall back to closure requests).
+func TypedCodecFor[T any]() (Codec[T], bool) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	typedMu.RLock()
+	defer typedMu.RUnlock()
+	if v, ok := typedReg[t]; ok {
+		return v.(Codec[T]), true
+	}
+	return Codec[T]{}, false
+}
+
 // maxSample is a large payload exercising multi-byte varint length prefixes.
 var maxSample = func() []byte {
 	b := make([]byte, 1<<16)
@@ -442,4 +481,14 @@ func init() {
 	Register(SliceCodec(Float64Codec), nil, []float64{0, math.Inf(1), math.Inf(-1)})
 	Register(PairCodec(Int64Codec, Float64Codec),
 		Pair[int64, float64]{}, Pair[int64, float64]{First: -9, Second: 2.5})
+
+	// The same built-ins, keyed by Go type for operation-registry lookup.
+	RegisterTyped(Int64Codec)
+	RegisterTyped(IntCodec)
+	RegisterTyped(Uint64Codec)
+	RegisterTyped(Float64Codec)
+	RegisterTyped(BoolCodec)
+	RegisterTyped(StringCodec)
+	RegisterTyped(BytesCodec)
+	RegisterTyped(Index2DCodec)
 }

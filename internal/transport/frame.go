@@ -20,39 +20,59 @@ const (
 	KindSync   = 0x03
 	KindSplit  = 0x04
 	KindBulk   = 0x05
+	// KindReply carries the result of a registered value-returning operation
+	// back to the request's origin, addressed by a completion token.
+	KindReply = 0x06
 )
 
-// RequestDescriptor is the wire form of one RMI request header: everything a
-// remote endpoint needs to identify the invocation except the handler code
-// itself (which is registered, not shipped — see the rendezvous note on
-// BatchHeader).
+// RequestDescriptor is the wire form of one RMI request header.  A request
+// whose operation is registered (Op != 0) is fully self-contained: the
+// descriptor carries the encoded argument, and the receiving side
+// reconstructs and executes the request from bytes alone.  A request
+// carrying an unregistered closure has Op == 0 and no argument bytes; its
+// batch takes the compatibility path through the sender-side rendezvous
+// table (see BatchHeader).
 type RequestDescriptor struct {
 	// Handle addresses the registered p_object representative.
 	Handle int32
 	// Kind is one of the Kind* constants.
 	Kind uint8
-	// Bytes is the marshalled size of the request's argument payload.
+	// Bytes is the simulated marshalled size of the request's argument
+	// payload (the workload-level accounting figure; the actual encoded
+	// argument may be smaller or larger).
 	Bytes uint32
+	// Op identifies the registered operation (a stable 64-bit hash of its
+	// registration name); 0 means an unregistered closure request.
+	Op uint64
+	// Token, for KindReply descriptors, names the origin's completion
+	// callback.  It is 0 for every other kind (a value-returning operation
+	// ships its own token inside Arg, so forwarding hops preserve it).
+	Token uint64
+	// Arg is the Codec-encoded argument (Op != 0 only).
+	Arg []byte
 }
 
 // BatchHeader describes one mailbox batch in flight between two locations.
 //
-// The runtime's requests carry Go closures, which cannot cross a process
-// boundary; what crosses the wire is the request *descriptors* plus payload
-// padding of the argument sizes, while the closure batch itself waits in the
-// sender's rendezvous table keyed by (Src, Dst, Seq).  The receiving side of
-// the loopback wire matches the decoded header back to the batch, so every
-// simulated byte genuinely crosses the socket even though the closures do
-// not.  A future multi-process transport replaces the rendezvous with
-// registered operation decoders; the frame format already carries everything
-// else it needs.
+// A batch whose requests are all registered operations (Op != 0 on every
+// descriptor) is self-decoding: the frame carries each request's encoded
+// argument and the receiver reconstructs and executes the batch from bytes
+// alone — nothing waits on the sender.  This is the only mode a
+// multi-process transport supports.
+//
+// A batch containing an unregistered closure request takes the fallback
+// path: the descriptors plus payload padding cross the wire, while the
+// closure batch itself waits in the sender's rendezvous table keyed by
+// (Src, Dst, Seq) and the receiving side of the single-process wire matches
+// the decoded header back to the batch.  Residual use of this path is
+// exposed by the WireStats.RendezvousFallbacks counter.
 type BatchHeader struct {
 	Src, Dst int
 	// Seq numbers batches per (Src, Dst) pair, starting at 0.
 	Seq uint64
-	// PayloadBytes is the total simulated argument size of the batch; the
-	// frame carries min(PayloadBytes, MaxPadBytes) bytes of padding so the
-	// wire sees a realistic volume.
+	// PayloadBytes is the total simulated argument size of the batch.  The
+	// frame is padded so the wire sees the simulated volume even when the
+	// actual encoded arguments are smaller (see EncodeBatch).
 	PayloadBytes int
 }
 
@@ -71,8 +91,12 @@ func padLen(payloadBytes int) int {
 	return payloadBytes
 }
 
-// EncodeBatch encodes a data frame: header, request descriptors, payload
-// padding.  The result is a fresh slice owned by the caller.
+// EncodeBatch encodes a data frame: header, request descriptors (each with
+// its encoded argument when the operation is registered), payload padding.
+// The frame is padded with padLen(PayloadBytes − Σ len(Arg)) zero bytes —
+// the simulated volume not already carried as real argument bytes — so the
+// wire sees the accounted traffic in either mode.  The result is a fresh
+// slice owned by the caller.
 func EncodeBatch(hdr BatchHeader, reqs []RequestDescriptor) []byte {
 	b := NewBuffer()
 	b.PutU8(FrameData)
@@ -81,12 +105,19 @@ func EncodeBatch(hdr BatchHeader, reqs []RequestDescriptor) []byte {
 	b.PutUvarint(hdr.Seq)
 	b.PutUvarint(uint64(hdr.PayloadBytes))
 	b.PutUvarint(uint64(len(reqs)))
+	argBytes := 0
 	for _, r := range reqs {
 		b.PutVarint(int64(r.Handle))
 		b.PutU8(r.Kind)
 		b.PutUvarint(uint64(r.Bytes))
+		b.PutUvarint(r.Op)
+		if r.Op != 0 {
+			b.PutUvarint(r.Token)
+			b.PutBlob(r.Arg)
+			argBytes += len(r.Arg)
+		}
 	}
-	pad := padLen(hdr.PayloadBytes)
+	pad := padLen(hdr.PayloadBytes - argBytes)
 	b.buf = append(b.buf, make([]byte, pad)...)
 	return b.Bytes()
 }
@@ -110,17 +141,24 @@ func DecodeBatch(frame []byte) (BatchHeader, []RequestDescriptor, error) {
 		return BatchHeader{}, nil, fmt.Errorf("transport: corrupt batch: %d descriptors, %d bytes left", n, b.Remaining())
 	}
 	reqs := make([]RequestDescriptor, n)
+	argBytes := 0
 	for i := range reqs {
 		reqs[i] = RequestDescriptor{
 			Handle: int32(b.Varint()),
 			Kind:   b.U8(),
 			Bytes:  uint32(b.Uvarint()),
+			Op:     b.Uvarint(),
+		}
+		if reqs[i].Op != 0 {
+			reqs[i].Token = b.Uvarint()
+			reqs[i].Arg = b.Blob()
+			argBytes += len(reqs[i].Arg)
 		}
 	}
 	if err := b.Err(); err != nil {
 		return BatchHeader{}, nil, err
 	}
-	if want := padLen(hdr.PayloadBytes); b.Remaining() != want {
+	if want := padLen(hdr.PayloadBytes - argBytes); b.Remaining() != want {
 		return BatchHeader{}, nil, fmt.Errorf("transport: corrupt batch: %d padding bytes, want %d", b.Remaining(), want)
 	}
 	return hdr, reqs, nil

@@ -5,6 +5,13 @@ import (
 	"testing"
 )
 
+// descEqual compares descriptors field by field (the Arg slice keeps the
+// struct from being ==-comparable).
+func descEqual(a, b RequestDescriptor) bool {
+	return a.Handle == b.Handle && a.Kind == b.Kind && a.Bytes == b.Bytes &&
+		a.Op == b.Op && a.Token == b.Token && bytes.Equal(a.Arg, b.Arg)
+}
+
 // TestBatchFrameRoundTrip covers representative batches including the
 // boundary payload sizes: empty batch, zero payload, and a payload above the
 // padding cap.
@@ -28,6 +35,17 @@ func TestBatchFrameRoundTrip(t *testing.T) {
 		{"padding-capped", BatchHeader{Src: 0, Dst: 1, Seq: 2, PayloadBytes: MaxPadBytes + 12345}, []RequestDescriptor{
 			{Handle: 1, Kind: KindBulk, Bytes: 1 << 30},
 		}},
+		{"self-decoding", BatchHeader{Src: 2, Dst: 0, Seq: 4, PayloadBytes: 40}, []RequestDescriptor{
+			{Handle: 1, Kind: KindAsync, Bytes: 16, Op: 0xDEADBEEF, Arg: []byte{1, 2, 3}},
+			{Handle: 1, Kind: KindBulk, Bytes: 24, Op: 7, Arg: []byte{9}},
+		}},
+		{"reply", BatchHeader{Src: 1, Dst: 0, Seq: 0, PayloadBytes: 0}, []RequestDescriptor{
+			{Handle: 2, Kind: KindReply, Bytes: 0, Op: 42, Token: 17, Arg: []byte{0xFF}},
+		}},
+		{"mixed-op-and-closure", BatchHeader{Src: 0, Dst: 3, Seq: 11, PayloadBytes: 32}, []RequestDescriptor{
+			{Handle: 4, Kind: KindAsync, Bytes: 16, Op: 99, Arg: []byte{5, 6}},
+			{Handle: 4, Kind: KindAsync, Bytes: 16},
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -43,7 +61,7 @@ func TestBatchFrameRoundTrip(t *testing.T) {
 				t.Fatalf("%d descriptors, want %d", len(reqs), len(tc.reqs))
 			}
 			for i := range reqs {
-				if reqs[i] != tc.reqs[i] {
+				if !descEqual(reqs[i], tc.reqs[i]) {
 					t.Fatalf("descriptor %d = %+v, want %+v", i, reqs[i], tc.reqs[i])
 				}
 			}
@@ -122,7 +140,7 @@ func FuzzDecodeBatch(f *testing.F) {
 			t.Fatalf("value drift: %+v vs %+v", hdr2, hdr)
 		}
 		for i := range reqs {
-			if reqs2[i] != reqs[i] {
+			if !descEqual(reqs2[i], reqs[i]) {
 				t.Fatalf("descriptor %d drifted: %+v vs %+v", i, reqs2[i], reqs[i])
 			}
 		}

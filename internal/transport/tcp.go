@@ -28,6 +28,14 @@ type TCPWire struct {
 	n       int
 	deliver DeliverFunc
 
+	// self, when >= 0, puts the wire in MESH mode for multi-process runs:
+	// only endpoint self is local, so Start opens one listener (for self),
+	// Send accepts only src == self, and inbound handshakes must name self as
+	// their destination.  Peer listener addresses are learned through
+	// SetPeerAddrs after every process has bound and published its own.
+	// self < 0 is the all-local mode, where every endpoint lives here.
+	self int
+
 	mu        sync.Mutex
 	listeners []net.Listener
 	addrs     []string
@@ -62,13 +70,26 @@ type outConn struct {
 	conn    net.Conn
 }
 
-// NewTCP builds a TCP loopback wire between n endpoints.  Listeners are
-// opened by Start; connections are dialled lazily on first send.
+// NewTCP builds a TCP loopback wire between n endpoints, all local to this
+// process.  Listeners are opened by Start; connections are dialled lazily on
+// first send.
 func NewTCP(n int) *TCPWire {
-	return &TCPWire{n: n, out: make(map[int]*outConn)}
+	return &TCPWire{n: n, self: -1, out: make(map[int]*outConn)}
 }
 
-// Start opens one loopback listener per endpoint and begins accepting.
+// NewTCPMesh builds the multi-process variant: a wire for n endpoints of
+// which only self lives in this process.  Start binds self's listener; the
+// caller then publishes Addr() to the other processes and installs the full
+// table with SetPeerAddrs before the first Send.
+func NewTCPMesh(n, self int) *TCPWire {
+	if self < 0 || self >= n {
+		panic(fmt.Sprintf("transport: tcp mesh endpoint %d outside [0,%d)", self, n))
+	}
+	return &TCPWire{n: n, self: self, out: make(map[int]*outConn)}
+}
+
+// Start opens the loopback listeners (one per endpoint, or only self's in
+// mesh mode) and begins accepting.
 func (w *TCPWire) Start(deliver DeliverFunc) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -79,10 +100,15 @@ func (w *TCPWire) Start(deliver DeliverFunc) error {
 	w.listeners = make([]net.Listener, w.n)
 	w.addrs = make([]string, w.n)
 	for i := 0; i < w.n; i++ {
+		if w.self >= 0 && i != w.self {
+			continue // a peer process owns this endpoint
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			for j := 0; j < i; j++ {
-				w.listeners[j].Close()
+				if w.listeners[j] != nil {
+					w.listeners[j].Close()
+				}
 			}
 			w.deliver = nil
 			return fmt.Errorf("transport: tcp listen for location %d: %w", i, err)
@@ -93,6 +119,34 @@ func (w *TCPWire) Start(deliver DeliverFunc) error {
 		go w.acceptLoop(ln)
 	}
 	return nil
+}
+
+// Addr returns the listen address of this process's endpoint (mesh mode) so
+// the launcher's control plane can distribute the address table.  Must be
+// called after Start.
+func (w *TCPWire) Addr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.self < 0 {
+		panic("transport: Addr is only meaningful for a mesh wire")
+	}
+	return w.addrs[w.self]
+}
+
+// SetPeerAddrs installs the full endpoint address table (mesh mode).  It
+// must be called before the first Send; self's own entry is kept as bound.
+func (w *TCPWire) SetPeerAddrs(addrs []string) {
+	if len(addrs) != w.n {
+		panic(fmt.Sprintf("transport: peer table has %d addresses for %d endpoints", len(addrs), w.n))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, a := range addrs {
+		if i == w.self {
+			continue
+		}
+		w.addrs[i] = a
+	}
 }
 
 // acceptLoop accepts inbound connections for one endpoint and spawns a
@@ -125,6 +179,9 @@ func (w *TCPWire) readLoop(conn net.Conn) {
 	if src < 0 || src >= w.n || dst < 0 || dst >= w.n {
 		panic(fmt.Sprintf("transport: tcp handshake names pair %d->%d outside [0,%d)", src, dst, w.n))
 	}
+	if w.self >= 0 && dst != w.self {
+		panic(fmt.Sprintf("transport: tcp mesh endpoint %d accepted a connection destined for %d", w.self, dst))
+	}
 	var lenb [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenb[:]); err != nil {
@@ -146,6 +203,9 @@ func (w *TCPWire) readLoop(conn net.Conn) {
 func (w *TCPWire) Send(src, dst int, frame []byte) {
 	if src == dst {
 		panic("transport: tcp wire asked to send to self (the runtime shortcuts local requests)")
+	}
+	if w.self >= 0 && src != w.self {
+		panic(fmt.Sprintf("transport: tcp mesh endpoint %d asked to send as %d", w.self, src))
 	}
 	oc := w.conn(src, dst)
 	if oc == nil {
@@ -187,6 +247,9 @@ func (w *TCPWire) reportError(err error) {
 // refusals while the peer's listener comes up.
 func (w *TCPWire) dial(src, dst int) (net.Conn, error) {
 	var lastErr error
+	if w.addrs[dst] == "" {
+		return nil, fmt.Errorf("transport: tcp mesh endpoint %d has no address for %d (SetPeerAddrs not called?)", w.self, dst)
+	}
 	backoff := dialBackoffBase
 	for attempt := 0; attempt < dialAttempts; attempt++ {
 		if attempt > 0 {

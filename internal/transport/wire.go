@@ -49,12 +49,21 @@ type WireStats struct {
 	Retransmits       int64 // data frames re-sent after a reconnect signal
 	DuplicatesDropped int64 // received data frames discarded as duplicates
 	OutOfOrder        int64 // received data frames buffered for reordering
+	// RendezvousFallbacks counts requests that crossed the wire as bare
+	// descriptors because their operation was an unregistered closure, so
+	// the batch had to rendezvous with sender-side state (runtime adapter
+	// layer).  Zero means every request was self-decoding.
+	RendezvousFallbacks int64
 	// Fault injection (Chaos layer).
 	Delayed    int64
 	Duplicated int64
 	Dropped    int64
 	Reconnects int64
 }
+
+// Add accumulates another stack's counters, for folding per-process wire
+// statistics into job-wide totals in multi-process runs.
+func (s *WireStats) Add(o WireStats) { s.add(o) }
 
 // add accumulates an inner layer's counters.
 func (s *WireStats) add(o WireStats) {
@@ -69,6 +78,7 @@ func (s *WireStats) add(o WireStats) {
 	s.Retransmits += o.Retransmits
 	s.DuplicatesDropped += o.DuplicatesDropped
 	s.OutOfOrder += o.OutOfOrder
+	s.RendezvousFallbacks += o.RendezvousFallbacks
 	s.Delayed += o.Delayed
 	s.Duplicated += o.Duplicated
 	s.Dropped += o.Dropped
