@@ -111,6 +111,10 @@ func BenchmarkMatrixKernels(b *testing.B) { benchExperiment(b, "matrix") }
 // load-balance advisor, measure imbalance and migration traffic.
 func BenchmarkRedistributeRebalance(b *testing.B) { benchExperiment(b, "redist") }
 
+// Storage representations: dense vs compressed resident and migration bytes
+// (the sparse experiment).
+func BenchmarkSparseStorage(b *testing.B) { benchExperiment(b, "sparse") }
+
 // Distributed-directory resolution: repeat remote access through the
 // method-forwarding triangle with the per-location resolution cache on and
 // off, measuring RMI and message deltas.

@@ -1,0 +1,203 @@
+package bcontainer
+
+import (
+	"sort"
+	"unsafe"
+
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// CompressedSet is a base container for sets of int64 keys stored through
+// the adaptive representation seam: members are grouped into aligned chunks
+// of SetChunkSize consecutive keys, each chunk a SetChunk that switches
+// array↔bitmap by cardinality.  Resident bytes scale with the members (2
+// bytes each in sparse chunks, bounded by SetChunkSize/8 per chunk in dense
+// ones), not with the key universe — the compressed counterpart of storing
+// one flag word per possible key.
+type CompressedSet struct {
+	bcid   partition.BCID
+	chunks map[int64]*SetChunk // chunk index (key >> SetChunkBits) → chunk
+	card   int64
+}
+
+// NewCompressedSet returns an empty compressed set base container.
+func NewCompressedSet(bcid partition.BCID) *CompressedSet {
+	return &CompressedSet{bcid: bcid, chunks: make(map[int64]*SetChunk)}
+}
+
+// BCID returns the sub-domain identifier.
+func (s *CompressedSet) BCID() partition.BCID { return s.bcid }
+
+// Size returns the number of members.
+func (s *CompressedSet) Size() int64 { return s.card }
+
+// Empty reports whether no members are stored.
+func (s *CompressedSet) Empty() bool { return s.card == 0 }
+
+// Clear removes all members.
+func (s *CompressedSet) Clear() {
+	s.chunks = make(map[int64]*SetChunk)
+	s.card = 0
+}
+
+// NumChunks returns the number of resident chunks.
+func (s *CompressedSet) NumChunks() int { return len(s.chunks) }
+
+// Insert adds key and reports whether it was newly added.
+func (s *CompressedSet) Insert(key int64) bool {
+	ci := key >> SetChunkBits
+	c := s.chunks[ci]
+	if c == nil {
+		c = NewSetChunk()
+		s.chunks[ci] = c
+	}
+	if c.Insert(uint16(key & SetChunkMask)) {
+		s.card++
+		return true
+	}
+	return false
+}
+
+// Contains reports membership of key.
+func (s *CompressedSet) Contains(key int64) bool {
+	c := s.chunks[key>>SetChunkBits]
+	return c != nil && c.Contains(uint16(key&SetChunkMask))
+}
+
+// Erase removes key and reports whether it was a member.  An emptied chunk
+// is released.
+func (s *CompressedSet) Erase(key int64) bool {
+	ci := key >> SetChunkBits
+	c := s.chunks[ci]
+	if c == nil || !c.Remove(uint16(key&SetChunkMask)) {
+		return false
+	}
+	s.card--
+	if c.Cardinality() == 0 {
+		delete(s.chunks, ci)
+	}
+	return true
+}
+
+// ChunkKind reports the representation of the chunk holding key, and whether
+// such a chunk is resident (it is the transition-assertion hook of the
+// roaring pattern).
+func (s *CompressedSet) ChunkKind(key int64) (ReprKind, bool) {
+	c := s.chunks[key>>SetChunkBits]
+	if c == nil {
+		return ReprArray, false
+	}
+	return c.Kind(), true
+}
+
+// chunkIndices returns the resident chunk indices in ascending order.
+func (s *CompressedSet) chunkIndices() []int64 {
+	idx := make([]int64, 0, len(s.chunks))
+	for ci := range s.chunks {
+		idx = append(idx, ci)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx
+}
+
+// Range iterates the members in ascending key order, stopping early if fn
+// returns false.
+func (s *CompressedSet) Range(fn func(key int64) bool) {
+	for _, ci := range s.chunkIndices() {
+		base := ci << SetChunkBits
+		stop := false
+		s.chunks[ci].Range(func(k uint16) bool {
+			if !fn(base | int64(k)) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Segments returns the resident chunks as wire segments in ascending chunk
+// order.  The segments alias the live chunks; callers that mutate the set
+// before shipping them must copy first.
+func (s *CompressedSet) Segments() []SetSegment {
+	out := make([]SetSegment, 0, len(s.chunks))
+	for _, ci := range s.chunkIndices() {
+		out = append(out, SetSegment{Chunk: ci, Set: s.chunks[ci]})
+	}
+	return out
+}
+
+// InstallSegment merges one segment's members into the set.
+func (s *CompressedSet) InstallSegment(seg SetSegment) {
+	base := seg.Chunk << SetChunkBits
+	seg.Set.Range(func(k uint16) bool {
+		s.Insert(base | int64(k))
+		return true
+	})
+}
+
+// MemoryBytes reports data and metadata footprints: representation payloads
+// are data, the chunk index is metadata.
+func (s *CompressedSet) MemoryBytes() (data, meta int64) {
+	for _, c := range s.chunks {
+		data += c.MemoryBytes()
+	}
+	meta = int64(len(s.chunks))*24 + int64(unsafe.Sizeof(*s))
+	return data, meta
+}
+
+// SetSegment is the wire form of one compressed-set chunk: the chunk index
+// plus its adaptive payload.  It is the element type compressed-set
+// migration ships — the encoded form is exactly the resident representation,
+// so migration bytes scale with members, not key span.
+type SetSegment struct {
+	Chunk int64
+	Set   *SetChunk
+}
+
+// ByteSize returns the exact encoded size of the segment (the Sizer hook the
+// runtime's byte accounting consults).
+func (g SetSegment) ByteSize() int {
+	return varintLen(g.Chunk) + g.Set.EncodedBytes()
+}
+
+// varintLen returns the encoded length of v as a zig-zag varint.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// SetSegmentCodec encodes SetSegment values; it is registered with the wire
+// codec registry so compressed-set migration is self-decoding across process
+// boundaries.
+var SetSegmentCodec = transport.RegisterTyped(transport.Register(transport.Codec[SetSegment]{
+	Name: "bcontainer.set-segment",
+	Encode: func(b *transport.Buffer, v SetSegment) {
+		b.PutVarint(v.Chunk)
+		v.Set.Encode(b)
+	},
+	Decode: func(b *transport.Buffer) SetSegment {
+		return SetSegment{Chunk: b.Varint(), Set: DecodeSetChunk(b)}
+	},
+}, setSegmentSamples()...))
+
+// setSegmentSamples builds registry self-check samples covering both
+// representations and the array→bitmap boundary.
+func setSegmentSamples() []SetSegment {
+	sparse := NewSetChunk()
+	for k := 0; k < 40; k++ {
+		sparse.Insert(uint16(k * 97 % SetChunkSize))
+	}
+	dense := NewSetChunk()
+	for k := 0; k <= ArrayMaxCard; k++ {
+		dense.Insert(uint16(k * 3 % SetChunkSize))
+	}
+	return []SetSegment{
+		{Chunk: 0, Set: NewSetChunk()},
+		{Chunk: 5, Set: sparse},
+		{Chunk: -3, Set: dense},
+	}
+}

@@ -27,12 +27,18 @@ type Vertex[VP any, EP any] struct {
 func (v *Vertex[VP, EP]) OutDegree() int { return len(v.Edges) }
 
 // Graph is the base container of pGraph: adjacency-list storage for the
-// vertices (and their out-edges) assigned to one sub-domain.
+// vertices (and their out-edges) assigned to one sub-domain.  A static graph
+// can additionally freeze its adjacency into CSR form (FreezeCSR): one
+// packed edge array shared by every vertex, each Edges field re-sliced into
+// its span — traversal order and the mutation API are unchanged, but the
+// per-vertex allocations and their capacity slack collapse into a single
+// contiguous block.
 type Graph[VP any, EP any] struct {
 	bcid     partition.BCID
 	vertices map[int64]*Vertex[VP, EP]
 	order    []int64 // insertion order, for deterministic traversal
 	numEdges int64
+	csr      []Edge[EP] // packed adjacency when frozen, nil otherwise
 }
 
 // NewGraph returns an empty graph base container.
@@ -54,7 +60,30 @@ func (g *Graph[VP, EP]) Clear() {
 	g.vertices = make(map[int64]*Vertex[VP, EP])
 	g.order = nil
 	g.numEdges = 0
+	g.csr = nil
 }
+
+// FreezeCSR repacks every vertex's adjacency into one contiguous edge array
+// (compressed sparse rows over the local vertex order) and re-slices each
+// Edges field into its span with exact capacity.  Reads are unchanged; a
+// later AddEdge to a frozen vertex appends, which copies that vertex's span
+// out of the packed array — correctness never depends on staying frozen.
+// Idempotent; a re-freeze after mutations repacks.
+func (g *Graph[VP, EP]) FreezeCSR() {
+	packed := make([]Edge[EP], 0, g.numEdges)
+	for _, vd := range g.order {
+		v := g.vertices[vd]
+		start := len(packed)
+		packed = append(packed, v.Edges...)
+		v.Edges = packed[start:len(packed):len(packed)]
+	}
+	g.csr = packed
+}
+
+// CSRFrozen reports whether the adjacency is currently packed (true between
+// FreezeCSR and the next Clear; edge mutations on individual vertices leave
+// the remaining spans packed).
+func (g *Graph[VP, EP]) CSRFrozen() bool { return g.csr != nil }
 
 // NumEdges returns the number of locally stored adjacency records.
 func (g *Graph[VP, EP]) NumEdges() int64 { return g.numEdges }

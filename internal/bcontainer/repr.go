@@ -1,0 +1,319 @@
+package bcontainer
+
+import (
+	"math/bits"
+
+	"repro/internal/transport"
+)
+
+// This file is the storage-representation seam of the base containers: a
+// chunked set store whose chunks switch between two physical representations
+// by cardinality, the roaring-bitmap pattern.  A chunk covers one aligned run
+// of SetChunkSize consecutive keys; below ArrayMaxCard members it is a sorted
+// uint16 array (2 bytes per member), above it a fixed bitmap (SetChunkSize/8
+// bytes regardless of cardinality).  The crossover is chosen so the array
+// never exceeds the bitmap's footprint: ArrayMaxCard*2 == SetChunkSize/8.
+// Representation switching happens inside Insert/Remove — callers observe
+// set semantics only — and the current representation is exposed (Kind) so
+// tests can assert the transitions, the way the roaring exemplars do.
+
+const (
+	// SetChunkBits is the log2 of the chunk key span.
+	SetChunkBits = 12
+	// SetChunkSize is the number of consecutive keys one chunk covers (4096).
+	SetChunkSize = 1 << SetChunkBits
+	// SetChunkMask extracts the in-chunk key from a global id.
+	SetChunkMask = SetChunkSize - 1
+	// ArrayMaxCard is the cardinality at which an array chunk converts to a
+	// bitmap on the next insert (and a bitmap converts back once a remove
+	// brings it down to this count).
+	ArrayMaxCard = 256
+	// bitmapWords is the fixed word count of a bitmap chunk.
+	bitmapWords = SetChunkSize / 64
+)
+
+// ReprKind names the physical representation a chunk currently uses.
+type ReprKind uint8
+
+const (
+	// ReprArray is the sorted-uint16-array representation (low cardinality).
+	ReprArray ReprKind = iota
+	// ReprBitmap is the fixed-size bitmap representation (high cardinality).
+	ReprBitmap
+)
+
+func (k ReprKind) String() string {
+	if k == ReprBitmap {
+		return "bitmap"
+	}
+	return "array"
+}
+
+// SetChunk is the adaptive store for one aligned run of SetChunkSize keys.
+// Keys are chunk-relative (0 .. SetChunkSize-1).
+type SetChunk struct {
+	kind ReprKind
+	card int
+	arr  []uint16 // sorted members, ReprArray only
+	bits []uint64 // bitmapWords words, ReprBitmap only
+}
+
+// NewSetChunk returns an empty chunk in array representation.
+func NewSetChunk() *SetChunk { return &SetChunk{} }
+
+// Kind returns the current physical representation.
+func (c *SetChunk) Kind() ReprKind { return c.kind }
+
+// Cardinality returns the number of members.
+func (c *SetChunk) Cardinality() int { return c.card }
+
+// Contains reports membership of the chunk-relative key k.
+func (c *SetChunk) Contains(k uint16) bool {
+	if c.kind == ReprBitmap {
+		return c.bits[k>>6]&(1<<(k&63)) != 0
+	}
+	i := c.search(k)
+	return i < len(c.arr) && c.arr[i] == k
+}
+
+// search returns the insertion position of k in the sorted array.
+func (c *SetChunk) search(k uint16) int {
+	lo, hi := 0, len(c.arr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.arr[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds k and reports whether it was newly added, converting an array
+// chunk at ArrayMaxCard members to a bitmap before the insert that would
+// exceed the threshold.
+func (c *SetChunk) Insert(k uint16) bool {
+	if c.kind == ReprBitmap {
+		w, m := k>>6, uint64(1)<<(k&63)
+		if c.bits[w]&m != 0 {
+			return false
+		}
+		c.bits[w] |= m
+		c.card++
+		return true
+	}
+	i := c.search(k)
+	if i < len(c.arr) && c.arr[i] == k {
+		return false
+	}
+	if c.card >= ArrayMaxCard {
+		c.toBitmap()
+		return c.Insert(k)
+	}
+	c.arr = append(c.arr, 0)
+	copy(c.arr[i+1:], c.arr[i:])
+	c.arr[i] = k
+	c.card++
+	return true
+}
+
+// Remove deletes k and reports whether it was a member, converting a bitmap
+// chunk back to an array once the cardinality drops to ArrayMaxCard.
+func (c *SetChunk) Remove(k uint16) bool {
+	if c.kind == ReprBitmap {
+		w, m := k>>6, uint64(1)<<(k&63)
+		if c.bits[w]&m == 0 {
+			return false
+		}
+		c.bits[w] &^= m
+		c.card--
+		if c.card <= ArrayMaxCard {
+			c.toArray()
+		}
+		return true
+	}
+	i := c.search(k)
+	if i >= len(c.arr) || c.arr[i] != k {
+		return false
+	}
+	c.arr = append(c.arr[:i], c.arr[i+1:]...)
+	c.card--
+	return true
+}
+
+// toBitmap converts the array representation to a bitmap.
+func (c *SetChunk) toBitmap() {
+	bits := make([]uint64, bitmapWords)
+	for _, k := range c.arr {
+		bits[k>>6] |= 1 << (k & 63)
+	}
+	c.bits, c.arr, c.kind = bits, nil, ReprBitmap
+}
+
+// toArray converts the bitmap representation to a sorted array.
+func (c *SetChunk) toArray() {
+	arr := make([]uint16, 0, c.card)
+	for w, word := range c.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			arr = append(arr, uint16(w<<6|b))
+			word &^= 1 << b
+		}
+	}
+	c.arr, c.bits, c.kind = arr, nil, ReprArray
+}
+
+// Min returns the smallest member, with ok=false on an empty chunk.  The
+// compressed-set migration router uses it to pick the sub-domain a segment
+// belongs to.
+func (c *SetChunk) Min() (uint16, bool) {
+	if c.card == 0 {
+		return 0, false
+	}
+	if c.kind == ReprArray {
+		return c.arr[0], true
+	}
+	for w, word := range c.bits {
+		if word != 0 {
+			return uint16(w<<6 | bits.TrailingZeros64(word)), true
+		}
+	}
+	return 0, false
+}
+
+// Range iterates the members in ascending order, stopping early if fn
+// returns false.
+func (c *SetChunk) Range(fn func(k uint16) bool) {
+	if c.kind == ReprBitmap {
+		for w, word := range c.bits {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				if !fn(uint16(w<<6 | b)) {
+					return
+				}
+				word &^= 1 << b
+			}
+		}
+		return
+	}
+	for _, k := range c.arr {
+		if !fn(k) {
+			return
+		}
+	}
+}
+
+// MemoryBytes returns the resident size of the chunk's payload storage.
+func (c *SetChunk) MemoryBytes() int64 {
+	if c.kind == ReprBitmap {
+		return int64(len(c.bits)) * 8
+	}
+	return int64(cap(c.arr)) * 2
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodedBytes returns the exact wire size of Encode's output.
+func (c *SetChunk) EncodedBytes() int {
+	if c.kind == ReprBitmap {
+		return 1 + bitmapWords*8
+	}
+	n := 1 + uvarintLen(uint64(c.card))
+	prev := uint16(0)
+	for i, k := range c.arr {
+		d := uint64(k)
+		if i > 0 {
+			d = uint64(k - prev)
+		}
+		n += uvarintLen(d)
+		prev = k
+	}
+	return n
+}
+
+// Encode appends the chunk's wire form: a kind byte, then either the
+// delta-compressed sorted member list (array) or the raw words (bitmap).
+func (c *SetChunk) Encode(b *transport.Buffer) {
+	b.PutU8(uint8(c.kind))
+	if c.kind == ReprBitmap {
+		for _, w := range c.bits {
+			b.PutU64(w)
+		}
+		return
+	}
+	b.PutUvarint(uint64(c.card))
+	prev := uint16(0)
+	for i, k := range c.arr {
+		if i == 0 {
+			b.PutUvarint(uint64(k))
+		} else {
+			b.PutUvarint(uint64(k - prev))
+		}
+		prev = k
+	}
+}
+
+// DecodeSetChunk reads one chunk off the buffer.  Corrupt input records a
+// sticky buffer error and returns an empty chunk rather than panicking.
+func DecodeSetChunk(b *transport.Buffer) *SetChunk {
+	c := NewSetChunk()
+	switch ReprKind(b.U8()) {
+	case ReprBitmap:
+		words := make([]uint64, bitmapWords)
+		card := 0
+		for i := range words {
+			words[i] = b.U64()
+			card += bits.OnesCount64(words[i])
+		}
+		if b.Err() != nil {
+			return NewSetChunk()
+		}
+		c.kind, c.bits, c.card = ReprBitmap, words, card
+		if card <= ArrayMaxCard {
+			// Canonical form keeps low cardinalities in array representation;
+			// accept the wire form but normalise so re-encoding is stable.
+			c.toArray()
+		}
+	case ReprArray:
+		n := b.Uvarint()
+		if n > ArrayMaxCard {
+			b.Fail("set chunk: array cardinality %d exceeds threshold", n)
+			return NewSetChunk()
+		}
+		arr := make([]uint16, 0, n)
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			d := b.Uvarint()
+			k := d
+			if i > 0 {
+				k = prev + d
+				if d == 0 {
+					b.Fail("set chunk: non-increasing member list")
+					return NewSetChunk()
+				}
+			}
+			if k >= SetChunkSize {
+				b.Fail("set chunk: member %d out of chunk range", k)
+				return NewSetChunk()
+			}
+			arr = append(arr, uint16(k))
+			prev = k
+		}
+		if b.Err() != nil {
+			return NewSetChunk()
+		}
+		c.arr, c.card = arr, len(arr)
+	default:
+		b.Fail("set chunk: unknown representation kind")
+	}
+	return c
+}

@@ -1,0 +1,338 @@
+package bcontainer
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/transport"
+)
+
+// TestSetChunkTransitions pins the roaring-style representation switch: fill
+// to the threshold and the chunk is an array, one more insert converts it to
+// a bitmap, removing back below converts it to an array again — with
+// membership preserved across both transitions.
+func TestSetChunkTransitions(t *testing.T) {
+	c := NewSetChunk()
+	for k := 0; k < ArrayMaxCard; k++ {
+		if !c.Insert(uint16(k * 7 % SetChunkSize)) {
+			t.Fatalf("insert %d not new", k)
+		}
+	}
+	if c.Kind() != ReprArray || c.Cardinality() != ArrayMaxCard {
+		t.Fatalf("at threshold: kind=%v card=%d, want array/%d", c.Kind(), c.Cardinality(), ArrayMaxCard)
+	}
+	// The insert past the threshold must switch to the bitmap representation.
+	extra := uint16(4000)
+	if !c.Insert(extra) {
+		t.Fatal("threshold-crossing insert not new")
+	}
+	if c.Kind() != ReprBitmap || c.Cardinality() != ArrayMaxCard+1 {
+		t.Fatalf("past threshold: kind=%v card=%d, want bitmap/%d", c.Kind(), c.Cardinality(), ArrayMaxCard+1)
+	}
+	for k := 0; k < ArrayMaxCard; k++ {
+		if !c.Contains(uint16(k * 7 % SetChunkSize)) {
+			t.Fatalf("member %d lost in array→bitmap switch", k)
+		}
+	}
+	// Removing back to the threshold must switch back to the array.
+	if !c.Remove(extra) {
+		t.Fatal("remove of present member failed")
+	}
+	if c.Kind() != ReprArray || c.Cardinality() != ArrayMaxCard {
+		t.Fatalf("below threshold: kind=%v card=%d, want array/%d", c.Kind(), c.Cardinality(), ArrayMaxCard)
+	}
+	for k := 0; k < ArrayMaxCard; k++ {
+		if !c.Contains(uint16(k * 7 % SetChunkSize)) {
+			t.Fatalf("member %d lost in bitmap→array switch", k)
+		}
+	}
+	if c.Contains(extra) {
+		t.Fatal("removed member still present")
+	}
+}
+
+// TestSetChunkEncode pins the wire form of both representations: byte-exact
+// round trips and an EncodedBytes that matches the actual encoding.
+func TestSetChunkEncode(t *testing.T) {
+	cases := map[string]func() *SetChunk{
+		"empty": NewSetChunk,
+		"array": func() *SetChunk {
+			c := NewSetChunk()
+			for k := 0; k < 100; k++ {
+				c.Insert(uint16(k * 41 % SetChunkSize))
+			}
+			return c
+		},
+		"bitmap": func() *SetChunk {
+			c := NewSetChunk()
+			for k := 0; k < 2*ArrayMaxCard; k++ {
+				c.Insert(uint16(k * 5 % SetChunkSize))
+			}
+			return c
+		},
+	}
+	for name, mk := range cases {
+		c := mk()
+		enc := transport.NewBuffer()
+		c.Encode(enc)
+		if got := c.EncodedBytes(); got != enc.Len() {
+			t.Fatalf("%s: EncodedBytes=%d, actual=%d", name, got, enc.Len())
+		}
+		dec := DecodeSetChunk(transport.NewReader(enc.Bytes()))
+		if dec.Cardinality() != c.Cardinality() || dec.Kind() != c.Kind() {
+			t.Fatalf("%s: decode card=%d kind=%v, want %d/%v", name, dec.Cardinality(), dec.Kind(), c.Cardinality(), c.Kind())
+		}
+		re := transport.NewBuffer()
+		dec.Encode(re)
+		if !bytes.Equal(enc.Bytes(), re.Bytes()) {
+			t.Fatalf("%s: re-encoding differs", name)
+		}
+	}
+}
+
+// TestCompressedSetBasics exercises the chunked set across chunk boundaries:
+// membership, ordered traversal, per-chunk representation, and the
+// resident-bytes contrast with domain-scaled dense storage.
+func TestCompressedSetBasics(t *testing.T) {
+	s := NewCompressedSet(3)
+	if s.BCID() != 3 || !s.Empty() {
+		t.Fatal("metadata wrong")
+	}
+	keys := []int64{0, 1, SetChunkSize - 1, SetChunkSize, 3 * SetChunkSize, 3*SetChunkSize + 7, 1 << 40}
+	for _, k := range keys {
+		if !s.Insert(k) {
+			t.Fatalf("insert %d not new", k)
+		}
+		if s.Insert(k) {
+			t.Fatalf("re-insert %d reported new", k)
+		}
+	}
+	if s.Size() != int64(len(keys)) || s.NumChunks() != 4 {
+		t.Fatalf("size=%d chunks=%d", s.Size(), s.NumChunks())
+	}
+	var got []int64
+	s.Range(func(k int64) bool { got = append(got, k); return true })
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Range not ascending: %v", got)
+		}
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("Range visited %d of %d", len(got), len(keys))
+	}
+	if kind, ok := s.ChunkKind(0); !ok || kind != ReprArray {
+		t.Fatal("sparse chunk should be array-represented")
+	}
+	if !s.Erase(SetChunkSize) || s.Contains(SetChunkSize) {
+		t.Fatal("erase failed")
+	}
+	if s.Erase(SetChunkSize) {
+		t.Fatal("double erase reported success")
+	}
+	if s.NumChunks() != 3 {
+		t.Fatal("emptied chunk not released")
+	}
+
+	// Fill one chunk past the threshold: its representation flips to bitmap
+	// while the others stay arrays, and resident bytes stay far below one
+	// word per domain slot.
+	for k := int64(0); k <= ArrayMaxCard; k++ {
+		s.Insert(5*SetChunkSize + k)
+	}
+	if kind, _ := s.ChunkKind(5 * SetChunkSize); kind != ReprBitmap {
+		t.Fatal("dense chunk should have switched to bitmap")
+	}
+	data, _ := s.MemoryBytes()
+	if dense := int64(1<<40) * 8; data >= dense/1000 {
+		t.Fatalf("compressed data bytes %d not ≪ dense %d", data, dense)
+	}
+}
+
+// TestCompressedSetSegments pins the segment round trip: Segments →
+// wire-encode → decode → InstallSegment reproduces the set member-for-member,
+// and ByteSize matches the encoding exactly.
+func TestCompressedSetSegments(t *testing.T) {
+	s := NewCompressedSet(0)
+	for k := int64(0); k < 3000; k++ {
+		s.Insert(k * 11 % (4 * SetChunkSize))
+	}
+	rebuilt := NewCompressedSet(1)
+	for _, seg := range s.Segments() {
+		enc := transport.NewBuffer()
+		SetSegmentCodec.Encode(enc, seg)
+		if enc.Len() != seg.ByteSize() {
+			t.Fatalf("chunk %d: ByteSize=%d, encoded=%d", seg.Chunk, seg.ByteSize(), enc.Len())
+		}
+		dec := SetSegmentCodec.Decode(transport.NewReader(enc.Bytes()))
+		rebuilt.InstallSegment(dec)
+	}
+	if rebuilt.Size() != s.Size() {
+		t.Fatalf("rebuilt size %d, want %d", rebuilt.Size(), s.Size())
+	}
+	s.Range(func(k int64) bool {
+		if !rebuilt.Contains(k) {
+			t.Fatalf("member %d lost in segment round trip", k)
+		}
+		return true
+	})
+}
+
+// TestSparseBlockDenseEquivalence fills a CSR block and a dense block with
+// the same pattern and requires element-for-element equality over the whole
+// sub-domain (dense→CSR construction equivalence), then pins Erase, Apply
+// and the native row span.
+func TestSparseBlockDenseEquivalence(t *testing.T) {
+	rows, cols := domain.NewRange1D(10, 42), domain.NewRange1D(5, 69)
+	sp := NewSparseMatrixBlock[int64](1, rows, cols)
+	dn := NewMatrixBlock[int64](2, rows, cols)
+	for r := rows.Lo; r < rows.Hi; r++ {
+		for c := cols.Lo; c < cols.Hi; c++ {
+			if (r*31+c*17)%13 == 0 {
+				g := domain.Index2D{Row: r, Col: c}
+				sp.Set(g, r*1000+c)
+				dn.Set(g, r*1000+c)
+			}
+		}
+	}
+	if sp.NNZ() == 0 || sp.NNZ() == sp.Size() {
+		t.Fatalf("degenerate fill: nnz=%d", sp.NNZ())
+	}
+	for r := rows.Lo; r < rows.Hi; r++ {
+		for c := cols.Lo; c < cols.Hi; c++ {
+			g := domain.Index2D{Row: r, Col: c}
+			if sp.Get(g) != dn.Get(g) {
+				t.Fatalf("(%d,%d): sparse=%d dense=%d", r, c, sp.Get(g), dn.Get(g))
+			}
+		}
+	}
+	// Native row spans agree with Get and are ascending.
+	for r := rows.Lo; r < rows.Hi; r++ {
+		cs, vs := sp.RowNZ(r)
+		for i := range cs {
+			if i > 0 && cs[i-1] >= cs[i] {
+				t.Fatalf("row %d: columns not ascending", r)
+			}
+			if sp.Get(domain.Index2D{Row: r, Col: cs[i]}) != vs[i] {
+				t.Fatalf("row %d col %d: span disagrees with Get", r, cs[i])
+			}
+		}
+	}
+	g := domain.Index2D{Row: 13, Col: 26}
+	sp.Apply(g, func(v int64) int64 { return v + 1 })
+	dn.Apply(g, func(v int64) int64 { return v + 1 })
+	if sp.Get(g) != dn.Get(g) {
+		t.Fatal("Apply diverged from dense")
+	}
+	was := sp.NNZ()
+	if !sp.Erase(g) || sp.Get(g) != 0 || sp.NNZ() != was-1 {
+		t.Fatal("Erase did not zero the element")
+	}
+	if sp.Erase(g) {
+		t.Fatal("double erase reported success")
+	}
+	data, _ := sp.MemoryBytes()
+	denseData, _ := dn.MemoryBytes()
+	if data >= denseData {
+		t.Fatalf("sparse data bytes %d not below dense %d", data, denseData)
+	}
+}
+
+// TestSparseRowCodec pins the CSR row wire form: byte-exact round trips,
+// EncodedRowBytes equals the real encoding, and InstallRow's splice fast
+// path reproduces entries exactly.
+func TestSparseRowCodec(t *testing.T) {
+	codec := SparseRowCodec(transport.Int64Codec)
+	rows, cols := domain.NewRange1D(0, 8), domain.NewRange1D(0, 1<<20)
+	src := NewSparseMatrixBlock[int64](0, rows, cols)
+	for i := int64(0); i < 200; i++ {
+		src.Set(domain.Index2D{Row: i % 8, Col: (i * 5003) % (1 << 20)}, i)
+	}
+	dst := NewSparseMatrixBlock[int64](1, rows, cols)
+	scratch := transport.NewBuffer()
+	for r := rows.Lo; r < rows.Hi; r++ {
+		cs, vs := src.RowNZ(r)
+		seg := SparseRow[int64]{Row: r, Cols: cs, Vals: vs}
+		first, second, err := codec.RoundTrip(seg)
+		if err != nil || !bytes.Equal(first, second) {
+			t.Fatalf("row %d: round trip: %v", r, err)
+		}
+		if EncodedRowBytes(codec, scratch, seg) != len(first) {
+			t.Fatalf("row %d: EncodedRowBytes mismatch", r)
+		}
+		dst.InstallRow(seg)
+	}
+	if dst.NNZ() != src.NNZ() {
+		t.Fatalf("install: nnz %d, want %d", dst.NNZ(), src.NNZ())
+	}
+	src.RangeNZ(func(g domain.Index2D, v int64) bool {
+		if dst.Get(g) != v {
+			t.Fatalf("(%d,%d) lost in install", g.Row, g.Col)
+		}
+		return true
+	})
+}
+
+// TestGraphFreezeCSR pins the CSR adjacency freeze: traversal is unchanged,
+// post-freeze edge mutation is safe (copy-out on append), and re-freeze
+// repacks.
+func TestGraphFreezeCSR(t *testing.T) {
+	g := NewGraph[int64, int8](0)
+	for v := int64(0); v < 50; v++ {
+		g.AddVertex(v, v*10)
+	}
+	for v := int64(0); v < 50; v++ {
+		g.AddEdge(v, (v+1)%50, int8(v%7), true)
+		g.AddEdge(v, (v+13)%50, int8(v%5), true)
+	}
+	type adj struct {
+		vd    int64
+		edges []Edge[int8]
+	}
+	snapshot := func() []adj {
+		var out []adj
+		g.RangeVertices(func(v *Vertex[int64, int8]) bool {
+			out = append(out, adj{v.Descriptor, append([]Edge[int8](nil), v.Edges...)})
+			return true
+		})
+		return out
+	}
+	before := g.NumEdges()
+	want := snapshot()
+	g.FreezeCSR()
+	if !g.CSRFrozen() || g.NumEdges() != before {
+		t.Fatal("freeze changed edge count")
+	}
+	got := snapshot()
+	for i := range want {
+		if got[i].vd != want[i].vd || len(got[i].edges) != len(want[i].edges) {
+			t.Fatalf("vertex %d adjacency changed by freeze", want[i].vd)
+		}
+		for j := range want[i].edges {
+			if got[i].edges[j] != want[i].edges[j] {
+				t.Fatalf("vertex %d edge %d changed by freeze", want[i].vd, j)
+			}
+		}
+	}
+	// Mutating one frozen vertex must not disturb its neighbours' spans.
+	g.AddEdge(7, 20, 1, true)
+	g.DeleteEdge(8, 9)
+	if g.OutDegree(7) != 3 {
+		t.Fatal("post-freeze AddEdge lost")
+	}
+	if d := g.OutDegree(8); d != 1 {
+		t.Fatalf("post-freeze DeleteEdge: degree %d", d)
+	}
+	for _, v := range []int64{6, 9, 10} {
+		cur := g.OutEdges(v)
+		for i, e := range want[v].edges {
+			if cur[i] != e {
+				t.Fatalf("vertex %d disturbed by neighbour mutation", v)
+			}
+		}
+	}
+	g.FreezeCSR() // re-freeze after mutation repacks cleanly
+	if g.OutDegree(7) != 3 || g.OutDegree(8) != 1 {
+		t.Fatal("re-freeze lost mutations")
+	}
+}

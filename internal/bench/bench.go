@@ -128,6 +128,7 @@ func All() []Experiment {
 		{"matrix", "pMatrix 2-D kernels: coarsened matvec/matmul vs element-wise, 2-D jacobi, relayout", MatrixKernels},
 		{"views", "composable pView algebra: coarsened vs elementwise, zip, overlap halo, segmented", ViewsComposition},
 		{"redist", "redistribution and load balancing: skew, rebalance, traffic", RedistributeRebalance},
+		{"sparse", "storage representations: dense vs compressed resident and migration bytes by density", SparseStorage},
 		{"directory", "distributed-directory resolution: cached vs uncached repeat remote access", DirectoryCachedAccess},
 		{"ablation-aggregation", "RMI aggregation on/off (design-choice ablation)", AblationAggregation},
 		{"ablation-locking", "thread-safety manager policies (design-choice ablation)", AblationLocking},

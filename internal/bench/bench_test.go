@@ -54,7 +54,8 @@ func TestFindAndDescriptions(t *testing.T) {
 			t.Errorf("experiment %s incompletely registered", e.ID)
 		}
 		if !strings.HasPrefix(e.ID, "fig") && !strings.HasPrefix(e.ID, "ablation") &&
-			e.ID != "redist" && e.ID != "bulk" && e.ID != "directory" && e.ID != "views" && e.ID != "matrix" {
+			e.ID != "redist" && e.ID != "bulk" && e.ID != "directory" && e.ID != "views" && e.ID != "matrix" &&
+			e.ID != "sparse" {
 			t.Errorf("unexpected experiment id %s", e.ID)
 		}
 	}

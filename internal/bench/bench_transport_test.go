@@ -10,10 +10,10 @@ import (
 
 // equivalenceExperiments are the pinned experiments of the cross-transport
 // suite: every counter row they report must be identical over every
-// transport.  They cover the five communication-heavy subsystems (bulk
-// batching, the distributed directory, redistribution, the view algebra and
-// the 2-D matrix kernels).
-var equivalenceExperiments = []string{"bulk", "directory", "redist", "views", "matrix"}
+// transport.  They cover the six communication-heavy subsystems (bulk
+// batching, the distributed directory, redistribution, the view algebra,
+// the 2-D matrix kernels and the compressed storage representations).
+var equivalenceExperiments = []string{"bulk", "directory", "redist", "views", "matrix", "sparse"}
 
 // counterUnits are the row units that count logical communication events.
 // They are incremented at send/execute time, independent of how frames move,

@@ -65,26 +65,28 @@ func redistReport(family string, p int, n int64, before, after float64, rmis, by
 // redistScenario runs one skew→rebalance scenario SPMD and gathers location
 // 0's measurements (written only by the location-0 goroutine and read after
 // Execute joins every goroutine).  body returns the imbalance factor before
-// and after its rebalance step; the migration traffic is the machine-stats
-// delta around body's rebalance, which body brackets with the snapshot
-// callback.
+// and after its rebalance step; the migration traffic is the stat delta
+// around body's rebalance, which body brackets with the snapshot callback.
+// Each location snapshots its own share and the deltas are summed with a
+// collective — the scheme that makes the delta machine-wide on EVERY
+// transport (see measuredRun): under the multi-process transport a location
+// can only read its own process's counters mid-run.
 func redistScenario(cfg Config, p int, body func(loc *runtime.Location, snapshot func()) (before, after float64)) (before, after float64, rmis, bytes int64) {
 	m := machine(cfg, p)
-	var preRMIs, preBytes int64
 	m.Execute(func(loc *runtime.Location) {
+		var pre runtime.Stats
 		b, a := body(loc, func() {
-			if loc.ID() == 0 {
-				preRMIs = m.Stats().RMIsSent
-				preBytes = m.Stats().BytesSimulated
-			}
+			pre = loc.Stats()
 			loc.Barrier()
 		})
+		local := loc.Stats().Sub(pre)
+		total := runtime.AllReduceT(loc, local, runtime.Stats.Add)
 		if loc.ID() == 0 {
 			before, after = b, a
+			rmis = total.RMIsSent
+			bytes = total.BytesSimulated
 		}
 	})
-	rmis = m.Stats().RMIsSent - preRMIs
-	bytes = m.Stats().BytesSimulated - preBytes
 	return before, after, rmis, bytes
 }
 

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/containers/parray"
+	"repro/internal/containers/passoc"
+	"repro/internal/containers/pmatrix"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// SparseStorage compares the dense and compressed storage representations
+// behind the same container interfaces: a flag pArray vs the adaptive
+// array/bitmap CompressedSet over one key universe, and a dense pMatrix vs
+// the CSR SparseMatrix over one nonzero population.  At each density it
+// reports the resident footprint of both representations and the traffic a
+// full migration costs (every sub-domain moves: the set rotates its mapper
+// by one location, the matrix switches row-blocked → checkerboard), so the
+// regression gate pins both the in-memory and the on-the-wire effect of the
+// representation choice.  All rows are deterministic counters, identical on
+// every transport: construction writes only locally owned elements and the
+// migrations are measured with per-location stat deltas folded collectively.
+func SparseStorage(cfg Config) []Row {
+	var rows []Row
+	for _, p := range cfg.Locations {
+		if p == 1 {
+			continue // migration traffic needs somewhere to go
+		}
+		for _, stride := range []int64{100, 20, 5} {
+			rows = append(rows, sparseSetRows(cfg, p, stride)...)
+			rows = append(rows, sparseMatrixRows(cfg, p, stride)...)
+		}
+	}
+	return rows
+}
+
+// sparseCosts is one representation pair's measurements: resident bytes for
+// both representations and the machine-wide stat deltas of their migrations.
+type sparseCosts struct {
+	denseRes, compRes int64
+	dense, comp       runtime.Stats
+}
+
+// sparseReport renders one pair's measurements as report rows.  The
+// reduction rows are ratios of deterministic integer counters, so they are
+// exact and the gate can pin the compression factor itself.
+func sparseReport(family, param string, c sparseCosts) []Row {
+	rows := []Row{
+		{Experiment: "sparse", Series: family + " resident (dense)", Param: param, Value: float64(c.denseRes), Unit: "bytes"},
+		{Experiment: "sparse", Series: family + " resident (compressed)", Param: param, Value: float64(c.compRes), Unit: "bytes"},
+		{Experiment: "sparse", Series: family + " migration bytes (dense)", Param: param, Value: float64(c.dense.BytesSimulated), Unit: "bytes"},
+		{Experiment: "sparse", Series: family + " migration bytes (compressed)", Param: param, Value: float64(c.comp.BytesSimulated), Unit: "bytes"},
+		{Experiment: "sparse", Series: family + " migration rmis (dense)", Param: param, Value: float64(c.dense.RMIsSent), Unit: "rmis"},
+		{Experiment: "sparse", Series: family + " migration rmis (compressed)", Param: param, Value: float64(c.comp.RMIsSent), Unit: "rmis"},
+		{Experiment: "sparse", Series: family + " migration messages (dense)", Param: param, Value: float64(c.dense.MessagesSent), Unit: "msgs"},
+		{Experiment: "sparse", Series: family + " migration messages (compressed)", Param: param, Value: float64(c.comp.MessagesSent), Unit: "msgs"},
+	}
+	if c.compRes > 0 {
+		rows = append(rows, Row{Experiment: "sparse", Series: family + " resident reduction", Param: param,
+			Value: float64(c.denseRes) / float64(c.compRes), Unit: "x"})
+	}
+	if c.comp.BytesSimulated > 0 {
+		rows = append(rows, Row{Experiment: "sparse", Series: family + " migration byte reduction", Param: param,
+			Value: float64(c.dense.BytesSimulated) / float64(c.comp.BytesSimulated), Unit: "x"})
+	}
+	return rows
+}
+
+// sparseMeasure wraps one collective migration in the per-location stat
+// delta fold that is machine-wide on every transport (see measuredRun).
+func sparseMeasure(loc *runtime.Location, body func()) runtime.Stats {
+	pre := loc.Stats()
+	loc.Barrier()
+	body()
+	return runtime.AllReduceT(loc, loc.Stats().Sub(pre), runtime.Stats.Add)
+}
+
+// rotatedMapper maps sub-domain i (blocked home: location i) to location
+// i+1 mod p: every element of every sub-domain migrates.
+func rotatedMapper(nsub, p int) *partition.ArbitraryMapper {
+	rot := make([]int, nsub)
+	for i := range rot {
+		rot[i] = (i + 1) % p
+	}
+	return partition.NewArbitraryMapper(rot, p)
+}
+
+// sparseSetRows measures flag-pArray vs CompressedSet over a universe of n
+// keys at membership density 1/stride.  Members are every stride-th key;
+// each location inserts only the members it owns, so construction is
+// communication-free and the measured deltas are pure migration traffic.
+func sparseSetRows(cfg Config, p int, stride int64) []Row {
+	// A multiple of the chunk population so the universe spans many chunks;
+	// the flag array stores all n slots either way.
+	n := cfg.ElementsPerLocation * int64(p) * 8
+	var out sparseCosts
+	m := machine(cfg, p)
+	m.Execute(func(loc *runtime.Location) {
+		a := parray.New[int64](loc, n)
+		a.UpdateLocal(func(gid int64, _ int64) int64 {
+			if gid%stride == 0 {
+				return 1
+			}
+			return 0
+		})
+		s := passoc.NewCompressedSet(loc, n)
+		for k := int64(0); k < n; k += stride {
+			if s.Mapper().Map(s.Partition().Find(k).BCID) == loc.ID() {
+				s.Insert(k)
+			}
+		}
+		loc.Fence()
+		denseRes := a.MemorySize().Total()
+		compRes := s.MemorySize().Total()
+		dStats := sparseMeasure(loc, func() {
+			a.Redistribute(a.Partition(), rotatedMapper(a.Partition().NumSubdomains(), p))
+		})
+		cStats := sparseMeasure(loc, func() {
+			s.Redistribute(s.Partition(), rotatedMapper(s.Partition().NumSubdomains(), p))
+		})
+		if loc.ID() == 0 {
+			out = sparseCosts{denseRes: denseRes, compRes: compRes, dense: dStats, comp: cStats}
+		}
+	})
+	param := fmt.Sprintf("P=%d N=%d density=%d%%", p, n, 100/stride)
+	return sparseReport("set", param, out)
+}
+
+// sparseMatrixRows measures dense pMatrix vs CSR SparseMatrix over a dv×dv
+// grid with a nonzero at every stride-th linear index.  Both start
+// row-blocked and relayout to checkerboard: the dense matrix ships every
+// element, the sparse one ships delta-compressed row fragments.
+func sparseMatrixRows(cfg Config, p int, stride int64) []Row {
+	dv := isqrt(cfg.ElementsPerLocation * int64(p))
+	var out sparseCosts
+	m := machine(cfg, p)
+	m.Execute(func(loc *runtime.Location) {
+		member := func(r, c int64) bool { return (r*dv+c)%stride == 0 }
+		d := pmatrix.New[int64](loc, dv, dv)
+		d.UpdateLocal(func(g domain.Index2D, _ int64) int64 {
+			if member(g.Row, g.Col) {
+				return g.Row + g.Col + 1
+			}
+			return 0
+		})
+		s := pmatrix.NewSparse[int64](loc, dv, dv)
+		rs, cs := s.LocalBlocks()
+		for b := range rs {
+			for r := rs[b].Lo; r < rs[b].Hi; r++ {
+				for c := cs[b].Lo; c < cs[b].Hi; c++ {
+					if member(r, c) {
+						s.SetLocal(r, c, r+c+1)
+					}
+				}
+			}
+		}
+		loc.Fence()
+		denseRes := d.MemorySize().Total()
+		compRes := s.MemorySize().Total()
+		dStats := sparseMeasure(loc, func() { d.Relayout(partition.Checkerboard, 0) })
+		cStats := sparseMeasure(loc, func() { s.Relayout(partition.Checkerboard, 0) })
+		if loc.ID() == 0 {
+			out = sparseCosts{denseRes: denseRes, compRes: compRes, dense: dStats, comp: cStats}
+		}
+	})
+	param := fmt.Sprintf("P=%d N=%d density=%d%%", p, dv*dv, 100/stride)
+	return sparseReport("matrix", param, out)
+}

@@ -1,0 +1,169 @@
+package passoc
+
+import (
+	"testing"
+
+	"repro/internal/bcontainer"
+	"repro/internal/domain"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func TestCompressedSetInsertContainsErase(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		const n = 1 << 16
+		s := NewCompressedSet(loc, n)
+		// Every location inserts a strided share of a sparse key set.
+		for k := int64(loc.ID()) * 97; k < n; k += 97 * int64(loc.NumLocations()) {
+			s.Insert(k)
+		}
+		loc.Fence()
+		if got, want := s.Size(), int64((n+96)/97); got != want {
+			t.Errorf("size = %d, want %d", got, want)
+		}
+		if loc.ID() == 0 {
+			if !s.Contains(97) {
+				t.Error("Contains(97) = false, want true")
+			}
+			if s.Contains(98) {
+				t.Error("Contains(98) = true, want false")
+			}
+			s.EraseAsync(97)
+		}
+		loc.Fence()
+		if s.Contains(97) {
+			t.Error("Contains(97) after erase = true, want false")
+		}
+		loc.Fence()
+	})
+}
+
+func TestCompressedSetBulkAndSplit(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		const n = 1 << 14
+		s := NewCompressedSet(loc, n)
+		if loc.ID() == 0 {
+			keys := make([]int64, 0, n/3)
+			for k := int64(0); k < n; k += 3 {
+				keys = append(keys, k)
+			}
+			s.InsertBulk(keys)
+		}
+		loc.Fence()
+		got := s.ContainsBulk([]int64{0, 1, 3, 4, n - 2})
+		want := []bool{true, false, true, false, false}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("ContainsBulk[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+		f := s.ContainsSplit(6)
+		if !f.Get() {
+			t.Error("ContainsSplit(6) = false, want true")
+		}
+		loc.Fence()
+	})
+}
+
+// TestCompressedSetRepresentationTransitions drives one chunk across the
+// array→bitmap threshold and back through the pContainer API, asserting the
+// physical representation at each step — the roaring transition test lifted
+// to the distributed container.
+func TestCompressedSetRepresentationTransitions(t *testing.T) {
+	run(2, func(loc *runtime.Location) {
+		const n = 1 << 14
+		s := NewCompressedSet(loc, n)
+		// All keys in chunk 0, which lives on location 0.
+		if loc.ID() == 0 {
+			for k := int64(0); k <= bcontainer.ArrayMaxCard; k++ {
+				s.Insert(k) // one past the threshold: must convert
+			}
+		}
+		loc.Fence()
+		if loc.ID() == 0 {
+			if kind, ok := s.LocalChunkKind(0); !ok || kind != bcontainer.ReprBitmap {
+				t.Errorf("after %d inserts: kind=%v ok=%v, want bitmap", bcontainer.ArrayMaxCard+1, kind, ok)
+			}
+			s.EraseAsync(0) // back down to the threshold: must convert back
+		}
+		loc.Fence()
+		if loc.ID() == 0 {
+			if kind, ok := s.LocalChunkKind(1); !ok || kind != bcontainer.ReprArray {
+				t.Errorf("after erase to threshold: kind=%v ok=%v, want array", kind, ok)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+// TestCompressedSetRedistribute skews the membership onto location 0 with an
+// explicit partition, rebalances, and checks the members round-trip
+// element-for-element against a reference map — including chunks that
+// straddle the new sub-domain boundaries.
+func TestCompressedSetRedistribute(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		const n = 1 << 16
+		p := loc.NumLocations()
+		s := NewCompressedSet(loc, n)
+		// A mixed-density population: a dense run (bitmap chunks) plus a
+		// sparse stride (array chunks).
+		if loc.ID() == 0 {
+			for k := int64(0); k < 3000; k++ {
+				s.Insert(k)
+			}
+		}
+		for k := int64(loc.ID()) * 131; k < n; k += 131 * int64(p) {
+			s.Insert(k)
+		}
+		loc.Fence()
+		sizeBefore := s.Size()
+
+		// Skew everything onto location 0 (boundary 61 is deliberately not
+		// chunk-aligned, so chunks straddle and must split).
+		sizes := make([]int64, p)
+		sizes[0] = n - 61*int64(p-1)
+		for i := 1; i < p; i++ {
+			sizes[i] = 61
+		}
+		part, err := partition.NewExplicit(domain.NewRange1D(0, n), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Redistribute(part, partition.NewBlockedMapper(p, p))
+		if got := s.Size(); got != sizeBefore {
+			t.Errorf("size after skew = %d, want %d", got, sizeBefore)
+		}
+
+		// Rebalance back and verify membership survived both migrations.
+		s.Rebalance()
+		if got := s.Size(); got != sizeBefore {
+			t.Errorf("size after rebalance = %d, want %d", got, sizeBefore)
+		}
+		// Reference check: recompute the expected membership locally.
+		expect := func(k int64) bool {
+			if k < 3000 {
+				return true
+			}
+			return k%131 == 0
+		}
+		probes := []int64{0, 1, 2999, 3000, 131 * 7, 131*7 + 1, 131 * 499, n - 1}
+		for _, k := range probes {
+			if got := s.Contains(k); got != expect(k) {
+				t.Errorf("Contains(%d) = %v, want %v", k, got, expect(k))
+			}
+		}
+		// Exhaustive count via local iteration.
+		var local int64
+		s.LocalRange(func(k int64) bool {
+			if !expect(k) {
+				t.Errorf("unexpected member %d", k)
+			}
+			local++
+			return true
+		})
+		if total := runtime.AllReduceSum(loc, local); total != sizeBefore {
+			t.Errorf("enumerated %d members, want %d", total, sizeBefore)
+		}
+		loc.Fence()
+	})
+}

@@ -46,6 +46,7 @@ func (h *HashMap[K, V]) Redistribute(newPart *partition.Hashed[K], newMapper par
 		},
 		Place: func(bc *bcontainer.HashMap[K, V], e kvPair[K, V]) { bc.Insert(e.key, e.val) },
 		Bytes: func(kvPair[K, V]) int { return elemBytes },
+		Ops:   kvMigOpsFor[K, V](),
 		Install: func(lm *core.LocationManager[*bcontainer.HashMap[K, V]]) {
 			h.ReplaceLocationManager(lm)
 			h.part, h.mapper = newPart, newMapper

@@ -13,6 +13,13 @@ import (
 func (g *Graph[VP, EP]) AddEdgeAsync(src, tgt int64, prop EP) {
 	multi := g.multi
 	bytes := 8 + runtime.PayloadBytes(prop) // target descriptor + property
+	if g.edgeOps != nil {
+		g.edgeOps.Set(&g.Container, src, edgeMsg[EP]{tgt: tgt, prop: prop, multi: multi}, bytes)
+		if !g.directed && src != tgt {
+			g.edgeOps.Set(&g.Container, tgt, edgeMsg[EP]{tgt: src, prop: prop, multi: multi}, bytes)
+		}
+		return
+	}
 	g.InvokeSized(src, core.Write, bytes, func(_ *runtime.Location, bc *bcontainer.Graph[VP, EP]) {
 		bc.AddEdge(src, tgt, prop, multi)
 	})
@@ -191,6 +198,30 @@ func (g *Graph[VP, EP]) visitHop(vd int64, fn func(og *Graph[VP, EP], v *Vertex[
 type vertexResult[VP any, EP any] struct {
 	v  *Vertex[VP, EP]
 	ok bool
+}
+
+// CompactAdjacency repacks every locally stored vertex's adjacency into one
+// contiguous CSR edge array (bcontainer.FreezeCSR): per-vertex allocations
+// and their capacity slack collapse into a single block while traversal
+// order and the mutation API are unchanged — the storage-representation
+// switch a static graph makes once construction is done.  Collective; call
+// after edge traffic has fenced.  A later edge mutation un-freezes only the
+// touched vertex, so correctness never depends on staying compact.
+func (g *Graph[VP, EP]) CompactAdjacency() {
+	g.ForEachLocalBC(core.Write, func(bc *bcontainer.Graph[VP, EP]) { bc.FreezeCSR() })
+	g.Location().Barrier()
+}
+
+// LocalAdjacencyCompact reports whether this location's adjacency is
+// currently packed in CSR form.
+func (g *Graph[VP, EP]) LocalAdjacencyCompact() bool {
+	frozen := true
+	g.ForEachLocalBC(core.Read, func(bc *bcontainer.Graph[VP, EP]) {
+		if !bc.CSRFrozen() {
+			frozen = false
+		}
+	})
+	return frozen
 }
 
 // NumVertices returns the global number of vertices.  Collective.

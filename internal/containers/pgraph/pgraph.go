@@ -76,6 +76,12 @@ type Graph[VP any, EP any] struct {
 
 	directed bool
 	multi    bool
+
+	// edgeOps is the registered add_edge operation set for this (VP, EP)
+	// pair (nil when either property type has no wire codec): with it,
+	// asynchronous edge additions travel as self-decoding frames.  See
+	// ops.go.
+	edgeOps  *core.ElemOps[int64, *bcontainer.Graph[VP, EP], edgeMsg[EP]]
 	strategy Strategy
 
 	staticN    int64
@@ -199,6 +205,7 @@ func New[VP any, EP any](loc *runtime.Location, n int64, opts ...Option) *Graph[
 		multi:    o.Multi,
 		strategy: o.Strategy,
 		staticN:  n,
+		edgeOps:  edgeOpsFor[VP, EP](),
 	}
 	p := loc.NumLocations()
 	switch o.Strategy {

@@ -352,3 +352,48 @@ func TestStrategyString(t *testing.T) {
 		t.Fatal("strategy names wrong")
 	}
 }
+
+// TestCompactAdjacency freezes a static graph's adjacency into CSR form and
+// checks traversal is unchanged, a later mutation still works, and the
+// frozen flag reports correctly.
+func TestCompactAdjacency(t *testing.T) {
+	run(4, func(loc *runtime.Location) {
+		const nv = 64
+		g := New[int64, int64](loc, nv)
+		for vd := int64(loc.ID()); vd < nv; vd += int64(loc.NumLocations()) {
+			g.AddEdgeAsync(vd, (vd+1)%nv, vd)
+			g.AddEdgeAsync(vd, (vd*3+5)%nv, vd+100)
+		}
+		loc.Fence()
+		if g.LocalAdjacencyCompact() {
+			t.Error("adjacency reports compact before CompactAdjacency")
+		}
+		edgesBefore := g.NumEdges()
+		g.CompactAdjacency()
+		if !g.LocalAdjacencyCompact() {
+			t.Error("adjacency not compact after CompactAdjacency")
+		}
+		if got := g.NumEdges(); got != edgesBefore {
+			t.Errorf("NumEdges after freeze = %d, want %d", got, edgesBefore)
+		}
+		// Traversal still sees every record.
+		if got := g.OutDegree(1); got != 2 {
+			t.Errorf("OutDegree(1) = %d, want 2", got)
+		}
+		if ep, ok := g.FindEdge(2, 3); !ok || ep != 2 {
+			t.Errorf("FindEdge(2,3) = (%d,%v), want (2,true)", ep, ok)
+		}
+		// Mutation after the freeze: only the touched vertex un-packs.
+		if loc.ID() == 0 {
+			g.AddEdgeAsync(0, 9, 999)
+		}
+		loc.Fence()
+		if got := g.OutDegree(0); got != 3 {
+			t.Errorf("OutDegree(0) after post-freeze add = %d, want 3", got)
+		}
+		if got := g.NumEdges(); got != edgesBefore+1 {
+			t.Errorf("NumEdges after post-freeze add = %d, want %d", got, edgesBefore+1)
+		}
+		loc.Fence()
+	})
+}

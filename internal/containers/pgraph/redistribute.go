@@ -81,6 +81,7 @@ func (g *Graph[VP, EP]) Redistribute(newPart partition.Indexed, newMapper partit
 			}
 		},
 		Bytes: func(rec vertexRec[VP, EP]) int { return vpBytes + len(rec.edges)*edgeBytes },
+		Ops:   vertexMigOpsFor[VP, EP](),
 		Install: func(lm *core.LocationManager[*bcontainer.Graph[VP, EP]]) {
 			g.ReplaceLocationManager(lm)
 			g.SetResolver(repartResolver{part: newPart, mapper: newMapper})

@@ -54,6 +54,7 @@ func (l *List[T]) migrate(moves map[GID]int) {
 		GID:   func(e listElem[T]) GID { return GID{Loc: int32(e.id >> gidShift), ID: e.id} },
 		Place: func(bc *bcontainer.List[T], e listElem[T]) { bc.PushBackID(e.id, e.val) },
 		Bytes: func(listElem[T]) int { return elemBytes },
+		Ops:   listMigOpsFor[T](),
 		Install: func(lm *core.LocationManager[*bcontainer.List[T]]) {
 			l.ReplaceLocationManager(lm)
 		},

@@ -53,6 +53,7 @@ func (m *Matrix[T]) Redistribute(newPart *partition.Matrix, newMapper partition.
 		},
 		Place: func(bc *bcontainer.MatrixBlock[T], e matrixElem[T]) { bc.Set(e.g, e.val) },
 		Bytes: func(matrixElem[T]) int { return elemBytes },
+		Ops:   matMigOpsFor[T](),
 		Install: func(lm *core.LocationManager[*bcontainer.MatrixBlock[T]]) {
 			m.ReplaceLocationManager(lm)
 			m.SetResolver(matrixResolver{part: newPart, mapper: newMapper})

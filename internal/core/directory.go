@@ -63,6 +63,11 @@ type Directory[G comparable] struct {
 	ownerLoc func(b partition.BCID) int
 	cacheOn  bool
 
+	// ops is the registered-operation set for this GID type (nil when G has
+	// no typed codec): with it, maintenance traffic is self-decoding and the
+	// directory works across process boundaries.
+	ops *dirOps[G]
+
 	// entries is the slice of the gid → owner map this location is home for.
 	mu      sync.RWMutex
 	entries map[G]partition.BCID
@@ -88,6 +93,7 @@ func NewDirectory[G comparable](loc *runtime.Location, cfg DirectoryConfig[G]) *
 		home:     cfg.Home,
 		ownerLoc: cfg.OwnerLoc,
 		cacheOn:  cfg.Cache,
+		ops:      dirOpsFor[G](),
 		entries:  make(map[G]partition.BCID),
 	}
 	if d.home == nil {
@@ -132,6 +138,10 @@ func (d *Directory[G]) Publish(gid G, owner partition.BCID) {
 		return
 	}
 	d.loc.AccountDirectoryRMI(1)
+	if d.ops != nil {
+		d.loc.AsyncRMIOpSized(home, d.handle, 0, d.ops.publish, dirEntryArgs[G]{gid: gid, owner: owner})
+		return
+	}
 	d.loc.AsyncRMI(home, d.handle, func(obj any, _ *runtime.Location) {
 		obj.(*Directory[G]).set(gid, owner)
 	})
@@ -162,6 +172,11 @@ func (d *Directory[G]) PublishBulk(gids []G, owner partition.BCID) {
 		}
 		group := group
 		d.loc.AccountDirectoryRMI(1)
+		if d.ops != nil {
+			d.loc.AsyncRMIBulkOp(home, d.handle, len(group), 16*len(group), d.ops.publishBulk,
+				dirBulkArgs[G]{gids: group, owner: owner})
+			continue
+		}
 		d.loc.AsyncRMIBulk(home, d.handle, len(group), 16*len(group), func(obj any, _ *runtime.Location) {
 			od := obj.(*Directory[G])
 			od.mu.Lock()
@@ -189,6 +204,10 @@ func (d *Directory[G]) Unpublish(gid G) {
 		return
 	}
 	d.loc.AccountDirectoryRMI(1)
+	if d.ops != nil {
+		d.loc.AsyncRMIOpSized(home, d.handle, 0, d.ops.unpublish, dirEntryArgs[G]{gid: gid})
+		return
+	}
 	d.loc.AsyncRMI(home, d.handle, func(obj any, _ *runtime.Location) { erase(obj.(*Directory[G])) })
 }
 
@@ -207,28 +226,39 @@ func (d *Directory[G]) Unpublish(gid G) {
 // by the arriving bump).
 func (d *Directory[G]) Update(gid G, owner partition.BCID) {
 	home := d.home(gid)
-	apply := func(od *Directory[G]) {
-		od.set(gid, owner)
-		self := od.loc.ID()
-		for dest := 0; dest < od.loc.NumLocations(); dest++ {
-			if dest == self {
-				od.BumpEpoch()
-				continue
-			}
-			od.loc.AccountDirectoryRMI(1)
-			od.loc.AsyncRMI(dest, od.handle, func(obj any, _ *runtime.Location) {
-				obj.(*Directory[G]).BumpEpoch()
-			})
-		}
-	}
 	if home == d.loc.ID() {
-		apply(d)
+		d.applyUpdate(gid, owner)
 		return
 	}
 	d.loc.AccountDirectoryRMI(1)
+	if d.ops != nil {
+		d.loc.AsyncRMIOpSized(home, d.handle, 0, d.ops.update, dirEntryArgs[G]{gid: gid, owner: owner})
+		return
+	}
 	d.loc.AsyncRMI(home, d.handle, func(obj any, _ *runtime.Location) {
-		apply(obj.(*Directory[G]))
+		obj.(*Directory[G]).applyUpdate(gid, owner)
 	})
+}
+
+// applyUpdate runs Update's home-side half: install the new entry, then
+// broadcast the epoch bump (see Update's ordering argument).
+func (d *Directory[G]) applyUpdate(gid G, owner partition.BCID) {
+	d.set(gid, owner)
+	self := d.loc.ID()
+	for dest := 0; dest < d.loc.NumLocations(); dest++ {
+		if dest == self {
+			d.BumpEpoch()
+			continue
+		}
+		d.loc.AccountDirectoryRMI(1)
+		if d.ops != nil {
+			d.loc.AsyncRMIOpSized(dest, d.handle, 0, d.ops.bump, struct{}{})
+			continue
+		}
+		d.loc.AsyncRMI(dest, d.handle, func(obj any, _ *runtime.Location) {
+			obj.(*Directory[G]).BumpEpoch()
+		})
+	}
 }
 
 // BumpEpoch invalidates this location's resolution cache.  Collective
@@ -480,8 +510,12 @@ type DirectoryMigration[E any, G comparable, B BContainer] struct {
 	GID func(e E) G
 	// Place stores a received element into the staging base container.
 	Place func(bc B, e E)
-	// Bytes returns the simulated marshalled size of e (nil: 8 bytes flat).
+	// Bytes returns the simulated marshalled size of e (nil: sizer registry,
+	// see MigrationSpec.Bytes).
 	Bytes func(e E) int
+	// Ops, when non-nil, ships the element transfers as registered operations
+	// (see MigrationSpec.Ops).
+	Ops *MigrationOps[E]
 	// Install swaps the staged storage into the container.
 	Install func(lm *LocationManager[B])
 	// NewLocal lists the sub-domains this location stores (default: the one
@@ -496,9 +530,11 @@ type DirectoryMigration[E any, G comparable, B BContainer] struct {
 }
 
 // moveReq is one element-migration request shipped through the all-gather.
+// The fields are exported because the collective layer's wire form (gob under
+// the multi-process transport) only marshals exported fields.
 type moveReq[G comparable] struct {
-	gid  G
-	dest int
+	Gid  G
+	Dest int
 }
 
 // MigrateElements moves individually named elements of a directory-backed
@@ -522,13 +558,13 @@ func MigrateElements[E any, G comparable, B BContainer](
 	reqs := make([]moveReq[G], 0, len(moves))
 	for gid, dest := range moves {
 		if dest >= 0 && dest < loc.NumLocations() {
-			reqs = append(reqs, moveReq[G]{gid: gid, dest: dest})
+			reqs = append(reqs, moveReq[G]{Gid: gid, Dest: dest})
 		}
 	}
 	merged := make(map[G]int)
 	for _, slice := range runtime.AllGatherT(loc, reqs) {
 		for _, r := range slice {
-			merged[r.gid] = r.dest
+			merged[r.Gid] = r.Dest
 		}
 	}
 
@@ -557,6 +593,7 @@ func MigrateElements[E any, G comparable, B BContainer](
 		},
 		Place:   spec.Place,
 		Bytes:   spec.Bytes,
+		Ops:     spec.Ops,
 		Install: spec.Install,
 	})
 

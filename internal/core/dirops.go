@@ -1,0 +1,140 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// Registered-operation forms of the directory maintenance RMIs.  When the GID
+// type has a wire codec (transport.RegisterTyped), Publish / PublishBulk /
+// Unpublish / Update traffic travels as self-decoding frames — executable
+// across process boundaries — instead of Go closures; a GID type without a
+// codec keeps the closure paths unchanged.  Counter behaviour is identical
+// either way (the Op RMI variants account exactly like their closure twins,
+// and the DirectoryRMIs attribution stays with the callers).
+//
+// One registration serves every Directory instantiated at the same GID type:
+// the operation names derive from the codec name (stable across processes and
+// registration order) and the per-type result is cached, like the containers'
+// element-operation registrations.
+
+// dirEntryArgs is one publish/unpublish/update request: a GID and its owner.
+type dirEntryArgs[G comparable] struct {
+	gid   G
+	owner partition.BCID
+}
+
+// dirBulkArgs is one batched publish request: a group of GIDs homed on the
+// destination, all owned by one sub-domain.
+type dirBulkArgs[G comparable] struct {
+	gids  []G
+	owner partition.BCID
+}
+
+// dirOps is the registered operation set of one GID type.
+type dirOps[G comparable] struct {
+	publish     runtime.OpID
+	publishBulk runtime.OpID
+	unpublish   runtime.OpID
+	update      runtime.OpID
+	bump        runtime.OpID
+}
+
+var (
+	dirOpsMu  sync.Mutex
+	dirOpsReg = map[reflect.Type]any{} // *dirOps[G] per G; nil when G has no codec
+)
+
+// emptyArgsCodec marshals the argument-less broadcast requests (epoch bumps).
+var emptyArgsCodec = transport.Codec[struct{}]{
+	Name:   "core.directory/empty-args",
+	Encode: func(*transport.Buffer, struct{}) {},
+	Decode: func(*transport.Buffer) struct{} { return struct{}{} },
+}
+
+// dirOpsFor returns the registered directory operations for GID type G, or
+// nil when G has no typed codec (closure fallback).
+func dirOpsFor[G comparable]() *dirOps[G] {
+	t := reflect.TypeOf((*G)(nil)).Elem()
+	dirOpsMu.Lock()
+	defer dirOpsMu.Unlock()
+	if v, ok := dirOpsReg[t]; ok {
+		if v == nil {
+			return nil
+		}
+		return v.(*dirOps[G])
+	}
+	codec, ok := transport.TypedCodecFor[G]()
+	if !ok {
+		dirOpsReg[t] = nil
+		return nil
+	}
+	name := "core.directory[" + codec.Name + "]"
+	entryCodec := transport.Codec[dirEntryArgs[G]]{
+		Name: name + "/entry-args",
+		Encode: func(b *transport.Buffer, a dirEntryArgs[G]) {
+			codec.Encode(b, a.gid)
+			b.PutVarint(int64(a.owner))
+		},
+		Decode: func(b *transport.Buffer) dirEntryArgs[G] {
+			return dirEntryArgs[G]{gid: codec.Decode(b), owner: partition.BCID(b.Varint())}
+		},
+	}
+	bulkCodec := transport.Codec[dirBulkArgs[G]]{
+		Name: name + "/bulk-args",
+		Encode: func(b *transport.Buffer, a dirBulkArgs[G]) {
+			b.PutUvarint(uint64(len(a.gids)))
+			for _, gid := range a.gids {
+				codec.Encode(b, gid)
+			}
+			b.PutVarint(int64(a.owner))
+		},
+		Decode: func(b *transport.Buffer) dirBulkArgs[G] {
+			n := b.Uvarint()
+			if n > uint64(b.Remaining()) {
+				b.Fail("directory bulk publish: %d entries, %d bytes left", n, b.Remaining())
+				return dirBulkArgs[G]{}
+			}
+			gids := make([]G, n)
+			for i := range gids {
+				gids[i] = codec.Decode(b)
+			}
+			return dirBulkArgs[G]{gids: gids, owner: partition.BCID(b.Varint())}
+		},
+	}
+	o := &dirOps[G]{}
+	o.publish = runtime.RegisterOp(name+"/publish", entryCodec,
+		func(obj any, _ *runtime.Location, a dirEntryArgs[G]) {
+			obj.(*Directory[G]).set(a.gid, a.owner)
+		}, nil)
+	o.publishBulk = runtime.RegisterOp(name+"/publish-bulk", bulkCodec,
+		func(obj any, _ *runtime.Location, a dirBulkArgs[G]) {
+			od := obj.(*Directory[G])
+			od.mu.Lock()
+			for _, gid := range a.gids {
+				od.entries[gid] = a.owner
+			}
+			od.mu.Unlock()
+		}, nil)
+	o.unpublish = runtime.RegisterOp(name+"/unpublish", entryCodec,
+		func(obj any, _ *runtime.Location, a dirEntryArgs[G]) {
+			od := obj.(*Directory[G])
+			od.mu.Lock()
+			delete(od.entries, a.gid)
+			od.mu.Unlock()
+		}, nil)
+	o.update = runtime.RegisterOp(name+"/update", entryCodec,
+		func(obj any, _ *runtime.Location, a dirEntryArgs[G]) {
+			obj.(*Directory[G]).applyUpdate(a.gid, a.owner)
+		}, nil)
+	o.bump = runtime.RegisterOp(name+"/bump-epoch", emptyArgsCodec,
+		func(obj any, _ *runtime.Location, _ struct{}) {
+			obj.(*Directory[G]).BumpEpoch()
+		}, nil)
+	dirOpsReg[t] = o
+	return o
+}

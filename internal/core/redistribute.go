@@ -1,12 +1,14 @@
 package core
 
 import (
+	"reflect"
 	"sync"
 	"unsafe"
 
 	"repro/internal/domain"
 	"repro/internal/partition"
 	"repro/internal/runtime"
+	"repro/internal/transport"
 )
 
 // This file implements the shared redistribution subsystem (Chapter V,
@@ -54,9 +56,17 @@ type MigrationSpec[E any, B BContainer] struct {
 	// its new sub-domain.  The engine serialises Place calls per location.
 	Place func(bc B, e E)
 	// Bytes returns the simulated marshalled size of e, accounted against
-	// the machine statistics when e changes location.  A nil Bytes counts
-	// a flat 8 bytes per element.
+	// the machine statistics when e changes location.  A nil Bytes resolves
+	// the element through the sizer registry (Location.PayloadBytes), so a
+	// registered or Sizer-implementing element type is accounted at its real
+	// marshalled size and only a type no tier knows falls back to the flat
+	// default — counted in the SizerMisses statistic instead of silently.
 	Bytes func(e E) int
+	// Ops, when non-nil, ships phase-2 element transfers as registered
+	// operations (RegisterMigrationOps) instead of closures, so the
+	// redistribution is self-decoding on wire transports and works across
+	// process boundaries.  Counter-for-counter identical to the closure path.
+	Ops *MigrationOps[E]
 	// Install swaps the staged storage into the container; the containers
 	// also replace their resolver and distribution metadata here.  It runs
 	// after all elements have arrived and before any location resumes.
@@ -76,6 +86,79 @@ func (m *migrator[E, B]) recv(b partition.BCID, e E) {
 	m.mu.Lock()
 	m.place(m.staging[b], e)
 	m.mu.Unlock()
+}
+
+// recvMig satisfies migSink[E]: the registered migration operation addresses
+// the migrator through the element type alone, without knowing B.
+func (m *migrator[E, B]) recvMig(b partition.BCID, e E) { m.recv(b, e) }
+
+// migSink is the handler-side face of a migrator: registered migration
+// operations type-assert the addressed object to migSink[E], so one
+// registration per element type serves every base-container type that ships
+// that element.
+type migSink[E any] interface {
+	recvMig(b partition.BCID, e E)
+}
+
+// migArgs is one registered phase-2 element transfer in flight.
+type migArgs[E any] struct {
+	bcid partition.BCID
+	elem E
+}
+
+var migArgsPool sync.Pool
+
+func getMigArgs[E any]() *migArgs[E] {
+	if v := migArgsPool.Get(); v != nil {
+		if a, ok := v.(*migArgs[E]); ok {
+			return a
+		}
+	}
+	return new(migArgs[E])
+}
+
+func putMigArgs[E any](a *migArgs[E]) {
+	*a = migArgs[E]{}
+	migArgsPool.Put(a)
+}
+
+// MigrationOps is the registered-operation form of the phase-2 element
+// transfer for one element type: with it in a MigrationSpec, redistribution
+// traffic is self-decoding (runs across process boundaries) instead of
+// carrying Go closures.  Obtain one per element type from
+// RegisterMigrationOps and cache it — registration names must be unique.
+type MigrationOps[E any] struct {
+	name string
+	op   runtime.OpID
+}
+
+// RegisterMigrationOps registers the phase-2 migration operation for one
+// element type and returns its handle.  name must be unique and stable across
+// cooperating processes (derive it from the element codec's name, never from
+// registration order); registering the same name twice panics, so callers
+// cache the result per element type.
+func RegisterMigrationOps[E any](name string, elem transport.Codec[E]) *MigrationOps[E] {
+	codec := transport.Codec[*migArgs[E]]{
+		Name: name + "/migrate-args",
+		Encode: func(b *transport.Buffer, a *migArgs[E]) {
+			b.PutVarint(int64(a.bcid))
+			elem.Encode(b, a.elem)
+		},
+		Decode: func(b *transport.Buffer) *migArgs[E] {
+			a := getMigArgs[E]()
+			a.bcid = partition.BCID(b.Varint())
+			a.elem = elem.Decode(b)
+			return a
+		},
+	}
+	o := &MigrationOps[E]{name: name}
+	o.op = runtime.RegisterOp(name+"/migrate", codec,
+		func(obj any, _ *runtime.Location, a *migArgs[E]) {
+			obj.(migSink[E]).recvMig(a.bcid, a.elem)
+			putMigArgs(a)
+		},
+		putMigArgs[E])
+	return o
 }
 
 // RunMigration executes the collective redistribution protocol described by
@@ -101,9 +184,17 @@ func RunMigration[E any, B BContainer](loc *runtime.Location, spec MigrationSpec
 			m.recv(b, e)
 			return
 		}
-		bytes := 8
+		var bytes int
 		if spec.Bytes != nil {
 			bytes = spec.Bytes(e)
+		} else {
+			bytes = loc.PayloadBytes(e)
+		}
+		if spec.Ops != nil {
+			a := getMigArgs[E]()
+			a.bcid, a.elem = b, e
+			loc.AsyncRMIOpSized(owner, h, bytes, spec.Ops.op, a)
+			return
 		}
 		loc.AsyncRMISized(owner, h, bytes, func(obj any, _ *runtime.Location) {
 			obj.(*migrator[E, B]).recv(b, e)
@@ -145,6 +236,46 @@ func ElemBytes[T any]() int {
 	return 8 + int(unsafe.Sizeof(t))
 }
 
+// Per-value-type cache of the indexed migration registration: one
+// registration serves every indexed container at the same T (the name derives
+// from the codec name, stable across processes), and a T without a typed
+// codec caches nil — the closure fallback.
+var (
+	idxMigMu  sync.Mutex
+	idxMigReg = map[reflect.Type]any{} // *MigrationOps[IndexedElem[T]] per T; nil when T has no codec
+)
+
+// indexedMigOpsFor returns the registered migration operation for
+// IndexedElem[T], or nil when T has no typed codec.
+func indexedMigOpsFor[T any]() *MigrationOps[IndexedElem[T]] {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	idxMigMu.Lock()
+	defer idxMigMu.Unlock()
+	if v, ok := idxMigReg[t]; ok {
+		if v == nil {
+			return nil
+		}
+		return v.(*MigrationOps[IndexedElem[T]])
+	}
+	codec, ok := transport.TypedCodecFor[T]()
+	if !ok {
+		idxMigReg[t] = nil
+		return nil
+	}
+	o := RegisterMigrationOps("core.indexed["+codec.Name+"]", transport.Codec[IndexedElem[T]]{
+		Name: "core.indexed-elem[" + codec.Name + "]",
+		Encode: func(b *transport.Buffer, v IndexedElem[T]) {
+			b.PutVarint(v.GID)
+			codec.Encode(b, v.Val)
+		},
+		Decode: func(b *transport.Buffer) IndexedElem[T] {
+			return IndexedElem[T]{GID: b.Varint(), Val: codec.Decode(b)}
+		},
+	})
+	idxMigReg[t] = o
+	return o
+}
+
 // RedistributeIndexed migrates the elements of a one-dimensional indexed
 // container (pArray, pVector) into freshly allocated storage for (newPart,
 // newMapper) and hands the completed location manager to install, which
@@ -175,6 +306,7 @@ func RedistributeIndexed[T any, B IndexedStore[T]](
 		},
 		Place:   func(bc B, e IndexedElem[T]) { bc.Set(e.GID, e.Val) },
 		Bytes:   func(IndexedElem[T]) int { return elemBytes },
+		Ops:     indexedMigOpsFor[T](),
 		Install: install,
 	})
 }

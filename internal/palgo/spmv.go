@@ -1,0 +1,77 @@
+package palgo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bcontainer"
+	"repro/internal/containers/pmatrix"
+	"repro/internal/containers/pvector"
+	"repro/internal/runtime"
+)
+
+// SpMV computes y = A·x for a CSR-backed sparse pMatrix (the sparse sibling
+// of MatVec).  Each location walks the CSR blocks it stores through their
+// native row spans — no per-element calls, no densification: only the x
+// entries some stored nonzero actually multiplies are fetched, as one
+// grouped bulk read per block, and the per-row partial sums flush into y as
+// one grouped CombineBulk request per destination.  Work and communication
+// volume scale with the nonzeros, not with rows×cols.  y is overwritten and
+// must not alias x.  Collective.
+func SpMV[T Numeric](loc *runtime.Location, a *pmatrix.SparseMatrix[T], x, y *pvector.Vector[T]) {
+	if x.Size() != a.Cols() || y.Size() != a.Rows() {
+		panic(fmt.Sprintf("palgo: SpMV dimensions %dx%d · %d -> %d", a.Rows(), a.Cols(), x.Size(), y.Size()))
+	}
+	if x == y {
+		panic("palgo: SpMV output must not alias x")
+	}
+	// Phase 1: clear y (every element is owned by exactly one location).
+	var zero T
+	y.LocalUpdate(func(int64, T) T { return zero })
+	loc.Fence()
+
+	// Phase 2: accumulate this location's block contributions.
+	var idxs []int64
+	var vals []T
+	a.RangeLocalBlocks(func(bc *bcontainer.SparseMatrixBlock[T]) {
+		if bc.NNZ() == 0 {
+			return
+		}
+		// Gather only the x entries this block's nonzeros touch: the sorted
+		// union of the block's stored columns, one grouped read per owner.
+		rows := bc.Rows()
+		need := make(map[int64]int)
+		for r := rows.Lo; r < rows.Hi; r++ {
+			cs, _ := bc.RowNZ(r)
+			for _, c := range cs {
+				need[c] = 0
+			}
+		}
+		cols := make([]int64, 0, len(need))
+		for c := range need {
+			cols = append(cols, c)
+		}
+		sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+		for i, c := range cols {
+			need[c] = i
+		}
+		xs := x.GetBulk(cols)
+		// Walk the rows through their native CSR spans.
+		for r := rows.Lo; r < rows.Hi; r++ {
+			cs, vs := bc.RowNZ(r)
+			if len(cs) == 0 {
+				continue
+			}
+			var acc T
+			for k, c := range cs {
+				acc += vs[k] * xs[need[c]]
+			}
+			idxs = append(idxs, r)
+			vals = append(vals, acc)
+		}
+	})
+	// One bulk RMI per destination carries every partial this location
+	// produced; addition is commutative, so concurrent combiners are safe.
+	y.CombineBulk(idxs, vals, func(cur, val T) T { return cur + val })
+	loc.Fence()
+}

@@ -1,0 +1,64 @@
+package palgo
+
+import (
+	"testing"
+
+	"repro/internal/containers/pmatrix"
+	"repro/internal/containers/pvector"
+	"repro/internal/runtime"
+)
+
+// TestSpMVMatchesDenseMatVec builds the same matrix in dense and CSR form
+// and checks y = A·x agrees element-for-element between MatVec and SpMV.
+func TestSpMVMatchesDenseMatVec(t *testing.T) {
+	runtime.NewMachine(4, runtime.DefaultConfig()).Execute(func(loc *runtime.Location) {
+		const n = 40
+		a := pmatrix.New[int64](loc, n, n)
+		sp := pmatrix.NewSparse[int64](loc, n, n)
+		if loc.ID() == 0 {
+			for r := int64(0); r < n; r++ {
+				for c := int64(0); c < n; c++ {
+					if (r*13+c*7)%9 == 0 {
+						a.Set(r, c, r+2*c+1)
+						sp.Set(r, c, r+2*c+1)
+					}
+				}
+			}
+		}
+		x := pvector.New[int64](loc, n)
+		x.LocalUpdate(func(i int64, _ int64) int64 { return i%5 + 1 })
+		yd := pvector.New[int64](loc, n)
+		ys := pvector.New[int64](loc, n)
+		loc.Fence()
+
+		MatVec(loc, a, x, yd)
+		SpMV(loc, sp, x, ys)
+
+		for i := int64(0); i < n; i++ {
+			if dv, sv := yd.Get(i), ys.Get(i); dv != sv {
+				t.Fatalf("y[%d]: dense %d != sparse %d", i, dv, sv)
+			}
+		}
+		loc.Fence()
+	})
+}
+
+// TestSpMVEmptyMatrix checks the all-zero edge case: y must come back zero.
+func TestSpMVEmptyMatrix(t *testing.T) {
+	runtime.NewMachine(2, runtime.DefaultConfig()).Execute(func(loc *runtime.Location) {
+		const n = 16
+		sp := pmatrix.NewSparse[int64](loc, n, n)
+		x := pvector.New[int64](loc, n)
+		x.LocalUpdate(func(i int64, _ int64) int64 { return i + 1 })
+		y := pvector.New[int64](loc, n)
+		y.LocalUpdate(func(int64, int64) int64 { return 99 }) // must be overwritten
+		loc.Fence()
+		SpMV(loc, sp, x, y)
+		for i := int64(0); i < n; i++ {
+			if got := y.Get(i); got != 0 {
+				t.Fatalf("y[%d] = %d, want 0", i, got)
+			}
+		}
+		loc.Fence()
+	})
+}

@@ -51,6 +51,11 @@ func (b *Buffer) fail(format string, args ...any) {
 	}
 }
 
+// Fail records a sticky decode error, for codecs that validate structural
+// invariants beyond raw underflow (counts, ordering, value ranges).  Like the
+// internal errors, only the first failure is kept.
+func (b *Buffer) Fail(format string, args ...any) { b.fail(format, args...) }
+
 // take returns the next n raw bytes, or nil after recording an underflow.
 func (b *Buffer) take(n int) []byte {
 	if b.err != nil {

@@ -1,0 +1,144 @@
+package transport_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bcontainer"
+	"repro/internal/transport"
+)
+
+// The storage-representation segment codecs (adaptive set chunks, CSR rows)
+// carry container payloads across process boundaries, so they face the same
+// hostile-input contract as the frame and primitive codecs: arbitrary bytes
+// must never panic, failures must be sticky, and every accepted input must
+// re-encode to a stable canonical form.
+
+// encodeSetSegment renders one segment through the registered codec.
+func encodeSetSegment(seg bcontainer.SetSegment) []byte {
+	var b transport.Buffer
+	bcontainer.SetSegmentCodec.Encode(&b, seg)
+	return b.Bytes()
+}
+
+// FuzzSetSegmentDecode feeds arbitrary bytes to the adaptive set-chunk
+// segment decoder: no panics, and any accepted input must normalise to a
+// canonical encoding that is a fixed point of decode∘encode (a low-card
+// bitmap on the wire is legal but re-encodes as an array).
+func FuzzSetSegmentDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	sparse := bcontainer.NewSetChunk()
+	for k := 0; k < 40; k++ {
+		sparse.Insert(uint16(k * 97 % bcontainer.SetChunkSize))
+	}
+	dense := bcontainer.NewSetChunk()
+	for k := 0; k <= bcontainer.ArrayMaxCard; k++ {
+		dense.Insert(uint16(k * 3 % bcontainer.SetChunkSize))
+	}
+	f.Add(encodeSetSegment(bcontainer.SetSegment{Chunk: 0, Set: bcontainer.NewSetChunk()}))
+	f.Add(encodeSetSegment(bcontainer.SetSegment{Chunk: 7, Set: sparse}))
+	f.Add(encodeSetSegment(bcontainer.SetSegment{Chunk: -2, Set: dense}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := transport.NewReader(data)
+		seg := bcontainer.SetSegmentCodec.Decode(r)
+		if r.Err() != nil {
+			return
+		}
+		canon := encodeSetSegment(seg)
+		if got := seg.ByteSize(); got != len(canon) {
+			t.Fatalf("ByteSize = %d, encoded length = %d", got, len(canon))
+		}
+		r2 := transport.NewReader(canon)
+		seg2 := bcontainer.SetSegmentCodec.Decode(r2)
+		if r2.Err() != nil {
+			t.Fatalf("canonical form failed to decode: %v", r2.Err())
+		}
+		if again := encodeSetSegment(seg2); !bytes.Equal(canon, again) {
+			t.Fatalf("canonical encoding is not a fixed point: %x vs %x", canon, again)
+		}
+	})
+}
+
+// FuzzSetSegmentRoundTrip builds a chunk from fuzzer-chosen members and
+// checks the codec round-trips it byte-exactly with the membership intact.
+func FuzzSetSegmentRoundTrip(f *testing.F) {
+	f.Add(int64(0), []byte{})
+	f.Add(int64(12), []byte{0, 1, 2, 3, 255, 254})
+	f.Add(int64(-5), bytes.Repeat([]byte{9, 33}, 300))
+	f.Fuzz(func(t *testing.T, chunk int64, raw []byte) {
+		set := bcontainer.NewSetChunk()
+		want := map[uint16]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			k := uint16(raw[i])<<8 | uint16(raw[i+1])
+			k %= bcontainer.SetChunkSize
+			set.Insert(k)
+			want[k] = true
+		}
+		seg := bcontainer.SetSegment{Chunk: chunk, Set: set}
+		first, second, err := bcontainer.SetSegmentCodec.RoundTrip(seg)
+		if err != nil || !bytes.Equal(first, second) {
+			t.Fatalf("round trip: err=%v first=%x second=%x", err, first, second)
+		}
+		got := bcontainer.SetSegmentCodec.Decode(transport.NewReader(first))
+		if got.Chunk != chunk {
+			t.Fatalf("chunk = %d, want %d", got.Chunk, chunk)
+		}
+		n := 0
+		got.Set.Range(func(k uint16) bool {
+			if !want[k] {
+				t.Fatalf("decoded stray member %d", k)
+			}
+			n++
+			return true
+		})
+		if n != len(want) {
+			t.Fatalf("decoded %d members, want %d", n, len(want))
+		}
+	})
+}
+
+// FuzzSparseRowDecode feeds arbitrary bytes to the delta-compressed CSR row
+// decoder: no panics, sticky errors on corrupt counts or non-monotone
+// columns, and byte-stable re-encoding of every accepted input.
+func FuzzSparseRowDecode(f *testing.F) {
+	codec := bcontainer.SparseRowCodec(transport.Int64Codec)
+	encode := func(v bcontainer.SparseRow[int64]) []byte {
+		var b transport.Buffer
+		codec.Encode(&b, v)
+		return b.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0xFF})
+	f.Add(encode(bcontainer.SparseRow[int64]{Row: 3}))
+	f.Add(encode(bcontainer.SparseRow[int64]{
+		Row:  41,
+		Cols: []int64{0, 7, 8, 4095},
+		Vals: []int64{-1, 2, 300, 4},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := transport.NewReader(data)
+		row := codec.Decode(r)
+		if r.Err() != nil {
+			return
+		}
+		for i := 1; i < len(row.Cols); i++ {
+			if row.Cols[i] <= row.Cols[i-1] {
+				t.Fatalf("decoder accepted non-increasing columns: %v", row.Cols)
+			}
+		}
+		canon := encode(row)
+		var scratch transport.Buffer
+		if got := bcontainer.EncodedRowBytes(codec, &scratch, row); got != len(canon) {
+			t.Fatalf("EncodedRowBytes = %d, encoded length = %d", got, len(canon))
+		}
+		r2 := transport.NewReader(canon)
+		row2 := codec.Decode(r2)
+		if r2.Err() != nil {
+			t.Fatalf("re-encoded row failed to decode: %v", r2.Err())
+		}
+		if again := encode(row2); !bytes.Equal(canon, again) {
+			t.Fatalf("row encoding is not a fixed point: %x vs %x", canon, again)
+		}
+	})
+}

@@ -411,11 +411,91 @@ func (v MatrixSub[T]) LocalSegment(r domain.Range1D) ([]T, bool) {
 	return v.M.RowSegment(row, domain.NewRange1D(lo, lo+r.Size()))
 }
 
+// SparseMatrixView is the row-major view of a CSR-backed sparse pMatrix.
+// It presents the full dense domain — element i reads entry (i/Cols, i%Cols),
+// zero when unset — through the same Partitioned interface as MatrixView, so
+// every pAlgorithm composes with either storage representation unchanged.
+// Dense raw segments do not exist in CSR storage, so the view offers no
+// LocalSegment; instead the stored entries are reachable natively:
+// RangeLocalNZ walks this location's blocks through their CSR row spans
+// without materialising zeros (the access path SpMV and the sparse
+// reductions coarsen over).
+type SparseMatrixView[T any] struct {
+	M *pmatrix.SparseMatrix[T]
+}
+
+// NewSparseMatrixView builds the row-major view of a sparse pMatrix.
+func NewSparseMatrixView[T any](m *pmatrix.SparseMatrix[T]) SparseMatrixView[T] {
+	return SparseMatrixView[T]{M: m}
+}
+
+// Size returns rows*cols (the dense domain, like the container).
+func (v SparseMatrixView[T]) Size() int64 { return v.M.Size() }
+
+func (v SparseMatrixView[T]) index2D(i int64) domain.Index2D {
+	c := v.M.Cols()
+	return domain.Index2D{Row: i / c, Col: i % c}
+}
+
+func (v SparseMatrixView[T]) to2D(idxs []int64) []domain.Index2D {
+	out := make([]domain.Index2D, len(idxs))
+	for k, i := range idxs {
+		out[k] = v.index2D(i)
+	}
+	return out
+}
+
+// Get reads view element i (zero when no entry is stored).
+func (v SparseMatrixView[T]) Get(i int64) T {
+	g := v.index2D(i)
+	return v.M.Get(g.Row, g.Col)
+}
+
+// Set writes view element i as an explicit entry.
+func (v SparseMatrixView[T]) Set(i int64, x T) {
+	g := v.index2D(i)
+	v.M.Set(g.Row, g.Col, x)
+}
+
+// GetBulk reads a batch through the matrix's grouped bulk path.
+func (v SparseMatrixView[T]) GetBulk(idxs []int64) []T { return v.M.GetBulk(v.to2D(idxs)) }
+
+// SetBulk writes a batch through the matrix's grouped bulk path.
+func (v SparseMatrixView[T]) SetBulk(idxs []int64, vals []T) { v.M.SetBulk(v.to2D(idxs), vals) }
+
+// LocalRanges assigns every location the linear runs of the blocks it
+// stores, exactly like the dense view: ownership is a property of the block
+// partition, not of the storage representation.
+func (v SparseMatrixView[T]) LocalRanges(loc *runtime.Location) []domain.Range1D {
+	cols := v.M.Cols()
+	rows, colRanges := v.M.LocalBlocks()
+	var runs []domain.Range1D
+	for b := range rows {
+		for r := rows[b].Lo; r < rows[b].Hi; r++ {
+			runs = append(runs, domain.NewRange1D(r*cols+colRanges[b].Lo, r*cols+colRanges[b].Hi))
+		}
+	}
+	return mergeRuns(runs)
+}
+
+// RangeLocalNZ applies fn to every locally stored entry as (linear view
+// index, value), walking the CSR blocks through their native row spans — the
+// coarsened access path for algorithms that only need the nonzeros.
+func (v SparseMatrixView[T]) RangeLocalNZ(fn func(i int64, val T) bool) {
+	cols := v.M.Cols()
+	v.M.RangeLocalNZ(func(g domain.Index2D, val T) bool {
+		return fn(g.Row*cols+g.Col, val)
+	})
+}
+
 var (
 	_ Partitioned[int]  = MatrixView[int]{}
 	_ BulkAccess[int]   = MatrixView[int]{}
 	_ LocalitySource    = MatrixView[int]{}
 	_ DirectAccess[int] = MatrixView[int]{}
+
+	_ Partitioned[int] = SparseMatrixView[int]{}
+	_ BulkAccess[int]  = SparseMatrixView[int]{}
 
 	_ Partitioned[int]  = MatrixRow[int]{}
 	_ BulkAccess[int]   = MatrixRow[int]{}
